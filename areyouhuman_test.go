@@ -1,0 +1,59 @@
+package areyouhuman
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperReproduction drives the public facade end to end and asserts the
+// shape of every paper table. This is the repository's single highest-level
+// check: if it passes, the reproduction holds.
+func TestPaperReproduction(t *testing.T) {
+	results, err := RunStudy(Config{TrafficScale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results.Main.TotalDetected != 8 || results.Main.TotalURLs != 105 {
+		t.Fatalf("main = %d/%d, want 8/105", results.Main.TotalDetected, results.Main.TotalURLs)
+	}
+	for _, c := range results.Claims() {
+		if !c.Holds {
+			t.Errorf("claim %q diverges: paper %s, measured %s", c.Name, c.Paper, c.Measured)
+		}
+	}
+	report := results.Report()
+	if !strings.Contains(report, "total detected: 8/105") {
+		t.Fatalf("report missing headline:\n%s", report)
+	}
+}
+
+func TestPaperScaleFunnelFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-name funnel")
+	}
+	funnel, err := PaperScaleFunnel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := funnel.String(); got != "1000000 -> 770 -> 251 -> 244 -> 244 -> 50" {
+		t.Fatalf("funnel = %s", got)
+	}
+}
+
+func TestFrameworkStagesIndependent(t *testing.T) {
+	f := NewFramework(Config{TrafficScale: 0.002})
+	t1, err := f.RunPreliminary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 7 {
+		t.Fatalf("table 1 rows = %d", len(t1))
+	}
+	t3, err := f.RunExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3) != 6 {
+		t.Fatalf("table 3 rows = %d", len(t3))
+	}
+}

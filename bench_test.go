@@ -1,0 +1,339 @@
+package areyouhuman
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment end to end on
+// the virtual clock and reports the paper's headline quantities as
+// ReportMetric values; `go test -bench=. -benchmem` therefore reprints the
+// study. Absolute wall-clock numbers measure the simulator, not the authors'
+// testbed; the *shape* assertions (who detects what) are enforced by the
+// accompanying fataling checks.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/core"
+	"areyouhuman/internal/dropcatch"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+)
+
+// benchCfg uses reduced fleet traffic so iterations stay fast; detection
+// outcomes are identical at any scale.
+func benchCfg() Config {
+	return Config{TrafficScale: 0.01, MainTrafficPerReport: 50}
+}
+
+// fullCfg is the Table 1 calibration at full volume.
+func fullCfg() Config { return Config{} }
+
+// BenchmarkTable1Preliminary regenerates Table 1 at the paper's full crawl
+// volumes (≈105k requests across the seven engines).
+func BenchmarkTable1Preliminary(b *testing.B) {
+	var rows []Table1Row
+	for i := 0; i < b.N; i++ {
+		w := experiment.NewWorld(fullCfg())
+		var err error
+		rows, err = w.RunPreliminary()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Requests
+		if r.Engine == engines.OpenPhish {
+			b.ReportMetric(float64(r.Requests), "openphish-reqs")
+			b.ReportMetric(float64(r.UniqueIPs), "openphish-ips")
+		}
+	}
+	b.ReportMetric(float64(total), "total-requests")
+	b.Logf("Table 1\n%s", experiment.RenderTable1(rows))
+}
+
+// BenchmarkTable2Main regenerates Table 2: the 105-URL, two-virtual-week
+// main experiment.
+func BenchmarkTable2Main(b *testing.B) {
+	var res *MainResults
+	for i := 0; i < b.N; i++ {
+		w := experiment.NewWorld(benchCfg())
+		var err error
+		res, err = w.RunMain()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.TotalDetected != 8 || res.TotalURLs != 105 {
+		b.Fatalf("main experiment = %d/%d detected, want 8/105", res.TotalDetected, res.TotalURLs)
+	}
+	b.ReportMetric(float64(res.TotalDetected), "detected")
+	b.ReportMetric(float64(res.TotalURLs), "submitted")
+	b.Logf("Table 2\n%s", experiment.RenderTable2(res))
+}
+
+// BenchmarkTable3Extensions regenerates Table 3: six extensions, nine URLs,
+// three visits each.
+func BenchmarkTable3Extensions(b *testing.B) {
+	var rows []Table3Row
+	for i := 0; i < b.N; i++ {
+		w := experiment.NewWorld(benchCfg())
+		var err error
+		rows, err = w.RunExtensions()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	detected := 0
+	for _, r := range rows {
+		detected += r.Detected
+	}
+	if detected != 0 {
+		b.Fatalf("extensions detected %d URLs, paper reports 0", detected)
+	}
+	b.ReportMetric(0, "detected")
+	b.ReportMetric(float64(len(rows)*9), "url-visits")
+	b.Logf("Table 3\n%s", experiment.RenderTable3(rows))
+}
+
+// figureWorld deploys one technique and returns the phishing URL plus the
+// world.
+func figureWorld(b *testing.B, tech evasion.Technique) (*experiment.World, string) {
+	b.Helper()
+	w := experiment.NewWorld(benchCfg())
+	d, err := w.Deploy("figure-demo.com", experiment.MountSpec{Brand: phishkit.PayPal, Technique: tech})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, d.Mounts[0].URL
+}
+
+// BenchmarkFigure1AlertBox exercises Figure 1's two page states: the
+// alert-box gate before and after confirmation.
+func BenchmarkFigure1AlertBox(b *testing.B) {
+	w, url := figureWorld(b, evasion.AlertBox)
+	for i := 0; i < b.N; i++ {
+		human := browser.New(w.Net, browser.Config{
+			ExecuteScripts: true, AlertPolicy: browser.AlertConfirm, TimerBudget: time.Minute,
+		})
+		page, err := human.Open(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(page.Title(), "PayPal") {
+			b.Fatalf("confirming visitor should see the payload, got %q", page.Title())
+		}
+	}
+}
+
+// BenchmarkFigure2SessionBased exercises Figure 2's cover page -> payload
+// flow.
+func BenchmarkFigure2SessionBased(b *testing.B) {
+	w, url := figureWorld(b, evasion.SessionBased)
+	for i := 0; i < b.N; i++ {
+		human := browser.New(w.Net, browser.Config{})
+		cover, err := human.Open(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, err := cover.Submit(cover.Forms()[0], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(payload.Title(), "PayPal") {
+			b.Fatalf("join-chat click should reveal the payload, got %q", payload.Title())
+		}
+	}
+}
+
+// BenchmarkFigure3ReCAPTCHA exercises Figure 3: solving the checkbox reveals
+// the payload under the unchanged URL.
+func BenchmarkFigure3ReCAPTCHA(b *testing.B) {
+	w, url := figureWorld(b, evasion.Recaptcha)
+	for i := 0; i < b.N; i++ {
+		human := browser.New(w.Net, browser.Config{
+			ExecuteScripts: true, AlertPolicy: browser.AlertConfirm,
+			TimerBudget: time.Hour, CanSolveCAPTCHA: true,
+		})
+		page, err := human.Open(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(page.Title(), "PayPal") {
+			b.Fatalf("solver should reach payload, got %q", page.Title())
+		}
+		if got := "https://" + page.URL.Host + page.URL.Path; got != url {
+			b.Fatalf("URL changed to %s", got)
+		}
+	}
+}
+
+// BenchmarkTimeToBlacklist regenerates the Section 4 timing claims: GSB's
+// ≈132-minute alert-box average and NetCraft's single-digit-minute session
+// listings.
+func BenchmarkTimeToBlacklist(b *testing.B) {
+	var res *MainResults
+	for i := 0; i < b.N; i++ {
+		w := experiment.NewWorld(benchCfg())
+		var err error
+		res, err = w.RunMain()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	gsb := experiment.AverageDuration(res.GSBAlertBoxTimes)
+	b.ReportMetric(gsb.Minutes(), "gsb-alert-avg-min")
+	for i, d := range res.NetCraftSessionTimes {
+		b.ReportMetric(d.Minutes(), fmt.Sprintf("netcraft-session-%d-min", i+1))
+	}
+}
+
+// BenchmarkTrafficConcentration regenerates the "~90% of traffic within the
+// first 2 hours" observation.
+func BenchmarkTrafficConcentration(b *testing.B) {
+	var conc float64
+	for i := 0; i < b.N; i++ {
+		w := experiment.NewWorld(Config{TrafficScale: 0.1})
+		if _, err := w.RunPreliminary(); err != nil {
+			b.Fatal(err)
+		}
+		total, within := 0, 0.0
+		for _, d := range w.Deployments() {
+			n := d.Log.Requests()
+			total += n
+			within += d.Log.TrafficConcentration(2*time.Hour+15*time.Minute) * float64(n)
+		}
+		conc = within / float64(total)
+	}
+	if conc < 0.8 {
+		b.Fatalf("traffic concentration = %.2f, want ≈0.9", conc)
+	}
+	b.ReportMetric(conc*100, "pct-in-first-2h")
+}
+
+// BenchmarkBaselineCloaking regenerates the Oest et al. context numbers the
+// paper compares against: cloaked sites still detected ≈23% of the time at a
+// ≈238-minute average delay.
+func BenchmarkBaselineCloaking(b *testing.B) {
+	var res core.CloakingBaselineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.New(benchCfg()).RunCloakingBaseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Detected)/float64(res.Total)*100, "pct-detected")
+	b.ReportMetric(res.AvgDelay.Minutes(), "avg-delay-min")
+}
+
+// BenchmarkDropCatchFunnel regenerates the Section 3 selection funnel at the
+// paper's full 1M-domain scale.
+func BenchmarkDropCatchFunnel(b *testing.B) {
+	var funnel Funnel
+	for i := 0; i < b.N; i++ {
+		w, err := dropcatch.NewWorld(dropcatch.PaperConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, funnel = dropcatch.Run(w.Top, w.Services(), 50)
+	}
+	want := "1000000 -> 770 -> 251 -> 244 -> 244 -> 50"
+	if funnel.String() != want {
+		b.Fatalf("funnel = %s, want %s", funnel, want)
+	}
+	b.ReportMetric(float64(funnel.Selected), "selected")
+	b.Logf("funnel: %s", funnel)
+}
+
+// BenchmarkAblationNoVerdictCache quantifies the client verdict-cache window
+// (design choice: 5–60 min GSB caching semantics).
+func BenchmarkAblationNoVerdictCache(b *testing.B) {
+	var res core.CacheAblationResult
+	for i := 0; i < b.N; i++ {
+		res = core.New(benchCfg()).RunVerdictCacheAblation()
+	}
+	if !res.MaskedWithCache || !res.VisibleWithoutCache {
+		b.Fatalf("cache ablation = %+v", res)
+	}
+}
+
+// BenchmarkAblationAlertConfirmAll grants every engine GSB's alert handling.
+func BenchmarkAblationAlertConfirmAll(b *testing.B) {
+	var res core.AlertAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.New(benchCfg()).RunAlertConfirmAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.BaselineDetected), "baseline-detected")
+	b.ReportMetric(float64(res.ConfirmAll), "confirm-all-detected")
+}
+
+// BenchmarkAblationNoFormSubmit removes NetCraft's form submission.
+func BenchmarkAblationNoFormSubmit(b *testing.B) {
+	var res core.FormAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.New(benchCfg()).RunFormSubmitAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.BaselineBypasses), "baseline-bypasses")
+	b.ReportMetric(float64(res.NoSubmitBypasses), "no-submit-bypasses")
+}
+
+// BenchmarkAblationKitProvenance compares scratch-built vs cloned Gmail kits
+// under a fingerprint-only engine.
+func BenchmarkAblationKitProvenance(b *testing.B) {
+	var res core.ProvenanceAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.New(benchCfg()).RunKitProvenanceAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.ScratchDetected || !res.ClonedDetected {
+		b.Fatalf("provenance ablation = %+v", res)
+	}
+}
+
+// BenchmarkAblationNoFeedSharing severs the blacklist-sharing graph.
+func BenchmarkAblationNoFeedSharing(b *testing.B) {
+	var res core.SharingAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.New(benchCfg()).RunFeedSharingAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.BaselineCrossFeeds), "baseline-cross-feeds")
+	b.ReportMetric(float64(res.SeveredCrossFeeds), "severed-cross-feeds")
+}
+
+// BenchmarkLifespanExposure quantifies the paper's motivation — how much
+// victim exposure each technique buys by delaying or defeating blacklisting
+// (1 victim/hour for 3 days against GSB-protected browsers).
+func BenchmarkLifespanExposure(b *testing.B) {
+	var results []core.ExposureResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = core.New(benchCfg()).RunExposureStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(r.ExposureRate()*100, "pct-exposed-"+r.Technique.String())
+	}
+	b.Logf("exposure study\n%s", core.RenderExposure(results))
+}

@@ -1,0 +1,91 @@
+// Command botprobe deploys one evasion-protected phishing site in a fresh
+// simulated world and runs a single engine's bot against it, printing the
+// browser trace, the server's serve-decision log, and the verdict. It is the
+// fastest way to see *why* a given engine does or does not bypass a
+// technique.
+//
+// Usage:
+//
+//	botprobe -engine gsb -technique alertbox [-brand paypal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+)
+
+func main() {
+	var (
+		engineFlag = flag.String("engine", "gsb", "engine key: gsb, netcraft, apwg, openphish, phishtank, smartscreen, ysb")
+		techFlag   = flag.String("technique", "alertbox", "evasion technique: none, alertbox, session, recaptcha")
+		brandFlag  = flag.String("brand", "paypal", "target brand: paypal, facebook, gmail")
+		hours      = flag.Int("hours", 24, "virtual hours to run after reporting")
+	)
+	flag.Parse()
+
+	profile, ok := engines.Profiles()[strings.ToLower(*engineFlag)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "botprobe: unknown engine %q (known: %s)\n", *engineFlag, strings.Join(engines.Keys(), ", "))
+		os.Exit(2)
+	}
+	technique, err := evasion.Parse(*techFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var brand phishkit.Brand
+	switch strings.ToLower(*brandFlag) {
+	case "paypal":
+		brand = phishkit.PayPal
+	case "facebook":
+		brand = phishkit.Facebook
+	case "gmail":
+		brand = phishkit.Gmail
+	default:
+		fmt.Fprintf(os.Stderr, "botprobe: unknown brand %q\n", *brandFlag)
+		os.Exit(2)
+	}
+
+	w := experiment.NewWorld(experiment.Config{TrafficScale: 0.005})
+	d, err := w.Deploy("probe-target.com", experiment.MountSpec{Brand: brand, Technique: technique})
+	if err != nil {
+		fatal(err)
+	}
+	url := d.Mounts[0].URL
+	fmt.Printf("deployed %s kit behind %s at %s\n", brand, technique, url)
+	fmt.Printf("engine: %s — scripts=%v alerts=%s forms=%s classifier=%s\n\n",
+		profile.Name, profile.ExecuteScripts, profile.AlertPolicy, profile.FormPolicy, profile.Power)
+
+	if err := w.ReportTo(d, profile.Key); err != nil {
+		fatal(err)
+	}
+	w.Sched.RunFor(time.Duration(*hours) * time.Hour)
+
+	fmt.Println("server serve-decision log:")
+	for kind, n := range d.Log.ServeCounts() {
+		fmt.Printf("  %-10s x%d\n", kind, n)
+	}
+	fmt.Printf("payload reached: %d times\n", len(d.Log.PayloadServes()))
+	fmt.Printf("host traffic: %d requests from %d unique IPs\n", d.Log.Requests(), d.Log.UniqueIPs())
+
+	eng := w.Engines[profile.Key]
+	if entry, listed := eng.List.Lookup(url); listed {
+		fmt.Printf("\nVERDICT: BLACKLISTED by %s at %s (%.0f min after report)\n",
+			profile.Name, entry.AddedAt.UTC().Format(time.RFC3339),
+			entry.AddedAt.Sub(d.ReportedAt).Minutes())
+	} else {
+		fmt.Printf("\nVERDICT: NOT DETECTED by %s after %d virtual hours\n", profile.Name, *hours)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "botprobe:", err)
+	os.Exit(1)
+}

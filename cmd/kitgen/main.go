@@ -1,0 +1,72 @@
+// Command kitgen generates one of the study's phishing kits (harmless: the
+// credential collector stores nothing) and packs it as a .zip.
+//
+// Usage:
+//
+//	kitgen -brand paypal|facebook|gmail [-cloned] [-zip kit.zip]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"areyouhuman/internal/phishkit"
+)
+
+func main() {
+	var (
+		brandFlag = flag.String("brand", "paypal", "target brand: paypal, facebook, gmail")
+		cloned    = flag.Bool("cloned", false, "force cloned provenance (Gmail defaults to from-scratch)")
+		zipOut    = flag.String("zip", "", "write the kit as a .zip to this path")
+	)
+	flag.Parse()
+
+	var brand phishkit.Brand
+	switch strings.ToLower(*brandFlag) {
+	case "paypal":
+		brand = phishkit.PayPal
+	case "facebook":
+		brand = phishkit.Facebook
+	case "gmail":
+		brand = phishkit.Gmail
+	default:
+		fmt.Fprintf(os.Stderr, "kitgen: unknown brand %q\n", *brandFlag)
+		os.Exit(2)
+	}
+
+	var kit *phishkit.Kit
+	var err error
+	if *cloned {
+		kit, err = phishkit.GenerateWithProvenance(brand, phishkit.Cloned)
+	} else {
+		kit, err = phishkit.Generate(brand)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s kit (%s): %d bytes of HTML, %d bundled resources, credentials post to %s\n",
+		kit.Brand, kit.Provenance, len(kit.LoginHTML), len(kit.Resources), kit.CollectPath)
+
+	if *zipOut != "" {
+		f, err := os.Create(*zipOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := kit.WriteZip(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *zipOut)
+		return
+	}
+	fmt.Println(kit.LoginHTML)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kitgen:", err)
+	os.Exit(1)
+}

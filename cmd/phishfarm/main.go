@@ -1,0 +1,202 @@
+// Command phishfarm runs the paper's study end to end and prints the
+// regenerated tables.
+//
+// Usage:
+//
+//	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel]
+//	          [-seed N] [-traffic-scale F] [-main-traffic N]
+//
+// The default stage runs everything: Table 1 (preliminary test), Table 2
+// (main experiment), Table 3 (extensions), the headline claims comparison,
+// the ablation studies, and the paper-scale drop-catch funnel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"areyouhuman/internal/core"
+	"areyouhuman/internal/experiment"
+)
+
+func main() {
+	var (
+		stage       = flag.String("stage", "all", "which stage to run: all, preliminary, main, extensions, ablations, exposure, funnel")
+		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default)")
+		scale       = flag.Float64("traffic-scale", 1, "crawler fleet volume scale (1 = Table 1 calibration)")
+		mainTraffic = flag.Int("main-traffic", 0, "fleet requests per URL in the main stage (0 = default 200)")
+		jsonOut     = flag.String("json", "", "also write machine-readable results to this file (stage all/preliminary/main/extensions)")
+	)
+	flag.Parse()
+	jsonPath = *jsonOut
+
+	cfg := experiment.Config{
+		Seed:                 *seed,
+		TrafficScale:         *scale,
+		MainTrafficPerReport: *mainTraffic,
+	}
+	f := core.New(cfg)
+
+	if err := run(f, cfg, *stage); err != nil {
+		fmt.Fprintln(os.Stderr, "phishfarm:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonPath, when set, receives a machine-readable export of the stage.
+var jsonPath string
+
+func writeJSON(exp experiment.Export) error {
+	if jsonPath == "" {
+		return nil
+	}
+	out, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := exp.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+func run(f *core.Framework, cfg experiment.Config, stage string) error {
+	switch stage {
+	case "all":
+		res, err := f.RunAll()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(experiment.BuildExport(res.Table1, res.Main, res.Table3)); err != nil {
+			return err
+		}
+		fmt.Print(res.Report())
+		fmt.Println()
+		if err := ablations(f); err != nil {
+			return err
+		}
+		if err := exposure(f); err != nil {
+			return err
+		}
+		return funnel()
+	case "preliminary":
+		rows, err := f.RunPreliminary()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(experiment.BuildExport(rows, nil, nil)); err != nil {
+			return err
+		}
+		fmt.Println("Table 1 — preliminary test (naked kits, 24h)")
+		fmt.Print(experiment.RenderTable1(rows))
+		return nil
+	case "main":
+		res, err := f.RunMain()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(experiment.BuildExport(nil, res, nil)); err != nil {
+			return err
+		}
+		fmt.Println("Table 2 — main experiment (105 protected URLs, 2 weeks)")
+		fmt.Print(experiment.RenderTable2(res))
+		fmt.Printf("drop-catch funnel: %s\n", res.Funnel)
+		fmt.Printf("GSB alert-box average: %.0f min\n",
+			experiment.AverageDuration(res.GSBAlertBoxTimes).Minutes())
+		fmt.Printf("NetCraft session times:")
+		for _, d := range res.NetCraftSessionTimes {
+			fmt.Printf(" %.0fmin", d.Minutes())
+		}
+		fmt.Println()
+		return nil
+	case "extensions":
+		rows, err := f.RunExtensions()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(experiment.BuildExport(nil, nil, rows)); err != nil {
+			return err
+		}
+		fmt.Println("Table 3 — client-side extensions (9 URLs, 3 visits each)")
+		fmt.Print(experiment.RenderTable3(rows))
+		return nil
+	case "ablations":
+		return ablations(f)
+	case "exposure":
+		return exposure(f)
+	case "funnel":
+		return funnel()
+	default:
+		return fmt.Errorf("unknown stage %q", stage)
+	}
+}
+
+func ablations(f *core.Framework) error {
+	fmt.Println("Ablation studies")
+
+	alert, err := f.RunAlertConfirmAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  alert-confirm for all engines: %d/%d detected (baseline %d/%d — only GSB)\n",
+		alert.ConfirmAll, alert.Total, alert.BaselineDetected, alert.Total)
+
+	form, err := f.RunFormSubmitAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  without form submission: %d/%d session bypasses (baseline %d/%d)\n",
+		form.NoSubmitBypasses, form.Total, form.BaselineBypasses, form.Total)
+
+	prov, err := f.RunKitProvenanceAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  Gmail kit at a fingerprint-only engine: scratch-built detected=%v, cloned detected=%v\n",
+		prov.ScratchDetected, prov.ClonedDetected)
+
+	shar, err := f.RunFeedSharingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  feed sharing severed: %d cross-feed appearances (baseline %d)\n",
+		shar.SeveredCrossFeeds, shar.BaselineCrossFeeds)
+
+	cache := f.RunVerdictCacheAblation()
+	fmt.Printf("  verdict cache: fresh listing masked within TTL=%v, visible without cache=%v\n",
+		cache.MaskedWithCache, cache.VisibleWithoutCache)
+
+	cloak, err := f.RunCloakingBaseline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  cloaking baseline (Oest et al. context): %d/%d detected (%.0f%%), avg delay %.0f min\n",
+		cloak.Detected, cloak.Total,
+		100*float64(cloak.Detected)/float64(cloak.Total),
+		cloak.AvgDelay.Minutes())
+	return nil
+}
+
+func exposure(f *core.Framework) error {
+	results, err := f.RunExposureStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Victim-exposure study (1 victim/hour for 3 days, GSB-protected browsers)")
+	fmt.Print(core.RenderExposure(results))
+	return nil
+}
+
+func funnel() error {
+	start := time.Now()
+	f, err := core.FunnelAtPaperScale()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Drop-catch funnel at paper scale: %s (computed in %v)\n", f, time.Since(start).Round(time.Millisecond))
+	return nil
+}

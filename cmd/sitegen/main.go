@@ -1,0 +1,81 @@
+// Command sitegen generates a full-fledged fake website for a domain — the
+// paper's 2-minute site-in-a-box pipeline — and writes it to a directory or
+// a ready-to-upload .zip.
+//
+// Usage:
+//
+//	sitegen -domain garden-tools.com [-pages 30] [-seed 7] [-zip site.zip | -out ./site]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"areyouhuman/internal/sitegen"
+)
+
+func main() {
+	var (
+		domain = flag.String("domain", "", "domain name to generate a site for (required)")
+		pages  = flag.Int("pages", sitegen.DefaultPageCount, "number of pages")
+		seed   = flag.Int64("seed", 0, "generation seed")
+		zipOut = flag.String("zip", "", "write the site as a .zip to this path")
+		dirOut = flag.String("out", "", "write the site files under this directory")
+	)
+	flag.Parse()
+	if *domain == "" {
+		fmt.Fprintln(os.Stderr, "sitegen: -domain is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	site := sitegen.Generate(*domain, sitegen.Config{PageCount: *pages, Seed: *seed})
+	fmt.Printf("generated %d pages and %d images for %s\n", len(site.Pages), len(site.Images), site.Domain)
+
+	if *zipOut != "" {
+		f, err := os.Create(*zipOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := site.WriteZip(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *zipOut)
+	}
+	if *dirOut != "" {
+		for path, page := range site.Pages {
+			if err := writeFile(filepath.Join(*dirOut, filepath.FromSlash(strings.TrimPrefix(path, "/"))), []byte(page.HTML)); err != nil {
+				fatal(err)
+			}
+		}
+		for path, img := range site.Images {
+			if err := writeFile(filepath.Join(*dirOut, filepath.FromSlash(strings.TrimPrefix(path, "/"))), img); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d files under %s\n", len(site.Pages)+len(site.Images), *dirOut)
+	}
+	if *zipOut == "" && *dirOut == "" {
+		for _, path := range site.Paths() {
+			fmt.Printf("  %s — %s\n", path, site.Pages[path].Title)
+		}
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sitegen:", err)
+	os.Exit(1)
+}

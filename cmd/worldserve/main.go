@@ -1,0 +1,106 @@
+// Command worldserve boots a simulated deployment — a fake website with a
+// phishing page behind a chosen evasion technique, plus the CAPTCHA service
+// — and serves the whole virtual internet on a real TCP address, routing
+// requests by Host header. This lets you explore the paper's page states
+// with curl or a real browser:
+//
+//	worldserve -addr :8080 -technique recaptcha &
+//	curl -H 'Host: demo-site.com' http://127.0.0.1:8080/            # cover site
+//	curl -H 'Host: demo-site.com' http://127.0.0.1:8080/<phish-path> # challenge page
+//
+// Virtual hostnames are listed at / for any unknown Host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/simnet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "TCP address to listen on")
+		techFlag  = flag.String("technique", "recaptcha", "evasion technique: none, alertbox, session, recaptcha")
+		brandFlag = flag.String("brand", "paypal", "target brand: paypal, facebook, gmail")
+		domain    = flag.String("domain", "demo-site.com", "virtual domain for the deployment")
+	)
+	flag.Parse()
+
+	technique, err := evasion.Parse(*techFlag)
+	if err != nil {
+		log.Fatal("worldserve: ", err)
+	}
+	var brand phishkit.Brand
+	switch strings.ToLower(*brandFlag) {
+	case "paypal":
+		brand = phishkit.PayPal
+	case "facebook":
+		brand = phishkit.Facebook
+	case "gmail":
+		brand = phishkit.Gmail
+	default:
+		fmt.Fprintf(os.Stderr, "worldserve: unknown brand %q\n", *brandFlag)
+		os.Exit(2)
+	}
+
+	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.005})
+	deployment, err := world.Deploy(*domain, experiment.MountSpec{Brand: brand, Technique: technique})
+	if err != nil {
+		log.Fatal("worldserve: ", err)
+	}
+	phishURL := deployment.Mounts[0].URL
+
+	gateway := &gateway{net: world.Net}
+	log.Printf("serving virtual internet on %s", *addr)
+	log.Printf("deployment: %s kit behind %s", brand, technique)
+	log.Printf("phishing URL (virtual): %s", phishURL)
+	log.Printf("try: curl -H 'Host: %s' 'http://%s%s'", *domain, *addr, pathOf(phishURL))
+	if err := http.ListenAndServe(*addr, gateway); err != nil {
+		log.Fatal("worldserve: ", err)
+	}
+}
+
+func pathOf(rawURL string) string {
+	if i := strings.Index(rawURL, "://"); i >= 0 {
+		rest := rawURL[i+3:]
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			return rest[j:]
+		}
+	}
+	return "/"
+}
+
+// gateway routes real TCP requests into the virtual internet by Host header.
+type gateway struct {
+	net *simnet.Internet
+}
+
+func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hostname := r.Host
+	if i := strings.LastIndexByte(hostname, ':'); i >= 0 {
+		hostname = hostname[:i]
+	}
+	host, ok := g.net.Lookup(hostname)
+	if !ok {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<h1>virtual internet</h1><p>unknown host %q; known hosts:</p><ul>", hostname)
+		for _, name := range g.net.Hosts() {
+			fmt.Fprintf(w, "<li>%s</li>", name)
+		}
+		fmt.Fprint(w, "</ul><p>route with: curl -H 'Host: &lt;name&gt;' ...</p>")
+		return
+	}
+	if host.Down {
+		http.Error(w, "host has been taken down", http.StatusServiceUnavailable)
+		return
+	}
+	host.Handler.ServeHTTP(w, r)
+}

@@ -1,0 +1,79 @@
+// evasion_compare deploys the same PayPal kit behind every technique — no
+// protection, web cloaking (the Oest et al. baseline), the alert box, the
+// session flow, and reCAPTCHA — reports each URL to every main-experiment
+// engine, and prints the detection matrix. It is Table 2 in miniature, with
+// the baselines the paper compares against included.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+)
+
+func main() {
+	techniques := []evasion.Technique{
+		evasion.None, evasion.Cloaking, evasion.AlertBox, evasion.SessionBased, evasion.Recaptcha,
+	}
+	keys := engines.MainExperimentKeys()
+
+	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.005})
+
+	// The cloaking deployments block the engines' published crawler ranges.
+	var botIPs []string
+	for _, p := range engines.Profiles() {
+		botIPs = append(botIPs, p.IPPrefix)
+	}
+
+	type key struct {
+		tech   evasion.Technique
+		engine string
+	}
+	urls := make(map[key]string)
+	n := 0
+	for _, tech := range techniques {
+		for _, engineKey := range keys {
+			domain := fmt.Sprintf("compare-%s-%d.com", tech, n)
+			n++
+			spec := experiment.MountSpec{Brand: phishkit.PayPal, Technique: tech}
+			if tech == evasion.Cloaking {
+				spec.BotIPs = botIPs
+			}
+			d, err := world.Deploy(domain, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := world.ReportTo(d, engineKey); err != nil {
+				log.Fatal(err)
+			}
+			urls[key{tech, engineKey}] = d.Mounts[0].URL
+		}
+	}
+
+	world.Sched.RunFor(48 * time.Hour)
+
+	fmt.Printf("%-12s", "technique")
+	for _, engineKey := range keys {
+		fmt.Printf(" %-12s", engineKey)
+	}
+	fmt.Println()
+	for _, tech := range techniques {
+		fmt.Printf("%-12s", tech)
+		for _, engineKey := range keys {
+			mark := "miss"
+			if world.Engines[engineKey].List.Contains(urls[key{tech, engineKey}]) {
+				mark = "LISTED"
+			}
+			fmt.Printf(" %-12s", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nReading: naked kits are caught broadly; cloaking stops spoofable checks only;")
+	fmt.Println("the alert box stops everyone but GSB; sessions stop everyone but (sometimes) NetCraft;")
+	fmt.Println("reCAPTCHA stops every engine.")
+}

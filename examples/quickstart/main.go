@@ -1,0 +1,62 @@
+// Quickstart: deploy one reCAPTCHA-protected phishing site, report it to
+// Google Safe Browsing, and watch the paper's core finding play out — the
+// bot never reaches the payload and the URL is never blacklisted, while a
+// human solves the checkbox and lands straight on the fake login page at the
+// very same URL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+)
+
+func main() {
+	// A fresh simulated internet: DNS, WHOIS, registrar, CA, the reCAPTCHA
+	// service, and all seven anti-phishing engines.
+	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.01})
+
+	// Register a domain, generate its 30-page cover website, and mount a
+	// PayPal kit behind the reCAPTCHA gate.
+	deployment, err := world.Deploy("garden-craft-tips.com", experiment.MountSpec{
+		Brand:     phishkit.PayPal,
+		Technique: evasion.Recaptcha,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := deployment.Mounts[0].URL
+	fmt.Println("phishing URL:", url)
+
+	// Report it to Google Safe Browsing and let 48 virtual hours pass.
+	if err := world.ReportTo(deployment, engines.GSB); err != nil {
+		log.Fatal(err)
+	}
+	world.Sched.RunFor(48 * time.Hour)
+
+	gsb := world.Engines[engines.GSB]
+	fmt.Printf("GSB blacklisted the URL: %v\n", gsb.List.Contains(url))
+	fmt.Printf("payload ever served to a bot: %d times\n", len(deployment.Log.PayloadServes()))
+	fmt.Printf("host saw %d requests from %d unique crawler IPs\n",
+		deployment.Log.Requests(), deployment.Log.UniqueIPs())
+
+	// Now a human visits: scripts on, dialogs answered, CAPTCHA solvable.
+	human := browser.New(world.Net, browser.Config{
+		ExecuteScripts:  true,
+		AlertPolicy:     browser.AlertConfirm,
+		TimerBudget:     time.Hour,
+		CanSolveCAPTCHA: true,
+	})
+	page, err := human.Open(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("human lands on: %q (URL unchanged: %v)\n",
+		page.Title(), "https://"+page.URL.Host+page.URL.Path == url)
+}

@@ -1,0 +1,79 @@
+// takedown_lifecycle plays out the enforcement path the paper's researchers
+// deliberately short-circuited (they owned the hosting and ignored the abuse
+// mails): a phishing URL is reported to OpenPhish, PhishLabs notifies the
+// hosting provider's abuse desk, and after the provider's grace period the
+// host goes dark — at which point neither victims nor crawlers can reach it.
+//
+// Run it twice in your head: for a naked kit the blacklist usually wins the
+// race; for a reCAPTCHA-protected kit the *takedown is the only thing that
+// ever stops it*, because no blacklist entry ever appears.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/hosting"
+	"areyouhuman/internal/phishkit"
+)
+
+func main() {
+	for _, tech := range []evasion.Technique{evasion.None, evasion.Recaptcha} {
+		runScenario(tech)
+		fmt.Println()
+	}
+}
+
+func runScenario(tech evasion.Technique) {
+	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.005})
+	d, err := world.Deploy("lifecycle-demo.com", experiment.MountSpec{
+		Brand: phishkit.PayPal, Technique: tech,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := d.Mounts[0].URL
+
+	// The hosting provider actually processes complaints here.
+	desk := &hosting.AbuseDesk{
+		Net:     world.Net,
+		Mail:    world.Mail,
+		Sched:   world.Sched,
+		Address: experiment.AbuseContact,
+		Grace:   12 * time.Hour,
+	}
+	horizon := world.Clock.Now().Add(72 * time.Hour)
+	desk.Start(horizon)
+
+	if err := world.ReportTo(d, engines.OpenPhish); err != nil {
+		log.Fatal(err)
+	}
+	world.Sched.RunFor(72 * time.Hour)
+
+	fmt.Printf("technique: %s\n", tech)
+	op := world.Engines[engines.OpenPhish]
+	if entry, listed := op.List.Lookup(url); listed {
+		fmt.Printf("  blacklisted by OpenPhish after %.0f min\n", entry.AddedAt.Sub(d.ReportedAt).Minutes())
+	} else {
+		fmt.Println("  never blacklisted (the evasion held)")
+	}
+	for _, td := range desk.Takedowns() {
+		fmt.Printf("  host %s taken down %.0f h after the abuse notification\n",
+			td.Host, td.DownAt.Sub(td.NotifiedAt).Hours())
+	}
+
+	human := browser.New(world.Net, browser.Config{
+		ExecuteScripts: true, AlertPolicy: browser.AlertConfirm,
+		TimerBudget: time.Hour, CanSolveCAPTCHA: true,
+	})
+	if _, err := human.Open(url); err != nil {
+		fmt.Printf("  a victim arriving now gets: %v\n", err)
+	} else {
+		fmt.Println("  a victim arriving now still reaches the site")
+	}
+}

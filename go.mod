@@ -1,0 +1,3 @@
+module areyouhuman
+
+go 1.22

@@ -1,0 +1,39 @@
+package blacklist
+
+import (
+	"fmt"
+	"testing"
+
+	"areyouhuman/internal/simclock"
+)
+
+func benchList(n int) *List {
+	l := NewList("bench", simclock.New(simclock.Epoch))
+	for i := 0; i < n; i++ {
+		l.Add(fmt.Sprintf("http://host%d.example/login.php", i), "src")
+	}
+	return l
+}
+
+func BenchmarkLookup(b *testing.B) {
+	l := benchList(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.Contains("http://host5000.example/login.php") {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkHashPrefixCheck(b *testing.B) {
+	l := benchList(1_000)
+	url := "http://host500.example/login.php"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.CheckByHash(url) {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package blacklist implements URL blacklists in the style of Google Safe
+// Browsing v4: a server-side list with hash-prefix lookups, downloadable
+// feed snapshots, and — crucially for the paper's reCAPTCHA result — a
+// client-side verdict cache.
+//
+// Browsers do not re-query a URL they checked minutes ago; GSB Update API
+// verdicts are cached for 5 to 60 minutes. The reCAPTCHA technique reloads
+// the phishing payload under the *same URL*, so the cached "safe" verdict
+// from the challenge page keeps covering the malicious content (Section
+// 2.4).
+package blacklist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// Entry is one blacklisted URL.
+type Entry struct {
+	URL     string
+	AddedAt time.Time
+	// Source names who contributed the entry (the engine itself, or another
+	// feed via sharing).
+	Source string
+}
+
+// List is a blacklist. The zero value is not usable; call NewList.
+type List struct {
+	name  string
+	clock simclock.Clock
+
+	mu      sync.RWMutex
+	entries map[string]Entry
+	lookups int64
+}
+
+// NewList returns an empty list (clock defaults to simclock.Real).
+func NewList(name string, clock simclock.Clock) *List {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &List{name: name, clock: clock, entries: make(map[string]Entry)}
+}
+
+// Name returns the list's name.
+func (l *List) Name() string { return l.name }
+
+// Canonicalize normalises a URL for matching: lower-cased scheme and host,
+// fragment dropped, default port dropped, trailing slash on an empty path.
+func Canonicalize(raw string) string {
+	s := strings.TrimSpace(raw)
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	scheme := ""
+	rest := s
+	if i := strings.Index(s, "://"); i >= 0 {
+		scheme = strings.ToLower(s[:i])
+		rest = s[i+3:]
+	}
+	hostEnd := len(rest)
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' || rest[i] == '?' {
+			hostEnd = i
+			break
+		}
+	}
+	host := strings.ToLower(rest[:hostEnd])
+	host = strings.TrimSuffix(host, ":80")
+	host = strings.TrimSuffix(host, ":443")
+	path := rest[hostEnd:]
+	if path == "" {
+		path = "/"
+	}
+	if scheme == "" {
+		scheme = "http"
+	}
+	return scheme + "://" + host + path
+}
+
+// Add inserts url. The first source to add a URL wins; re-adds are ignored
+// so AddedAt records first-seen time, as blacklist feeds do.
+func (l *List) Add(url, source string) bool {
+	key := Canonicalize(url)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.entries[key]; dup {
+		return false
+	}
+	l.entries[key] = Entry{URL: key, AddedAt: l.clock.Now(), Source: source}
+	return true
+}
+
+// Contains reports whether url is listed.
+func (l *List) Contains(url string) bool {
+	_, ok := l.Lookup(url)
+	return ok
+}
+
+// Lookup returns the entry for url.
+func (l *List) Lookup(url string) (Entry, bool) {
+	key := Canonicalize(url)
+	l.mu.Lock()
+	l.lookups++
+	l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.entries[key]
+	return e, ok
+}
+
+// Len reports the number of entries.
+func (l *List) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Lookups reports how many lookups were served.
+func (l *List) Lookups() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lookups
+}
+
+// Snapshot returns all entries ordered by AddedAt then URL — a feed
+// download.
+func (l *List) Snapshot() []Entry {
+	l.mu.RLock()
+	out := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, e)
+	}
+	l.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AddedAt.Equal(out[j].AddedAt) {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].AddedAt.Before(out[j].AddedAt)
+	})
+	return out
+}
+
+// PrefixSize is the hash-prefix length in bytes (GSB v4 uses 4-byte
+// prefixes).
+const PrefixSize = 4
+
+// HashPrefix returns the hex-encoded 4-byte SHA-256 prefix of the
+// canonicalised URL — what privacy-preserving clients send instead of the
+// URL.
+func HashPrefix(url string) string {
+	sum := sha256.Sum256([]byte(Canonicalize(url)))
+	return hex.EncodeToString(sum[:PrefixSize])
+}
+
+// fullHash returns the full hex SHA-256 of the canonicalised URL.
+func fullHash(url string) string {
+	sum := sha256.Sum256([]byte(Canonicalize(url)))
+	return hex.EncodeToString(sum[:])
+}
+
+// PrefixHit reports whether any listed URL shares the given hash prefix —
+// the first round of the v4 Lookup protocol.
+func (l *List) PrefixHit(prefix string) bool {
+	return len(l.FullHashes(prefix)) > 0
+}
+
+// FullHashes returns the full hashes of listed URLs matching prefix — the
+// second round, letting the client confirm locally without revealing which
+// URL it visited.
+func (l *List) FullHashes(prefix string) []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []string
+	for url := range l.entries {
+		h := fullHash(url)
+		if strings.HasPrefix(h, prefix) {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckByHash runs the two-round protocol for a client-side URL.
+func (l *List) CheckByHash(url string) bool {
+	prefix := HashPrefix(url)
+	want := fullHash(url)
+	for _, h := range l.FullHashes(prefix) {
+		if h == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package blacklist
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+func TestCanonicalize(t *testing.T) {
+	cases := map[string]string{
+		"HTTP://Example.COM/Path?q=1#frag": "http://example.com/Path?q=1",
+		"http://example.com":               "http://example.com/",
+		"https://Example.com:443/x":        "https://example.com/x",
+		"http://example.com:80/x":          "http://example.com/x",
+		"example.com/login.php":            "http://example.com/login.php",
+		"  http://a.example/  ":            "http://a.example/",
+	}
+	for in, want := range cases {
+		if got := Canonicalize(in); got != want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAddLookupContains(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	l := NewList("gsb", clock)
+	if !l.Add("http://phish.example/login.php", "gsb") {
+		t.Fatal("first Add should succeed")
+	}
+	if l.Add("HTTP://PHISH.example/login.php#x", "other") {
+		t.Fatal("duplicate Add (canonical-equal) should be ignored")
+	}
+	e, ok := l.Lookup("http://phish.example/login.php")
+	if !ok || e.Source != "gsb" || !e.AddedAt.Equal(simclock.Epoch) {
+		t.Fatalf("Lookup = %+v,%v", e, ok)
+	}
+	if !l.Contains("http://phish.example/login.php?") && l.Contains("http://other.example/") {
+		t.Fatal("Contains mismatch")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestSnapshotOrdered(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	l := NewList("feed", clock)
+	l.Add("http://b.example/", "x")
+	clock.Advance(time.Minute)
+	l.Add("http://a.example/", "x")
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].URL != "http://b.example/" || snap[1].URL != "http://a.example/" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+func TestHashPrefixProtocol(t *testing.T) {
+	l := NewList("gsb", simclock.New(simclock.Epoch))
+	url := "http://phish.example/login.php"
+	l.Add(url, "gsb")
+	prefix := HashPrefix(url)
+	if len(prefix) != PrefixSize*2 {
+		t.Fatalf("prefix length = %d hex chars", len(prefix))
+	}
+	if !l.PrefixHit(prefix) {
+		t.Fatal("prefix of a listed URL must hit")
+	}
+	if !l.CheckByHash("HTTP://PHISH.EXAMPLE/login.php") {
+		t.Fatal("CheckByHash must match canonical-equal URLs")
+	}
+	if l.CheckByHash("http://innocent.example/") {
+		t.Fatal("unlisted URL must not match")
+	}
+}
+
+func TestLookupsCounter(t *testing.T) {
+	l := NewList("x", simclock.New(simclock.Epoch))
+	l.Contains("http://a.example/")
+	l.Contains("http://b.example/")
+	if l.Lookups() != 2 {
+		t.Fatalf("Lookups = %d", l.Lookups())
+	}
+}
+
+func TestCachingClientCachesSafeVerdict(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	l := NewList("gsb", clock)
+	c := &CachingClient{List: l, Clock: clock, TTL: 30 * time.Minute}
+	url := "http://phish.example/login.php"
+
+	if c.Check(url) {
+		t.Fatal("URL not yet listed")
+	}
+	// Engine blacklists it one minute later...
+	clock.Advance(time.Minute)
+	l.Add(url, "gsb")
+	// ...but the client's cached "safe" verdict still covers it.
+	if c.Check(url) {
+		t.Fatal("cached safe verdict should mask the fresh listing — the reCAPTCHA window")
+	}
+	// After TTL expiry the truth comes through.
+	clock.Advance(31 * time.Minute)
+	if !c.Check(url) {
+		t.Fatal("expired cache must re-query and see the listing")
+	}
+	queries, hits := c.Stats()
+	if queries != 2 || hits != 1 {
+		t.Fatalf("Stats = %d,%d; want 2 queries, 1 hit", queries, hits)
+	}
+}
+
+func TestCachingClientDisabled(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	l := NewList("gsb", clock)
+	c := &CachingClient{List: l, Clock: clock, Disabled: true}
+	url := "http://phish.example/login.php"
+	c.Check(url)
+	l.Add(url, "gsb")
+	if !c.Check(url) {
+		t.Fatal("with caching disabled the client sees listings immediately")
+	}
+}
+
+func TestCachingClientTTLClamped(t *testing.T) {
+	c := &CachingClient{TTL: time.Second}
+	if got := c.ttl(); got != MinCacheTTL {
+		t.Fatalf("ttl = %v, want clamped to %v", got, MinCacheTTL)
+	}
+	c.TTL = 5 * time.Hour
+	if got := c.ttl(); got != MaxCacheTTL {
+		t.Fatalf("ttl = %v, want clamped to %v", got, MaxCacheTTL)
+	}
+	c.TTL = 0
+	if got := c.ttl(); got != MaxCacheTTL/2 {
+		t.Fatalf("default ttl = %v", got)
+	}
+}
+
+// Property: canonicalisation is idempotent.
+func TestQuickCanonicalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Canonicalize(s)
+		return Canonicalize(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a URL added under any casing is always found again, and
+// CheckByHash agrees with Contains.
+func TestQuickAddFindAgreement(t *testing.T) {
+	f := func(host, path string) bool {
+		l := NewList("q", simclock.New(simclock.Epoch))
+		url := "http://h" + sanitize(host) + ".example/" + sanitize(path)
+		l.Add(url, "src")
+		return l.Contains(url) == l.CheckByHash(url) && l.Contains(url)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			out = append(out, r)
+		}
+	}
+	if len(out) > 12 {
+		out = out[:12]
+	}
+	return string(out)
+}

@@ -1,0 +1,96 @@
+package blacklist
+
+import (
+	"sync"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// Default verdict-cache bounds from the GSB v4 caching documentation the
+// paper cites: results are "usually valid for 5 to 60 minutes".
+const (
+	MinCacheTTL = 5 * time.Minute
+	MaxCacheTTL = 60 * time.Minute
+)
+
+// CachingClient is a browser-side blacklist client with verdict caching.
+// Both safe and unsafe verdicts are cached for TTL; within that window the
+// client answers from cache without consulting the list — which is exactly
+// the window the reCAPTCHA same-URL trick exploits.
+type CachingClient struct {
+	List  *List
+	Clock simclock.Clock
+	// TTL is the verdict lifetime; clamped into [MinCacheTTL, MaxCacheTTL].
+	// Zero selects MaxCacheTTL/2 (30 minutes).
+	TTL time.Duration
+	// Disabled turns caching off (the ablation case).
+	Disabled bool
+
+	mu      sync.Mutex
+	cache   map[string]cachedVerdict
+	queries int64
+	hits    int64
+}
+
+type cachedVerdict struct {
+	listed  bool
+	expires time.Time
+}
+
+func (c *CachingClient) ttl() time.Duration {
+	ttl := c.TTL
+	if ttl == 0 {
+		ttl = MaxCacheTTL / 2
+	}
+	if ttl < MinCacheTTL {
+		ttl = MinCacheTTL
+	}
+	if ttl > MaxCacheTTL {
+		ttl = MaxCacheTTL
+	}
+	return ttl
+}
+
+func (c *CachingClient) clock() simclock.Clock {
+	if c.Clock == nil {
+		return simclock.Real
+	}
+	return c.Clock
+}
+
+// Check reports whether url is blacklisted, consulting the cache first.
+func (c *CachingClient) Check(url string) bool {
+	key := Canonicalize(url)
+	now := c.clock().Now()
+
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[string]cachedVerdict)
+	}
+	if !c.Disabled {
+		if v, ok := c.cache[key]; ok && now.Before(v.expires) {
+			c.hits++
+			c.mu.Unlock()
+			return v.listed
+		}
+	}
+	c.mu.Unlock()
+
+	listed := c.List.CheckByHash(key)
+
+	c.mu.Lock()
+	c.queries++
+	if !c.Disabled {
+		c.cache[key] = cachedVerdict{listed: listed, expires: now.Add(c.ttl())}
+	}
+	c.mu.Unlock()
+	return listed
+}
+
+// Stats reports upstream queries and cache hits.
+func (c *CachingClient) Stats() (queries, hits int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queries, c.hits
+}

@@ -1,0 +1,38 @@
+package blacklist_test
+
+import (
+	"fmt"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/simclock"
+)
+
+// The reCAPTCHA same-URL trick in one timeline: the verdict cache covers the
+// malicious reload for up to the TTL even after the engine lists the URL.
+func Example_cachingWindow() {
+	clock := simclock.New(simclock.Epoch)
+	gsb := blacklist.NewList("gsb", clock)
+	client := &blacklist.CachingClient{List: gsb, Clock: clock, TTL: 30 * time.Minute}
+
+	url := "https://victim-site.example/login.php"
+	fmt.Println("first check:", client.Check(url)) // challenge page: safe
+
+	clock.Advance(2 * time.Minute)
+	gsb.Add(url, "gsb") // the engine lists it
+
+	clock.Advance(3 * time.Minute)
+	fmt.Println("within TTL:", client.Check(url)) // cached safe verdict
+
+	clock.Advance(time.Hour)
+	fmt.Println("after TTL:", client.Check(url))
+	// Output:
+	// first check: false
+	// within TTL: false
+	// after TTL: true
+}
+
+func ExampleCanonicalize() {
+	fmt.Println(blacklist.Canonicalize("HTTP://Example.COM:80/Login.php?next=1#top"))
+	// Output: http://example.com/Login.php?next=1
+}

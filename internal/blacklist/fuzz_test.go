@@ -1,0 +1,30 @@
+package blacklist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalize checks idempotence and hash-prefix stability over
+// arbitrary URL-ish input.
+func FuzzCanonicalize(f *testing.F) {
+	for _, s := range []string{
+		"http://Example.com/Path?q=1#frag",
+		"https://a.example:443/",
+		"example.com",
+		"://",
+		"HTTP://HOST:80",
+		strings.Repeat("a", 300),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		once := Canonicalize(raw)
+		if twice := Canonicalize(once); twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q", raw, once, twice)
+		}
+		if HashPrefix(raw) != HashPrefix(once) {
+			t.Fatal("hash prefix must be canonicalisation-invariant")
+		}
+	})
+}

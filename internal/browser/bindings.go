@@ -1,0 +1,468 @@
+package browser
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/scriptlet"
+)
+
+// timer is a pending setTimeout callback.
+type timer struct {
+	delay time.Duration
+	fn    scriptlet.Value
+	seq   int
+}
+
+// scriptHost wires one page's DOM into a scriptlet interpreter.
+type scriptHost struct {
+	page     *Page
+	interp   *scriptlet.Interp
+	window   *scriptlet.Object
+	timers   []timer
+	seq      int
+	elements map[*htmlmini.Node]*scriptlet.Object
+}
+
+// runScripts executes the page's inline scripts, the onload handler, and
+// eligible timers, then (for CAPTCHA-solving visitors) works the CAPTCHA
+// widget. The first script failure is recorded and halts further execution,
+// like an uncaught exception would.
+func (p *Page) runScripts() {
+	h := &scriptHost{
+		page:     p,
+		interp:   scriptlet.NewInterp(),
+		elements: make(map[*htmlmini.Node]*scriptlet.Object),
+	}
+	h.installGlobals()
+
+	for _, src := range p.DOM.Scripts() {
+		if err := h.interp.Run(src); err != nil {
+			p.fail(err)
+			break
+		}
+	}
+	if p.ScriptErr == nil {
+		h.fireOnload()
+	}
+	if p.ScriptErr == nil {
+		h.settleTimers()
+	}
+	if p.ScriptErr == nil && p.browser.cfg.CanSolveCAPTCHA {
+		h.solveCaptcha()
+		if p.ScriptErr == nil {
+			h.settleTimers()
+		}
+	}
+}
+
+func (p *Page) fail(err error) {
+	if p.ScriptErr == nil {
+		p.ScriptErr = err
+		p.browser.tracef(EventScript, "%s: %v", p.URL, err)
+	}
+}
+
+func (h *scriptHost) installGlobals() {
+	g := h.interp.Globals
+	doc := h.documentObject()
+	h.window = h.windowObject(doc)
+	g.Define("document", doc)
+	g.Define("window", h.window)
+	g.Define("location", h.window.Get("location"))
+	g.Define("alert", scriptlet.NativeFunc(h.alertFn))
+	g.Define("confirm", scriptlet.NativeFunc(h.confirmFn))
+	g.Define("setTimeout", scriptlet.NativeFunc(h.setTimeoutFn))
+	g.Define("console", h.consoleObject())
+}
+
+func (h *scriptHost) alertFn(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+	msg := ""
+	if len(args) > 0 {
+		msg = scriptlet.ToString(args[0])
+	}
+	h.page.Dialogs = append(h.page.Dialogs, msg)
+	h.page.browser.tracef(EventAlert, "%q", msg)
+	if h.page.browser.cfg.AlertPolicy == AlertIgnore {
+		return nil, ErrDialogUnhandled
+	}
+	return nil, nil
+}
+
+func (h *scriptHost) confirmFn(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+	msg := ""
+	if len(args) > 0 {
+		msg = scriptlet.ToString(args[0])
+	}
+	h.page.Dialogs = append(h.page.Dialogs, msg)
+	switch h.page.browser.cfg.AlertPolicy {
+	case AlertConfirm:
+		h.page.browser.tracef(EventConfirm, "%q -> true", msg)
+		return true, nil
+	case AlertDismiss:
+		h.page.browser.tracef(EventConfirm, "%q -> false", msg)
+		return false, nil
+	default:
+		h.page.browser.tracef(EventConfirm, "%q -> unhandled", msg)
+		return nil, ErrDialogUnhandled
+	}
+}
+
+func (h *scriptHost) setTimeoutFn(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	delayMS := 0.0
+	if len(args) > 1 {
+		delayMS, _ = scriptlet.ToNumber(args[1])
+	}
+	h.seq++
+	h.timers = append(h.timers, timer{
+		delay: time.Duration(delayMS) * time.Millisecond,
+		fn:    args[0],
+		seq:   h.seq,
+	})
+	return float64(h.seq), nil
+}
+
+func (h *scriptHost) consoleObject() *scriptlet.Object {
+	console := scriptlet.NewObject()
+	console.Set("log", scriptlet.NativeFunc(func(_ scriptlet.Value, _ []scriptlet.Value) (scriptlet.Value, error) {
+		return nil, nil
+	}))
+	return console
+}
+
+// fireOnload calls window.onload if a script assigned one.
+func (h *scriptHost) fireOnload() {
+	onload := h.window.Get("onload")
+	if onload == nil {
+		return
+	}
+	if _, err := h.interp.CallValue(onload, h.window, nil); err != nil {
+		h.page.fail(err)
+	}
+}
+
+// settleTimers runs queued timers whose delay fits the browser's timer
+// budget, in delay order, allowing timers to queue more timers. A navigation
+// request stops the loop (the page is being left).
+func (h *scriptHost) settleTimers() {
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		if h.page.pending != nil || len(h.timers) == 0 {
+			return
+		}
+		sort.Slice(h.timers, func(i, j int) bool {
+			if h.timers[i].delay == h.timers[j].delay {
+				return h.timers[i].seq < h.timers[j].seq
+			}
+			return h.timers[i].delay < h.timers[j].delay
+		})
+		t := h.timers[0]
+		h.timers = h.timers[1:]
+		if t.delay > h.page.browser.cfg.TimerBudget {
+			// This and all later timers exceed the budget: the visitor
+			// leaves before they fire.
+			h.timers = nil
+			return
+		}
+		if _, err := h.interp.CallValue(t.fn, nil, nil); err != nil {
+			h.page.fail(err)
+			return
+		}
+	}
+}
+
+// windowObject builds the window binding with a live location object.
+func (h *scriptHost) windowObject(doc *scriptlet.Object) *scriptlet.Object {
+	win := scriptlet.NewObject()
+	win.Class = "Window"
+	loc := scriptlet.NewObject()
+	loc.Class = "Location"
+	loc.Set("href", h.page.URL.String())
+	loc.Setter = func(key string, v scriptlet.Value) bool {
+		if key == "href" {
+			h.requestNavigation("GET", scriptlet.ToString(v), nil)
+		}
+		loc.Props[key] = v
+		return true
+	}
+	win.Set("location", loc)
+	win.Set("document", doc)
+	return win
+}
+
+func (h *scriptHost) requestNavigation(method, href string, fields url.Values) {
+	u, err := h.page.Resolve(href)
+	if err != nil {
+		h.page.fail(err)
+		return
+	}
+	if h.page.pending == nil {
+		h.page.pending = &navigation{method: method, action: u, fields: fields}
+	}
+}
+
+// documentObject builds the document binding.
+func (h *scriptHost) documentObject() *scriptlet.Object {
+	doc := scriptlet.NewObject()
+	doc.Class = "Document"
+	doc.Set("getElementById", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		if len(args) == 0 {
+			return scriptlet.NullValue, nil
+		}
+		n := h.page.DOM.ByID(scriptlet.ToString(args[0]))
+		if n == nil {
+			return scriptlet.NullValue, nil
+		}
+		return h.element(n), nil
+	}))
+	doc.Set("createElement", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		if len(args) == 0 {
+			return nil, fmt.Errorf("createElement: missing tag")
+		}
+		return h.element(htmlmini.NewElement(scriptlet.ToString(args[0]))), nil
+	}))
+	doc.Set("getElementsByTagName", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		if len(args) == 0 {
+			return scriptlet.NewArray(), nil
+		}
+		return h.elementArray(h.page.DOM.Find(scriptlet.ToString(args[0]))), nil
+	}))
+	doc.Set("body", h.element(h.page.DOM.Body()))
+	doc.Getter = func(key string) (scriptlet.Value, bool) {
+		switch key {
+		case "title":
+			return h.page.DOM.Title(), true
+		case "body":
+			return h.element(h.page.DOM.Body()), true
+		case "forms":
+			return h.elementArray(h.page.DOM.Find("form")), true
+		}
+		return nil, false
+	}
+	doc.Setter = func(key string, v scriptlet.Value) bool {
+		if key == "title" {
+			t := h.page.DOM.First("title")
+			if t == nil {
+				// Browsers create the element on assignment.
+				t = htmlmini.NewElement("title")
+				parent := h.page.DOM.First("head")
+				if parent == nil {
+					parent = h.page.DOM.Body()
+				}
+				parent.AppendChild(t)
+			}
+			t.Children = []*htmlmini.Node{htmlmini.NewText(scriptlet.ToString(v))}
+			return true
+		}
+		return false
+	}
+	return doc
+}
+
+// elementArray wraps a node list as a script array of element wrappers.
+func (h *scriptHost) elementArray(nodes []*htmlmini.Node) *scriptlet.Object {
+	elems := make([]scriptlet.Value, len(nodes))
+	for i, n := range nodes {
+		elems[i] = h.element(n)
+	}
+	return scriptlet.NewArray(elems...)
+}
+
+// element returns the (cached) script wrapper for a DOM node.
+func (h *scriptHost) element(n *htmlmini.Node) *scriptlet.Object {
+	if el, ok := h.elements[n]; ok {
+		return el
+	}
+	el := scriptlet.NewObject()
+	el.Class = "Element"
+	h.elements[n] = el
+
+	el.Set("getAttribute", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		if len(args) == 0 {
+			return scriptlet.NullValue, nil
+		}
+		if v, ok := n.Attr(scriptlet.ToString(args[0])); ok {
+			return v, nil
+		}
+		return scriptlet.NullValue, nil
+	}))
+	el.Set("setAttribute", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("setAttribute: need name and value")
+		}
+		n.SetAttr(scriptlet.ToString(args[0]), scriptlet.ToString(args[1]))
+		return nil, nil
+	}))
+	el.Set("appendChild", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		if len(args) == 0 {
+			return nil, fmt.Errorf("appendChild: missing child")
+		}
+		childObj, ok := args[0].(*scriptlet.Object)
+		if !ok {
+			return nil, fmt.Errorf("appendChild: not an element")
+		}
+		child := h.nodeFor(childObj)
+		if child == nil {
+			return nil, fmt.Errorf("appendChild: foreign object")
+		}
+		n.AppendChild(child)
+		return args[0], nil
+	}))
+	el.Set("submit", scriptlet.NativeFunc(func(_ scriptlet.Value, _ []scriptlet.Value) (scriptlet.Value, error) {
+		if n.Tag != "form" {
+			return nil, fmt.Errorf("submit: not a form")
+		}
+		h.submitFormNode(n)
+		return nil, nil
+	}))
+	el.Getter = func(key string) (scriptlet.Value, bool) {
+		switch key {
+		case "value":
+			return n.AttrOr("value", ""), true
+		case "id":
+			return n.AttrOr("id", ""), true
+		case "name":
+			return n.AttrOr("name", ""), true
+		case "tagName":
+			return strings.ToUpper(n.Tag), true
+		case "innerHTML":
+			var b strings.Builder
+			for _, c := range n.Children {
+				io.WriteString(&b, c.Render())
+			}
+			return b.String(), true
+		case "innerText", "textContent":
+			return n.Text(), true
+		case "style":
+			return h.styleObject(), true
+		}
+		return nil, false
+	}
+	el.Setter = func(key string, v scriptlet.Value) bool {
+		switch key {
+		case "value", "id", "name", "type", "method", "action":
+			n.SetAttr(key, scriptlet.ToString(v))
+			return true
+		case "innerHTML":
+			frag := htmlmini.Parse(scriptlet.ToString(v))
+			n.Children = nil
+			for _, c := range frag.Children {
+				n.AppendChild(c)
+			}
+			return true
+		case "innerText", "textContent":
+			n.Children = []*htmlmini.Node{htmlmini.NewText(scriptlet.ToString(v))}
+			return true
+		case "onclick", "onsubmit":
+			el.Props[key] = v
+			return true
+		}
+		return false
+	}
+	return el
+}
+
+// styleObject is a permissive sink for style assignments.
+func (h *scriptHost) styleObject() *scriptlet.Object {
+	s := scriptlet.NewObject()
+	s.Class = "CSSStyleDeclaration"
+	s.Setter = func(key string, v scriptlet.Value) bool { s.Props[key] = v; return true }
+	return s
+}
+
+// nodeFor reverse-maps a wrapper to its DOM node.
+func (h *scriptHost) nodeFor(obj *scriptlet.Object) *htmlmini.Node {
+	for n, o := range h.elements {
+		if o == obj {
+			return n
+		}
+	}
+	return nil
+}
+
+// submitFormNode converts a form node into a pending navigation, like a real
+// programmatic form.submit().
+func (h *scriptHost) submitFormNode(n *htmlmini.Node) {
+	fields := url.Values{}
+	for _, input := range n.Find("input") {
+		if name, ok := input.Attr("name"); ok && name != "" {
+			fields.Set(name, input.AttrOr("value", ""))
+		}
+	}
+	method := strings.ToUpper(n.AttrOr("method", "GET"))
+	action := n.AttrOr("action", "")
+	if action == "" {
+		action = h.page.URL.String()
+	}
+	h.page.browser.tracef(EventSubmit, "script %s %s (%d fields)", method, action, len(fields))
+	h.requestNavigation(method, action, fields)
+}
+
+// solveCaptcha emulates a human working a reCAPTCHA v2 checkbox: it finds the
+// widget, fetches a response token from the CAPTCHA service's challenge
+// endpoint, and invokes the widget's data-callback with the token — which on
+// the paper's phishing pages dynamically builds and submits the gated form.
+func (h *scriptHost) solveCaptcha() {
+	widget := h.findWidget()
+	if widget == nil {
+		return
+	}
+	sitekey := widget.AttrOr("data-sitekey", "")
+	endpoint := widget.AttrOr("data-endpoint", "")
+	callback := widget.AttrOr("data-callback", "")
+	if sitekey == "" || endpoint == "" || callback == "" {
+		return
+	}
+	solveURL, err := h.page.Resolve(endpoint)
+	if err != nil {
+		h.page.fail(err)
+		return
+	}
+	q := solveURL.Query()
+	q.Set("sitekey", sitekey)
+	solveURL.RawQuery = q.Encode()
+	resp, err := h.page.browser.client.Get(solveURL.String())
+	if err != nil {
+		h.page.fail(fmt.Errorf("browser: captcha challenge: %w", err))
+		return
+	}
+	tokenBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		h.page.fail(fmt.Errorf("browser: captcha challenge failed: status %d", resp.StatusCode))
+		return
+	}
+	token := strings.TrimSpace(string(tokenBytes))
+	h.page.browser.tracef(EventSolve, "sitekey %s", sitekey)
+
+	cb, ok := h.interp.Globals.Lookup(callback)
+	if !ok {
+		h.page.fail(fmt.Errorf("browser: captcha callback %q not defined", callback))
+		return
+	}
+	if _, err := h.interp.CallValue(cb, nil, []scriptlet.Value{token}); err != nil {
+		h.page.fail(err)
+	}
+}
+
+func (h *scriptHost) findWidget() *htmlmini.Node {
+	var widget *htmlmini.Node
+	h.page.DOM.Walk(func(n *htmlmini.Node) bool {
+		if n.Type == htmlmini.ElementNode {
+			if cls, ok := n.Attr("class"); ok && strings.Contains(cls, "g-recaptcha") {
+				widget = n
+				return false
+			}
+		}
+		return true
+	})
+	return widget
+}

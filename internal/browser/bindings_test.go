@@ -1,0 +1,212 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simnet"
+)
+
+// bindings_test covers the DOM-binding edge cases the main browser tests
+// don't reach.
+
+func open(t *testing.T, html string, cfg Config) *Page {
+	t.Helper()
+	net := simnet.New(nil)
+	net.Register("bind.example", serve(html))
+	cfg.ExecuteScripts = true
+	if cfg.TimerBudget == 0 {
+		cfg.TimerBudget = time.Minute
+	}
+	b := New(net, cfg)
+	p, err := b.Open("http://bind.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGetElementByIdMissingIsNull(t *testing.T) {
+	p := open(t, `<html><body><div id="out"></div><script>
+var el = document.getElementById('nope');
+document.getElementById('out').innerText = (el === null) ? 'null' : 'found';
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "null" {
+		t.Fatalf("missing element lookup = %q, want null", got)
+	}
+}
+
+func TestGetAttributeAndTagName(t *testing.T) {
+	p := open(t, `<html><body><input id="f" name="user" type="email"><div id="out"></div><script>
+var el = document.getElementById('f');
+document.getElementById('out').innerText = el.tagName + ':' + el.getAttribute('type') + ':' + (el.getAttribute('missing') === null);
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "INPUT:email:true" {
+		t.Fatalf("attribute access = %q", got)
+	}
+}
+
+func TestValuePropertyReadsAndWrites(t *testing.T) {
+	p := open(t, `<html><body><input id="f" value="before"><div id="out"></div><script>
+var el = document.getElementById('f');
+var was = el.value;
+el.value = 'after';
+document.getElementById('out').innerText = was + '/' + el.value;
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "before/after" {
+		t.Fatalf("value property = %q", got)
+	}
+}
+
+func TestInnerHTMLParsesFragment(t *testing.T) {
+	p := open(t, `<html><body><div id="box"></div><script>
+document.getElementById('box').innerHTML = '<form method="post"><input name="x" value="1"></form>';
+</script></body></html>`, Config{})
+	forms := p.Forms()
+	if len(forms) != 1 || forms[0].Fields["x"] != "1" {
+		t.Fatalf("innerHTML fragment not reflected in DOM: %+v", forms)
+	}
+}
+
+func TestInnerHTMLReadRendersChildren(t *testing.T) {
+	p := open(t, `<html><body><div id="box"><b>bold</b></div><div id="out"></div><script>
+document.getElementById('out').innerText = document.getElementById('box').innerHTML;
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); !strings.Contains(got, "<b>bold</b>") {
+		t.Fatalf("innerHTML read = %q", got)
+	}
+}
+
+func TestStyleAssignmentsAreSinked(t *testing.T) {
+	p := open(t, `<html><body><div id="x">visible</div><script>
+var el = document.getElementById('x');
+el.style.display = 'none';
+el.style.filter = 'blur(8px)';
+</script></body></html>`, Config{})
+	if p.ScriptErr != nil {
+		t.Fatalf("style writes must not error: %v", p.ScriptErr)
+	}
+}
+
+func TestElementIdentityCached(t *testing.T) {
+	p := open(t, `<html><body><div id="x"></div><div id="out"></div><script>
+var a = document.getElementById('x');
+var b = document.getElementById('x');
+document.getElementById('out').innerText = (a === b) ? 'same' : 'different';
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "same" {
+		t.Fatalf("element identity = %q, want cached wrapper", got)
+	}
+}
+
+func TestDocumentTitleReadWrite(t *testing.T) {
+	p := open(t, `<html><head><title>old</title></head><body><div id="out"></div><script>
+var was = document.title;
+document.title = 'new';
+document.getElementById('out').innerText = was;
+</script></body></html>`, Config{})
+	if p.Title() != "new" {
+		t.Fatalf("title = %q, want new", p.Title())
+	}
+	if got := strings.TrimSpace(p.Text()); got != "old" {
+		t.Fatalf("old title read = %q", got)
+	}
+}
+
+func TestSubmitNonFormElementErrors(t *testing.T) {
+	p := open(t, `<html><body><div id="d"></div><script>
+document.getElementById('d').submit();
+</script></body></html>`, Config{})
+	if p.ScriptErr == nil {
+		t.Fatal("submitting a non-form must raise a script error")
+	}
+}
+
+func TestAlertRecordedUnderConfirmPolicy(t *testing.T) {
+	p := open(t, `<html><body><script>alert('heads up'); document.title='survived';</script></body></html>`,
+		Config{AlertPolicy: AlertConfirm})
+	if p.Title() != "survived" {
+		t.Fatal("alert under confirm policy must not halt the script")
+	}
+	if len(p.Dialogs) != 1 || p.Dialogs[0] != "heads up" {
+		t.Fatalf("Dialogs = %v", p.Dialogs)
+	}
+}
+
+func TestAlertHaltsUnderIgnorePolicy(t *testing.T) {
+	p := open(t, `<html><body><script>alert('wall'); document.title='unreached';</script></body></html>`,
+		Config{AlertPolicy: AlertIgnore})
+	if p.Title() == "unreached" {
+		t.Fatal("alert under ignore policy must halt the script")
+	}
+	if p.ScriptErr == nil {
+		t.Fatal("ScriptErr expected")
+	}
+}
+
+func TestCaptchaWidgetIncompleteAttributesIgnored(t *testing.T) {
+	// A widget missing its endpoint cannot be solved; the page must settle
+	// without error instead of crashing the solver.
+	p := open(t, `<html><body>
+<div class="g-recaptcha" data-sitekey="k"></div>
+<script>function capback(t){}</script></body></html>`,
+		Config{CanSolveCAPTCHA: true, AlertPolicy: AlertConfirm})
+	if p.ScriptErr != nil {
+		t.Fatalf("incomplete widget should be ignored: %v", p.ScriptErr)
+	}
+}
+
+func TestCaptchaCallbackUndefinedFails(t *testing.T) {
+	net := simnet.New(nil)
+	net.Register("svc.example", serve("tok"))
+	net.Register("bind.example", serve(`<html><body>
+<div class="g-recaptcha" data-sitekey="k" data-callback="missingFn" data-endpoint="http://svc.example/"></div>
+</body></html>`))
+	b := New(net, Config{ExecuteScripts: true, CanSolveCAPTCHA: true, TimerBudget: time.Minute})
+	p, err := b.Open("http://bind.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScriptErr == nil || !strings.Contains(p.ScriptErr.Error(), "missingFn") {
+		t.Fatalf("undefined callback should surface: %v", p.ScriptErr)
+	}
+}
+
+func TestLocationHrefReadable(t *testing.T) {
+	p := open(t, `<html><body><div id="out"></div><script>
+document.getElementById('out').innerText = window.location.href;
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "http://bind.example/" {
+		t.Fatalf("location.href = %q", got)
+	}
+}
+
+func TestDocumentFormsCollection(t *testing.T) {
+	p := open(t, `<html><body>
+<form id="a" method="post"><input name="x"></form>
+<form id="b"><input name="y"></form>
+<div id="out"></div>
+<script>
+var forms = document.forms;
+document.getElementById('out').innerText = forms.length + ':' + forms[0].id + ':' + forms[1].id;
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "2:a:b" {
+		t.Fatalf("document.forms = %q", got)
+	}
+}
+
+func TestGetElementsByTagNameIteration(t *testing.T) {
+	p := open(t, `<html><body>
+<input name="one"><input name="two"><input name="three">
+<div id="out"></div>
+<script>
+var inputs = document.getElementsByTagName('input');
+var names = [];
+for (var i = 0; i < inputs.length; i++) { names.push(inputs[i].name); }
+document.getElementById('out').innerText = names.join(',');
+</script></body></html>`, Config{})
+	if got := strings.TrimSpace(p.Text()); got != "one,two,three" {
+		t.Fatalf("getElementsByTagName = %q", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package browser provides browser emulation on top of the simulated
+// network, the mini DOM, and the scriptlet interpreter.
+//
+// Anti-phishing crawlers differ in how much of a browser they implement —
+// whether they execute JavaScript, whether they can interact with modal
+// alert/confirm dialogs, how long they wait for timers, whether they submit
+// forms. Those capability differences are exactly what the paper measures,
+// so they are first-class configuration here (Config). A human visitor is
+// the same machinery with the most permissive settings plus the ability to
+// solve CAPTCHAs.
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/simnet"
+)
+
+// AlertPolicy controls how the browser answers modal alert/confirm dialogs.
+type AlertPolicy int
+
+// Alert policies.
+const (
+	// AlertIgnore cannot interact with dialogs: script execution aborts at
+	// the first alert/confirm, like an emulator with no dialog support. The
+	// paper's log analysis shows most engines never got past the alert box.
+	AlertIgnore AlertPolicy = iota
+	// AlertConfirm answers dialogs affirmatively (GSB's observed behaviour).
+	AlertConfirm
+	// AlertDismiss cancels dialogs.
+	AlertDismiss
+)
+
+func (p AlertPolicy) String() string {
+	switch p {
+	case AlertIgnore:
+		return "ignore"
+	case AlertConfirm:
+		return "confirm"
+	case AlertDismiss:
+		return "dismiss"
+	default:
+		return fmt.Sprintf("AlertPolicy(%d)", int(p))
+	}
+}
+
+// ErrDialogUnhandled aborts script execution under AlertIgnore.
+var ErrDialogUnhandled = errors.New("browser: modal dialog not handled")
+
+// Config is a browser capability profile.
+type Config struct {
+	UserAgent      string
+	SourceIP       string
+	ExecuteScripts bool
+	AlertPolicy    AlertPolicy
+	// TimerBudget bounds which setTimeout callbacks fire during Settle: only
+	// timers with delays at or below the budget run. Crawlers wait seconds;
+	// humans effectively wait forever.
+	TimerBudget time.Duration
+	// MaxNavigations bounds script- or redirect-driven navigation chains.
+	MaxNavigations int
+	// CanSolveCAPTCHA marks human visitors; the CAPTCHA widget binding
+	// consults it. No anti-phishing engine sets it.
+	CanSolveCAPTCHA bool
+}
+
+// EventKind labels trace events.
+type EventKind string
+
+// Trace event kinds.
+const (
+	EventFetch   EventKind = "fetch"
+	EventAlert   EventKind = "alert"
+	EventConfirm EventKind = "confirm"
+	EventSubmit  EventKind = "submit"
+	EventScript  EventKind = "script-error"
+	EventSolve   EventKind = "captcha-solve"
+)
+
+// Event is one trace entry.
+type Event struct {
+	Kind   EventKind
+	Detail string
+}
+
+// Browser is a stateful emulated browser (cookies persist across pages).
+type Browser struct {
+	cfg    Config
+	client *http.Client
+	trace  []Event
+}
+
+// New returns a browser riding the given virtual internet.
+func New(net *simnet.Internet, cfg Config) *Browser {
+	if cfg.MaxNavigations <= 0 {
+		cfg.MaxNavigations = 8
+	}
+	if cfg.UserAgent == "" {
+		cfg.UserAgent = "Mozilla/5.0 (X11; Linux x86_64) SimBrowser/1.0"
+	}
+	if cfg.SourceIP == "" {
+		cfg.SourceIP = "192.0.2.50"
+	}
+	jar, _ := cookiejar.New(nil)
+	return &Browser{
+		cfg: cfg,
+		client: &http.Client{
+			Transport: &simnet.Transport{Net: net, SourceIP: cfg.SourceIP},
+			Jar:       jar,
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				if len(via) >= 10 {
+					return errors.New("browser: too many redirects")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// Config returns the browser's capability profile.
+func (b *Browser) Config() Config { return b.cfg }
+
+// Trace returns a copy of the event trace so far.
+func (b *Browser) Trace() []Event {
+	out := make([]Event, len(b.trace))
+	copy(out, b.trace)
+	return out
+}
+
+func (b *Browser) tracef(kind EventKind, format string, args ...any) {
+	b.trace = append(b.trace, Event{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Page is one rendered document.
+type Page struct {
+	URL     *url.URL
+	Status  int
+	RawHTML string
+	DOM     *htmlmini.Node
+	// Dialogs lists alert/confirm messages the page showed.
+	Dialogs []string
+	// ScriptErr is the first script execution failure, if any (including
+	// ErrDialogUnhandled under AlertIgnore).
+	ScriptErr error
+
+	browser *Browser
+	pending *navigation
+}
+
+type navigation struct {
+	method string
+	action *url.URL
+	fields url.Values
+}
+
+// Open fetches target, executes its scripts per the browser's capability
+// profile, follows any script-initiated navigation, and returns the final
+// settled page.
+func (b *Browser) Open(target string) (*Page, error) {
+	return b.navigate("GET", target, nil, nil)
+}
+
+// navigate performs one fetch plus the script-driven navigation loop.
+func (b *Browser) navigate(method, target string, form url.Values, referer *url.URL) (*Page, error) {
+	for hop := 0; hop < b.cfg.MaxNavigations; hop++ {
+		page, err := b.fetch(method, target, form, referer)
+		if err != nil {
+			return nil, err
+		}
+		if page.pending == nil {
+			return page, nil
+		}
+		nav := page.pending
+		page.pending = nil
+		method = nav.method
+		target = nav.action.String()
+		form = nav.fields
+		referer = page.URL
+	}
+	return nil, fmt.Errorf("browser: navigation limit (%d) exceeded at %s", b.cfg.MaxNavigations, target)
+}
+
+func (b *Browser) fetch(method, target string, form url.Values, referer *url.URL) (*Page, error) {
+	var req *http.Request
+	var err error
+	if method == "POST" {
+		req, err = http.NewRequest("POST", target, strings.NewReader(form.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		u := target
+		if len(form) > 0 {
+			sep := "?"
+			if strings.Contains(target, "?") {
+				sep = "&"
+			}
+			u = target + sep + form.Encode()
+		}
+		req, err = http.NewRequest("GET", u, nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("browser: building request for %s: %w", target, err)
+	}
+	req.Header.Set("User-Agent", b.cfg.UserAgent)
+	if referer != nil {
+		req.Header.Set("Referer", referer.String())
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("browser: reading %s: %w", target, err)
+	}
+	b.tracef(EventFetch, "%s %s -> %d", method, req.URL, resp.StatusCode)
+
+	finalURL := resp.Request.URL // after redirects
+	page := &Page{
+		URL:     finalURL,
+		Status:  resp.StatusCode,
+		RawHTML: string(body),
+		DOM:     htmlmini.Parse(string(body)),
+		browser: b,
+	}
+	if b.cfg.ExecuteScripts && strings.Contains(resp.Header.Get("Content-Type"), "text/html") {
+		page.runScripts()
+	}
+	return page, nil
+}
+
+// Forms returns the page's forms as currently present in the DOM (including
+// script-created ones).
+func (p *Page) Forms() []htmlmini.Form { return p.DOM.Forms() }
+
+// Links returns the page's anchor targets.
+func (p *Page) Links() []string { return p.DOM.Links() }
+
+// Text returns the visible text of the settled page.
+func (p *Page) Text() string { return p.DOM.Text() }
+
+// Title returns the document title.
+func (p *Page) Title() string { return p.DOM.Title() }
+
+// Resolve resolves href against the page URL.
+func (p *Page) Resolve(href string) (*url.URL, error) {
+	rel, err := url.Parse(href)
+	if err != nil {
+		return nil, fmt.Errorf("browser: bad href %q: %w", href, err)
+	}
+	return p.URL.ResolveReference(rel), nil
+}
+
+// Follow fetches the page behind href.
+func (p *Page) Follow(href string) (*Page, error) {
+	u, err := p.Resolve(href)
+	if err != nil {
+		return nil, err
+	}
+	return p.browser.navigate("GET", u.String(), nil, p.URL)
+}
+
+// Submit submits the given form with optional field overrides, returning the
+// resulting page. An empty form action posts back to the page's own URL, as
+// browsers do.
+func (p *Page) Submit(form htmlmini.Form, overrides map[string]string) (*Page, error) {
+	fields := url.Values{}
+	for k, v := range form.Fields {
+		fields.Set(k, v)
+	}
+	for k, v := range overrides {
+		fields.Set(k, v)
+	}
+	action := p.URL
+	if form.Action != "" {
+		var err error
+		action, err = p.Resolve(form.Action)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.browser.tracef(EventSubmit, "%s %s (%d fields)", form.Method, action, len(fields))
+	return p.browser.navigate(form.Method, action.String(), fields, p.URL)
+}

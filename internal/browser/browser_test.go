@@ -1,0 +1,433 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simnet"
+)
+
+func serve(html string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, html)
+	})
+}
+
+func newNet() *simnet.Internet { return simnet.New(nil) }
+
+func TestOpenPlainPage(t *testing.T) {
+	net := newNet()
+	net.Register("plain.example", serve(`<html><head><title>Hi</title></head>
+<body><a href="/next.php">next</a><form action="/f" method="post"><input name="q"></form></body></html>`))
+	b := New(net, Config{})
+	p, err := b.Open("http://plain.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Title() != "Hi" {
+		t.Fatalf("Title = %q", p.Title())
+	}
+	if links := p.Links(); len(links) != 1 || links[0] != "/next.php" {
+		t.Fatalf("Links = %v", links)
+	}
+	if forms := p.Forms(); len(forms) != 1 || forms[0].Method != "POST" {
+		t.Fatalf("Forms = %+v", forms)
+	}
+}
+
+func TestScriptsMutateDOM(t *testing.T) {
+	net := newNet()
+	net.Register("dyn.example", serve(`<html><head><title>before</title></head><body>
+<script>
+document.title = 'after';
+var form = document.createElement('form');
+form.setAttribute('method', 'post');
+var input = document.createElement('input');
+input.setAttribute('name', 'gresponse');
+input.setAttribute('value', 'tok');
+form.appendChild(input);
+document.body.appendChild(form);
+</script></body></html>`))
+	b := New(net, Config{ExecuteScripts: true})
+	p, err := b.Open("http://dyn.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScriptErr != nil {
+		t.Fatalf("script error: %v", p.ScriptErr)
+	}
+	if p.Title() != "after" {
+		t.Fatalf("Title = %q, want after", p.Title())
+	}
+	forms := p.Forms()
+	if len(forms) != 1 || forms[0].Fields["gresponse"] != "tok" {
+		t.Fatalf("dynamic form not visible: %+v", forms)
+	}
+}
+
+func TestScriptsSkippedWhenDisabled(t *testing.T) {
+	net := newNet()
+	net.Register("dyn.example", serve(`<html><head><title>before</title></head>
+<body><script>document.title = 'after';</script></body></html>`))
+	b := New(net, Config{ExecuteScripts: false})
+	p, err := b.Open("http://dyn.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Title() != "before" {
+		t.Fatalf("Title = %q, want before (no script execution)", p.Title())
+	}
+}
+
+const confirmPage = `<html><body>
+<div id="state">benign</div>
+<script>
+function gate() {
+  var ok = confirm('Please sign in to continue');
+  var el = document.getElementById('state');
+  if (ok) { el.innerText = 'confirmed'; } else { el.innerText = 'dismissed'; }
+}
+gate();
+</script></body></html>`
+
+func TestConfirmPolicies(t *testing.T) {
+	cases := []struct {
+		policy  AlertPolicy
+		want    string
+		wantErr bool
+	}{
+		{AlertConfirm, "confirmed", false},
+		{AlertDismiss, "dismissed", false},
+		{AlertIgnore, "benign", true},
+	}
+	for _, c := range cases {
+		net := newNet()
+		net.Register("gate.example", serve(confirmPage))
+		b := New(net, Config{ExecuteScripts: true, AlertPolicy: c.policy})
+		p, err := b.Open("http://gate.example/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(p.Text()); got != c.want {
+			t.Errorf("policy %v: state = %q, want %q", c.policy, got, c.want)
+		}
+		if c.wantErr != (p.ScriptErr != nil) {
+			t.Errorf("policy %v: ScriptErr = %v, wantErr=%v", c.policy, p.ScriptErr, c.wantErr)
+		}
+		if c.wantErr && !errors.Is(p.ScriptErr, ErrDialogUnhandled) {
+			t.Errorf("policy %v: ScriptErr = %v, want ErrDialogUnhandled", c.policy, p.ScriptErr)
+		}
+		if len(p.Dialogs) != 1 || !strings.Contains(p.Dialogs[0], "Please sign in") {
+			t.Errorf("policy %v: Dialogs = %v", c.policy, p.Dialogs)
+		}
+	}
+}
+
+func TestWindowOnloadFires(t *testing.T) {
+	net := newNet()
+	net.Register("load.example", serve(`<html><body><div id="x">no</div>
+<script>
+window.onload = function() { document.getElementById('x').innerText = 'loaded'; };
+</script></body></html>`))
+	b := New(net, Config{ExecuteScripts: true})
+	p, err := b.Open("http://load.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(p.Text()); got != "loaded" {
+		t.Fatalf("onload did not fire: text = %q", got)
+	}
+}
+
+func TestTimerBudget(t *testing.T) {
+	page := `<html><body><div id="x">pending</div>
+<script>
+setTimeout(function() { document.getElementById('x').innerText = 'fired'; }, 2000);
+</script></body></html>`
+	for _, c := range []struct {
+		budget time.Duration
+		want   string
+	}{
+		{5 * time.Second, "fired"},
+		{time.Second, "pending"},
+	} {
+		net := newNet()
+		net.Register("t.example", serve(page))
+		b := New(net, Config{ExecuteScripts: true, TimerBudget: c.budget})
+		p, err := b.Open("http://t.example/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(p.Text()); got != c.want {
+			t.Errorf("budget %v: text = %q, want %q", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestNestedTimersRunInOrder(t *testing.T) {
+	net := newNet()
+	net.Register("t.example", serve(`<html><body><div id="x"></div>
+<script>
+var el = document.getElementById('x');
+setTimeout(function() {
+  el.innerText = el.innerText + 'a';
+  setTimeout(function() { el.innerText = el.innerText + 'b'; }, 10);
+}, 10);
+setTimeout(function() { el.innerText = el.innerText + 'c'; }, 20);
+</script></body></html>`))
+	b := New(net, Config{ExecuteScripts: true, TimerBudget: time.Second})
+	p, err := b.Open("http://t.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(p.Text())
+	if got != "abc" && got != "acb" { // both are valid schedules for equal-delay ties
+		t.Fatalf("timer order = %q", got)
+	}
+}
+
+// postEcho serves a page whose POST handler reveals a secret.
+func postEcho() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if r.Method == "POST" {
+			r.ParseForm()
+			fmt.Fprintf(w, `<html><body><div id="payload">got:%s</div></body></html>`, r.PostFormValue("get_data"))
+			return
+		}
+		io.WriteString(w, `<html><body>
+<script>
+var f = document.createElement('form');
+f.setAttribute('method', 'post');
+var i = document.createElement('input');
+i.setAttribute('name', 'get_data');
+i.setAttribute('value', 'getData');
+f.appendChild(i);
+document.body.appendChild(f);
+f.submit();
+</script></body></html>`)
+	})
+}
+
+func TestScriptFormSubmitNavigates(t *testing.T) {
+	net := newNet()
+	net.Register("submit.example", postEcho())
+	b := New(net, Config{ExecuteScripts: true})
+	p, err := b.Open("http://submit.example/login.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Text(), "got:getData") {
+		t.Fatalf("script submit did not reach POST handler: %q", p.Text())
+	}
+	if p.URL.Path != "/login.php" {
+		t.Fatalf("post-back URL = %s, want same path", p.URL)
+	}
+}
+
+func TestManualSubmitWithOverrides(t *testing.T) {
+	net := newNet()
+	net.Register("form.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if r.Method == "POST" && r.URL.Path == "/session.php" {
+			r.ParseForm()
+			fmt.Fprintf(w, `<html><body>user=%s</body></html>`, r.PostFormValue("username"))
+			return
+		}
+		io.WriteString(w, `<html><body><form action="/session.php" method="post">
+<input name="username" value=""><input name="page" value="1"></form></body></html>`)
+	}))
+	b := New(net, Config{})
+	p, err := b.Open("http://form.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Submit(p.Forms()[0], map[string]string{"username": "probe@example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2.Text(), "user=probe@example.com") {
+		t.Fatalf("Submit result = %q", p2.Text())
+	}
+}
+
+func TestLocationAssignmentNavigates(t *testing.T) {
+	net := newNet()
+	net.Register("a.example", serve(`<html><body><script>window.location.href = 'http://b.example/dest';</script></body></html>`))
+	net.Register("b.example", serve(`<html><head><title>dest</title></head><body>arrived</body></html>`))
+	b := New(net, Config{ExecuteScripts: true})
+	p, err := b.Open("http://a.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Title() != "dest" || p.URL.Host != "b.example" {
+		t.Fatalf("location nav ended at %s (%q)", p.URL, p.Title())
+	}
+}
+
+func TestCookiesPersistAcrossRequests(t *testing.T) {
+	net := newNet()
+	net.Register("sess.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if c, err := r.Cookie("sid"); err == nil {
+			fmt.Fprintf(w, `<html><body>welcome back %s</body></html>`, c.Value)
+			return
+		}
+		http.SetCookie(w, &http.Cookie{Name: "sid", Value: "s123", Path: "/"})
+		io.WriteString(w, `<html><body>first visit</body></html>`)
+	}))
+	b := New(net, Config{})
+	p1, err := b.Open("http://sess.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p1.Text(), "first visit") {
+		t.Fatalf("first visit = %q", p1.Text())
+	}
+	p2, err := b.Open("http://sess.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2.Text(), "welcome back s123") {
+		t.Fatalf("second visit = %q (cookies not persisted)", p2.Text())
+	}
+}
+
+// captchaSite builds a two-state page: CAPTCHA widget on GET, payload on a
+// POST carrying the token issued by the challenge endpoint.
+func captchaSite(t *testing.T, net *simnet.Internet) {
+	t.Helper()
+	net.Register("captcha-svc.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/issue" {
+			io.WriteString(w, "tok-"+r.URL.Query().Get("sitekey"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	net.Register("phish.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if r.Method == "POST" {
+			r.ParseForm()
+			if r.PostFormValue("gresponse") == "tok-site1" {
+				io.WriteString(w, `<html><body><div id="payload">PHISHING PAYLOAD</div></body></html>`)
+				return
+			}
+		}
+		io.WriteString(w, `<html><body>
+<div class="g-recaptcha" data-sitekey="site1" data-callback="capback" data-endpoint="http://captcha-svc.example/issue"></div>
+<script>
+function capback(g_response) {
+  var f = document.createElement('form');
+  f.setAttribute('method', 'post');
+  var i = document.createElement('input');
+  i.setAttribute('name', 'gresponse');
+  i.setAttribute('value', g_response);
+  f.appendChild(i);
+  document.body.appendChild(f);
+  f.submit();
+}
+</script></body></html>`)
+	}))
+}
+
+func TestHumanSolvesCaptchaBotDoesNot(t *testing.T) {
+	net := newNet()
+	captchaSite(t, net)
+
+	human := New(net, Config{ExecuteScripts: true, AlertPolicy: AlertConfirm, CanSolveCAPTCHA: true, TimerBudget: time.Hour})
+	p, err := human.Open("http://phish.example/login.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Text(), "PHISHING PAYLOAD") {
+		t.Fatalf("human should reach payload, got %q", p.Text())
+	}
+	if p.URL.Path != "/login.php" {
+		t.Fatalf("CAPTCHA flow changed the URL to %s; the paper's technique keeps it identical", p.URL)
+	}
+
+	bot := New(net, Config{ExecuteScripts: true, AlertPolicy: AlertConfirm, CanSolveCAPTCHA: false})
+	pb, err := bot.Open("http://phish.example/login.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pb.Text(), "PHISHING PAYLOAD") {
+		t.Fatal("bot must not reach the CAPTCHA-gated payload")
+	}
+}
+
+func TestNavigationLimit(t *testing.T) {
+	net := newNet()
+	net.Register("loop.example", serve(`<html><body><script>window.location.href = '/again';</script></body></html>`))
+	b := New(net, Config{ExecuteScripts: true, MaxNavigations: 3})
+	if _, err := b.Open("http://loop.example/"); err == nil {
+		t.Fatal("infinite script navigation should hit the limit")
+	}
+}
+
+func TestTraceRecordsJourney(t *testing.T) {
+	net := newNet()
+	net.Register("gate.example", serve(confirmPage))
+	b := New(net, Config{ExecuteScripts: true, AlertPolicy: AlertConfirm})
+	if _, err := b.Open("http://gate.example/"); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []EventKind
+	for _, e := range b.Trace() {
+		kinds = append(kinds, e.Kind)
+	}
+	wantFetch, wantConfirm := false, false
+	for _, k := range kinds {
+		if k == EventFetch {
+			wantFetch = true
+		}
+		if k == EventConfirm {
+			wantConfirm = true
+		}
+	}
+	if !wantFetch || !wantConfirm {
+		t.Fatalf("trace kinds = %v, want fetch and confirm", kinds)
+	}
+}
+
+func TestFollowRelativeLink(t *testing.T) {
+	net := newNet()
+	net.Register("site.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		switch r.URL.Path {
+		case "/":
+			io.WriteString(w, `<html><body><a href="dir/page.php">go</a></body></html>`)
+		case "/dir/page.php":
+			io.WriteString(w, `<html><head><title>inner</title></head><body>inner</body></html>`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	b := New(net, Config{})
+	p, err := b.Open("http://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Follow(p.Links()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Title() != "inner" {
+		t.Fatalf("Follow landed on %q", p2.Title())
+	}
+}
+
+func TestAlertPolicyString(t *testing.T) {
+	if AlertIgnore.String() != "ignore" || AlertConfirm.String() != "confirm" || AlertDismiss.String() != "dismiss" {
+		t.Fatal("AlertPolicy strings wrong")
+	}
+	if !strings.Contains(AlertPolicy(9).String(), "9") {
+		t.Fatal("unknown policy string")
+	}
+}

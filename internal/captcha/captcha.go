@@ -1,0 +1,179 @@
+// Package captcha simulates the Google reCAPTCHA v2 checkbox service.
+//
+// Three parties interact with it, as in the real protocol:
+//
+//   - the phishing page embeds a widget (WidgetHTML) keyed by a site key;
+//   - a *human* visitor solves the challenge — in this simulation the
+//     browser's CanSolveCAPTCHA capability fetches a response token from the
+//     service's /issue endpoint — and the widget's callback receives the
+//     token;
+//   - the phishing *server* verifies the posted token against /siteverify
+//     with its secret key before revealing the payload (Listing 1).
+//
+// Tokens are single-use and expire after two minutes, like the real thing.
+// No anti-phishing bot can mint a token, which is precisely why the paper
+// found reCAPTCHA to be the most effective evasion technique.
+package captcha
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// TokenTTL is the validity window of an issued response token.
+const TokenTTL = 2 * time.Minute
+
+// Service is the CAPTCHA provider.
+type Service struct {
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	sites   map[string]string // sitekey -> secret
+	tokens  map[string]tokenInfo
+	counter int
+	issued  int64
+	checks  int64
+}
+
+type tokenInfo struct {
+	sitekey string
+	expires time.Time
+	used    bool
+}
+
+// NewService returns an empty CAPTCHA service on the given clock
+// (simclock.Real when nil).
+func NewService(clock simclock.Clock) *Service {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &Service{
+		clock:  clock,
+		sites:  make(map[string]string),
+		tokens: make(map[string]tokenInfo),
+	}
+}
+
+// RegisterSite provisions a new site, returning its site key and secret.
+func (s *Service) RegisterSite() (sitekey, secret string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter++
+	sitekey = fmt.Sprintf("6Lsim-%06d", s.counter)
+	secret = fmt.Sprintf("6Lsec-%06d", s.counter)
+	s.sites[sitekey] = secret
+	return sitekey, secret
+}
+
+// Issue mints a response token for sitekey — the outcome of a human solving
+// the checkbox. Unknown site keys fail.
+func (s *Service) Issue(sitekey string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sites[sitekey]; !ok {
+		return "", fmt.Errorf("captcha: unknown sitekey %q", sitekey)
+	}
+	s.issued++
+	token := fmt.Sprintf("03A-%s-%d", sitekey, s.issued)
+	s.tokens[token] = tokenInfo{sitekey: sitekey, expires: s.clock.Now().Add(TokenTTL)}
+	return token, nil
+}
+
+// Verify checks a response token against the site secret: the server side of
+// /siteverify. Tokens are consumed on first use.
+func (s *Service) Verify(secret, token string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checks++
+	info, ok := s.tokens[token]
+	if !ok || info.used {
+		return false
+	}
+	if s.sites[info.sitekey] != secret {
+		return false
+	}
+	if s.clock.Now().After(info.expires) {
+		return false
+	}
+	info.used = true
+	s.tokens[token] = info
+	return true
+}
+
+// Stats reports issued-token and verification counts.
+func (s *Service) Stats() (issued, verifications int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.issued, s.checks
+}
+
+// Handler serves the provider's HTTP API:
+//
+//	GET  /issue?sitekey=K          -> token text (human challenge completion)
+//	POST /siteverify secret,response -> JSON {"success": bool}
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/issue", func(w http.ResponseWriter, r *http.Request) {
+		token, err := s.Issue(r.URL.Query().Get("sitekey"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		io.WriteString(w, token)
+	})
+	mux.HandleFunc("/siteverify", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ok := s.Verify(r.PostFormValue("secret"), r.PostFormValue("response"))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]bool{"success": ok})
+	})
+	return mux
+}
+
+// WidgetHTML renders the checkbox widget for embedding in a page. host is
+// the service's virtual hostname; callback is the page's JS function that
+// receives the response token.
+func WidgetHTML(host, sitekey, callback string) string {
+	return fmt.Sprintf(
+		`<div class="g-recaptcha" data-sitekey=%q data-callback=%q data-endpoint=%q></div>`,
+		sitekey, callback, "http://"+host+"/issue")
+}
+
+// Client verifies tokens over HTTP against a Service mounted on a virtual
+// host — the way the PHP kit in Listing 1 calls the siteverify API.
+type Client struct {
+	HTTP    *http.Client
+	BaseURL string // e.g. "http://captcha-svc.example"
+	Secret  string
+}
+
+// Verify posts the token to /siteverify and reports success.
+func (c *Client) Verify(token string) bool {
+	resp, err := c.HTTP.PostForm(strings.TrimSuffix(c.BaseURL, "/")+"/siteverify",
+		map[string][]string{"secret": {c.Secret}, "response": {token}})
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Success bool `json:"success"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false
+	}
+	return out.Success
+}

@@ -1,0 +1,137 @@
+package captcha
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+func TestIssueAndVerify(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	s := NewService(clock)
+	sitekey, secret := s.RegisterSite()
+	token, err := s.Issue(sitekey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Verify(secret, token) {
+		t.Fatal("fresh token should verify")
+	}
+}
+
+func TestTokenSingleUse(t *testing.T) {
+	s := NewService(simclock.New(simclock.Epoch))
+	sitekey, secret := s.RegisterSite()
+	token, _ := s.Issue(sitekey)
+	s.Verify(secret, token)
+	if s.Verify(secret, token) {
+		t.Fatal("token must be single-use")
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	s := NewService(clock)
+	sitekey, secret := s.RegisterSite()
+	token, _ := s.Issue(sitekey)
+	clock.Advance(TokenTTL + time.Second)
+	if s.Verify(secret, token) {
+		t.Fatal("expired token must fail")
+	}
+}
+
+func TestWrongSecretFails(t *testing.T) {
+	s := NewService(nil)
+	sitekey, _ := s.RegisterSite()
+	_, otherSecret := s.RegisterSite()
+	token, _ := s.Issue(sitekey)
+	if s.Verify(otherSecret, token) {
+		t.Fatal("token must be bound to its site's secret")
+	}
+}
+
+func TestUnknownSitekeyCannotIssue(t *testing.T) {
+	s := NewService(nil)
+	if _, err := s.Issue("nope"); err == nil {
+		t.Fatal("unknown sitekey should not issue tokens")
+	}
+}
+
+func TestGarbageTokenFails(t *testing.T) {
+	s := NewService(nil)
+	_, secret := s.RegisterSite()
+	if s.Verify(secret, "03A-forged-999") {
+		t.Fatal("forged token must fail")
+	}
+}
+
+func TestHTTPAPIEndToEnd(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	svc := NewService(clock)
+	sitekey, secret := svc.RegisterSite()
+
+	net := simnet.New(nil)
+	net.Register("captcha-svc.example", svc.Handler())
+	client := simnet.NewClient(net, "198.51.100.1")
+
+	// Human side: complete the challenge.
+	resp, err := client.Get("http://captcha-svc.example/issue?sitekey=" + sitekey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	token := strings.TrimSpace(string(buf[:n]))
+	if token == "" {
+		t.Fatal("no token issued over HTTP")
+	}
+
+	// Server side: verify via the HTTP client wrapper.
+	c := &Client{HTTP: client, BaseURL: "http://captcha-svc.example", Secret: secret}
+	if !c.Verify(token) {
+		t.Fatal("HTTP siteverify should succeed for a fresh token")
+	}
+	if c.Verify(token) {
+		t.Fatal("HTTP siteverify must consume the token")
+	}
+}
+
+func TestHTTPIssueBadSitekey(t *testing.T) {
+	svc := NewService(nil)
+	net := simnet.New(nil)
+	net.Register("captcha-svc.example", svc.Handler())
+	client := simnet.NewClient(net, "198.51.100.1")
+	resp, err := client.Get("http://captcha-svc.example/issue?sitekey=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("issue with bad sitekey = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWidgetHTMLShape(t *testing.T) {
+	html := WidgetHTML("captcha-svc.example", "6Lsim-000001", "capback")
+	for _, want := range []string{"g-recaptcha", "data-sitekey", "6Lsim-000001", "data-callback", "capback", "http://captcha-svc.example/issue"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("widget missing %q: %s", want, html)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewService(nil)
+	sitekey, secret := s.RegisterSite()
+	tok, _ := s.Issue(sitekey)
+	s.Verify(secret, tok)
+	s.Verify(secret, "junk")
+	issued, checks := s.Stats()
+	if issued != 1 || checks != 2 {
+		t.Fatalf("Stats = %d,%d; want 1,2", issued, checks)
+	}
+}

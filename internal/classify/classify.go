@@ -1,0 +1,209 @@
+// Package classify is the phishing-content classifier anti-phishing engines
+// run over fetched pages.
+//
+// It models the two classifier families the paper's results imply:
+//
+//   - fingerprint classifiers match bundled brand resources (logos,
+//     favicons, web beacons — Section 3 notes these "play an important role
+//     for anti-phishing companies to track and detect phishing attacks")
+//     against the brand's official bytes. They catch *cloned* kits, whose
+//     resources are byte-identical, and miss *from-scratch* pages.
+//
+//   - content classifiers additionally weigh brand keywords, page titles,
+//     and login-form structure, so they also catch scratch-built lookalikes.
+//     Only GSB and NetCraft detected the paper's scratch-built Gmail kit.
+//
+// A page is phishing evidence only when it impersonates a brand *off* the
+// brand's official domain and asks for credentials.
+package classify
+
+import (
+	"strings"
+
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/phishkit"
+)
+
+// Power is a classifier family.
+type Power int
+
+// Classifier powers.
+const (
+	// PowerNone never flags anything (YSB's observed behaviour in the
+	// preliminary test).
+	PowerNone Power = iota
+	// PowerFingerprint needs an exact brand-resource match.
+	PowerFingerprint
+	// PowerContent flags on content signals too (GSB, NetCraft).
+	PowerContent
+)
+
+func (p Power) String() string {
+	switch p {
+	case PowerNone:
+		return "none"
+	case PowerFingerprint:
+		return "fingerprint"
+	case PowerContent:
+		return "content"
+	default:
+		return "unknown"
+	}
+}
+
+// Evidence is what examination of one page produced.
+type Evidence struct {
+	// Brand is the impersonated brand ("" if none matched).
+	Brand phishkit.Brand
+	// HasLoginForm is true when the page contains a password input.
+	HasLoginForm bool
+	// TitleMatch is true when the page title matches the brand's.
+	TitleMatch bool
+	// KeywordHits counts brand-name occurrences in visible text.
+	KeywordHits int
+	// ResourceMatch is true when a fetched logo/favicon is byte-identical to
+	// the brand's official resource.
+	ResourceMatch bool
+	// OffDomain is true when the serving host is not the brand's own.
+	OffDomain bool
+}
+
+// ResourceFetcher retrieves a page-relative resource (nil on failure). The
+// engine's crawler supplies one bound to its HTTP client.
+type ResourceFetcher func(path string) []byte
+
+// Examine inspects a rendered page for brand impersonation.
+func Examine(host string, dom *htmlmini.Node, fetch ResourceFetcher) Evidence {
+	ev := Evidence{HasLoginForm: hasPasswordInput(dom)}
+	title := strings.ToLower(dom.Title())
+	text := strings.ToLower(dom.Text())
+
+	best := Evidence{}
+	for _, brand := range phishkit.Brands() {
+		spec, _ := phishkit.SpecFor(brand)
+		cand := Evidence{Brand: brand, HasLoginForm: ev.HasLoginForm}
+		cand.TitleMatch = titleMatches(title, spec.Title)
+		cand.KeywordHits = strings.Count(text, strings.ToLower(string(brand)))
+		if brand == phishkit.Gmail {
+			// Scratch or not, Gmail pages say Google all over.
+			cand.KeywordHits += strings.Count(text, "google")
+		}
+		cand.OffDomain = !strings.HasSuffix(strings.ToLower(host), spec.OfficialDomain)
+		if fetch != nil {
+			for _, res := range pageResources(dom) {
+				data := fetch(res)
+				if data == nil {
+					continue
+				}
+				h := phishkit.HashBytes(data)
+				if h == phishkit.OfficialResourceHash(brand, "logo") ||
+					h == phishkit.OfficialResourceHash(brand, "favicon") {
+					cand.ResourceMatch = true
+					break
+				}
+			}
+		}
+		if score(cand) > score(best) {
+			best = cand
+		}
+	}
+	if best.Brand == "" {
+		return ev
+	}
+	return best
+}
+
+func score(ev Evidence) int {
+	s := 0
+	if ev.ResourceMatch {
+		s += 4
+	}
+	if ev.TitleMatch {
+		s += 2
+	}
+	s += min(ev.KeywordHits, 3)
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Verdict decides whether the evidence convicts the page as phishing under
+// the given classifier power.
+func Verdict(ev Evidence, power Power) bool {
+	if power == PowerNone {
+		return false
+	}
+	if ev.Brand == "" || !ev.HasLoginForm || !ev.OffDomain {
+		return false
+	}
+	if ev.ResourceMatch {
+		return true
+	}
+	if power == PowerContent {
+		return ev.TitleMatch || ev.KeywordHits >= 2
+	}
+	return false
+}
+
+func hasPasswordInput(dom *htmlmini.Node) bool {
+	for _, input := range dom.Find("input") {
+		if strings.EqualFold(input.AttrOr("type", ""), "password") {
+			return true
+		}
+	}
+	return false
+}
+
+// titleMatches checks significant-token overlap between page and brand
+// titles.
+func titleMatches(pageTitle, brandTitle string) bool {
+	if pageTitle == "" {
+		return false
+	}
+	brandTokens := tokens(strings.ToLower(brandTitle))
+	if len(brandTokens) == 0 {
+		return false
+	}
+	pageSet := map[string]bool{}
+	for _, t := range tokens(pageTitle) {
+		pageSet[t] = true
+	}
+	hit := 0
+	for _, t := range brandTokens {
+		if pageSet[t] {
+			hit++
+		}
+	}
+	return hit*2 >= len(brandTokens) // at least half the brand title's tokens
+}
+
+func tokens(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+}
+
+// pageResources lists candidate brand-resource paths referenced by the page:
+// image sources and icon links.
+func pageResources(dom *htmlmini.Node) []string {
+	var out []string
+	for _, img := range dom.Find("img") {
+		if src, ok := img.Attr("src"); ok {
+			out = append(out, src)
+		}
+	}
+	for _, link := range dom.Find("link") {
+		rel := strings.ToLower(link.AttrOr("rel", ""))
+		if strings.Contains(rel, "icon") {
+			if href, ok := link.Attr("href"); ok {
+				out = append(out, href)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package classify
+
+import (
+	"testing"
+
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/phishkit"
+)
+
+// kitFetcher serves a kit's bundled resources like the phishing host would.
+func kitFetcher(k *phishkit.Kit) ResourceFetcher {
+	return func(path string) []byte { return k.Resources[path] }
+}
+
+func examineKit(t *testing.T, brand phishkit.Brand, prov phishkit.Provenance, host string) Evidence {
+	t.Helper()
+	k, err := phishkit.GenerateWithProvenance(brand, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := htmlmini.Parse(k.LoginHTML)
+	return Examine(host, dom, kitFetcher(k))
+}
+
+func TestClonedPayPalEvidence(t *testing.T) {
+	ev := examineKit(t, phishkit.PayPal, phishkit.Cloned, "random-site.example")
+	if ev.Brand != phishkit.PayPal {
+		t.Fatalf("Brand = %q", ev.Brand)
+	}
+	if !ev.HasLoginForm || !ev.TitleMatch || !ev.ResourceMatch || !ev.OffDomain {
+		t.Fatalf("evidence = %+v, want all signals", ev)
+	}
+}
+
+func TestScratchGmailEvidenceLacksFingerprint(t *testing.T) {
+	ev := examineKit(t, phishkit.Gmail, phishkit.FromScratch, "random-site.example")
+	if ev.Brand != phishkit.Gmail {
+		t.Fatalf("Brand = %q", ev.Brand)
+	}
+	if ev.ResourceMatch {
+		t.Fatal("scratch-built kit must not fingerprint-match")
+	}
+	if !ev.TitleMatch && ev.KeywordHits < 2 {
+		t.Fatalf("scratch Gmail should still show content signals: %+v", ev)
+	}
+}
+
+func TestVerdictsByPower(t *testing.T) {
+	cloned := examineKit(t, phishkit.Facebook, phishkit.Cloned, "x.example")
+	scratch := examineKit(t, phishkit.Gmail, phishkit.FromScratch, "x.example")
+
+	// Cloned kits: caught by both classifier families.
+	if !Verdict(cloned, PowerFingerprint) || !Verdict(cloned, PowerContent) {
+		t.Fatal("cloned kit should convict under both powers")
+	}
+	// Scratch kits: only content classifiers convict — the paper's Gmail
+	// result (only GSB and NetCraft detected it).
+	if Verdict(scratch, PowerFingerprint) {
+		t.Fatal("fingerprint classifiers must miss scratch-built kits")
+	}
+	if !Verdict(scratch, PowerContent) {
+		t.Fatal("content classifiers should catch scratch-built kits")
+	}
+	// PowerNone convicts nothing, ever.
+	if Verdict(cloned, PowerNone) {
+		t.Fatal("PowerNone must never convict")
+	}
+}
+
+func TestOnDomainBrandIsNotPhishing(t *testing.T) {
+	ev := examineKit(t, phishkit.PayPal, phishkit.Cloned, "www.paypal.com")
+	if ev.OffDomain {
+		t.Fatal("official domain must not be off-domain")
+	}
+	if Verdict(ev, PowerContent) {
+		t.Fatal("the real PayPal login page is not phishing")
+	}
+}
+
+func TestBenignPageNoEvidence(t *testing.T) {
+	dom := htmlmini.Parse(`<html><head><title>Garden Tips</title></head>
+<body><h1>Ten tips for a better garden</h1><p>Water your plants.</p></body></html>`)
+	ev := Examine("garden.example", dom, nil)
+	if ev.HasLoginForm {
+		t.Fatal("no password input on benign page")
+	}
+	if Verdict(ev, PowerContent) {
+		t.Fatal("benign page must not convict")
+	}
+}
+
+func TestLoginFormWithoutBrandNotConvicted(t *testing.T) {
+	dom := htmlmini.Parse(`<html><head><title>Intranet Portal</title></head>
+<body><form action="/login" method="post"><input type="password" name="p"></form></body></html>`)
+	ev := Examine("intranet.example", dom, nil)
+	if !ev.HasLoginForm {
+		t.Fatal("password input should be detected")
+	}
+	if Verdict(ev, PowerContent) {
+		t.Fatal("a generic login form without brand impersonation is not phishing")
+	}
+}
+
+func TestNilFetcherDegradesGracefully(t *testing.T) {
+	k, _ := phishkit.Generate(phishkit.PayPal)
+	ev := Examine("x.example", htmlmini.Parse(k.LoginHTML), nil)
+	if ev.ResourceMatch {
+		t.Fatal("no fetcher means no fingerprint evidence")
+	}
+	// Content power still convicts via title/keywords.
+	if !Verdict(ev, PowerContent) {
+		t.Fatalf("content power should convict on title alone: %+v", ev)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	if PowerNone.String() != "none" || PowerFingerprint.String() != "fingerprint" || PowerContent.String() != "content" {
+		t.Fatal("power strings wrong")
+	}
+	if Power(42).String() != "unknown" {
+		t.Fatal("unknown power string")
+	}
+}
+
+func TestBenignSiteWithCaptchaGateStaysClean(t *testing.T) {
+	// The reCAPTCHA challenge page is what bots see: benign text, a widget,
+	// no form, no brand payload. It must never convict.
+	dom := htmlmini.Parse(`<html><head><title>Garden Tips</title></head><body>
+<h1>Welcome</h1><p>Please verify that you are human to continue.</p>
+<div class="g-recaptcha" data-sitekey="k"></div>
+<script>function capback(t){}</script></body></html>`)
+	ev := Examine("site.example", dom, nil)
+	if Verdict(ev, PowerContent) || Verdict(ev, PowerFingerprint) {
+		t.Fatal("CAPTCHA challenge page must classify benign")
+	}
+}

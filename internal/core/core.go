@@ -1,0 +1,240 @@
+// Package core is the paper's primary contribution: a semi-automated,
+// scalable framework for experimentally testing phishing evasion techniques
+// against anti-phishing engines (Section 3).
+//
+// The Framework orchestrates the full study — domain acquisition, website
+// and kit generation, evasion deployment, reporting, monitoring, and
+// analysis — over the simulated internet, and renders the paper's three
+// tables plus the headline claims with paper-vs-measured values.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/dropcatch"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+)
+
+// Framework runs the study.
+type Framework struct {
+	Cfg experiment.Config
+}
+
+// New returns a framework with the given configuration.
+func New(cfg experiment.Config) *Framework {
+	return &Framework{Cfg: cfg}
+}
+
+// Results aggregates all three experiments.
+type Results struct {
+	Table1 []experiment.Table1Row
+	Main   *experiment.MainResults
+	Table3 []experiment.Table3Row
+}
+
+// RunPreliminary runs the 24-hour naked-kit test (Table 1) in a fresh world.
+func (f *Framework) RunPreliminary() ([]experiment.Table1Row, error) {
+	return experiment.NewWorld(f.Cfg).RunPreliminary()
+}
+
+// RunMain runs the two-week main experiment (Table 2) in a fresh world.
+func (f *Framework) RunMain() (*experiment.MainResults, error) {
+	return experiment.NewWorld(f.Cfg).RunMain()
+}
+
+// RunExtensions runs the client-side extension study (Table 3) in a fresh
+// world.
+func (f *Framework) RunExtensions() ([]experiment.Table3Row, error) {
+	return experiment.NewWorld(f.Cfg).RunExtensions()
+}
+
+// RunAll runs the three experiments, each in its own isolated world (the
+// paper's stages were weeks apart on fresh domains).
+func (f *Framework) RunAll() (*Results, error) {
+	t1, err := f.RunPreliminary()
+	if err != nil {
+		return nil, fmt.Errorf("core: preliminary: %w", err)
+	}
+	main, err := f.RunMain()
+	if err != nil {
+		return nil, fmt.Errorf("core: main: %w", err)
+	}
+	t3, err := f.RunExtensions()
+	if err != nil {
+		return nil, fmt.Errorf("core: extensions: %w", err)
+	}
+	return &Results{Table1: t1, Main: main, Table3: t3}, nil
+}
+
+// Claim is one paper claim with the measured value.
+type Claim struct {
+	Name     string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// Claims derives the headline paper-vs-measured comparison from results.
+func (r *Results) Claims() []Claim {
+	var claims []Claim
+	add := func(name, paper, measured string, holds bool) {
+		claims = append(claims, Claim{Name: name, Paper: paper, Measured: measured, Holds: holds})
+	}
+
+	if r.Main != nil {
+		add("total detections (main)", "8/105",
+			fmt.Sprintf("%d/%d", r.Main.TotalDetected, r.Main.TotalURLs),
+			r.Main.TotalDetected == 8 && r.Main.TotalURLs == 105)
+
+		gsbAlert := cellSum(r.Main, engines.GSB, evasion.AlertBox)
+		add("GSB detects all alert-box URLs", "6/6", gsbAlert.String(), gsbAlert.Detected == 6 && gsbAlert.Total == 6)
+
+		ncSession := cellSum(r.Main, engines.NetCraft, evasion.SessionBased)
+		add("NetCraft detects 2 of 6 session URLs", "2/6", ncSession.String(), ncSession.Detected == 2 && ncSession.Total == 6)
+
+		recaptcha := experiment.Cell{}
+		for _, key := range engines.MainExperimentKeys() {
+			c := cellSum(r.Main, key, evasion.Recaptcha)
+			recaptcha.Detected += c.Detected
+			recaptcha.Total += c.Total
+		}
+		add("no engine detects any reCAPTCHA URL", "0/35", recaptcha.String(), recaptcha.Detected == 0)
+
+		avg := experiment.AverageDuration(r.Main.GSBAlertBoxTimes)
+		add("GSB alert-box average time-to-blacklist", "132 min",
+			fmt.Sprintf("%.0f min", avg.Minutes()), avg > 100*time.Minute && avg < 170*time.Minute)
+
+		var nc []string
+		ok := len(r.Main.NetCraftSessionTimes) == 2
+		for _, d := range r.Main.NetCraftSessionTimes {
+			nc = append(nc, fmt.Sprintf("%.0f", d.Minutes()))
+			if d < 2*time.Minute || d > 20*time.Minute {
+				ok = false
+			}
+		}
+		add("NetCraft session times (minutes)", "6 and 9", strings.Join(nc, " and "), ok)
+
+		add("drop-catch funnel selects 50 reputed domains", "…-> 50",
+			r.Main.Funnel.String(), r.Main.Funnel.Selected == 50)
+	}
+
+	if r.Table1 != nil {
+		byKey := map[string]experiment.Table1Row{}
+		for _, row := range r.Table1 {
+			byKey[row.Engine] = row
+		}
+		add("only GSB and NetCraft detect the scratch-built Gmail kit", "G only at GSB, NetCraft",
+			fmt.Sprintf("GSB=%q NetCraft=%q APWG=%q", byKey[engines.GSB].BlacklistedTargets,
+				byKey[engines.NetCraft].BlacklistedTargets, byKey[engines.APWG].BlacklistedTargets),
+			strings.Contains(byKey[engines.GSB].BlacklistedTargets, "G") &&
+				strings.Contains(byKey[engines.NetCraft].BlacklistedTargets, "G") &&
+				!strings.Contains(byKey[engines.APWG].BlacklistedTargets, "G"))
+		add("YSB detects nothing", "-", byKey[engines.YSB].BlacklistedTargets,
+			byKey[engines.YSB].BlacklistedTargets == "-")
+		add("OpenPhish generates the largest crawl volume", "81,967 requests",
+			fmt.Sprintf("%d requests", byKey[engines.OpenPhish].Requests), maxRequests(r.Table1) == engines.OpenPhish)
+	}
+
+	if r.Table3 != nil {
+		all0 := len(r.Table3) == 6
+		for _, row := range r.Table3 {
+			if row.Detected != 0 || row.Total != 9 {
+				all0 = false
+			}
+		}
+		add("no client-side extension detects anything", "0/9 x6", table3Summary(r.Table3), all0)
+	}
+	return claims
+}
+
+func cellSum(m *experiment.MainResults, engine string, tech evasion.Technique) experiment.Cell {
+	out := experiment.Cell{}
+	for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+		if c := m.Cells[engine][brand][tech]; c != nil {
+			out.Detected += c.Detected
+			out.Total += c.Total
+		}
+	}
+	return out
+}
+
+func maxRequests(rows []experiment.Table1Row) string {
+	best, key := -1, ""
+	for _, r := range rows {
+		if r.Requests > best {
+			best, key = r.Requests, r.Engine
+		}
+	}
+	return key
+}
+
+func table3Summary(rows []experiment.Table3Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%d/%d", r.Detected, r.Total)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Report renders the full study: the three tables, timing statistics, the
+// domain funnel, and the claims comparison.
+func (r *Results) Report() string {
+	var b strings.Builder
+	b.WriteString("== Are You Human? — reproduction report ==\n\n")
+	if r.Table1 != nil {
+		b.WriteString("Table 1 — preliminary test (naked kits, 24h)\n")
+		b.WriteString(experiment.RenderTable1(r.Table1))
+		b.WriteString("\n")
+	}
+	if r.Main != nil {
+		b.WriteString("Table 2 — main experiment (105 protected URLs, 2 weeks)\n")
+		b.WriteString(experiment.RenderTable2(r.Main))
+		fmt.Fprintf(&b, "drop-catch funnel: %s\n", r.Main.Funnel)
+		fmt.Fprintf(&b, "GSB alert-box avg: %.0f min; NetCraft session times:",
+			experiment.AverageDuration(r.Main.GSBAlertBoxTimes).Minutes())
+		for _, d := range r.Main.NetCraftSessionTimes {
+			fmt.Fprintf(&b, " %.0fmin", d.Minutes())
+		}
+		b.WriteString("\n")
+		for _, key := range engines.MainExperimentKeys() {
+			if ds := r.Main.TimesToList[key]; len(ds) > 0 {
+				fmt.Fprintf(&b, "time-to-blacklist %-12s %s\n", key+":", experiment.Stats(ds))
+			}
+		}
+		b.WriteString("\n")
+	}
+	if r.Table3 != nil {
+		b.WriteString("Table 3 — client-side extensions (9 URLs, 3 visits each)\n")
+		b.WriteString(experiment.RenderTable3(r.Table3))
+		b.WriteString("\n")
+	}
+	claims := r.Claims()
+	if len(claims) > 0 {
+		b.WriteString("Claims (paper vs measured)\n")
+		for _, c := range claims {
+			mark := "OK  "
+			if !c.Holds {
+				mark = "DIFF"
+			}
+			fmt.Fprintf(&b, "  [%s] %-55s paper: %-12s measured: %s\n", mark, c.Name, c.Paper, c.Measured)
+		}
+	}
+	return b.String()
+}
+
+// FunnelAtPaperScale runs the drop-catch pipeline at the paper's full
+// 1M-domain scale over the compact synthetic world and returns the funnel
+// (1,000,000 -> 770 -> 251 -> 244 -> 244 -> 50).
+func FunnelAtPaperScale() (dropcatch.Funnel, error) {
+	w, err := dropcatch.NewWorld(dropcatch.PaperConfig())
+	if err != nil {
+		return dropcatch.Funnel{}, err
+	}
+	_, funnel := dropcatch.Run(w.Top, w.Services(), dropcatch.PaperConfig().Selected)
+	return funnel, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/experiment"
+)
+
+func fastCfg() experiment.Config {
+	return experiment.Config{TrafficScale: 0.002}
+}
+
+func TestRunAllReproducesHeadlines(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := res.Claims()
+	if len(claims) < 8 {
+		t.Fatalf("claims = %d, want the full headline set", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %q diverges: paper %s, measured %s", c.Name, c.Paper, c.Measured)
+		}
+	}
+}
+
+func TestReportRendersEverything(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Report()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3",
+		"total detected: 8/105",
+		"Claims (paper vs measured)",
+		"reCAPTCHA",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "DIFF") {
+		t.Errorf("report contains diverging claims:\n%s", out)
+	}
+}
+
+func TestAlertConfirmAblation(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunAlertConfirmAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 6 {
+		t.Fatalf("total = %d, want 6", res.Total)
+	}
+	if res.BaselineDetected != 1 {
+		t.Fatalf("baseline alert detections = %d, want 1 (only GSB)", res.BaselineDetected)
+	}
+	if res.ConfirmAll != 6 {
+		t.Fatalf("confirm-all detections = %d, want 6 (alert box collapses)", res.ConfirmAll)
+	}
+}
+
+func TestFormSubmitAblation(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunFormSubmitAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 6 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.BaselineBypasses != 6 {
+		t.Fatalf("baseline bypasses = %d, want all 6 (NetCraft submits every form)", res.BaselineBypasses)
+	}
+	if res.NoSubmitBypasses != 0 {
+		t.Fatalf("no-submit bypasses = %d, want 0", res.NoSubmitBypasses)
+	}
+}
+
+func TestKitProvenanceAblation(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunKitProvenanceAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScratchDetected {
+		t.Fatal("fingerprint engine must miss the scratch-built Gmail kit")
+	}
+	if !res.ClonedDetected {
+		t.Fatal("fingerprint engine must catch the cloned Gmail kit")
+	}
+}
+
+func TestFeedSharingAblation(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunFeedSharingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineCrossFeeds == 0 {
+		t.Fatal("baseline must show cross-feed appearances")
+	}
+	if res.SeveredCrossFeeds != 0 {
+		t.Fatalf("severed sharing still shows %d cross-feeds", res.SeveredCrossFeeds)
+	}
+}
+
+func TestVerdictCacheAblation(t *testing.T) {
+	f := New(fastCfg())
+	res := f.RunVerdictCacheAblation()
+	if !res.MaskedWithCache {
+		t.Fatal("within the TTL the cached safe verdict must mask the listing")
+	}
+	if !res.VisibleWithoutCache {
+		t.Fatal("without caching the listing must be visible immediately")
+	}
+}
+
+func TestCloakingBaseline(t *testing.T) {
+	f := New(fastCfg())
+	res, err := f.RunCloakingBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 36 {
+		t.Fatalf("total = %d, want 36", res.Total)
+	}
+	rate := float64(res.Detected) / float64(res.Total)
+	// Oest et al.: ~23% of cloaked sites detected; our disguised-GSB model
+	// lands in the same band, and far above the 7.6% of human verification.
+	if rate < 0.10 || rate > 0.35 {
+		t.Fatalf("cloaking detection rate = %.2f, want 0.10..0.35 (paper context: 0.23)", rate)
+	}
+	if res.AvgDelay < 3*time.Hour || res.AvgDelay > 5*time.Hour {
+		t.Fatalf("cloaked avg delay = %v, want ≈238 min", res.AvgDelay)
+	}
+}
+
+func TestFunnelAtPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-name funnel")
+	}
+	funnel, err := FunnelAtPaperScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "1000000 -> 770 -> 251 -> 244 -> 244 -> 50"
+	if funnel.String() != want {
+		t.Fatalf("funnel = %s, want %s", funnel, want)
+	}
+}
+
+func TestExposureStudyLifespanExtension(t *testing.T) {
+	f := New(fastCfg())
+	results, err := f.RunExposureStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d techniques, want 4", len(results))
+	}
+	byTech := map[string]ExposureResult{}
+	for _, r := range results {
+		byTech[r.Technique.String()] = r
+		if r.Victims != ExposureCampaignDays*24 {
+			t.Fatalf("%s saw %d victims, want %d", r.Technique, r.Victims, ExposureCampaignDays*24)
+		}
+	}
+
+	naked := byTech["none"]
+	alert := byTech["alertbox"]
+	session := byTech["session"]
+	recaptcha := byTech["recaptcha"]
+
+	// Naked and alert-box pages get blacklisted (GSB cracks both), so most
+	// victims are protected.
+	if naked.BlacklistedAfter == 0 || alert.BlacklistedAfter == 0 {
+		t.Fatal("naked and alert-box pages should be blacklisted")
+	}
+	if naked.Protected < 60 || alert.Protected < 60 {
+		t.Fatalf("blacklisting should protect most victims: naked %d, alert %d protected", naked.Protected, alert.Protected)
+	}
+	// Session and reCAPTCHA pages are never listed: every victim exposed.
+	if session.BlacklistedAfter != 0 || recaptcha.BlacklistedAfter != 0 {
+		t.Fatal("session/recaptcha pages must never be blacklisted by GSB")
+	}
+	if session.Exposed != session.Victims || recaptcha.Exposed != recaptcha.Victims {
+		t.Fatalf("evasion should expose every victim: session %d/%d, recaptcha %d/%d",
+			session.Exposed, session.Victims, recaptcha.Exposed, recaptcha.Victims)
+	}
+	// Half the exposed victims lose credentials.
+	if recaptcha.CredentialsLost < recaptcha.Exposed/3 {
+		t.Fatalf("creds lost = %d of %d exposed", recaptcha.CredentialsLost, recaptcha.Exposed)
+	}
+	// The rendered table mentions every technique.
+	out := RenderExposure(results)
+	for _, want := range []string{"none", "alertbox", "session", "recaptcha", "never"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

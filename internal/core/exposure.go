@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/phishkit"
+)
+
+// The paper's motivation is lifespan: evasion techniques extend how long a
+// phishing page keeps catching victims before blacklists protect them. The
+// exposure study quantifies that directly: a spam campaign drives one victim
+// per hour at each deployment for several days; each victim's browser checks
+// the URL against GSB through the standard caching client before rendering.
+// A victim is *exposed* when the page is not (visibly) blacklisted and the
+// gate reveals the payload to a human.
+
+// ExposureResult summarises one technique's victim outcomes.
+type ExposureResult struct {
+	Technique evasion.Technique
+	// Victims is the campaign size.
+	Victims int
+	// Exposed victims reached the phishing payload.
+	Exposed int
+	// Protected victims were blocked by a blacklist warning.
+	Protected int
+	// CredentialsLost counts victims who went on to submit the login form.
+	CredentialsLost int
+	// BlacklistedAfter is the time from report to listing (0 = never).
+	BlacklistedAfter time.Duration
+}
+
+// ExposureRate is the fraction of victims who reached the payload.
+func (r ExposureResult) ExposureRate() float64 {
+	if r.Victims == 0 {
+		return 0
+	}
+	return float64(r.Exposed) / float64(r.Victims)
+}
+
+// ExposureCampaignDays is the campaign length.
+const ExposureCampaignDays = 3
+
+// RunExposureStudy runs the campaign for each technique (plus the naked
+// control) against GSB.
+func (f *Framework) RunExposureStudy() ([]ExposureResult, error) {
+	techniques := []evasion.Technique{evasion.None, evasion.AlertBox, evasion.SessionBased, evasion.Recaptcha}
+	results := make([]ExposureResult, 0, len(techniques))
+	for i, tech := range techniques {
+		res, err := f.runExposure(tech, i)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (f *Framework) runExposure(tech evasion.Technique, idx int) (ExposureResult, error) {
+	w := experiment.NewWorld(f.Cfg)
+	d, err := w.Deploy(fmt.Sprintf("exposure-%s-%d.com", tech, idx),
+		experiment.MountSpec{Brand: phishkit.PayPal, Technique: tech})
+	if err != nil {
+		return ExposureResult{}, err
+	}
+	url := d.Mounts[0].URL
+	mount := d.Mounts[0]
+	gsb := w.Engines[engines.GSB]
+	if err := w.ReportTo(d, engines.GSB); err != nil {
+		return ExposureResult{}, err
+	}
+
+	res := ExposureResult{Technique: tech}
+	// Each victim runs a fresh browser profile whose Safe Browsing client
+	// shares GSB's list with standard 30-minute verdict caching.
+	guard := &blacklist.CachingClient{List: gsb.List, Clock: w.Clock}
+
+	hours := ExposureCampaignDays * 24
+	for v := 0; v < hours; v++ {
+		w.Sched.After(time.Duration(v)*time.Hour+7*time.Minute, "victim", func(time.Time) {
+			res.Victims++
+			if guard.Check(url) {
+				res.Protected++
+				return
+			}
+			human := browser.New(w.Net, browser.Config{
+				UserAgent:       "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/81.0 Safari/537.36",
+				SourceIP:        fmt.Sprintf("198.51.%d.%d", 100+res.Victims/250, res.Victims%250+1),
+				ExecuteScripts:  true,
+				AlertPolicy:     browser.AlertConfirm,
+				TimerBudget:     time.Hour,
+				CanSolveCAPTCHA: true,
+			})
+			page, err := human.Open(url)
+			if err != nil {
+				return
+			}
+			// A victim follows the lure: if the page shows a persuader form
+			// without a password field (the session cover's Join Chat
+			// button), they press it once and look again.
+			loginForm, ok := findLoginForm(page, mount.Kit.Brand)
+			if !ok {
+				for _, form := range page.Forms() {
+					next, err := page.Submit(form, nil)
+					if err != nil {
+						continue
+					}
+					if lf, found := findLoginForm(next, mount.Kit.Brand); found {
+						page, loginForm, ok = next, lf, true
+					}
+					break
+				}
+			}
+			if !ok {
+				return
+			}
+			res.Exposed++
+			// Half the exposed victims type their credentials.
+			if res.Exposed%2 == 1 {
+				if _, err := page.Submit(loginForm, map[string]string{
+					passwordField(mount.Kit.Brand): "hunter2",
+				}); err == nil {
+					res.CredentialsLost++
+				}
+			}
+		})
+	}
+	w.Sched.RunFor(time.Duration(ExposureCampaignDays*24)*time.Hour + 2*time.Hour)
+
+	if entry, ok := gsb.List.Lookup(url); ok {
+		res.BlacklistedAfter = entry.AddedAt.Sub(d.ReportedAt)
+	}
+	return res, nil
+}
+
+func passwordField(brand phishkit.Brand) string {
+	spec, _ := phishkit.SpecFor(brand)
+	return spec.PasswordField
+}
+
+// RenderExposure formats the study as a table.
+func RenderExposure(results []ExposureResult) string {
+	out := fmt.Sprintf("%-10s %8s %8s %10s %12s %s\n",
+		"technique", "victims", "exposed", "protected", "creds-lost", "blacklisted-after")
+	for _, r := range results {
+		after := "never"
+		if r.BlacklistedAfter > 0 {
+			after = fmt.Sprintf("%.0f min", r.BlacklistedAfter.Minutes())
+		}
+		out += fmt.Sprintf("%-10s %8d %8d %10d %12d %s\n",
+			r.Technique, r.Victims, r.Exposed, r.Protected, r.CredentialsLost, after)
+	}
+	return out
+}
+
+// findLoginForm returns the page's credential form for the brand, if shown.
+func findLoginForm(page *browser.Page, brand phishkit.Brand) (form htmlmini.Form, ok bool) {
+	for _, f := range page.Forms() {
+		if _, has := f.Fields[passwordField(brand)]; has {
+			return f, true
+		}
+	}
+	return htmlmini.Form{}, false
+}

@@ -1,0 +1,104 @@
+// Package coverage maps browsers to the anti-phishing engines protecting
+// them, with 2020 market shares, as Section 3 of the paper lays out: GSB
+// protects Chrome, Firefox and Safari (87% of users); SmartScreen protects
+// IE and Edge; Opera checks both NetCraft and PhishTank; Yandex Browser uses
+// YSB.
+//
+// Given the listing state of a URL across engines, ProtectedShare answers
+// the question the paper's victims care about: what fraction of web users
+// would see a warning instead of the phishing page?
+package coverage
+
+import (
+	"sort"
+	"strings"
+)
+
+// BrowserShare is one browser's engine wiring and market share.
+type BrowserShare struct {
+	Browser string
+	// Engines whose blacklists the browser consults; a hit in any one
+	// protects the user.
+	Engines []string
+	// Share is the approximate 2020 market share, summing to ~1 across the
+	// catalog.
+	Share float64
+}
+
+// Catalog returns the browser/engine map from Section 3. GSB's 87% combined
+// share for Chrome+Firefox+Safari matches the paper's figure.
+func Catalog() []BrowserShare {
+	return []BrowserShare{
+		{Browser: "Chrome", Engines: []string{"gsb"}, Share: 0.65},
+		{Browser: "Safari", Engines: []string{"gsb"}, Share: 0.17},
+		{Browser: "Firefox", Engines: []string{"gsb"}, Share: 0.05},
+		{Browser: "Edge/IE", Engines: []string{"smartscreen"}, Share: 0.06},
+		{Browser: "Opera", Engines: []string{"netcraft", "phishtank"}, Share: 0.02},
+		{Browser: "Yandex", Engines: []string{"ysb"}, Share: 0.01},
+		{Browser: "Other", Engines: nil, Share: 0.04},
+	}
+}
+
+// Checker answers whether an engine currently lists a URL.
+type Checker func(engineKey, url string) bool
+
+// ProtectedShare computes the fraction of users whose browser would warn
+// about url, given per-engine listing state.
+func ProtectedShare(url string, listed Checker) float64 {
+	total := 0.0
+	for _, b := range Catalog() {
+		for _, engine := range b.Engines {
+			if listed(engine, url) {
+				total += b.Share
+				break
+			}
+		}
+	}
+	return total
+}
+
+// EngineReach returns the total market share each engine protects, sorted
+// descending — GSB's dominance is why its alert-box bypass matters so much
+// more than NetCraft's session bypass.
+func EngineReach() []struct {
+	Engine string
+	Share  float64
+} {
+	shares := map[string]float64{}
+	for _, b := range Catalog() {
+		for _, engine := range b.Engines {
+			shares[engine] += b.Share
+		}
+	}
+	out := make([]struct {
+		Engine string
+		Share  float64
+	}, 0, len(shares))
+	for e, s := range shares {
+		out = append(out, struct {
+			Engine string
+			Share  float64
+		}{e, s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share == out[j].Share {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Share > out[j].Share
+	})
+	return out
+}
+
+// GSBShare is the combined share of GSB-protected browsers; the paper cites
+// 87%.
+func GSBShare() float64 {
+	total := 0.0
+	for _, b := range Catalog() {
+		for _, e := range b.Engines {
+			if strings.EqualFold(e, "gsb") {
+				total += b.Share
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,62 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogSharesSumToOne(t *testing.T) {
+	total := 0.0
+	for _, b := range Catalog() {
+		if b.Share <= 0 {
+			t.Fatalf("%s has non-positive share", b.Browser)
+		}
+		total += b.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", total)
+	}
+}
+
+func TestGSBShareMatchesPaper(t *testing.T) {
+	if got := GSBShare(); math.Abs(got-0.87) > 1e-9 {
+		t.Fatalf("GSB share = %v, paper cites 87%%", got)
+	}
+}
+
+func TestProtectedShare(t *testing.T) {
+	url := "https://phish.example/login.php"
+	none := func(engine, u string) bool { return false }
+	if got := ProtectedShare(url, none); got != 0 {
+		t.Fatalf("no listings should protect nobody, got %v", got)
+	}
+	gsbOnly := func(engine, u string) bool { return engine == "gsb" }
+	if got := ProtectedShare(url, gsbOnly); math.Abs(got-0.87) > 1e-9 {
+		t.Fatalf("GSB listing protects %v, want 0.87", got)
+	}
+	// Opera is protected when either of its two lists hits.
+	phishtankOnly := func(engine, u string) bool { return engine == "phishtank" }
+	if got := ProtectedShare(url, phishtankOnly); math.Abs(got-0.02) > 1e-9 {
+		t.Fatalf("PhishTank listing protects %v, want Opera's 0.02", got)
+	}
+	netcraftAndPhishtank := func(engine, u string) bool { return engine == "netcraft" || engine == "phishtank" }
+	if got := ProtectedShare(url, netcraftAndPhishtank); math.Abs(got-0.02) > 1e-9 {
+		t.Fatalf("double Opera hit must not double count: %v", got)
+	}
+	all := func(engine, u string) bool { return true }
+	if got := ProtectedShare(url, all); math.Abs(got-0.96) > 1e-9 {
+		t.Fatalf("all listings protect %v, want 0.96 (Other has no engine)", got)
+	}
+}
+
+func TestEngineReachOrdering(t *testing.T) {
+	reach := EngineReach()
+	if len(reach) == 0 || reach[0].Engine != "gsb" {
+		t.Fatalf("reach = %+v, want GSB first", reach)
+	}
+	for i := 1; i < len(reach); i++ {
+		if reach[i-1].Share < reach[i].Share {
+			t.Fatal("reach must be sorted descending")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package dnssim is a simulated authoritative DNS store.
+//
+// The drop-catch pipeline (Section 3 of the paper) begins by scanning the
+// Alexa top-1M list for SOA and NS records and keeping only domains that
+// answer NXDOMAIN — i.e. expired domains still on popularity lists. This
+// package provides the record store and query semantics that scan needs, plus
+// DNSSEC deployment flags for the registered experiment domains.
+package dnssim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RType is a DNS record type.
+type RType string
+
+// Record types used by the simulation.
+const (
+	TypeA   RType = "A"
+	TypeNS  RType = "NS"
+	TypeSOA RType = "SOA"
+	TypeTXT RType = "TXT"
+)
+
+// RCode is a DNS response code.
+type RCode int
+
+// Response codes.
+const (
+	NoError RCode = iota
+	NXDomain
+)
+
+func (c RCode) String() string {
+	switch c {
+	case NoError:
+		return "NOERROR"
+	case NXDomain:
+		return "NXDOMAIN"
+	default:
+		return fmt.Sprintf("RCODE(%d)", int(c))
+	}
+}
+
+// Record is a single resource record.
+type Record struct {
+	Name string
+	Type RType
+	Data string
+}
+
+// Zone holds the records for one domain.
+type Zone struct {
+	Domain  string
+	Records []Record
+	DNSSEC  bool
+}
+
+// Server is the simulated authoritative DNS. The zero value is not usable;
+// call NewServer.
+type Server struct {
+	mu      sync.RWMutex
+	zones   map[string]*Zone
+	queries int64
+}
+
+// NewServer returns an empty DNS server.
+func NewServer() *Server {
+	return &Server{zones: make(map[string]*Zone)}
+}
+
+// AddZone creates (or replaces) the zone for domain with standard SOA/NS
+// records and an A record pointing at ip. An empty ip omits the A record.
+func (s *Server) AddZone(domain, ip string) *Zone {
+	domain = canonical(domain)
+	z := &Zone{
+		Domain: domain,
+		Records: []Record{
+			{Name: domain, Type: TypeSOA, Data: "ns1." + domain + " hostmaster." + domain},
+			{Name: domain, Type: TypeNS, Data: "ns1." + domain},
+			{Name: domain, Type: TypeNS, Data: "ns2." + domain},
+		},
+	}
+	if ip != "" {
+		z.Records = append(z.Records, Record{Name: domain, Type: TypeA, Data: ip})
+	}
+	s.mu.Lock()
+	s.zones[domain] = z
+	s.mu.Unlock()
+	return z
+}
+
+// RemoveZone deletes the zone, making subsequent queries answer NXDOMAIN —
+// what happens when a domain expires and drops.
+func (s *Server) RemoveZone(domain string) {
+	s.mu.Lock()
+	delete(s.zones, canonical(domain))
+	s.mu.Unlock()
+}
+
+// EnableDNSSEC flags the zone as signed. It reports whether the zone exists.
+func (s *Server) EnableDNSSEC(domain string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	z, ok := s.zones[canonical(domain)]
+	if ok {
+		z.DNSSEC = true
+	}
+	return ok
+}
+
+// Query answers a DNS query for (name, type). Missing zones answer NXDOMAIN;
+// present zones without a matching record answer NOERROR with no records
+// (NODATA), like real DNS.
+func (s *Server) Query(name string, t RType) (RCode, []Record) {
+	name = canonical(name)
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[registrable(name)]
+	if !ok {
+		return NXDomain, nil
+	}
+	var out []Record
+	for _, r := range z.Records {
+		if r.Type == t && canonical(r.Name) == name {
+			out = append(out, r)
+		}
+	}
+	return NoError, out
+}
+
+// Exists reports whether a zone is delegated for domain (the SOA/NS scan of
+// pipeline step 1 reduces to this).
+func (s *Server) Exists(domain string) bool {
+	code, _ := s.Query(domain, TypeSOA)
+	return code == NoError
+}
+
+// DNSSEC reports whether the domain's zone is signed.
+func (s *Server) DNSSEC(domain string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[canonical(domain)]
+	return ok && z.DNSSEC
+}
+
+// ResolveA implements simnet.Resolver.
+func (s *Server) ResolveA(host string) (string, bool) {
+	code, recs := s.Query(host, TypeA)
+	if code != NoError || len(recs) == 0 {
+		return "", false
+	}
+	return recs[0].Data, true
+}
+
+// Zones returns the delegated domains in lexical order.
+func (s *Server) Zones() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.zones))
+	for d := range s.zones {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Queries reports the number of queries served.
+func (s *Server) Queries() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries
+}
+
+func canonical(name string) string {
+	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(name)), ".")
+}
+
+// registrable maps a hostname to the zone apex it belongs to in this
+// simulation: the last two labels (e.g. www.shop.example.com → example.com).
+// Real DNS uses the public-suffix list; two labels suffice for the synthetic
+// TLD catalog used here.
+func registrable(name string) string {
+	labels := strings.Split(name, ".")
+	if len(labels) <= 2 {
+		return name
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}

@@ -1,0 +1,164 @@
+package dnssim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddZoneAnswersSOAAndNS(t *testing.T) {
+	s := NewServer()
+	s.AddZone("shop.example", "203.0.113.5")
+	code, soa := s.Query("shop.example", TypeSOA)
+	if code != NoError || len(soa) != 1 {
+		t.Fatalf("SOA query = %v %v, want NOERROR with 1 record", code, soa)
+	}
+	code, ns := s.Query("shop.example", TypeNS)
+	if code != NoError || len(ns) != 2 {
+		t.Fatalf("NS query = %v %v, want NOERROR with 2 records", code, ns)
+	}
+}
+
+func TestMissingZoneIsNXDOMAIN(t *testing.T) {
+	s := NewServer()
+	code, recs := s.Query("gone.example", TypeSOA)
+	if code != NXDomain || recs != nil {
+		t.Fatalf("query = %v %v, want NXDOMAIN nil", code, recs)
+	}
+}
+
+func TestRemoveZoneDropsToNXDOMAIN(t *testing.T) {
+	s := NewServer()
+	s.AddZone("expired.example", "203.0.113.5")
+	if !s.Exists("expired.example") {
+		t.Fatal("zone should exist before removal")
+	}
+	s.RemoveZone("expired.example")
+	if s.Exists("expired.example") {
+		t.Fatal("zone should be NXDOMAIN after removal")
+	}
+}
+
+func TestNodataForMissingType(t *testing.T) {
+	s := NewServer()
+	s.AddZone("a.example", "") // no A record
+	code, recs := s.Query("a.example", TypeA)
+	if code != NoError || len(recs) != 0 {
+		t.Fatalf("A query = %v %v, want NOERROR with no records (NODATA)", code, recs)
+	}
+}
+
+func TestResolveA(t *testing.T) {
+	s := NewServer()
+	s.AddZone("web.example", "203.0.113.9")
+	ip, ok := s.ResolveA("web.example")
+	if !ok || ip != "203.0.113.9" {
+		t.Fatalf("ResolveA = %q,%v; want 203.0.113.9,true", ip, ok)
+	}
+	if _, ok := s.ResolveA("missing.example"); ok {
+		t.Fatal("ResolveA should fail for missing zone")
+	}
+}
+
+func TestSubdomainResolvesWithinZone(t *testing.T) {
+	s := NewServer()
+	z := s.AddZone("site.example", "203.0.113.9")
+	z.Records = append(z.Records, Record{Name: "www.site.example", Type: TypeA, Data: "203.0.113.10"})
+	ip, ok := s.ResolveA("www.site.example")
+	if !ok || ip != "203.0.113.10" {
+		t.Fatalf("ResolveA(www) = %q,%v; want 203.0.113.10,true", ip, ok)
+	}
+}
+
+func TestCanonicalisation(t *testing.T) {
+	s := NewServer()
+	s.AddZone("MiXeD.Example.", "203.0.113.5")
+	if !s.Exists("mixed.example") {
+		t.Fatal("zone lookup should be case-insensitive and trailing-dot tolerant")
+	}
+	if ip, ok := s.ResolveA("MIXED.EXAMPLE."); !ok || ip != "203.0.113.5" {
+		t.Fatalf("ResolveA mixed case = %q,%v", ip, ok)
+	}
+}
+
+func TestDNSSECFlag(t *testing.T) {
+	s := NewServer()
+	s.AddZone("signed.example", "203.0.113.5")
+	if s.DNSSEC("signed.example") {
+		t.Fatal("zone should start unsigned")
+	}
+	if !s.EnableDNSSEC("signed.example") {
+		t.Fatal("EnableDNSSEC reported missing zone")
+	}
+	if !s.DNSSEC("signed.example") {
+		t.Fatal("zone should be signed after EnableDNSSEC")
+	}
+	if s.EnableDNSSEC("missing.example") {
+		t.Fatal("EnableDNSSEC should report false for a missing zone")
+	}
+}
+
+func TestQueriesCounter(t *testing.T) {
+	s := NewServer()
+	s.AddZone("q.example", "203.0.113.5")
+	for i := 0; i < 7; i++ {
+		s.Query("q.example", TypeSOA)
+	}
+	if got := s.Queries(); got != 7 {
+		t.Fatalf("Queries() = %d, want 7", got)
+	}
+}
+
+func TestZonesSorted(t *testing.T) {
+	s := NewServer()
+	for _, d := range []string{"zz.example", "aa.example", "mm.example"} {
+		s.AddZone(d, "")
+	}
+	zones := s.Zones()
+	for i := 1; i < len(zones); i++ {
+		if zones[i-1] >= zones[i] {
+			t.Fatalf("Zones() = %v, want sorted unique", zones)
+		}
+	}
+}
+
+func TestRCodeString(t *testing.T) {
+	if NoError.String() != "NOERROR" || NXDomain.String() != "NXDOMAIN" {
+		t.Fatalf("RCode strings = %q, %q", NoError, NXDomain)
+	}
+	if got := RCode(9).String(); !strings.Contains(got, "9") {
+		t.Fatalf("unknown RCode string = %q", got)
+	}
+}
+
+// Property: after AddZone, Exists is true and after RemoveZone it is false,
+// for arbitrary label casing.
+func TestQuickAddRemoveRoundTrip(t *testing.T) {
+	f := func(raw uint32, upper bool) bool {
+		domain := strings.ToLower(strings.TrimSpace(synthDomain(raw)))
+		s := NewServer()
+		in := domain
+		if upper {
+			in = strings.ToUpper(domain)
+		}
+		s.AddZone(in, "")
+		if !s.Exists(domain) {
+			return false
+		}
+		s.RemoveZone(strings.ToUpper(in))
+		return !s.Exists(domain)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func synthDomain(raw uint32) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 6)
+	for i := range b {
+		b[i] = letters[raw%26]
+		raw /= 26
+	}
+	return string(b) + ".example"
+}

@@ -1,0 +1,95 @@
+// Package dropcatch implements the paper's six-step drop-catch domain
+// selection pipeline (Section 3, "Registering Domains"):
+//
+//  1. scan the popularity top-1M for SOA/NS and keep NXDOMAIN answers,
+//  2. check availability at two registrar APIs,
+//  3. keep domains whose WHOIS answers NOT FOUND,
+//  4. keep domains not flagged by the multi-engine scanner or Safe Browsing,
+//  5. keep domains archived at least once by the web archive,
+//  6. keep domains indexed at least once by the search engine,
+//
+// yielding reputed, previously used — "compromised-looking" — domains. The
+// paper's funnel is 1,000,000 → 770 → 251 → 244 → 244 → 50.
+package dropcatch
+
+import "fmt"
+
+// Services are the external questions the pipeline asks. Each function
+// corresponds to one filtering step; wiring them to the simulated DNS, WHOIS,
+// registrar, scanner, archive and index services is the caller's job (see
+// World and PaperWorld).
+type Services struct {
+	Exists       func(domain string) bool // step 1: DNS delegation present?
+	Available    func(domain string) bool // step 2: registrable right now?
+	Unregistered func(domain string) bool // step 3: WHOIS answers NOT FOUND?
+	Clean        func(domain string) bool // step 4: no scanner detections?
+	Archived     func(domain string) bool // step 5: web-archive history?
+	Indexed      func(domain string) bool // step 6: search-engine indexed?
+}
+
+// Funnel counts the survivors of each pipeline step.
+type Funnel struct {
+	Scanned      int // input list size
+	Expired      int // after step 1 (NXDOMAIN)
+	Available    int // after step 2
+	Unregistered int // after step 3
+	Clean        int // after step 4
+	Selected     int // after steps 5+6, capped at the requested count
+}
+
+// String renders the funnel as an arrow chain like the paper reports it.
+func (f Funnel) String() string {
+	return fmt.Sprintf("%d -> %d -> %d -> %d -> %d -> %d",
+		f.Scanned, f.Expired, f.Available, f.Unregistered, f.Clean, f.Selected)
+}
+
+// Run executes the pipeline over the popularity list top, returning up to
+// want selected domains and the per-step funnel. Steps run in the paper's
+// order; a domain failing a step is never shown to later steps.
+func Run(top []string, svc Services, want int) ([]string, Funnel) {
+	f := Funnel{Scanned: len(top)}
+
+	var expired []string
+	for _, d := range top {
+		if !svc.Exists(d) {
+			expired = append(expired, d)
+		}
+	}
+	f.Expired = len(expired)
+
+	var available []string
+	for _, d := range expired {
+		if svc.Available(d) {
+			available = append(available, d)
+		}
+	}
+	f.Available = len(available)
+
+	var unregistered []string
+	for _, d := range available {
+		if svc.Unregistered(d) {
+			unregistered = append(unregistered, d)
+		}
+	}
+	f.Unregistered = len(unregistered)
+
+	var clean []string
+	for _, d := range unregistered {
+		if svc.Clean(d) {
+			clean = append(clean, d)
+		}
+	}
+	f.Clean = len(clean)
+
+	var selected []string
+	for _, d := range clean {
+		if len(selected) >= want && want >= 0 {
+			break
+		}
+		if svc.Archived(d) && svc.Indexed(d) {
+			selected = append(selected, d)
+		}
+	}
+	f.Selected = len(selected)
+	return selected, f
+}

@@ -1,0 +1,214 @@
+package dropcatch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"areyouhuman/internal/dnssim"
+	"areyouhuman/internal/registrar"
+	"areyouhuman/internal/reputation"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/whois"
+)
+
+func TestSmallWorldFunnelExact(t *testing.T) {
+	cfg := SmallConfig()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected, f := Run(w.Top, w.Services(), cfg.Selected)
+	if f.Scanned != cfg.ListSize || f.Expired != cfg.Expired || f.Available != cfg.Available ||
+		f.Unregistered != cfg.Unregistered || f.Clean != cfg.Clean || f.Selected != cfg.Selected {
+		t.Fatalf("funnel = %v, want %v -> %v -> %v -> %v -> %v -> %v",
+			f, cfg.ListSize, cfg.Expired, cfg.Available, cfg.Unregistered, cfg.Clean, cfg.Selected)
+	}
+	if len(selected) != cfg.Selected {
+		t.Fatalf("selected %d domains, want %d", len(selected), cfg.Selected)
+	}
+}
+
+func TestWorldDeterministicAcrossRuns(t *testing.T) {
+	cfg := SmallConfig()
+	w1, _ := NewWorld(cfg)
+	w2, _ := NewWorld(cfg)
+	s1, _ := Run(w1.Top, w1.Services(), cfg.Selected)
+	s2, _ := Run(w2.Top, w2.Services(), cfg.Selected)
+	if len(s1) != len(s2) {
+		t.Fatalf("runs selected %d vs %d domains", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("selection differs at %d: %s vs %s", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestWorldSeedChangesSelection(t *testing.T) {
+	a := SmallConfig()
+	b := SmallConfig()
+	b.Seed = 7777
+	wa, _ := NewWorld(a)
+	wb, _ := NewWorld(b)
+	sa, _ := Run(wa.Top, wa.Services(), a.Selected)
+	sb, _ := Run(wb.Top, wb.Services(), b.Selected)
+	same := true
+	for i := range sa {
+		if sa[i] != sb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different selections")
+	}
+}
+
+func TestWorldConfigValidation(t *testing.T) {
+	bad := SmallConfig()
+	bad.Selected = bad.Clean + 1
+	if _, err := NewWorld(bad); err == nil {
+		t.Fatal("Selected > Clean should be rejected")
+	}
+	bad = SmallConfig()
+	bad.Expired = bad.ListSize + 1
+	if _, err := NewWorld(bad); err == nil {
+		t.Fatal("Expired > ListSize should be rejected")
+	}
+}
+
+func TestFunnelString(t *testing.T) {
+	f := Funnel{Scanned: 1000000, Expired: 770, Available: 251, Unregistered: 244, Clean: 244, Selected: 50}
+	want := "1000000 -> 770 -> 251 -> 244 -> 244 -> 50"
+	if got := f.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRunWantCapsSelection(t *testing.T) {
+	cfg := SmallConfig()
+	w, _ := NewWorld(cfg)
+	selected, f := Run(w.Top, w.Services(), 2)
+	if len(selected) != 2 || f.Selected != 2 {
+		t.Fatalf("want cap 2, got %d selected (funnel %v)", len(selected), f)
+	}
+}
+
+func TestSynthDomainsLookRegistrable(t *testing.T) {
+	cfg := SmallConfig()
+	w, _ := NewWorld(cfg)
+	for _, d := range w.Top[:100] {
+		if !strings.Contains(d, ".") || strings.Count(d, ".") != 1 {
+			t.Fatalf("synthetic domain %q is not a simple registrable name", d)
+		}
+		tld := d[strings.IndexByte(d, '.')+1:]
+		switch tld {
+		case "com", "net", "org", "info":
+		default:
+			t.Fatalf("synthetic domain %q has unexpected TLD", d)
+		}
+	}
+}
+
+// Property: the funnel is monotone non-increasing for arbitrary valid
+// configurations, and Selected never exceeds the requested count.
+func TestQuickFunnelMonotone(t *testing.T) {
+	f := func(seed int64, a, b, c, d, e uint8) bool {
+		// Build a valid descending configuration from arbitrary bytes.
+		list := 2000 + int(a)*8
+		exp := int(b) % (list / 4)
+		avail := exp * int(c) / 300
+		unreg := avail * int(d) / 300
+		clean := unreg
+		sel := unreg * int(e) / 300
+		cfg := WorldConfig{ListSize: list, Expired: exp, Available: avail,
+			Unregistered: unreg, Clean: clean, Selected: sel, Seed: seed}
+		w, err := NewWorld(cfg)
+		if err != nil {
+			return false
+		}
+		_, fn := Run(w.Top, w.Services(), sel)
+		mono := fn.Scanned >= fn.Expired && fn.Expired >= fn.Available &&
+			fn.Available >= fn.Unregistered && fn.Unregistered >= fn.Clean && fn.Clean >= fn.Selected
+		return mono && fn.Selected <= sel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveServicesEndToEnd(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	dns := dnssim.NewServer()
+	db := whois.NewDB()
+	ls := LiveServices{
+		DNS: dns,
+		Registrars: []*registrar.Registrar{
+			registrar.New("GoDaddy", db, dns, clock),
+			registrar.New("Porkbun", db, dns, clock),
+		},
+		WHOIS:   db,
+		Scanner: reputation.NewScanner(),
+		Archive: reputation.NewArchive(),
+		Index:   reputation.NewSearchIndex(),
+	}
+	list := []string{"alive.com", "chosen-one.com", "alive2.net", "chosen-two.org", "flagged.com"}
+	chosen := []string{"chosen-one.com", "chosen-two.org"}
+	PlantLive(ls, list, chosen, simclock.Epoch)
+	// flagged.com: expired but scanner-flagged, so it must fall out at step 4.
+	dns.RemoveZone("flagged.com")
+	ls.Scanner.Report("flagged.com", reputation.Verdict{Engine: "vt-engine", Malicious: true, At: simclock.Epoch})
+
+	selected, f := Run(list, ls.Services(), 50)
+	if len(selected) != 2 {
+		t.Fatalf("selected = %v, want the two planted domains", selected)
+	}
+	if f.Expired != 3 || f.Clean != 2 {
+		t.Fatalf("funnel = %v; want 3 expired, 2 clean", f)
+	}
+	for _, d := range selected {
+		if d != "chosen-one.com" && d != "chosen-two.org" {
+			t.Fatalf("unexpected selection %q", d)
+		}
+	}
+}
+
+func TestLiveServicesNoRegistrarsNothingAvailable(t *testing.T) {
+	ls := LiveServices{
+		DNS:     dnssim.NewServer(),
+		WHOIS:   whois.NewDB(),
+		Scanner: reputation.NewScanner(),
+		Archive: reputation.NewArchive(),
+		Index:   reputation.NewSearchIndex(),
+	}
+	svc := ls.Services()
+	if svc.Available("anything.com") {
+		t.Fatal("with no registrars, nothing should be available")
+	}
+}
+
+func TestPlantLiveGivesHistoryOnlyToChosen(t *testing.T) {
+	ls := LiveServices{
+		DNS:     dnssim.NewServer(),
+		WHOIS:   whois.NewDB(),
+		Scanner: reputation.NewScanner(),
+		Archive: reputation.NewArchive(),
+		Index:   reputation.NewSearchIndex(),
+	}
+	list := []string{"a.com", "b.com", "c.com"}
+	PlantLive(ls, list, []string{"b.com"}, time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC))
+	if ls.Archive.Archived("a.com") || ls.Archive.Archived("c.com") {
+		t.Fatal("non-chosen domains must have no archive history")
+	}
+	if !ls.Archive.Archived("b.com") || ls.Index.SiteQuery("b.com") < 1 {
+		t.Fatal("chosen domain must be archived and indexed")
+	}
+	if ls.DNS.Exists("b.com") {
+		t.Fatal("chosen domain must be expired (no DNS zone)")
+	}
+	if !ls.DNS.Exists("a.com") {
+		t.Fatal("non-chosen domain must keep its DNS zone")
+	}
+}

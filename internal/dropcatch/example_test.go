@@ -1,0 +1,22 @@
+package dropcatch_test
+
+import (
+	"fmt"
+
+	"areyouhuman/internal/dropcatch"
+)
+
+// Reproduce the paper's exact selection funnel over a synthetic 1M-name
+// popularity list.
+func Example_paperFunnel() {
+	w, err := dropcatch.NewWorld(dropcatch.PaperConfig())
+	if err != nil {
+		panic(err)
+	}
+	selected, funnel := dropcatch.Run(w.Top, w.Services(), 50)
+	fmt.Println(funnel)
+	fmt.Println("selected:", len(selected))
+	// Output:
+	// 1000000 -> 770 -> 251 -> 244 -> 244 -> 50
+	// selected: 50
+}

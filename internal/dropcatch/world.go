@@ -1,0 +1,205 @@
+package dropcatch
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"areyouhuman/internal/dnssim"
+	"areyouhuman/internal/registrar"
+	"areyouhuman/internal/reputation"
+	"areyouhuman/internal/whois"
+)
+
+// WorldConfig sizes a synthetic internet population for the pipeline. Counts
+// are planted exactly, so a pipeline run over the generated world reproduces
+// the configured funnel deterministically; the default PaperConfig matches
+// the numbers the paper reports.
+type WorldConfig struct {
+	ListSize     int   // popularity list length (paper: 1,000,000)
+	Expired      int   // domains answering NXDOMAIN (paper: 770)
+	Available    int   // of those, available at the registrars (paper: 251)
+	Unregistered int   // of those, WHOIS NOT FOUND (paper: 244)
+	Clean        int   // of those, unflagged by scanners (paper: 244)
+	Selected     int   // of those, archived and indexed (paper: 50)
+	Seed         int64 // RNG seed for name synthesis and shuffling
+}
+
+// PaperConfig is the paper's exact funnel at full scale.
+func PaperConfig() WorldConfig {
+	return WorldConfig{
+		ListSize: 1_000_000, Expired: 770, Available: 251,
+		Unregistered: 244, Clean: 244, Selected: 50, Seed: 2020,
+	}
+}
+
+// SmallConfig is a proportionally scaled-down funnel for fast tests.
+func SmallConfig() WorldConfig {
+	return WorldConfig{
+		ListSize: 10_000, Expired: 77, Available: 25,
+		Unregistered: 24, Clean: 24, Selected: 5, Seed: 2020,
+	}
+}
+
+func (c WorldConfig) validate() error {
+	switch {
+	case c.ListSize < c.Expired:
+		return fmt.Errorf("dropcatch: ListSize %d < Expired %d", c.ListSize, c.Expired)
+	case c.Expired < c.Available:
+		return fmt.Errorf("dropcatch: Expired %d < Available %d", c.Expired, c.Available)
+	case c.Available < c.Unregistered:
+		return fmt.Errorf("dropcatch: Available %d < Unregistered %d", c.Available, c.Unregistered)
+	case c.Unregistered < c.Clean:
+		return fmt.Errorf("dropcatch: Unregistered %d < Clean %d", c.Unregistered, c.Clean)
+	case c.Clean < c.Selected:
+		return fmt.Errorf("dropcatch: Clean %d < Selected %d", c.Clean, c.Selected)
+	}
+	return nil
+}
+
+// World is a compact synthetic population implementing the pipeline's
+// Services. Membership is held in small sets — only the funnel survivors are
+// materialised — so a paper-scale (1M-name) world fits comfortably in memory.
+type World struct {
+	Top    []string
+	cfg    WorldConfig
+	expSet map[string]int // expired domain -> depth it survives to (1..5)
+}
+
+// Depth values recorded per expired domain.
+const (
+	depthExpired = iota + 1
+	depthAvailable
+	depthUnregistered
+	depthClean
+	depthSelected
+)
+
+// NewWorld generates a synthetic population for cfg.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	top := make([]string, cfg.ListSize)
+	seen := make(map[string]bool, cfg.ListSize)
+	for i := range top {
+		for {
+			name := synthDomain(rng)
+			if !seen[name] {
+				seen[name] = true
+				top[i] = name
+				break
+			}
+		}
+	}
+	// Choose which list positions are expired, then assign survival depths to
+	// the first cfg.X of a shuffled ordering so each step removes exactly the
+	// configured count.
+	idx := rng.Perm(cfg.ListSize)[:cfg.Expired]
+	expired := make([]string, cfg.Expired)
+	for i, j := range idx {
+		expired[i] = top[j]
+	}
+	rng.Shuffle(len(expired), func(i, j int) { expired[i], expired[j] = expired[j], expired[i] })
+	depths := make(map[string]int, cfg.Expired)
+	for i, d := range expired {
+		switch {
+		case i < cfg.Selected:
+			depths[d] = depthSelected
+		case i < cfg.Clean:
+			depths[d] = depthClean
+		case i < cfg.Unregistered:
+			depths[d] = depthUnregistered
+		case i < cfg.Available:
+			depths[d] = depthAvailable
+		default:
+			depths[d] = depthExpired
+		}
+	}
+	return &World{Top: top, cfg: cfg, expSet: depths}, nil
+}
+
+// Services returns pipeline services answering from the planted population.
+func (w *World) Services() Services {
+	depth := func(domain string) int { return w.expSet[domain] }
+	return Services{
+		Exists:       func(d string) bool { return depth(d) == 0 },
+		Available:    func(d string) bool { return depth(d) >= depthAvailable },
+		Unregistered: func(d string) bool { return depth(d) >= depthUnregistered },
+		Clean:        func(d string) bool { return depth(d) >= depthClean },
+		Archived:     func(d string) bool { return depth(d) >= depthSelected },
+		Indexed:      func(d string) bool { return depth(d) >= depthSelected },
+	}
+}
+
+// synthDomain builds a pronounceable two-word domain name.
+func synthDomain(rng *rand.Rand) string {
+	const consonants = "bcdfghjklmnpqrstvwz"
+	const vowels = "aeiou"
+	word := func(n int) string {
+		b := make([]byte, 0, n*2)
+		for i := 0; i < n; i++ {
+			b = append(b, consonants[rng.Intn(len(consonants))], vowels[rng.Intn(len(vowels))])
+		}
+		return string(b)
+	}
+	tlds := []string{"com", "net", "org", "info"}
+	return word(2+rng.Intn(2)) + "-" + word(2) + "." + tlds[rng.Intn(len(tlds))]
+}
+
+// LiveServices wires the pipeline to real simulated infrastructure — DNS,
+// registrars, WHOIS, scanner, archive, index — instead of the compact planted
+// sets. Used by integration tests and the quickstart examples where the world
+// is small enough to materialise every service record.
+type LiveServices struct {
+	DNS        *dnssim.Server
+	Registrars []*registrar.Registrar
+	WHOIS      *whois.DB
+	Scanner    *reputation.Scanner
+	Archive    *reputation.Archive
+	Index      *reputation.SearchIndex
+}
+
+// Services adapts the live infrastructure to the pipeline interface. A domain
+// is "available" only if every registrar API reports it available, matching
+// the paper's use of two independent registrars.
+func (ls LiveServices) Services() Services {
+	return Services{
+		Exists: func(d string) bool { return ls.DNS.Exists(d) },
+		Available: func(d string) bool {
+			for _, r := range ls.Registrars {
+				if !r.Available(d) {
+					return false
+				}
+			}
+			return len(ls.Registrars) > 0
+		},
+		Unregistered: func(d string) bool {
+			_, found := ls.WHOIS.Lookup(d)
+			return !found
+		},
+		Clean:    func(d string) bool { return ls.Scanner.Clean(d) },
+		Archived: func(d string) bool { return ls.Archive.Archived(d) },
+		Indexed:  func(d string) bool { return ls.Index.SiteQuery(d) >= 1 },
+	}
+}
+
+// PlantLive populates live infrastructure so that the pipeline selects
+// exactly the given domains out of list. Every other list entry keeps a DNS
+// zone (so step 1 rejects it); the chosen ones get archive history and index
+// entries. Returns the archive timestamp base used.
+func PlantLive(ls LiveServices, list, chosen []string, base time.Time) {
+	chosenSet := make(map[string]bool, len(chosen))
+	for _, d := range chosen {
+		chosenSet[d] = true
+	}
+	for i, d := range list {
+		if chosenSet[d] {
+			ls.Archive.AddSnapshot(d, base.AddDate(-2, 0, -i%300))
+			ls.Index.Index(d, 1+i%7)
+			continue // no DNS zone: expired
+		}
+		ls.DNS.AddZone(d, "")
+	}
+}

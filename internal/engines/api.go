@@ -1,0 +1,92 @@
+package engines
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler exposes the engine over HTTP, the way the paper interacts with the
+// real entities:
+//
+//	POST /report        url=<...>            submit a phishing report (the
+//	                                         online form / mail intake)
+//	GET  /v4/lookup     ?prefix=<hex>        hash-prefix round: "yes"/"no"
+//	GET  /v4/fullHashes ?prefix=<hex>        full-hash round: JSON array
+//	GET  /feed                               full blacklist snapshot, one
+//	                                         canonical URL per line
+//	GET  /unverified                         community unverified section
+//	                                         (PhishTank only), JSON
+//
+// Mounting the handler on a simnet host lets monitoring and third parties
+// interact with the engine exactly as remote clients would.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		url := strings.TrimSpace(r.PostFormValue("url"))
+		if url == "" {
+			http.Error(w, "missing url", http.StatusBadRequest)
+			return
+		}
+		reporter := r.PostFormValue("reporter")
+		if reporter == "" {
+			reporter = "anonymous"
+		}
+		e.Report(url, reporter)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "report accepted by %s\n", e.Profile.Name)
+	})
+	mux.HandleFunc("/v4/lookup", func(w http.ResponseWriter, r *http.Request) {
+		prefix := r.URL.Query().Get("prefix")
+		if prefix == "" {
+			http.Error(w, "missing prefix", http.StatusBadRequest)
+			return
+		}
+		if e.List.PrefixHit(prefix) {
+			fmt.Fprintln(w, "yes")
+		} else {
+			fmt.Fprintln(w, "no")
+		}
+	})
+	mux.HandleFunc("/v4/fullHashes", func(w http.ResponseWriter, r *http.Request) {
+		prefix := r.URL.Query().Get("prefix")
+		if prefix == "" {
+			http.Error(w, "missing prefix", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		hashes := e.List.FullHashes(prefix)
+		if hashes == nil {
+			hashes = []string{}
+		}
+		json.NewEncoder(w).Encode(hashes)
+	})
+	mux.HandleFunc("/feed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, entry := range e.List.Snapshot() {
+			fmt.Fprintln(w, entry.URL)
+		}
+	})
+	mux.HandleFunc("/unverified", func(w http.ResponseWriter, r *http.Request) {
+		if e.community == nil {
+			http.Error(w, "no unverified section", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		pending := e.Unverified()
+		if pending == nil {
+			pending = []PendingReport{}
+		}
+		json.NewEncoder(w).Encode(pending)
+	})
+	return mux
+}

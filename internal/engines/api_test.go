@@ -1,0 +1,154 @@
+package engines
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/simnet"
+)
+
+// apiWorld mounts a GSB-like engine's HTTP API on a virtual host.
+func apiWorld(t *testing.T) (*world, *Engine, *http.Client) {
+	t.Helper()
+	w := newWorld(t, evasion.None, phishkit.PayPal)
+	eng := w.engine(GSB, nil)
+	w.net.Register("api.gsb.example", eng.Handler())
+	client := simnet.NewClient(w.net, "198.51.100.123")
+	return w, eng, client
+}
+
+func TestAPIReportTriggersPipeline(t *testing.T) {
+	w, eng, client := apiWorld(t)
+	resp, err := client.PostForm("http://api.gsb.example/report",
+		map[string][]string{"url": {w.url}, "reporter": {"r@lab.example"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("report status = %d", resp.StatusCode)
+	}
+	w.sched.RunFor(24 * time.Hour)
+	if !eng.List.Contains(w.url) {
+		t.Fatal("HTTP-submitted report should flow through the full pipeline")
+	}
+}
+
+func TestAPIReportValidation(t *testing.T) {
+	_, _, client := apiWorld(t)
+	resp, err := client.Get("http://api.gsb.example/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /report = %d, want 405", resp.StatusCode)
+	}
+	resp, err = client.PostForm("http://api.gsb.example/report", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty report = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAPIV4LookupRoundTrip(t *testing.T) {
+	w, eng, client := apiWorld(t)
+	eng.List.Add(w.url, GSB)
+	prefix := blacklist.HashPrefix(w.url)
+
+	resp, err := client.Get("http://api.gsb.example/v4/lookup?prefix=" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "yes" {
+		t.Fatalf("lookup = %q, want yes", body)
+	}
+
+	resp, err = client.Get("http://api.gsb.example/v4/fullHashes?prefix=" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	if err := json.NewDecoder(resp.Body).Decode(&hashes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(hashes) != 1 || !strings.HasPrefix(hashes[0], prefix) {
+		t.Fatalf("fullHashes = %v", hashes)
+	}
+
+	resp, err = client.Get("http://api.gsb.example/v4/lookup?prefix=deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "no" {
+		t.Fatalf("miss lookup = %q, want no", body)
+	}
+}
+
+func TestAPIFeedDownload(t *testing.T) {
+	w, eng, client := apiWorld(t)
+	eng.List.Add(w.url, GSB)
+	eng.List.Add("http://another.example/x.php", GSB)
+	resp, err := client.Get("http://api.gsb.example/feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("feed lines = %v", lines)
+	}
+}
+
+func TestAPIUnverifiedSection(t *testing.T) {
+	// An alert-box-protected URL is unconfirmable for PhishTank's pipeline
+	// and voters alike, so it stays in the public unverified section.
+	w2 := newWorld(t, evasion.AlertBox, phishkit.PayPal)
+	pt := w2.engine(PhishTank, nil)
+	w2.net.Register("api.phishtank.example", pt.Handler())
+	client := simnet.NewClient(w2.net, "198.51.100.124")
+
+	pt.Report(w2.url, "r@lab.example")
+	w2.sched.RunFor(48 * time.Hour)
+
+	resp, err := client.Get("http://api.phishtank.example/unverified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pending []PendingReport
+	if err := json.NewDecoder(resp.Body).Decode(&pending); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(pending) != 1 || pending[0].URL != w2.url {
+		t.Fatalf("unverified = %+v", pending)
+	}
+
+	// Engines without community verification 404.
+	w3, _, client3 := apiWorld(t)
+	_ = w3
+	resp, err = client3.Get("http://api.gsb.example/unverified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GSB /unverified = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,131 @@
+package engines
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/browser"
+)
+
+// PhishTank is community-driven: every submission lands in a public
+// *unverified* section first (the paper's main real-world data source,
+// Section 2), and only reports confirmed by the pipeline or by volunteer
+// voters reach the official blacklist. Section 5.1 recounts a
+// reCAPTCHA-protected URL that sat in the unverified section forever because
+// no voter could confirm it — exactly what this model produces for
+// evasion-protected URLs.
+
+// PendingReport is one entry in the unverified section.
+type PendingReport struct {
+	URL         string
+	SubmittedAt time.Time
+	// VoterVisits counts volunteer review visits so far.
+	VoterVisits int
+}
+
+// communitySection tracks the unverified queue for a community-verified
+// engine.
+type communitySection struct {
+	mu      sync.Mutex
+	pending map[string]*PendingReport
+}
+
+func newCommunitySection() *communitySection {
+	return &communitySection{pending: make(map[string]*PendingReport)}
+}
+
+func (c *communitySection) add(url string, at time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.pending[url]; !dup {
+		c.pending[url] = &PendingReport{URL: url, SubmittedAt: at}
+	}
+}
+
+func (c *communitySection) remove(url string) {
+	c.mu.Lock()
+	delete(c.pending, url)
+	c.mu.Unlock()
+}
+
+func (c *communitySection) visit(url string) {
+	c.mu.Lock()
+	if p, ok := c.pending[url]; ok {
+		p.VoterVisits++
+	}
+	c.mu.Unlock()
+}
+
+func (c *communitySection) list() []PendingReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PendingReport, 0, len(c.pending))
+	for _, p := range c.pending {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Unverified returns the engine's unverified-section contents (nil for
+// engines without community verification).
+func (e *Engine) Unverified() []PendingReport {
+	if e.community == nil {
+		return nil
+	}
+	return e.community.list()
+}
+
+// voterReviewTimes are when volunteers look at a pending submission.
+var voterReviewTimes = []time.Duration{time.Hour, 6 * time.Hour, 24 * time.Hour}
+
+// enqueueCommunity files a submission into the unverified section and
+// schedules volunteer reviews.
+func (e *Engine) enqueueCommunity(rawURL string) {
+	if e.community == nil {
+		return
+	}
+	e.community.add(rawURL, e.sched.Clock().Now())
+	for _, after := range voterReviewTimes {
+		e.sched.After(after, e.Profile.Key+":voter-review", func(time.Time) {
+			e.voterReview(rawURL)
+		})
+	}
+}
+
+// voterReview is one volunteer looking at a pending URL. Voters browse with
+// scripts enabled but behave cautiously on suspicious pages: they dismiss
+// dialogs, never type into forms, and never solve CAPTCHAs — so an
+// evasion-protected page shows them only its benign face and stays
+// unverified.
+func (e *Engine) voterReview(rawURL string) {
+	if e.community == nil || e.List.Contains(rawURL) {
+		return
+	}
+	e.community.visit(rawURL)
+	voter := browser.New(e.net, browser.Config{
+		UserAgent:      "Mozilla/5.0 (X11; Linux x86_64; rv:76.0) Gecko/20100101 Firefox/76.0",
+		SourceIP:       e.pickIP("voter|"+rawURL, 7),
+		ExecuteScripts: true,
+		AlertPolicy:    browser.AlertDismiss,
+		TimerBudget:    30 * time.Second,
+	})
+	page, err := voter.Open(rawURL)
+	if err != nil {
+		return
+	}
+	// Publication requires community consensus, which in practice tracks
+	// the same confidence bar as the engine's own pipeline: obvious clones
+	// get votes, scratch-built lookalikes do not (the paper's preliminary
+	// test shows PhishTank never listed the scratch Gmail page).
+	if e.judge(page) {
+		// Votes agree: publish to the official list.
+		if e.List.Add(rawURL, e.Profile.Key) {
+			now := e.sched.Clock().Now()
+			e.detections = append(e.detections, Detection{URL: rawURL, CrawledAt: now, ListedAt: now})
+			e.community.remove(rawURL)
+			e.share(rawURL)
+		}
+	}
+}

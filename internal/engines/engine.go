@@ -1,0 +1,337 @@
+package engines
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/classify"
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+// Detection records one confirmed verdict.
+type Detection struct {
+	URL string
+	// CrawledAt is when the deciding crawl happened; ListedAt when the URL
+	// hit the engine's blacklist.
+	CrawledAt time.Time
+	ListedAt  time.Time
+	// ViaFormPath is true when the payload was reached by submitting a form
+	// (the session-bypass path).
+	ViaFormPath bool
+}
+
+// Engine is one running anti-phishing entity.
+type Engine struct {
+	Profile Profile
+	Queue   *report.Queue
+	List    *blacklist.List
+
+	net   *simnet.Internet
+	sched *simclock.Scheduler
+	mail  *report.MailSystem
+	abuse *report.AbuseNotifier
+	peers func(key string) *Engine
+	seed  int64
+
+	ipPool     []string
+	detections []Detection
+	community  *communitySection // non-nil for community-verified engines
+	// TrafficPerReport is how many crawler-fleet requests one report
+	// triggers (beyond the deciding bot visits). The experiment calibrates
+	// this per stage; the preliminary stage uses PrelimRequests/3.
+	TrafficPerReport int
+	// Recheck intervals after the first crawl.
+	Rechecks []time.Duration
+}
+
+// Deps wires an engine into the simulated world.
+type Deps struct {
+	Net   *simnet.Internet
+	Sched *simclock.Scheduler
+	Mail  *report.MailSystem
+	// AbuseContact receives PhishLabs-style notifications for engines with
+	// NotifiesAbuse.
+	AbuseContact string
+	// Peers resolves another engine by key for feed sharing.
+	Peers func(key string) *Engine
+	// Seed drives every stochastic choice (confirmation draws, traffic
+	// spread) so runs are reproducible.
+	Seed int64
+}
+
+// New builds an engine from its profile.
+func New(p Profile, deps Deps) *Engine {
+	e := &Engine{
+		Profile:          p,
+		Queue:            report.NewQueue(p.Name, p.Via, deps.Sched.Clock()),
+		List:             blacklist.NewList(p.Key, deps.Sched.Clock()),
+		net:              deps.Net,
+		sched:            deps.Sched,
+		mail:             deps.Mail,
+		peers:            deps.Peers,
+		seed:             deps.Seed,
+		TrafficPerReport: p.PrelimRequests / 3,
+		Rechecks:         []time.Duration{30 * time.Minute, 2 * time.Hour},
+	}
+	if p.NotifiesAbuse && deps.Mail != nil && deps.AbuseContact != "" {
+		e.abuse = &report.AbuseNotifier{
+			Mail:         deps.Mail,
+			From:         "notifications@phishlabs.example",
+			AbuseContact: deps.AbuseContact,
+		}
+	}
+	if p.CommunityVerified {
+		e.community = newCommunitySection()
+	}
+	e.ipPool = make([]string, p.UniqueIPs)
+	for i := range e.ipPool {
+		e.ipPool[i] = fmt.Sprintf("%s%d", p.IPPrefix, i+1)
+	}
+	if len(e.ipPool) == 0 {
+		e.ipPool = []string{"198.18.0.1"}
+	}
+	return e
+}
+
+// Detections returns confirmed detections so far.
+func (e *Engine) Detections() []Detection {
+	out := make([]Detection, len(e.detections))
+	copy(out, e.detections)
+	return out
+}
+
+// rng returns a deterministic generator scoped to this engine and a label
+// (typically the reported URL), independent of scheduling order.
+func (e *Engine) rng(label string) *rand.Rand {
+	h := fnv.New64a()
+	io.WriteString(h, e.Profile.Key)
+	io.WriteString(h, "|")
+	io.WriteString(h, label)
+	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+}
+
+// Report submits a URL to this engine and schedules its processing.
+func (e *Engine) Report(rawURL, reporter string) {
+	e.Queue.Submit(rawURL, reporter)
+	e.enqueueCommunity(rawURL)
+	e.sched.After(e.Profile.RespondsWithin, e.Profile.Key+":first-crawl", func(now time.Time) {
+		e.process(rawURL)
+	})
+	if e.abuse != nil {
+		// PhishLabs notifications arrived within the first hours of
+		// OpenPhish/PhishTank reports.
+		e.sched.After(e.Profile.RespondsWithin+35*time.Minute, e.Profile.Key+":abuse-mail", func(time.Time) {
+			e.abuse.Notify(rawURL)
+		})
+	}
+}
+
+// process runs the crawl pipeline for one reported URL.
+func (e *Engine) process(rawURL string) {
+	e.generateTraffic(rawURL)
+	e.crawlAndJudge(rawURL)
+	for _, d := range e.Rechecks {
+		e.sched.After(d, e.Profile.Key+":recheck", func(time.Time) {
+			if !e.List.Contains(rawURL) {
+				e.crawlAndJudge(rawURL)
+			}
+		})
+	}
+}
+
+// crawlAndJudge performs one bot visit and, on a confirmed verdict,
+// schedules the blacklist listing, sharing, and notifications.
+func (e *Engine) crawlAndJudge(rawURL string) {
+	if e.List.Contains(rawURL) {
+		return
+	}
+	verdict, viaForm := e.visit(rawURL)
+	if !verdict {
+		return
+	}
+	if viaForm && e.Profile.FormPathConfirmRate < 1 {
+		if e.rng(rawURL).Float64() >= e.Profile.FormPathConfirmRate {
+			return // confirmation pipeline dropped it
+		}
+	}
+	crawledAt := e.sched.Clock().Now()
+	delay := e.blacklistDelay(rawURL)
+	e.sched.After(delay, e.Profile.Key+":blacklist", func(now time.Time) {
+		if !e.List.Add(rawURL, e.Profile.Key) {
+			return
+		}
+		e.detections = append(e.detections, Detection{
+			URL: rawURL, CrawledAt: crawledAt, ListedAt: now, ViaFormPath: viaForm,
+		})
+		if e.community != nil {
+			e.community.remove(rawURL)
+		}
+		e.notifyReporter(rawURL, now)
+		e.share(rawURL)
+	})
+}
+
+// blacklistDelay derives the listing delay for a URL: base plus per-URL
+// jitter, deterministic per (engine, URL, seed).
+func (e *Engine) blacklistDelay(rawURL string) time.Duration {
+	jitter := time.Duration(0)
+	if e.Profile.BlacklistJitter > 0 {
+		jitter = time.Duration(e.rng("delay|" + rawURL).Int63n(int64(e.Profile.BlacklistJitter)))
+	}
+	return e.Profile.BlacklistDelay + jitter
+}
+
+func (e *Engine) notifyReporter(rawURL string, at time.Time) {
+	if !e.Profile.NotifiesReporter || e.mail == nil {
+		return
+	}
+	reporter := ""
+	// The queue has been drained by processing time; notifications go to the
+	// standing reporter identity used by the experiment.
+	reporter = "reporter@lab.example"
+	e.mail.Send(strings.ToLower(e.Profile.Key)+"@takedown.example", reporter,
+		"Report outcome: "+rawURL,
+		fmt.Sprintf("The reported URL was confirmed as phishing and blacklisted at %s.", at.UTC().Format(time.RFC3339)))
+}
+
+// share propagates a listing to partner feeds after the sharing delay.
+// Shared entries are attributed to this engine and are not re-shared,
+// keeping the PhishTank<->OpenPhish edge loop-free.
+func (e *Engine) share(rawURL string) {
+	if e.peers == nil {
+		return
+	}
+	for _, key := range e.Profile.SharesTo {
+		peer := e.peers(key)
+		if peer == nil {
+			continue
+		}
+		e.sched.After(e.Profile.ShareDelay, e.Profile.Key+":share:"+key, func(now time.Time) {
+			if peer.List.Add(rawURL, "shared:"+e.Profile.Key) {
+				peer.detections = append(peer.detections, Detection{
+					URL: rawURL, CrawledAt: now, ListedAt: now,
+				})
+			}
+		})
+	}
+}
+
+// visit opens the URL with the engine's browser capabilities and classifies
+// whatever it reaches; when the direct path stays benign and the form policy
+// allows, it submits forms and classifies the results.
+func (e *Engine) visit(rawURL string) (verdict, viaForm bool) {
+	b := browser.New(e.net, browser.Config{
+		UserAgent:      e.Profile.UserAgent,
+		SourceIP:       e.pickIP(rawURL, 0),
+		ExecuteScripts: e.Profile.ExecuteScripts,
+		AlertPolicy:    e.Profile.AlertPolicy,
+		TimerBudget:    e.Profile.TimerBudget,
+	})
+	page, err := b.Open(rawURL)
+	if err != nil {
+		return false, false
+	}
+	if e.judge(page) {
+		return true, false
+	}
+	if e.Profile.FormPolicy == FormNone {
+		return false, false
+	}
+	for _, form := range page.Forms() {
+		if !e.shouldSubmit(form.Fields) {
+			continue
+		}
+		after, err := page.Submit(form, fillProbeValues(form.Fields))
+		if err != nil {
+			continue
+		}
+		if e.judge(after) {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// judge classifies a settled page under the engine's power, fetching
+// referenced resources with the engine's own client for fingerprinting.
+func (e *Engine) judge(page *browser.Page) bool {
+	client := simnet.NewClient(e.net, e.pickIP(page.URL.String(), 1))
+	fetch := func(res string) []byte {
+		rel, err := url.Parse(res)
+		if err != nil {
+			return nil
+		}
+		resp, err := client.Get(page.URL.ResolveReference(rel).String())
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil
+		}
+		return data
+	}
+	ev := classify.Examine(page.URL.Hostname(), page.DOM, fetch)
+	return classify.Verdict(ev, e.Profile.Power)
+}
+
+// shouldSubmit applies the engine's form policy to a form's field set.
+func (e *Engine) shouldSubmit(fields map[string]string) bool {
+	switch e.Profile.FormPolicy {
+	case FormAll:
+		return true
+	case FormLogin:
+		for name := range fields {
+			if looksLikeLoginField(name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func looksLikeLoginField(name string) bool {
+	name = strings.ToLower(name)
+	for _, marker := range []string{"user", "email", "login", "identifier", "account"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// fillProbeValues fills username-like fields with a probe identity, as the
+// paper observed in its server logs (passwords were not logged server-side;
+// the probe sets one anyway, as the engines did).
+func fillProbeValues(fields map[string]string) map[string]string {
+	out := map[string]string{}
+	for name := range fields {
+		lower := strings.ToLower(name)
+		switch {
+		case looksLikeLoginField(name):
+			out[name] = "john.smith1982@example.com"
+		case strings.Contains(lower, "pass"):
+			out[name] = "Probe!12345"
+		}
+	}
+	return out
+}
+
+func (e *Engine) pickIP(label string, salt int) string {
+	r := e.rng(fmt.Sprintf("ip|%s|%d", label, salt))
+	return e.ipPool[r.Intn(len(e.ipPool))]
+}

@@ -1,0 +1,129 @@
+package engines
+
+import (
+	"math/rand"
+	"net/http"
+	"net/url"
+	"time"
+
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/simnet"
+)
+
+// Traffic shaping: the paper received roughly 90% of all engine traffic
+// within the first two hours after reporting; the rest dribbled in over the
+// first day.
+const (
+	burstWindow   = 2 * time.Hour
+	tailWindow    = 22 * time.Hour
+	burstFraction = 0.9
+	burstBatches  = 24
+	tailBatches   = 22
+)
+
+// probePaths are what OpenPhish's storm hunted for on the paper's servers:
+// famous web shells, phishing-kit archives, and harvested-credential files.
+var probePaths = []string{
+	"/shell.php", "/c99.php", "/r57.php", "/wso.php", "/b374k.php", "/alfa.php",
+	"/wp-content/shell.php", "/admin/cmd.php",
+	"/kit.zip", "/backup.zip", "/wp-content.zip", "/site.zip",
+	"/log.txt", "/rezult.txt", "/victims.log", "/track.log", "/data/pass.txt",
+}
+
+// generateTraffic schedules the crawler fleet's request volume against the
+// reported URL's host.
+func (e *Engine) generateTraffic(rawURL string) {
+	total := e.TrafficPerReport
+	if total <= 0 {
+		return
+	}
+	target, err := url.Parse(rawURL)
+	if err != nil {
+		return
+	}
+	paths := e.discoverPaths(target)
+	rng := e.rng("traffic|" + rawURL)
+
+	burst := int(float64(total) * burstFraction)
+	tail := total - burst
+	e.scheduleBatches(target, paths, rng, burst, burstBatches, burstWindow, 0)
+	e.scheduleBatches(target, paths, rng, tail, tailBatches, tailWindow, burstWindow)
+}
+
+func (e *Engine) scheduleBatches(target *url.URL, paths []string, rng *rand.Rand, total, batches int, window, offset time.Duration) {
+	if total <= 0 || batches <= 0 {
+		return
+	}
+	per := total / batches
+	rem := total % batches
+	for i := 0; i < batches; i++ {
+		n := per
+		if i < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		at := offset + time.Duration(int64(window)/int64(batches)*int64(i)) +
+			time.Duration(rng.Int63n(int64(window)/int64(batches)+1))
+		count := n
+		e.sched.After(at, e.Profile.Key+":fleet", func(time.Time) {
+			e.fleetBatch(target, paths, rng, count)
+		})
+	}
+}
+
+// fleetBatch issues n requests from randomly chosen fleet addresses.
+func (e *Engine) fleetBatch(target *url.URL, paths []string, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		ip := e.ipPool[rng.Intn(len(e.ipPool))]
+		path := target.Path
+		switch {
+		case e.Profile.ProbeStorm && rng.Float64() < 0.35:
+			path = probePaths[rng.Intn(len(probePaths))]
+		case len(paths) > 0 && rng.Float64() < 0.6:
+			path = paths[rng.Intn(len(paths))]
+		}
+		e.get(ip, target.Scheme+"://"+target.Host+path)
+	}
+}
+
+// discoverPaths fetches the host's index page once and extracts same-host
+// link paths so fleet traffic exercises the whole fake site.
+func (e *Engine) discoverPaths(target *url.URL) []string {
+	body := e.get(e.ipPool[0], target.Scheme+"://"+target.Host+"/")
+	if body == "" {
+		return nil
+	}
+	doc := htmlmini.Parse(body)
+	var out []string
+	for _, href := range doc.Links() {
+		u, err := url.Parse(href)
+		if err != nil || (u.Host != "" && u.Host != target.Host) {
+			continue
+		}
+		if u.Path != "" {
+			out = append(out, u.Path)
+		}
+	}
+	return out
+}
+
+// get fetches a URL with the engine identity, returning the body ("" on any
+// failure).
+func (e *Engine) get(ip, rawURL string) string {
+	client := simnet.NewClient(e.net, ip)
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return ""
+	}
+	req.Header.Set("User-Agent", e.Profile.UserAgent)
+	resp, err := client.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64*1024)
+	n, _ := resp.Body.Read(buf)
+	return string(buf[:n])
+}

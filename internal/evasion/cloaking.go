@@ -1,0 +1,59 @@
+package evasion
+
+import (
+	"net/http"
+	"strings"
+)
+
+// cloaking is the baseline technique from Oest et al. (PhishFarm) that the
+// paper compares against: serve the payload to everyone except visitors
+// whose user agent or source address looks like a security crawler. Unlike
+// human verification, it decides on *claimed identity*, which crawlers can
+// spoof — which is why blacklists still caught 23% of cloaked sites.
+type cloaking struct{ opts Options }
+
+func newCloaking(opts Options) http.Handler { return &cloaking{opts: opts} }
+
+// DefaultBotUserAgents are crawler user-agent substrings cloaking kits
+// commonly block.
+var DefaultBotUserAgents = []string{
+	"googlebot", "bingbot", "yandex", "crawler", "spider", "bot/", "curl", "python",
+	"safebrowsing", "netcraft", "phishtank", "openphish", "apwg", "smartscreen",
+}
+
+func (c *cloaking) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.isBot(r) {
+		c.opts.log(r, ServeBenign)
+		c.opts.Benign.ServeHTTP(w, r)
+		return
+	}
+	c.opts.log(r, ServePayload)
+	c.opts.Payload.ServeHTTP(w, r)
+}
+
+func (c *cloaking) isBot(r *http.Request) bool {
+	ua := strings.ToLower(r.UserAgent())
+	agents := c.opts.BotUserAgents
+	if agents == nil {
+		agents = DefaultBotUserAgents
+	}
+	for _, marker := range agents {
+		if strings.Contains(ua, marker) {
+			return true
+		}
+	}
+	ip := r.RemoteAddr
+	if i := strings.LastIndexByte(ip, ':'); i >= 0 {
+		ip = ip[:i]
+	}
+	for _, blocked := range c.opts.BotIPs {
+		if strings.HasSuffix(blocked, ".") {
+			if strings.HasPrefix(ip, blocked) {
+				return true
+			}
+		} else if ip == blocked {
+			return true
+		}
+	}
+	return false
+}

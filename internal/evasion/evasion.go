@@ -1,0 +1,163 @@
+// Package evasion implements the anti-analysis techniques the paper studies:
+// the JavaScript alert box (Listing 2), the session-based multi-page flow,
+// and Google reCAPTCHA gating (Listing 1) — plus a no-op control and the
+// user-agent/IP web-cloaking baseline from Oest et al. used for comparison.
+//
+// Each technique wraps a phishing payload handler and a benign handler into
+// one http.Handler deployed at the phishing URL. Whether a visitor reaches
+// the payload depends entirely on their browser capabilities (script
+// execution, dialog handling, form submission, CAPTCHA solving), not on who
+// they claim to be — that is what makes human-verification evasion stronger
+// than cloaking.
+package evasion
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Technique identifies one evasion technique.
+type Technique int
+
+// The studied techniques.
+const (
+	None Technique = iota
+	AlertBox
+	SessionBased
+	Recaptcha
+	Cloaking
+)
+
+// String returns the technique name used in tables and flags.
+func (t Technique) String() string {
+	switch t {
+	case None:
+		return "none"
+	case AlertBox:
+		return "alertbox"
+	case SessionBased:
+		return "session"
+	case Recaptcha:
+		return "recaptcha"
+	case Cloaking:
+		return "cloaking"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Letter returns the single-letter code Table 2 uses (A, S, R).
+func (t Technique) Letter() string {
+	switch t {
+	case AlertBox:
+		return "A"
+	case SessionBased:
+		return "S"
+	case Recaptcha:
+		return "R"
+	case Cloaking:
+		return "C"
+	default:
+		return "-"
+	}
+}
+
+// Parse converts a technique name back to its value.
+func Parse(name string) (Technique, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "none", "":
+		return None, nil
+	case "alertbox", "alert", "a":
+		return AlertBox, nil
+	case "session", "session-based", "s":
+		return SessionBased, nil
+	case "recaptcha", "captcha", "r":
+		return Recaptcha, nil
+	case "cloaking", "cloak", "c":
+		return Cloaking, nil
+	}
+	return None, fmt.Errorf("evasion: unknown technique %q", name)
+}
+
+// Techniques lists the three human-verification techniques of the main
+// experiment, in the paper's column order.
+func Techniques() []Technique { return []Technique{AlertBox, SessionBased, Recaptcha} }
+
+// ServeKind classifies what one request was answered with; the server-side
+// log analysis in Section 4 is built from these.
+type ServeKind string
+
+// Serve kinds.
+const (
+	ServeBenign    ServeKind = "benign"    // harmless content (gate not passed)
+	ServeCover     ServeKind = "cover"     // session-based first page
+	ServeChallenge ServeKind = "challenge" // CAPTCHA page
+	ServePayload   ServeKind = "payload"   // the phishing content
+)
+
+// LogFunc observes every decision the evasion wrapper makes. kind tells
+// whether this visitor got the payload.
+type LogFunc func(r *http.Request, kind ServeKind)
+
+// Options configures Wrap.
+type Options struct {
+	// Payload serves the phishing page; required.
+	Payload http.Handler
+	// Benign serves the harmless cover content; required for every
+	// technique except None.
+	Benign http.Handler
+	// Log observes serve decisions (optional).
+	Log LogFunc
+
+	// Recaptcha fields.
+	// WidgetHTML is the embeddable CAPTCHA widget markup (see
+	// captcha.WidgetHTML).
+	WidgetHTML string
+	// VerifyToken validates a posted CAPTCHA response token, e.g.
+	// (*captcha.Client).Verify.
+	VerifyToken func(token string) bool
+
+	// Cloaking fields.
+	// BotUserAgents are substrings identifying crawler user agents.
+	BotUserAgents []string
+	// BotIPs are source addresses (exact or prefix ending in '.') known to
+	// belong to security crawlers.
+	BotIPs []string
+}
+
+func (o Options) log(r *http.Request, kind ServeKind) {
+	if o.Log != nil {
+		o.Log(r, kind)
+	}
+}
+
+// Wrap deploys technique t over the given payload/benign pair.
+func Wrap(t Technique, opts Options) (http.Handler, error) {
+	if opts.Payload == nil {
+		return nil, fmt.Errorf("evasion: %s: Payload handler required", t)
+	}
+	if t != None && opts.Benign == nil {
+		return nil, fmt.Errorf("evasion: %s: Benign handler required", t)
+	}
+	switch t {
+	case None:
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			opts.log(r, ServePayload)
+			opts.Payload.ServeHTTP(w, r)
+		}), nil
+	case AlertBox:
+		return newAlertBox(opts), nil
+	case SessionBased:
+		return newSessionBased(opts), nil
+	case Recaptcha:
+		if opts.VerifyToken == nil || opts.WidgetHTML == "" {
+			return nil, fmt.Errorf("evasion: recaptcha requires WidgetHTML and VerifyToken")
+		}
+		return newRecaptcha(opts), nil
+	case Cloaking:
+		return newCloaking(opts), nil
+	default:
+		return nil, fmt.Errorf("evasion: unknown technique %d", int(t))
+	}
+}

@@ -1,0 +1,415 @@
+package evasion
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/captcha"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+const payloadMarker = "FAKE-LOGIN-PAYLOAD"
+
+func payloadHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, `<html><head><title>Log in to your account</title></head><body>
+<div id="phish">`+payloadMarker+`</div>
+<form action="/collect.php" method="post"><input name="login_email"><input name="login_pass" type="password"></form>
+</body></html>`)
+	})
+}
+
+func benignHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, `<html><head><title>Garden Tips</title></head><body>
+<h1>Ten tips for a better garden</h1><p>Totally harmless content.</p>
+</body></html>`)
+	})
+}
+
+// logRecorder collects serve decisions thread-safely.
+type logRecorder struct {
+	mu    sync.Mutex
+	kinds []ServeKind
+}
+
+func (l *logRecorder) fn(r *http.Request, kind ServeKind) {
+	l.mu.Lock()
+	l.kinds = append(l.kinds, kind)
+	l.mu.Unlock()
+}
+
+func (l *logRecorder) count(kind ServeKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, k := range l.kinds {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func deploy(t *testing.T, technique Technique, opts Options) (*simnet.Internet, string) {
+	t.Helper()
+	net := simnet.New(nil)
+	h, err := Wrap(technique, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("victim-site.example", h)
+	return net, "http://victim-site.example/wp-content/secure/login.php"
+}
+
+func TestNoneAlwaysServesPayload(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := deploy(t, None, Options{Payload: payloadHandler(), Log: rec.fn})
+	b := browser.New(net, browser.Config{})
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("None must always serve the payload")
+	}
+	if rec.count(ServePayload) != 1 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func botConfig(policy browser.AlertPolicy) browser.Config {
+	return browser.Config{
+		ExecuteScripts: true,
+		AlertPolicy:    policy,
+		TimerBudget:    30 * time.Second,
+	}
+}
+
+func TestAlertBoxConfirmReachesPayload(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
+	b := browser.New(net, botConfig(browser.AlertConfirm))
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Text(), payloadMarker) {
+		t.Fatalf("confirming bot should reach payload, got %q", p.Title())
+	}
+	if rec.count(ServePayload) != 1 || rec.count(ServeBenign) != 1 {
+		t.Fatalf("log = %v, want one benign then one payload", rec.kinds)
+	}
+}
+
+func TestAlertBoxDismissStaysBenign(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
+	b := browser.New(net, botConfig(browser.AlertDismiss))
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("dismissing the alert must not reveal the payload")
+	}
+	if rec.count(ServePayload) != 0 {
+		t.Fatalf("log = %v, payload should never be served", rec.kinds)
+	}
+}
+
+func TestAlertBoxIgnorePolicyBlocked(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
+	b := browser.New(net, botConfig(browser.AlertIgnore))
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("dialog-incapable bot must not reach payload")
+	}
+	if p.ScriptErr == nil {
+		t.Fatal("dialog-incapable bot should record a script failure")
+	}
+	if rec.count(ServePayload) != 0 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func TestAlertBoxNonJSFetcherSeesBenign(t *testing.T) {
+	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler()})
+	b := browser.New(net, browser.Config{ExecuteScripts: false})
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("plain fetcher must see benign content")
+	}
+	if !strings.Contains(p.Text(), "garden") && !strings.Contains(p.Text(), "Garden") {
+		t.Fatalf("benign content missing: %q", p.Text())
+	}
+}
+
+func TestAlertBoxShortTimerBudgetNeverSeesDialog(t *testing.T) {
+	// A bot that executes scripts but leaves before the 2s timer fires.
+	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler()})
+	cfg := botConfig(browser.AlertConfirm)
+	cfg.TimerBudget = time.Second
+	b := browser.New(net, cfg)
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("impatient bot should never see the dialog or payload")
+	}
+	if len(p.Dialogs) != 0 {
+		t.Fatalf("Dialogs = %v, want none", p.Dialogs)
+	}
+}
+
+func TestSessionBasedFormSubmitterReachesPayload(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := deploy(t, SessionBased, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
+	b := browser.New(net, browser.Config{})
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("cover page must not include payload")
+	}
+	forms := p.Forms()
+	if len(forms) != 1 {
+		t.Fatalf("cover page forms = %d, want the Join Chat form", len(forms))
+	}
+	p2, err := p.Submit(forms[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2.Text(), payloadMarker) {
+		t.Fatal("form-submitting visitor with session should reach payload")
+	}
+	if rec.count(ServeCover) != 1 || rec.count(ServePayload) != 1 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func TestSessionBasedDirectPostWithoutSessionFails(t *testing.T) {
+	rec := &logRecorder{}
+	net, _ := deploy(t, SessionBased, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
+	client := simnet.NewClient(net, "198.51.100.77")
+	resp, err := client.PostForm("http://victim-site.example/wp-content/secure/login.php",
+		map[string][]string{"proceed": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), payloadMarker) {
+		t.Fatal("sessionless POST must not reveal payload")
+	}
+	if rec.count(ServePayload) != 0 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func TestSessionBasedNonSubmittingBotStaysOnCover(t *testing.T) {
+	net, urlStr := deploy(t, SessionBased, Options{Payload: payloadHandler(), Benign: benignHandler()})
+	b := browser.New(net, botConfig(browser.AlertConfirm))
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Text(), payloadMarker) {
+		t.Fatal("merely opening the page must not reveal payload")
+	}
+	if !strings.Contains(p.Text(), "Join Chat") {
+		t.Fatalf("cover persuader missing: %q", p.Text())
+	}
+}
+
+// recaptchaDeployment wires a CAPTCHA service plus a protected site.
+func recaptchaDeployment(t *testing.T, rec *logRecorder) (*simnet.Internet, string) {
+	t.Helper()
+	net := simnet.New(nil)
+	svc := captcha.NewService(simclock.New(simclock.Epoch))
+	sitekey, secret := svc.RegisterSite()
+	net.Register("captcha-svc.example", svc.Handler())
+	verifier := &captcha.Client{
+		HTTP:    simnet.NewClient(net, "203.0.113.99"), // the phishing server's own egress
+		BaseURL: "http://captcha-svc.example",
+		Secret:  secret,
+	}
+	opts := Options{
+		Payload:     payloadHandler(),
+		Benign:      benignHandler(),
+		WidgetHTML:  captcha.WidgetHTML("captcha-svc.example", sitekey, "capback"),
+		VerifyToken: verifier.Verify,
+	}
+	if rec != nil {
+		opts.Log = rec.fn
+	}
+	h, err := Wrap(Recaptcha, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("victim-site.example", h)
+	return net, "http://victim-site.example/wp-content/secure/login.php"
+}
+
+func TestRecaptchaHumanReachesPayloadSameURL(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := recaptchaDeployment(t, rec)
+	human := browser.New(net, browser.Config{
+		ExecuteScripts: true, AlertPolicy: browser.AlertConfirm,
+		TimerBudget: time.Hour, CanSolveCAPTCHA: true,
+	})
+	p, err := human.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Text(), payloadMarker) {
+		t.Fatalf("human should pass the CAPTCHA gate, got %q", p.Title())
+	}
+	if got := "http://" + p.URL.Host + p.URL.Path; got != urlStr {
+		t.Fatalf("URL changed to %s; technique must keep it identical", got)
+	}
+	if rec.count(ServeChallenge) != 1 || rec.count(ServePayload) != 1 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func TestRecaptchaBotsNeverReachPayload(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := recaptchaDeployment(t, rec)
+	for _, cfg := range []browser.Config{
+		{ExecuteScripts: false},
+		{ExecuteScripts: true, AlertPolicy: browser.AlertConfirm, TimerBudget: time.Minute},
+		{ExecuteScripts: true, AlertPolicy: browser.AlertDismiss},
+	} {
+		b := browser.New(net, cfg)
+		p, err := b.Open(urlStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(p.Text(), payloadMarker) {
+			t.Fatalf("bot config %+v reached the payload", cfg)
+		}
+	}
+	if rec.count(ServePayload) != 0 {
+		t.Fatalf("log = %v, no payload should be served to bots", rec.kinds)
+	}
+}
+
+func TestRecaptchaChallengeHasNoStaticForm(t *testing.T) {
+	net, urlStr := recaptchaDeployment(t, nil)
+	b := browser.New(net, browser.Config{ExecuteScripts: false})
+	p, err := b.Open(urlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forms := p.Forms(); len(forms) != 0 {
+		t.Fatalf("challenge page ships %d static forms; Listing 1 has none", len(forms))
+	}
+}
+
+func TestRecaptchaForgedTokenRejected(t *testing.T) {
+	rec := &logRecorder{}
+	net, urlStr := recaptchaDeployment(t, rec)
+	client := simnet.NewClient(net, "198.51.100.50")
+	resp, err := client.PostForm(urlStr, map[string][]string{"gresponse": {"03A-forged-1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), payloadMarker) {
+		t.Fatal("forged token must not unlock payload")
+	}
+	if rec.count(ServePayload) != 0 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func TestCloakingBlocksByUserAgentAndIP(t *testing.T) {
+	rec := &logRecorder{}
+	net := simnet.New(nil)
+	h, err := Wrap(Cloaking, Options{
+		Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn,
+		BotIPs: []string{"198.51.100.200", "203.0.113."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("cloaked.example", h)
+
+	fetch := func(ip, ua string) string {
+		client := simnet.NewClient(net, ip)
+		req, _ := http.NewRequest("GET", "http://cloaked.example/login.php", nil)
+		req.Header.Set("User-Agent", ua)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	if !strings.Contains(fetch("198.51.100.9", "Mozilla/5.0 Firefox/76.0"), payloadMarker) {
+		t.Fatal("normal visitor should get payload")
+	}
+	if strings.Contains(fetch("198.51.100.9", "Mozilla/5.0 (compatible; Googlebot/2.1)"), payloadMarker) {
+		t.Fatal("crawler UA must get benign page")
+	}
+	if strings.Contains(fetch("198.51.100.200", "Mozilla/5.0 Firefox/76.0"), payloadMarker) {
+		t.Fatal("blocked exact IP must get benign page")
+	}
+	if strings.Contains(fetch("203.0.113.42", "Mozilla/5.0 Firefox/76.0"), payloadMarker) {
+		t.Fatal("blocked IP prefix must get benign page")
+	}
+	if rec.count(ServePayload) != 1 || rec.count(ServeBenign) != 3 {
+		t.Fatalf("log = %v", rec.kinds)
+	}
+}
+
+func TestWrapValidation(t *testing.T) {
+	if _, err := Wrap(AlertBox, Options{Payload: payloadHandler()}); err == nil {
+		t.Fatal("missing Benign should fail")
+	}
+	if _, err := Wrap(None, Options{}); err == nil {
+		t.Fatal("missing Payload should fail")
+	}
+	if _, err := Wrap(Recaptcha, Options{Payload: payloadHandler(), Benign: benignHandler()}); err == nil {
+		t.Fatal("recaptcha without verifier should fail")
+	}
+}
+
+func TestTechniqueStringsAndParse(t *testing.T) {
+	for _, tc := range []Technique{None, AlertBox, SessionBased, Recaptcha, Cloaking} {
+		parsed, err := Parse(tc.String())
+		if err != nil || parsed != tc {
+			t.Fatalf("Parse(%q) = %v, %v", tc.String(), parsed, err)
+		}
+	}
+	if _, err := Parse("quantum"); err == nil {
+		t.Fatal("unknown name should fail to parse")
+	}
+	if AlertBox.Letter() != "A" || SessionBased.Letter() != "S" || Recaptcha.Letter() != "R" {
+		t.Fatal("Table 2 letters wrong")
+	}
+	if len(Techniques()) != 3 {
+		t.Fatal("main experiment studies exactly three techniques")
+	}
+}

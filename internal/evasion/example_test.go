@@ -1,0 +1,43 @@
+package evasion_test
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/simnet"
+)
+
+// Deploy the alert-box technique and show that only a dialog-confirming
+// visitor reaches the payload — the mechanism behind GSB's unique Table 2
+// column.
+func ExampleWrap() {
+	payload := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<html><head><title>Log In</title></head><body>PAYLOAD</body></html>`)
+	})
+	benign := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<html><head><title>Garden Tips</title></head><body>tips</body></html>`)
+	})
+	handler, err := evasion.Wrap(evasion.AlertBox, evasion.Options{Payload: payload, Benign: benign})
+	if err != nil {
+		panic(err)
+	}
+
+	net := simnet.New(nil)
+	net.Register("site.example", handler)
+
+	confirming := browser.New(net, browser.Config{
+		ExecuteScripts: true, AlertPolicy: browser.AlertConfirm, TimerBudget: time.Minute,
+	})
+	page, _ := confirming.Open("http://site.example/login.php")
+	fmt.Println("confirming visitor sees:", page.Title())
+
+	plain := browser.New(net, browser.Config{ExecuteScripts: false})
+	page2, _ := plain.Open("http://site.example/login.php")
+	fmt.Println("plain fetcher sees:", page2.Title())
+	// Output:
+	// confirming visitor sees: Log In
+	// plain fetcher sees: Garden Tips
+}

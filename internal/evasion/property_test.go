@@ -1,0 +1,181 @@
+package evasion
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"areyouhuman/internal/simnet"
+)
+
+// These property tests treat each gate as a security boundary and fuzz raw
+// requests against it: the payload must never be served unless the gate's
+// exact condition is met, no matter what methods, fields, or values an
+// adversary (or a confused crawler) throws at it.
+
+// fuzzTarget deploys a technique and returns a raw request function
+// reporting whether the response contained the payload marker.
+func fuzzTarget(t *testing.T, technique Technique, opts Options) func(method string, form url.Values, cookie *http.Cookie) bool {
+	t.Helper()
+	opts.Payload = payloadHandler()
+	opts.Benign = benignHandler()
+	h, err := Wrap(technique, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(nil)
+	net.Register("fuzz.example", h)
+	client := simnet.NewClient(net, "198.51.100.66")
+	return func(method string, form url.Values, cookie *http.Cookie) bool {
+		var req *http.Request
+		if method == http.MethodPost {
+			req, _ = http.NewRequest(method, "http://fuzz.example/login.php", strings.NewReader(form.Encode()))
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		} else {
+			req, _ = http.NewRequest(method, "http://fuzz.example/login.php?"+form.Encode(), nil)
+		}
+		if cookie != nil {
+			req.AddCookie(cookie)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return strings.Contains(string(body), payloadMarker)
+	}
+}
+
+// sanitizeField keeps quick-generated strings form-safe.
+func sanitizeField(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 32 && r < 127 {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestQuickAlertBoxGate(t *testing.T) {
+	hit := fuzzTarget(t, AlertBox, Options{})
+	f := func(val string, extraKey string, post bool) bool {
+		val = sanitizeField(val)
+		method := http.MethodGet
+		if post {
+			method = http.MethodPost
+		}
+		form := url.Values{"get_data": {val}}
+		if k := sanitizeField(extraKey); k != "" {
+			form.Set(k, "1")
+		}
+		served := hit(method, form, nil)
+		want := post && val == alertGateMarker
+		return served == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSessionGateNeedsMintedCookie(t *testing.T) {
+	hit := fuzzTarget(t, SessionBased, Options{})
+	f := func(sid string, proceed string, post bool) bool {
+		method := http.MethodGet
+		if post {
+			method = http.MethodPost
+		}
+		cookie := &http.Cookie{Name: sessionCookie, Value: sanitizeCookie(sid)}
+		served := hit(method, url.Values{"proceed": {sanitizeField(proceed)}}, cookie)
+		// A forged session id was never minted by the server, so the
+		// payload must never be served regardless of the proceed value.
+		return !served
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeCookie(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "forged"
+	}
+	return b.String()
+}
+
+func TestQuickRecaptchaGateNeedsValidToken(t *testing.T) {
+	const magic = "03A-genuine-token"
+	hit := fuzzTarget(t, Recaptcha, Options{
+		WidgetHTML:  `<div class="g-recaptcha" data-sitekey="k" data-callback="capback" data-endpoint="http://svc.example/issue"></div>`,
+		VerifyToken: func(tok string) bool { return tok == magic },
+	})
+	f := func(tok string, post bool) bool {
+		tok = sanitizeField(tok)
+		method := http.MethodGet
+		if post {
+			method = http.MethodPost
+		}
+		served := hit(method, url.Values{"gresponse": {tok}}, nil)
+		want := post && tok == magic
+		return served == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	// And the genuine token does open the gate.
+	if !hit(http.MethodPost, url.Values{"gresponse": {magic}}, nil) {
+		t.Fatal("genuine token must serve the payload")
+	}
+}
+
+func TestSessionMintedCookieOpensGate(t *testing.T) {
+	// Counterpart to the fuzz test: the legitimate flow (GET to mint, POST
+	// with the minted cookie) does open the gate.
+	opts := Options{Payload: payloadHandler(), Benign: benignHandler()}
+	h, err := Wrap(SessionBased, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(nil)
+	net.Register("fuzz.example", h)
+	client := simnet.NewClient(net, "198.51.100.67")
+
+	resp, err := client.Get("http://fuzz.example/login.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var minted *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == sessionCookie {
+			minted = c
+		}
+	}
+	if minted == nil {
+		t.Fatal("cover page must mint a session cookie")
+	}
+	req, _ := http.NewRequest(http.MethodPost, "http://fuzz.example/login.php",
+		strings.NewReader(url.Values{"proceed": {"1"}}.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.AddCookie(minted)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), payloadMarker) {
+		t.Fatal("minted cookie + proceed must open the gate")
+	}
+}

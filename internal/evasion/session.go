@@ -1,0 +1,80 @@
+package evasion
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// sessionCookie mirrors PHP's default session cookie name; the paper's
+// session-based kits are PHP.
+const sessionCookie = "PHPSESSID"
+
+// sessionBased implements the multi-page flow of Section 2.3: the first page
+// shows a persuader button ("Join Chat"); pressing it submits a form, and the
+// second (malicious) page is revealed only to visitors who arrived through
+// that submission with a server-side session minted on the first page.
+type sessionBased struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]bool // sid -> cover page served
+	counter  int
+}
+
+func newSessionBased(opts Options) http.Handler {
+	return &sessionBased{opts: opts, sessions: make(map[string]bool)}
+}
+
+func (s *sessionBased) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err == nil && r.PostFormValue("proceed") == "1" && s.validSession(r) {
+			s.opts.log(r, ServePayload)
+			s.opts.Payload.ServeHTTP(w, r)
+			return
+		}
+	}
+	s.serveCover(w, r)
+}
+
+func (s *sessionBased) validSession(r *http.Request) bool {
+	c, err := r.Cookie(sessionCookie)
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[c.Value]
+}
+
+func (s *sessionBased) serveCover(w http.ResponseWriter, r *http.Request) {
+	s.opts.log(r, ServeCover)
+	// Mint a session unless the visitor already carries one, like PHP's
+	// session_start().
+	if _, err := r.Cookie(sessionCookie); err != nil {
+		s.mu.Lock()
+		s.counter++
+		sid := fmt.Sprintf("sess%08d", s.counter)
+		s.sessions[sid] = true
+		s.mu.Unlock()
+		http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: sid, Path: "/"})
+	} else {
+		c, _ := r.Cookie(sessionCookie)
+		s.mu.Lock()
+		s.sessions[c.Value] = true
+		s.mu.Unlock()
+	}
+	html := captureHTML(s.opts.Benign, r)
+	cover := `
+<div class="invite">
+  <h2>You are invited to a WhatsApp group chat</h2>
+  <form method="post">
+    <input type="hidden" name="proceed" value="1">
+    <button type="submit">Join Chat</button>
+  </form>
+</div>
+`
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, injectBeforeBodyEnd(html, cover))
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"areyouhuman/internal/dropcatch"
+	"areyouhuman/internal/reputation"
+	"areyouhuman/internal/whois"
+	"areyouhuman/internal/wordnet"
+)
+
+// KeywordDomains synthesises n registrable keyword domains (Section 3: "we
+// randomly generate keywords from the Unix dictionary"), newGTLD of them
+// under new gTLDs and the rest under legacy gTLDs. The label prefix keeps
+// stage domain sets disjoint.
+func (w *World) KeywordDomains(prefix string, n, newGTLD int) []string {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ int64(len(prefix))<<8 ^ int64(n)))
+	words := wordnet.RandomKeywords(w.Cfg.Seed^int64(n), len(wordnet.Dictionary()))
+	legacy := []string{"com", "net", "org"}
+	newer := []string{"xyz", "online", "site", "top", "icu", "club", "shop"}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; len(out) < n; i++ {
+		a := words[rng.Intn(len(words))]
+		b := words[rng.Intn(len(words))]
+		if a == b {
+			continue
+		}
+		tld := legacy[rng.Intn(len(legacy))]
+		if len(out) < newGTLD {
+			tld = newer[rng.Intn(len(newer))]
+		}
+		domain := fmt.Sprintf("%s-%s-%s.%s", prefix, a, b, tld)
+		if seen[domain] {
+			continue
+		}
+		seen[domain] = true
+		out = append(out, domain)
+	}
+	return out
+}
+
+// DropCatchDomains runs the six-step selection pipeline over a synthetic
+// candidate population and returns n reputed expired domains ready for
+// registration, plus the realised funnel. The candidate list is scaled down
+// from the paper's 1M (see dropcatch.PaperConfig for the full-scale run);
+// the pipeline code is identical.
+func (w *World) DropCatchDomains(n int) ([]string, dropcatch.Funnel, error) {
+	// Build a live population: a candidate list in which exactly n domains
+	// are expired with archive history and search presence.
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x5eed))
+	listSize := n * 40
+	list := make([]string, 0, listSize)
+	seen := map[string]bool{}
+	for len(list) < listSize {
+		d := synthAged(rng)
+		if !seen[d] {
+			seen[d] = true
+			list = append(list, d)
+		}
+	}
+	// Population plan scaled from the paper's funnel (1M -> 770 -> 251 ->
+	// 244 -> 244 -> 50): beyond the n keepers, plant expired domains that
+	// fall out at intermediate steps — snapped up again before we could
+	// register them (step 2/3), or lacking web history (steps 5/6).
+	expired := n * 770 / 50
+	available := n * 244 / 50
+	if expired > listSize {
+		expired = listSize
+	}
+	perm := rng.Perm(listSize)
+	pick := func(count int, offset int) []string {
+		out := make([]string, count)
+		for i := range out {
+			out[i] = list[perm[offset+i]]
+		}
+		return out
+	}
+	chosen := pick(n, 0)
+	unarchived := pick(available-n, n)
+	taken := pick(expired-available, available)
+
+	ls := dropcatch.LiveServices{
+		DNS:        w.DNS,
+		Registrars: w.Checkers,
+		WHOIS:      w.WHOIS,
+		Scanner:    reputation.NewScanner(),
+		Archive:    reputation.NewArchive(),
+		Index:      reputation.NewSearchIndex(),
+	}
+	dropcatch.PlantLive(ls, list, chosen, w.Clock.Now())
+	for _, d := range unarchived {
+		// Expired and registrable, but never archived or indexed.
+		w.DNS.RemoveZone(d)
+	}
+	for _, d := range taken {
+		// Expired on DNS but already re-registered by a drop-catcher.
+		w.DNS.RemoveZone(d)
+		w.WHOIS.Put(whois.Record{
+			Domain: d, Registrar: "DropCatch LLC", Registrant: "speculator",
+			Created: w.Clock.Now().AddDate(0, -1, 0), Expires: w.Clock.Now().AddDate(1, -1, 0),
+		})
+	}
+	selected, funnel := dropcatch.Run(list, ls.Services(), n)
+	if len(selected) != n {
+		return nil, funnel, fmt.Errorf("experiment: drop-catch selected %d domains, want %d", len(selected), n)
+	}
+	// The planted non-chosen zones are aged sites that exist on DNS but are
+	// not part of our hosting; leave them delegated.
+	return selected, funnel, nil
+}
+
+// synthAged builds names that look like once-active sites.
+func synthAged(rng *rand.Rand) string {
+	words := wordnet.Dictionary()
+	a := words[rng.Intn(len(words))]
+	b := words[rng.Intn(len(words))]
+	tlds := []string{"com", "net", "org", "info"}
+	return fmt.Sprintf("%s%s.%s", a, b, tlds[rng.Intn(len(tlds))])
+}

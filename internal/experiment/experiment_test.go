@@ -1,0 +1,530 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/simnet"
+)
+
+// fastCfg keeps fleet traffic tiny so tests stay quick; detection logic is
+// unaffected (deciding crawls always happen).
+func fastCfg() Config {
+	return Config{TrafficScale: 0.002}
+}
+
+func TestPreliminaryTable1Shape(t *testing.T) {
+	w := NewWorld(fastCfg())
+	rows, err := w.RunPreliminary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		byKey[r.Engine] = r
+	}
+
+	wantTargets := map[string]string{
+		engines.GSB:         "G, F, P",
+		engines.NetCraft:    "G, F, P",
+		engines.APWG:        "F, P",
+		engines.OpenPhish:   "F, P",
+		engines.PhishTank:   "F, P",
+		engines.SmartScreen: "F, P",
+		engines.YSB:         "-",
+	}
+	for key, want := range wantTargets {
+		if got := byKey[key].BlacklistedTargets; got != want {
+			t.Errorf("%s blacklisted targets = %q, want %q", key, got, want)
+		}
+	}
+
+	wantAlso := map[string][]string{
+		engines.GSB:         nil,
+		engines.NetCraft:    {engines.GSB},
+		engines.APWG:        {engines.GSB},
+		engines.OpenPhish:   {engines.APWG, engines.GSB, engines.PhishTank, engines.SmartScreen},
+		engines.PhishTank:   {engines.GSB, engines.OpenPhish},
+		engines.SmartScreen: {engines.GSB},
+		engines.YSB:         nil,
+	}
+	for key, want := range wantAlso {
+		got := byKey[key].AlsoBlacklistedBy
+		if len(got) != len(want) {
+			t.Errorf("%s also-blacklisted-by = %v, want %v", key, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s also-blacklisted-by = %v, want %v", key, got, want)
+				break
+			}
+		}
+	}
+
+	for _, r := range rows {
+		if r.Requests == 0 || r.UniqueIPs == 0 {
+			t.Errorf("%s saw no traffic", r.Engine)
+		}
+		if r.ReportedPages != "G, F, P" {
+			t.Errorf("%s reported pages = %q", r.Engine, r.ReportedPages)
+		}
+	}
+}
+
+func TestPreliminaryTrafficOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic ordering needs non-trivial volumes")
+	}
+	w := NewWorld(Config{TrafficScale: 0.1})
+	rows, err := w.RunPreliminary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := map[string]int{}
+	for _, r := range rows {
+		vol[r.Engine] = r.Requests
+	}
+	// Table 1 ordering: OpenPhish >> GSB > NetCraft > PhishTank > APWG >
+	// SmartScreen > YSB.
+	order := []string{engines.OpenPhish, engines.GSB, engines.NetCraft, engines.PhishTank, engines.APWG, engines.SmartScreen, engines.YSB}
+	for i := 1; i < len(order); i++ {
+		if vol[order[i-1]] <= vol[order[i]] {
+			t.Fatalf("traffic volume ordering broken: %s(%d) <= %s(%d)",
+				order[i-1], vol[order[i-1]], order[i], vol[order[i]])
+		}
+	}
+}
+
+func TestMainExperimentTable2(t *testing.T) {
+	w := NewWorld(fastCfg())
+	res, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalURLs != 105 {
+		t.Fatalf("TotalURLs = %d, want 105", res.TotalURLs)
+	}
+	if len(res.Deployments) != 105 {
+		t.Fatalf("deployments = %d", len(res.Deployments))
+	}
+
+	get := func(key string, brand phishkit.Brand, tech evasion.Technique) Cell {
+		c := res.Cells[key][brand][tech]
+		if c == nil {
+			return Cell{}
+		}
+		return *c
+	}
+
+	// Headline result: 8 of 105 detected.
+	if res.TotalDetected != 8 {
+		t.Fatalf("TotalDetected = %d, want 8 (6 GSB alert-box + 2 NetCraft session)", res.TotalDetected)
+	}
+
+	// GSB: all alert-box URLs, nothing else.
+	if c := get(engines.GSB, phishkit.Facebook, evasion.AlertBox); c != (Cell{3, 3}) {
+		t.Fatalf("GSB FB alert = %v, want 3/3", c)
+	}
+	if c := get(engines.GSB, phishkit.PayPal, evasion.AlertBox); c != (Cell{3, 3}) {
+		t.Fatalf("GSB PP alert = %v, want 3/3", c)
+	}
+
+	// NetCraft: exactly 2 Facebook session URLs (paper Table 2).
+	if c := get(engines.NetCraft, phishkit.Facebook, evasion.SessionBased); c != (Cell{2, 3}) {
+		t.Fatalf("NetCraft FB session = %v, want 2/3", c)
+	}
+	if c := get(engines.NetCraft, phishkit.PayPal, evasion.SessionBased); c != (Cell{0, 3}) {
+		t.Fatalf("NetCraft PP session = %v, want 0/3", c)
+	}
+
+	// reCAPTCHA: zero across the board.
+	for _, key := range engines.MainExperimentKeys() {
+		for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+			if c := get(key, brand, evasion.Recaptcha); c.Detected != 0 {
+				t.Fatalf("%s %s recaptcha = %v, want 0 detections", key, brand, c)
+			}
+		}
+	}
+
+	// SmartScreen totals: 2 Facebook URLs per technique, 3 PayPal.
+	if c := get(engines.SmartScreen, phishkit.Facebook, evasion.AlertBox); c.Total != 2 {
+		t.Fatalf("SmartScreen FB alert total = %d, want 2", c.Total)
+	}
+	if c := get(engines.SmartScreen, phishkit.PayPal, evasion.Recaptcha); c.Total != 3 {
+		t.Fatalf("SmartScreen PP recaptcha total = %d, want 3", c.Total)
+	}
+
+	// Every non-GSB engine scores zero on alert boxes; every non-NetCraft
+	// engine scores zero on sessions.
+	for _, key := range engines.MainExperimentKeys() {
+		for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+			if key != engines.GSB {
+				if c := get(key, brand, evasion.AlertBox); c.Detected != 0 {
+					t.Fatalf("%s %s alert = %v, want 0", key, brand, c)
+				}
+			}
+			if key != engines.NetCraft {
+				if c := get(key, brand, evasion.SessionBased); c.Detected != 0 {
+					t.Fatalf("%s %s session = %v, want 0", key, brand, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMainExperimentTimings(t *testing.T) {
+	w := NewWorld(fastCfg())
+	res, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GSBAlertBoxTimes) != 6 {
+		t.Fatalf("GSB alert-box detections = %d, want 6", len(res.GSBAlertBoxTimes))
+	}
+	avg := AverageDuration(res.GSBAlertBoxTimes)
+	if avg < 110*time.Minute || avg > 160*time.Minute {
+		t.Fatalf("GSB alert-box average = %v, paper reports 132 minutes", avg)
+	}
+	if len(res.NetCraftSessionTimes) != 2 {
+		t.Fatalf("NetCraft session detections = %d, want 2", len(res.NetCraftSessionTimes))
+	}
+	for _, d := range res.NetCraftSessionTimes {
+		if d < 3*time.Minute || d > 15*time.Minute {
+			t.Fatalf("NetCraft session time %v, paper reports 6 and 9 minutes", d)
+		}
+	}
+}
+
+func TestMainFunnelAndDomainMix(t *testing.T) {
+	w := NewWorld(fastCfg())
+	res, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.Selected != 50 {
+		t.Fatalf("drop-catch funnel selected %d, want 50", res.Funnel.Selected)
+	}
+	newGTLD := 0
+	for _, d := range res.Deployments {
+		if strings.HasPrefix(d.Domain, "main-") {
+			continue
+		}
+	}
+	for _, d := range res.Deployments {
+		for _, tld := range []string{".xyz", ".online", ".site", ".top", ".icu", ".club", ".shop"} {
+			if strings.HasSuffix(d.Domain, tld) {
+				newGTLD++
+			}
+		}
+	}
+	if newGTLD != 21 {
+		t.Fatalf("new-gTLD domains = %d, want 21", newGTLD)
+	}
+}
+
+func TestExtensionsTable3(t *testing.T) {
+	w := NewWorld(fastCfg())
+	rows, err := w.RunExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total != 9 {
+			t.Errorf("%s total = %d, want 9", r.Name, r.Total)
+		}
+		if r.Detected != 0 {
+			t.Errorf("%s detected %d/9, paper reports 0/9 for every extension", r.Name, r.Detected)
+		}
+		if r.Telemetry == 0 {
+			t.Errorf("%s sent no telemetry", r.Name)
+		}
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	w := NewWorld(fastCfg())
+	rows, err := w.RunPreliminary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Reported to") || !strings.Contains(out, "G, F, P") {
+		t.Fatalf("Table 1 render:\n%s", out)
+	}
+}
+
+func TestDeployBringsFullStackOnline(t *testing.T) {
+	w := NewWorld(fastCfg())
+	d, err := w.Deploy("garden-craft.com", MountSpec{Brand: phishkit.PayPal, Technique: evasion.Recaptcha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.DNS.Exists("garden-craft.com") || !w.DNS.DNSSEC("garden-craft.com") {
+		t.Fatal("deploy must delegate a DNSSEC-signed zone")
+	}
+	if _, ok := w.CA.Lookup("garden-craft.com"); !ok {
+		t.Fatal("deploy must issue a TLS certificate")
+	}
+	if _, ok := w.WHOIS.Lookup("garden-craft.com"); !ok {
+		t.Fatal("deploy must register WHOIS")
+	}
+	if len(d.Mounts) != 1 || !strings.HasPrefix(d.Mounts[0].URL, "https://garden-craft.com/") {
+		t.Fatalf("mounts = %+v", d.Mounts)
+	}
+	if _, err := w.Deploy("garden-craft.com", MountSpec{Brand: phishkit.PayPal, Technique: evasion.None}); err == nil {
+		t.Fatal("double registration must fail")
+	}
+}
+
+func TestKeywordDomainsDeterministicDisjoint(t *testing.T) {
+	w := NewWorld(fastCfg())
+	a := w.KeywordDomains("x", 10, 3)
+	b := w.KeywordDomains("x", 10, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("keyword domains must be deterministic")
+		}
+	}
+	c := w.KeywordDomains("y", 10, 3)
+	for i := range a {
+		if a[i] == c[i] {
+			t.Fatal("different prefixes must give different domains")
+		}
+	}
+	newCount := 0
+	for _, d := range a {
+		for _, tld := range []string{".xyz", ".online", ".site", ".top", ".icu", ".club", ".shop"} {
+			if strings.HasSuffix(d, tld) {
+				newCount++
+			}
+		}
+	}
+	if newCount != 3 {
+		t.Fatalf("new gTLD count = %d, want 3", newCount)
+	}
+}
+
+func TestMainMonitoringSightings(t *testing.T) {
+	w := NewWorld(fastCfg())
+	res, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every detected URL must eventually be sighted by the monitoring
+	// pipeline, no earlier than its true listing time and at most one poll
+	// interval later.
+	sighted := 0
+	for _, d := range res.Deployments {
+		url := d.Mounts[0].URL
+		eng := w.Engines[d.ReportedTo]
+		entry, listed := eng.List.Lookup(url)
+		s, seen := res.Sightings[url]
+		if !listed || entry.Source != d.ReportedTo {
+			if seen {
+				t.Errorf("sighting for unlisted URL %s", url)
+			}
+			continue
+		}
+		if !seen {
+			t.Errorf("detected URL %s never sighted by the monitor", url)
+			continue
+		}
+		sighted++
+		if s.SeenAt.Before(entry.AddedAt) {
+			t.Errorf("%s sighted at %v before listing at %v", url, s.SeenAt, entry.AddedAt)
+		}
+		if lag := s.SeenAt.Sub(entry.AddedAt); lag > 31*time.Minute {
+			t.Errorf("%s sighting lag = %v, want within one poll interval", url, lag)
+		}
+	}
+	if sighted != 8 {
+		t.Fatalf("sighted %d detected URLs, want 8", sighted)
+	}
+}
+
+func TestMainUserProtectionShares(t *testing.T) {
+	w := NewWorld(fastCfg())
+	res, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alert-box URLs: GSB lists its own 6 of 17 (18 minus SmartScreen's
+	// missing FB slot: 17 per technique... totals aside, the per-technique
+	// average must be strictly positive and dominated by GSB's 87% share.
+	alert := res.UserProtection[evasion.AlertBox]
+	if alert <= 0 || alert > 0.87 {
+		t.Fatalf("alert-box user protection = %v, want in (0, 0.87]", alert)
+	}
+	// reCAPTCHA: never listed anywhere -> zero protection.
+	if got := res.UserProtection[evasion.Recaptcha]; got != 0 {
+		t.Fatalf("recaptcha user protection = %v, want 0", got)
+	}
+	// Session: NetCraft's 2 listings shared to GSB protect a visible share.
+	if got := res.UserProtection[evasion.SessionBased]; got <= 0 || got >= alert {
+		t.Fatalf("session protection = %v, want (0, alert=%v)", got, alert)
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	w := NewWorld(fastCfg())
+	t1, err := w.RunPreliminary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWorld(fastCfg())
+	main, err := w2.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := BuildExport(t1, main, nil)
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Export
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Table1) != 7 {
+		t.Fatalf("table1 rows = %d", len(decoded.Table1))
+	}
+	if decoded.Table2 == nil || decoded.Table2.TotalDetected != 8 || decoded.Table2.TotalURLs != 105 {
+		t.Fatalf("table2 = %+v", decoded.Table2)
+	}
+	if len(decoded.Table2.Cells) != 36 {
+		t.Fatalf("table2 cells = %d, want 6 engines x 2 brands x 3 techniques", len(decoded.Table2.Cells))
+	}
+	if len(decoded.Table2.NetCraftMins) != 2 {
+		t.Fatalf("netcraft minutes = %v", decoded.Table2.NetCraftMins)
+	}
+	if got := decoded.Table2.UserProtection["recaptcha"]; got != 0 {
+		t.Fatalf("recaptcha protection in export = %v", got)
+	}
+	if !sort.SliceIsSorted(decoded.Table2.Cells, func(i, j int) bool {
+		a, b := decoded.Table2.Cells[i], decoded.Table2.Cells[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Brand != b.Brand {
+			return a.Brand < b.Brand
+		}
+		return a.Technique < b.Technique
+	}) {
+		t.Fatal("cells must be deterministically sorted")
+	}
+}
+
+func TestDurationsToMinutes(t *testing.T) {
+	got := durationsToMinutes([]time.Duration{90 * time.Second, time.Hour})
+	if len(got) != 2 || got[0] != 1.5 || got[1] != 60 {
+		t.Fatalf("minutes = %v", got)
+	}
+}
+
+func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	// Only NetCraft's exact 2/6 split is seed-calibrated; every structural
+	// outcome must hold for arbitrary seeds.
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []int64{7, 99, 12345} {
+		cfg := fastCfg()
+		cfg.Seed = seed
+		w := NewWorld(cfg)
+		res, err := w.RunMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gsbAlert := res.Cells[engines.GSB][phishkit.Facebook][evasion.AlertBox].Detected +
+			res.Cells[engines.GSB][phishkit.PayPal][evasion.AlertBox].Detected
+		if gsbAlert != 6 {
+			t.Errorf("seed %d: GSB alert detections = %d, want 6 at any seed", seed, gsbAlert)
+		}
+		ncSession := res.Cells[engines.NetCraft][phishkit.Facebook][evasion.SessionBased].Detected +
+			res.Cells[engines.NetCraft][phishkit.PayPal][evasion.SessionBased].Detected
+		if ncSession < 0 || ncSession > 6 {
+			t.Errorf("seed %d: NetCraft session detections = %d", seed, ncSession)
+		}
+		for _, key := range engines.MainExperimentKeys() {
+			for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+				if c := res.Cells[key][brand][evasion.Recaptcha]; c.Detected != 0 {
+					t.Errorf("seed %d: %s detected a reCAPTCHA URL", seed, key)
+				}
+			}
+		}
+		if res.TotalDetected != 6+ncSession {
+			t.Errorf("seed %d: total = %d, want 6 GSB + %d NetCraft", seed, res.TotalDetected, ncSession)
+		}
+	}
+}
+
+func TestDurationStats(t *testing.T) {
+	ds := []time.Duration{10 * time.Minute, 2 * time.Minute, 6 * time.Minute}
+	s := Stats(ds)
+	if s.N != 3 || s.Min != 2*time.Minute || s.Max != 10*time.Minute || s.Median != 6*time.Minute {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean != 6*time.Minute {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	even := Stats([]time.Duration{2 * time.Minute, 4 * time.Minute})
+	if even.Median != 3*time.Minute {
+		t.Fatalf("even median = %v", even.Median)
+	}
+	if got := Stats(nil).String(); got != "n=0" {
+		t.Fatalf("empty stats = %q", got)
+	}
+	if !strings.Contains(s.String(), "median=6m") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestEngineAPIsMountedInWorld(t *testing.T) {
+	w := NewWorld(fastCfg())
+	d, err := w.Deploy("api-flow.com", MountSpec{Brand: phishkit.PayPal, Technique: evasion.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := d.Mounts[0].URL
+	client := simnet.NewClient(w.Net, "198.51.100.200")
+
+	// Report over HTTP, exactly as the paper's online form submission.
+	resp, err := client.PostForm("http://"+EngineAPIHost(engines.GSB)+"/report",
+		map[string][]string{"url": {url}, "reporter": {ReporterAddress}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("report status = %d", resp.StatusCode)
+	}
+	w.Sched.RunFor(24 * time.Hour)
+
+	// Check the listing through the v4 API.
+	prefix := blacklist.HashPrefix(url)
+	resp, err = client.Get("http://" + EngineAPIHost(engines.GSB) + "/v4/lookup?prefix=" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "yes" {
+		t.Fatalf("v4 lookup = %q, want yes after the pipeline ran", body)
+	}
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+)
+
+// Export is the machine-readable form of a full study, for plotting or
+// regression-diffing runs. Field names are stable.
+type Export struct {
+	Table1 []Table1Export `json:"table1,omitempty"`
+	Table2 *Table2Export  `json:"table2,omitempty"`
+	Table3 []Table3Export `json:"table3,omitempty"`
+}
+
+// Table1Export is one preliminary-test row.
+type Table1Export struct {
+	Engine             string   `json:"engine"`
+	Requests           int      `json:"requests"`
+	UniqueIPs          int      `json:"unique_ips"`
+	AlsoBlacklistedBy  []string `json:"also_blacklisted_by,omitempty"`
+	BlacklistedTargets string   `json:"blacklisted_targets"`
+}
+
+// Table2Export is the main experiment.
+type Table2Export struct {
+	Cells          []Table2Cell       `json:"cells"`
+	TotalDetected  int                `json:"total_detected"`
+	TotalURLs      int                `json:"total_urls"`
+	Funnel         string             `json:"funnel"`
+	GSBAlertAvgMin float64            `json:"gsb_alertbox_avg_min"`
+	NetCraftMins   []float64          `json:"netcraft_session_min"`
+	UserProtection map[string]float64 `json:"user_protection"`
+}
+
+// Table2Cell is one engine x brand x technique cell.
+type Table2Cell struct {
+	Engine    string `json:"engine"`
+	Brand     string `json:"brand"`
+	Technique string `json:"technique"`
+	Detected  int    `json:"detected"`
+	Total     int    `json:"total"`
+}
+
+// Table3Export is one extension row.
+type Table3Export struct {
+	Name          string `json:"name"`
+	Company       string `json:"company"`
+	Installations int    `json:"installations"`
+	SendsPlainURL bool   `json:"sends_plain_url"`
+	SendsParams   bool   `json:"sends_params"`
+	Detected      int    `json:"detected"`
+	Total         int    `json:"total"`
+}
+
+// BuildExport assembles the export from stage results (any may be nil).
+func BuildExport(t1 []Table1Row, main *MainResults, t3 []Table3Row) Export {
+	var out Export
+	for _, r := range t1 {
+		out.Table1 = append(out.Table1, Table1Export{
+			Engine:             r.Engine,
+			Requests:           r.Requests,
+			UniqueIPs:          r.UniqueIPs,
+			AlsoBlacklistedBy:  r.AlsoBlacklistedBy,
+			BlacklistedTargets: r.BlacklistedTargets,
+		})
+	}
+	if main != nil {
+		t2 := &Table2Export{
+			TotalDetected:  main.TotalDetected,
+			TotalURLs:      main.TotalURLs,
+			Funnel:         main.Funnel.String(),
+			GSBAlertAvgMin: AverageDuration(main.GSBAlertBoxTimes).Minutes(),
+			UserProtection: map[string]float64{},
+		}
+		for _, d := range main.NetCraftSessionTimes {
+			t2.NetCraftMins = append(t2.NetCraftMins, d.Minutes())
+		}
+		for tech, share := range main.UserProtection {
+			t2.UserProtection[tech.String()] = share
+		}
+		for _, key := range engines.MainExperimentKeys() {
+			for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+				for _, tech := range evasion.Techniques() {
+					c := main.Cells[key][brand][tech]
+					if c == nil {
+						continue
+					}
+					t2.Cells = append(t2.Cells, Table2Cell{
+						Engine: key, Brand: string(brand), Technique: tech.String(),
+						Detected: c.Detected, Total: c.Total,
+					})
+				}
+			}
+		}
+		sort.Slice(t2.Cells, func(i, j int) bool {
+			a, b := t2.Cells[i], t2.Cells[j]
+			if a.Engine != b.Engine {
+				return a.Engine < b.Engine
+			}
+			if a.Brand != b.Brand {
+				return a.Brand < b.Brand
+			}
+			return a.Technique < b.Technique
+		})
+		out.Table2 = t2
+	}
+	for _, r := range t3 {
+		out.Table3 = append(out.Table3, Table3Export{
+			Name: r.Name, Company: r.Company, Installations: r.Installations,
+			SendsPlainURL: r.SendsPlainURL, SendsParams: r.SendsParams,
+			Detected: r.Detected, Total: r.Total,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
+		return fmt.Errorf("experiment: encoding export: %w", err)
+	}
+	return nil
+}
+
+// durationsToMinutes is a small helper for exporters and tests.
+func durationsToMinutes(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Minutes()
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/coverage"
+	"areyouhuman/internal/dropcatch"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/monitor"
+	"areyouhuman/internal/phishkit"
+)
+
+// MainDuration is the main experiment's length (two weeks in May 2020).
+const MainDuration = 14 * 24 * time.Hour
+
+// Cell is one Table 2 cell: detected URLs out of submitted.
+type Cell struct {
+	Detected int
+	Total    int
+}
+
+func (c Cell) String() string { return fmt.Sprintf("%d/%d", c.Detected, c.Total) }
+
+// MainResults holds everything the main experiment produces.
+type MainResults struct {
+	// Cells is Table 2: engine -> brand -> technique -> detected/total.
+	Cells map[string]map[phishkit.Brand]map[evasion.Technique]*Cell
+	// Deployments in assignment order.
+	Deployments []*Deployment
+	// Funnel is the drop-catch selection funnel used for the 50 reputed
+	// domains.
+	Funnel dropcatch.Funnel
+	// TimesToList maps engine key to delays between report submission and
+	// the engine's own listing, per detected URL.
+	TimesToList map[string][]time.Duration
+	// GSBAlertBoxTimes are GSB's listing delays for alert-box URLs (the
+	// paper's average was 132 minutes).
+	GSBAlertBoxTimes []time.Duration
+	// NetCraftSessionTimes are NetCraft's listing delays for session-based
+	// URLs (the paper saw 6 and 9 minutes).
+	NetCraftSessionTimes []time.Duration
+	// Sightings are the monitoring pipeline's first observations of each
+	// detected URL (API polls, feed diffs, outcome mail, screenshots) —
+	// what the paper could actually see from outside, at most one poll
+	// interval after the true listing time.
+	Sightings map[string]monitor.Sighting
+	// UserProtection is, per technique, the average fraction of web users
+	// whose browser would warn about the technique's URLs at experiment end
+	// (browser market shares and engine wiring from Section 3; cross-feed
+	// sharing counts, since any list a browser consults protects its users).
+	UserProtection map[evasion.Technique]float64
+	TotalDetected  int
+	TotalURLs      int
+}
+
+// mainPlan returns the Table 2 submission matrix: five engines get 3 URLs
+// per (brand x technique); SmartScreen got only 2 Facebook URLs per
+// technique (Table 2 shows 0/2), for 105 URLs total.
+func mainPlan() []struct {
+	engine    string
+	brand     phishkit.Brand
+	technique evasion.Technique
+	count     int
+} {
+	var plan []struct {
+		engine    string
+		brand     phishkit.Brand
+		technique evasion.Technique
+		count     int
+	}
+	for _, key := range engines.MainExperimentKeys() {
+		for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+			for _, tech := range evasion.Techniques() {
+				n := 3
+				if key == engines.SmartScreen && brand == phishkit.Facebook {
+					n = 2
+				}
+				plan = append(plan, struct {
+					engine    string
+					brand     phishkit.Brand
+					technique evasion.Technique
+					count     int
+				}{key, brand, tech, n})
+			}
+		}
+	}
+	return plan
+}
+
+// RunMain deploys the 105 protected phishing sites (50 on drop-catch
+// domains, 55 on keyword domains), reports each to exactly one engine, runs
+// two virtual weeks, and assembles Table 2 plus the timing statistics.
+func (w *World) RunMain() (*MainResults, error) {
+	plan := mainPlan()
+	totalURLs := 0
+	for _, p := range plan {
+		totalURLs += p.count
+	}
+
+	dropDomains, funnel, err := w.DropCatchDomains(50)
+	if err != nil {
+		return nil, err
+	}
+	keywordDomains := w.KeywordDomains("main", totalURLs-len(dropDomains), 21)
+	domains := append(append([]string{}, dropDomains...), keywordDomains...)
+	w.rng.Shuffle(len(domains), func(i, j int) { domains[i], domains[j] = domains[j], domains[i] })
+
+	res := &MainResults{
+		Cells:       make(map[string]map[phishkit.Brand]map[evasion.Technique]*Cell),
+		Funnel:      funnel,
+		TimesToList: make(map[string][]time.Duration),
+		TotalURLs:   totalURLs,
+	}
+	cell := func(engine string, brand phishkit.Brand, tech evasion.Technique) *Cell {
+		byBrand, ok := res.Cells[engine]
+		if !ok {
+			byBrand = make(map[phishkit.Brand]map[evasion.Technique]*Cell)
+			res.Cells[engine] = byBrand
+		}
+		byTech, ok := byBrand[brand]
+		if !ok {
+			byTech = make(map[evasion.Technique]*Cell)
+			byBrand[brand] = byTech
+		}
+		c, ok := byTech[tech]
+		if !ok {
+			c = &Cell{}
+			byTech[tech] = c
+		}
+		return c
+	}
+
+	// Switch engines to main-stage fleet volume.
+	for _, eng := range w.Engines {
+		eng.TrafficPerReport = scale(w.Cfg.MainTrafficPerReport, w.Cfg.TrafficScale)
+	}
+
+	// Deploy and report, staggered ten minutes apart as the paper spread
+	// its submissions.
+	next := 0
+	for _, p := range plan {
+		for k := 0; k < p.count; k++ {
+			d, err := w.Deploy(domains[next], MountSpec{Brand: p.brand, Technique: p.technique})
+			if err != nil {
+				return nil, err
+			}
+			next++
+			cell(p.engine, p.brand, p.technique).Total++
+			dep := d
+			engineKey := p.engine
+			d.ReportedTo = engineKey // known at planning time; ReportTo restates it
+			w.Sched.After(time.Duration(next)*10*time.Minute, "report:"+engineKey, func(time.Time) {
+				w.ReportTo(dep, engineKey)
+			})
+			res.Deployments = append(res.Deployments, d)
+		}
+	}
+	// Monitoring, exactly as Section 3 describes it: poll the GSB (and
+	// YSB-style) lookup APIs, download the OpenPhish/PhishTank/APWG feeds
+	// every half hour, watch the reporter mailbox for NetCraft outcomes,
+	// and screenshot-probe SmartScreen through a monitored browser.
+	mon := monitor.New(w.Sched)
+	horizon := w.Clock.Now().Add(MainDuration)
+	for _, d := range res.Deployments {
+		url := d.Mounts[0].URL
+		switch eng := w.Engines[d.ReportedTo]; eng.Profile.Key {
+		case engines.GSB:
+			mon.WatchAPI(url, eng.Profile.Key, eng.List, horizon)
+		case engines.NetCraft:
+			mon.WatchMail(url, eng.Profile.Key, ReporterAddress, w.Mail, horizon)
+		case engines.SmartScreen:
+			client := &blacklistProbe{list: eng.List, url: url}
+			mon.WatchScreenshots(url, eng.Profile.Key, client.blocked, horizon)
+		default:
+			mon.WatchFeed(url, eng.Profile.Key, eng.List, horizon)
+		}
+	}
+
+	w.Sched.RunFor(MainDuration)
+
+	res.Sightings = make(map[string]monitor.Sighting)
+	for _, d := range res.Deployments {
+		url := d.Mounts[0].URL
+		if s, ok := mon.FirstSeen(url, d.ReportedTo); ok {
+			res.Sightings[url] = s
+		}
+	}
+
+	// Score: an engine detects a URL when its own pipeline listed it (feed
+	// sharing does not count toward Table 2).
+	for _, d := range res.Deployments {
+		eng := w.Engines[d.ReportedTo]
+		m := d.Mounts[0]
+		entry, ok := eng.List.Lookup(m.URL)
+		if !ok || entry.Source != d.ReportedTo {
+			continue
+		}
+		cell(d.ReportedTo, m.Brand, m.Technique).Detected++
+		res.TotalDetected++
+		delay := entry.AddedAt.Sub(d.ReportedAt)
+		res.TimesToList[d.ReportedTo] = append(res.TimesToList[d.ReportedTo], delay)
+		if d.ReportedTo == engines.GSB && m.Technique == evasion.AlertBox {
+			res.GSBAlertBoxTimes = append(res.GSBAlertBoxTimes, delay)
+		}
+		if d.ReportedTo == engines.NetCraft && m.Technique == evasion.SessionBased {
+			res.NetCraftSessionTimes = append(res.NetCraftSessionTimes, delay)
+		}
+	}
+
+	// Global user protection per technique: what share of browser users a
+	// technique's URLs are hidden from by experiment end.
+	listed := func(engineKey, url string) bool {
+		eng, ok := w.Engines[engineKey]
+		return ok && eng.List.Contains(url)
+	}
+	sums := map[evasion.Technique]float64{}
+	counts := map[evasion.Technique]int{}
+	for _, d := range res.Deployments {
+		m := d.Mounts[0]
+		sums[m.Technique] += coverage.ProtectedShare(m.URL, listed)
+		counts[m.Technique]++
+	}
+	res.UserProtection = make(map[evasion.Technique]float64, len(sums))
+	for tech, sum := range sums {
+		res.UserProtection[tech] = sum / float64(counts[tech])
+	}
+	return res, nil
+}
+
+// AverageDuration returns the mean of ds (0 when empty).
+func AverageDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// RenderTable2 formats the main-experiment results like the paper's Table 2.
+func RenderTable2(res *MainResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s | %-17s | %-17s\n", "", "Facebook", "PayPal")
+	fmt.Fprintf(&b, "%-14s | %-5s %-5s %-5s | %-5s %-5s %-5s\n", "Engine", "A", "S", "R", "A", "S", "R")
+	for _, key := range engines.MainExperimentKeys() {
+		fmt.Fprintf(&b, "%-14s |", key)
+		for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+			for _, tech := range evasion.Techniques() {
+				c := res.Cells[key][brand][tech]
+				if c == nil {
+					c = &Cell{}
+				}
+				fmt.Fprintf(&b, " %-5s", c.String())
+			}
+			fmt.Fprintf(&b, " |")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "total detected: %d/%d\n", res.TotalDetected, res.TotalURLs)
+	if len(res.UserProtection) > 0 {
+		fmt.Fprintf(&b, "avg user protection at end:")
+		for _, tech := range evasion.Techniques() {
+			fmt.Fprintf(&b, " %s=%.0f%%", tech.Letter(), res.UserProtection[tech]*100)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// blacklistProbe models the monitored Edge browser the screenshot prober
+// drives: each probe visit asks the browser's SmartScreen client whether the
+// URL is currently blocked.
+type blacklistProbe struct {
+	list *blacklist.List
+	url  string
+}
+
+func (p *blacklistProbe) blocked() bool { return p.list.Contains(p.url) }
+
+// DurationStats summarises a set of delays.
+type DurationStats struct {
+	N           int
+	Min, Median time.Duration
+	Mean, Max   time.Duration
+}
+
+// Stats computes summary statistics over ds.
+func Stats(ds []time.Duration) DurationStats {
+	if len(ds) == 0 {
+		return DurationStats{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		mid = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return DurationStats{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Median: mid,
+		Mean:   AverageDuration(sorted),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String renders the stats compactly in minutes.
+func (s DurationStats) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.0fm median=%.0fm mean=%.0fm max=%.0fm",
+		s.N, s.Min.Minutes(), s.Median.Minutes(), s.Mean.Minutes(), s.Max.Minutes())
+}

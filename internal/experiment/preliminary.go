@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+)
+
+// Table1Row is one row of the preliminary-test table.
+type Table1Row struct {
+	Engine            string // key
+	EngineName        string
+	Requests          int
+	UniqueIPs         int
+	ReportedPages     string // always "G, F, P"
+	AlsoBlacklistedBy []string
+	// BlacklistedTargets lists the brand letters of this row's URLs that
+	// ended up on the row engine's own blacklist.
+	BlacklistedTargets string
+}
+
+// PreliminaryDuration is the initial test's length (24 hours was enough to
+// classify a reported URL, per the paper).
+const PreliminaryDuration = 24 * time.Hour
+
+// RunPreliminary deploys one domain per engine hosting naked Gmail,
+// Facebook, and PayPal kits, reports each domain's three URLs to its engine,
+// runs 24 virtual hours, and assembles Table 1.
+func (w *World) RunPreliminary() ([]Table1Row, error) {
+	keys := engines.Keys()
+	domains := w.KeywordDomains("init", len(keys), 0)
+
+	deployments := make([]*Deployment, len(keys))
+	for i, key := range keys {
+		d, err := w.Deploy(domains[i],
+			MountSpec{Brand: phishkit.Gmail, Technique: evasion.None},
+			MountSpec{Brand: phishkit.Facebook, Technique: evasion.None},
+			MountSpec{Brand: phishkit.PayPal, Technique: evasion.None},
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.ReportTo(d, key); err != nil {
+			return nil, err
+		}
+		deployments[i] = d
+	}
+	w.Sched.RunFor(PreliminaryDuration)
+
+	rows := make([]Table1Row, len(keys))
+	for i, key := range keys {
+		d := deployments[i]
+		eng := w.Engines[key]
+		row := Table1Row{
+			Engine:        key,
+			EngineName:    eng.Profile.Name,
+			Requests:      d.Log.Requests(),
+			UniqueIPs:     d.Log.UniqueIPs(),
+			ReportedPages: "G, F, P",
+		}
+		var targets []string
+		for _, m := range d.Mounts {
+			if entry, ok := eng.List.Lookup(m.URL); ok && entry.Source == key {
+				targets = append(targets, m.Brand.Letter())
+			}
+		}
+		row.BlacklistedTargets = strings.Join(targets, ", ")
+		if row.BlacklistedTargets == "" {
+			row.BlacklistedTargets = "-"
+		}
+		alsoSet := map[string]bool{}
+		for _, other := range keys {
+			if other == key {
+				continue
+			}
+			for _, url := range d.URLs() {
+				if w.Engines[other].List.Contains(url) {
+					alsoSet[other] = true
+				}
+			}
+		}
+		for other := range alsoSet {
+			row.AlsoBlacklistedBy = append(row.AlsoBlacklistedBy, other)
+		}
+		sort.Strings(row.AlsoBlacklistedBy)
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats the rows like the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %-10s %-38s %s\n",
+		"Reported to", "# requests", "Unique IPs", "Pages", "Also blacklisted by", "Blacklisted targets")
+	for _, r := range rows {
+		also := strings.Join(r.AlsoBlacklistedBy, ", ")
+		if also == "" {
+			also = "-"
+		}
+		fmt.Fprintf(&b, "%-14s %10d %10d %-10s %-38s %s\n",
+			r.EngineName[:min(len(r.EngineName), 14)], r.Requests, r.UniqueIPs, r.ReportedPages, also, r.BlacklistedTargets)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

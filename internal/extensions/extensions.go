@@ -1,0 +1,164 @@
+// Package extensions implements the six client-side anti-phishing browser
+// extensions of Section 5 (Table 3).
+//
+// The paper's Burp-proxy traffic analysis found that every extension works
+// the same way: it collects the URLs the user visits, sends them — four of
+// six in plain text, with query parameters — to its vendor's server, and
+// checks them against the vendor's blacklist. None of them builds features
+// from the page *content*, which is why none can detect a CAPTCHA-protected
+// phishing page even after the user solves the challenge and the malicious
+// content is sitting right in front of the extension.
+package extensions
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/simclock"
+)
+
+// Extension is one installed anti-phishing extension.
+type Extension struct {
+	Name    string
+	Company string
+	// Installations is the combined Chrome+Firefox install base from
+	// Table 3.
+	Installations int
+	// SendsPlainURL is true when telemetry carries the naked URL (vs a
+	// hash).
+	SendsPlainURL bool
+	// SendsParams is true when query parameters are included.
+	SendsParams bool
+
+	// Vendor is the vendor-side blacklist consulted for verdicts.
+	Vendor *blacklist.List
+	// Clock drives telemetry timestamps and verdict caching.
+	Clock simclock.Clock
+
+	cache *blacklist.CachingClient
+
+	mu        sync.Mutex
+	telemetry []Telemetry
+	checks    int
+	flagged   int
+}
+
+// Telemetry is one captured extension-to-server message (what the paper read
+// off the Burp proxy).
+type Telemetry struct {
+	At time.Time
+	// Payload is the URL exactly as transmitted: plain or hashed, with or
+	// without parameters.
+	Payload string
+	Hashed  bool
+}
+
+// OnNavigate is called for every page the user's browser finishes loading.
+// The page content is available to the extension — it runs inside the
+// browser — but, matching the observed implementations, only the URL is
+// used. It returns true when the vendor blacklist flags the URL.
+func (x *Extension) OnNavigate(rawURL string, page *browser.Page) bool {
+	_ = page // content deliberately unused: extensions only ship URLs
+
+	transmitted := rawURL
+	if !x.SendsParams {
+		if i := strings.IndexByte(transmitted, '?'); i >= 0 {
+			transmitted = transmitted[:i]
+		}
+	}
+	payload := transmitted
+	hashed := false
+	if !x.SendsPlainURL {
+		payload = blacklist.HashPrefix(transmitted)
+		hashed = true
+	}
+
+	x.mu.Lock()
+	if x.cache == nil {
+		x.cache = &blacklist.CachingClient{List: x.Vendor, Clock: x.clock()}
+	}
+	x.telemetry = append(x.telemetry, Telemetry{At: x.clock().Now(), Payload: payload, Hashed: hashed})
+	x.checks++
+	cache := x.cache
+	x.mu.Unlock()
+
+	verdict := cache.Check(transmitted)
+	if verdict {
+		x.mu.Lock()
+		x.flagged++
+		x.mu.Unlock()
+	}
+	return verdict
+}
+
+func (x *Extension) clock() simclock.Clock {
+	if x.Clock == nil {
+		return simclock.Real
+	}
+	return x.Clock
+}
+
+// TelemetryLog returns the captured messages.
+func (x *Extension) TelemetryLog() []Telemetry {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]Telemetry, len(x.telemetry))
+	copy(out, x.telemetry)
+	return out
+}
+
+// Stats reports URL checks performed and how many were flagged.
+func (x *Extension) Stats() (checks, flagged int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.checks, x.flagged
+}
+
+// Spec describes one catalog entry.
+type Spec struct {
+	Name          string
+	Company       string
+	Installations int
+	SendsPlainURL bool
+	SendsParams   bool
+	// VendorEngine optionally names a server-side engine whose blacklist
+	// the vendor consumes (NetCraft's extension uses NetCraft's list).
+	VendorEngine string
+}
+
+// Catalog returns the six extensions of Table 3, most-installed first.
+func Catalog() []Spec {
+	return []Spec{
+		{Name: "Avast Online Security", Company: "Avast", Installations: 10_800_000, SendsPlainURL: true, SendsParams: true},
+		{Name: "Avira Browser Safety", Company: "Avira", Installations: 7_350_000, SendsPlainURL: true, SendsParams: true},
+		{Name: "TrafficLight", Company: "BitDefender", Installations: 665_000, SendsPlainURL: true, SendsParams: true},
+		{Name: "Emsisoft Browser Security", Company: "Emsisoft", Installations: 80_000, SendsPlainURL: false, SendsParams: false},
+		{Name: "NetCraft Anti-phishing", Company: "NetCraft", Installations: 58_000, SendsPlainURL: false, SendsParams: false, VendorEngine: "netcraft"},
+		{Name: "Online Security Pro", Company: "Comodo", Installations: 14_000, SendsPlainURL: true, SendsParams: true},
+	}
+}
+
+// Build instantiates a catalog entry against a vendor blacklist resolver:
+// vendors tied to a server-side engine reuse that engine's list, others get
+// their own (initially empty) list.
+func Build(spec Spec, clock simclock.Clock, engineList func(key string) *blacklist.List) *Extension {
+	var vendor *blacklist.List
+	if spec.VendorEngine != "" && engineList != nil {
+		vendor = engineList(spec.VendorEngine)
+	}
+	if vendor == nil {
+		vendor = blacklist.NewList(strings.ToLower(spec.Company), clock)
+	}
+	return &Extension{
+		Name:          spec.Name,
+		Company:       spec.Company,
+		Installations: spec.Installations,
+		SendsPlainURL: spec.SendsPlainURL,
+		SendsParams:   spec.SendsParams,
+		Vendor:        vendor,
+		Clock:         clock,
+	}
+}

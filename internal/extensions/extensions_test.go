@@ -1,0 +1,137 @@
+package extensions
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/simclock"
+)
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 6 {
+		t.Fatalf("catalog = %d extensions, want 6", len(cat))
+	}
+	for i := 1; i < len(cat); i++ {
+		if cat[i-1].Installations < cat[i].Installations {
+			t.Fatal("catalog must be ordered by install base")
+		}
+	}
+	plain := 0
+	for _, s := range cat {
+		if s.SendsPlainURL {
+			plain++
+			if !s.SendsParams {
+				t.Fatalf("%s sends plain URLs but not params; Table 3 pairs them", s.Name)
+			}
+		}
+	}
+	if plain != 4 {
+		t.Fatalf("plain-URL extensions = %d, want 4 of 6", plain)
+	}
+}
+
+func TestOnNavigatePlainTelemetry(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	x := Build(Catalog()[0], clock, nil) // Avast: plain + params
+	url := "http://phish.example/login.php?sid=abc&next=inbox"
+	if x.OnNavigate(url, nil) {
+		t.Fatal("unlisted URL must not flag")
+	}
+	tel := x.TelemetryLog()
+	if len(tel) != 1 {
+		t.Fatalf("telemetry = %d records", len(tel))
+	}
+	if tel[0].Hashed || tel[0].Payload != url {
+		t.Fatalf("telemetry = %+v, want plain URL with params", tel[0])
+	}
+}
+
+func TestOnNavigateHashedNoParams(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	var spec Spec
+	for _, s := range Catalog() {
+		if s.Company == "Emsisoft" {
+			spec = s
+		}
+	}
+	x := Build(spec, clock, nil)
+	url := "http://phish.example/login.php?sid=abc"
+	x.OnNavigate(url, nil)
+	tel := x.TelemetryLog()
+	if !tel[0].Hashed {
+		t.Fatal("Emsisoft telemetry must be hashed")
+	}
+	if strings.Contains(tel[0].Payload, "phish.example") || strings.Contains(tel[0].Payload, "sid=abc") {
+		t.Fatalf("hashed payload leaks URL: %q", tel[0].Payload)
+	}
+	// Hash must cover the parameter-stripped URL.
+	if tel[0].Payload != blacklist.HashPrefix("http://phish.example/login.php") {
+		t.Fatal("hash should be over the parameter-stripped URL")
+	}
+}
+
+func TestVerdictComesFromVendorList(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	x := Build(Catalog()[0], clock, nil)
+	url := "http://phish.example/login.php"
+	x.Vendor.Add(url, "vendor")
+	if !x.OnNavigate(url, nil) {
+		t.Fatal("listed URL must flag")
+	}
+	checks, flagged := x.Stats()
+	if checks != 1 || flagged != 1 {
+		t.Fatalf("stats = %d,%d", checks, flagged)
+	}
+}
+
+func TestVerdictCachingWindow(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	x := Build(Catalog()[0], clock, nil)
+	url := "http://phish.example/login.php"
+	if x.OnNavigate(url, nil) {
+		t.Fatal("not yet listed")
+	}
+	// Vendor lists it a minute later; the cached safe verdict masks it.
+	clock.Advance(time.Minute)
+	x.Vendor.Add(url, "vendor")
+	if x.OnNavigate(url, nil) {
+		t.Fatal("cached safe verdict should mask the fresh listing")
+	}
+	clock.Advance(blacklist.MaxCacheTTL)
+	if !x.OnNavigate(url, nil) {
+		t.Fatal("after cache expiry the listing must show")
+	}
+}
+
+func TestBuildWithEngineList(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	ncList := blacklist.NewList("netcraft", clock)
+	var spec Spec
+	for _, s := range Catalog() {
+		if s.VendorEngine == "netcraft" {
+			spec = s
+		}
+	}
+	x := Build(spec, clock, func(key string) *blacklist.List {
+		if key == "netcraft" {
+			return ncList
+		}
+		return nil
+	})
+	if x.Vendor != ncList {
+		t.Fatal("NetCraft extension must reuse the NetCraft engine list")
+	}
+}
+
+func TestContentIsIgnoredByDesign(t *testing.T) {
+	// Even a page whose content screams phishing is not flagged when the
+	// URL is unlisted — the paper's core client-side finding.
+	clock := simclock.New(simclock.Epoch)
+	x := Build(Catalog()[0], clock, nil)
+	if x.OnNavigate("http://phish.example/login.php", nil) {
+		t.Fatal("extensions judge URLs, never content")
+	}
+}

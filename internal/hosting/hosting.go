@@ -1,0 +1,124 @@
+// Package hosting simulates the hosting provider's abuse desk — the
+// downstream consumer of the PhishLabs-style notifications the paper
+// received for its OpenPhish and PhishTank reports (Section 4.1).
+//
+// The paper's researchers owned the hosting and ignored the complaints so
+// the measurement could continue; a real provider processes them and takes
+// the offending host down after a grace period. The desk makes that
+// lifecycle — report, notification, takedown, dead site — available for
+// studies that need it (e.g. measuring how much lifetime an evasion
+// technique buys when takedown is the enforcement path).
+package hosting
+
+import (
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+// Takedown records one host removal.
+type Takedown struct {
+	Host       string
+	NotifiedAt time.Time
+	DownAt     time.Time
+}
+
+// AbuseDesk processes complaints arriving at the provider's abuse mailbox
+// and takes reported hosts offline after a grace period.
+type AbuseDesk struct {
+	Net   *simnet.Internet
+	Mail  *report.MailSystem
+	Sched *simclock.Scheduler
+	// Address is the abuse mailbox the desk reads.
+	Address string
+	// Grace is the delay between first notification and takedown; zero
+	// selects DefaultGrace.
+	Grace time.Duration
+
+	mu        sync.Mutex
+	seen      int // mails already processed
+	notified  map[string]time.Time
+	takedowns []Takedown
+}
+
+// DefaultGrace approximates real provider response times.
+const DefaultGrace = 12 * time.Hour
+
+// PollInterval is how often the desk reads its mailbox.
+const PollInterval = time.Hour
+
+var urlHostPattern = regexp.MustCompile(`https?://([a-zA-Z0-9.-]+)`)
+
+// Start begins polling the mailbox until the horizon.
+func (d *AbuseDesk) Start(until time.Time) {
+	if d.notified == nil {
+		d.notified = make(map[string]time.Time)
+	}
+	d.Sched.Every(PollInterval, "abuse-desk",
+		func(now time.Time) bool { return now.After(until) },
+		func(now time.Time) { d.poll(now) })
+}
+
+func (d *AbuseDesk) poll(now time.Time) {
+	inbox := d.Mail.Inbox(d.Address)
+	d.mu.Lock()
+	fresh := inbox[min(d.seen, len(inbox)):]
+	d.seen = len(inbox)
+	var newHosts []string
+	for _, mail := range fresh {
+		for _, m := range urlHostPattern.FindAllStringSubmatch(mail.Subject+" "+mail.Body, -1) {
+			host := m[1]
+			if _, dup := d.notified[host]; !dup {
+				d.notified[host] = now
+				newHosts = append(newHosts, host)
+			}
+		}
+	}
+	d.mu.Unlock()
+
+	grace := d.Grace
+	if grace == 0 {
+		grace = DefaultGrace
+	}
+	for _, host := range newHosts {
+		host := host
+		notifiedAt := now
+		d.Sched.After(grace, "abuse-takedown", func(at time.Time) {
+			if d.Net.TakeDown(host) {
+				d.mu.Lock()
+				d.takedowns = append(d.takedowns, Takedown{Host: host, NotifiedAt: notifiedAt, DownAt: at})
+				d.mu.Unlock()
+			}
+		})
+	}
+}
+
+// Takedowns returns completed takedowns, sorted by host.
+func (d *AbuseDesk) Takedowns() []Takedown {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Takedown, len(d.takedowns))
+	copy(out, d.takedowns)
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Notified reports whether the desk has seen a complaint about host.
+func (d *AbuseDesk) Notified(host string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.notified[host]
+	return ok
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package hosting
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+func newDesk(grace time.Duration) (*AbuseDesk, *simclock.Scheduler, *simnet.Internet, *report.MailSystem) {
+	clock := simclock.New(simclock.Epoch)
+	sched := simclock.NewScheduler(clock)
+	net := simnet.New(nil)
+	mail := report.NewMailSystem(clock)
+	desk := &AbuseDesk{Net: net, Mail: mail, Sched: sched, Address: "abuse@hosting.example", Grace: grace}
+	return desk, sched, net, mail
+}
+
+func register(net *simnet.Internet, host string) {
+	net.Register(host, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "up")
+	}))
+}
+
+func TestComplaintLeadsToTakedown(t *testing.T) {
+	desk, sched, net, mail := newDesk(6 * time.Hour)
+	register(net, "phish-host.example")
+	desk.Start(simclock.Epoch.Add(72 * time.Hour))
+
+	notifier := &report.AbuseNotifier{Mail: mail, From: "phishlabs@example", AbuseContact: "abuse@hosting.example"}
+	sched.After(30*time.Minute, "complaint", func(time.Time) {
+		notifier.Notify("https://phish-host.example/wp-content/login.php")
+	})
+	sched.RunFor(72 * time.Hour)
+
+	if !desk.Notified("phish-host.example") {
+		t.Fatal("desk should have processed the complaint")
+	}
+	tds := desk.Takedowns()
+	if len(tds) != 1 || tds[0].Host != "phish-host.example" {
+		t.Fatalf("takedowns = %+v", tds)
+	}
+	if got := tds[0].DownAt.Sub(tds[0].NotifiedAt); got != 6*time.Hour {
+		t.Fatalf("grace = %v, want 6h", got)
+	}
+
+	client := simnet.NewClient(net, "198.51.100.5")
+	if _, err := client.Get("http://phish-host.example/"); !errors.Is(err, simnet.ErrHostDown) {
+		t.Fatalf("host should be down after takedown, err = %v", err)
+	}
+}
+
+func TestDuplicateComplaintsOneTakedown(t *testing.T) {
+	desk, sched, net, mail := newDesk(time.Hour)
+	register(net, "dup-host.example")
+	desk.Start(simclock.Epoch.Add(48 * time.Hour))
+	notifier := &report.AbuseNotifier{Mail: mail, From: "a@x", AbuseContact: "abuse@hosting.example"}
+	for i := 0; i < 3; i++ {
+		notifier.Notify("http://dup-host.example/kit.php")
+	}
+	sched.RunFor(48 * time.Hour)
+	if len(desk.Takedowns()) != 1 {
+		t.Fatalf("takedowns = %d, want 1 despite 3 complaints", len(desk.Takedowns()))
+	}
+}
+
+func TestNoComplaintsNoTakedowns(t *testing.T) {
+	desk, sched, net, _ := newDesk(0)
+	register(net, "quiet-host.example")
+	desk.Start(simclock.Epoch.Add(24 * time.Hour))
+	sched.RunFor(24 * time.Hour)
+	if len(desk.Takedowns()) != 0 {
+		t.Fatal("no complaints should mean no takedowns")
+	}
+	client := simnet.NewClient(net, "198.51.100.5")
+	if resp, err := client.Get("http://quiet-host.example/"); err != nil {
+		t.Fatalf("host should still be up: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestUnknownHostComplaintIgnored(t *testing.T) {
+	desk, sched, _, mail := newDesk(time.Hour)
+	desk.Start(simclock.Epoch.Add(24 * time.Hour))
+	mail.Send("x@y", "abuse@hosting.example", "complaint", "please remove http://not-ours.example/phish")
+	sched.RunFor(24 * time.Hour)
+	if len(desk.Takedowns()) != 0 {
+		t.Fatal("complaints about unknown hosts produce no takedowns")
+	}
+	if !desk.Notified("not-ours.example") {
+		t.Fatal("the complaint itself should still be recorded")
+	}
+}
+
+func TestGraceDefault(t *testing.T) {
+	desk, sched, net, mail := newDesk(0) // zero selects DefaultGrace
+	register(net, "g.example")
+	desk.Start(simclock.Epoch.Add(48 * time.Hour))
+	mail.Send("x@y", "abuse@hosting.example", "s", "http://g.example/x")
+	sched.RunFor(48 * time.Hour)
+	tds := desk.Takedowns()
+	if len(tds) != 1 {
+		t.Fatalf("takedowns = %d", len(tds))
+	}
+	if got := tds[0].DownAt.Sub(tds[0].NotifiedAt); got != DefaultGrace {
+		t.Fatalf("grace = %v, want %v", got, DefaultGrace)
+	}
+}

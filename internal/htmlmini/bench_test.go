@@ -1,0 +1,35 @@
+package htmlmini
+
+import "testing"
+
+func BenchmarkParseLoginPage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc := Parse(samplePage)
+		if doc.Title() == "" {
+			b.Fatal("no title")
+		}
+	}
+}
+
+func BenchmarkFormsExtraction(b *testing.B) {
+	doc := Parse(samplePage)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(doc.Forms()) != 1 {
+			b.Fatal("form count")
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc := Parse(samplePage)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if doc.Render() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}

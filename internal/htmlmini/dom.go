@@ -1,0 +1,350 @@
+package htmlmini
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// NodeType identifies a DOM node kind.
+type NodeType int
+
+// Node types.
+const (
+	ElementNode NodeType = iota
+	TextNode
+	CommentNode
+	DocumentNode
+)
+
+// Node is a DOM node. Element nodes have a Tag and Attrs; text and comment
+// nodes carry Data.
+type Node struct {
+	Type     NodeType
+	Tag      string
+	Data     string
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Parse builds a DOM tree from src. It always succeeds, repairing unbalanced
+// markup the way browsers do (unexpected end tags are ignored; unclosed
+// elements close at their ancestor's end).
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode, Tag: "#document"}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+	for _, tok := range Tokenize(src) {
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" && top().Tag != "script" && top().Tag != "style" {
+				continue
+			}
+			top().append(&Node{Type: TextNode, Data: html.UnescapeString(tok.Data)})
+		case CommentToken:
+			top().append(&Node{Type: CommentNode, Data: tok.Data})
+		case DoctypeToken:
+			// Dropped: the DOM root stands in for the document type.
+		case SelfClosingTagToken:
+			top().append(&Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs})
+		case StartTagToken:
+			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			top().append(el)
+			stack = append(stack, el)
+		case EndTagToken:
+			// Pop to the nearest matching open element, if any.
+			for k := len(stack) - 1; k > 0; k-- {
+				if stack[k].Tag == tok.Data {
+					stack = stack[:k]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+func (n *Node) append(child *Node) {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// AppendChild adds child as the last child of n (re-parenting it).
+func (n *Node) AppendChild(child *Node) {
+	if child.Parent != nil {
+		child.Parent.RemoveChild(child)
+	}
+	n.append(child)
+}
+
+// RemoveChild detaches child from n. It is a no-op when child is not a child
+// of n.
+func (n *Node) RemoveChild(child *Node) {
+	for i, c := range n.Children {
+		if c == child {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			child.Parent = nil
+			return
+		}
+	}
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	key = strings.ToLower(key)
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute or def when absent.
+func (n *Node) AttrOr(key, def string) string {
+	if v, ok := n.Attr(key); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets (or adds) an attribute.
+func (n *Node) SetAttr(key, val string) {
+	key = strings.ToLower(key)
+	for i, a := range n.Attrs {
+		if a.Key == key {
+			n.Attrs[i].Val = val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Key: key, Val: val})
+}
+
+// Walk visits n and every descendant in document order. Returning false from
+// fn stops the walk.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns all descendant elements with the given tag name.
+func (n *Node) Find(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// First returns the first descendant element with the given tag, or nil.
+func (n *Node) First(tag string) *Node {
+	tag = strings.ToLower(tag)
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ByID returns the element with the given id attribute, or nil.
+func (n *Node) ByID(id string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode {
+			if v, ok := c.Attr("id"); ok && v == id {
+				found = c
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Body returns the <body> element, or the document itself when absent.
+func (n *Node) Body() *Node {
+	if b := n.First("body"); b != nil {
+		return b
+	}
+	return n
+}
+
+// Title returns the document title text.
+func (n *Node) Title() string {
+	if t := n.First("title"); t != nil {
+		return strings.TrimSpace(t.Text())
+	}
+	return ""
+}
+
+// Text returns the concatenated text content of n and its descendants,
+// excluding non-rendered subtrees (script and style bodies, and the head
+// with its title) — i.e. what a visitor actually sees. Unlike Walk, an
+// excluded subtree is skipped without ending the traversal.
+func (n *Node) Text() string {
+	var b strings.Builder
+	var visit func(c *Node, root bool)
+	visit = func(c *Node, root bool) {
+		if c.Type == ElementNode && !root {
+			switch c.Tag {
+			case "script", "style", "head", "title":
+				return
+			}
+		}
+		if c.Type == TextNode {
+			b.WriteString(c.Data)
+		}
+		for _, child := range c.Children {
+			visit(child, false)
+		}
+	}
+	visit(n, true)
+	return b.String()
+}
+
+// Links returns the href values of all anchors.
+func (n *Node) Links() []string {
+	var out []string
+	for _, a := range n.Find("a") {
+		if href, ok := a.Attr("href"); ok {
+			out = append(out, href)
+		}
+	}
+	return out
+}
+
+// Scripts returns the inline bodies of all <script> elements without a src
+// attribute.
+func (n *Node) Scripts() []string {
+	var out []string
+	for _, s := range n.Find("script") {
+		if _, ok := s.Attr("src"); ok {
+			continue
+		}
+		var b strings.Builder
+		for _, c := range s.Children {
+			if c.Type == TextNode {
+				b.WriteString(c.Data)
+			}
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// Form describes one HTML form with its fields.
+type Form struct {
+	Node   *Node
+	Action string // as written; empty means "submit to the current URL"
+	Method string // upper-case; GET when unspecified
+	Fields map[string]string
+}
+
+// Forms extracts every form with its input/textarea/select fields and their
+// default values.
+func (n *Node) Forms() []Form {
+	var out []Form
+	for _, f := range n.Find("form") {
+		form := Form{
+			Node:   f,
+			Action: f.AttrOr("action", ""),
+			Method: strings.ToUpper(f.AttrOr("method", "GET")),
+			Fields: map[string]string{},
+		}
+		for _, input := range f.Find("input") {
+			name, ok := input.Attr("name")
+			if !ok || name == "" {
+				continue
+			}
+			form.Fields[name] = input.AttrOr("value", "")
+		}
+		for _, ta := range f.Find("textarea") {
+			if name, ok := ta.Attr("name"); ok && name != "" {
+				form.Fields[name] = strings.TrimSpace(ta.Text())
+			}
+		}
+		for _, sel := range f.Find("select") {
+			name, ok := sel.Attr("name")
+			if !ok || name == "" {
+				continue
+			}
+			val := ""
+			for _, opt := range sel.Find("option") {
+				if _, selected := opt.Attr("selected"); selected || val == "" {
+					val = opt.AttrOr("value", strings.TrimSpace(opt.Text()))
+				}
+			}
+			form.Fields[name] = val
+		}
+		out = append(out, form)
+	}
+	return out
+}
+
+// Render serialises the node back to HTML.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	case TextNode:
+		b.WriteString(html.EscapeString(n.Data))
+	case CommentNode:
+		fmt.Fprintf(b, "<!--%s-->", n.Data)
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			fmt.Fprintf(b, " %s=%q", a.Key, a.Val)
+		}
+		b.WriteByte('>')
+		if voidElements[n.Tag] {
+			return
+		}
+		if n.Tag == "script" || n.Tag == "style" {
+			for _, c := range n.Children {
+				if c.Type == TextNode {
+					b.WriteString(c.Data) // raw, not escaped
+				}
+			}
+		} else {
+			for _, c := range n.Children {
+				c.render(b)
+			}
+		}
+		fmt.Fprintf(b, "</%s>", n.Tag)
+	}
+}
+
+// NewElement creates a detached element node.
+func NewElement(tag string) *Node {
+	return &Node{Type: ElementNode, Tag: strings.ToLower(tag)}
+}
+
+// NewText creates a detached text node.
+func NewText(data string) *Node {
+	return &Node{Type: TextNode, Data: data}
+}

@@ -1,0 +1,39 @@
+package htmlmini
+
+import "testing"
+
+// FuzzParse checks the parser's totality and the render/parse fixpoint on
+// arbitrary byte soup. Run with `go test -fuzz=FuzzParse ./internal/htmlmini`
+// for deep exploration; the seed corpus runs as a normal test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>hi</p></body></html>",
+		"<div><p>one<p>two</div></span><b>after</b>",
+		`<script>if (a<b) { x = "</div>"; }</script>`,
+		"<!-- comment --><!DOCTYPE html><input name=q value=search>",
+		"<<<>>><a href='x'>",
+		"<form action=\"/l\" method=post><input name=u><textarea name=t>txt</textarea></form>",
+		"<title>unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src) // must not panic
+		re := Parse(doc.Render())
+		count := func(n *Node) int {
+			c := 0
+			n.Walk(func(x *Node) bool {
+				if x.Type == ElementNode {
+					c++
+				}
+				return true
+			})
+			return c
+		}
+		if count(doc) != count(re) {
+			t.Fatalf("render/parse changed element count for %q", src)
+		}
+	})
+}

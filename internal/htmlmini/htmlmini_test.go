@@ -1,0 +1,302 @@
+package htmlmini
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head><title>PayPal - Log In</title><link rel="icon" href="/favicon.ico"></head>
+<body>
+  <!-- login area -->
+  <h1>Welcome</h1>
+  <img src="/img/logo.png" alt="logo">
+  <form action="/login.php" method="post" id="loginform">
+    <input type="email" name="login_email" value="">
+    <input type="password" name="login_pass">
+    <input type="hidden" name="csrf" value="tok123">
+    <textarea name="note">hello</textarea>
+    <select name="lang"><option value="en" selected>English</option><option value="fr">French</option></select>
+    <button type="submit">Log In</button>
+  </form>
+  <a href="/help.php">Help</a>
+  <a href="https://elsewhere.example/">Away</a>
+  <script>
+    var x = 1 < 2; // tags inside script must not confuse the tokenizer
+    document.title = "<fake>";
+  </script>
+</body>
+</html>`
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize(`<p class="x">hi</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %#v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "p" {
+		t.Fatalf("token 0 = %#v", toks[0])
+	}
+	if v := toks[0].Attrs[0]; v.Key != "class" || v.Val != "x" {
+		t.Fatalf("attr = %#v", v)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "hi" {
+		t.Fatalf("token 1 = %#v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "p" {
+		t.Fatalf("token 2 = %#v", toks[2])
+	}
+}
+
+func TestTokenizeVoidAndSelfClosing(t *testing.T) {
+	toks := Tokenize(`<img src="a.png"><br/><input name=q value=search>`)
+	for _, tok := range toks {
+		if tok.Type != SelfClosingTagToken {
+			t.Fatalf("token %#v should be self-closing", tok)
+		}
+	}
+	if toks[2].Attrs[1].Val != "search" {
+		t.Fatalf("unquoted attr value = %#v", toks[2].Attrs)
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := Tokenize(`<script>if (a<b) { x = "</div>"; }</script>`)
+	// Note: a real HTML parser would end the script at the literal "</div"
+	// only if it matched "</script"; ours ends at "</script" too.
+	if toks[0].Data != "script" {
+		t.Fatalf("token 0 = %#v", toks[0])
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, "a<b") {
+		t.Fatalf("script body = %#v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Fatalf("token 2 = %#v", toks[2])
+	}
+}
+
+func TestTokenizeComment(t *testing.T) {
+	toks := Tokenize(`<!-- secret -->`)
+	if len(toks) != 1 || toks[0].Type != CommentToken || toks[0].Data != " secret " {
+		t.Fatalf("tokens = %#v", toks)
+	}
+}
+
+func TestTokenizeStrayLt(t *testing.T) {
+	toks := Tokenize(`a < b`)
+	var text strings.Builder
+	for _, tok := range toks {
+		if tok.Type != TextToken {
+			t.Fatalf("unexpected token %#v", tok)
+		}
+		text.WriteString(tok.Data)
+	}
+	if text.String() != "a < b" {
+		t.Fatalf("text = %q", text.String())
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	doc := Parse(samplePage)
+	if doc.Title() != "PayPal - Log In" {
+		t.Fatalf("Title = %q", doc.Title())
+	}
+	if h1 := doc.First("h1"); h1 == nil || strings.TrimSpace(h1.Text()) != "Welcome" {
+		t.Fatal("missing h1")
+	}
+	if el := doc.ByID("loginform"); el == nil || el.Tag != "form" {
+		t.Fatal("ByID(loginform) failed")
+	}
+	if doc.ByID("nothere") != nil {
+		t.Fatal("ByID should return nil for a missing id")
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	doc := Parse(samplePage)
+	forms := doc.Forms()
+	if len(forms) != 1 {
+		t.Fatalf("got %d forms, want 1", len(forms))
+	}
+	f := forms[0]
+	if f.Action != "/login.php" || f.Method != "POST" {
+		t.Fatalf("form = %+v", f)
+	}
+	wantFields := map[string]string{
+		"login_email": "", "login_pass": "", "csrf": "tok123", "note": "hello", "lang": "en",
+	}
+	for k, v := range wantFields {
+		if got, ok := f.Fields[k]; !ok || got != v {
+			t.Fatalf("field %s = %q,%v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestParseLinks(t *testing.T) {
+	doc := Parse(samplePage)
+	links := doc.Links()
+	if len(links) != 2 || links[0] != "/help.php" || links[1] != "https://elsewhere.example/" {
+		t.Fatalf("Links = %v", links)
+	}
+}
+
+func TestParseScripts(t *testing.T) {
+	doc := Parse(samplePage)
+	scripts := doc.Scripts()
+	if len(scripts) != 1 || !strings.Contains(scripts[0], `document.title = "<fake>"`) {
+		t.Fatalf("Scripts = %q", scripts)
+	}
+}
+
+func TestScriptsSkipExternal(t *testing.T) {
+	doc := Parse(`<script src="/app.js"></script><script>inline()</script>`)
+	scripts := doc.Scripts()
+	if len(scripts) != 1 || !strings.Contains(scripts[0], "inline()") {
+		t.Fatalf("Scripts = %q, want only the inline one", scripts)
+	}
+}
+
+func TestTextExcludesScriptAndStyle(t *testing.T) {
+	doc := Parse(`<body>visible<script>hidden()</script><style>.x{}</style></body>`)
+	text := doc.Text()
+	if !strings.Contains(text, "visible") || strings.Contains(text, "hidden") || strings.Contains(text, ".x") {
+		t.Fatalf("Text = %q", text)
+	}
+}
+
+func TestUnbalancedMarkupRepaired(t *testing.T) {
+	doc := Parse(`<div><p>one<p>two</div></span><b>after</b>`)
+	if doc.First("b") == nil {
+		t.Fatal("content after stray close tag must still parse")
+	}
+}
+
+func TestMutationAppendRemove(t *testing.T) {
+	doc := Parse(`<body></body>`)
+	body := doc.Body()
+	form := NewElement("form")
+	form.SetAttr("method", "post")
+	input := NewElement("input")
+	input.SetAttr("name", "gresponse")
+	input.SetAttr("value", "tok")
+	form.AppendChild(input)
+	body.AppendChild(form)
+
+	forms := doc.Forms()
+	if len(forms) != 1 || forms[0].Fields["gresponse"] != "tok" {
+		t.Fatalf("after mutation Forms = %+v", forms)
+	}
+	body.RemoveChild(form)
+	if len(doc.Forms()) != 0 {
+		t.Fatal("form should be gone after RemoveChild")
+	}
+	if form.Parent != nil {
+		t.Fatal("removed node must be detached")
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	el := NewElement("input")
+	el.SetAttr("value", "a")
+	el.SetAttr("VALUE", "b")
+	if got := el.AttrOr("value", ""); got != "b" {
+		t.Fatalf("value = %q, want b", got)
+	}
+	if len(el.Attrs) != 1 {
+		t.Fatalf("attrs = %v, want single deduplicated attr", el.Attrs)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	doc := Parse(samplePage)
+	rendered := doc.Render()
+	doc2 := Parse(rendered)
+	if doc2.Title() != doc.Title() {
+		t.Fatalf("round-trip title = %q, want %q", doc2.Title(), doc.Title())
+	}
+	if len(doc2.Forms()) != len(doc.Forms()) {
+		t.Fatal("round-trip lost forms")
+	}
+	if len(doc2.Links()) != len(doc.Links()) {
+		t.Fatal("round-trip lost links")
+	}
+	s1, s2 := doc.Scripts(), doc2.Scripts()
+	if len(s1) != len(s2) || s1[0] != s2[0] {
+		t.Fatal("round-trip altered script body")
+	}
+}
+
+func TestEntitiesUnescapedInText(t *testing.T) {
+	doc := Parse(`<p>fish &amp; chips &lt;3</p>`)
+	if got := strings.TrimSpace(doc.Text()); got != "fish & chips <3" {
+		t.Fatalf("Text = %q", got)
+	}
+}
+
+// Property: Parse never panics and Render→Parse preserves the element count
+// for arbitrary input strings.
+func TestQuickParseTotal(t *testing.T) {
+	count := func(n *Node) int {
+		c := 0
+		n.Walk(func(x *Node) bool {
+			if x.Type == ElementNode {
+				c++
+			}
+			return true
+		})
+		return c
+	}
+	f := func(s string) bool {
+		doc := Parse(s)
+		re := Parse(doc.Render())
+		return count(doc) == count(re)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormWithNoActionOrMethod(t *testing.T) {
+	doc := Parse(`<form><input name="u" value="1"></form>`)
+	f := doc.Forms()[0]
+	if f.Action != "" || f.Method != "GET" {
+		t.Fatalf("defaults = action %q method %q; want empty action, GET", f.Action, f.Method)
+	}
+}
+
+func TestTextSkipsSubtreesWithoutAborting(t *testing.T) {
+	// Regression: an excluded subtree (head/script) must not end text
+	// extraction for the rest of the document.
+	doc := Parse(`<html><head><title>hidden</title></head><body>
+<script>alsoHidden()</script><p>first</p><style>.x{}</style><p>second</p></body></html>`)
+	text := doc.Text()
+	if !strings.Contains(text, "first") || !strings.Contains(text, "second") {
+		t.Fatalf("Text truncated: %q", text)
+	}
+	if strings.Contains(text, "hidden") || strings.Contains(text, "alsoHidden") {
+		t.Fatalf("Text leaked non-rendered content: %q", text)
+	}
+}
+
+func TestTextOnTitleNodeItself(t *testing.T) {
+	doc := Parse(`<title>The Title</title>`)
+	title := doc.First("title")
+	if got := title.Text(); got != "The Title" {
+		t.Fatalf("Text on a title node itself = %q", got)
+	}
+}
+
+func TestRawTextWithInvalidUTF8(t *testing.T) {
+	// Regression (found by FuzzParse): case-insensitive raw-text scanning
+	// must not fold through strings.ToLower, whose output length differs on
+	// invalid UTF-8 and misaligns byte offsets.
+	doc := Parse("<sCript>\xc0\xc0\xc0\xc0\xc0")
+	if doc.First("script") == nil {
+		t.Fatal("script element should parse")
+	}
+	doc2 := Parse("<SCRIPT>body</ScRiPt><p>after</p>")
+	if doc2.First("p") == nil {
+		t.Fatal("mixed-case close tag should end the raw-text element")
+	}
+}

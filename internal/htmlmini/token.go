@@ -1,0 +1,244 @@
+// Package htmlmini is a small HTML tokenizer and DOM used by the browser
+// emulation substrate.
+//
+// It is not a full HTML5 parser; it covers the constructs the simulated
+// websites and phishing kits emit — nested elements, attributes, void
+// elements, comments, doctype, and raw-text elements (script/style) — which
+// is what anti-phishing crawlers need to find forms, links, scripts, and
+// brand signals on a page.
+package htmlmini
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenType identifies a lexical token.
+type TokenType int
+
+// Token types.
+const (
+	TextToken TokenType = iota
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+// Token is one lexical HTML token.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name, text content, or comment body
+	Attrs []Attr // attributes for start/self-closing tags
+}
+
+// Attr is one tag attribute.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// voidElements never have children or end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow their content verbatim until the matching end tag.
+var rawTextElements = map[string]bool{"script": true, "style": true, "title": true, "textarea": true}
+
+// Tokenize splits src into HTML tokens.
+func Tokenize(src string) []Token {
+	var tokens []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			if text := src[i:]; text != "" {
+				tokens = append(tokens, Token{Type: TextToken, Data: text})
+			}
+			break
+		}
+		if lt > 0 {
+			tokens = append(tokens, Token{Type: TextToken, Data: src[i : i+lt]})
+			i += lt
+		}
+		// src[i] == '<'
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				tokens = append(tokens, Token{Type: CommentToken, Data: src[i+4:]})
+				i = n
+				continue
+			}
+			tokens = append(tokens, Token{Type: CommentToken, Data: src[i+4 : i+4+end]})
+			i += 4 + end + 3
+		case strings.HasPrefix(src[i:], "<!"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = n
+				continue
+			}
+			tokens = append(tokens, Token{Type: DoctypeToken, Data: strings.TrimSpace(src[i+2 : i+end])})
+			i += end + 1
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = n
+				continue
+			}
+			name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+			tokens = append(tokens, Token{Type: EndTagToken, Data: name})
+			i += end + 1
+		default:
+			tok, next, ok := lexTag(src, i)
+			if !ok {
+				// Stray '<': treat as text.
+				tokens = append(tokens, Token{Type: TextToken, Data: "<"})
+				i++
+				continue
+			}
+			i = next
+			tokens = append(tokens, tok)
+			// Raw-text elements: swallow content until the closing tag.
+			if tok.Type == StartTagToken && rawTextElements[tok.Data] {
+				closer := "</" + tok.Data
+				idx := indexFold(src[i:], closer)
+				if idx < 0 {
+					if content := src[i:]; content != "" {
+						tokens = append(tokens, Token{Type: TextToken, Data: content})
+					}
+					i = n
+					continue
+				}
+				if idx > 0 {
+					tokens = append(tokens, Token{Type: TextToken, Data: src[i : i+idx]})
+				}
+				i += idx
+				gtRel := strings.IndexByte(src[i:], '>')
+				tokens = append(tokens, Token{Type: EndTagToken, Data: tok.Data})
+				if gtRel < 0 {
+					i = n
+				} else {
+					i += gtRel + 1
+				}
+			}
+		}
+	}
+	return tokens
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles. It folds
+// byte-wise, so indexes stay valid even when the haystack contains invalid
+// UTF-8 (strings.ToLower would change byte offsets there).
+func indexFold(haystack, needle string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := 0; j < len(needle); j++ {
+			if asciiLower(haystack[i+j]) != asciiLower(needle[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func asciiLower(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// lexTag parses a start tag beginning at src[i] == '<'. It returns the token
+// and the index just past '>'.
+func lexTag(src string, i int) (Token, int, bool) {
+	j := i + 1
+	n := len(src)
+	start := j
+	for j < n && (isAlnum(src[j]) || src[j] == '-' || src[j] == ':') {
+		j++
+	}
+	if j == start {
+		return Token{}, i, false
+	}
+	tok := Token{Type: StartTagToken, Data: strings.ToLower(src[start:j])}
+	for j < n {
+		// Skip whitespace.
+		for j < n && unicode.IsSpace(rune(src[j])) {
+			j++
+		}
+		if j >= n {
+			return tok, n, true
+		}
+		if src[j] == '>' {
+			j++
+			break
+		}
+		if src[j] == '/' {
+			if j+1 < n && src[j+1] == '>' {
+				tok.Type = SelfClosingTagToken
+				j += 2
+				return tok, j, true
+			}
+			j++
+			continue
+		}
+		// Attribute name.
+		aStart := j
+		for j < n && src[j] != '=' && src[j] != '>' && src[j] != '/' && !unicode.IsSpace(rune(src[j])) {
+			j++
+		}
+		key := strings.ToLower(src[aStart:j])
+		val := ""
+		for j < n && unicode.IsSpace(rune(src[j])) {
+			j++
+		}
+		if j < n && src[j] == '=' {
+			j++
+			for j < n && unicode.IsSpace(rune(src[j])) {
+				j++
+			}
+			if j < n && (src[j] == '"' || src[j] == '\'') {
+				quote := src[j]
+				j++
+				vStart := j
+				for j < n && src[j] != quote {
+					j++
+				}
+				val = src[vStart:j]
+				if j < n {
+					j++ // closing quote
+				}
+			} else {
+				vStart := j
+				for j < n && src[j] != '>' && !unicode.IsSpace(rune(src[j])) {
+					j++
+				}
+				val = src[vStart:j]
+			}
+		}
+		if key != "" {
+			tok.Attrs = append(tok.Attrs, Attr{Key: key, Val: val})
+		}
+	}
+	if voidElements[tok.Data] && tok.Type == StartTagToken {
+		tok.Type = SelfClosingTagToken
+	}
+	return tok, j, true
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}

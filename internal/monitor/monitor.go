@@ -1,0 +1,189 @@
+// Package monitor implements the paper's blacklist-monitoring pipeline
+// (Section 3, "Reporting and Monitoring Process"):
+//
+//   - GSB and YSB: poll the lookup API for each watched URL;
+//   - OpenPhish, PhishTank, APWG: download the feed every 30 minutes and
+//     diff it;
+//   - NetCraft: watch the reporter's mailbox for outcome notifications;
+//   - SmartScreen: no public API — open the URL in a monitored browser and
+//     "screenshot" it every 10 minutes for the first 72 hours, then every
+//     5 hours (the verdict is whether the browser's SmartScreen client
+//     blocks the page).
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+)
+
+// Method labels how a sighting was obtained.
+type Method string
+
+// Monitoring methods.
+const (
+	MethodAPI        Method = "api-poll"
+	MethodFeed       Method = "feed-diff"
+	MethodMail       Method = "mail"
+	MethodScreenshot Method = "screenshot"
+)
+
+// Sighting records the first time a watched URL was seen blacklisted.
+type Sighting struct {
+	URL    string
+	Engine string
+	SeenAt time.Time
+	Method Method
+}
+
+// Monitor watches engine blacklists for a set of URLs.
+type Monitor struct {
+	sched *simclock.Scheduler
+
+	mu        sync.Mutex
+	sightings map[string]map[string]Sighting // url -> engine -> first sighting
+	polls     int
+}
+
+// New returns a monitor driving its probes off sched.
+func New(sched *simclock.Scheduler) *Monitor {
+	return &Monitor{sched: sched, sightings: make(map[string]map[string]Sighting)}
+}
+
+// PollInterval is the feed/API polling cadence (the paper polled every half
+// hour).
+const PollInterval = 30 * time.Minute
+
+// WatchAPI polls list for url until horizon.
+func (m *Monitor) WatchAPI(url, engine string, list *blacklist.List, until time.Time) {
+	m.watchList(url, engine, list, MethodAPI, PollInterval, until)
+}
+
+// WatchFeed downloads the feed snapshot on the polling cadence and diffs it
+// for url.
+func (m *Monitor) WatchFeed(url, engine string, list *blacklist.List, until time.Time) {
+	m.watchList(url, engine, list, MethodFeed, PollInterval, until)
+}
+
+func (m *Monitor) watchList(url, engine string, list *blacklist.List, method Method, interval time.Duration, until time.Time) {
+	m.sched.Every(interval, "monitor:"+engine,
+		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
+		func(now time.Time) {
+			m.mu.Lock()
+			m.polls++
+			m.mu.Unlock()
+			listed := false
+			if method == MethodFeed {
+				for _, e := range list.Snapshot() {
+					if e.URL == blacklist.Canonicalize(url) {
+						listed = true
+						break
+					}
+				}
+			} else {
+				listed = list.CheckByHash(url)
+			}
+			if listed {
+				m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: method})
+			}
+		})
+}
+
+// WatchMail scans the reporter mailbox on the polling cadence for outcome
+// notifications mentioning url.
+func (m *Monitor) WatchMail(url, engine, mailbox string, mail *report.MailSystem, until time.Time) {
+	m.sched.Every(PollInterval, "monitor:mail:"+engine,
+		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
+		func(now time.Time) {
+			m.mu.Lock()
+			m.polls++
+			m.mu.Unlock()
+			for _, msg := range mail.Inbox(mailbox) {
+				if strings.Contains(msg.Subject, url) || strings.Contains(msg.Body, url) {
+					m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: MethodMail})
+					return
+				}
+			}
+		})
+}
+
+// Screenshot cadence from the paper: every 10 minutes for the first 72
+// hours, then every 5 hours.
+const (
+	screenshotFastInterval = 10 * time.Minute
+	screenshotFastWindow   = 72 * time.Hour
+	screenshotSlowInterval = 5 * time.Hour
+)
+
+// WatchScreenshots drives the SmartScreen prober: visit checks whether the
+// monitored browser blocks url right now.
+func (m *Monitor) WatchScreenshots(url, engine string, visit func() bool, until time.Time) {
+	start := m.sched.Clock().Now()
+	fastEnd := start.Add(screenshotFastWindow)
+	shoot := func(now time.Time) {
+		m.mu.Lock()
+		m.polls++
+		m.mu.Unlock()
+		if visit() {
+			m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: MethodScreenshot})
+		}
+	}
+	m.sched.Every(screenshotFastInterval, "monitor:screenshot-fast:"+engine,
+		func(now time.Time) bool { return now.After(fastEnd) || now.After(until) || m.seen(url, engine) },
+		shoot)
+	m.sched.At(fastEnd, "monitor:screenshot-slow-start:"+engine, func(time.Time) {
+		m.sched.Every(screenshotSlowInterval, "monitor:screenshot-slow:"+engine,
+			func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
+			shoot)
+	})
+}
+
+func (m *Monitor) record(s Sighting) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byEngine, ok := m.sightings[s.URL]
+	if !ok {
+		byEngine = make(map[string]Sighting)
+		m.sightings[s.URL] = byEngine
+	}
+	if _, dup := byEngine[s.Engine]; !dup {
+		byEngine[s.Engine] = s
+	}
+}
+
+func (m *Monitor) seen(url, engine string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.sightings[url][engine]
+	return ok
+}
+
+// FirstSeen returns the first sighting of url by engine.
+func (m *Monitor) FirstSeen(url, engine string) (Sighting, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sightings[url][engine]
+	return s, ok
+}
+
+// Engines returns every engine that sighted url.
+func (m *Monitor) Engines(url string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for engine := range m.sightings[url] {
+		out = append(out, engine)
+	}
+	return out
+}
+
+// Polls reports how many probe actions ran.
+func (m *Monitor) Polls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.polls
+}

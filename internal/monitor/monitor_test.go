@@ -1,0 +1,151 @@
+package monitor
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+)
+
+func newSched() (*simclock.Scheduler, *simclock.SimClock) {
+	clock := simclock.New(simclock.Epoch)
+	return simclock.NewScheduler(clock), clock
+}
+
+func TestWatchAPIDetectsListing(t *testing.T) {
+	sched, clock := newSched()
+	m := New(sched)
+	list := blacklist.NewList("gsb", clock)
+	url := "http://phish.example/login.php"
+	until := simclock.Epoch.Add(24 * time.Hour)
+	m.WatchAPI(url, "gsb", list, until)
+
+	// Listing appears 47 minutes in; the 30-minute poll sees it at 60.
+	sched.After(47*time.Minute, "list", func(time.Time) { list.Add(url, "gsb") })
+	sched.Run(until.Add(time.Hour))
+
+	s, ok := m.FirstSeen(url, "gsb")
+	if !ok {
+		t.Fatal("sighting expected")
+	}
+	if want := simclock.Epoch.Add(60 * time.Minute); !s.SeenAt.Equal(want) {
+		t.Fatalf("SeenAt = %v, want %v (next poll tick)", s.SeenAt, want)
+	}
+	if s.Method != MethodAPI {
+		t.Fatalf("method = %v", s.Method)
+	}
+}
+
+func TestWatchFeedDiff(t *testing.T) {
+	sched, clock := newSched()
+	m := New(sched)
+	list := blacklist.NewList("openphish", clock)
+	url := "http://phish.example/a.php"
+	until := simclock.Epoch.Add(12 * time.Hour)
+	m.WatchFeed(url, "openphish", list, until)
+	list.Add("http://unrelated.example/", "openphish")
+	sched.After(100*time.Minute, "list", func(time.Time) { list.Add(url, "openphish") })
+	sched.Run(until.Add(time.Hour))
+	s, ok := m.FirstSeen(url, "openphish")
+	if !ok || s.Method != MethodFeed {
+		t.Fatalf("sighting = %+v,%v", s, ok)
+	}
+	if s.SeenAt.Sub(simclock.Epoch) != 120*time.Minute {
+		t.Fatalf("SeenAt = %v", s.SeenAt)
+	}
+}
+
+func TestWatchNeverListedNoSighting(t *testing.T) {
+	sched, clock := newSched()
+	m := New(sched)
+	list := blacklist.NewList("gsb", clock)
+	url := "http://never.example/x.php"
+	until := simclock.Epoch.Add(6 * time.Hour)
+	m.WatchAPI(url, "gsb", list, until)
+	sched.Run(until.Add(2 * time.Hour))
+	if _, ok := m.FirstSeen(url, "gsb"); ok {
+		t.Fatal("no sighting expected")
+	}
+	if m.Polls() == 0 {
+		t.Fatal("polling should have happened")
+	}
+}
+
+func TestPollingStopsAfterSighting(t *testing.T) {
+	sched, clock := newSched()
+	m := New(sched)
+	list := blacklist.NewList("gsb", clock)
+	url := "http://phish.example/p.php"
+	list.Add(url, "gsb")
+	m.WatchAPI(url, "gsb", list, simclock.Epoch.Add(48*time.Hour))
+	sched.Run(simclock.Epoch.Add(50 * time.Hour))
+	if m.Polls() != 1 {
+		t.Fatalf("polls = %d, want 1 (stop after first sighting)", m.Polls())
+	}
+}
+
+func TestWatchMail(t *testing.T) {
+	sched, clock := newSched()
+	m := New(sched)
+	mail := report.NewMailSystem(clock)
+	url := "http://phish.example/n.php"
+	until := simclock.Epoch.Add(24 * time.Hour)
+	m.WatchMail(url, "netcraft", "reporter@lab.example", mail, until)
+	sched.After(40*time.Minute, "mail", func(time.Time) {
+		mail.Send("netcraft@takedown.example", "reporter@lab.example", "Report outcome: "+url, "blacklisted")
+	})
+	sched.Run(until.Add(time.Hour))
+	s, ok := m.FirstSeen(url, "netcraft")
+	if !ok || s.Method != MethodMail {
+		t.Fatalf("sighting = %+v,%v", s, ok)
+	}
+}
+
+func TestWatchScreenshotsCadence(t *testing.T) {
+	sched, _ := newSched()
+	m := New(sched)
+	url := "http://phish.example/s.php"
+	blockedAfter := simclock.Epoch.Add(75 * time.Hour) // after the fast window
+	visits := 0
+	visit := func() bool {
+		visits++
+		return sched.Clock().Now().After(blockedAfter)
+	}
+	until := simclock.Epoch.Add(90 * time.Hour)
+	m.WatchScreenshots(url, "smartscreen", visit, until)
+	sched.Run(until.Add(time.Hour))
+
+	s, ok := m.FirstSeen(url, "smartscreen")
+	if !ok || s.Method != MethodScreenshot {
+		t.Fatalf("sighting = %+v,%v", s, ok)
+	}
+	if s.SeenAt.Before(blockedAfter) {
+		t.Fatal("sighting before the browser started blocking")
+	}
+	// Fast window: ~432 visits (every 10 min for 72h); slow: every 5h.
+	if visits < 400 || visits > 460 {
+		t.Fatalf("visits = %d, want ≈432 fast + a few slow", visits)
+	}
+}
+
+func TestEnginesAccumulate(t *testing.T) {
+	sched, clock := newSched()
+	m := New(sched)
+	url := "http://phish.example/z.php"
+	a := blacklist.NewList("gsb", clock)
+	b := blacklist.NewList("apwg", clock)
+	a.Add(url, "gsb")
+	b.Add(url, "apwg")
+	until := simclock.Epoch.Add(2 * time.Hour)
+	m.WatchAPI(url, "gsb", a, until)
+	m.WatchFeed(url, "apwg", b, until)
+	sched.Run(until.Add(time.Hour))
+	got := m.Engines(url)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "apwg" || got[1] != "gsb" {
+		t.Fatalf("Engines = %v", got)
+	}
+}

@@ -1,0 +1,314 @@
+// Package phishkit generates the (harmless) phishing kits of Section 3:
+// lookalike login pages for PayPal, Facebook, and Gmail with all external
+// resources (logo, favicon) bundled locally, packed as a ready-to-upload
+// .zip.
+//
+// Provenance matters: the paper *cloned* the PayPal and Facebook pages from
+// the originals (so their bundled resources are byte-identical to the brand's
+// official ones) but built the Gmail page *from scratch*. Anti-phishing
+// classifiers that rely on exact resource fingerprints catch clones but miss
+// scratch-built pages — the paper's preliminary test found only GSB and
+// NetCraft detected the Gmail kit. Clone kits here carry the brand's
+// canonical resource bytes; scratch kits carry redrawn ones.
+//
+// Ethics note, mirroring Appendix B: the credential collector never stores
+// submitted values; it records only that a submission happened.
+package phishkit
+
+import (
+	"archive/zip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Brand is a phishing target brand.
+type Brand string
+
+// The paper's three target brands.
+const (
+	PayPal   Brand = "PayPal"
+	Facebook Brand = "Facebook"
+	Gmail    Brand = "Gmail"
+)
+
+// Brands returns the paper's target list in its reporting order
+// (G, F, P appear as Gmail, Facebook, PayPal).
+func Brands() []Brand { return []Brand{Gmail, Facebook, PayPal} }
+
+// Letter returns the single-letter code Table 1 uses.
+func (b Brand) Letter() string {
+	switch b {
+	case Gmail:
+		return "G"
+	case Facebook:
+		return "F"
+	case PayPal:
+		return "P"
+	default:
+		return "?"
+	}
+}
+
+// Provenance records how the kit page was produced.
+type Provenance int
+
+// Kit provenance values.
+const (
+	// Cloned pages copy the original HTML and resources (PayPal, Facebook).
+	Cloned Provenance = iota
+	// FromScratch pages are hand-written lookalikes (Gmail).
+	FromScratch
+)
+
+func (p Provenance) String() string {
+	if p == FromScratch {
+		return "from-scratch"
+	}
+	return "cloned"
+}
+
+// DefaultCollectPath is where kit login forms post credentials.
+const DefaultCollectPath = "/collect.php"
+
+// Kit is one generated phishing kit.
+type Kit struct {
+	Brand       Brand
+	Provenance  Provenance
+	CollectPath string
+	// LoginHTML is the phishing login page.
+	LoginHTML string
+	// Resources maps bundled file paths (favicon, logo) to contents.
+	Resources map[string][]byte
+}
+
+// Generate builds the kit for a brand with the paper's provenance choices:
+// PayPal and Facebook cloned, Gmail from scratch.
+func Generate(brand Brand) (*Kit, error) {
+	prov := Cloned
+	if brand == Gmail {
+		prov = FromScratch
+	}
+	return GenerateWithProvenance(brand, prov)
+}
+
+// GenerateWithProvenance builds a kit with an explicit provenance — used by
+// the ablation study that clones all three brands.
+func GenerateWithProvenance(brand Brand, prov Provenance) (*Kit, error) {
+	spec, ok := brandSpecs[brand]
+	if !ok {
+		return nil, fmt.Errorf("phishkit: unknown brand %q", brand)
+	}
+	k := &Kit{
+		Brand:       brand,
+		Provenance:  prov,
+		CollectPath: DefaultCollectPath,
+		Resources:   make(map[string][]byte, 2),
+	}
+	if prov == Cloned {
+		k.Resources[spec.logoPath] = OfficialResource(brand, "logo")
+		k.Resources[spec.faviconPath] = OfficialResource(brand, "favicon")
+	} else {
+		k.Resources[spec.logoPath] = redrawnResource(brand, "logo")
+		k.Resources[spec.faviconPath] = redrawnResource(brand, "favicon")
+	}
+	k.LoginHTML = spec.render(prov, k.CollectPath)
+	return k, nil
+}
+
+// OfficialResource returns the brand's canonical resource bytes — what the
+// real site serves and what classifiers fingerprint. Deterministic.
+func OfficialResource(brand Brand, name string) []byte {
+	return resourceBytes("official/" + string(brand) + "/" + name)
+}
+
+// OfficialResourceHash returns the hex SHA-256 of the canonical resource.
+func OfficialResourceHash(brand Brand, name string) string {
+	return HashBytes(OfficialResource(brand, name))
+}
+
+// redrawnResource returns visually-equivalent-but-rebuilt bytes, as a
+// from-scratch designer would produce.
+func redrawnResource(brand Brand, name string) []byte {
+	return resourceBytes("scratch/" + string(brand) + "/" + name)
+}
+
+func resourceBytes(seed string) []byte {
+	sum := sha256.Sum256([]byte(seed))
+	blob := make([]byte, 0, 96)
+	blob = append(blob, 0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n')
+	for i := 0; i < 2; i++ {
+		blob = append(blob, sum[:]...)
+	}
+	return blob
+}
+
+// HashBytes returns the hex SHA-256 of data.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+type brandSpec struct {
+	title       string
+	officialDom string
+	logoPath    string
+	faviconPath string
+	emailField  string
+	passField   string
+	heading     string
+	footer      string
+}
+
+var brandSpecs = map[Brand]brandSpec{
+	PayPal: {
+		title:       "Log in to your PayPal account",
+		officialDom: "paypal.com",
+		logoPath:    "/assets/paypal-logo.png",
+		faviconPath: "/assets/paypal-favicon.ico",
+		emailField:  "login_email",
+		passField:   "login_pass",
+		heading:     "PayPal",
+		footer:      "Copyright 1999-2020 PayPal. All rights reserved.",
+	},
+	Facebook: {
+		title:       "Facebook - Log In or Sign Up",
+		officialDom: "facebook.com",
+		logoPath:    "/assets/facebook-logo.png",
+		faviconPath: "/assets/facebook-favicon.ico",
+		emailField:  "email",
+		passField:   "pass",
+		heading:     "Facebook",
+		footer:      "Facebook (c) 2020",
+	},
+	Gmail: {
+		title:       "Gmail - Sign in - Google Accounts",
+		officialDom: "accounts.google.com",
+		logoPath:    "/assets/google-logo.png",
+		faviconPath: "/assets/google-favicon.ico",
+		emailField:  "identifier",
+		passField:   "password",
+		heading:     "Sign in",
+		footer:      "Google - One account. All of Google working for you.",
+	},
+}
+
+func (s brandSpec) render(prov Provenance, collectPath string) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "  <title>%s</title>\n", s.title)
+	fmt.Fprintf(&b, "  <link rel=\"icon\" href=%q>\n", s.faviconPath)
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "  <img class=\"brand-logo\" src=%q alt=%q>\n", s.logoPath, s.heading)
+	fmt.Fprintf(&b, "  <h1>%s</h1>\n", s.heading)
+	if prov == Cloned {
+		// Clones keep the original's structural fingerprints: canonical
+		// links back to the brand domain and its form markup.
+		fmt.Fprintf(&b, "  <link rel=\"canonical\" href=\"https://www.%s/login\">\n", s.officialDom)
+	}
+	fmt.Fprintf(&b, "  <form id=\"login_form\" action=%q method=\"post\">\n", collectPath)
+	fmt.Fprintf(&b, "    <input type=\"email\" name=%q placeholder=\"Email\">\n", s.emailField)
+	fmt.Fprintf(&b, "    <input type=\"password\" name=%q placeholder=\"Password\">\n", s.passField)
+	b.WriteString("    <button type=\"submit\">Log In</button>\n  </form>\n")
+	fmt.Fprintf(&b, "  <footer>%s</footer>\n", s.footer)
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// Spec exposes read-only brand metadata the classifier builds signatures
+// from.
+type Spec struct {
+	Title          string
+	OfficialDomain string
+	LogoPath       string
+	FaviconPath    string
+	PasswordField  string
+}
+
+// SpecFor returns the brand's metadata.
+func SpecFor(brand Brand) (Spec, bool) {
+	s, ok := brandSpecs[brand]
+	if !ok {
+		return Spec{}, false
+	}
+	return Spec{
+		Title:          s.title,
+		OfficialDomain: s.officialDom,
+		LogoPath:       s.logoPath,
+		FaviconPath:    s.faviconPath,
+		PasswordField:  s.passField,
+	}, true
+}
+
+// Collector counts credential submissions without storing any field values
+// (Appendix B: sensitive information is never retained).
+type Collector struct {
+	mu          sync.Mutex
+	submissions int
+}
+
+// Submissions reports how many credential posts arrived.
+func (c *Collector) Submissions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.submissions
+}
+
+func (c *Collector) record() {
+	c.mu.Lock()
+	c.submissions++
+	c.mu.Unlock()
+}
+
+// Handler serves the kit: the login page on any GET, bundled resources at
+// their paths, and the credential collector at CollectPath. collector may be
+// nil.
+func (k *Kit) Handler(collector *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if res, ok := k.Resources[r.URL.Path]; ok {
+			w.Header().Set("Content-Type", "image/png")
+			w.Write(res)
+			return
+		}
+		if r.URL.Path == k.CollectPath && r.Method == http.MethodPost {
+			if collector != nil {
+				collector.record()
+			}
+			// Swallow the credentials and bounce to a harmless page.
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			io.WriteString(w, "<html><body>Temporarily unavailable. Please try again later.</body></html>")
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, k.LoginHTML)
+	})
+}
+
+// WriteZip packs the kit for upload, entries sorted for reproducibility.
+func (k *Kit) WriteZip(w io.Writer) error {
+	zw := zip.NewWriter(w)
+	entries := map[string][]byte{"login.php": []byte(k.LoginHTML)}
+	for path, data := range k.Resources {
+		entries[strings.TrimPrefix(path, "/")] = data
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := zw.Create(name)
+		if err != nil {
+			return fmt.Errorf("phishkit: creating zip entry %s: %w", name, err)
+		}
+		if _, err := f.Write(entries[name]); err != nil {
+			return fmt.Errorf("phishkit: writing zip entry %s: %w", name, err)
+		}
+	}
+	return zw.Close()
+}

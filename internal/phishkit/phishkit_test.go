@@ -1,0 +1,203 @@
+package phishkit
+
+import (
+	"archive/zip"
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/simnet"
+)
+
+func TestGenerateProvenanceDefaults(t *testing.T) {
+	for brand, want := range map[Brand]Provenance{PayPal: Cloned, Facebook: Cloned, Gmail: FromScratch} {
+		k, err := Generate(brand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Provenance != want {
+			t.Errorf("%s provenance = %v, want %v", brand, k.Provenance, want)
+		}
+	}
+}
+
+func TestGenerateUnknownBrand(t *testing.T) {
+	if _, err := Generate(Brand("MySpace")); err == nil {
+		t.Fatal("unknown brand should fail")
+	}
+}
+
+func TestClonedResourcesMatchOfficialHashes(t *testing.T) {
+	k, _ := Generate(PayPal)
+	spec, _ := SpecFor(PayPal)
+	if got := HashBytes(k.Resources[spec.LogoPath]); got != OfficialResourceHash(PayPal, "logo") {
+		t.Fatal("cloned kit logo must be byte-identical to the official resource")
+	}
+	if got := HashBytes(k.Resources[spec.FaviconPath]); got != OfficialResourceHash(PayPal, "favicon") {
+		t.Fatal("cloned kit favicon must match the official resource")
+	}
+}
+
+func TestScratchResourcesDiffer(t *testing.T) {
+	k, _ := Generate(Gmail)
+	spec, _ := SpecFor(Gmail)
+	if HashBytes(k.Resources[spec.LogoPath]) == OfficialResourceHash(Gmail, "logo") {
+		t.Fatal("from-scratch kit must not reuse official resource bytes")
+	}
+}
+
+func TestAblationCloneGmail(t *testing.T) {
+	k, err := GenerateWithProvenance(Gmail, Cloned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := SpecFor(Gmail)
+	if HashBytes(k.Resources[spec.LogoPath]) != OfficialResourceHash(Gmail, "logo") {
+		t.Fatal("explicitly cloned Gmail must carry official resources")
+	}
+}
+
+func TestLoginPageLooksLikeBrand(t *testing.T) {
+	for _, brand := range Brands() {
+		k, _ := Generate(brand)
+		doc := htmlmini.Parse(k.LoginHTML)
+		spec, _ := SpecFor(brand)
+		if doc.Title() != spec.Title {
+			t.Errorf("%s title = %q, want %q", brand, doc.Title(), spec.Title)
+		}
+		forms := doc.Forms()
+		if len(forms) != 1 {
+			t.Fatalf("%s login page has %d forms", brand, len(forms))
+		}
+		if _, ok := forms[0].Fields[spec.PasswordField]; !ok {
+			t.Errorf("%s form missing password field %q", brand, spec.PasswordField)
+		}
+		if forms[0].Action != DefaultCollectPath {
+			t.Errorf("%s form action = %q", brand, forms[0].Action)
+		}
+	}
+}
+
+func TestClonedPagesKeepCanonicalLink(t *testing.T) {
+	pp, _ := Generate(PayPal)
+	if !strings.Contains(pp.LoginHTML, "paypal.com") {
+		t.Fatal("cloned PayPal page should reference the official domain")
+	}
+	gm, _ := Generate(Gmail)
+	if strings.Contains(gm.LoginHTML, `rel="canonical"`) {
+		t.Fatal("from-scratch page should not carry the clone's canonical link")
+	}
+}
+
+func TestHandlerServesPageResourcesAndCollector(t *testing.T) {
+	k, _ := Generate(Facebook)
+	var collector Collector
+	net := simnet.New(nil)
+	net.Register("fb-phish.example", k.Handler(&collector))
+	client := simnet.NewClient(net, "198.51.100.4")
+
+	resp, err := client.Get("http://fb-phish.example/secure/login.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "Facebook") {
+		t.Fatal("login page not served")
+	}
+
+	spec, _ := SpecFor(Facebook)
+	resp, err = client.Get("http://fb-phish.example" + spec.LogoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if HashBytes(logo) != OfficialResourceHash(Facebook, "logo") {
+		t.Fatal("served logo must be the bundled clone resource")
+	}
+
+	resp, err = client.PostForm("http://fb-phish.example"+k.CollectPath,
+		map[string][]string{"email": {"victim@example.com"}, "pass": {"hunter2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	credsPage, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if collector.Submissions() != 1 {
+		t.Fatalf("Submissions = %d, want 1", collector.Submissions())
+	}
+	if strings.Contains(string(credsPage), "hunter2") {
+		t.Fatal("collector must never echo or retain credentials")
+	}
+}
+
+func TestHandlerNilCollector(t *testing.T) {
+	k, _ := Generate(PayPal)
+	net := simnet.New(nil)
+	net.Register("p.example", k.Handler(nil))
+	client := simnet.NewClient(net, "198.51.100.4")
+	resp, err := client.PostForm("http://p.example"+k.CollectPath, map[string][]string{"login_pass": {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("collect without collector = %d", resp.StatusCode)
+	}
+}
+
+func TestWriteZipContainsAllFiles(t *testing.T) {
+	k, _ := Generate(PayPal)
+	var buf bytes.Buffer
+	if err := k.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(k.Resources)
+	if len(zr.File) != want {
+		t.Fatalf("zip entries = %d, want %d", len(zr.File), want)
+	}
+	names := map[string]bool{}
+	for _, f := range zr.File {
+		names[f.Name] = true
+	}
+	if !names["login.php"] || !names["assets/paypal-logo.png"] {
+		t.Fatalf("zip names = %v", names)
+	}
+}
+
+func TestBrandLetters(t *testing.T) {
+	if Gmail.Letter() != "G" || Facebook.Letter() != "F" || PayPal.Letter() != "P" {
+		t.Fatal("brand letters wrong")
+	}
+	if Brand("X").Letter() != "?" {
+		t.Fatal("unknown brand letter")
+	}
+	if got := len(Brands()); got != 3 {
+		t.Fatalf("Brands() = %d entries", got)
+	}
+}
+
+func TestProvenanceString(t *testing.T) {
+	if Cloned.String() != "cloned" || FromScratch.String() != "from-scratch" {
+		t.Fatal("provenance strings wrong")
+	}
+}
+
+func TestOfficialResourcesDeterministic(t *testing.T) {
+	a := OfficialResource(PayPal, "logo")
+	b := OfficialResource(PayPal, "logo")
+	if !bytes.Equal(a, b) {
+		t.Fatal("official resources must be deterministic")
+	}
+	if bytes.Equal(OfficialResource(PayPal, "logo"), OfficialResource(Facebook, "logo")) {
+		t.Fatal("brands must have distinct resources")
+	}
+}

@@ -1,0 +1,189 @@
+// Package registrar simulates domain registrars and their APIs.
+//
+// The paper uses GoDaddy and Porkbun APIs to check availability of drop-catch
+// candidates (pipeline step 2) and registers the final domains manually at
+// OVH over two weeks to avoid bulk-registration patterns. This package
+// provides availability checks, registrations that publish WHOIS and DNS
+// state, a gTLD catalog, and a bulk-pattern score that anti-phishing engines
+// can consult as a maliciousness prior.
+package registrar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/dnssim"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/whois"
+)
+
+// ErrTaken is returned when registering a domain that already has a WHOIS
+// record.
+var ErrTaken = errors.New("registrar: domain already registered")
+
+// ErrUnsupportedTLD is returned for a TLD outside the catalog.
+var ErrUnsupportedTLD = errors.New("registrar: unsupported TLD")
+
+// LegacyGTLDs are the legacy generic TLDs the paper registers under.
+var LegacyGTLDs = []string{"com", "net", "org", "info"}
+
+// NewGTLDs is a catalog of new generic TLDs; the paper registers 21 of its
+// keyword domains under new gTLDs.
+var NewGTLDs = []string{"xyz", "online", "site", "top", "icu", "club", "shop", "live", "fun", "space"}
+
+// TLD returns the final label of domain.
+func TLD(domain string) string {
+	domain = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(domain)), ".")
+	i := strings.LastIndexByte(domain, '.')
+	if i < 0 {
+		return ""
+	}
+	return domain[i+1:]
+}
+
+// IsNewGTLD reports whether domain's TLD is in the new-gTLD catalog.
+func IsNewGTLD(domain string) bool {
+	return contains(NewGTLDs, TLD(domain))
+}
+
+// IsLegacyGTLD reports whether domain's TLD is a legacy gTLD.
+func IsLegacyGTLD(domain string) bool {
+	return contains(LegacyGTLDs, TLD(domain))
+}
+
+// Supported reports whether domain's TLD can be registered here. The special
+// "example" TLD is accepted to keep unit-test domains registrable.
+func Supported(domain string) bool {
+	return IsNewGTLD(domain) || IsLegacyGTLD(domain) || TLD(domain) == "example"
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Registration records one completed registration.
+type Registration struct {
+	Domain     string
+	Registrant string
+	At         time.Time
+}
+
+// Registrar is one registrar (GoDaddy, Porkbun, OVH, ...). Registrations
+// publish a WHOIS record and delegate a DNS zone. The zero value is not
+// usable; call New.
+type Registrar struct {
+	name  string
+	whois *whois.DB
+	dns   *dnssim.Server
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	regs   []Registration
+	checks int64
+}
+
+// New returns a registrar publishing into the given WHOIS database and DNS
+// server. clock defaults to simclock.Real when nil.
+func New(name string, db *whois.DB, dns *dnssim.Server, clock simclock.Clock) *Registrar {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &Registrar{name: name, whois: db, dns: dns, clock: clock}
+}
+
+// Name returns the registrar's name.
+func (r *Registrar) Name() string { return r.name }
+
+// Available reports whether domain can be registered: supported TLD and no
+// existing WHOIS record. This is the GoDaddy/Porkbun availability API of
+// pipeline step 2.
+func (r *Registrar) Available(domain string) bool {
+	r.mu.Lock()
+	r.checks++
+	r.mu.Unlock()
+	if !Supported(domain) {
+		return false
+	}
+	_, taken := r.whois.Lookup(domain)
+	return !taken
+}
+
+// Register registers domain to registrant for one year, publishing WHOIS and
+// delegating a DNS zone (without an address until hosting attaches one).
+func (r *Registrar) Register(domain, registrant string) (Registration, error) {
+	domain = strings.ToLower(strings.TrimSpace(domain))
+	if !Supported(domain) {
+		return Registration{}, fmt.Errorf("%w: %s", ErrUnsupportedTLD, domain)
+	}
+	if _, taken := r.whois.Lookup(domain); taken {
+		return Registration{}, fmt.Errorf("%w: %s", ErrTaken, domain)
+	}
+	now := r.clock.Now()
+	r.whois.Put(whois.Record{
+		Domain:     domain,
+		Registrar:  r.name,
+		Registrant: registrant,
+		Created:    now,
+		Expires:    now.AddDate(1, 0, 0),
+	})
+	if r.dns != nil {
+		r.dns.AddZone(domain, "")
+	}
+	reg := Registration{Domain: domain, Registrant: registrant, At: now}
+	r.mu.Lock()
+	r.regs = append(r.regs, reg)
+	r.mu.Unlock()
+	return reg, nil
+}
+
+// Registrations returns a copy of all completed registrations in order.
+func (r *Registrar) Registrations() []Registration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Registration, len(r.regs))
+	copy(out, r.regs)
+	return out
+}
+
+// AvailabilityChecks reports how many availability queries were served.
+func (r *Registrar) AvailabilityChecks() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checks
+}
+
+// BulkScore estimates how bulk-like a registrant's registration pattern is:
+// the maximum number of that registrant's registrations falling inside any
+// sliding window. Engines use a high score as a maliciousness prior; the
+// paper spreads its manual registrations over two weeks precisely to keep
+// this low.
+func (r *Registrar) BulkScore(registrant string, window time.Duration) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var times []time.Time
+	for _, reg := range r.regs {
+		if reg.Registrant == registrant {
+			times = append(times, reg.At)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	best, lo := 0, 0
+	for hi := range times {
+		for times[hi].Sub(times[lo]) > window {
+			lo++
+		}
+		if n := hi - lo + 1; n > best {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+package registrar
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/dnssim"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/whois"
+)
+
+func newTestRegistrar(clock simclock.Clock) (*Registrar, *whois.DB, *dnssim.Server) {
+	db := whois.NewDB()
+	dns := dnssim.NewServer()
+	return New("OVH", db, dns, clock), db, dns
+}
+
+func TestTLD(t *testing.T) {
+	cases := map[string]string{
+		"shop.com":        "com",
+		"a.b.c.xyz":       "xyz",
+		"bare":            "",
+		"Trailing.ORG.":   "org",
+		" spaced.net ":    "net",
+		"garden.example":  "example",
+		"new-thing.club ": "club",
+	}
+	for in, want := range cases {
+		if got := TLD(in); got != want {
+			t.Errorf("TLD(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGTLDCatalogs(t *testing.T) {
+	if !IsLegacyGTLD("a.com") || !IsLegacyGTLD("a.net") || !IsLegacyGTLD("a.org") {
+		t.Fatal("legacy gTLDs misclassified")
+	}
+	if IsLegacyGTLD("a.xyz") {
+		t.Fatal(".xyz is not legacy")
+	}
+	if !IsNewGTLD("a.xyz") || !IsNewGTLD("a.club") {
+		t.Fatal("new gTLDs misclassified")
+	}
+	if IsNewGTLD("a.com") {
+		t.Fatal(".com is not a new gTLD")
+	}
+	if !Supported("unit-test.example") {
+		t.Fatal(".example should be supported for tests")
+	}
+	if Supported("a.museum") {
+		t.Fatal("TLD outside catalog should be unsupported")
+	}
+}
+
+func TestAvailableThenRegister(t *testing.T) {
+	r, db, dns := newTestRegistrar(simclock.New(simclock.Epoch))
+	if !r.Available("fresh.com") {
+		t.Fatal("fresh.com should be available")
+	}
+	reg, err := r.Register("fresh.com", "Research Lab")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !reg.At.Equal(simclock.Epoch) {
+		t.Fatalf("registration time = %v, want %v", reg.At, simclock.Epoch)
+	}
+	if r.Available("fresh.com") {
+		t.Fatal("fresh.com should no longer be available")
+	}
+	rec, ok := db.Lookup("fresh.com")
+	if !ok || rec.Registrar != "OVH" || rec.Registrant != "Research Lab" {
+		t.Fatalf("WHOIS record = %+v, ok=%v", rec, ok)
+	}
+	if want := simclock.Epoch.AddDate(1, 0, 0); !rec.Expires.Equal(want) {
+		t.Fatalf("Expires = %v, want %v", rec.Expires, want)
+	}
+	if !dns.Exists("fresh.com") {
+		t.Fatal("registration should delegate a DNS zone")
+	}
+}
+
+func TestRegisterTakenFails(t *testing.T) {
+	r, _, _ := newTestRegistrar(nil)
+	if _, err := r.Register("dup.com", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("dup.com", "B"); !errors.Is(err, ErrTaken) {
+		t.Fatalf("err = %v, want ErrTaken", err)
+	}
+}
+
+func TestRegisterUnsupportedTLD(t *testing.T) {
+	r, _, _ := newTestRegistrar(nil)
+	if _, err := r.Register("thing.museum", "A"); !errors.Is(err, ErrUnsupportedTLD) {
+		t.Fatalf("err = %v, want ErrUnsupportedTLD", err)
+	}
+	if r.Available("thing.museum") {
+		t.Fatal("unsupported TLD should never be available")
+	}
+}
+
+func TestBulkScoreWindows(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	r, _, _ := newTestRegistrar(clock)
+	// Three registrations within one hour, then a gap, then two more.
+	domains := []string{"a1.com", "a2.com", "a3.com"}
+	for _, d := range domains {
+		if _, err := r.Register(d, "Lab"); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(20 * time.Minute)
+	}
+	clock.Advance(48 * time.Hour)
+	for _, d := range []string{"b1.com", "b2.com"} {
+		if _, err := r.Register(d, "Lab"); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(10 * time.Minute)
+	}
+	if got := r.BulkScore("Lab", time.Hour); got != 3 {
+		t.Fatalf("BulkScore(1h) = %d, want 3", got)
+	}
+	if got := r.BulkScore("Lab", 30*time.Minute); got != 2 {
+		t.Fatalf("BulkScore(30m) = %d, want 2", got)
+	}
+	if got := r.BulkScore("Lab", 100*time.Hour); got != 5 {
+		t.Fatalf("BulkScore(100h) = %d, want 5", got)
+	}
+	if got := r.BulkScore("Nobody", time.Hour); got != 0 {
+		t.Fatalf("BulkScore(unknown) = %d, want 0", got)
+	}
+}
+
+func TestSpreadRegistrationsKeepBulkScoreLow(t *testing.T) {
+	// The paper registers 112 domains manually over two weeks. Spread evenly,
+	// the 24h bulk score stays in single digits.
+	clock := simclock.New(simclock.Epoch)
+	r, _, _ := newTestRegistrar(clock)
+	interval := 14 * 24 * time.Hour / 112
+	for i := 0; i < 112; i++ {
+		if _, err := r.Register(synth(i), "Lab"); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(interval)
+	}
+	if got := r.BulkScore("Lab", 24*time.Hour); got > 9 {
+		t.Fatalf("24h BulkScore = %d, want single digits for spread registrations", got)
+	}
+}
+
+func synth(i int) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	return "dom-" + string(letters[i%26]) + string(letters[(i/26)%26]) + string(rune('0'+i%10)) + ".com"
+}
+
+func TestAvailabilityChecksCounter(t *testing.T) {
+	r, _, _ := newTestRegistrar(nil)
+	r.Available("x.com")
+	r.Available("y.com")
+	if got := r.AvailabilityChecks(); got != 2 {
+		t.Fatalf("AvailabilityChecks() = %d, want 2", got)
+	}
+}
+
+func TestRegistrationsCopy(t *testing.T) {
+	r, _, _ := newTestRegistrar(nil)
+	r.Register("one.com", "Lab")
+	regs := r.Registrations()
+	regs[0].Domain = "mutated"
+	if r.Registrations()[0].Domain != "one.com" {
+		t.Fatal("Registrations must return a copy")
+	}
+}

@@ -1,0 +1,162 @@
+// Package report implements the phishing-report submission paths and the
+// simulated e-mail system.
+//
+// The paper submits URLs via online forms (GSB, SmartScreen, NetCraft, YSB)
+// or by e-mail (OpenPhish, PhishTank, APWG), never to more than one engine
+// per URL. Engines answer through the same rails: NetCraft notifies the
+// reporter of outcomes by mail, and PhishLabs sends abuse notifications to
+// the hosting network's abuse address for URLs that reached the
+// OpenPhish/PhishTank ecosystems.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// Via is a report submission channel.
+type Via string
+
+// Submission channels.
+const (
+	ViaForm  Via = "form"
+	ViaEmail Via = "email"
+)
+
+// Report is one submitted phishing report.
+type Report struct {
+	URL string
+	At  time.Time
+	Via Via
+	// Reporter identifies the submitting party (for outcome notifications).
+	Reporter string
+}
+
+// Queue is an engine's inbound report queue.
+type Queue struct {
+	name  string
+	via   Via
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	pending []Report
+	total   int
+}
+
+// NewQueue returns an empty intake queue for an engine accepting reports
+// over the given channel.
+func NewQueue(name string, via Via, clock simclock.Clock) *Queue {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &Queue{name: name, via: via, clock: clock}
+}
+
+// Name returns the owning engine's name.
+func (q *Queue) Name() string { return q.name }
+
+// Via returns the submission channel this engine accepts.
+func (q *Queue) Via() Via { return q.via }
+
+// Submit files a report.
+func (q *Queue) Submit(url, reporter string) Report {
+	r := Report{URL: url, At: q.clock.Now(), Via: q.via, Reporter: reporter}
+	q.mu.Lock()
+	q.pending = append(q.pending, r)
+	q.total++
+	q.mu.Unlock()
+	return r
+}
+
+// Drain removes and returns all pending reports.
+func (q *Queue) Drain() []Report {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.pending
+	q.pending = nil
+	return out
+}
+
+// Total reports how many reports were ever submitted.
+func (q *Queue) Total() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// Mail is one delivered message.
+type Mail struct {
+	From    string
+	To      string
+	Subject string
+	Body    string
+	At      time.Time
+}
+
+// MailSystem is the simulated e-mail infrastructure.
+type MailSystem struct {
+	clock simclock.Clock
+
+	mu    sync.Mutex
+	boxes map[string][]Mail
+	sent  int
+}
+
+// NewMailSystem returns an empty mail system.
+func NewMailSystem(clock simclock.Clock) *MailSystem {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &MailSystem{clock: clock, boxes: make(map[string][]Mail)}
+}
+
+// Send delivers a message to the recipient's inbox.
+func (m *MailSystem) Send(from, to, subject, body string) Mail {
+	mail := Mail{From: from, To: strings.ToLower(to), Subject: subject, Body: body, At: m.clock.Now()}
+	m.mu.Lock()
+	m.boxes[mail.To] = append(m.boxes[mail.To], mail)
+	m.sent++
+	m.mu.Unlock()
+	return mail
+}
+
+// Inbox returns a copy of the messages delivered to addr, oldest first.
+func (m *MailSystem) Inbox(addr string) []Mail {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	box := m.boxes[strings.ToLower(addr)]
+	out := make([]Mail, len(box))
+	copy(out, box)
+	return out
+}
+
+// Sent reports total deliveries.
+func (m *MailSystem) Sent() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sent
+}
+
+// AbuseNotifier sends PhishLabs-style abuse notifications for phishing URLs
+// to the abuse contact responsible for the hosting addresses.
+type AbuseNotifier struct {
+	Mail *MailSystem
+	// From is the notifier identity, e.g. "notifications@phishlabs.example".
+	From string
+	// AbuseContact is the hosting network's registered abuse address.
+	AbuseContact string
+}
+
+// Notify sends one abuse notification about url.
+func (n *AbuseNotifier) Notify(url string) {
+	if n.Mail == nil || n.AbuseContact == "" {
+		return
+	}
+	n.Mail.Send(n.From, n.AbuseContact,
+		"Phishing content hosted on your network",
+		fmt.Sprintf("A phishing URL hosted on your infrastructure was reported: %s\nPlease take it down.", url))
+}

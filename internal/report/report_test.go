@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+func TestQueueSubmitDrain(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	q := NewQueue("GSB", ViaForm, clock)
+	q.Submit("http://a.example/login.php", "researchers")
+	clock.Advance(time.Minute)
+	q.Submit("http://b.example/login.php", "researchers")
+
+	reports := q.Drain()
+	if len(reports) != 2 {
+		t.Fatalf("Drain = %d reports", len(reports))
+	}
+	if reports[0].URL != "http://a.example/login.php" || !reports[0].At.Equal(simclock.Epoch) {
+		t.Fatalf("report 0 = %+v", reports[0])
+	}
+	if reports[1].Via != ViaForm {
+		t.Fatalf("via = %v", reports[1].Via)
+	}
+	if len(q.Drain()) != 0 {
+		t.Fatal("second Drain should be empty")
+	}
+	if q.Total() != 2 {
+		t.Fatalf("Total = %d", q.Total())
+	}
+}
+
+func TestQueueMetadata(t *testing.T) {
+	q := NewQueue("OpenPhish", ViaEmail, nil)
+	if q.Name() != "OpenPhish" || q.Via() != ViaEmail {
+		t.Fatalf("metadata = %s,%s", q.Name(), q.Via())
+	}
+}
+
+func TestMailSystemDelivery(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	m := NewMailSystem(clock)
+	m.Send("netcraft@example", "Researcher@Lab.example", "Report outcome", "blacklisted")
+	inbox := m.Inbox("researcher@lab.example")
+	if len(inbox) != 1 {
+		t.Fatalf("inbox = %d mails", len(inbox))
+	}
+	if inbox[0].Subject != "Report outcome" || !inbox[0].At.Equal(simclock.Epoch) {
+		t.Fatalf("mail = %+v", inbox[0])
+	}
+	if m.Sent() != 1 {
+		t.Fatalf("Sent = %d", m.Sent())
+	}
+	if len(m.Inbox("nobody@example")) != 0 {
+		t.Fatal("empty inbox expected")
+	}
+}
+
+func TestInboxIsCopy(t *testing.T) {
+	m := NewMailSystem(nil)
+	m.Send("a@x", "b@x", "s", "body")
+	inbox := m.Inbox("b@x")
+	inbox[0].Subject = "mutated"
+	if m.Inbox("b@x")[0].Subject != "s" {
+		t.Fatal("Inbox must return a copy")
+	}
+}
+
+func TestAbuseNotifier(t *testing.T) {
+	m := NewMailSystem(nil)
+	n := &AbuseNotifier{Mail: m, From: "notifications@phishlabs.example", AbuseContact: "abuse@hosting.example"}
+	n.Notify("http://phish.example/login.php")
+	inbox := m.Inbox("abuse@hosting.example")
+	if len(inbox) != 1 {
+		t.Fatalf("abuse inbox = %d", len(inbox))
+	}
+	if !strings.Contains(inbox[0].Body, "http://phish.example/login.php") {
+		t.Fatalf("abuse mail body = %q", inbox[0].Body)
+	}
+}
+
+func TestAbuseNotifierNilSafe(t *testing.T) {
+	(&AbuseNotifier{}).Notify("http://x.example/") // must not panic
+}

@@ -1,0 +1,193 @@
+// Package reputation simulates the third-party reputation services the
+// drop-catch pipeline consults: a popularity rank list (Alexa), a web archive
+// (Internet Archive), a search-engine index (Google site: queries), and a
+// multi-engine malware/phishing scanner (VirusTotal).
+//
+// Pipeline steps 1, 4, 5 and 6 of the paper reduce to membership and history
+// questions against these services.
+package reputation
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func canonical(domain string) string {
+	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(domain)), ".")
+}
+
+// RankList is a popularity list such as the Alexa top 1M.
+type RankList struct {
+	mu    sync.RWMutex
+	ranks map[string]int
+}
+
+// NewRankList returns an empty rank list.
+func NewRankList() *RankList {
+	return &RankList{ranks: make(map[string]int)}
+}
+
+// Set assigns rank (1 = most popular) to domain.
+func (l *RankList) Set(domain string, rank int) {
+	l.mu.Lock()
+	l.ranks[canonical(domain)] = rank
+	l.mu.Unlock()
+}
+
+// Rank returns domain's rank, or 0 if unlisted.
+func (l *RankList) Rank(domain string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.ranks[canonical(domain)]
+}
+
+// Len reports the number of listed domains.
+func (l *RankList) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.ranks)
+}
+
+// Top returns up to n domains ordered by ascending rank.
+func (l *RankList) Top(n int) []string {
+	l.mu.RLock()
+	type entry struct {
+		domain string
+		rank   int
+	}
+	entries := make([]entry, 0, len(l.ranks))
+	for d, r := range l.ranks {
+		entries = append(entries, entry{d, r})
+	}
+	l.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].rank == entries[j].rank {
+			return entries[i].domain < entries[j].domain
+		}
+		return entries[i].rank < entries[j].rank
+	})
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = entries[i].domain
+	}
+	return out
+}
+
+// Archive is a web archive recording page snapshots per domain.
+type Archive struct {
+	mu        sync.RWMutex
+	snapshots map[string][]time.Time
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{snapshots: make(map[string][]time.Time)}
+}
+
+// AddSnapshot records that domain was archived at t.
+func (a *Archive) AddSnapshot(domain string, t time.Time) {
+	key := canonical(domain)
+	a.mu.Lock()
+	a.snapshots[key] = append(a.snapshots[key], t)
+	a.mu.Unlock()
+}
+
+// Snapshots returns the number of archived captures for domain.
+func (a *Archive) Snapshots(domain string) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.snapshots[canonical(domain)])
+}
+
+// Archived reports whether domain was archived at least once — pipeline
+// step 5's web-history requirement.
+func (a *Archive) Archived(domain string) bool {
+	return a.Snapshots(domain) > 0
+}
+
+// SearchIndex is a search engine's index, queried with site:domain.
+type SearchIndex struct {
+	mu    sync.RWMutex
+	pages map[string]int
+}
+
+// NewSearchIndex returns an empty index.
+func NewSearchIndex() *SearchIndex {
+	return &SearchIndex{pages: make(map[string]int)}
+}
+
+// Index records that domain has n indexed pages.
+func (s *SearchIndex) Index(domain string, n int) {
+	s.mu.Lock()
+	s.pages[canonical(domain)] = n
+	s.mu.Unlock()
+}
+
+// SiteQuery returns the number of indexed pages for site:domain — pipeline
+// step 6's requirement is SiteQuery ≥ 1.
+func (s *SearchIndex) SiteQuery(domain string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pages[canonical(domain)]
+}
+
+// Verdict is one scanning engine's opinion of a domain.
+type Verdict struct {
+	Engine    string
+	Malicious bool
+	At        time.Time
+}
+
+// Scanner is a multi-engine scanner in the style of VirusTotal: step 4
+// submits candidate domains and rejects any flagged by at least one engine.
+type Scanner struct {
+	mu       sync.RWMutex
+	verdicts map[string][]Verdict
+	scans    int64
+}
+
+// NewScanner returns an empty scanner.
+func NewScanner() *Scanner {
+	return &Scanner{verdicts: make(map[string][]Verdict)}
+}
+
+// Report records a verdict for domain.
+func (s *Scanner) Report(domain string, v Verdict) {
+	key := canonical(domain)
+	s.mu.Lock()
+	s.verdicts[key] = append(s.verdicts[key], v)
+	s.mu.Unlock()
+}
+
+// Detections returns how many engines flagged domain as malicious.
+func (s *Scanner) Detections(domain string) int {
+	s.mu.Lock()
+	s.scans++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, v := range s.verdicts[canonical(domain)] {
+		if v.Malicious {
+			n++
+		}
+	}
+	return n
+}
+
+// Clean reports whether no engine flagged the domain.
+func (s *Scanner) Clean(domain string) bool {
+	return s.Detections(domain) == 0
+}
+
+// Scans reports the number of scan queries served.
+func (s *Scanner) Scans() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scans
+}

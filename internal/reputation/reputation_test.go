@@ -1,0 +1,89 @@
+package reputation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRankListSetRankAndLen(t *testing.T) {
+	l := NewRankList()
+	l.Set("popular.com", 12)
+	l.Set("NICHE.com", 500000)
+	if got := l.Rank("popular.com"); got != 12 {
+		t.Fatalf("Rank = %d, want 12", got)
+	}
+	if got := l.Rank("niche.com"); got != 500000 {
+		t.Fatalf("Rank should be case-insensitive, got %d", got)
+	}
+	if got := l.Rank("absent.com"); got != 0 {
+		t.Fatalf("Rank(unlisted) = %d, want 0", got)
+	}
+	if got := l.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestRankListTopOrdering(t *testing.T) {
+	l := NewRankList()
+	l.Set("third.com", 30)
+	l.Set("first.com", 1)
+	l.Set("second.com", 2)
+	got := l.Top(2)
+	if len(got) != 2 || got[0] != "first.com" || got[1] != "second.com" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+	if all := l.Top(99); len(all) != 3 {
+		t.Fatalf("Top(99) = %v, want all 3", all)
+	}
+}
+
+func TestArchive(t *testing.T) {
+	a := NewArchive()
+	if a.Archived("old.com") {
+		t.Fatal("fresh archive should report nothing archived")
+	}
+	a.AddSnapshot("old.com", time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC))
+	a.AddSnapshot("OLD.com", time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC))
+	if !a.Archived("old.com") {
+		t.Fatal("domain with snapshots should be archived")
+	}
+	if got := a.Snapshots("old.com"); got != 2 {
+		t.Fatalf("Snapshots = %d, want 2", got)
+	}
+}
+
+func TestSearchIndex(t *testing.T) {
+	s := NewSearchIndex()
+	if got := s.SiteQuery("site.com"); got != 0 {
+		t.Fatalf("SiteQuery(unindexed) = %d, want 0", got)
+	}
+	s.Index("site.com", 42)
+	if got := s.SiteQuery("SITE.com"); got != 42 {
+		t.Fatalf("SiteQuery = %d, want 42", got)
+	}
+}
+
+func TestScannerVerdicts(t *testing.T) {
+	s := NewScanner()
+	if !s.Clean("neutral.com") {
+		t.Fatal("unscanned domain should be clean")
+	}
+	s.Report("bad.com", Verdict{Engine: "engine-a", Malicious: true})
+	s.Report("bad.com", Verdict{Engine: "engine-b", Malicious: false})
+	s.Report("bad.com", Verdict{Engine: "engine-c", Malicious: true})
+	if got := s.Detections("bad.com"); got != 2 {
+		t.Fatalf("Detections = %d, want 2", got)
+	}
+	if s.Clean("bad.com") {
+		t.Fatal("flagged domain should not be clean")
+	}
+}
+
+func TestScannerScanCounter(t *testing.T) {
+	s := NewScanner()
+	s.Clean("a.com")
+	s.Detections("b.com")
+	if got := s.Scans(); got != 2 {
+		t.Fatalf("Scans = %d, want 2", got)
+	}
+}

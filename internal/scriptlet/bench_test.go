@@ -1,0 +1,35 @@
+package scriptlet
+
+import "testing"
+
+const benchScript = `
+var total = 0;
+for (var i = 0; i < 50; i++) {
+  total += i % 7;
+}
+function gate(ok) {
+  var f = {method: 'post', fields: []};
+  if (ok) { f.fields.push('get_data'); }
+  return f.fields.length;
+}
+gate(total > 10);
+`
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in := NewInterp()
+		if err := in.Run(benchScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

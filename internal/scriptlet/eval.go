@@ -1,0 +1,740 @@
+package scriptlet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is returned when a script exceeds its evaluation-step budget —
+// the interpreter's defence against runaway loops, which matters because
+// anti-phishing bots execute attacker-supplied scripts.
+var ErrBudget = errors.New("scriptlet: step budget exhausted")
+
+// RuntimeError is a script execution failure.
+type RuntimeError struct{ Msg string }
+
+func (e *RuntimeError) Error() string { return "scriptlet: " + e.Msg }
+
+func rerrf(format string, args ...any) error {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// DefaultBudget bounds evaluation steps per Run/Call.
+const DefaultBudget = 1_000_000
+
+// Interp executes parsed scripts against a global scope populated by host
+// bindings (the browser's DOM, confirm/alert, timers, ...).
+type Interp struct {
+	Globals *Env
+	Budget  int
+	steps   int
+}
+
+// NewInterp returns an interpreter with an empty global scope and the
+// default step budget.
+func NewInterp() *Interp {
+	return &Interp{Globals: NewEnv(nil), Budget: DefaultBudget}
+}
+
+// returnSignal unwinds a function body on return.
+type returnSignal struct{ val Value }
+
+func (returnSignal) Error() string { return "return outside function" }
+
+// breakSignal and continueSignal unwind loop bodies.
+type breakSignal struct{}
+
+func (breakSignal) Error() string { return "break outside loop" }
+
+type continueSignal struct{}
+
+func (continueSignal) Error() string { return "continue outside loop" }
+
+// Run parses and executes src in the global scope. The step counter is reset
+// per call.
+func (in *Interp) Run(src string) error {
+	stmts, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	in.steps = 0
+	if err := in.execBlock(stmts, in.Globals); err != nil {
+		if _, isReturn := err.(returnSignal); isReturn {
+			return nil // top-level return: tolerated
+		}
+		return err
+	}
+	return nil
+}
+
+// CallValue invokes a function value (closure or native) from host code,
+// e.g. firing window.onload or a timer callback.
+func (in *Interp) CallValue(fn Value, this Value, args []Value) (Value, error) {
+	in.steps = 0
+	return in.call(fn, this, args)
+}
+
+func (in *Interp) step() error {
+	in.steps++
+	if in.Budget > 0 && in.steps > in.Budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(stmts []Stmt, env *Env) error {
+	// Hoist function declarations, as JS does.
+	for _, s := range stmts {
+		if fd, ok := s.(*FuncDecl); ok {
+			env.Define(fd.Name, &Closure{Fn: fd.Fn, Env: env})
+		}
+	}
+	for _, s := range stmts {
+		if err := in.exec(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) exec(s Stmt, env *Env) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *VarStmt:
+		var v Value
+		if st.Init != nil {
+			var err error
+			v, err = in.eval(st.Init, env)
+			if err != nil {
+				return err
+			}
+		}
+		env.Define(st.Name, v)
+		return nil
+	case *ExprStmt:
+		_, err := in.eval(st.E, env)
+		return err
+	case *IfStmt:
+		cond, err := in.eval(st.Cond, env)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return in.execBlock(st.Then, NewEnv(env))
+		}
+		return in.execBlock(st.Else, NewEnv(env))
+	case *WhileStmt:
+		for {
+			cond, err := in.eval(st.Cond, env)
+			if err != nil {
+				return err
+			}
+			if !Truthy(cond) {
+				return nil
+			}
+			if err := in.execLoopBody(st.Body, env); err != nil {
+				if _, isBreak := err.(breakSignal); isBreak {
+					return nil
+				}
+				return err
+			}
+			if err := in.step(); err != nil {
+				return err
+			}
+		}
+	case *ForStmt:
+		loopEnv := NewEnv(env)
+		if st.Init != nil {
+			if err := in.exec(st.Init, loopEnv); err != nil {
+				return err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := in.eval(st.Cond, loopEnv)
+				if err != nil {
+					return err
+				}
+				if !Truthy(cond) {
+					return nil
+				}
+			}
+			if err := in.execLoopBody(st.Body, loopEnv); err != nil {
+				if _, isBreak := err.(breakSignal); isBreak {
+					return nil
+				}
+				return err
+			}
+			if st.Post != nil {
+				if _, err := in.eval(st.Post, loopEnv); err != nil {
+					return err
+				}
+			}
+			if err := in.step(); err != nil {
+				return err
+			}
+		}
+	case *BreakStmt:
+		return breakSignal{}
+	case *ContinueStmt:
+		return continueSignal{}
+	case *ReturnStmt:
+		var v Value
+		if st.E != nil {
+			var err error
+			v, err = in.eval(st.E, env)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{val: v}
+	case *FuncDecl:
+		return nil // hoisted by execBlock
+	default:
+		return rerrf("unknown statement %T", s)
+	}
+}
+
+// execLoopBody runs one loop iteration, absorbing continue signals.
+func (in *Interp) execLoopBody(body []Stmt, env *Env) error {
+	err := in.execBlock(body, NewEnv(env))
+	if _, isContinue := err.(continueSignal); isContinue {
+		return nil
+	}
+	return err
+}
+
+func (in *Interp) eval(e Expr, env *Env) (Value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch ex := e.(type) {
+	case *NumberLit:
+		return ex.Val, nil
+	case *StringLit:
+		return ex.Val, nil
+	case *BoolLit:
+		return ex.Val, nil
+	case *NullLit:
+		return NullValue, nil
+	case *UndefinedLit:
+		return nil, nil
+	case *Ident:
+		if v, ok := env.Lookup(ex.Name); ok {
+			return v, nil
+		}
+		return nil, rerrf("%s is not defined", ex.Name)
+	case *FuncLit:
+		return &Closure{Fn: ex, Env: env}, nil
+	case *ObjectLit:
+		obj := NewObject()
+		for i, k := range ex.Keys {
+			v, err := in.eval(ex.Vals[i], env)
+			if err != nil {
+				return nil, err
+			}
+			obj.Set(k, v)
+		}
+		return obj, nil
+	case *ArrayLit:
+		elems := make([]Value, len(ex.Elems))
+		for i, el := range ex.Elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = v
+		}
+		return NewArray(elems...), nil
+	case *UpdateExpr:
+		old, err := in.eval(ex.Target, env)
+		if err != nil {
+			return nil, err
+		}
+		n, _ := ToNumber(old)
+		delta := 1.0
+		if ex.Op == "--" {
+			delta = -1
+		}
+		assign := &AssignExpr{Op: "=", Target: ex.Target, Value: &NumberLit{Val: n + delta}}
+		if _, err := in.evalAssign(assign, env); err != nil {
+			return nil, err
+		}
+		return n, nil // postfix yields the old value
+	case *UnaryExpr:
+		if ex.Op == "typeof" {
+			// typeof tolerates undeclared identifiers.
+			if id, ok := ex.X.(*Ident); ok {
+				v, _ := env.Lookup(id.Name)
+				return TypeOf(v), nil
+			}
+		}
+		x, err := in.eval(ex.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "!":
+			return !Truthy(x), nil
+		case "-":
+			n, _ := ToNumber(x)
+			return -n, nil
+		case "typeof":
+			return TypeOf(x), nil
+		}
+		return nil, rerrf("unknown unary operator %s", ex.Op)
+	case *BinaryExpr:
+		return in.evalBinary(ex, env)
+	case *CondExpr:
+		cond, err := in.eval(ex.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			return in.eval(ex.Then, env)
+		}
+		return in.eval(ex.Else, env)
+	case *AssignExpr:
+		return in.evalAssign(ex, env)
+	case *MemberExpr:
+		obj, err := in.eval(ex.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.getMember(obj, ex.Name)
+	case *IndexExpr:
+		obj, err := in.eval(ex.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.eval(ex.Key, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.getMember(obj, ToString(key))
+	case *CallExpr:
+		return in.evalCall(ex, env)
+	case *NewExpr:
+		ctor, err := in.eval(ex.Ctor, env)
+		if err != nil {
+			return nil, err
+		}
+		args, err := in.evalArgs(ex.Args, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.call(ctor, nil, args)
+	default:
+		return nil, rerrf("unknown expression %T", e)
+	}
+}
+
+func (in *Interp) evalArgs(exprs []Expr, env *Env) ([]Value, error) {
+	args := make([]Value, len(exprs))
+	for i, a := range exprs {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+func (in *Interp) evalCall(ex *CallExpr, env *Env) (Value, error) {
+	// Method call: evaluate receiver once, bind as `this`.
+	var this Value
+	var fn Value
+	switch callee := ex.Fn.(type) {
+	case *MemberExpr:
+		obj, err := in.eval(callee.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		this = obj
+		fn, err = in.getMember(obj, callee.Name)
+		if err != nil {
+			return nil, err
+		}
+		if fn == nil {
+			return nil, rerrf("%s is not a function on %s", callee.Name, ToString(obj))
+		}
+	default:
+		var err error
+		fn, err = in.eval(ex.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	args, err := in.evalArgs(ex.Args, env)
+	if err != nil {
+		return nil, err
+	}
+	return in.call(fn, this, args)
+}
+
+func (in *Interp) call(fn Value, this Value, args []Value) (Value, error) {
+	switch f := fn.(type) {
+	case NativeFunc:
+		return f(this, args)
+	case *Closure:
+		frame := NewEnv(f.Env)
+		for i, p := range f.Fn.Params {
+			if i < len(args) {
+				frame.Define(p, args[i])
+			} else {
+				frame.Define(p, nil)
+			}
+		}
+		frame.Define("this", this)
+		err := in.execBlock(f.Fn.Body, frame)
+		if err != nil {
+			if ret, ok := err.(returnSignal); ok {
+				return ret.val, nil
+			}
+			return nil, err
+		}
+		return nil, nil
+	case nil:
+		return nil, rerrf("called an undefined value")
+	default:
+		return nil, rerrf("%s is not a function", ToString(fn))
+	}
+}
+
+func (in *Interp) getMember(obj Value, name string) (Value, error) {
+	switch o := obj.(type) {
+	case *Object:
+		if o.Class == "Array" {
+			if fn, ok := arrayMethod(o, name); ok {
+				return fn, nil
+			}
+		}
+		return o.Get(name), nil
+	case string:
+		switch name {
+		case "length":
+			return float64(len(o)), nil
+		case "indexOf":
+			return NativeFunc(func(_ Value, args []Value) (Value, error) {
+				if len(args) == 0 {
+					return float64(-1), nil
+				}
+				return float64(indexOf(o, ToString(args[0]))), nil
+			}), nil
+		case "toLowerCase":
+			return NativeFunc(func(_ Value, _ []Value) (Value, error) {
+				return lower(o), nil
+			}), nil
+		}
+		return nil, nil
+	case nil:
+		return nil, rerrf("cannot read property %q of undefined", name)
+	case nullType:
+		return nil, rerrf("cannot read property %q of null", name)
+	default:
+		return nil, nil
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func (in *Interp) evalAssign(ex *AssignExpr, env *Env) (Value, error) {
+	val, err := in.eval(ex.Value, env)
+	if err != nil {
+		return nil, err
+	}
+	apply := func(old Value) (Value, error) {
+		switch ex.Op {
+		case "=":
+			return val, nil
+		case "+=":
+			return addValues(old, val), nil
+		case "-=":
+			a, _ := ToNumber(old)
+			b, _ := ToNumber(val)
+			return a - b, nil
+		}
+		return nil, rerrf("unknown assignment operator %s", ex.Op)
+	}
+	switch target := ex.Target.(type) {
+	case *Ident:
+		var old Value
+		if ex.Op != "=" {
+			old, _ = env.Lookup(target.Name)
+		}
+		v, err := apply(old)
+		if err != nil {
+			return nil, err
+		}
+		env.Assign(target.Name, v)
+		return v, nil
+	case *MemberExpr:
+		obj, err := in.eval(target.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		o, ok := obj.(*Object)
+		if !ok {
+			return nil, rerrf("cannot set property %q on %s", target.Name, ToString(obj))
+		}
+		var old Value
+		if ex.Op != "=" {
+			old = o.Get(target.Name)
+		}
+		v, err := apply(old)
+		if err != nil {
+			return nil, err
+		}
+		o.Set(target.Name, v)
+		return v, nil
+	case *IndexExpr:
+		obj, err := in.eval(target.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.eval(target.Key, env)
+		if err != nil {
+			return nil, err
+		}
+		o, ok := obj.(*Object)
+		if !ok {
+			return nil, rerrf("cannot set index on %s", ToString(obj))
+		}
+		var old Value
+		if ex.Op != "=" {
+			old = o.Get(ToString(key))
+		}
+		v, err := apply(old)
+		if err != nil {
+			return nil, err
+		}
+		o.Set(ToString(key), v)
+		return v, nil
+	default:
+		return nil, rerrf("invalid assignment target %T", ex.Target)
+	}
+}
+
+func (in *Interp) evalBinary(ex *BinaryExpr, env *Env) (Value, error) {
+	// Short-circuit operators evaluate lazily and return operands, as JS does.
+	if ex.Op == "&&" || ex.Op == "||" {
+		l, err := in.eval(ex.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "&&" {
+			if !Truthy(l) {
+				return l, nil
+			}
+			return in.eval(ex.R, env)
+		}
+		if Truthy(l) {
+			return l, nil
+		}
+		return in.eval(ex.R, env)
+	}
+	l, err := in.eval(ex.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(ex.R, env)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case "+":
+		return addValues(l, r), nil
+	case "-", "*", "/", "%":
+		a, _ := ToNumber(l)
+		b, _ := ToNumber(r)
+		switch ex.Op {
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0.0, nil // stand-in for Infinity/NaN; our scripts never divide by zero
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0.0, nil
+			}
+			return float64(int64(a) % int64(b)), nil
+		}
+	case "===":
+		return strictEqual(l, r), nil
+	case "!==":
+		return !strictEqual(l, r), nil
+	case "==":
+		return looseEqual(l, r), nil
+	case "!=":
+		return !looseEqual(l, r), nil
+	case "<", "<=", ">", ">=":
+		ls, lok := l.(string)
+		rs, rok := r.(string)
+		if lok && rok {
+			switch ex.Op {
+			case "<":
+				return ls < rs, nil
+			case "<=":
+				return ls <= rs, nil
+			case ">":
+				return ls > rs, nil
+			case ">=":
+				return ls >= rs, nil
+			}
+		}
+		a, _ := ToNumber(l)
+		b, _ := ToNumber(r)
+		switch ex.Op {
+		case "<":
+			return a < b, nil
+		case "<=":
+			return a <= b, nil
+		case ">":
+			return a > b, nil
+		case ">=":
+			return a >= b, nil
+		}
+	}
+	return nil, rerrf("unknown binary operator %s", ex.Op)
+}
+
+func addValues(l, r Value) Value {
+	if ls, ok := l.(string); ok {
+		return ls + ToString(r)
+	}
+	if rs, ok := r.(string); ok {
+		return ToString(l) + rs
+	}
+	a, _ := ToNumber(l)
+	b, _ := ToNumber(r)
+	return a + b
+}
+
+func strictEqual(l, r Value) bool {
+	switch a := l.(type) {
+	case nil:
+		return r == nil
+	case nullType:
+		_, ok := r.(nullType)
+		return ok
+	case bool:
+		b, ok := r.(bool)
+		return ok && a == b
+	case float64:
+		b, ok := r.(float64)
+		return ok && a == b
+	case string:
+		b, ok := r.(string)
+		return ok && a == b
+	default:
+		return l == r // reference equality for objects/functions
+	}
+}
+
+func looseEqual(l, r Value) bool {
+	// null == undefined; otherwise coerce numbers/strings; fall back to strict.
+	lNullish := l == nil || l == Value(NullValue)
+	rNullish := r == nil || r == Value(NullValue)
+	if lNullish || rNullish {
+		return lNullish && rNullish
+	}
+	if ln, lok := ToNumber(l); lok {
+		if rn, rok := ToNumber(r); rok {
+			return ln == rn
+		}
+	}
+	return strictEqual(l, r)
+}
+
+// arrayMethod returns a native implementation of the named Array method
+// bound to o.
+func arrayMethod(o *Object, name string) (Value, bool) {
+	switch name {
+	case "push":
+		return NativeFunc(func(_ Value, args []Value) (Value, error) {
+			n := ArrayLen(o)
+			for _, v := range args {
+				o.Props[itoa(n)] = v
+				n++
+			}
+			o.Props["length"] = float64(n)
+			return float64(n), nil
+		}), true
+	case "pop":
+		return NativeFunc(func(_ Value, _ []Value) (Value, error) {
+			n := ArrayLen(o)
+			if n == 0 {
+				return nil, nil
+			}
+			key := itoa(n - 1)
+			v := o.Props[key]
+			delete(o.Props, key)
+			o.Props["length"] = float64(n - 1)
+			return v, nil
+		}), true
+	case "join":
+		return NativeFunc(func(_ Value, args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = ToString(args[0])
+			}
+			parts := make([]string, 0, ArrayLen(o))
+			for _, v := range ArrayElems(o) {
+				parts = append(parts, ToString(v))
+			}
+			return joinStrings(parts, sep), nil
+		}), true
+	case "indexOf":
+		return NativeFunc(func(_ Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return float64(-1), nil
+			}
+			for i, v := range ArrayElems(o) {
+				if strictEqual(v, args[0]) {
+					return float64(i), nil
+				}
+			}
+			return float64(-1), nil
+		}), true
+	}
+	return nil, false
+}
+
+func itoa(n int) string {
+	return ToString(float64(n))
+}
+
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package scriptlet_test
+
+import (
+	"fmt"
+
+	"areyouhuman/internal/scriptlet"
+)
+
+// Host code exposes native functions and objects; scripts call back into
+// them — exactly how the browser wires confirm() and the DOM.
+func Example() {
+	in := scriptlet.NewInterp()
+	in.Globals.Define("confirm", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		fmt.Println("dialog:", scriptlet.ToString(args[0]))
+		return true, nil
+	}))
+	var submitted string
+	in.Globals.Define("submit", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		submitted = scriptlet.ToString(args[0])
+		return nil, nil
+	}))
+
+	err := in.Run(`
+		var ok = confirm('Please sign in to continue...');
+		if (ok) { submit('getData'); } else { submit(''); }
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("submitted:", submitted)
+	// Output:
+	// dialog: Please sign in to continue...
+	// submitted: getData
+}

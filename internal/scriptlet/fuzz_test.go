@@ -1,0 +1,47 @@
+package scriptlet
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRun checks that arbitrary input never panics the interpreter: it
+// either executes (within a small budget) or fails with a structured error.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"",
+		"var a = 1 + 2 * 3;",
+		"function f(x) { return x ? 'y' : 'n'; } f(1);",
+		"for (var i = 0; i < 3; i++) { if (i === 1) { continue; } }",
+		"var a = [1,2,3]; a.push(4); a.join('-');",
+		"while (true) {}",
+		"var o = {a: {b: {c: 1}}}; o.a.b.c += 1;",
+		"'str'.indexOf('t') + typeof x;",
+		"confirm(",
+		"}{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		in := NewInterp()
+		in.Budget = 20_000
+		err := in.Run(src)
+		if err == nil {
+			return
+		}
+		var se *SyntaxError
+		var re *RuntimeError
+		if errors.As(err, &se) || errors.As(err, &re) || errors.Is(err, ErrBudget) {
+			return
+		}
+		// Loop-control signals at top level are acceptable structured errors.
+		if _, ok := err.(breakSignal); ok {
+			return
+		}
+		if _, ok := err.(continueSignal); ok {
+			return
+		}
+		t.Fatalf("unstructured error type %T: %v", err, err)
+	})
+}

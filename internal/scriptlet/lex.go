@@ -1,0 +1,214 @@
+// Package scriptlet is a small ECMAScript-subset interpreter.
+//
+// The evasion techniques in the paper are delivered as inline JavaScript
+// (Appendix C): an alert/confirm gate, a window.onload hook with setTimeout,
+// and dynamic form construction plus submission after a CAPTCHA callback.
+// Whether an anti-phishing bot reaches the phishing payload depends on
+// whether its browser emulation executes that script — so the simulation
+// needs a real, if small, interpreter rather than pattern matching.
+//
+// Supported: var declarations, assignment (including member assignment),
+// function declarations and expressions, calls and method calls, if/else,
+// while, return, ternary, object literals, the usual arithmetic/comparison/
+// logical operators, strings, numbers, booleans, null/undefined. Host code
+// exposes objects and native functions through the Interp's global scope.
+package scriptlet
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "if": true, "else": true, "return": true,
+	"while": true, "for": true, "break": true, "continue": true,
+	"true": true, "false": true, "null": true, "undefined": true,
+	"typeof": true, "new": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of script"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("scriptlet: line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		var num float64
+		if _, err := fmt.Sscanf(text, "%g", &num); err != nil {
+			return token{}, l.errf("bad number literal %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: num, line: l.line}, nil
+	case c == '"' || c == '\'':
+		return l.lexString(c)
+	default:
+		for _, p := range multiPuncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += len(p)
+				return token{kind: tokPunct, text: p, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%=<>!&|(){}[];,.?:", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// multiPuncts are matched longest-first.
+var multiPuncts = []string{"===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "++", "--"}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: line}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated escape in string")
+			}
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '\'', '"', '/':
+				b.WriteByte(e)
+			default:
+				return token{}, l.errf("unsupported escape \\%c", e)
+			}
+			l.pos++
+		case '\n':
+			return token{}, l.errf("unterminated string literal")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf("unterminated string literal")
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

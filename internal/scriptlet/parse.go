@@ -1,0 +1,724 @@
+package scriptlet
+
+import "fmt"
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Statements.
+type (
+	// VarStmt is `var name = init;` (init may be nil).
+	VarStmt struct {
+		Name string
+		Init Expr
+	}
+	// ExprStmt is a bare expression statement.
+	ExprStmt struct{ E Expr }
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	// WhileStmt is a while loop.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// ForStmt is a C-style for loop; Init/Cond/Post may be nil.
+	ForStmt struct {
+		Init Stmt
+		Cond Expr
+		Post Expr
+		Body []Stmt
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{}
+	// ContinueStmt skips to the innermost loop's next iteration.
+	ContinueStmt struct{}
+	// ReturnStmt returns from the enclosing function.
+	ReturnStmt struct{ E Expr } // E may be nil
+	// FuncDecl is `function name(params) { body }`.
+	FuncDecl struct {
+		Name string
+		Fn   *FuncLit
+	}
+)
+
+func (*VarStmt) stmtNode()      {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*FuncDecl) stmtNode()     {}
+
+// Expressions.
+type (
+	// NumberLit is a numeric literal.
+	NumberLit struct{ Val float64 }
+	// StringLit is a string literal.
+	StringLit struct{ Val string }
+	// BoolLit is true/false.
+	BoolLit struct{ Val bool }
+	// NullLit is null.
+	NullLit struct{}
+	// UndefinedLit is undefined.
+	UndefinedLit struct{}
+	// Ident is a variable reference.
+	Ident struct{ Name string }
+	// AssignExpr is target = value (also += and -=, carried in Op).
+	AssignExpr struct {
+		Op     string // "=", "+=", "-="
+		Target Expr   // Ident, MemberExpr or IndexExpr
+		Value  Expr
+	}
+	// BinaryExpr is a binary operation.
+	BinaryExpr struct {
+		Op   string
+		L, R Expr
+	}
+	// UnaryExpr is !x, -x, or typeof x.
+	UnaryExpr struct {
+		Op string
+		X  Expr
+	}
+	// CondExpr is cond ? a : b.
+	CondExpr struct {
+		Cond, Then, Else Expr
+	}
+	// CallExpr is fn(args...).
+	CallExpr struct {
+		Fn   Expr
+		Args []Expr
+	}
+	// MemberExpr is obj.name.
+	MemberExpr struct {
+		Obj  Expr
+		Name string
+	}
+	// IndexExpr is obj[key].
+	IndexExpr struct {
+		Obj, Key Expr
+	}
+	// FuncLit is a function expression.
+	FuncLit struct {
+		Name   string
+		Params []string
+		Body   []Stmt
+	}
+	// ObjectLit is {key: value, ...}.
+	ObjectLit struct {
+		Keys []string
+		Vals []Expr
+	}
+	// ArrayLit is [a, b, ...].
+	ArrayLit struct {
+		Elems []Expr
+	}
+	// UpdateExpr is the postfix x++ / x-- (evaluates to the old value).
+	UpdateExpr struct {
+		Op     string // "++" or "--"
+		Target Expr   // Ident, MemberExpr or IndexExpr
+	}
+	// NewExpr is `new Ctor(args...)` — evaluated like a call.
+	NewExpr struct {
+		Ctor Expr
+		Args []Expr
+	}
+)
+
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*NullLit) exprNode()      {}
+func (*UndefinedLit) exprNode() {}
+func (*Ident) exprNode()        {}
+func (*AssignExpr) exprNode()   {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*CondExpr) exprNode()     {}
+func (*CallExpr) exprNode()     {}
+func (*MemberExpr) exprNode()   {}
+func (*IndexExpr) exprNode()    {}
+func (*FuncLit) exprNode()      {}
+func (*ObjectLit) exprNode()    {}
+func (*ArrayLit) exprNode()     {}
+func (*UpdateExpr) exprNode()   {}
+func (*NewExpr) exprNode()      {}
+
+// Parse compiles source into a statement list.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected %q, found %s", want, t)}
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) endStatement() {
+	for p.accept(tokPunct, ";") {
+	}
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "var"):
+		p.advance()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(tokPunct, "=") {
+			init, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.endStatement()
+		return &VarStmt{Name: name.text, Init: init}, nil
+
+	case p.at(tokKeyword, "function"):
+		// Lookahead: `function name(` is a declaration; bare function
+		// expressions as statements are not produced by our scripts.
+		p.advance()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.funcRest(name.text)
+		if err != nil {
+			return nil, err
+		}
+		p.endStatement()
+		return &FuncDecl{Name: name.text, Fn: fn}, nil
+
+	case p.at(tokKeyword, "if"):
+		p.advance()
+		return p.ifRest()
+
+	case p.at(tokKeyword, "for"):
+		p.advance()
+		return p.forRest()
+
+	case p.accept(tokKeyword, "break"):
+		p.endStatement()
+		return &BreakStmt{}, nil
+
+	case p.accept(tokKeyword, "continue"):
+		p.endStatement()
+		return &ContinueStmt{}, nil
+
+	case p.at(tokKeyword, "while"):
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.at(tokKeyword, "return"):
+		p.advance()
+		var e Expr
+		if !p.at(tokPunct, ";") && !p.at(tokPunct, "}") && !p.at(tokEOF, "") {
+			var err error
+			e, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.endStatement()
+		return &ReturnStmt{E: e}, nil
+
+	case p.accept(tokPunct, ";"):
+		return &ExprStmt{E: &UndefinedLit{}}, nil
+
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.endStatement()
+		return &ExprStmt{E: e}, nil
+	}
+}
+
+// forRest parses "(init; cond; post) body" after the for keyword.
+func (p *parser) forRest() (Stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{}
+	if !p.at(tokPunct, ";") {
+		if p.at(tokKeyword, "var") {
+			p.advance()
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			var init Expr
+			if p.accept(tokPunct, "=") {
+				init, err = p.expression()
+				if err != nil {
+					return nil, err
+				}
+			}
+			st.Init = &VarStmt{Name: name.text, Init: init}
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{E: e}
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		post, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *parser) ifRest() (Stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			p.advance()
+			nested, err := p.ifRest()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{nested}
+		} else {
+			els, err = p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) blockOrSingle() ([]Stmt, error) {
+	if p.accept(tokPunct, "{") {
+		var stmts []Stmt
+		for !p.accept(tokPunct, "}") {
+			if p.at(tokEOF, "") {
+				return nil, &SyntaxError{Line: p.cur().line, Msg: "unterminated block"}
+			}
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+		return stmts, nil
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// funcRest parses "(params) { body }" after the function keyword (and
+// optional name).
+func (p *parser) funcRest(name string) (*FuncLit, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.accept(tokPunct, ")") {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id.text)
+		if !p.accept(tokPunct, ",") && !p.at(tokPunct, ")") {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or ) in parameter list"}
+		}
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "unterminated function body"}
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return &FuncLit{Name: name, Params: params, Body: body}, nil
+}
+
+// Expression parsing: assignment > ternary > logical-or > logical-and >
+// equality > relational > additive > multiplicative > unary > postfix >
+// primary.
+
+func (p *parser) expression() (Expr, error) { return p.assignment() }
+
+func (p *parser) assignment() (Expr, error) {
+	left, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-="} {
+		if p.at(tokPunct, op) {
+			switch left.(type) {
+			case *Ident, *MemberExpr, *IndexExpr:
+			default:
+				return nil, &SyntaxError{Line: p.cur().line, Msg: "invalid assignment target"}
+			}
+			p.advance()
+			val, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignExpr{Op: op, Target: left, Value: val}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) ternary() (Expr, error) {
+	cond, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "?") {
+		return cond, nil
+	}
+	then, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els}, nil
+}
+
+var binaryLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"===", "!==", "==", "!="},
+	{"<", "<=", ">", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binaryLevels) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binaryLevels[level] {
+			if p.at(tokPunct, op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: matched, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.accept(tokPunct, "!"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x}, nil
+	case p.accept(tokPunct, "-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	case p.accept(tokKeyword, "typeof"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "typeof", X: x}, nil
+	case p.accept(tokKeyword, "new"):
+		callee, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		if call, ok := callee.(*CallExpr); ok {
+			return &NewExpr{Ctor: call.Fn, Args: call.Args}, nil
+		}
+		return &NewExpr{Ctor: callee}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "."):
+			name, err := p.memberName()
+			if err != nil {
+				return nil, err
+			}
+			e = &MemberExpr{Obj: e, Name: name}
+		case p.accept(tokPunct, "["):
+			key, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Obj: e, Key: key}
+		case p.accept(tokPunct, "("):
+			var args []Expr
+			for !p.accept(tokPunct, ")") {
+				a, err := p.assignment()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokPunct, ",") && !p.at(tokPunct, ")") {
+					return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or ) in call"}
+				}
+			}
+			e = &CallExpr{Fn: e, Args: args}
+		case p.at(tokPunct, "++") || p.at(tokPunct, "--"):
+			op := p.cur().text
+			switch e.(type) {
+			case *Ident, *MemberExpr, *IndexExpr:
+			default:
+				return nil, &SyntaxError{Line: p.cur().line, Msg: "invalid " + op + " target"}
+			}
+			p.advance()
+			e = &UpdateExpr{Op: op, Target: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// memberName allows keywords as property names (x.return is legal JS).
+func (p *parser) memberName() (string, error) {
+	t := p.cur()
+	if t.kind == tokIdent || t.kind == tokKeyword {
+		p.advance()
+		return t.text, nil
+	}
+	return "", &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected property name, found %s", t)}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &NumberLit{Val: t.num}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &StringLit{Val: t.text}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.advance()
+		return &BoolLit{Val: true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.advance()
+		return &BoolLit{Val: false}, nil
+	case t.kind == tokKeyword && t.text == "null":
+		p.advance()
+		return &NullLit{}, nil
+	case t.kind == tokKeyword && t.text == "undefined":
+		p.advance()
+		return &UndefinedLit{}, nil
+	case t.kind == tokKeyword && t.text == "function":
+		p.advance()
+		name := ""
+		if p.at(tokIdent, "") {
+			name = p.cur().text
+			p.advance()
+		}
+		return p.funcRest(name)
+	case t.kind == tokIdent:
+		p.advance()
+		return &Ident{Name: t.text}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(tokPunct, "{"):
+		return p.objectLit()
+	case p.accept(tokPunct, "["):
+		lit := &ArrayLit{}
+		for !p.accept(tokPunct, "]") {
+			el, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			lit.Elems = append(lit.Elems, el)
+			if !p.accept(tokPunct, ",") && !p.at(tokPunct, "]") {
+				return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or ] in array literal"}
+			}
+		}
+		return lit, nil
+	}
+	return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("unexpected %s", t)}
+}
+
+func (p *parser) objectLit() (Expr, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	lit := &ObjectLit{}
+	for !p.accept(tokPunct, "}") {
+		t := p.cur()
+		var key string
+		switch t.kind {
+		case tokIdent, tokKeyword, tokString:
+			key = t.text
+			p.advance()
+		default:
+			return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected object key, found %s", t)}
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		val, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		lit.Keys = append(lit.Keys, key)
+		lit.Vals = append(lit.Vals, val)
+		if !p.accept(tokPunct, ",") && !p.at(tokPunct, "}") {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or } in object literal"}
+		}
+	}
+	return lit, nil
+}

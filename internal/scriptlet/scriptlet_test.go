@@ -1,0 +1,519 @@
+package scriptlet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// run evaluates src with a capture global `out(v)` and returns everything
+// passed to out.
+func run(t *testing.T, src string) []Value {
+	t.Helper()
+	in := NewInterp()
+	var captured []Value
+	in.Globals.Define("out", NativeFunc(func(_ Value, args []Value) (Value, error) {
+		captured = append(captured, args...)
+		return nil, nil
+	}))
+	if err := in.Run(src); err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return captured
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	got := run(t, `out(1 + 2 * 3); out((1 + 2) * 3); out(10 % 3); out(7 / 2);`)
+	want := []float64{7, 9, 1, 3.5}
+	for i, w := range want {
+		if got[i].(float64) != w {
+			t.Fatalf("result %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	got := run(t, `var a = 'ab' + "cd"; out(a + 1); out(a.length); out('escaped\n'.length);`)
+	if got[0].(string) != "abcd1" {
+		t.Fatalf("concat = %v", got[0])
+	}
+	if got[1].(float64) != 4 {
+		t.Fatalf("length = %v", got[1])
+	}
+	if got[2].(float64) != 8 {
+		t.Fatalf("escaped length = %v", got[2])
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	got := run(t, `out('Hello'.toLowerCase()); out('hello'.indexOf('ll')); out('hello'.indexOf('x'));`)
+	if got[0].(string) != "hello" || got[1].(float64) != 2 || got[2].(float64) != -1 {
+		t.Fatalf("string methods = %v", got)
+	}
+}
+
+func TestVarScopingAndAssignment(t *testing.T) {
+	got := run(t, `
+var x = 1;
+function f() { x = 2; var y = 9; return y; }
+out(f());
+out(x);
+`)
+	if got[0].(float64) != 9 || got[1].(float64) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+function grade(n) {
+  if (n >= 90) { return 'A'; }
+  else if (n >= 80) { return 'B'; }
+  else { return 'C'; }
+}
+out(grade(95)); out(grade(85)); out(grade(50));`
+	got := run(t, src)
+	if got[0] != Value("A") || got[1] != Value("B") || got[2] != Value("C") {
+		t.Fatalf("grades = %v", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	got := run(t, `var i = 0; var sum = 0; while (i < 5) { sum += i; i += 1; } out(sum);`)
+	if got[0].(float64) != 10 {
+		t.Fatalf("sum = %v", got[0])
+	}
+}
+
+func TestClosuresCapture(t *testing.T) {
+	got := run(t, `
+function counter() {
+  var n = 0;
+  return function() { n += 1; return n; };
+}
+var c = counter();
+c(); c();
+out(c());`)
+	if got[0].(float64) != 3 {
+		t.Fatalf("closure count = %v", got[0])
+	}
+}
+
+func TestFunctionHoisting(t *testing.T) {
+	got := run(t, `out(early()); function early() { return 42; }`)
+	if got[0].(float64) != 42 {
+		t.Fatalf("hoisted call = %v", got[0])
+	}
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	got := run(t, `
+out(true ? 'yes' : 'no');
+out(0 || 'fallback');
+out('first' && 'second');
+out(false && explode());`) // short-circuit must not call undefined explode
+	if got[0] != Value("yes") || got[1] != Value("fallback") || got[2] != Value("second") || got[3] != Value(false) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEqualitySemantics(t *testing.T) {
+	got := run(t, `
+out(null == undefined);
+out(null === undefined);
+out(1 == '1');
+out(1 === '1');
+out('a' != 'b');
+out(2 !== 2);`)
+	want := []bool{true, false, true, false, true, false}
+	for i, w := range want {
+		if got[i].(bool) != w {
+			t.Fatalf("equality %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestObjectsAndMembers(t *testing.T) {
+	got := run(t, `
+var o = {name: 'form', method: 'post', 'data-x': 7};
+o.action = '/login.php';
+o['extra'] = o.method + '!';
+out(o.name); out(o['data-x']); out(o.action); out(o.extra); out(o.missing);`)
+	if got[0] != Value("form") || got[1].(float64) != 7 || got[2] != Value("/login.php") || got[3] != Value("post!") || got[4] != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMethodCallBindsThis(t *testing.T) {
+	got := run(t, `
+var o = {n: 5};
+o.get = function() { return this.n; };
+out(o.get());`)
+	if got[0].(float64) != 5 {
+		t.Fatalf("this binding = %v", got[0])
+	}
+}
+
+func TestTypeofOperator(t *testing.T) {
+	got := run(t, `
+out(typeof 1); out(typeof 'x'); out(typeof true); out(typeof undefined);
+out(typeof null); out(typeof {}); out(typeof out); out(typeof not_declared);`)
+	want := []string{"number", "string", "boolean", "undefined", "object", "object", "function", "undefined"}
+	for i, w := range want {
+		if got[i] != Value(w) {
+			t.Fatalf("typeof %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestUndefinedVariableIsError(t *testing.T) {
+	in := NewInterp()
+	err := in.Run(`missing + 1;`)
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RuntimeError", err)
+	}
+}
+
+func TestCallingNonFunctionIsError(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`var x = 5; x();`); err == nil {
+		t.Fatal("calling a number should fail")
+	}
+}
+
+func TestMemberOfUndefinedIsError(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`var u; u.prop;`); err == nil {
+		t.Fatal("member of undefined should fail")
+	}
+}
+
+func TestInfiniteLoopHitsBudget(t *testing.T) {
+	in := NewInterp()
+	in.Budget = 10_000
+	err := in.Run(`while (true) { var x = 1; }`)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSyntaxErrorsReportLine(t *testing.T) {
+	_, err := Parse("var a = 1;\nvar b = @;")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want SyntaxError", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Parse(`var s = "open`); err == nil {
+		t.Fatal("unterminated string should fail to parse")
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	got := run(t, `
+// line comment
+var a = 1; /* block
+comment */ out(a);`)
+	if got[0].(float64) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHostObjectGetterSetter(t *testing.T) {
+	in := NewInterp()
+	store := map[string]Value{}
+	host := &Object{
+		Class:  "Host",
+		Getter: func(key string) (Value, bool) { v, ok := store[key]; return v, ok },
+		Setter: func(key string, v Value) bool { store[key] = v; return true },
+	}
+	in.Globals.Define("host", host)
+	if err := in.Run(`host.title = 'Please sign in'; host.count = 2 + 3;`); err != nil {
+		t.Fatal(err)
+	}
+	if store["title"] != Value("Please sign in") || store["count"].(float64) != 5 {
+		t.Fatalf("store = %v", store)
+	}
+}
+
+func TestCallValueFromHost(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`var handler = function(x) { return x * 2; };`); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := in.Globals.Lookup("handler")
+	got, err := in.CallValue(fn, nil, []Value{float64(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != 42 {
+		t.Fatalf("CallValue = %v", got)
+	}
+}
+
+func TestNewExprActsLikeCall(t *testing.T) {
+	in := NewInterp()
+	in.Globals.Define("Thing", NativeFunc(func(_ Value, args []Value) (Value, error) {
+		o := NewObject()
+		o.Set("arg", args[0])
+		return o, nil
+	}))
+	var got Value
+	in.Globals.Define("out", NativeFunc(func(_ Value, args []Value) (Value, error) {
+		got = args[0]
+		return nil, nil
+	}))
+	if err := in.Run(`var t = new Thing(9); out(t.arg);`); err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != 9 {
+		t.Fatalf("new result = %v", got)
+	}
+}
+
+func TestPaperListing2Shape(t *testing.T) {
+	// The control flow of Appendix C Listing 2, reduced to its skeleton:
+	// confirm() gating a form submission.
+	src := `
+var first_visit = true;
+var already_served = true;
+var submitted = '';
+function get_real_data() {
+  var msg = 'Please sing in to continue...';
+  var result = confirm(msg);
+  if (result) {
+    submitted = 'getData';
+  } else {
+    submitted = 'empty';
+  }
+}
+if (first_visit && already_served) {
+  get_real_data();
+}
+out(submitted);`
+	for _, confirmResult := range []bool{true, false} {
+		in := NewInterp()
+		in.Globals.Define("confirm", NativeFunc(func(_ Value, _ []Value) (Value, error) {
+			return confirmResult, nil
+		}))
+		var got Value
+		in.Globals.Define("out", NativeFunc(func(_ Value, args []Value) (Value, error) {
+			got = args[0]
+			return nil, nil
+		}))
+		if err := in.Run(src); err != nil {
+			t.Fatal(err)
+		}
+		want := "empty"
+		if confirmResult {
+			want = "getData"
+		}
+		if got != Value(want) {
+			t.Fatalf("confirm=%v: submitted = %v, want %v", confirmResult, got, want)
+		}
+	}
+}
+
+func TestToStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "undefined"},
+		{NullValue, "null"},
+		{true, "true"},
+		{false, "false"},
+		{float64(3), "3"},
+		{float64(3.5), "3.5"},
+		{"s", "s"},
+	}
+	for _, c := range cases {
+		if got := ToString(c.v); got != c.want {
+			t.Errorf("ToString(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := ToString(NewObject()); !strings.Contains(got, "Object") {
+		t.Errorf("ToString(object) = %q", got)
+	}
+}
+
+func TestTopLevelReturnTolerated(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`return;`); err != nil {
+		t.Fatalf("top-level return should be tolerated: %v", err)
+	}
+}
+
+// Property: the lexer-parser never panics on arbitrary input; it either
+// yields statements or a structured error.
+func TestQuickParseTotal(t *testing.T) {
+	f := func(src string) bool {
+		_, err := Parse(src)
+		if err == nil {
+			return true
+		}
+		var se *SyntaxError
+		return errors.As(err, &se)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arithmetic on small integers matches Go semantics.
+func TestQuickArithmeticMatchesGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		in := NewInterp()
+		var got Value
+		in.Globals.Define("out", NativeFunc(func(_ Value, args []Value) (Value, error) {
+			got = args[0]
+			return nil, nil
+		}))
+		src := "out(" + ToString(float64(a)) + " + " + ToString(float64(b)) + " * 2);"
+		if err := in.Run(src); err != nil {
+			return false
+		}
+		return got.(float64) == float64(a)+float64(b)*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForLoopWithUpdate(t *testing.T) {
+	got := run(t, `var sum = 0; for (var i = 0; i < 5; i++) { sum += i; } out(sum);`)
+	if got[0].(float64) != 10 {
+		t.Fatalf("for sum = %v", got[0])
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	got := run(t, `
+var evens = 0;
+for (var i = 0; i < 100; i++) {
+  if (i % 2 === 1) { continue; }
+  if (i >= 10) { break; }
+  evens++;
+}
+out(evens);`)
+	if got[0].(float64) != 5 {
+		t.Fatalf("evens = %v, want 5 (0,2,4,6,8)", got[0])
+	}
+}
+
+func TestWhileBreak(t *testing.T) {
+	got := run(t, `var i = 0; while (true) { i++; if (i === 7) { break; } } out(i);`)
+	if got[0].(float64) != 7 {
+		t.Fatalf("i = %v", got[0])
+	}
+}
+
+func TestForLoopEmptyClauses(t *testing.T) {
+	got := run(t, `var i = 0; for (;;) { i++; if (i > 2) { break; } } out(i);`)
+	if got[0].(float64) != 3 {
+		t.Fatalf("i = %v", got[0])
+	}
+}
+
+func TestPostfixUpdateYieldsOldValue(t *testing.T) {
+	got := run(t, `var i = 5; out(i++); out(i); out(i--); out(i);`)
+	want := []float64{5, 6, 6, 5}
+	for k, w := range want {
+		if got[k].(float64) != w {
+			t.Fatalf("update sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArraysLiteralIndexLength(t *testing.T) {
+	got := run(t, `
+var a = [10, 'x', true];
+out(a.length); out(a[0]); out(a[1]); out(a[2]); out(a[9]);
+a[1] = 'y';
+out(a[1]);`)
+	if got[0].(float64) != 3 || got[1].(float64) != 10 || got[2] != Value("x") || got[3] != Value(true) {
+		t.Fatalf("array basics = %v", got)
+	}
+	if got[4] != nil {
+		t.Fatalf("out-of-range read = %v, want undefined", got[4])
+	}
+	if got[5] != Value("y") {
+		t.Fatalf("indexed write = %v", got[5])
+	}
+}
+
+func TestArrayPushPop(t *testing.T) {
+	got := run(t, `
+var a = [];
+a.push(1); a.push(2, 3);
+out(a.length);
+out(a.pop());
+out(a.length);
+out([].pop());`)
+	if got[0].(float64) != 3 || got[1].(float64) != 3 || got[2].(float64) != 2 || got[3] != nil {
+		t.Fatalf("push/pop = %v", got)
+	}
+}
+
+func TestArrayJoinIndexOf(t *testing.T) {
+	got := run(t, `
+var a = ['a', 'b', 'c'];
+out(a.join('-'));
+out(a.join());
+out(a.indexOf('b'));
+out(a.indexOf('z'));`)
+	if got[0] != Value("a-b-c") || got[1] != Value("a,b,c") || got[2].(float64) != 1 || got[3].(float64) != -1 {
+		t.Fatalf("join/indexOf = %v", got)
+	}
+}
+
+func TestArrayIterationWithFor(t *testing.T) {
+	got := run(t, `
+var words = ['please', 'sign', 'in'];
+var msg = '';
+for (var i = 0; i < words.length; i++) {
+  if (i > 0) { msg += ' '; }
+  msg += words[i];
+}
+out(msg);`)
+	if got[0] != Value("please sign in") {
+		t.Fatalf("iteration = %v", got[0])
+	}
+}
+
+func TestBreakOutsideLoopIsError(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`break;`); err == nil {
+		t.Fatal("break outside a loop should error")
+	}
+}
+
+func TestForInfiniteHitsBudget(t *testing.T) {
+	in := NewInterp()
+	in.Budget = 5000
+	if err := in.Run(`for (;;) { var x = 1; }`); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestNestedLoopsBreakInner(t *testing.T) {
+	got := run(t, `
+var count = 0;
+for (var i = 0; i < 3; i++) {
+  for (var j = 0; j < 10; j++) {
+    if (j === 2) { break; }
+    count++;
+  }
+}
+out(count);`)
+	if got[0].(float64) != 6 {
+		t.Fatalf("nested break count = %v, want 6", got[0])
+	}
+}

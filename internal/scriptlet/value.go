@@ -1,0 +1,239 @@
+package scriptlet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value: nil (undefined), Null, bool, float64, string,
+// *Object, *Closure, or NativeFunc.
+type Value interface{}
+
+// Null is the JS null value (distinct from undefined, which is Go nil).
+type nullType struct{}
+
+// NullValue is the singleton null.
+var NullValue = nullType{}
+
+// Closure is a user-defined function with its captured environment.
+type Closure struct {
+	Fn  *FuncLit
+	Env *Env
+}
+
+// NativeFunc is a host-provided function. this is the receiver for method
+// calls (nil for plain calls).
+type NativeFunc func(this Value, args []Value) (Value, error)
+
+// Object is a property bag. Host code may install Getter/Setter hooks to
+// back properties with native state (e.g. DOM nodes).
+type Object struct {
+	Props map[string]Value
+	// Getter, when set, is consulted before Props.
+	Getter func(key string) (Value, bool)
+	// Setter, when set, observes every property write; returning true
+	// suppresses the default Props store.
+	Setter func(key string, v Value) bool
+	// Class tags the object kind for typeof/debugging ("Object", "Element"...).
+	Class string
+}
+
+// NewObject returns an empty plain object.
+func NewObject() *Object {
+	return &Object{Props: make(map[string]Value), Class: "Object"}
+}
+
+// NewArray returns an array object holding elems at numeric keys with a
+// maintained length property.
+func NewArray(elems ...Value) *Object {
+	a := &Object{Props: make(map[string]Value, len(elems)+1), Class: "Array"}
+	for i, v := range elems {
+		a.Props[strconv.Itoa(i)] = v
+	}
+	a.Props["length"] = float64(len(elems))
+	return a
+}
+
+// ArrayLen reports the length of an array object (0 for non-arrays).
+func ArrayLen(o *Object) int {
+	n, _ := ToNumber(o.Get("length"))
+	return int(n)
+}
+
+// ArrayElems returns the array's elements in index order.
+func ArrayElems(o *Object) []Value {
+	n := ArrayLen(o)
+	out := make([]Value, n)
+	for i := 0; i < n; i++ {
+		out[i] = o.Get(strconv.Itoa(i))
+	}
+	return out
+}
+
+// Get reads a property (undefined when absent).
+func (o *Object) Get(key string) Value {
+	if o.Getter != nil {
+		if v, ok := o.Getter(key); ok {
+			return v
+		}
+	}
+	if o.Props == nil {
+		return nil
+	}
+	return o.Props[key]
+}
+
+// Set writes a property.
+func (o *Object) Set(key string, v Value) {
+	if o.Setter != nil && o.Setter(key, v) {
+		return
+	}
+	if o.Props == nil {
+		o.Props = make(map[string]Value)
+	}
+	o.Props[key] = v
+}
+
+// Keys returns the object's own property names, sorted.
+func (o *Object) Keys() []string {
+	out := make([]string, 0, len(o.Props))
+	for k := range o.Props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Env is a lexical scope frame.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a scope with the given parent (nil for the global frame).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]Value), parent: parent}
+}
+
+// Define declares a variable in this frame.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Lookup resolves name through the scope chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Assign sets an existing variable, or defines it globally when undeclared
+// (sloppy-mode JS semantics).
+func (e *Env) Assign(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+		if s.parent == nil {
+			s.vars[name] = v
+			return
+		}
+	}
+}
+
+// Truthy applies JS truthiness.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case nullType:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// ToString renders a value the way JS string coercion would.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "undefined"
+	case nullType:
+		return "null"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if x == float64(int64(x)) {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case *Object:
+		return "[object " + x.Class + "]"
+	case *Closure:
+		name := x.Fn.Name
+		if name == "" {
+			name = "anonymous"
+		}
+		return "function " + name
+	case NativeFunc:
+		return "function native"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// ToNumber coerces a value to a number; non-numeric strings yield NaN-like 0
+// with ok=false.
+func ToNumber(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case string:
+		f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		return f, err == nil
+	case nil, nullType:
+		return 0, x == nullType{}
+	default:
+		return 0, false
+	}
+}
+
+// TypeOf implements the typeof operator.
+func TypeOf(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "undefined"
+	case nullType:
+		return "object"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Closure, NativeFunc:
+		return "function"
+	default:
+		return "object"
+	}
+}

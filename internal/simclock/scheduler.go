@@ -1,0 +1,126 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a unit of work scheduled on a virtual timeline.
+type Event struct {
+	At   time.Time
+	Name string
+	Run  func(now time.Time)
+
+	seq int64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At.Equal(h[j].At) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].At.Before(h[j].At)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Scheduler executes events in virtual-time order on a SimClock.
+//
+// The experiment harness is a discrete-event simulation: engines, crawlers,
+// and monitors are event processors rather than free-running goroutines, so
+// runs are fully deterministic. Events may schedule further events; Run keeps
+// draining until the queue is empty or the horizon is reached.
+type Scheduler struct {
+	clock  *SimClock
+	queue  eventHeap
+	seq    int64
+	ran    int
+	closed bool
+}
+
+// NewScheduler returns a Scheduler driving the given clock.
+func NewScheduler(clock *SimClock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the clock this scheduler drives.
+func (s *Scheduler) Clock() *SimClock { return s.clock }
+
+// At schedules fn to run at the given virtual time. Times in the past run at
+// the current time.
+func (s *Scheduler) At(at time.Time, name string, fn func(now time.Time)) {
+	if fn == nil {
+		panic("simclock: nil event func")
+	}
+	if now := s.clock.Now(); at.Before(now) {
+		at = now
+	}
+	s.seq++
+	heap.Push(&s.queue, &Event{At: at, Name: name, Run: fn, seq: s.seq})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) {
+	s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Every schedules fn to run every interval until the predicate until returns
+// true (checked before each run). A nil until runs forever (bounded only by
+// the Run horizon).
+func (s *Scheduler) Every(interval time.Duration, name string, until func(now time.Time) bool, fn func(now time.Time)) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive interval %v for %q", interval, name))
+	}
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		if until != nil && until(now) {
+			return
+		}
+		fn(now)
+		s.After(interval, name, tick)
+	}
+	s.After(interval, name, tick)
+}
+
+// Run drains the event queue, advancing the clock to each event's deadline,
+// until the queue is empty or the next event lies beyond horizon. It returns
+// the number of events executed. A zero horizon means no bound.
+func (s *Scheduler) Run(horizon time.Time) int {
+	ran := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if !horizon.IsZero() && next.At.After(horizon) {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.clock.AdvanceTo(next.At)
+		next.Run(s.clock.Now())
+		ran++
+	}
+	if !horizon.IsZero() {
+		s.clock.AdvanceTo(horizon)
+	}
+	s.ran += ran
+	return ran
+}
+
+// RunFor drains events for d of virtual time from now.
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.Run(s.clock.Now().Add(d))
+}
+
+// Len reports the number of queued events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Executed reports the total number of events run so far.
+func (s *Scheduler) Executed() int { return s.ran }

@@ -1,0 +1,140 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerRunsInDeadlineOrder(t *testing.T) {
+	c := New(Epoch)
+	s := NewScheduler(c)
+	var got []string
+	s.After(30*time.Minute, "c", func(time.Time) { got = append(got, "c") })
+	s.After(10*time.Minute, "a", func(time.Time) { got = append(got, "a") })
+	s.After(20*time.Minute, "b", func(time.Time) { got = append(got, "b") })
+	n := s.Run(time.Time{})
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerTiesRunFIFO(t *testing.T) {
+	c := New(Epoch)
+	s := NewScheduler(c)
+	var got []int
+	at := Epoch.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(at, "tie", func(time.Time) { got = append(got, i) })
+	}
+	s.Run(time.Time{})
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestSchedulerHorizonStopsAndAdvances(t *testing.T) {
+	c := New(Epoch)
+	s := NewScheduler(c)
+	ran := 0
+	s.After(time.Hour, "in", func(time.Time) { ran++ })
+	s.After(3*time.Hour, "out", func(time.Time) { ran++ })
+	horizon := Epoch.Add(2 * time.Hour)
+	if n := s.Run(horizon); n != 1 {
+		t.Fatalf("Run = %d events, want 1", n)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if !c.Now().Equal(horizon) {
+		t.Fatalf("clock = %v, want advanced to horizon %v", c.Now(), horizon)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("queue length = %d, want 1 remaining", s.Len())
+	}
+}
+
+func TestSchedulerEventsCanScheduleEvents(t *testing.T) {
+	c := New(Epoch)
+	s := NewScheduler(c)
+	var times []time.Time
+	s.After(time.Minute, "outer", func(now time.Time) {
+		times = append(times, now)
+		s.After(time.Minute, "inner", func(now time.Time) {
+			times = append(times, now)
+		})
+	})
+	s.Run(time.Time{})
+	if len(times) != 2 {
+		t.Fatalf("executed %d events, want 2", len(times))
+	}
+	if want := Epoch.Add(2 * time.Minute); !times[1].Equal(want) {
+		t.Fatalf("inner ran at %v, want %v", times[1], want)
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	c := New(Epoch)
+	s := NewScheduler(c)
+	count := 0
+	stop := Epoch.Add(100 * time.Minute)
+	s.Every(30*time.Minute, "poll", func(now time.Time) bool { return now.After(stop) }, func(time.Time) { count++ })
+	s.Run(Epoch.Add(4 * time.Hour))
+	// Ticks at 30, 60, 90 run; the 120-minute tick sees now > stop and halts.
+	if count != 3 {
+		t.Fatalf("Every ran %d times, want 3", count)
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	c := New(Epoch)
+	c.Advance(time.Hour)
+	s := NewScheduler(c)
+	var at time.Time
+	s.At(Epoch, "past", func(now time.Time) { at = now })
+	s.Run(time.Time{})
+	if !at.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("past event ran at %v, want clamped to now %v", at, Epoch.Add(time.Hour))
+	}
+}
+
+func TestSchedulerExecutedCounter(t *testing.T) {
+	c := New(Epoch)
+	s := NewScheduler(c)
+	for i := 0; i < 4; i++ {
+		s.After(time.Duration(i+1)*time.Minute, "e", func(time.Time) {})
+	}
+	s.RunFor(2 * time.Minute)
+	s.RunFor(10 * time.Minute)
+	if s.Executed() != 4 {
+		t.Fatalf("Executed() = %d, want 4", s.Executed())
+	}
+}
+
+func TestSchedulerNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling a nil func should panic")
+		}
+	}()
+	s := NewScheduler(New(Epoch))
+	s.After(time.Minute, "nil", nil)
+}
+
+func TestSchedulerNonPositiveEveryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every with non-positive interval should panic")
+		}
+	}()
+	s := NewScheduler(New(Epoch))
+	s.Every(0, "bad", nil, func(time.Time) {})
+}

@@ -1,0 +1,211 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2020, 5, 1, 12, 0, 0, 0, time.UTC)
+	c := New(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestAdvanceMovesClock(t *testing.T) {
+	c := New(Epoch)
+	c.Advance(90 * time.Minute)
+	want := Epoch.Add(90 * time.Minute)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativeIsNoop(t *testing.T) {
+	c := New(Epoch)
+	c.Advance(-time.Hour)
+	if got := c.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want unchanged %v", got, Epoch)
+	}
+}
+
+func TestAdvanceToBackwardsIsNoop(t *testing.T) {
+	c := New(Epoch)
+	c.AdvanceTo(Epoch.Add(-time.Hour))
+	if got := c.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want unchanged %v", got, Epoch)
+	}
+}
+
+func TestAfterFiresAtDeadline(t *testing.T) {
+	c := New(Epoch)
+	ch := c.After(10 * time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any Advance")
+	default:
+	}
+	c.Advance(9 * time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	c.Advance(time.Minute)
+	select {
+	case at := <-ch:
+		want := Epoch.Add(10 * time.Minute)
+		if !at.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := New(Epoch)
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should be immediately fulfilled")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(<0) should be immediately fulfilled")
+	}
+}
+
+func TestWaitersDeliveredTheirOwnDeadline(t *testing.T) {
+	c := New(Epoch)
+	durations := []time.Duration{30 * time.Minute, 10 * time.Minute, 20 * time.Minute}
+	chans := make([]<-chan time.Time, len(durations))
+	for i, d := range durations {
+		chans[i] = c.After(d)
+	}
+	c.Advance(time.Hour)
+	for i, d := range durations {
+		select {
+		case at := <-chans[i]:
+			if want := Epoch.Add(d); !at.Equal(want) {
+				t.Fatalf("waiter %d delivered %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("waiter %d not released", i)
+		}
+	}
+}
+
+func TestConcurrentSleepersAllRelease(t *testing.T) {
+	c := New(Epoch)
+	const n = 16
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch := c.After(time.Duration(i+1) * time.Minute)
+			ready <- struct{}{}
+			<-ch
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	c.Advance(time.Hour)
+	wg.Wait() // deadlocks (and times out the test) if any sleeper is stuck
+}
+
+func TestPendingAndNextDeadline(t *testing.T) {
+	c := New(Epoch)
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("NextDeadline should report none on a fresh clock")
+	}
+	c.After(5 * time.Minute)
+	c.After(2 * time.Minute)
+	if got := c.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	at, ok := c.NextDeadline()
+	if !ok || !at.Equal(Epoch.Add(2*time.Minute)) {
+		t.Fatalf("NextDeadline() = %v,%v; want %v,true", at, ok, Epoch.Add(2*time.Minute))
+	}
+	c.Advance(10 * time.Minute)
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending() after release = %d, want 0", got)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	before := time.Now()
+	got := Real.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+	select {
+	case <-Real.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 5s")
+	}
+	Real.Sleep(0) // must not block
+}
+
+// Property: advancing by any sequence of non-negative durations is equivalent
+// to advancing once by their sum.
+func TestQuickAdvanceAdditive(t *testing.T) {
+	f := func(steps []uint16) bool {
+		a := New(Epoch)
+		b := New(Epoch)
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Second
+			a.Advance(d)
+			total += d
+		}
+		b.Advance(total)
+		return a.Now().Equal(b.Now())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a waiter never observes a delivery time earlier than its deadline.
+func TestQuickAfterNeverEarly(t *testing.T) {
+	f := func(delays []uint8, adv uint16) bool {
+		c := New(Epoch)
+		type pending struct {
+			deadline time.Time
+			ch       <-chan time.Time
+		}
+		var ps []pending
+		for _, d := range delays {
+			dd := time.Duration(d) * time.Minute
+			ps = append(ps, pending{deadline: c.Now().Add(dd), ch: c.After(dd)})
+		}
+		c.Advance(time.Duration(adv) * time.Minute)
+		for _, p := range ps {
+			select {
+			case at := <-p.ch:
+				if at.Before(p.deadline) {
+					return false
+				}
+			default:
+				// Not yet due: deadline must be in the future.
+				if !p.deadline.After(c.Now()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

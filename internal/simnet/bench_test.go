@@ -1,0 +1,25 @@
+package simnet
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func BenchmarkRoundTrip(b *testing.B) {
+	n := New(nil)
+	n.Register("bench.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	client := NewClient(n, "198.51.100.1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("http://bench.example/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

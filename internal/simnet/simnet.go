@@ -1,0 +1,182 @@
+// Package simnet provides an in-memory virtual internet.
+//
+// Hosts register an http.Handler under a domain name; clients reach them
+// through a Transport implementing http.RoundTripper. Only the wire is
+// simulated — requests and responses are real net/http values — so every
+// component above this layer (phishing sites, anti-phishing crawlers, browser
+// emulation, extensions) exercises the same code paths it would against a
+// live network.
+//
+// The paper hosted its 112 websites on infrastructure with 22 distinct IPv4
+// addresses; Internet allocates server addresses from a configurable pool to
+// mirror that.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// ErrNoSuchHost is returned by Transport when the request's hostname does not
+// resolve to a registered host.
+var ErrNoSuchHost = errors.New("simnet: no such host")
+
+// ErrTLSNotProvisioned is returned for an https request to a host without a
+// certificate.
+var ErrTLSNotProvisioned = errors.New("simnet: host has no TLS certificate")
+
+// ErrHostDown is returned for a request to a host that has been taken down.
+var ErrHostDown = errors.New("simnet: host is down")
+
+// Resolver maps a hostname to an IP address. dnssim.Server implements it; the
+// Internet's built-in registry is the default.
+type Resolver interface {
+	ResolveA(host string) (ip string, ok bool)
+}
+
+// Host is a virtual web server bound to a domain name.
+type Host struct {
+	Name    string       // fully qualified domain name
+	IP      string       // server address, e.g. "203.0.113.7"
+	Handler http.Handler // application serving this host
+	TLS     bool         // whether an https certificate is provisioned
+	Down    bool         // taken down (e.g. by a hosting provider abuse desk)
+}
+
+// Internet is the registry of virtual hosts plus the address allocator.
+// The zero value is not usable; call New.
+type Internet struct {
+	mu       sync.RWMutex
+	hosts    map[string]*Host
+	ipPool   []string
+	nextIP   int
+	resolver Resolver
+	requests int64
+}
+
+// New returns an empty virtual internet with the given server address pool.
+// If pool is empty, DefaultServerPool is used.
+func New(pool []string) *Internet {
+	if len(pool) == 0 {
+		pool = DefaultServerPool()
+	}
+	return &Internet{hosts: make(map[string]*Host), ipPool: pool}
+}
+
+// DefaultServerPool returns 22 documentation-range server addresses, matching
+// the paper's hosting setup of 22 distinct IPs.
+func DefaultServerPool() []string {
+	pool := make([]string, 22)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("203.0.113.%d", i+1)
+	}
+	return pool
+}
+
+// SetResolver installs an external resolver (e.g. the simulated DNS server).
+// When nil, the built-in host registry resolves names.
+func (n *Internet) SetResolver(r Resolver) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.resolver = r
+}
+
+// Register binds name to handler, allocating a server IP from the pool
+// round-robin, and returns the created Host.
+func (n *Internet) Register(name string, handler http.Handler) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := &Host{
+		Name:    name,
+		IP:      n.ipPool[n.nextIP%len(n.ipPool)],
+		Handler: handler,
+	}
+	n.nextIP++
+	n.hosts[name] = h
+	return h
+}
+
+// EnableTLS marks the named host as having a valid certificate. It reports
+// whether the host exists.
+func (n *Internet) EnableTLS(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if ok {
+		h.TLS = true
+	}
+	return ok
+}
+
+// TakeDown marks the named host as unreachable, simulating a hosting-provider
+// takedown. It reports whether the host exists.
+func (n *Internet) TakeDown(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if ok {
+		h.Down = true
+	}
+	return ok
+}
+
+// Lookup returns the registered host for name.
+func (n *Internet) Lookup(name string) (*Host, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[name]
+	return h, ok
+}
+
+// ResolveA implements Resolver using the host registry.
+func (n *Internet) ResolveA(host string) (string, bool) {
+	h, ok := n.Lookup(host)
+	if !ok {
+		return "", false
+	}
+	return h.IP, true
+}
+
+// Hosts returns the registered hostnames in lexical order.
+func (n *Internet) Hosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	names := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Requests reports the total number of round trips served.
+func (n *Internet) Requests() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.requests
+}
+
+func (n *Internet) countRequest() {
+	n.mu.Lock()
+	n.requests++
+	n.mu.Unlock()
+}
+
+func (n *Internet) resolveHost(name string) (*Host, error) {
+	n.mu.RLock()
+	resolver := n.resolver
+	n.mu.RUnlock()
+	if resolver != nil {
+		if _, ok := resolver.ResolveA(name); !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchHost, name)
+		}
+	}
+	h, ok := n.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchHost, name)
+	}
+	return h, nil
+}

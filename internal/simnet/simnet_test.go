@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "host=%s path=%s remote=%s ua=%s", r.Host, r.URL.Path, r.RemoteAddr, r.UserAgent())
+	})
+}
+
+func TestRegisterAllocatesPoolRoundRobin(t *testing.T) {
+	n := New([]string{"10.0.0.1", "10.0.0.2"})
+	a := n.Register("a.example", echoHandler())
+	b := n.Register("b.example", echoHandler())
+	c := n.Register("c.example", echoHandler())
+	if a.IP != "10.0.0.1" || b.IP != "10.0.0.2" || c.IP != "10.0.0.1" {
+		t.Fatalf("IP allocation = %s,%s,%s; want round-robin over pool", a.IP, b.IP, c.IP)
+	}
+}
+
+func TestDefaultServerPoolHas22Addresses(t *testing.T) {
+	pool := DefaultServerPool()
+	if len(pool) != 22 {
+		t.Fatalf("default pool size = %d, want 22 (paper's hosting IPs)", len(pool))
+	}
+	seen := map[string]bool{}
+	for _, ip := range pool {
+		if seen[ip] {
+			t.Fatalf("duplicate IP %s in default pool", ip)
+		}
+		seen[ip] = true
+	}
+}
+
+func TestRoundTripReachesHandler(t *testing.T) {
+	n := New(nil)
+	n.Register("shop.example", echoHandler())
+	client := NewClient(n, "198.51.100.9")
+	req, _ := http.NewRequest("GET", "http://shop.example/products/index.php", nil)
+	req.Header.Set("User-Agent", "Mozilla/5.0 test")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	got := string(body)
+	for _, want := range []string{"host=shop.example", "path=/products/index.php", "remote=198.51.100.9:", "ua=Mozilla/5.0 test"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response %q missing %q", got, want)
+		}
+	}
+}
+
+func TestRoundTripUnknownHost(t *testing.T) {
+	n := New(nil)
+	client := NewClient(n, "198.51.100.9")
+	_, err := client.Get("http://nope.example/")
+	if err == nil || !errors.Is(err, ErrNoSuchHost) {
+		t.Fatalf("err = %v, want ErrNoSuchHost", err)
+	}
+}
+
+func TestHTTPSRequiresTLS(t *testing.T) {
+	n := New(nil)
+	n.Register("secure.example", echoHandler())
+	client := NewClient(n, "198.51.100.9")
+	if _, err := client.Get("https://secure.example/"); !errors.Is(err, ErrTLSNotProvisioned) {
+		t.Fatalf("https before EnableTLS: err = %v, want ErrTLSNotProvisioned", err)
+	}
+	if !n.EnableTLS("secure.example") {
+		t.Fatal("EnableTLS reported missing host")
+	}
+	resp, err := client.Get("https://secure.example/")
+	if err != nil {
+		t.Fatalf("https after EnableTLS: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTakeDownMakesHostUnreachable(t *testing.T) {
+	n := New(nil)
+	n.Register("bad.example", echoHandler())
+	client := NewClient(n, "198.51.100.9")
+	if resp, err := client.Get("http://bad.example/"); err != nil {
+		t.Fatalf("before takedown: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if !n.TakeDown("bad.example") {
+		t.Fatal("TakeDown reported missing host")
+	}
+	if _, err := client.Get("http://bad.example/"); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("after takedown: err = %v, want ErrHostDown", err)
+	}
+}
+
+func TestRequestsCounter(t *testing.T) {
+	n := New(nil)
+	n.Register("a.example", echoHandler())
+	client := NewClient(n, "198.51.100.9")
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("http://a.example/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := n.Requests(); got != 5 {
+		t.Fatalf("Requests() = %d, want 5", got)
+	}
+}
+
+func TestPostBodyDelivered(t *testing.T) {
+	n := New(nil)
+	var got string
+	n.Register("form.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got = r.PostFormValue("login_email")
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	client := NewClient(n, "198.51.100.9")
+	resp, err := client.PostForm("http://form.example/login.php", map[string][]string{
+		"login_email": {"victim@example.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got != "victim@example.com" {
+		t.Fatalf("server saw login_email=%q, want victim@example.com", got)
+	}
+}
+
+func TestRedirectsNotFollowedByDefault(t *testing.T) {
+	n := New(nil)
+	n.Register("r.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "http://elsewhere.example/", http.StatusFound)
+	}))
+	client := NewClient(n, "198.51.100.9")
+	resp, err := client.Get("http://r.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("status = %d, want 302 (redirect not followed)", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://elsewhere.example/" {
+		t.Fatalf("Location = %q", loc)
+	}
+}
+
+func TestExternalResolverOverrides(t *testing.T) {
+	n := New(nil)
+	n.Register("real.example", echoHandler())
+	n.SetResolver(resolverFunc(func(host string) (string, bool) {
+		return "", false // NXDOMAIN for everything
+	}))
+	client := NewClient(n, "198.51.100.9")
+	if _, err := client.Get("http://real.example/"); !errors.Is(err, ErrNoSuchHost) {
+		t.Fatalf("err = %v, want ErrNoSuchHost when resolver says NXDOMAIN", err)
+	}
+}
+
+type resolverFunc func(string) (string, bool)
+
+func (f resolverFunc) ResolveA(host string) (string, bool) { return f(host) }
+
+func TestHostsSorted(t *testing.T) {
+	n := New(nil)
+	for _, name := range []string{"zeta.example", "alpha.example", "mid.example"} {
+		n.Register(name, echoHandler())
+	}
+	got := n.Hosts()
+	want := []string{"alpha.example", "mid.example", "zeta.example"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Hosts() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestContentTypeSniffedForHTML(t *testing.T) {
+	n := New(nil)
+	n.Register("html.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "<!DOCTYPE html><html><body>hi</body></html>")
+	}))
+	client := NewClient(n, "198.51.100.9")
+	resp, err := client.Get("http://html.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("Content-Type = %q, want text/html", ct)
+	}
+}

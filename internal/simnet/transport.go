@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Transport routes HTTP requests to registered virtual hosts. It implements
+// http.RoundTripper, so an *http.Client built on it behaves exactly like one
+// talking to a real network.
+//
+// SourceIP and SourcePort are stamped into the server-side request's
+// RemoteAddr so that host access logs attribute traffic to the caller — the
+// paper's log analysis (request counts, unique IPs per engine) depends on it.
+type Transport struct {
+	Net        *Internet
+	SourceIP   string // client address visible to the server; default 192.0.2.1
+	SourcePort int    // default 40000
+}
+
+// NewClient returns an *http.Client whose traffic originates from sourceIP on
+// the given virtual internet. Redirects are not followed automatically;
+// callers that want browser-like redirect handling use internal/browser.
+func NewClient(n *Internet, sourceIP string) *http.Client {
+	return &http.Client{
+		Transport: &Transport{Net: n, SourceIP: sourceIP},
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Net == nil {
+		return nil, fmt.Errorf("simnet: Transport has no Internet")
+	}
+	hostname := req.URL.Hostname()
+	if hostname == "" {
+		return nil, fmt.Errorf("simnet: request has no host: %s", req.URL)
+	}
+	host, err := t.Net.resolveHost(hostname)
+	if err != nil {
+		return nil, err
+	}
+	if host.Down {
+		return nil, fmt.Errorf("%w: %s", ErrHostDown, hostname)
+	}
+	switch req.URL.Scheme {
+	case "http":
+	case "https":
+		if !host.TLS {
+			return nil, fmt.Errorf("%w: %s", ErrTLSNotProvisioned, hostname)
+		}
+	default:
+		return nil, fmt.Errorf("simnet: unsupported scheme %q", req.URL.Scheme)
+	}
+
+	srvReq, err := t.serverRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder()
+	host.Handler.ServeHTTP(rec, srvReq)
+	t.Net.countRequest()
+	return rec.response(req), nil
+}
+
+// serverRequest converts the client-side request into the request the virtual
+// server observes.
+func (t *Transport) serverRequest(req *http.Request) (*http.Request, error) {
+	var body io.ReadCloser = http.NoBody
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("simnet: reading request body: %w", err)
+		}
+		body = io.NopCloser(bytes.NewReader(b))
+	}
+	out := req.Clone(req.Context())
+	out.Body = body
+	out.RequestURI = req.URL.RequestURI()
+	ip := t.SourceIP
+	if ip == "" {
+		ip = "192.0.2.1"
+	}
+	port := t.SourcePort
+	if port == 0 {
+		port = 40000
+	}
+	out.RemoteAddr = fmt.Sprintf("%s:%d", ip, port)
+	out.Host = req.URL.Host
+	if out.Header.Get("Host") != "" {
+		out.Header.Del("Host")
+	}
+	return out, nil
+}
+
+// recorder is a minimal http.ResponseWriter capturing the handler's output.
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+	wrote  bool
+}
+
+func newRecorder() *recorder {
+	return &recorder{code: http.StatusOK, header: make(http.Header)}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.wrote {
+		return
+	}
+	r.wrote = true
+	r.code = code
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.body.Write(p)
+}
+
+func (r *recorder) response(req *http.Request) *http.Response {
+	body := r.body.Bytes()
+	resp := &http.Response{
+		Status:        fmt.Sprintf("%d %s", r.code, http.StatusText(r.code)),
+		StatusCode:    r.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        r.header,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+	if resp.Header.Get("Content-Type") == "" && len(body) > 0 {
+		resp.Header.Set("Content-Type", sniffContentType(body))
+	}
+	return resp
+}
+
+func sniffContentType(body []byte) string {
+	trimmed := strings.TrimSpace(string(body[:min(len(body), 512)]))
+	lower := strings.ToLower(trimmed)
+	if strings.HasPrefix(lower, "<!doctype html") || strings.HasPrefix(lower, "<html") {
+		return "text/html; charset=utf-8"
+	}
+	return http.DetectContentType(body)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

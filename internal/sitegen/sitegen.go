@@ -1,0 +1,261 @@
+// Package sitegen is the fake-website generator of Section 3 ("Website
+// Content and Web Servers").
+//
+// Compromised domains are intrinsically legitimate, so each experiment domain
+// needs a full-fledged site: the generator extracts keywords from the domain
+// name, expands them with synonyms, generates topical article pages, and
+// links 30 .php pages across several directories into a browsable site. The
+// output serves directly as an http.Handler and packs into a .zip ready to
+// "upload" to the hosting substrate, exactly like the paper's 2-minute
+// site-in-a-box pipeline.
+package sitegen
+
+import (
+	"archive/zip"
+	"fmt"
+	"html"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+
+	"areyouhuman/internal/wordnet"
+)
+
+// DefaultPageCount matches the paper's 30 pages per generated website.
+const DefaultPageCount = 30
+
+// Page is one generated .php page.
+type Page struct {
+	Path    string // e.g. "/garden/history-of-orchard.php"
+	Title   string
+	Topic   string
+	HTML    string
+	Links   []string // paths of pages this page links to
+	ImageID string   // path of the illustration referenced by the page
+}
+
+// Site is a generated website.
+type Site struct {
+	Domain string
+	Pages  map[string]*Page  // by path
+	Images map[string][]byte // by path
+	order  []string          // page paths in generation order; order[0] is the index page
+}
+
+// Config adjusts generation.
+type Config struct {
+	PageCount int   // number of pages; DefaultPageCount when zero
+	Seed      int64 // generation seed; domains hash in on top of this
+}
+
+// Generate builds a deterministic fake website for domain.
+func Generate(domain string, cfg Config) *Site {
+	if cfg.PageCount <= 0 {
+		cfg.PageCount = DefaultPageCount
+	}
+	seed := cfg.Seed
+	for _, r := range domain {
+		seed = seed*131 + int64(r)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	keywords := wordnet.ExtractKeywords(domain)
+	if len(keywords) == 0 {
+		keywords = wordnet.RandomKeywords(seed, 2)
+	}
+	// Expand: each keyword plus its synonyms forms the topic pool (paper
+	// steps 1–2: extract keywords, find synonyms via the thesaurus API).
+	var topics []string
+	for _, k := range keywords {
+		topics = append(topics, k)
+		topics = append(topics, wordnet.Synonyms(k)...)
+	}
+	if len(topics) == 0 {
+		topics = []string{"information"}
+	}
+
+	s := &Site{
+		Domain: domain,
+		Pages:  make(map[string]*Page, cfg.PageCount),
+		Images: make(map[string][]byte),
+	}
+	dirs := keywords
+	if len(dirs) == 0 {
+		dirs = []string{"pages"}
+	}
+
+	// Index page first, then article pages in topic-derived directories.
+	index := &Page{Path: "/index.php", Title: siteTitle(domain, keywords), Topic: topics[0]}
+	s.addPage(index)
+	for i := 1; i < cfg.PageCount; i++ {
+		topic := topics[rng.Intn(len(topics))]
+		dir := dirs[rng.Intn(len(dirs))]
+		name := fmt.Sprintf("%s-%s-%d.php", pageSlugs[rng.Intn(len(pageSlugs))], topic, i)
+		p := &Page{
+			Path:  "/" + dir + "/" + name,
+			Title: strings.Title(topic) + " — " + s.Domain, //nolint:staticcheck // ASCII topics only
+			Topic: topic,
+		}
+		s.addPage(p)
+	}
+
+	// Link graph: every page links to 3–6 others chosen deterministically,
+	// and every page is reachable from the index via a spanning chain.
+	paths := s.order
+	for i, path := range paths {
+		p := s.Pages[path]
+		if i+1 < len(paths) {
+			p.Links = append(p.Links, paths[i+1]) // spanning chain
+		}
+		extra := 2 + rng.Intn(4)
+		for len(p.Links) < extra+1 && len(p.Links) < len(paths)-1 {
+			cand := paths[rng.Intn(len(paths))]
+			if cand != path && !containsStr(p.Links, cand) {
+				p.Links = append(p.Links, cand)
+			}
+		}
+	}
+
+	// Illustrations: one deterministic pseudo-image per topic.
+	for _, path := range paths {
+		p := s.Pages[path]
+		img := "/img/" + p.Topic + ".png"
+		p.ImageID = img
+		if _, ok := s.Images[img]; !ok {
+			s.Images[img] = fakePNG(p.Topic, rng)
+		}
+	}
+
+	// Render HTML bodies last, when links are known.
+	for _, path := range paths {
+		p := s.Pages[path]
+		p.HTML = renderPage(s, p, rng.Int63())
+	}
+	return s
+}
+
+func (s *Site) addPage(p *Page) {
+	s.Pages[p.Path] = p
+	s.order = append(s.order, p.Path)
+}
+
+func containsStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+var pageSlugs = []string{"history", "guide", "overview", "notes", "intro", "basics", "tips", "faq", "review", "archive"}
+
+func siteTitle(domain string, keywords []string) string {
+	if len(keywords) > 0 {
+		return strings.Title(strings.Join(keywords, " ")) + " | " + domain //nolint:staticcheck
+	}
+	return domain
+}
+
+func renderPage(s *Site, p *Page, seed int64) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "  <title>%s</title>\n", html.EscapeString(p.Title))
+	fmt.Fprintf(&b, "  <link rel=\"icon\" href=\"/favicon.ico\">\n")
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "  <h1>%s</h1>\n", html.EscapeString(p.Title))
+	fmt.Fprintf(&b, "  <img src=%q alt=%q>\n", p.ImageID, p.Topic)
+	for _, para := range wordnet.Paragraphs(p.Topic, seed, 3) {
+		fmt.Fprintf(&b, "  <p>%s</p>\n", html.EscapeString(para))
+	}
+	b.WriteString("  <ul class=\"nav\">\n")
+	for _, link := range p.Links {
+		title := link
+		if tp, ok := s.Pages[link]; ok {
+			title = tp.Title
+		}
+		fmt.Fprintf(&b, "    <li><a href=%q>%s</a></li>\n", link, html.EscapeString(title))
+	}
+	b.WriteString("  </ul>\n</body>\n</html>\n")
+	return b.String()
+}
+
+// fakePNG returns a small deterministic byte blob with a PNG signature — the
+// simulation's stand-in for downloaded topical images.
+func fakePNG(topic string, rng *rand.Rand) []byte {
+	blob := make([]byte, 128+rng.Intn(256))
+	sig := []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+	copy(blob, sig)
+	copy(blob[len(sig):], topic)
+	for i := len(sig) + len(topic); i < len(blob); i++ {
+		blob[i] = byte(rng.Intn(256))
+	}
+	return blob
+}
+
+// Paths returns all page paths, index first, then generation order.
+func (s *Site) Paths() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Handler serves the generated site: pages, images, a favicon, and 404s for
+// everything else. "/" serves the index page.
+func (s *Site) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if path == "/" {
+			path = "/index.php"
+		}
+		if p, ok := s.Pages[path]; ok {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			io.WriteString(w, p.HTML)
+			return
+		}
+		if img, ok := s.Images[path]; ok {
+			w.Header().Set("Content-Type", "image/png")
+			w.Write(img)
+			return
+		}
+		if path == "/favicon.ico" {
+			w.Header().Set("Content-Type", "image/x-icon")
+			w.Write([]byte{0, 0, 1, 0})
+			return
+		}
+		http.NotFound(w, r)
+	})
+}
+
+// WriteZip packs the site into a .zip archive — the paper's ready-to-upload
+// package format. Entries are written in sorted path order for reproducible
+// archives.
+func (s *Site) WriteZip(w io.Writer) error {
+	zw := zip.NewWriter(w)
+	var paths []string
+	for p := range s.Pages {
+		paths = append(paths, p)
+	}
+	for p := range s.Images {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f, err := zw.Create(strings.TrimPrefix(path, "/"))
+		if err != nil {
+			return fmt.Errorf("sitegen: creating zip entry %s: %w", path, err)
+		}
+		if page, ok := s.Pages[path]; ok {
+			if _, err := io.WriteString(f, page.HTML); err != nil {
+				return fmt.Errorf("sitegen: writing zip entry %s: %w", path, err)
+			}
+			continue
+		}
+		if _, err := f.Write(s.Images[path]); err != nil {
+			return fmt.Errorf("sitegen: writing zip entry %s: %w", path, err)
+		}
+	}
+	return zw.Close()
+}

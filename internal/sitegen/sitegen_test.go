@@ -1,0 +1,204 @@
+package sitegen
+
+import (
+	"archive/zip"
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDefaultPageCount(t *testing.T) {
+	s := Generate("garden-tools.com", Config{})
+	if len(s.Pages) != DefaultPageCount {
+		t.Fatalf("generated %d pages, want %d", len(s.Pages), DefaultPageCount)
+	}
+	if _, ok := s.Pages["/index.php"]; !ok {
+		t.Fatal("site must have an index page")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("garden-tools.com", Config{Seed: 5})
+	b := Generate("garden-tools.com", Config{Seed: 5})
+	if len(a.Pages) != len(b.Pages) {
+		t.Fatal("page counts differ across identical generations")
+	}
+	for path, pa := range a.Pages {
+		pb, ok := b.Pages[path]
+		if !ok || pa.HTML != pb.HTML {
+			t.Fatalf("page %s differs across identical generations", path)
+		}
+	}
+}
+
+func TestGenerateDomainsDiffer(t *testing.T) {
+	a := Generate("garden-tools.com", Config{Seed: 5})
+	b := Generate("coffee-guide.net", Config{Seed: 5})
+	if len(a.Pages) == 0 || len(b.Pages) == 0 {
+		t.Fatal("empty site")
+	}
+	aPaths := strings.Join(a.Paths(), ",")
+	bPaths := strings.Join(b.Paths(), ",")
+	if aPaths == bPaths {
+		t.Fatal("different domains should produce different page paths")
+	}
+}
+
+func TestPagesUsePHPExtensionsAndDirectories(t *testing.T) {
+	s := Generate("garden-tools.com", Config{})
+	dirs := map[string]bool{}
+	for path := range s.Pages {
+		if !strings.HasSuffix(path, ".php") {
+			t.Fatalf("page %s does not have a .php extension", path)
+		}
+		parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+		if len(parts) > 1 {
+			dirs[parts[0]] = true
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("pages should be spread across directories")
+	}
+}
+
+func TestEveryPageReachableFromIndex(t *testing.T) {
+	s := Generate("coffee-bakery.org", Config{})
+	visited := map[string]bool{}
+	queue := []string{"/index.php"}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if visited[path] {
+			continue
+		}
+		visited[path] = true
+		p, ok := s.Pages[path]
+		if !ok {
+			t.Fatalf("link to missing page %s", path)
+		}
+		queue = append(queue, p.Links...)
+	}
+	if len(visited) != len(s.Pages) {
+		t.Fatalf("only %d/%d pages reachable from index", len(visited), len(s.Pages))
+	}
+}
+
+func TestLinksPointToExistingPages(t *testing.T) {
+	s := Generate("music-school.com", Config{})
+	for path, p := range s.Pages {
+		for _, link := range p.Links {
+			if _, ok := s.Pages[link]; !ok {
+				t.Fatalf("page %s links to missing %s", path, link)
+			}
+			if link == path {
+				t.Fatalf("page %s links to itself", path)
+			}
+		}
+	}
+}
+
+func TestTopicalContent(t *testing.T) {
+	s := Generate("garden-tools.com", Config{})
+	idx := s.Pages["/index.php"]
+	if !strings.Contains(strings.ToLower(idx.HTML), "garden") {
+		t.Fatalf("index page should mention the domain keyword; got title %q", idx.Title)
+	}
+}
+
+func TestGibberishDomainFallsBackToRandomKeywords(t *testing.T) {
+	s := Generate("xqztqq.com", Config{})
+	if len(s.Pages) != DefaultPageCount {
+		t.Fatalf("gibberish domain generated %d pages, want %d", len(s.Pages), DefaultPageCount)
+	}
+}
+
+func TestHandlerServesPagesImagesFavicon(t *testing.T) {
+	s := Generate("garden-tools.com", Config{})
+	h := s.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "http://garden-tools.com"+path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := get("/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "<h1>") {
+		t.Fatalf("GET / = %d, want index HTML", rec.Code)
+	}
+	var imgPath string
+	for p := range s.Images {
+		imgPath = p
+		break
+	}
+	if rec := get(imgPath); rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "image/png" {
+		t.Fatalf("GET %s = %d %s, want PNG", imgPath, rec.Code, rec.Header().Get("Content-Type"))
+	}
+	if rec := get("/favicon.ico"); rec.Code != http.StatusOK {
+		t.Fatalf("GET /favicon.ico = %d", rec.Code)
+	}
+	if rec := get("/definitely-missing.php"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET missing = %d, want 404", rec.Code)
+	}
+}
+
+func TestWriteZipRoundTrip(t *testing.T) {
+	s := Generate("garden-tools.com", Config{})
+	var buf bytes.Buffer
+	if err := s.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(s.Pages) + len(s.Images)
+	if len(zr.File) != want {
+		t.Fatalf("zip has %d entries, want %d", len(zr.File), want)
+	}
+	// Spot-check one page round-trips byte-identically.
+	for _, f := range zr.File {
+		if f.Name == "index.php" {
+			rc, err := f.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(rc)
+			rc.Close()
+			if string(data) != s.Pages["/index.php"].HTML {
+				t.Fatal("index.php zip entry does not match generated HTML")
+			}
+			return
+		}
+	}
+	t.Fatal("index.php not found in zip")
+}
+
+func TestImagesShareTopicAcrossPages(t *testing.T) {
+	s := Generate("garden-tools.com", Config{})
+	if len(s.Images) == 0 {
+		t.Fatal("site should have images")
+	}
+	for _, img := range s.Images {
+		if len(img) < 8 || img[1] != 'P' || img[2] != 'N' || img[3] != 'G' {
+			t.Fatal("image blob missing PNG signature")
+		}
+	}
+}
+
+// Property: generation never panics and always yields the requested count
+// (≥1 page) for arbitrary domain-ish inputs.
+func TestQuickGenerateTotal(t *testing.T) {
+	f := func(label string, n uint8) bool {
+		count := int(n%40) + 1
+		s := Generate(label+".com", Config{PageCount: count, Seed: int64(n)})
+		return len(s.Pages) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

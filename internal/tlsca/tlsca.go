@@ -1,0 +1,108 @@
+// Package tlsca simulates a certificate authority in the Let's Encrypt
+// style, with a certificate-transparency-like issuance log.
+//
+// The paper issues TLS certificates for all 112 domains so that accidental
+// human visitors leak nothing (Appendix B) and the sites look legitimately
+// operated. Anti-phishing engines increasingly watch CT logs for fresh
+// certificates on suspicious names; the issuance log makes that observable
+// here too.
+package tlsca
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// Validity is the lifetime of issued certificates (90 days, as Let's
+// Encrypt).
+const Validity = 90 * 24 * time.Hour
+
+// Certificate is one issued certificate.
+type Certificate struct {
+	Serial    int
+	Domain    string
+	NotBefore time.Time
+	NotAfter  time.Time
+}
+
+// Valid reports whether the certificate covers domain at time t.
+func (c Certificate) Valid(domain string, t time.Time) bool {
+	return strings.EqualFold(c.Domain, domain) && !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}
+
+// CA is the simulated certificate authority. The zero value is not usable;
+// call New.
+type CA struct {
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	serial int
+	certs  map[string]Certificate
+	log    []Certificate
+}
+
+// New returns a CA on the given clock (simclock.Real when nil).
+func New(clock simclock.Clock) *CA {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &CA{clock: clock, certs: make(map[string]Certificate)}
+}
+
+// Issue issues (or reissues) a certificate for domain and appends it to the
+// transparency log.
+func (ca *CA) Issue(domain string) Certificate {
+	domain = strings.ToLower(strings.TrimSpace(domain))
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.serial++
+	now := ca.clock.Now()
+	cert := Certificate{
+		Serial:    ca.serial,
+		Domain:    domain,
+		NotBefore: now,
+		NotAfter:  now.Add(Validity),
+	}
+	ca.certs[domain] = cert
+	ca.log = append(ca.log, cert)
+	return cert
+}
+
+// Lookup returns the current certificate for domain.
+func (ca *CA) Lookup(domain string) (Certificate, bool) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	c, ok := ca.certs[strings.ToLower(strings.TrimSpace(domain))]
+	return c, ok
+}
+
+// TransparencyLog returns every issuance in order — the CT feed engines may
+// watch.
+func (ca *CA) TransparencyLog() []Certificate {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	out := make([]Certificate, len(ca.log))
+	copy(out, ca.log)
+	return out
+}
+
+// IssuedSince returns issuances strictly after t.
+func (ca *CA) IssuedSince(t time.Time) []Certificate {
+	var out []Certificate
+	for _, c := range ca.TransparencyLog() {
+		if c.NotBefore.After(t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer for log lines.
+func (c Certificate) String() string {
+	return fmt.Sprintf("cert #%d for %s [%s, %s]", c.Serial, c.Domain,
+		c.NotBefore.UTC().Format("2006-01-02"), c.NotAfter.UTC().Format("2006-01-02"))
+}

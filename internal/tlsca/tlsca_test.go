@@ -1,0 +1,88 @@
+package tlsca
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+func TestIssueAndLookup(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	ca := New(clock)
+	cert := ca.Issue("Garden-Tools.example")
+	if cert.Domain != "garden-tools.example" {
+		t.Fatalf("domain = %q, want canonicalised", cert.Domain)
+	}
+	got, ok := ca.Lookup("garden-tools.example")
+	if !ok || got.Serial != cert.Serial {
+		t.Fatalf("Lookup = %+v,%v", got, ok)
+	}
+	if !cert.Valid("garden-tools.example", simclock.Epoch.Add(24*time.Hour)) {
+		t.Fatal("fresh certificate should be valid")
+	}
+}
+
+func TestCertificateExpiry(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	ca := New(clock)
+	cert := ca.Issue("a.example")
+	if cert.Valid("a.example", simclock.Epoch.Add(Validity+time.Hour)) {
+		t.Fatal("certificate should expire after Validity")
+	}
+	if cert.Valid("b.example", simclock.Epoch) {
+		t.Fatal("certificate must not cover other domains")
+	}
+}
+
+func TestTransparencyLogOrder(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	ca := New(clock)
+	ca.Issue("one.example")
+	clock.Advance(time.Hour)
+	ca.Issue("two.example")
+	log := ca.TransparencyLog()
+	if len(log) != 2 || log[0].Domain != "one.example" || log[1].Domain != "two.example" {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[1].Serial <= log[0].Serial {
+		t.Fatal("serials must increase")
+	}
+}
+
+func TestIssuedSince(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	ca := New(clock)
+	ca.Issue("old.example")
+	cut := clock.Now()
+	clock.Advance(time.Hour)
+	ca.Issue("new.example")
+	fresh := ca.IssuedSince(cut)
+	if len(fresh) != 1 || fresh[0].Domain != "new.example" {
+		t.Fatalf("IssuedSince = %+v", fresh)
+	}
+}
+
+func TestReissueReplacesCurrent(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	ca := New(clock)
+	first := ca.Issue("renew.example")
+	clock.Advance(60 * 24 * time.Hour)
+	second := ca.Issue("renew.example")
+	cur, _ := ca.Lookup("renew.example")
+	if cur.Serial != second.Serial || cur.Serial == first.Serial {
+		t.Fatalf("current = %+v", cur)
+	}
+	if len(ca.TransparencyLog()) != 2 {
+		t.Fatal("CT log must keep both issuances")
+	}
+}
+
+func TestCertificateString(t *testing.T) {
+	ca := New(simclock.New(simclock.Epoch))
+	cert := ca.Issue("s.example")
+	if s := cert.String(); !strings.Contains(s, "s.example") || !strings.Contains(s, "#1") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,161 @@
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/simclock"
+)
+
+// Access logs serialise to Common Log Format with the user agent appended
+// (the NCSA "combined"-ish shape ops teams actually grep), so simulated logs
+// can be exported, diffed, and re-imported — the paper's analysis workflow
+// is log files on disk.
+
+// clfTime is the CLF timestamp layout.
+const clfTime = "02/Jan/2006:15:04:05 -0700"
+
+// FormatCLF renders one entry as a combined-log line. Serve-decision entries
+// carry the kind in the request line's protocol slot so they survive a round
+// trip.
+func FormatCLF(e Entry) string {
+	proto := "HTTP/1.1"
+	if e.Serve != "" {
+		proto = "SERVE/" + string(e.Serve)
+	}
+	return fmt.Sprintf("%s - - [%s] %q %d %d %q %q",
+		e.IP,
+		e.Time.Format(clfTime),
+		fmt.Sprintf("%s %s %s", orDash(e.Method), orDash(e.Path), proto),
+		e.Status,
+		0,
+		"http://"+e.Host+"/",
+		e.UserAgent,
+	)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// WriteCLF dumps the whole log in arrival order.
+func (l *Log) WriteCLF(w io.Writer) error {
+	for _, e := range l.Entries() {
+		if _, err := fmt.Fprintln(w, FormatCLF(e)); err != nil {
+			return fmt.Errorf("weblog: writing CLF: %w", err)
+		}
+	}
+	return nil
+}
+
+// ParseCLF parses one combined-log line back into an Entry.
+func ParseCLF(line string) (Entry, error) {
+	var e Entry
+	rest := strings.TrimSpace(line)
+
+	// ip - - [time] ...
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return e, fmt.Errorf("weblog: malformed CLF line %q", line)
+	}
+	e.IP = rest[:sp]
+	open := strings.IndexByte(rest, '[')
+	clos := strings.IndexByte(rest, ']')
+	if open < 0 || clos < open {
+		return e, fmt.Errorf("weblog: missing timestamp in %q", line)
+	}
+	ts, err := time.Parse(clfTime, rest[open+1:clos])
+	if err != nil {
+		return e, fmt.Errorf("weblog: bad timestamp: %w", err)
+	}
+	e.Time = ts
+
+	fields, err := quotedFields(rest[clos+1:])
+	if err != nil {
+		return e, fmt.Errorf("weblog: %w in %q", err, line)
+	}
+	if len(fields) < 5 {
+		return e, fmt.Errorf("weblog: truncated CLF line %q", line)
+	}
+	// fields: request, status, size, referer, agent
+	reqParts := strings.SplitN(fields[0], " ", 3)
+	if len(reqParts) == 3 {
+		e.Method = dashEmpty(reqParts[0])
+		e.Path = dashEmpty(reqParts[1])
+		if kind, ok := strings.CutPrefix(reqParts[2], "SERVE/"); ok {
+			e.Serve = evasion.ServeKind(kind)
+		}
+	}
+	if n, err := strconv.Atoi(fields[1]); err == nil {
+		e.Status = n
+	}
+	if host, ok := strings.CutPrefix(fields[3], "http://"); ok {
+		e.Host = strings.TrimSuffix(host, "/")
+	}
+	e.UserAgent = fields[4]
+	return e, nil
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// quotedFields splits a CLF tail: unquoted tokens and double-quoted strings.
+func quotedFields(s string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == ' ':
+			i++
+		case s[i] == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			out = append(out, s[i+1:j])
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// ReadCLF parses a whole log dump into a Log (entries keep their recorded
+// times; the clock is only used for future appends).
+func ReadCLF(r io.Reader, clock simclock.Clock) (*Log, error) {
+	l := New(clock)
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		e, err := ParseCLF(line)
+		if err != nil {
+			return nil, err
+		}
+		l.Append(e)
+	}
+	return l, scanner.Err()
+}

@@ -1,0 +1,154 @@
+package weblog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/simclock"
+)
+
+func sampleEntry() Entry {
+	return Entry{
+		Time:      time.Date(2020, 5, 4, 13, 37, 42, 0, time.UTC),
+		IP:        "66.249.64.7",
+		Method:    "POST",
+		Host:      "garden-tools.com",
+		Path:      "/wp-content/secure/login.php",
+		UserAgent: "Mozilla/5.0 (compatible; Google-Safety)",
+		Status:    200,
+	}
+}
+
+func TestFormatCLFShape(t *testing.T) {
+	line := FormatCLF(sampleEntry())
+	for _, want := range []string{
+		"66.249.64.7 - - [04/May/2020:13:37:42 +0000]",
+		`"POST /wp-content/secure/login.php HTTP/1.1"`,
+		"200",
+		`"http://garden-tools.com/"`,
+		`"Mozilla/5.0 (compatible; Google-Safety)"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestCLFRoundTrip(t *testing.T) {
+	in := sampleEntry()
+	out, err := ParseCLF(FormatCLF(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Time.Equal(in.Time) || out.IP != in.IP || out.Method != in.Method ||
+		out.Host != in.Host || out.Path != in.Path || out.UserAgent != in.UserAgent || out.Status != in.Status {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestCLFServeDecisionRoundTrip(t *testing.T) {
+	in := sampleEntry()
+	in.Serve = evasion.ServePayload
+	in.Status = 0
+	out, err := ParseCLF(FormatCLF(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Serve != evasion.ServePayload {
+		t.Fatalf("serve kind = %q, want payload", out.Serve)
+	}
+}
+
+func TestWriteReadCLFWholeLog(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	log := New(clock)
+	log.Append(sampleEntry())
+	e2 := sampleEntry()
+	e2.IP = "52.8.120.3"
+	e2.Serve = evasion.ServeBenign
+	log.Append(e2)
+
+	var buf bytes.Buffer
+	if err := log.WriteCLF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCLF(&buf, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d entries", restored.Len())
+	}
+	if restored.UniqueIPs() != 2 || restored.Requests() != 1 {
+		t.Fatalf("restored analysis: ips=%d reqs=%d", restored.UniqueIPs(), restored.Requests())
+	}
+}
+
+func TestParseCLFMalformed(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"nonsense",
+		`1.2.3.4 - - [not-a-time] "GET / HTTP/1.1" 200 0 "r" "ua"`,
+		`1.2.3.4 - - [04/May/2020:13:37:42 +0000] "GET / HTTP/1.1" 200 0 "unterminated`,
+	} {
+		if _, err := ParseCLF(line); err == nil {
+			t.Errorf("ParseCLF(%q) should fail", line)
+		}
+	}
+}
+
+// Property: format→parse is lossless for entries with printable fields.
+func TestQuickCLFRoundTrip(t *testing.T) {
+	f := func(ipOct uint8, status uint8, pathSeed uint16) bool {
+		e := Entry{
+			Time:      simclock.Epoch.Add(time.Duration(pathSeed) * time.Second),
+			IP:        "198.51.100." + itoa(int(ipOct)),
+			Method:    "GET",
+			Host:      "h.example",
+			Path:      "/p" + itoa(int(pathSeed)),
+			UserAgent: "Agent/1.0",
+			Status:    200 + int(status)%300,
+		}
+		out, err := ParseCLF(FormatCLF(e))
+		if err != nil {
+			return false
+		}
+		return out.IP == e.IP && out.Path == e.Path && out.Status == e.Status && out.Time.Equal(e.Time)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+// FuzzParseCLF ensures the CLF parser is total: arbitrary lines either parse
+// or fail with an error — never panic.
+func FuzzParseCLF(f *testing.F) {
+	f.Add(FormatCLF(sampleEntry()))
+	f.Add(`1.2.3.4 - - [04/May/2020:13:37:42 +0000] "GET / HTTP/1.1" 200 0 "r" "ua"`)
+	f.Add("")
+	f.Add(`x [`)
+	f.Add(`ip - - [04/May/2020:13:37:42 +0000] "unclosed`)
+	f.Fuzz(func(t *testing.T, line string) {
+		entry, err := ParseCLF(line)
+		if err == nil {
+			// A parsed entry must re-format without panicking.
+			_ = FormatCLF(entry)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package weblog captures and analyses web-server access logs.
+//
+// The paper's findings lean heavily on server-side log analysis: per-engine
+// request counts and unique source IPs (Table 1), evidence that GSB bots
+// clicked the alert-box confirm button, that NetCraft bypassed all six
+// session pages, and the classification of OpenPhish's 81,967-request probe
+// storm into web-shell, kit (.zip), and credential-file (.log/.txt) hunting.
+package weblog
+
+import (
+	"net/http"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/simclock"
+)
+
+// Entry is one access-log line.
+type Entry struct {
+	Time      time.Time
+	IP        string
+	Method    string
+	Host      string
+	Path      string
+	UserAgent string
+	Status    int
+	// Serve is the evasion wrapper's decision for this request, when the
+	// logged handler is an evasion deployment ("" otherwise).
+	Serve evasion.ServeKind
+}
+
+// Log is an append-only access log. The zero value is not usable; call New.
+type Log struct {
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// New returns an empty log on the given clock (simclock.Real when nil).
+func New(clock simclock.Clock) *Log {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &Log{clock: clock}
+}
+
+// Append adds a fully formed entry (used by tests and replays).
+func (l *Log) Append(e Entry) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// Middleware records every request passing through, including its response
+// status.
+func (l *Log) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		l.Append(Entry{
+			Time:      l.clock.Now(),
+			IP:        clientIP(r),
+			Method:    r.Method,
+			Host:      r.Host,
+			Path:      r.URL.Path,
+			UserAgent: r.UserAgent(),
+			Status:    sw.status,
+		})
+	})
+}
+
+// ServeLogger adapts the log as an evasion.LogFunc, recording the wrapper's
+// serve decisions as their own entries.
+func (l *Log) ServeLogger() evasion.LogFunc {
+	return func(r *http.Request, kind evasion.ServeKind) {
+		l.Append(Entry{
+			Time:      l.clock.Now(),
+			IP:        clientIP(r),
+			Method:    r.Method,
+			Host:      r.Host,
+			Path:      r.URL.Path,
+			UserAgent: r.UserAgent(),
+			Serve:     kind,
+		})
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func clientIP(r *http.Request) string {
+	addr := r.RemoteAddr
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Entries returns a copy of all entries in arrival order.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len reports the number of entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Requests counts access entries (serve-decision entries excluded).
+func (l *Log) Requests() int {
+	n := 0
+	for _, e := range l.Entries() {
+		if e.Serve == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// UniqueIPs counts distinct source addresses across all entries.
+func (l *Log) UniqueIPs() int {
+	seen := map[string]bool{}
+	for _, e := range l.Entries() {
+		seen[e.IP] = true
+	}
+	return len(seen)
+}
+
+// PayloadServes returns the serve-decision entries where the phishing
+// payload was revealed — the "bot reached the phishing content" evidence of
+// Section 4.
+func (l *Log) PayloadServes() []Entry {
+	var out []Entry
+	for _, e := range l.Entries() {
+		if e.Serve == evasion.ServePayload {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ServeCounts tallies serve decisions by kind.
+func (l *Log) ServeCounts() map[evasion.ServeKind]int {
+	out := map[evasion.ServeKind]int{}
+	for _, e := range l.Entries() {
+		if e.Serve != "" {
+			out[e.Serve]++
+		}
+	}
+	return out
+}
+
+// ProbeKind classifies suspicious crawler probes.
+type ProbeKind string
+
+// Probe kinds observed in the paper's OpenPhish analysis.
+const (
+	ProbeWebShell    ProbeKind = "web-shell"
+	ProbeKitArchive  ProbeKind = "kit-archive"
+	ProbeCredentials ProbeKind = "credential-files"
+)
+
+// webShellNames are filenames of famous web shells that crawlers probe for.
+var webShellNames = map[string]bool{
+	"shell.php": true, "c99.php": true, "r57.php": true, "wso.php": true,
+	"b374k.php": true, "alfa.php": true, "up.php": true, "cmd.php": true,
+	"marijuana.php": true, "indoxploit.php": true,
+}
+
+// ClassifyProbe categorises a request path, reporting whether it is a probe
+// at all.
+func ClassifyProbe(reqPath string) (ProbeKind, bool) {
+	base := strings.ToLower(path.Base(reqPath))
+	switch {
+	case webShellNames[base]:
+		return ProbeWebShell, true
+	case strings.HasSuffix(base, ".zip"):
+		return ProbeKitArchive, true
+	case strings.HasSuffix(base, ".log"), strings.HasSuffix(base, ".txt"):
+		return ProbeCredentials, true
+	}
+	return "", false
+}
+
+// ProbeReport tallies probe requests by kind — the Section 4.1 breakdown of
+// what anti-phishing bots hunted for on the server.
+func (l *Log) ProbeReport() map[ProbeKind]int {
+	out := map[ProbeKind]int{}
+	for _, e := range l.Entries() {
+		if e.Serve != "" {
+			continue
+		}
+		if kind, ok := ClassifyProbe(e.Path); ok {
+			out[kind]++
+		}
+	}
+	return out
+}
+
+// TrafficConcentration reports the fraction of access requests arriving
+// within window of the first request — the paper observed ~90% of traffic in
+// the first two hours.
+func (l *Log) TrafficConcentration(window time.Duration) float64 {
+	var times []time.Time
+	for _, e := range l.Entries() {
+		if e.Serve == "" {
+			times = append(times, e.Time)
+		}
+	}
+	if len(times) == 0 {
+		return 0
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	cutoff := times[0].Add(window)
+	n := 0
+	for _, t := range times {
+		if !t.After(cutoff) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(times))
+}

@@ -1,0 +1,135 @@
+package weblog
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	log := New(clock)
+	net := simnet.New(nil)
+	net.Register("logged.example", log.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "ok")
+	})))
+	client := simnet.NewClient(net, "198.51.100.10")
+	for _, p := range []string{"/", "/page.php", "/missing"} {
+		req, _ := http.NewRequest("GET", "http://logged.example"+p, nil)
+		req.Header.Set("User-Agent", "TestAgent/1.0")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	entries := log.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	if entries[0].IP != "198.51.100.10" || entries[0].UserAgent != "TestAgent/1.0" || entries[0].Host != "logged.example" {
+		t.Fatalf("entry = %+v", entries[0])
+	}
+	if entries[2].Status != http.StatusNotFound {
+		t.Fatalf("status of /missing = %d, want 404", entries[2].Status)
+	}
+}
+
+func TestUniqueIPsAndRequests(t *testing.T) {
+	log := New(simclock.New(simclock.Epoch))
+	for i, ip := range []string{"10.0.0.1", "10.0.0.2", "10.0.0.1", "10.0.0.3"} {
+		log.Append(Entry{IP: ip, Path: "/", Time: simclock.Epoch.Add(time.Duration(i) * time.Minute)})
+	}
+	if log.Requests() != 4 {
+		t.Fatalf("Requests = %d", log.Requests())
+	}
+	if log.UniqueIPs() != 3 {
+		t.Fatalf("UniqueIPs = %d, want 3", log.UniqueIPs())
+	}
+}
+
+func TestServeLoggerAndPayloadServes(t *testing.T) {
+	log := New(simclock.New(simclock.Epoch))
+	fn := log.ServeLogger()
+	req, _ := http.NewRequest("POST", "http://x.example/login.php", nil)
+	req.RemoteAddr = "10.1.1.1:555"
+	fn(req, evasion.ServeBenign)
+	fn(req, evasion.ServePayload)
+	fn(req, evasion.ServePayload)
+	if got := log.ServeCounts(); got[evasion.ServeBenign] != 1 || got[evasion.ServePayload] != 2 {
+		t.Fatalf("ServeCounts = %v", got)
+	}
+	reaches := log.PayloadServes()
+	if len(reaches) != 2 || reaches[0].IP != "10.1.1.1" {
+		t.Fatalf("PayloadServes = %+v", reaches)
+	}
+	// Serve-decision entries are not access requests.
+	if log.Requests() != 0 {
+		t.Fatalf("Requests = %d, want 0", log.Requests())
+	}
+}
+
+func TestClassifyProbe(t *testing.T) {
+	cases := []struct {
+		path string
+		kind ProbeKind
+		ok   bool
+	}{
+		{"/shell.php", ProbeWebShell, true},
+		{"/admin/c99.php", ProbeWebShell, true},
+		{"/wp-content/WSO.php", ProbeWebShell, true},
+		{"/kit.zip", ProbeKitArchive, true},
+		{"/backup/site.ZIP", ProbeKitArchive, true},
+		{"/logs/rezult.txt", ProbeCredentials, true},
+		{"/data/victims.log", ProbeCredentials, true},
+		{"/index.php", "", false},
+		{"/img/logo.png", "", false},
+	}
+	for _, c := range cases {
+		kind, ok := ClassifyProbe(c.path)
+		if kind != c.kind || ok != c.ok {
+			t.Errorf("ClassifyProbe(%q) = %v,%v; want %v,%v", c.path, kind, ok, c.kind, c.ok)
+		}
+	}
+}
+
+func TestProbeReport(t *testing.T) {
+	log := New(simclock.New(simclock.Epoch))
+	paths := []string{"/shell.php", "/c99.php", "/kit.zip", "/creds.txt", "/a.log", "/index.php"}
+	for _, p := range paths {
+		log.Append(Entry{IP: "10.0.0.9", Path: p})
+	}
+	rep := log.ProbeReport()
+	if rep[ProbeWebShell] != 2 || rep[ProbeKitArchive] != 1 || rep[ProbeCredentials] != 2 {
+		t.Fatalf("ProbeReport = %v", rep)
+	}
+}
+
+func TestTrafficConcentration(t *testing.T) {
+	log := New(simclock.New(simclock.Epoch))
+	// 9 requests in the first 2 hours, 1 request much later: 90%.
+	for i := 0; i < 9; i++ {
+		log.Append(Entry{IP: "10.0.0.1", Path: "/", Time: simclock.Epoch.Add(time.Duration(i) * 10 * time.Minute)})
+	}
+	log.Append(Entry{IP: "10.0.0.1", Path: "/", Time: simclock.Epoch.Add(48 * time.Hour)})
+	got := log.TrafficConcentration(2 * time.Hour)
+	if got < 0.89 || got > 0.91 {
+		t.Fatalf("TrafficConcentration = %v, want 0.9", got)
+	}
+}
+
+func TestTrafficConcentrationEmpty(t *testing.T) {
+	log := New(simclock.New(simclock.Epoch))
+	if got := log.TrafficConcentration(time.Hour); got != 0 {
+		t.Fatalf("empty log concentration = %v", got)
+	}
+}

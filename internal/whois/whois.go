@@ -1,0 +1,104 @@
+// Package whois simulates the WHOIS registration-data service.
+//
+// Pipeline step 3 of the paper collects WHOIS data for candidate drop-catch
+// domains and keeps only those answering "NOT FOUND", confirming they are
+// genuinely unregistered. Registrars in this simulation publish records here
+// on every registration.
+package whois
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NotFound is the textual answer for an unregistered domain, mirroring the
+// "NOT FOUND" responses the paper matched on.
+const NotFound = "NOT FOUND"
+
+// Record is the registration data for one domain.
+type Record struct {
+	Domain     string
+	Registrar  string
+	Registrant string
+	Created    time.Time
+	Expires    time.Time
+	DNSSEC     bool
+	AbuseEmail string // abuse contact for the hosting/registrant network
+}
+
+// DB is the WHOIS database. The zero value is not usable; call NewDB.
+type DB struct {
+	mu      sync.RWMutex
+	records map[string]Record
+	queries int64
+}
+
+// NewDB returns an empty WHOIS database.
+func NewDB() *DB {
+	return &DB{records: make(map[string]Record)}
+}
+
+// Put inserts or replaces the record for r.Domain.
+func (db *DB) Put(r Record) {
+	key := canonical(r.Domain)
+	db.mu.Lock()
+	db.records[key] = r
+	db.mu.Unlock()
+}
+
+// Delete removes the record for domain (e.g. after expiry), making it
+// NOT FOUND again.
+func (db *DB) Delete(domain string) {
+	db.mu.Lock()
+	delete(db.records, canonical(domain))
+	db.mu.Unlock()
+}
+
+// Lookup returns the record for domain. ok is false — and the textual answer
+// would be NOT FOUND — when the domain is unregistered.
+func (db *DB) Lookup(domain string) (Record, bool) {
+	db.mu.Lock()
+	db.queries++
+	db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.records[canonical(domain)]
+	return r, ok
+}
+
+// Text renders the WHOIS answer for domain as the line-oriented text a WHOIS
+// client would print.
+func (db *DB) Text(domain string) string {
+	r, ok := db.Lookup(domain)
+	if !ok {
+		return NotFound
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Domain Name: %s\n", strings.ToUpper(canonical(r.Domain)))
+	fmt.Fprintf(&b, "Registrar: %s\n", r.Registrar)
+	fmt.Fprintf(&b, "Registrant: %s\n", r.Registrant)
+	fmt.Fprintf(&b, "Creation Date: %s\n", r.Created.UTC().Format(time.RFC3339))
+	fmt.Fprintf(&b, "Registry Expiry Date: %s\n", r.Expires.UTC().Format(time.RFC3339))
+	if r.DNSSEC {
+		fmt.Fprintf(&b, "DNSSEC: signedDelegation\n")
+	} else {
+		fmt.Fprintf(&b, "DNSSEC: unsigned\n")
+	}
+	if r.AbuseEmail != "" {
+		fmt.Fprintf(&b, "Registrar Abuse Contact Email: %s\n", r.AbuseEmail)
+	}
+	return b.String()
+}
+
+// Queries reports how many lookups have been served.
+func (db *DB) Queries() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.queries
+}
+
+func canonical(domain string) string {
+	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(domain)), ".")
+}

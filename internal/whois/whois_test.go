@@ -1,0 +1,93 @@
+package whois
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() Record {
+	return Record{
+		Domain:     "garden-tools.example",
+		Registrar:  "OVH",
+		Registrant: "Research Lab",
+		Created:    time.Date(2020, 4, 10, 9, 0, 0, 0, time.UTC),
+		Expires:    time.Date(2021, 4, 10, 9, 0, 0, 0, time.UTC),
+		DNSSEC:     true,
+		AbuseEmail: "abuse@hosting.example",
+	}
+}
+
+func TestLookupUnregisteredIsNotFound(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.Lookup("nobody.example"); ok {
+		t.Fatal("unregistered domain should not be found")
+	}
+	if got := db.Text("nobody.example"); got != NotFound {
+		t.Fatalf("Text = %q, want %q", got, NotFound)
+	}
+}
+
+func TestPutThenLookup(t *testing.T) {
+	db := NewDB()
+	db.Put(sample())
+	r, ok := db.Lookup("GARDEN-TOOLS.example")
+	if !ok {
+		t.Fatal("registered domain should be found, case-insensitively")
+	}
+	if r.Registrar != "OVH" {
+		t.Fatalf("Registrar = %q, want OVH", r.Registrar)
+	}
+}
+
+func TestDeleteReturnsToNotFound(t *testing.T) {
+	db := NewDB()
+	db.Put(sample())
+	db.Delete("garden-tools.example")
+	if _, ok := db.Lookup("garden-tools.example"); ok {
+		t.Fatal("deleted domain should be NOT FOUND")
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	db := NewDB()
+	db.Put(sample())
+	text := db.Text("garden-tools.example")
+	for _, want := range []string{
+		"Domain Name: GARDEN-TOOLS.EXAMPLE",
+		"Registrar: OVH",
+		"DNSSEC: signedDelegation",
+		"Registrar Abuse Contact Email: abuse@hosting.example",
+		"2020-04-10T09:00:00Z",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestTextUnsigned(t *testing.T) {
+	db := NewDB()
+	r := sample()
+	r.DNSSEC = false
+	r.AbuseEmail = ""
+	db.Put(r)
+	text := db.Text(r.Domain)
+	if !strings.Contains(text, "DNSSEC: unsigned") {
+		t.Fatalf("Text should show unsigned DNSSEC:\n%s", text)
+	}
+	if strings.Contains(text, "Abuse Contact") {
+		t.Fatalf("Text should omit empty abuse contact:\n%s", text)
+	}
+}
+
+func TestQueriesCounter(t *testing.T) {
+	db := NewDB()
+	db.Put(sample())
+	db.Lookup("garden-tools.example")
+	db.Lookup("missing.example")
+	db.Text("garden-tools.example") // Text performs a lookup too
+	if got := db.Queries(); got != 3 {
+		t.Fatalf("Queries() = %d, want 3", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package wordnet is the embedded vocabulary substrate standing in for the
+// Unix dictionary, the Datamuse synonym API, and the Wikipedia corpus the
+// paper's fake-website generator consumes.
+//
+// It offers keyword extraction from domain names (greedy dictionary
+// segmentation), synonym expansion, and a deterministic topical text
+// generator used to fill the 30 pages of each generated website.
+package wordnet
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// thesaurus maps head words to related words. Both directions are useful:
+// Synonyms answers from the map, and the dictionary is its key+value closure.
+var thesaurus = map[string][]string{
+	"garden":   {"yard", "orchard", "greenhouse", "lawn", "nursery"},
+	"tool":     {"implement", "utensil", "instrument", "device", "apparatus"},
+	"flower":   {"blossom", "bloom", "petal", "rose", "tulip"},
+	"kitchen":  {"cookery", "pantry", "galley", "cuisine", "scullery"},
+	"recipe":   {"formula", "dish", "preparation", "method", "blend"},
+	"travel":   {"journey", "voyage", "trip", "tour", "expedition"},
+	"hotel":    {"inn", "lodge", "hostel", "resort", "guesthouse"},
+	"music":    {"melody", "harmony", "rhythm", "tune", "song"},
+	"guitar":   {"strings", "fretboard", "acoustic", "banjo", "ukulele"},
+	"finance":  {"banking", "economy", "investment", "capital", "budget"},
+	"market":   {"bazaar", "exchange", "trade", "store", "shop"},
+	"health":   {"wellness", "fitness", "vitality", "medicine", "nutrition"},
+	"doctor":   {"physician", "surgeon", "clinician", "practitioner", "medic"},
+	"sport":    {"athletics", "game", "exercise", "competition", "recreation"},
+	"soccer":   {"football", "league", "goal", "pitch", "striker"},
+	"book":     {"volume", "novel", "manuscript", "paperback", "tome"},
+	"library":  {"archive", "collection", "repository", "athenaeum", "stacks"},
+	"computer": {"machine", "processor", "workstation", "laptop", "server"},
+	"network":  {"grid", "mesh", "web", "lattice", "system"},
+	"photo":    {"picture", "snapshot", "portrait", "image", "print"},
+	"camera":   {"lens", "shutter", "viewfinder", "tripod", "flash"},
+	"coffee":   {"espresso", "brew", "roast", "latte", "mocha"},
+	"bakery":   {"patisserie", "bakehouse", "oven", "pastry", "confectionery"},
+	"bicycle":  {"bike", "cycle", "tandem", "velocipede", "wheels"},
+	"mountain": {"peak", "summit", "ridge", "alp", "highland"},
+	"river":    {"stream", "brook", "creek", "waterway", "tributary"},
+	"school":   {"academy", "college", "institute", "seminary", "campus"},
+	"teacher":  {"instructor", "tutor", "educator", "mentor", "lecturer"},
+	"weather":  {"climate", "forecast", "atmosphere", "conditions", "meteorology"},
+	"energy":   {"power", "electricity", "fuel", "vigor", "force"},
+	"craft":    {"handiwork", "artisanry", "trade", "skill", "workmanship"},
+	"wood":     {"timber", "lumber", "oak", "pine", "plank"},
+	"paint":    {"pigment", "lacquer", "varnish", "tint", "enamel"},
+	"farm":     {"ranch", "homestead", "acreage", "pasture", "croft"},
+	"animal":   {"creature", "beast", "fauna", "mammal", "critter"},
+	"ocean":    {"sea", "deep", "marine", "tide", "gulf"},
+	"fishing":  {"angling", "trawling", "casting", "catch", "tackle"},
+	"car":      {"automobile", "vehicle", "sedan", "motorcar", "coupe"},
+	"engine":   {"motor", "turbine", "powerplant", "machine", "drivetrain"},
+	"house":    {"home", "dwelling", "residence", "cottage", "abode"},
+	"design":   {"layout", "blueprint", "pattern", "scheme", "plan"},
+	"shop":     {"boutique", "store", "outlet", "emporium", "stall"},
+	"cloud":    {"vapor", "mist", "nimbus", "cumulus", "overcast"},
+	"data":     {"records", "figures", "statistics", "information", "facts"},
+	"wine":     {"vintage", "vineyard", "merlot", "claret", "cellar"},
+	"cheese":   {"cheddar", "brie", "gouda", "dairy", "curd"},
+	"art":      {"painting", "sculpture", "gallery", "canvas", "artwork"},
+	"theater":  {"stage", "playhouse", "drama", "auditorium", "cinema"},
+	"history":  {"chronicle", "antiquity", "heritage", "past", "annals"},
+	"science":  {"research", "physics", "chemistry", "biology", "laboratory"},
+}
+
+var dictionary = buildDictionary()
+
+func buildDictionary() map[string]bool {
+	d := make(map[string]bool, len(thesaurus)*6)
+	for head, syns := range thesaurus {
+		d[head] = true
+		for _, s := range syns {
+			d[s] = true
+		}
+	}
+	// Connective vocabulary usable in generated names.
+	for _, w := range []string{"best", "top", "my", "the", "pro", "new", "old", "big",
+		"little", "daily", "world", "online", "guide", "club", "hub", "zone", "info",
+		"blog", "news", "home", "plus", "center", "review"} {
+		d[w] = true
+	}
+	return d
+}
+
+// Dictionary returns the embedded word list in lexical order.
+func Dictionary() []string {
+	out := make([]string, 0, len(dictionary))
+	for w := range dictionary {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether w is a dictionary word.
+func Known(w string) bool { return dictionary[strings.ToLower(w)] }
+
+// Synonyms returns related words for w (step 2 of the paper's fake-website
+// algorithm). Unknown words return nil; synonyms of a head word map back to
+// the head word plus its siblings.
+func Synonyms(w string) []string {
+	w = strings.ToLower(w)
+	if syns, ok := thesaurus[w]; ok {
+		out := make([]string, len(syns))
+		copy(out, syns)
+		return out
+	}
+	for head, syns := range thesaurus {
+		for _, s := range syns {
+			if s == w {
+				out := []string{head}
+				for _, sib := range syns {
+					if sib != w {
+						out = append(out, sib)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// ExtractKeywords extracts meaningful dictionary words from a domain name
+// (step 1 of the paper's algorithm): the label is split on hyphens and
+// digits, and unbroken runs are segmented greedily against the dictionary.
+func ExtractKeywords(domain string) []string {
+	domain = strings.ToLower(strings.TrimSpace(domain))
+	if i := strings.IndexByte(domain, '.'); i >= 0 {
+		domain = domain[:i]
+	}
+	var tokens []string
+	field := strings.FieldsFunc(domain, func(r rune) bool {
+		return r == '-' || r == '_' || (r >= '0' && r <= '9')
+	})
+	for _, part := range field {
+		tokens = append(tokens, segment(part)...)
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		if dictionary[tok] && !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// segment splits a run of letters into dictionary words, greedy
+// longest-match from the left; unmatched prefixes skip one rune.
+func segment(s string) []string {
+	var words []string
+	for len(s) > 0 {
+		matched := ""
+		for end := len(s); end > 0; end-- {
+			if dictionary[s[:end]] {
+				matched = s[:end]
+				break
+			}
+		}
+		if matched == "" {
+			s = s[1:]
+			continue
+		}
+		words = append(words, matched)
+		s = s[len(matched):]
+	}
+	return words
+}
+
+// RandomKeywords picks n distinct dictionary head words using the given
+// seed — the paper's "randomly generate keywords from the Unix dictionary"
+// step for the non-drop-catch domains.
+func RandomKeywords(seed int64, n int) []string {
+	heads := make([]string, 0, len(thesaurus))
+	for h := range thesaurus {
+		heads = append(heads, h)
+	}
+	sort.Strings(heads)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(heads), func(i, j int) { heads[i], heads[j] = heads[j], heads[i] })
+	if n > len(heads) {
+		n = len(heads)
+	}
+	return heads[:n]
+}
+
+var sentenceTemplates = []string{
+	"The study of %s has a long tradition in many regions of the world.",
+	"Modern approaches to %s combine classical methods with new techniques.",
+	"Many enthusiasts consider %s an essential part of everyday life.",
+	"Historical records mention %s as early as the medieval period.",
+	"The economics of %s changed considerably over the last century.",
+	"Local communities often organize events dedicated to %s.",
+	"Experts disagree about the best way to approach %s in practice.",
+	"A wide range of literature covers both the theory and practice of %s.",
+	"Regional variations in %s reflect differences in climate and culture.",
+	"Recent developments have made %s accessible to a much wider audience.",
+}
+
+// Paragraphs generates n deterministic paragraphs about topic, in the style
+// of an encyclopedia article, standing in for the Wikipedia download of the
+// paper's step 3.
+func Paragraphs(topic string, seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed ^ int64(len(topic))))
+	vocab := append([]string{topic}, Synonyms(topic)...)
+	out := make([]string, n)
+	for i := range out {
+		var b strings.Builder
+		sentences := 3 + rng.Intn(3)
+		for s := 0; s < sentences; s++ {
+			tmpl := sentenceTemplates[rng.Intn(len(sentenceTemplates))]
+			word := vocab[rng.Intn(len(vocab))]
+			if s > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strings.Replace(tmpl, "%s", word, 1))
+		}
+		out[i] = b.String()
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package wordnet
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryNonTrivialAndSorted(t *testing.T) {
+	d := Dictionary()
+	if len(d) < 200 {
+		t.Fatalf("dictionary has %d words, want a non-trivial vocabulary", len(d))
+	}
+	if !sort.StringsAreSorted(d) {
+		t.Fatal("Dictionary() must be sorted")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	for _, w := range []string{"garden", "Yard", "ESPRESSO", "blog"} {
+		if !Known(w) {
+			t.Errorf("Known(%q) = false, want true", w)
+		}
+	}
+	if Known("zzzznotaword") {
+		t.Error("Known(zzzznotaword) = true")
+	}
+}
+
+func TestSynonymsHeadWord(t *testing.T) {
+	syns := Synonyms("garden")
+	if len(syns) == 0 {
+		t.Fatal("garden should have synonyms")
+	}
+	found := false
+	for _, s := range syns {
+		if s == "orchard" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Synonyms(garden) = %v, want to include orchard", syns)
+	}
+}
+
+func TestSynonymsReverseLookup(t *testing.T) {
+	syns := Synonyms("orchard")
+	if len(syns) == 0 || syns[0] != "garden" {
+		t.Fatalf("Synonyms(orchard) = %v, want head word garden first", syns)
+	}
+}
+
+func TestSynonymsUnknown(t *testing.T) {
+	if got := Synonyms("qwertyuiop"); got != nil {
+		t.Fatalf("Synonyms(unknown) = %v, want nil", got)
+	}
+}
+
+func TestSynonymsReturnsCopy(t *testing.T) {
+	a := Synonyms("garden")
+	a[0] = "MUTATED"
+	b := Synonyms("garden")
+	if b[0] == "MUTATED" {
+		t.Fatal("Synonyms must return a fresh slice")
+	}
+}
+
+func TestExtractKeywordsHyphenated(t *testing.T) {
+	got := ExtractKeywords("garden-tools.com")
+	want := map[string]bool{"garden": true, "tool": false} // "tools" is not in dict; "tool" via segmentation? "tools" segments to "tool"+"s"
+	_ = want
+	if len(got) == 0 || got[0] != "garden" {
+		t.Fatalf("ExtractKeywords(garden-tools.com) = %v, want garden first", got)
+	}
+}
+
+func TestExtractKeywordsConcatenated(t *testing.T) {
+	got := ExtractKeywords("bestcoffeeguide.net")
+	joined := strings.Join(got, ",")
+	for _, w := range []string{"best", "coffee", "guide"} {
+		if !strings.Contains(joined, w) {
+			t.Fatalf("ExtractKeywords(bestcoffeeguide.net) = %v, want %s", got, w)
+		}
+	}
+}
+
+func TestExtractKeywordsDigitsAndDuplicates(t *testing.T) {
+	got := ExtractKeywords("coffee2coffee.org")
+	count := 0
+	for _, w := range got {
+		if w == "coffee" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("ExtractKeywords should deduplicate: %v", got)
+	}
+}
+
+func TestExtractKeywordsNoWords(t *testing.T) {
+	if got := ExtractKeywords("xqzt.com"); len(got) != 0 {
+		t.Fatalf("ExtractKeywords(gibberish) = %v, want none", got)
+	}
+}
+
+func TestRandomKeywordsDeterministic(t *testing.T) {
+	a := RandomKeywords(42, 5)
+	b := RandomKeywords(42, 5)
+	if len(a) != 5 {
+		t.Fatalf("RandomKeywords returned %d words, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomKeywords must be deterministic per seed")
+		}
+	}
+	c := RandomKeywords(43, 5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different keyword sets")
+	}
+}
+
+func TestRandomKeywordsBounded(t *testing.T) {
+	all := RandomKeywords(1, 10_000)
+	if len(all) == 0 || len(all) > len(Dictionary()) {
+		t.Fatalf("RandomKeywords over-asked returned %d words", len(all))
+	}
+}
+
+func TestParagraphsDeterministicAndTopical(t *testing.T) {
+	p1 := Paragraphs("coffee", 7, 4)
+	p2 := Paragraphs("coffee", 7, 4)
+	if len(p1) != 4 {
+		t.Fatalf("Paragraphs returned %d, want 4", len(p1))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("Paragraphs must be deterministic per seed")
+		}
+	}
+	vocab := append([]string{"coffee"}, Synonyms("coffee")...)
+	text := strings.Join(p1, " ")
+	found := false
+	for _, w := range vocab {
+		if strings.Contains(text, w) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("generated text mentions no topical vocabulary: %q", text)
+	}
+}
+
+// Property: every keyword extracted from any string is a dictionary word.
+func TestQuickExtractOnlyDictionaryWords(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range ExtractKeywords(s + ".com") {
+			if !Known(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

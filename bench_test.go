@@ -10,6 +10,7 @@ package areyouhuman
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/telemetry"
 )
 
 // benchCfg uses reduced fleet traffic so iterations stay fast; detection
@@ -318,6 +320,38 @@ func BenchmarkAblationNoFeedSharing(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.BaselineCrossFeeds), "baseline-cross-feeds")
 	b.ReportMetric(float64(res.SeveredCrossFeeds), "severed-cross-feeds")
+}
+
+// BenchmarkTelemetryOverhead compares a full main-stage run with telemetry
+// disabled (the nil-safe no-op path every call site takes by default) against
+// one with a live registry and a tracer draining to io.Discard. The noop
+// variant is the guardrail: it must stay within a few percent of the seed,
+// proving uninstrumented runs pay only nil checks.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, set *telemetry.Set) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := benchCfg()
+			cfg.Telemetry = set
+			w := experiment.NewWorld(cfg)
+			res, err := w.RunMain()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.TotalDetected != 8 {
+				b.Fatalf("detected = %d, want 8 (telemetry must not perturb outcomes)", res.TotalDetected)
+			}
+		}
+	}
+	b.Run("noop", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) {
+		set := &telemetry.Set{
+			Tracer:  telemetry.NewTracer(io.Discard),
+			Metrics: telemetry.NewRegistry(),
+		}
+		run(b, set)
+		b.ReportMetric(float64(set.Tracer.Records())/float64(b.N), "trace-records/op")
+	})
 }
 
 // BenchmarkLifespanExposure quantifies the paper's motivation — how much

@@ -5,13 +5,20 @@
 //
 //	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel]
 //	          [-seed N] [-traffic-scale F] [-main-traffic N]
+//	          [-json out.json] [-trace out.jsonl] [-metrics out.prom] [-v]
 //
 // The default stage runs everything: Table 1 (preliminary test), Table 2
 // (main experiment), Table 3 (extensions), the headline claims comparison,
 // the ablation studies, and the paper-scale drop-catch funnel.
+//
+// Observability: -trace streams every telemetry record (virtual-time spans
+// and events) as JSON Lines, -metrics snapshots the metrics registry in
+// Prometheus text format after every stage, and -v narrates stage progress
+// with wall times and headline counters on stderr.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +26,20 @@ import (
 
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/telemetry"
 )
+
+// options carries everything main resolved from the command line; threading
+// it through run keeps the stages free of package-level state.
+type options struct {
+	stage       string
+	jsonPath    string
+	tracePath   string
+	metricsPath string
+	verbose     bool
+
+	tel *telemetry.Set
+}
 
 func main() {
 	var (
@@ -28,31 +48,118 @@ func main() {
 		scale       = flag.Float64("traffic-scale", 1, "crawler fleet volume scale (1 = Table 1 calibration)")
 		mainTraffic = flag.Int("main-traffic", 0, "fleet requests per URL in the main stage (0 = default 200)")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file (stage all/preliminary/main/extensions)")
+		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (virtual-time spans and events) to this file")
+		metricsOut  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after each stage")
+		verbose     = flag.Bool("v", false, "narrate stage progress and telemetry totals on stderr")
 	)
 	flag.Parse()
-	jsonPath = *jsonOut
+
+	opts := options{
+		stage:       *stage,
+		jsonPath:    *jsonOut,
+		tracePath:   *traceOut,
+		metricsPath: *metricsOut,
+		verbose:     *verbose,
+	}
+
+	var traceBuf *bufio.Writer
+	if opts.tracePath != "" || opts.metricsPath != "" || opts.verbose {
+		opts.tel = &telemetry.Set{Metrics: telemetry.NewRegistry()}
+		if opts.tracePath != "" {
+			f, err := os.Create(opts.tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phishfarm:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			traceBuf = bufio.NewWriterSize(f, 1<<20)
+			opts.tel.Tracer = telemetry.NewTracer(traceBuf)
+		}
+	}
 
 	cfg := experiment.Config{
 		Seed:                 *seed,
 		TrafficScale:         *scale,
 		MainTrafficPerReport: *mainTraffic,
+		Telemetry:            opts.tel,
 	}
 	f := core.New(cfg)
 
-	if err := run(f, cfg, *stage); err != nil {
+	err := run(f, cfg, opts)
+	if err == nil {
+		err = opts.finish(traceBuf)
+	} else if traceBuf != nil {
+		traceBuf.Flush()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "phishfarm:", err)
 		os.Exit(1)
 	}
 }
 
-// jsonPath, when set, receives a machine-readable export of the stage.
-var jsonPath string
+// finish flushes the trace and writes the final metrics snapshot.
+func (o options) finish(traceBuf *bufio.Writer) error {
+	if traceBuf != nil {
+		if err := traceBuf.Flush(); err != nil {
+			return err
+		}
+		if err := o.tel.T().Err(); err != nil {
+			return err
+		}
+		o.vlog("trace: %d records -> %s", o.tel.T().Records(), o.tracePath)
+	}
+	if o.metricsPath != "" {
+		if err := o.snapshotMetrics(); err != nil {
+			return err
+		}
+		o.vlog("metrics: %d series -> %s", len(o.tel.M().Snapshot()), o.metricsPath)
+	}
+	return nil
+}
 
-func writeJSON(exp experiment.Export) error {
-	if jsonPath == "" {
+// snapshotMetrics rewrites the metrics file with the current cumulative
+// registry state; called after every stage so a crash mid-run still leaves
+// the last completed stage's snapshot on disk.
+func (o options) snapshotMetrics() error {
+	if o.metricsPath == "" {
 		return nil
 	}
-	out, err := os.Create(jsonPath)
+	out, err := os.Create(o.metricsPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return o.tel.M().WritePrometheus(out)
+}
+
+func (o options) vlog(format string, args ...any) {
+	if o.verbose {
+		fmt.Fprintf(os.Stderr, "phishfarm: "+format+"\n", args...)
+	}
+}
+
+// stageStart marks a stage in the trace and on stderr; the returned func
+// closes the span, snapshots metrics, and reports wall time.
+func (o options) stageStart(name string) func() {
+	o.vlog("stage %s: start", name)
+	start := time.Now()
+	span := o.tel.T().Start("phishfarm.stage", telemetry.String("stage", name))
+	return func() {
+		span.End()
+		if err := o.snapshotMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "phishfarm: metrics snapshot:", err)
+		}
+		o.vlog("stage %s: done in %v (%d telemetry series, %d trace records)",
+			name, time.Since(start).Round(time.Millisecond),
+			len(o.tel.M().Snapshot()), o.tel.T().Records())
+	}
+}
+
+func writeJSON(opts options, exp experiment.Export) error {
+	if opts.jsonPath == "" {
+		return nil
+	}
+	out, err := os.Create(opts.jsonPath)
 	if err != nil {
 		return err
 	}
@@ -60,46 +167,53 @@ func writeJSON(exp experiment.Export) error {
 	if err := exp.WriteJSON(out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", jsonPath)
+	fmt.Printf("wrote %s\n", opts.jsonPath)
 	return nil
 }
 
-func run(f *core.Framework, cfg experiment.Config, stage string) error {
-	switch stage {
+func run(f *core.Framework, cfg experiment.Config, opts options) error {
+	switch opts.stage {
 	case "all":
+		done := opts.stageStart("all")
 		res, err := f.RunAll()
 		if err != nil {
 			return err
 		}
-		if err := writeJSON(experiment.BuildExport(res.Table1, res.Main, res.Table3)); err != nil {
+		if err := writeJSON(opts, experiment.BuildExport(res.Table1, res.Main, res.Table3)); err != nil {
 			return err
 		}
 		fmt.Print(res.Report())
 		fmt.Println()
-		if err := ablations(f); err != nil {
+		if err := ablations(f, opts); err != nil {
 			return err
 		}
-		if err := exposure(f); err != nil {
+		if err := exposure(f, opts); err != nil {
 			return err
 		}
-		return funnel()
+		err = funnel()
+		done()
+		return err
 	case "preliminary":
+		done := opts.stageStart("preliminary")
 		rows, err := f.RunPreliminary()
+		done()
 		if err != nil {
 			return err
 		}
-		if err := writeJSON(experiment.BuildExport(rows, nil, nil)); err != nil {
+		if err := writeJSON(opts, experiment.BuildExport(rows, nil, nil)); err != nil {
 			return err
 		}
 		fmt.Println("Table 1 — preliminary test (naked kits, 24h)")
 		fmt.Print(experiment.RenderTable1(rows))
 		return nil
 	case "main":
+		done := opts.stageStart("main")
 		res, err := f.RunMain()
+		done()
 		if err != nil {
 			return err
 		}
-		if err := writeJSON(experiment.BuildExport(nil, res, nil)); err != nil {
+		if err := writeJSON(opts, experiment.BuildExport(nil, res, nil)); err != nil {
 			return err
 		}
 		fmt.Println("Table 2 — main experiment (105 protected URLs, 2 weeks)")
@@ -114,28 +228,32 @@ func run(f *core.Framework, cfg experiment.Config, stage string) error {
 		fmt.Println()
 		return nil
 	case "extensions":
+		done := opts.stageStart("extensions")
 		rows, err := f.RunExtensions()
+		done()
 		if err != nil {
 			return err
 		}
-		if err := writeJSON(experiment.BuildExport(nil, nil, rows)); err != nil {
+		if err := writeJSON(opts, experiment.BuildExport(nil, nil, rows)); err != nil {
 			return err
 		}
 		fmt.Println("Table 3 — client-side extensions (9 URLs, 3 visits each)")
 		fmt.Print(experiment.RenderTable3(rows))
 		return nil
 	case "ablations":
-		return ablations(f)
+		return ablations(f, opts)
 	case "exposure":
-		return exposure(f)
+		return exposure(f, opts)
 	case "funnel":
 		return funnel()
 	default:
-		return fmt.Errorf("unknown stage %q", stage)
+		return fmt.Errorf("unknown stage %q", opts.stage)
 	}
 }
 
-func ablations(f *core.Framework) error {
+func ablations(f *core.Framework, opts options) error {
+	done := opts.stageStart("ablations")
+	defer done()
 	fmt.Println("Ablation studies")
 
 	alert, err := f.RunAlertConfirmAblation()
@@ -181,7 +299,9 @@ func ablations(f *core.Framework) error {
 	return nil
 }
 
-func exposure(f *core.Framework) error {
+func exposure(f *core.Framework, opts options) error {
+	done := opts.stageStart("exposure")
+	defer done()
 	results, err := f.RunExposureStudy()
 	if err != nil {
 		return err

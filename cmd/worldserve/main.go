@@ -9,6 +9,15 @@
 //	curl -H 'Host: demo-site.com' http://127.0.0.1:8080/<phish-path> # challenge page
 //
 // Virtual hostnames are listed at / for any unknown Host.
+//
+// Observability: the gateway itself answers /metrics (Prometheus text — live
+// gateway, engine, and evasion serve-decision series) and /debug/pprof/* for
+// profiling, so a scrape or a pprof session needs no Host header:
+//
+//	curl http://127.0.0.1:8080/metrics
+//	go tool pprof http://127.0.0.1:8080/debug/pprof/profile?seconds=5
+//
+// Virtual hosts never use those reserved paths, so routing is unaffected.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -23,6 +33,7 @@ import (
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/simnet"
+	"areyouhuman/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +42,7 @@ func main() {
 		techFlag  = flag.String("technique", "recaptcha", "evasion technique: none, alertbox, session, recaptcha")
 		brandFlag = flag.String("brand", "paypal", "target brand: paypal, facebook, gmail")
 		domain    = flag.String("domain", "demo-site.com", "virtual domain for the deployment")
+		obs       = flag.Bool("obs", true, "serve /metrics and /debug/pprof on the gateway")
 	)
 	flag.Parse()
 
@@ -51,18 +63,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.005})
+	var set *telemetry.Set
+	if *obs {
+		set = &telemetry.Set{Metrics: telemetry.NewRegistry()}
+	}
+	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.005, Telemetry: set})
 	deployment, err := world.Deploy(*domain, experiment.MountSpec{Brand: brand, Technique: technique})
 	if err != nil {
 		log.Fatal("worldserve: ", err)
 	}
 	phishURL := deployment.Mounts[0].URL
 
-	gateway := &gateway{net: world.Net}
+	gateway := newGateway(world.Net, set)
 	log.Printf("serving virtual internet on %s", *addr)
 	log.Printf("deployment: %s kit behind %s", brand, technique)
 	log.Printf("phishing URL (virtual): %s", phishURL)
 	log.Printf("try: curl -H 'Host: %s' 'http://%s%s'", *domain, *addr, pathOf(phishURL))
+	if *obs {
+		log.Printf("observability: curl 'http://%s/metrics'  (pprof at /debug/pprof/)", *addr)
+	}
 	if err := http.ListenAndServe(*addr, gateway); err != nil {
 		log.Fatal("worldserve: ", err)
 	}
@@ -78,25 +97,59 @@ func pathOf(rawURL string) string {
 	return "/"
 }
 
-// gateway routes real TCP requests into the virtual internet by Host header.
+// gateway routes real TCP requests into the virtual internet by Host header,
+// reserving /metrics and /debug/pprof for the observability endpoints.
 type gateway struct {
-	net *simnet.Internet
+	net      *simnet.Internet
+	obs      *http.ServeMux // nil when observability is off
+	requests func(host string) *telemetry.Counter
+}
+
+func newGateway(net *simnet.Internet, set *telemetry.Set) *gateway {
+	g := &gateway{net: net}
+	if m := set.M(); m != nil {
+		m.Describe("phish_gateway_requests_total", "Requests routed by the worldserve gateway, by virtual host.")
+		g.requests = func(host string) *telemetry.Counter {
+			return m.Counter("phish_gateway_requests_total", "host", host)
+		}
+		g.obs = http.NewServeMux()
+		g.obs.Handle("/metrics", m.Handler())
+		g.obs.HandleFunc("/debug/pprof/", pprof.Index)
+		g.obs.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		g.obs.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		g.obs.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		g.obs.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return g
 }
 
 func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.obs != nil && (r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/pprof")) {
+		g.obs.ServeHTTP(w, r)
+		return
+	}
 	hostname := r.Host
 	if i := strings.LastIndexByte(hostname, ':'); i >= 0 {
 		hostname = hostname[:i]
 	}
 	host, ok := g.net.Lookup(hostname)
 	if !ok {
+		if g.requests != nil {
+			g.requests("unknown").Inc()
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(w, "<h1>virtual internet</h1><p>unknown host %q; known hosts:</p><ul>", hostname)
 		for _, name := range g.net.Hosts() {
 			fmt.Fprintf(w, "<li>%s</li>", name)
 		}
 		fmt.Fprint(w, "</ul><p>route with: curl -H 'Host: &lt;name&gt;' ...</p>")
+		if g.obs != nil {
+			fmt.Fprint(w, "<p>observability: <a href=\"/metrics\">/metrics</a>, <a href=\"/debug/pprof/\">/debug/pprof/</a></p>")
+		}
 		return
+	}
+	if g.requests != nil {
+		g.requests(hostname).Inc()
 	}
 	if host.Down {
 		http.Error(w, "host has been taken down", http.StatusServiceUnavailable)

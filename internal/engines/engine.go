@@ -16,6 +16,7 @@ import (
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/simnet"
+	"areyouhuman/internal/telemetry"
 )
 
 // Detection records one confirmed verdict.
@@ -46,6 +47,8 @@ type Engine struct {
 	ipPool     []string
 	detections []Detection
 	community  *communitySection // non-nil for community-verified engines
+	tel        *telemetry.Set
+	inst       instruments
 	// TrafficPerReport is how many crawler-fleet requests one report
 	// triggers (beyond the deciding bot visits). The experiment calibrates
 	// this per stage; the preliminary stage uses PrelimRequests/3.
@@ -67,6 +70,52 @@ type Deps struct {
 	// Seed drives every stochastic choice (confirmation draws, traffic
 	// spread) so runs are reproducible.
 	Seed int64
+	// Telemetry, when set, receives per-engine counters (crawls, verdicts,
+	// fleet volume, detections) and detection trace events.
+	Telemetry *telemetry.Set
+}
+
+// instruments are the engine's pre-resolved metric handles; all nil (and
+// therefore no-ops) when the world runs without telemetry.
+type instruments struct {
+	reports       *telemetry.Counter
+	crawls        *telemetry.Counter
+	fleetRequests *telemetry.Counter
+	verdictPhish  *telemetry.Counter
+	verdictBenign *telemetry.Counter
+	detections    *telemetry.Counter
+	shares        *telemetry.Counter
+}
+
+// Engine metric names.
+const (
+	MetricReports       = "phish_engine_reports_total"
+	MetricCrawls        = "phish_engine_crawls_total"
+	MetricFleetRequests = "phish_engine_fleet_requests_total"
+	MetricVerdicts      = "phish_engine_verdicts_total"
+	MetricDetections    = "phish_engine_detections_total"
+	MetricShares        = "phish_engine_shares_total"
+)
+
+func newInstruments(m *telemetry.Registry, engine string) instruments {
+	if m == nil {
+		return instruments{}
+	}
+	m.Describe(MetricReports, "URL reports submitted to an engine.")
+	m.Describe(MetricCrawls, "Deciding bot visits (crawl-and-judge runs).")
+	m.Describe(MetricFleetRequests, "Crawler-fleet HTTP requests issued against reported hosts.")
+	m.Describe(MetricVerdicts, "Crawl verdicts by outcome (phish includes the via-form path).")
+	m.Describe(MetricDetections, "URLs an engine added to its own blacklist.")
+	m.Describe(MetricShares, "Listings propagated to partner feeds.")
+	return instruments{
+		reports:       m.Counter(MetricReports, "engine", engine),
+		crawls:        m.Counter(MetricCrawls, "engine", engine),
+		fleetRequests: m.Counter(MetricFleetRequests, "engine", engine),
+		verdictPhish:  m.Counter(MetricVerdicts, "engine", engine, "verdict", "phish"),
+		verdictBenign: m.Counter(MetricVerdicts, "engine", engine, "verdict", "benign"),
+		detections:    m.Counter(MetricDetections, "engine", engine),
+		shares:        m.Counter(MetricShares, "engine", engine),
+	}
 }
 
 // New builds an engine from its profile.
@@ -80,6 +129,8 @@ func New(p Profile, deps Deps) *Engine {
 		mail:             deps.Mail,
 		peers:            deps.Peers,
 		seed:             deps.Seed,
+		tel:              deps.Telemetry,
+		inst:             newInstruments(deps.Telemetry.M(), p.Key),
 		TrafficPerReport: p.PrelimRequests / 3,
 		Rechecks:         []time.Duration{30 * time.Minute, 2 * time.Hour},
 	}
@@ -122,6 +173,8 @@ func (e *Engine) rng(label string) *rand.Rand {
 
 // Report submits a URL to this engine and schedules its processing.
 func (e *Engine) Report(rawURL, reporter string) {
+	e.inst.reports.Inc()
+	e.tel.T().Event("engine.report", telemetry.String("engine", e.Profile.Key), telemetry.String("url", rawURL))
 	e.Queue.Submit(rawURL, reporter)
 	e.enqueueCommunity(rawURL)
 	e.sched.After(e.Profile.RespondsWithin, e.Profile.Key+":first-crawl", func(now time.Time) {
@@ -155,10 +208,13 @@ func (e *Engine) crawlAndJudge(rawURL string) {
 	if e.List.Contains(rawURL) {
 		return
 	}
+	e.inst.crawls.Inc()
 	verdict, viaForm := e.visit(rawURL)
 	if !verdict {
+		e.inst.verdictBenign.Inc()
 		return
 	}
+	e.inst.verdictPhish.Inc()
 	if viaForm && e.Profile.FormPathConfirmRate < 1 {
 		if e.rng(rawURL).Float64() >= e.Profile.FormPathConfirmRate {
 			return // confirmation pipeline dropped it
@@ -173,6 +229,12 @@ func (e *Engine) crawlAndJudge(rawURL string) {
 		e.detections = append(e.detections, Detection{
 			URL: rawURL, CrawledAt: crawledAt, ListedAt: now, ViaFormPath: viaForm,
 		})
+		e.inst.detections.Inc()
+		e.tel.T().Event("engine.blacklist",
+			telemetry.String("engine", e.Profile.Key),
+			telemetry.String("url", rawURL),
+			telemetry.Bool("via_form", viaForm),
+			telemetry.Duration("listing_delay", now.Sub(crawledAt)))
 		if e.community != nil {
 			e.community.remove(rawURL)
 		}
@@ -221,6 +283,7 @@ func (e *Engine) share(rawURL string) {
 				peer.detections = append(peer.detections, Detection{
 					URL: rawURL, CrawledAt: now, ListedAt: now,
 				})
+				e.inst.shares.Inc()
 			}
 		})
 	}

@@ -112,6 +112,7 @@ func (e *Engine) discoverPaths(target *url.URL) []string {
 // get fetches a URL with the engine identity, returning the body ("" on any
 // failure).
 func (e *Engine) get(ip, rawURL string) string {
+	e.inst.fleetRequests.Inc()
 	client := simnet.NewClient(e.net, ip)
 	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
 	if err != nil {

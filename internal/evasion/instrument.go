@@ -1,0 +1,50 @@
+package evasion
+
+import (
+	"net/http"
+
+	"areyouhuman/internal/telemetry"
+)
+
+// MetricServes counts every serve decision an evasion wrapper makes, by
+// technique and serve kind — the live view of Section 4's server-side log
+// analysis.
+const MetricServes = "phish_evasion_serves_total"
+
+// Instrument returns a LogFunc that counts serve decisions in the set's
+// registry and chains to next (which may be nil). Payload reveals on a real
+// technique additionally emit a trace event — those are the "bot reached the
+// phishing content" moments; the None control serves its payload to everyone,
+// so it is counted but not traced. Without telemetry, next is returned
+// unchanged.
+func Instrument(set *telemetry.Set, t Technique, next LogFunc) LogFunc {
+	if !set.Enabled() {
+		return next
+	}
+	m := set.M()
+	m.Describe(MetricServes, "Evasion-wrapper serve decisions, by technique and kind.")
+	counters := map[ServeKind]*telemetry.Counter{}
+	for _, kind := range []ServeKind{ServeBenign, ServeCover, ServeChallenge, ServePayload} {
+		counters[kind] = m.Counter(MetricServes, "technique", t.String(), "kind", string(kind))
+	}
+	tr := set.T()
+	return func(r *http.Request, kind ServeKind) {
+		c := counters[kind]
+		if c == nil {
+			// Unknown kind: resolve from the (locked) registry rather than
+			// mutating the shared map — real HTTP handlers run concurrently.
+			c = m.Counter(MetricServes, "technique", t.String(), "kind", string(kind))
+		}
+		c.Inc()
+		if kind == ServePayload && t != None {
+			tr.Event("evasion.payload",
+				telemetry.String("technique", t.String()),
+				telemetry.String("host", r.Host),
+				telemetry.String("ip", r.RemoteAddr),
+				telemetry.String("user_agent", r.UserAgent()))
+		}
+		if next != nil {
+			next(r, kind)
+		}
+	}
+}

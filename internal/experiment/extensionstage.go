@@ -10,6 +10,7 @@ import (
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/extensions"
 	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/telemetry"
 )
 
 // Extension-test cadence: each URL is visited three times with a five-hour
@@ -38,6 +39,8 @@ type Table3Row struct {
 // profile with GSB disabled, has a human visit every URL three times —
 // solving every challenge — and reports what each extension detected.
 func (w *World) RunExtensions() ([]Table3Row, error) {
+	span := w.Tel.T().Start("stage.extensions")
+	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
 	var specs []MountSpec
 	brands := []phishkit.Brand{phishkit.Facebook, phishkit.PayPal}
 	for _, tech := range evasion.Techniques() {

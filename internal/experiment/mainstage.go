@@ -13,6 +13,7 @@ import (
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/monitor"
 	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/telemetry"
 )
 
 // MainDuration is the main experiment's length (two weeks in May 2020).
@@ -96,6 +97,8 @@ func mainPlan() []struct {
 // domains, 55 on keyword domains), reports each to exactly one engine, runs
 // two virtual weeks, and assembles Table 2 plus the timing statistics.
 func (w *World) RunMain() (*MainResults, error) {
+	span := w.Tel.T().Start("stage.main")
+	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
 	plan := mainPlan()
 	totalURLs := 0
 	for _, p := range plan {
@@ -165,6 +168,7 @@ func (w *World) RunMain() (*MainResults, error) {
 	// every half hour, watch the reporter mailbox for NetCraft outcomes,
 	// and screenshot-probe SmartScreen through a monitored browser.
 	mon := monitor.New(w.Sched)
+	mon.Instrument(w.Tel)
 	horizon := w.Clock.Now().Add(MainDuration)
 	for _, d := range res.Deployments {
 		url := d.Mounts[0].URL

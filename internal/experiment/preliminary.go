@@ -9,6 +9,7 @@ import (
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/telemetry"
 )
 
 // Table1Row is one row of the preliminary-test table.
@@ -32,6 +33,8 @@ const PreliminaryDuration = 24 * time.Hour
 // Facebook, and PayPal kits, reports each domain's three URLs to its engine,
 // runs 24 virtual hours, and assembles Table 1.
 func (w *World) RunPreliminary() ([]Table1Row, error) {
+	span := w.Tel.T().Start("stage.preliminary")
+	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
 	keys := engines.Keys()
 	domains := w.KeywordDomains("init", len(keys), 0)
 

@@ -21,6 +21,7 @@ import (
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/sitegen"
+	"areyouhuman/internal/telemetry"
 	"areyouhuman/internal/tlsca"
 	"areyouhuman/internal/weblog"
 	"areyouhuman/internal/whois"
@@ -47,6 +48,13 @@ type Config struct {
 	// the hook the ablation studies use (grant everyone GSB's alert policy,
 	// remove form submission, sever feed sharing, ...).
 	Mutate func(p *engines.Profile)
+	// Telemetry, when set, instruments the world end to end: scheduler
+	// events, engine crawls and verdicts, monitor polls, evasion serve
+	// decisions, and stage spans all land in this set. Nil runs
+	// uninstrumented at full speed. Telemetry observes only — it never
+	// perturbs the RNG or the event order, so instrumented and plain runs
+	// produce identical results.
+	Telemetry *telemetry.Set
 }
 
 // DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
@@ -95,6 +103,8 @@ type World struct {
 	Captcha   *captcha.Service
 	Mail      *report.MailSystem
 	Engines   map[string]*engines.Engine
+	// Tel is the world's telemetry set (from Config.Telemetry; may be nil).
+	Tel *telemetry.Set
 
 	rng         *rand.Rand
 	deployments []*Deployment
@@ -113,8 +123,10 @@ func NewWorld(cfg Config) *World {
 		WHOIS: whois.NewDB(),
 		CA:    tlsca.New(clock),
 		Mail:  report.NewMailSystem(clock),
+		Tel:   cfg.Telemetry,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	telemetry.ObserveScheduler(w.Sched, w.Tel)
 	w.Net.SetResolver(w.DNS)
 	w.Registrar = registrar.New("OVH", w.WHOIS, w.DNS, clock)
 	w.Checkers = []*registrar.Registrar{
@@ -132,6 +144,7 @@ func NewWorld(cfg Config) *World {
 		AbuseContact: AbuseContact,
 		Peers:        func(key string) *engines.Engine { return w.Engines[key] },
 		Seed:         cfg.Seed,
+		Telemetry:    cfg.Telemetry,
 	}
 	for key, p := range engines.Profiles() {
 		if cfg.Mutate != nil {
@@ -241,7 +254,7 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		opts := evasion.Options{
 			Payload: payload,
 			Benign:  site.Handler(),
-			Log:     log.ServeLogger(),
+			Log:     evasion.Instrument(w.Tel, spec.Technique, log.ServeLogger()),
 		}
 		if spec.Technique == evasion.Cloaking {
 			opts.BotIPs = spec.BotIPs
@@ -289,6 +302,14 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		w.WHOIS.Put(rec)
 	}
 	w.deployments = append(w.deployments, d)
+	w.Tel.M().Counter("phish_deployments_total").Inc()
+	attrs := []telemetry.Attr{telemetry.String("domain", domain)}
+	for _, m := range d.Mounts {
+		attrs = append(attrs,
+			telemetry.String("technique", m.Technique.String()),
+			telemetry.String("brand", string(m.Brand)))
+	}
+	w.Tel.T().Event("deploy", attrs...)
 	return d, nil
 }
 
@@ -327,6 +348,8 @@ func (w *World) ReportTo(d *Deployment, engineKey string) error {
 	}
 	d.ReportedTo = engineKey
 	d.ReportedAt = w.Clock.Now()
+	w.Tel.T().Event("report.submit",
+		telemetry.String("engine", engineKey), telemetry.String("domain", d.Domain))
 	for _, url := range d.URLs() {
 		eng.Report(url, ReporterAddress)
 	}

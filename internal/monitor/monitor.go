@@ -19,6 +19,7 @@ import (
 	"areyouhuman/internal/blacklist"
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/telemetry"
 )
 
 // Method labels how a sighting was obtained.
@@ -43,6 +44,7 @@ type Sighting struct {
 // Monitor watches engine blacklists for a set of URLs.
 type Monitor struct {
 	sched *simclock.Scheduler
+	tel   *telemetry.Set
 
 	mu        sync.Mutex
 	sightings map[string]map[string]Sighting // url -> engine -> first sighting
@@ -52,6 +54,28 @@ type Monitor struct {
 // New returns a monitor driving its probes off sched.
 func New(sched *simclock.Scheduler) *Monitor {
 	return &Monitor{sched: sched, sightings: make(map[string]map[string]Sighting)}
+}
+
+// Monitor metric names.
+const (
+	MetricPolls     = "phish_monitor_polls_total"
+	MetricSightings = "phish_monitor_sightings_total"
+)
+
+// Instrument attaches telemetry: a poll counter per (engine, method), a
+// sighting counter, and a trace event per first sighting.
+func (m *Monitor) Instrument(set *telemetry.Set) {
+	m.tel = set
+	if reg := set.M(); reg != nil {
+		reg.Describe(MetricPolls, "Blacklist probe actions (API polls, feed diffs, mailbox scans, screenshots).")
+		reg.Describe(MetricSightings, "First observations of a watched URL on an engine blacklist.")
+	}
+}
+
+// pollCounter resolves the poll counter for one watcher (nil without
+// telemetry, so increments no-op).
+func (m *Monitor) pollCounter(engine string, method Method) *telemetry.Counter {
+	return m.tel.M().Counter(MetricPolls, "engine", engine, "method", string(method))
 }
 
 // PollInterval is the feed/API polling cadence (the paper polled every half
@@ -70,12 +94,14 @@ func (m *Monitor) WatchFeed(url, engine string, list *blacklist.List, until time
 }
 
 func (m *Monitor) watchList(url, engine string, list *blacklist.List, method Method, interval time.Duration, until time.Time) {
+	pollc := m.pollCounter(engine, method)
 	m.sched.Every(interval, "monitor:"+engine,
 		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
 		func(now time.Time) {
 			m.mu.Lock()
 			m.polls++
 			m.mu.Unlock()
+			pollc.Inc()
 			listed := false
 			if method == MethodFeed {
 				for _, e := range list.Snapshot() {
@@ -96,12 +122,14 @@ func (m *Monitor) watchList(url, engine string, list *blacklist.List, method Met
 // WatchMail scans the reporter mailbox on the polling cadence for outcome
 // notifications mentioning url.
 func (m *Monitor) WatchMail(url, engine, mailbox string, mail *report.MailSystem, until time.Time) {
+	pollc := m.pollCounter(engine, MethodMail)
 	m.sched.Every(PollInterval, "monitor:mail:"+engine,
 		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
 		func(now time.Time) {
 			m.mu.Lock()
 			m.polls++
 			m.mu.Unlock()
+			pollc.Inc()
 			for _, msg := range mail.Inbox(mailbox) {
 				if strings.Contains(msg.Subject, url) || strings.Contains(msg.Body, url) {
 					m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: MethodMail})
@@ -124,10 +152,12 @@ const (
 func (m *Monitor) WatchScreenshots(url, engine string, visit func() bool, until time.Time) {
 	start := m.sched.Clock().Now()
 	fastEnd := start.Add(screenshotFastWindow)
+	pollc := m.pollCounter(engine, MethodScreenshot)
 	shoot := func(now time.Time) {
 		m.mu.Lock()
 		m.polls++
 		m.mu.Unlock()
+		pollc.Inc()
 		if visit() {
 			m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: MethodScreenshot})
 		}
@@ -152,6 +182,11 @@ func (m *Monitor) record(s Sighting) {
 	}
 	if _, dup := byEngine[s.Engine]; !dup {
 		byEngine[s.Engine] = s
+		m.tel.M().Counter(MetricSightings, "engine", s.Engine, "method", string(s.Method)).Inc()
+		m.tel.T().Event("monitor.sighting",
+			telemetry.String("engine", s.Engine),
+			telemetry.String("url", s.URL),
+			telemetry.String("method", string(s.Method)))
 	}
 }
 

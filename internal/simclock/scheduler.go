@@ -41,12 +41,24 @@ func (h *eventHeap) Pop() (popped any) {
 // runs are fully deterministic. Events may schedule further events; Run keeps
 // draining until the queue is empty or the horizon is reached.
 type Scheduler struct {
-	clock  *SimClock
-	queue  eventHeap
-	seq    int64
-	ran    int
-	closed bool
+	clock   *SimClock
+	queue   eventHeap
+	seq     int64
+	ran     int
+	closed  bool
+	observe EventObserver
 }
+
+// EventObserver sees every executed event: its name, virtual deadline, the
+// wall-clock time its function took, and the queue depth after it ran.
+// Observers are how the telemetry layer watches the scheduler without the
+// scheduler depending on it.
+type EventObserver func(name string, at time.Time, wall time.Duration, queueDepth int)
+
+// Observe installs fn as the scheduler's event observer (nil disables).
+// Wall-clock timing is only measured while an observer is installed, so
+// unobserved runs pay nothing.
+func (s *Scheduler) Observe(fn EventObserver) { s.observe = fn }
 
 // NewScheduler returns a Scheduler driving the given clock.
 func NewScheduler(clock *SimClock) *Scheduler {
@@ -104,7 +116,13 @@ func (s *Scheduler) Run(horizon time.Time) int {
 		}
 		heap.Pop(&s.queue)
 		s.clock.AdvanceTo(next.At)
-		next.Run(s.clock.Now())
+		if s.observe != nil {
+			start := time.Now()
+			next.Run(s.clock.Now())
+			s.observe(next.Name, next.At, time.Since(start), len(s.queue))
+		} else {
+			next.Run(s.clock.Now())
+		}
 		ran++
 	}
 	if !horizon.IsZero() {

@@ -1,0 +1,408 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families keyed by name. Families are created lazily
+// on first use; looking a metric up with the same name and labels returns the
+// same instrument, so hot paths resolve their instruments once and then touch
+// only atomics. A nil Registry hands out nil instruments, which no-op.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+	help map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family), help: make(map[string]string)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]any // label signature -> *Counter | *Gauge | *Histogram
+	labels   map[string][]string
+}
+
+// Describe sets the HELP text emitted for a metric family.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// family returns (creating if needed) the named family, enforcing one kind
+// per name.
+func (r *Registry) family(name string, kind metricKind, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.fams[name]; f == nil {
+			f = &family{name: name, kind: kind, buckets: buckets,
+				children: make(map[string]any), labels: make(map[string][]string)}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// labelSig renders "k,v" pairs into a canonical sorted signature and the
+// sorted pair list. Labels are passed as alternating key, value strings.
+func labelSig(pairs []string) (string, []string) {
+	if len(pairs) == 0 {
+		return "", nil
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: odd label list; pass alternating key, value")
+	}
+	kv := make([][2]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kv = append(kv, [2]string{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kv, func(i, j int) bool { return kv[i][0] < kv[j][0] })
+	var sig strings.Builder
+	flat := make([]string, 0, len(pairs))
+	for i, p := range kv {
+		if i > 0 {
+			sig.WriteByte(',')
+		}
+		fmt.Fprintf(&sig, "%s=%q", p[0], p[1])
+		flat = append(flat, p[0], p[1])
+	}
+	return sig.String(), flat
+}
+
+func (f *family) child(pairs []string, make func() any) any {
+	sig, flat := labelSig(pairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[sig]
+	if !ok {
+		c = make()
+		f.children[sig] = c
+		f.labels[sig] = flat
+	}
+	return c
+}
+
+// Counter returns the counter for name with the given label pairs.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, kindCounter, nil)
+	return f.child(labelPairs, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name with the given label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, kindGauge, nil)
+	return f.child(labelPairs, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name with the given label pairs. The
+// bucket layout is fixed by the first registration of the family; pass nil to
+// reuse it (DefBuckets when the family is new).
+func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.family(name, kindHistogram, buckets)
+	return f.child(labelPairs, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets spans microseconds to ~100 s of wall time — wide enough for both
+// per-event execution latencies and whole-stage runtimes.
+var DefBuckets = ExpBuckets(1e-6, 10, 9)
+
+// ExpBuckets returns count exponential bucket bounds starting at start,
+// multiplying by factor.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExpBuckets requires start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into cumulative-style fixed buckets and keeps
+// the running sum, Prometheus classic histogram semantics.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the owning bucket, the same estimate PromQL's histogram_quantile
+// gives. Observations beyond the last finite bound clamp to that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.upper) { // +Inf bucket: clamp to last finite bound
+				if len(h.upper) == 0 {
+					return math.NaN()
+				}
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (h.upper[i]-lo)*frac
+		}
+		cum += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// Point is one exported series in a snapshot.
+type Point struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // upper bound -> cumulative count
+}
+
+// Snapshot returns every series, sorted by name then label signature.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []Point
+	for _, f := range fams {
+		f.mu.Lock()
+		sigs := make([]string, 0, len(f.children))
+		for sig := range f.children {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			p := Point{Name: f.name, Type: f.kind.String(), Labels: pairsToMap(f.labels[sig])}
+			switch m := f.children[sig].(type) {
+			case *Counter:
+				p.Value = float64(m.Value())
+			case *Gauge:
+				p.Value = m.Value()
+			case *Histogram:
+				p.Count = m.Count()
+				p.Sum = m.Sum()
+				p.Buckets = make(map[string]int64, len(m.upper)+1)
+				var cum int64
+				for i, ub := range m.upper {
+					cum += m.counts[i].Load()
+					p.Buckets[formatBound(ub)] = cum
+				}
+				cum += m.counts[len(m.upper)].Load()
+				p.Buckets["+Inf"] = cum
+			}
+			out = append(out, p)
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+func pairsToMap(flat []string) map[string]string {
+	if len(flat) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(flat)/2)
+	for i := 0; i < len(flat); i += 2 {
+		m[flat[i]] = flat[i+1]
+	}
+	return m
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON exports the snapshot as a JSON array of Points.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("telemetry: writing JSON snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines, both
+// resolving instruments and updating them; run under -race this is the
+// subsystem's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("conc_total", "worker", strconv.Itoa(g%4)).Inc()
+				r.Counter("conc_total", "worker", strconv.Itoa((g+1)%4)).Add(2)
+				r.Gauge("conc_gauge").Add(1)
+				r.Histogram("conc_hist", nil, "worker", strconv.Itoa(g%2)).Observe(float64(i) / iters)
+				if i%50 == 0 {
+					r.Snapshot()
+					r.WritePrometheus(&bytes.Buffer{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for g := 0; g < 4; g++ {
+		total += r.Counter("conc_total", "worker", strconv.Itoa(g)).Value()
+	}
+	if want := int64(goroutines * iters * 3); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if got := r.Gauge("conc_gauge").Value(); got != goroutines*iters {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	var observations int64
+	for g := 0; g < 2; g++ {
+		observations += r.Histogram("conc_hist", nil, "worker", strconv.Itoa(g)).Count()
+	}
+	if want := int64(goroutines * iters); observations != want {
+		t.Fatalf("histogram count = %d, want %d", observations, want)
+	}
+}
+
+func TestCounterAndGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters never go down
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("same name+labels must resolve to the same counter")
+	}
+	if r.Counter("c_total", "k", "v") == c {
+		t.Fatal("different labels must resolve to a different child")
+	}
+	// Label order must not matter.
+	if r.Counter("lbl_total", "a", "1", "b", "2") != r.Counter("lbl_total", "b", "2", "a", "1") {
+		t.Fatal("label order changed instrument identity")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-2.5)
+	if g.Value() != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", ExpBuckets(0.001, 10, 5)) // 1ms..10s bounds
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram median should be NaN")
+	}
+	// 100 observations uniformly placed inside the 0.01..0.1 bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// All mass in the (0.01, 0.1] bucket: the median interpolates to its
+	// midpoint-ish; assert the PromQL-style bound behaviour instead of the
+	// exact point.
+	med := h.Quantile(0.5)
+	if med <= 0.01 || med > 0.1 {
+		t.Fatalf("median %v outside owning bucket (0.01, 0.1]", med)
+	}
+	if q := h.Quantile(1); q != 0.1 {
+		t.Fatalf("q1 = %v, want upper bound 0.1", q)
+	}
+
+	// Spread across buckets: quantiles must be monotone.
+	h2 := r.Histogram("spread_seconds", ExpBuckets(0.001, 10, 5))
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 5} {
+		for i := 0; i < 20; i++ {
+			h2.Observe(v)
+		}
+	}
+	last := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := h2.Quantile(q)
+		if got < last {
+			t.Fatalf("quantiles not monotone: q%v = %v < %v", q, got, last)
+		}
+		last = got
+	}
+	// Observations beyond the last finite bound clamp to it.
+	h3 := r.Histogram("over_seconds", []float64{1, 2})
+	h3.Observe(100)
+	if got := h3.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+// promLine matches one valid exposition-format line.
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+0-9.eEIinfNa]+)$`)
+
+func TestPrometheusTextValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("phish_demo_total", "A demo counter.")
+	r.Counter("phish_demo_total", "engine", "gsb").Add(3)
+	r.Counter("phish_demo_total", "engine", `we"ird\label`).Inc()
+	r.Gauge("phish_depth").Set(17)
+	h := r.Histogram("phish_wall_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	types := map[string]string{}
+	for _, line := range lines {
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			types[parts[0]] = parts[1]
+		}
+	}
+	if types["phish_demo_total"] != "counter" || types["phish_depth"] != "gauge" || types["phish_wall_seconds"] != "histogram" {
+		t.Fatalf("TYPE lines = %v", types)
+	}
+	for _, want := range []string{
+		"# HELP phish_demo_total A demo counter.",
+		`phish_demo_total{engine="gsb"} 3`,
+		"phish_depth 17",
+		`phish_wall_seconds_bucket{le="0.01"} 1`,
+		`phish_wall_seconds_bucket{le="0.1"} 2`,
+		`phish_wall_seconds_bucket{le="1"} 3`,
+		`phish_wall_seconds_bucket{le="+Inf"} 4`,
+		"phish_wall_seconds_sum 5.555",
+		"phish_wall_seconds_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A TYPE header must precede the family's first sample.
+	if strings.Index(out, "# TYPE phish_wall_seconds histogram") > strings.Index(out, "phish_wall_seconds_bucket") {
+		t.Fatal("TYPE line must precede samples")
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "k", "v").Add(2)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c_seconds", []float64{1}).Observe(0.5)
+
+	points := r.Snapshot()
+	if len(points) != 3 {
+		t.Fatalf("snapshot = %d points, want 3", len(points))
+	}
+	// Sorted by name.
+	if points[0].Name != "a_total" || points[1].Name != "b" || points[2].Name != "c_seconds" {
+		t.Fatalf("order = %v %v %v", points[0].Name, points[1].Name, points[2].Name)
+	}
+	if points[0].Labels["k"] != "v" || points[0].Value != 2 || points[0].Type != "counter" {
+		t.Fatalf("counter point = %+v", points[0])
+	}
+	if points[2].Buckets["1"] != 1 || points[2].Buckets["+Inf"] != 1 || points[2].Count != 1 {
+		t.Fatalf("histogram point = %+v", points[2])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Point
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d points", len(decoded))
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers per family, one sample per
+// series, cumulative _bucket/_sum/_count triplets for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if h := help[f.name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(h))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		sigs := make([]string, 0, len(f.children))
+		for sig := range f.children {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			flat := f.labels[sig]
+			switch m := f.children[sig].(type) {
+			case *Counter:
+				writeSample(&b, f.name, flat, "", "", strconv.FormatInt(m.Value(), 10))
+			case *Gauge:
+				writeSample(&b, f.name, flat, "", "", formatValue(m.Value()))
+			case *Histogram:
+				var cum int64
+				for i, ub := range m.upper {
+					cum += m.counts[i].Load()
+					writeSample(&b, f.name+"_bucket", flat, "le", formatBound(ub), strconv.FormatInt(cum, 10))
+				}
+				cum += m.counts[len(m.upper)].Load()
+				writeSample(&b, f.name+"_bucket", flat, "le", "+Inf", strconv.FormatInt(cum, 10))
+				writeSample(&b, f.name+"_sum", flat, "", "", formatValue(m.Sum()))
+				writeSample(&b, f.name+"_count", flat, "", "", strconv.FormatInt(m.Count(), 10))
+			}
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("telemetry: writing Prometheus text: %w", err)
+	}
+	return nil
+}
+
+// writeSample emits one sample line; extraKey/extraVal appends a synthetic
+// label (the histogram "le" bound) after the series' own labels.
+func writeSample(b *strings.Builder, name string, flat []string, extraKey, extraVal, value string) {
+	b.WriteString(name)
+	if len(flat) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i := 0; i < len(flat); i += 2 {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			// %q escapes backslash, quote, and newline exactly as the
+			// exposition format requires.
+			fmt.Fprintf(b, "%s=%q", flat[i], flat[i+1])
+		}
+		if extraKey != "" {
+			if len(flat) > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraKey, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(s)
+}
+
+// Handler serves the registry at an HTTP endpoint in the text exposition
+// format — the live /metrics page worldserve mounts.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r == nil {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// Scheduler metric names.
+const (
+	MetricSchedEvents      = "phish_sched_events_total"
+	MetricSchedQueueDepth  = "phish_sched_queue_depth"
+	MetricSchedWallSeconds = "phish_sched_event_wall_seconds"
+)
+
+// ObserveScheduler installs a telemetry observer on the scheduler: a counter
+// and a wall-time latency histogram per event name, plus a queue-depth gauge.
+// It also points the set's tracer at the scheduler's clock so every trace
+// record is stamped with this world's virtual time. A nil or empty set leaves
+// the scheduler untouched (and unmeasured).
+func ObserveScheduler(s *simclock.Scheduler, set *Set) {
+	if s == nil || !set.Enabled() {
+		return
+	}
+	set.T().SetClock(s.Clock())
+	m := set.M()
+	if m == nil {
+		return
+	}
+	m.Describe(MetricSchedEvents, "Virtual-time events executed by the scheduler, by event name.")
+	m.Describe(MetricSchedQueueDepth, "Events pending in the scheduler queue.")
+	m.Describe(MetricSchedWallSeconds, "Wall-clock execution time per scheduler event, by event name.")
+	depth := m.Gauge(MetricSchedQueueDepth)
+
+	// The observer runs on the single scheduler goroutine, so a plain map is
+	// a safe per-event-name instrument cache.
+	type inst struct {
+		events *Counter
+		wall   *Histogram
+	}
+	cache := make(map[string]inst)
+	s.Observe(func(name string, _ time.Time, wall time.Duration, queueDepth int) {
+		in, ok := cache[name]
+		if !ok {
+			in = inst{
+				events: m.Counter(MetricSchedEvents, "event", name),
+				wall:   m.Histogram(MetricSchedWallSeconds, nil, "event", name),
+			}
+			cache[name] = in
+		}
+		in.events.Inc()
+		in.wall.Observe(wall.Seconds())
+		depth.Set(float64(queueDepth))
+	})
+}

@@ -1,0 +1,54 @@
+// Package telemetry is the simulation's measurement layer: a zero-dependency
+// tracing and metrics subsystem shared by the scheduler, the engines, the
+// monitoring pipeline, and the evasion wrappers.
+//
+// The paper's methodology is observational — web-server logs, 30-minute feed
+// diffs, poll timestamps *are* the data — yet a simulated two-week campaign
+// compresses into milliseconds of wall time, so every record carries two
+// timestamps: the virtual time on the experiment's SimClock (when it happened
+// in the study) and the wall time (when the simulator computed it). Traces
+// explain detection timelines; wall-time histograms explain where the
+// simulator itself spends its budget.
+//
+// Everything is nil-safe: a nil *Set, *Tracer, *Registry, *Counter, *Gauge,
+// *Span, or *Histogram accepts every call as a no-op, so instrumented code
+// never branches on "is telemetry on" — uninstrumented runs pay only a nil
+// check (proved by BenchmarkTelemetryOverhead).
+package telemetry
+
+import "time"
+
+// Clock yields the current virtual time. Both *simclock.SimClock and
+// simclock.Real satisfy it; telemetry deliberately depends only on this
+// one-method surface so it sits below every other package.
+type Clock interface {
+	Now() time.Time
+}
+
+// Set bundles the two halves of the subsystem. Components accept a *Set and
+// read whichever half they need; either field (or the whole Set) may be nil.
+type Set struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// T returns the tracer, nil when the set (or its tracer) is absent.
+func (s *Set) T() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}
+
+// M returns the metrics registry, nil when the set (or registry) is absent.
+func (s *Set) M() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// Enabled reports whether any telemetry is wired at all.
+func (s *Set) Enabled() bool {
+	return s != nil && (s.Tracer != nil || s.Metrics != nil)
+}

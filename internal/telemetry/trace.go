@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a trace record.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+
+// Duration renders a duration attribute in seconds (JSON-friendly).
+func Duration(key string, value time.Duration) Attr {
+	return Attr{Key: key, Value: value.Seconds()}
+}
+
+// Record is one JSONL trace line. Every record carries both timelines: Sim is
+// the virtual time on the experiment clock, Wall the real time the simulator
+// produced it. Spans additionally carry their virtual end and wall duration.
+type Record struct {
+	Type string `json:"type"` // "event" or "span"
+	Name string `json:"name"`
+	// Sim is the virtual time of the event (span start for spans).
+	Sim time.Time `json:"sim"`
+	// SimEnd is the virtual time a span ended (omitted for point events).
+	SimEnd *time.Time `json:"sim_end,omitempty"`
+	// Wall is the wall-clock time the record was produced.
+	Wall time.Time `json:"wall"`
+	// WallNS is a span's wall-clock execution time in nanoseconds.
+	WallNS int64          `json:"wall_ns,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer appends Records to a writer as JSON Lines. A nil Tracer discards
+// everything. Tracer is safe for concurrent use.
+//
+// The active virtual clock is swappable: each experiment stage builds a fresh
+// world (and a fresh SimClock), so the world installs its clock on the shared
+// tracer at construction. Before any clock is installed, Sim falls back to
+// wall time.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	enc   *json.Encoder
+	clock atomic.Value // Clock
+	n     atomic.Int64
+	err   error
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// SetClock installs the virtual clock stamping subsequent records.
+func (t *Tracer) SetClock(c Clock) {
+	if t == nil || c == nil {
+		return
+	}
+	t.clock.Store(&c)
+}
+
+func (t *Tracer) now() time.Time {
+	if c, ok := t.clock.Load().(*Clock); ok {
+		return (*c).Now()
+	}
+	return time.Now()
+}
+
+// Records reports how many records have been written.
+func (t *Tracer) Records() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// Err returns the first write error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Event records a point-in-time occurrence.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Type: "event", Name: name, Sim: t.now(), Wall: time.Now(), Attrs: attrMap(attrs)})
+}
+
+// Span is an in-flight operation started by Tracer.Start; End records it.
+type Span struct {
+	t         *Tracer
+	name      string
+	simStart  time.Time
+	wallStart time.Time
+	attrs     []Attr
+}
+
+// Start opens a span. The span is recorded as one line when End is called.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, simStart: t.now(), wallStart: time.Now(), attrs: attrs}
+}
+
+// End closes the span, appending any extra attributes, and writes its record.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	simEnd := s.t.now()
+	s.t.emit(Record{
+		Type:   "span",
+		Name:   s.name,
+		Sim:    s.simStart,
+		SimEnd: &simEnd,
+		Wall:   s.wallStart,
+		WallNS: time.Since(s.wallStart).Nanoseconds(),
+		Attrs:  attrMap(append(s.attrs, attrs...)),
+	})
+}
+
+func (t *Tracer) emit(rec Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(rec); err != nil && t.err == nil {
+		t.err = fmt.Errorf("telemetry: writing trace: %w", err)
+		return
+	}
+	t.n.Add(1)
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// ReadTrace parses a JSONL trace back into records — the analysis-side
+// counterpart of the tracer, mirroring how the paper's scripts re-read their
+// own server logs.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: reading trace record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}

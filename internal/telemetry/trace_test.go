@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	clock := simclock.New(simclock.Epoch)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(clock)
+
+	tr.Event("engine.report", String("engine", "gsb"), String("url", "https://x.example/a"))
+	clock.Advance(30 * time.Minute)
+	sp := tr.Start("stage.main", String("stage", "main"))
+	clock.Advance(2 * time.Hour)
+	sp.End(Int("events_executed", 42))
+
+	if tr.Records() != 2 {
+		t.Fatalf("records = %d, want 2", tr.Records())
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line must parse as standalone JSON with sim and wall timestamps.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v (%q)", i, err, line)
+		}
+		for _, field := range []string{"type", "name", "sim", "wall"} {
+			if _, ok := m[field]; !ok {
+				t.Fatalf("line %d missing %q: %q", i, field, line)
+			}
+		}
+	}
+
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ReadTrace = %d records, want 2", len(recs))
+	}
+	ev := recs[0]
+	if ev.Type != "event" || ev.Name != "engine.report" || !ev.Sim.Equal(simclock.Epoch) {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Attrs["engine"] != "gsb" {
+		t.Fatalf("event attrs = %v", ev.Attrs)
+	}
+	span := recs[1]
+	if span.Type != "span" || span.Name != "stage.main" {
+		t.Fatalf("span = %+v", span)
+	}
+	if !span.Sim.Equal(simclock.Epoch.Add(30 * time.Minute)) {
+		t.Fatalf("span sim start = %v", span.Sim)
+	}
+	if span.SimEnd == nil || !span.SimEnd.Equal(simclock.Epoch.Add(2*time.Hour+30*time.Minute)) {
+		t.Fatalf("span sim end = %v", span.SimEnd)
+	}
+	if span.WallNS < 0 {
+		t.Fatalf("span wall duration = %d", span.WallNS)
+	}
+	if span.Attrs["stage"] != "main" || span.Attrs["events_executed"] != float64(42) {
+		t.Fatalf("span attrs = %v", span.Attrs)
+	}
+}
+
+func TestTracerWallFallbackWithoutClock(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	before := time.Now()
+	tr.Event("boot")
+	recs, err := ReadTrace(&buf)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+	if recs[0].Sim.Before(before.Add(-time.Second)) {
+		t.Fatalf("sim should fall back to wall time, got %v", recs[0].Sim)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(simclock.New(simclock.Epoch))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Event("tick", Int("goroutine", g), Int("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the stream: %v", err)
+	}
+	if len(recs) != 400 || tr.Records() != 400 {
+		t.Fatalf("records = %d (counter %d), want 400", len(recs), tr.Records())
+	}
+}
+
+func TestNilTelemetryIsNoOp(t *testing.T) {
+	// Every call on nil receivers must be safe: this is the uninstrumented
+	// fast path the whole codebase relies on.
+	var set *Set
+	if set.Enabled() {
+		t.Fatal("nil set reports enabled")
+	}
+	set.T().Event("x", String("k", "v"))
+	set.T().SetClock(simclock.Real)
+	set.T().Start("y").End()
+	if set.T().Records() != 0 || set.T().Err() != nil {
+		t.Fatal("nil tracer should report zero records and no error")
+	}
+
+	set.M().Describe("m", "help")
+	set.M().Counter("c", "k", "v").Inc()
+	set.M().Counter("c").Add(5)
+	set.M().Gauge("g").Set(1)
+	set.M().Gauge("g").Add(-1)
+	set.M().Histogram("h", nil).Observe(0.5)
+	if set.M().Counter("c").Value() != 0 || set.M().Gauge("g").Value() != 0 {
+		t.Fatal("nil instruments should read zero")
+	}
+	if got := set.M().Histogram("h", nil).Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v", got)
+	}
+	if set.M().Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	if err := set.M().WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var sp *Span
+	sp.End()
+
+	half := &Set{Metrics: NewRegistry()}
+	if !half.Enabled() {
+		t.Fatal("set with registry only should be enabled")
+	}
+	half.T().Event("still fine")
+}

@@ -22,18 +22,23 @@ const clfTime = "02/Jan/2006:15:04:05 -0700"
 
 // FormatCLF renders one entry as a combined-log line. Serve-decision entries
 // carry the kind in the request line's protocol slot so they survive a round
-// trip.
+// trip. The size slot is the response byte count, "-" when nothing was
+// written (the CLF convention for absent sizes).
 func FormatCLF(e Entry) string {
 	proto := "HTTP/1.1"
 	if e.Serve != "" {
 		proto = "SERVE/" + string(e.Serve)
 	}
-	return fmt.Sprintf("%s - - [%s] %q %d %d %q %q",
+	size := "-"
+	if e.Bytes > 0 {
+		size = strconv.Itoa(e.Bytes)
+	}
+	return fmt.Sprintf("%s - - [%s] %q %d %s %q %q",
 		e.IP,
 		e.Time.Format(clfTime),
 		fmt.Sprintf("%s %s %s", orDash(e.Method), orDash(e.Path), proto),
 		e.Status,
-		0,
+		size,
 		"http://"+e.Host+"/",
 		e.UserAgent,
 	)
@@ -96,6 +101,10 @@ func ParseCLF(line string) (Entry, error) {
 	}
 	if n, err := strconv.Atoi(fields[1]); err == nil {
 		e.Status = n
+	}
+	// Size slot: "-" (and legacy "0") mean no body bytes recorded.
+	if n, err := strconv.Atoi(fields[2]); err == nil && n > 0 {
+		e.Bytes = n
 	}
 	if host, ok := strings.CutPrefix(fields[3], "http://"); ok {
 		e.Host = strings.TrimSuffix(host, "/")

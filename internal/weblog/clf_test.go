@@ -20,6 +20,7 @@ func sampleEntry() Entry {
 		Path:      "/wp-content/secure/login.php",
 		UserAgent: "Mozilla/5.0 (compatible; Google-Safety)",
 		Status:    200,
+		Bytes:     5120,
 	}
 }
 
@@ -45,8 +46,52 @@ func TestCLFRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !out.Time.Equal(in.Time) || out.IP != in.IP || out.Method != in.Method ||
-		out.Host != in.Host || out.Path != in.Path || out.UserAgent != in.UserAgent || out.Status != in.Status {
+		out.Host != in.Host || out.Path != in.Path || out.UserAgent != in.UserAgent ||
+		out.Status != in.Status || out.Bytes != in.Bytes {
 		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestFormatCLFBytes(t *testing.T) {
+	line := FormatCLF(sampleEntry())
+	if !strings.Contains(line, " 200 5120 ") {
+		t.Fatalf("line %q should carry the real response size after the status", line)
+	}
+	empty := sampleEntry()
+	empty.Bytes = 0
+	if line := FormatCLF(empty); !strings.Contains(line, " 200 - ") {
+		t.Fatalf("line %q should use the CLF dash for a zero-byte response", line)
+	}
+}
+
+// TestCLFServeSlotEdgeCases round-trips the SERVE/ protocol-slot encoding
+// with the awkward field combinations serve-decision entries actually have:
+// no method, no path, no status, no bytes.
+func TestCLFServeSlotEdgeCases(t *testing.T) {
+	cases := []Entry{
+		{ // serve decision with empty method and path
+			Time: simclock.Epoch, IP: "10.9.9.9", Host: "h.example",
+			UserAgent: "Bot/2.0", Serve: evasion.ServeChallenge,
+		},
+		{ // serve decision with method but no path
+			Time: simclock.Epoch.Add(time.Minute), IP: "10.9.9.9", Host: "h.example",
+			Method: "POST", UserAgent: "Bot/2.0", Serve: evasion.ServeCover,
+		},
+		{ // access entry with empty method and path, bytes recorded
+			Time: simclock.Epoch.Add(2 * time.Minute), IP: "10.9.9.9", Host: "h.example",
+			UserAgent: "Bot/2.0", Status: 200, Bytes: 17,
+		},
+	}
+	for i, in := range cases {
+		line := FormatCLF(in)
+		out, err := ParseCLF(line)
+		if err != nil {
+			t.Fatalf("case %d: ParseCLF(%q): %v", i, line, err)
+		}
+		if out.Serve != in.Serve || out.Method != in.Method || out.Path != in.Path ||
+			out.Bytes != in.Bytes || out.Status != in.Status || !out.Time.Equal(in.Time) {
+			t.Fatalf("case %d: round trip = %+v, want %+v (line %q)", i, out, in, line)
+		}
 	}
 }
 

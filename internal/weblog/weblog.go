@@ -28,6 +28,9 @@ type Entry struct {
 	Path      string
 	UserAgent string
 	Status    int
+	// Bytes is the response body size in bytes (0 for serve-decision
+	// entries, which record a routing choice rather than a response).
+	Bytes int
 	// Serve is the evasion wrapper's decision for this request, when the
 	// logged handler is an evasion deployment ("" otherwise).
 	Serve evasion.ServeKind
@@ -70,6 +73,7 @@ func (l *Log) Middleware(next http.Handler) http.Handler {
 			Path:      r.URL.Path,
 			UserAgent: r.UserAgent(),
 			Status:    sw.status,
+			Bytes:     sw.bytes,
 		})
 	})
 }
@@ -93,6 +97,7 @@ func (l *Log) ServeLogger() evasion.LogFunc {
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int
 	wrote  bool
 }
 
@@ -102,6 +107,15 @@ func (s *statusWriter) WriteHeader(code int) {
 		s.wrote = true
 	}
 	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(p []byte) (int, error) {
+	// A body write implies the implicit 200 header; later WriteHeader calls
+	// are superfluous and must not overwrite the recorded status.
+	s.wrote = true
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += n
+	return n, err
 }
 
 func clientIP(r *http.Request) string {

@@ -42,6 +42,12 @@ func TestMiddlewareRecordsRequests(t *testing.T) {
 	if entries[2].Status != http.StatusNotFound {
 		t.Fatalf("status of /missing = %d, want 404", entries[2].Status)
 	}
+	if entries[0].Bytes != len("ok") {
+		t.Fatalf("bytes of / = %d, want %d", entries[0].Bytes, len("ok"))
+	}
+	if entries[2].Bytes == 0 {
+		t.Fatal("404 response should still record its body byte count")
+	}
 }
 
 func TestUniqueIPsAndRequests(t *testing.T) {

@@ -4,12 +4,20 @@
 // Usage:
 //
 //	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel]
-//	          [-seed N] [-traffic-scale F] [-main-traffic N]
+//	          [-seed N] [-replicas N] [-parallel P]
+//	          [-traffic-scale F] [-main-traffic N]
 //	          [-json out.json] [-trace out.jsonl] [-metrics out.prom] [-v]
 //
 // The default stage runs everything: Table 1 (preliminary test), Table 2
 // (main experiment), Table 3 (extensions), the headline claims comparison,
 // the ablation studies, and the paper-scale drop-catch funnel.
+//
+// With -replicas N (N > 1) the full study runs N times in fully independent
+// worlds seeded by splitting -seed, across -parallel workers (default
+// GOMAXPROCS), and prints mean/min/max/CI95 aggregates over the replicas.
+// Replica 0 always reproduces the single-run output for the same -seed, and
+// results are bit-identical for any -parallel value. -replicas 1 is exactly
+// the plain single run.
 //
 // Observability: -trace streams every telemetry record (virtual-time spans
 // and events) as JSON Lines, -metrics snapshots the metrics registry in
@@ -44,7 +52,9 @@ type options struct {
 func main() {
 	var (
 		stage       = flag.String("stage", "all", "which stage to run: all, preliminary, main, extensions, ablations, exposure, funnel")
-		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default)")
+		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default); the master seed when -replicas > 1")
+		replicas    = flag.Int("replicas", 1, "independent replicas of the full study (1 = plain single run)")
+		parallel    = flag.Int("parallel", 0, "worker goroutines for -replicas (0 = GOMAXPROCS); affects wall time only, never results")
 		scale       = flag.Float64("traffic-scale", 1, "crawler fleet volume scale (1 = Table 1 calibration)")
 		mainTraffic = flag.Int("main-traffic", 0, "fleet requests per URL in the main stage (0 = default 200)")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file (stage all/preliminary/main/extensions)")
@@ -85,7 +95,12 @@ func main() {
 	}
 	f := core.New(cfg)
 
-	err := run(f, cfg, opts)
+	var err error
+	if *replicas > 1 {
+		err = runReplicated(cfg, opts, *replicas, *parallel, *seed)
+	} else {
+		err = run(f, cfg, opts)
+	}
 	if err == nil {
 		err = opts.finish(traceBuf)
 	} else if traceBuf != nil {
@@ -249,6 +264,39 @@ func run(f *core.Framework, cfg experiment.Config, opts options) error {
 	default:
 		return fmt.Errorf("unknown stage %q", opts.stage)
 	}
+}
+
+// runReplicated executes the replicated study: the full pipeline (tables,
+// ablations, exposure) in n independent worlds, aggregated. Only the default
+// stage makes sense replicated — the aggregate spans the whole study.
+func runReplicated(cfg experiment.Config, opts options, n, workers int, masterSeed int64) error {
+	if opts.stage != "all" {
+		return fmt.Errorf("-replicas %d requires -stage all (the aggregate spans the full study), got -stage %s", n, opts.stage)
+	}
+	done := opts.stageStart("replicas")
+	rs, err := core.RunReplicas(core.ReplicaOptions{
+		Replicas:   n,
+		Parallel:   workers,
+		MasterSeed: masterSeed,
+		Base:       cfg,
+	})
+	done()
+	if err != nil {
+		return err
+	}
+	if opts.jsonPath != "" {
+		out, err := os.Create(opts.jsonPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := rs.WriteJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", opts.jsonPath)
+	}
+	fmt.Print(rs.Report())
+	return nil
 }
 
 func ablations(f *core.Framework, opts options) error {

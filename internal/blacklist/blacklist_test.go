@@ -9,6 +9,7 @@ import (
 )
 
 func TestCanonicalize(t *testing.T) {
+	t.Parallel()
 	cases := map[string]string{
 		"HTTP://Example.COM/Path?q=1#frag": "http://example.com/Path?q=1",
 		"http://example.com":               "http://example.com/",
@@ -25,6 +26,7 @@ func TestCanonicalize(t *testing.T) {
 }
 
 func TestAddLookupContains(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	l := NewList("gsb", clock)
 	if !l.Add("http://phish.example/login.php", "gsb") {
@@ -46,6 +48,7 @@ func TestAddLookupContains(t *testing.T) {
 }
 
 func TestSnapshotOrdered(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	l := NewList("feed", clock)
 	l.Add("http://b.example/", "x")
@@ -58,6 +61,7 @@ func TestSnapshotOrdered(t *testing.T) {
 }
 
 func TestHashPrefixProtocol(t *testing.T) {
+	t.Parallel()
 	l := NewList("gsb", simclock.New(simclock.Epoch))
 	url := "http://phish.example/login.php"
 	l.Add(url, "gsb")
@@ -77,6 +81,7 @@ func TestHashPrefixProtocol(t *testing.T) {
 }
 
 func TestLookupsCounter(t *testing.T) {
+	t.Parallel()
 	l := NewList("x", simclock.New(simclock.Epoch))
 	l.Contains("http://a.example/")
 	l.Contains("http://b.example/")
@@ -86,6 +91,7 @@ func TestLookupsCounter(t *testing.T) {
 }
 
 func TestCachingClientCachesSafeVerdict(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	l := NewList("gsb", clock)
 	c := &CachingClient{List: l, Clock: clock, TTL: 30 * time.Minute}
@@ -113,6 +119,7 @@ func TestCachingClientCachesSafeVerdict(t *testing.T) {
 }
 
 func TestCachingClientDisabled(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	l := NewList("gsb", clock)
 	c := &CachingClient{List: l, Clock: clock, Disabled: true}
@@ -125,6 +132,7 @@ func TestCachingClientDisabled(t *testing.T) {
 }
 
 func TestCachingClientTTLClamped(t *testing.T) {
+	t.Parallel()
 	c := &CachingClient{TTL: time.Second}
 	if got := c.ttl(); got != MinCacheTTL {
 		t.Fatalf("ttl = %v, want clamped to %v", got, MinCacheTTL)
@@ -141,6 +149,7 @@ func TestCachingClientTTLClamped(t *testing.T) {
 
 // Property: canonicalisation is idempotent.
 func TestQuickCanonicalizeIdempotent(t *testing.T) {
+	t.Parallel()
 	f := func(s string) bool {
 		once := Canonicalize(s)
 		return Canonicalize(once) == once
@@ -153,6 +162,7 @@ func TestQuickCanonicalizeIdempotent(t *testing.T) {
 // Property: a URL added under any casing is always found again, and
 // CheckByHash agrees with Contains.
 func TestQuickAddFindAgreement(t *testing.T) {
+	t.Parallel()
 	f := func(host, path string) bool {
 		l := NewList("q", simclock.New(simclock.Epoch))
 		url := "http://h" + sanitize(host) + ".example/" + sanitize(path)

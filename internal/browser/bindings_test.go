@@ -28,6 +28,7 @@ func open(t *testing.T, html string, cfg Config) *Page {
 }
 
 func TestGetElementByIdMissingIsNull(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="out"></div><script>
 var el = document.getElementById('nope');
 document.getElementById('out').innerText = (el === null) ? 'null' : 'found';
@@ -38,6 +39,7 @@ document.getElementById('out').innerText = (el === null) ? 'null' : 'found';
 }
 
 func TestGetAttributeAndTagName(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><input id="f" name="user" type="email"><div id="out"></div><script>
 var el = document.getElementById('f');
 document.getElementById('out').innerText = el.tagName + ':' + el.getAttribute('type') + ':' + (el.getAttribute('missing') === null);
@@ -48,6 +50,7 @@ document.getElementById('out').innerText = el.tagName + ':' + el.getAttribute('t
 }
 
 func TestValuePropertyReadsAndWrites(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><input id="f" value="before"><div id="out"></div><script>
 var el = document.getElementById('f');
 var was = el.value;
@@ -60,6 +63,7 @@ document.getElementById('out').innerText = was + '/' + el.value;
 }
 
 func TestInnerHTMLParsesFragment(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="box"></div><script>
 document.getElementById('box').innerHTML = '<form method="post"><input name="x" value="1"></form>';
 </script></body></html>`, Config{})
@@ -70,6 +74,7 @@ document.getElementById('box').innerHTML = '<form method="post"><input name="x" 
 }
 
 func TestInnerHTMLReadRendersChildren(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="box"><b>bold</b></div><div id="out"></div><script>
 document.getElementById('out').innerText = document.getElementById('box').innerHTML;
 </script></body></html>`, Config{})
@@ -79,6 +84,7 @@ document.getElementById('out').innerText = document.getElementById('box').innerH
 }
 
 func TestStyleAssignmentsAreSinked(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="x">visible</div><script>
 var el = document.getElementById('x');
 el.style.display = 'none';
@@ -90,6 +96,7 @@ el.style.filter = 'blur(8px)';
 }
 
 func TestElementIdentityCached(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="x"></div><div id="out"></div><script>
 var a = document.getElementById('x');
 var b = document.getElementById('x');
@@ -101,6 +108,7 @@ document.getElementById('out').innerText = (a === b) ? 'same' : 'different';
 }
 
 func TestDocumentTitleReadWrite(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><head><title>old</title></head><body><div id="out"></div><script>
 var was = document.title;
 document.title = 'new';
@@ -115,6 +123,7 @@ document.getElementById('out').innerText = was;
 }
 
 func TestSubmitNonFormElementErrors(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="d"></div><script>
 document.getElementById('d').submit();
 </script></body></html>`, Config{})
@@ -124,6 +133,7 @@ document.getElementById('d').submit();
 }
 
 func TestAlertRecordedUnderConfirmPolicy(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><script>alert('heads up'); document.title='survived';</script></body></html>`,
 		Config{AlertPolicy: AlertConfirm})
 	if p.Title() != "survived" {
@@ -135,6 +145,7 @@ func TestAlertRecordedUnderConfirmPolicy(t *testing.T) {
 }
 
 func TestAlertHaltsUnderIgnorePolicy(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><script>alert('wall'); document.title='unreached';</script></body></html>`,
 		Config{AlertPolicy: AlertIgnore})
 	if p.Title() == "unreached" {
@@ -146,6 +157,7 @@ func TestAlertHaltsUnderIgnorePolicy(t *testing.T) {
 }
 
 func TestCaptchaWidgetIncompleteAttributesIgnored(t *testing.T) {
+	t.Parallel()
 	// A widget missing its endpoint cannot be solved; the page must settle
 	// without error instead of crashing the solver.
 	p := open(t, `<html><body>
@@ -158,6 +170,7 @@ func TestCaptchaWidgetIncompleteAttributesIgnored(t *testing.T) {
 }
 
 func TestCaptchaCallbackUndefinedFails(t *testing.T) {
+	t.Parallel()
 	net := simnet.New(nil)
 	net.Register("svc.example", serve("tok"))
 	net.Register("bind.example", serve(`<html><body>
@@ -174,6 +187,7 @@ func TestCaptchaCallbackUndefinedFails(t *testing.T) {
 }
 
 func TestLocationHrefReadable(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body><div id="out"></div><script>
 document.getElementById('out').innerText = window.location.href;
 </script></body></html>`, Config{})
@@ -183,6 +197,7 @@ document.getElementById('out').innerText = window.location.href;
 }
 
 func TestDocumentFormsCollection(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body>
 <form id="a" method="post"><input name="x"></form>
 <form id="b"><input name="y"></form>
@@ -197,6 +212,7 @@ document.getElementById('out').innerText = forms.length + ':' + forms[0].id + ':
 }
 
 func TestGetElementsByTagNameIteration(t *testing.T) {
+	t.Parallel()
 	p := open(t, `<html><body>
 <input name="one"><input name="two"><input name="three">
 <div id="out"></div>

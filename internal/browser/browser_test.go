@@ -22,6 +22,7 @@ func serve(html string) http.Handler {
 func newNet() *simnet.Internet { return simnet.New(nil) }
 
 func TestOpenPlainPage(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("plain.example", serve(`<html><head><title>Hi</title></head>
 <body><a href="/next.php">next</a><form action="/f" method="post"><input name="q"></form></body></html>`))
@@ -42,6 +43,7 @@ func TestOpenPlainPage(t *testing.T) {
 }
 
 func TestScriptsMutateDOM(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("dyn.example", serve(`<html><head><title>before</title></head><body>
 <script>
@@ -72,6 +74,7 @@ document.body.appendChild(form);
 }
 
 func TestScriptsSkippedWhenDisabled(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("dyn.example", serve(`<html><head><title>before</title></head>
 <body><script>document.title = 'after';</script></body></html>`))
@@ -97,6 +100,7 @@ gate();
 </script></body></html>`
 
 func TestConfirmPolicies(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		policy  AlertPolicy
 		want    string
@@ -130,6 +134,7 @@ func TestConfirmPolicies(t *testing.T) {
 }
 
 func TestWindowOnloadFires(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("load.example", serve(`<html><body><div id="x">no</div>
 <script>
@@ -146,6 +151,7 @@ window.onload = function() { document.getElementById('x').innerText = 'loaded'; 
 }
 
 func TestTimerBudget(t *testing.T) {
+	t.Parallel()
 	page := `<html><body><div id="x">pending</div>
 <script>
 setTimeout(function() { document.getElementById('x').innerText = 'fired'; }, 2000);
@@ -171,6 +177,7 @@ setTimeout(function() { document.getElementById('x').innerText = 'fired'; }, 200
 }
 
 func TestNestedTimersRunInOrder(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("t.example", serve(`<html><body><div id="x"></div>
 <script>
@@ -216,6 +223,7 @@ f.submit();
 }
 
 func TestScriptFormSubmitNavigates(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("submit.example", postEcho())
 	b := New(net, Config{ExecuteScripts: true})
@@ -232,6 +240,7 @@ func TestScriptFormSubmitNavigates(t *testing.T) {
 }
 
 func TestManualSubmitWithOverrides(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("form.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -258,6 +267,7 @@ func TestManualSubmitWithOverrides(t *testing.T) {
 }
 
 func TestLocationAssignmentNavigates(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("a.example", serve(`<html><body><script>window.location.href = 'http://b.example/dest';</script></body></html>`))
 	net.Register("b.example", serve(`<html><head><title>dest</title></head><body>arrived</body></html>`))
@@ -272,6 +282,7 @@ func TestLocationAssignmentNavigates(t *testing.T) {
 }
 
 func TestCookiesPersistAcrossRequests(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("sess.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -337,6 +348,7 @@ function capback(g_response) {
 }
 
 func TestHumanSolvesCaptchaBotDoesNot(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	captchaSite(t, net)
 
@@ -363,6 +375,7 @@ func TestHumanSolvesCaptchaBotDoesNot(t *testing.T) {
 }
 
 func TestNavigationLimit(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("loop.example", serve(`<html><body><script>window.location.href = '/again';</script></body></html>`))
 	b := New(net, Config{ExecuteScripts: true, MaxNavigations: 3})
@@ -372,6 +385,7 @@ func TestNavigationLimit(t *testing.T) {
 }
 
 func TestTraceRecordsJourney(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("gate.example", serve(confirmPage))
 	b := New(net, Config{ExecuteScripts: true, AlertPolicy: AlertConfirm})
@@ -397,6 +411,7 @@ func TestTraceRecordsJourney(t *testing.T) {
 }
 
 func TestFollowRelativeLink(t *testing.T) {
+	t.Parallel()
 	net := newNet()
 	net.Register("site.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -424,6 +439,7 @@ func TestFollowRelativeLink(t *testing.T) {
 }
 
 func TestAlertPolicyString(t *testing.T) {
+	t.Parallel()
 	if AlertIgnore.String() != "ignore" || AlertConfirm.String() != "confirm" || AlertDismiss.String() != "dismiss" {
 		t.Fatal("AlertPolicy strings wrong")
 	}

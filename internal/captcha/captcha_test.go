@@ -10,6 +10,7 @@ import (
 )
 
 func TestIssueAndVerify(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	s := NewService(clock)
 	sitekey, secret := s.RegisterSite()
@@ -23,6 +24,7 @@ func TestIssueAndVerify(t *testing.T) {
 }
 
 func TestTokenSingleUse(t *testing.T) {
+	t.Parallel()
 	s := NewService(simclock.New(simclock.Epoch))
 	sitekey, secret := s.RegisterSite()
 	token, _ := s.Issue(sitekey)
@@ -33,6 +35,7 @@ func TestTokenSingleUse(t *testing.T) {
 }
 
 func TestTokenExpiry(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	s := NewService(clock)
 	sitekey, secret := s.RegisterSite()
@@ -44,6 +47,7 @@ func TestTokenExpiry(t *testing.T) {
 }
 
 func TestWrongSecretFails(t *testing.T) {
+	t.Parallel()
 	s := NewService(nil)
 	sitekey, _ := s.RegisterSite()
 	_, otherSecret := s.RegisterSite()
@@ -54,6 +58,7 @@ func TestWrongSecretFails(t *testing.T) {
 }
 
 func TestUnknownSitekeyCannotIssue(t *testing.T) {
+	t.Parallel()
 	s := NewService(nil)
 	if _, err := s.Issue("nope"); err == nil {
 		t.Fatal("unknown sitekey should not issue tokens")
@@ -61,6 +66,7 @@ func TestUnknownSitekeyCannotIssue(t *testing.T) {
 }
 
 func TestGarbageTokenFails(t *testing.T) {
+	t.Parallel()
 	s := NewService(nil)
 	_, secret := s.RegisterSite()
 	if s.Verify(secret, "03A-forged-999") {
@@ -69,6 +75,7 @@ func TestGarbageTokenFails(t *testing.T) {
 }
 
 func TestHTTPAPIEndToEnd(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	svc := NewService(clock)
 	sitekey, secret := svc.RegisterSite()
@@ -101,6 +108,7 @@ func TestHTTPAPIEndToEnd(t *testing.T) {
 }
 
 func TestHTTPIssueBadSitekey(t *testing.T) {
+	t.Parallel()
 	svc := NewService(nil)
 	net := simnet.New(nil)
 	net.Register("captcha-svc.example", svc.Handler())
@@ -116,6 +124,7 @@ func TestHTTPIssueBadSitekey(t *testing.T) {
 }
 
 func TestWidgetHTMLShape(t *testing.T) {
+	t.Parallel()
 	html := WidgetHTML("captcha-svc.example", "6Lsim-000001", "capback")
 	for _, want := range []string{"g-recaptcha", "data-sitekey", "6Lsim-000001", "data-callback", "capback", "http://captcha-svc.example/issue"} {
 		if !strings.Contains(html, want) {
@@ -125,6 +134,7 @@ func TestWidgetHTMLShape(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
+	t.Parallel()
 	s := NewService(nil)
 	sitekey, secret := s.RegisterSite()
 	tok, _ := s.Issue(sitekey)

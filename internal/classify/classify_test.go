@@ -23,6 +23,7 @@ func examineKit(t *testing.T, brand phishkit.Brand, prov phishkit.Provenance, ho
 }
 
 func TestClonedPayPalEvidence(t *testing.T) {
+	t.Parallel()
 	ev := examineKit(t, phishkit.PayPal, phishkit.Cloned, "random-site.example")
 	if ev.Brand != phishkit.PayPal {
 		t.Fatalf("Brand = %q", ev.Brand)
@@ -33,6 +34,7 @@ func TestClonedPayPalEvidence(t *testing.T) {
 }
 
 func TestScratchGmailEvidenceLacksFingerprint(t *testing.T) {
+	t.Parallel()
 	ev := examineKit(t, phishkit.Gmail, phishkit.FromScratch, "random-site.example")
 	if ev.Brand != phishkit.Gmail {
 		t.Fatalf("Brand = %q", ev.Brand)
@@ -46,6 +48,7 @@ func TestScratchGmailEvidenceLacksFingerprint(t *testing.T) {
 }
 
 func TestVerdictsByPower(t *testing.T) {
+	t.Parallel()
 	cloned := examineKit(t, phishkit.Facebook, phishkit.Cloned, "x.example")
 	scratch := examineKit(t, phishkit.Gmail, phishkit.FromScratch, "x.example")
 
@@ -68,6 +71,7 @@ func TestVerdictsByPower(t *testing.T) {
 }
 
 func TestOnDomainBrandIsNotPhishing(t *testing.T) {
+	t.Parallel()
 	ev := examineKit(t, phishkit.PayPal, phishkit.Cloned, "www.paypal.com")
 	if ev.OffDomain {
 		t.Fatal("official domain must not be off-domain")
@@ -78,6 +82,7 @@ func TestOnDomainBrandIsNotPhishing(t *testing.T) {
 }
 
 func TestBenignPageNoEvidence(t *testing.T) {
+	t.Parallel()
 	dom := htmlmini.Parse(`<html><head><title>Garden Tips</title></head>
 <body><h1>Ten tips for a better garden</h1><p>Water your plants.</p></body></html>`)
 	ev := Examine("garden.example", dom, nil)
@@ -90,6 +95,7 @@ func TestBenignPageNoEvidence(t *testing.T) {
 }
 
 func TestLoginFormWithoutBrandNotConvicted(t *testing.T) {
+	t.Parallel()
 	dom := htmlmini.Parse(`<html><head><title>Intranet Portal</title></head>
 <body><form action="/login" method="post"><input type="password" name="p"></form></body></html>`)
 	ev := Examine("intranet.example", dom, nil)
@@ -102,6 +108,7 @@ func TestLoginFormWithoutBrandNotConvicted(t *testing.T) {
 }
 
 func TestNilFetcherDegradesGracefully(t *testing.T) {
+	t.Parallel()
 	k, _ := phishkit.Generate(phishkit.PayPal)
 	ev := Examine("x.example", htmlmini.Parse(k.LoginHTML), nil)
 	if ev.ResourceMatch {
@@ -114,6 +121,7 @@ func TestNilFetcherDegradesGracefully(t *testing.T) {
 }
 
 func TestPowerString(t *testing.T) {
+	t.Parallel()
 	if PowerNone.String() != "none" || PowerFingerprint.String() != "fingerprint" || PowerContent.String() != "content" {
 		t.Fatal("power strings wrong")
 	}
@@ -123,6 +131,7 @@ func TestPowerString(t *testing.T) {
 }
 
 func TestBenignSiteWithCaptchaGateStaysClean(t *testing.T) {
+	t.Parallel()
 	// The reCAPTCHA challenge page is what bots see: benign text, a widget,
 	// no form, no brand payload. It must never convict.
 	dom := htmlmini.Parse(`<html><head><title>Garden Tips</title></head><body>

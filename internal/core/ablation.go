@@ -33,6 +33,7 @@ func (f *Framework) RunAlertConfirmAblation() (AlertAblationResult, error) {
 		cfg := f.Cfg
 		cfg.Mutate = mutate
 		w := experiment.NewWorld(cfg)
+		defer w.Close()
 		detected, total := 0, 0
 		for i, key := range engines.MainExperimentKeys() {
 			d, err := w.Deploy(fmt.Sprintf("ablation-alert-%d.com", i),
@@ -86,6 +87,7 @@ func (f *Framework) RunFormSubmitAblation() (FormAblationResult, error) {
 		cfg := f.Cfg
 		cfg.Mutate = mutate
 		w := experiment.NewWorld(cfg)
+		defer w.Close()
 		total := 0
 		var deployments []*experiment.Deployment
 		for i := 0; i < 6; i++ {
@@ -142,6 +144,7 @@ type ProvenanceAblationResult struct {
 func (f *Framework) RunKitProvenanceAblation() (ProvenanceAblationResult, error) {
 	run := func(cloned bool) (bool, error) {
 		w := experiment.NewWorld(f.Cfg)
+		defer w.Close()
 		d, err := w.Deploy("ablation-gmail.com",
 			experiment.MountSpec{Brand: phishkit.Gmail, Technique: evasion.None, ForceCloned: cloned})
 		if err != nil {
@@ -177,7 +180,9 @@ func (f *Framework) RunFeedSharingAblation() (SharingAblationResult, error) {
 	count := func(mutate func(p *engines.Profile)) (int, error) {
 		cfg := f.Cfg
 		cfg.Mutate = mutate
-		rows, err := experiment.NewWorld(cfg).RunPreliminary()
+		w := experiment.NewWorld(cfg)
+		defer w.Close()
+		rows, err := w.RunPreliminary()
 		if err != nil {
 			return 0, err
 		}
@@ -259,6 +264,7 @@ func (f *Framework) RunCloakingBaseline() (CloakingBaselineResult, error) {
 		}
 	}
 	w := experiment.NewWorld(cfg)
+	defer w.Close()
 
 	// The attacker's blocklist covers the engines' published crawler ranges.
 	var botIPs []string

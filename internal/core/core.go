@@ -39,18 +39,24 @@ type Results struct {
 
 // RunPreliminary runs the 24-hour naked-kit test (Table 1) in a fresh world.
 func (f *Framework) RunPreliminary() ([]experiment.Table1Row, error) {
-	return experiment.NewWorld(f.Cfg).RunPreliminary()
+	w := experiment.NewWorld(f.Cfg)
+	defer w.Close()
+	return w.RunPreliminary()
 }
 
 // RunMain runs the two-week main experiment (Table 2) in a fresh world.
 func (f *Framework) RunMain() (*experiment.MainResults, error) {
-	return experiment.NewWorld(f.Cfg).RunMain()
+	w := experiment.NewWorld(f.Cfg)
+	defer w.Close()
+	return w.RunMain()
 }
 
 // RunExtensions runs the client-side extension study (Table 3) in a fresh
 // world.
 func (f *Framework) RunExtensions() ([]experiment.Table3Row, error) {
-	return experiment.NewWorld(f.Cfg).RunExtensions()
+	w := experiment.NewWorld(f.Cfg)
+	defer w.Close()
+	return w.RunExtensions()
 }
 
 // RunAll runs the three experiments, each in its own isolated world (the

@@ -13,6 +13,7 @@ func fastCfg() experiment.Config {
 }
 
 func TestRunAllReproducesHeadlines(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunAll()
 	if err != nil {
@@ -30,6 +31,7 @@ func TestRunAllReproducesHeadlines(t *testing.T) {
 }
 
 func TestReportRendersEverything(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunAll()
 	if err != nil {
@@ -52,6 +54,7 @@ func TestReportRendersEverything(t *testing.T) {
 }
 
 func TestAlertConfirmAblation(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunAlertConfirmAblation()
 	if err != nil {
@@ -69,6 +72,7 @@ func TestAlertConfirmAblation(t *testing.T) {
 }
 
 func TestFormSubmitAblation(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunFormSubmitAblation()
 	if err != nil {
@@ -86,6 +90,7 @@ func TestFormSubmitAblation(t *testing.T) {
 }
 
 func TestKitProvenanceAblation(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunKitProvenanceAblation()
 	if err != nil {
@@ -100,6 +105,7 @@ func TestKitProvenanceAblation(t *testing.T) {
 }
 
 func TestFeedSharingAblation(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunFeedSharingAblation()
 	if err != nil {
@@ -114,6 +120,7 @@ func TestFeedSharingAblation(t *testing.T) {
 }
 
 func TestVerdictCacheAblation(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res := f.RunVerdictCacheAblation()
 	if !res.MaskedWithCache {
@@ -125,6 +132,7 @@ func TestVerdictCacheAblation(t *testing.T) {
 }
 
 func TestCloakingBaseline(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	res, err := f.RunCloakingBaseline()
 	if err != nil {
@@ -145,6 +153,7 @@ func TestCloakingBaseline(t *testing.T) {
 }
 
 func TestFunnelAtPaperScale(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("1M-name funnel")
 	}
@@ -159,6 +168,7 @@ func TestFunnelAtPaperScale(t *testing.T) {
 }
 
 func TestExposureStudyLifespanExtension(t *testing.T) {
+	t.Parallel()
 	f := New(fastCfg())
 	results, err := f.RunExposureStudy()
 	if err != nil {

@@ -64,6 +64,7 @@ func (f *Framework) RunExposureStudy() ([]ExposureResult, error) {
 
 func (f *Framework) runExposure(tech evasion.Technique, idx int) (ExposureResult, error) {
 	w := experiment.NewWorld(f.Cfg)
+	defer w.Close()
 	d, err := w.Deploy(fmt.Sprintf("exposure-%s-%d.com", tech, idx),
 		experiment.MountSpec{Brand: phishkit.PayPal, Technique: tech})
 	if err != nil {

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/telemetry"
+)
+
+// The replica runner executes N fully independent seeded worlds and
+// aggregates their results. The paper's headline numbers (8/105 detections,
+// NetCraft's 2-of-6 session catches) rest on seeded stochastic draws, so one
+// run is one sample from a distribution; replicas turn the reproduction into
+// mean/min/max/CI summaries over that distribution.
+//
+// Concurrency model: each replica owns a complete world — clock, scheduler,
+// network, DNS, engines, mail — and runs it single-threaded on one worker
+// goroutine, so replicas share no simulation state at all. Replica K's seed
+// is SplitSeed(master, K), a pure function, and results land in a slice
+// indexed by replica: the outcome is bit-identical for any worker count and
+// any completion order.
+
+// ReplicaOptions configures a multi-replica study.
+type ReplicaOptions struct {
+	// Replicas is the number of independent worlds (minimum 1).
+	Replicas int
+	// Parallel is the worker count; 0 selects GOMAXPROCS. Parallelism
+	// affects wall time only, never results.
+	Parallel int
+	// MasterSeed roots the seed-splitting scheme; 0 selects
+	// experiment.DefaultSeed. Replica 0 runs with the master seed itself.
+	MasterSeed int64
+	// Base is the per-world configuration template. Its Seed, Replica, and
+	// Telemetry fields are overridden per replica; Mutate, if set, is called
+	// from several worker goroutines and must be stateless.
+	Base experiment.Config
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.Parallel < 1 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel > o.Replicas {
+		o.Parallel = o.Replicas
+	}
+	if o.MasterSeed == 0 {
+		o.MasterSeed = experiment.DefaultSeed
+	}
+	return o
+}
+
+// ReplicaRun is one replica's complete study: the three tables, the
+// ablations, and the exposure study.
+type ReplicaRun struct {
+	Replica int
+	Seed    int64
+
+	Results    *Results
+	Alert      AlertAblationResult
+	Form       FormAblationResult
+	Provenance ProvenanceAblationResult
+	Sharing    SharingAblationResult
+	Cache      CacheAblationResult
+	Cloaking   CloakingBaselineResult
+	Exposure   []ExposureResult
+}
+
+// ReplicaSet is the outcome of RunReplicas: one ReplicaRun per replica, in
+// replica order.
+type ReplicaSet struct {
+	MasterSeed int64
+	Runs       []ReplicaRun
+}
+
+// RunReplicas executes opts.Replicas independent worlds across opts.Parallel
+// workers and returns their runs in replica order. The first replica error
+// aborts the study.
+func RunReplicas(opts ReplicaOptions) (*ReplicaSet, error) {
+	opts = opts.withDefaults()
+	runs := make([]ReplicaRun, opts.Replicas)
+	errs := make([]error, opts.Replicas)
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for p := 0; p < opts.Parallel; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range indices {
+				runs[k], errs[k] = runReplica(opts, k)
+			}
+		}()
+	}
+	for k := 0; k < opts.Replicas; k++ {
+		indices <- k
+	}
+	close(indices)
+	wg.Wait()
+
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: replica %d (seed %d): %w", k, SplitSeed(opts.MasterSeed, k), err)
+		}
+	}
+	return &ReplicaSet{MasterSeed: opts.MasterSeed, Runs: runs}, nil
+}
+
+// runReplica runs one complete world on the calling goroutine.
+func runReplica(opts ReplicaOptions, k int) (ReplicaRun, error) {
+	cfg := opts.Base
+	cfg.Seed = SplitSeed(opts.MasterSeed, k)
+	cfg.Replica = k
+	cfg.Telemetry = replicaTelemetry(opts.Base.Telemetry, k)
+
+	f := New(cfg)
+	run := ReplicaRun{Replica: k, Seed: cfg.Seed}
+	var err error
+	if run.Results, err = f.RunAll(); err != nil {
+		return run, err
+	}
+	if run.Alert, err = f.RunAlertConfirmAblation(); err != nil {
+		return run, err
+	}
+	if run.Form, err = f.RunFormSubmitAblation(); err != nil {
+		return run, err
+	}
+	if run.Provenance, err = f.RunKitProvenanceAblation(); err != nil {
+		return run, err
+	}
+	if run.Sharing, err = f.RunFeedSharingAblation(); err != nil {
+		return run, err
+	}
+	run.Cache = f.RunVerdictCacheAblation()
+	if run.Cloaking, err = f.RunCloakingBaseline(); err != nil {
+		return run, err
+	}
+	if run.Exposure, err = f.RunExposureStudy(); err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+// replicaTelemetry derives replica K's telemetry set: a replica-labelled view
+// of the shared metrics registry for every world, the tracer on replica 0
+// only (a Tracer carries a single virtual clock; interleaving N timelines in
+// one JSONL stream would make the trace unreadable).
+func replicaTelemetry(base *telemetry.Set, k int) *telemetry.Set {
+	tel := base.ForReplica(k)
+	if tel != nil && k != 0 {
+		tel.Tracer = nil
+	}
+	return tel
+}
+
+// Summary is the distribution of one scalar metric across replicas. CI95 is
+// the half-width of the normal-approximation 95% confidence interval for the
+// mean (1.96·s/√n; 0 when n < 2).
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	CI95 float64 `json:"ci95"`
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(len(xs)-1))
+		s.CI95 = 1.96 * sd / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}
+
+// CellAggregate is one Table 2 cell summarised across replicas.
+type CellAggregate struct {
+	Engine    string  `json:"engine"`
+	Brand     string  `json:"brand"`
+	Technique string  `json:"technique"`
+	Detected  Summary `json:"detected"`
+	Total     int     `json:"total"`
+}
+
+// Aggregate summarises a ReplicaSet: named scalar series plus the per-cell
+// Table 2 distribution. It is a pure function of the runs (and therefore of
+// the master seed and replica count), independent of worker count.
+type Aggregate struct {
+	Replicas   int                `json:"replicas"`
+	MasterSeed int64              `json:"master_seed"`
+	Metrics    map[string]Summary `json:"metrics"`
+	Cells      []CellAggregate    `json:"table2_cells"`
+}
+
+// Aggregate computes the cross-replica summary.
+func (rs *ReplicaSet) Aggregate() Aggregate {
+	agg := Aggregate{
+		Replicas:   len(rs.Runs),
+		MasterSeed: rs.MasterSeed,
+		Metrics:    make(map[string]Summary),
+	}
+	series := make(map[string][]float64)
+	add := func(name string, v float64) { series[name] = append(series[name], v) }
+
+	for _, run := range rs.Runs {
+		r := run.Results
+		if r.Main != nil {
+			add("main_total_detected", float64(r.Main.TotalDetected))
+			add("gsb_alertbox_avg_min", experiment.AverageDuration(r.Main.GSBAlertBoxTimes).Minutes())
+			add("netcraft_session_detections", float64(len(r.Main.NetCraftSessionTimes)))
+		}
+		t1Requests := 0
+		for _, row := range r.Table1 {
+			t1Requests += row.Requests
+		}
+		add("table1_requests_total", float64(t1Requests))
+		t3Detected := 0
+		for _, row := range r.Table3 {
+			t3Detected += row.Detected
+		}
+		add("extensions_detected_total", float64(t3Detected))
+
+		add("ablation_alert_confirm_all", float64(run.Alert.ConfirmAll))
+		add("ablation_form_nosubmit_bypasses", float64(run.Form.NoSubmitBypasses))
+		add("ablation_provenance_cloned_detected", boolMetric(run.Provenance.ClonedDetected))
+		add("ablation_cross_feeds_baseline", float64(run.Sharing.BaselineCrossFeeds))
+		add("ablation_cross_feeds_severed", float64(run.Sharing.SeveredCrossFeeds))
+		add("cloaking_detected", float64(run.Cloaking.Detected))
+		add("cloaking_avg_delay_min", run.Cloaking.AvgDelay.Minutes())
+		for _, exp := range run.Exposure {
+			add("exposure_rate_"+exp.Technique.String(), exp.ExposureRate())
+			add("exposure_creds_lost_"+exp.Technique.String(), float64(exp.CredentialsLost))
+		}
+	}
+	for name, xs := range series {
+		agg.Metrics[name] = Summarize(xs)
+	}
+
+	for _, key := range engines.MainExperimentKeys() {
+		for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+			for _, tech := range evasion.Techniques() {
+				var detected []float64
+				total := 0
+				for _, run := range rs.Runs {
+					if run.Results.Main == nil {
+						continue
+					}
+					c := run.Results.Main.Cells[key][brand][tech]
+					if c == nil {
+						c = &experiment.Cell{}
+					}
+					detected = append(detected, float64(c.Detected))
+					total = c.Total
+				}
+				if len(detected) == 0 {
+					continue
+				}
+				agg.Cells = append(agg.Cells, CellAggregate{
+					Engine: key, Brand: string(brand), Technique: tech.String(),
+					Detected: Summarize(detected), Total: total,
+				})
+			}
+		}
+	}
+	return agg
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Report renders the aggregate as text: a Table 2 of mean detections per
+// cell, then every scalar series as mean/min/max/±CI95. The output depends
+// only on the runs, never on the worker count.
+func (rs *ReplicaSet) Report() string {
+	agg := rs.Aggregate()
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Aggregate over %d replicas (master seed %d) ==\n\n", agg.Replicas, agg.MasterSeed)
+
+	if len(agg.Cells) > 0 {
+		cell := make(map[string]CellAggregate, len(agg.Cells))
+		for _, c := range agg.Cells {
+			cell[c.Engine+"|"+c.Brand+"|"+c.Technique] = c
+		}
+		b.WriteString("Table 2 across replicas (mean detected per cell)\n")
+		fmt.Fprintf(&b, "%-14s | %-20s | %-20s\n", "", "Facebook", "PayPal")
+		fmt.Fprintf(&b, "%-14s | %-6s %-6s %-6s | %-6s %-6s %-6s\n", "Engine", "A", "S", "R", "A", "S", "R")
+		for _, key := range engines.MainExperimentKeys() {
+			fmt.Fprintf(&b, "%-14s |", key)
+			for _, brand := range []phishkit.Brand{phishkit.Facebook, phishkit.PayPal} {
+				for _, tech := range evasion.Techniques() {
+					c := cell[key+"|"+string(brand)+"|"+tech.String()]
+					fmt.Fprintf(&b, " %-6s", fmt.Sprintf("%.1f/%d", c.Detected.Mean, c.Total))
+				}
+				fmt.Fprintf(&b, " |")
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		b.WriteString("\n")
+	}
+
+	names := make([]string, 0, len(agg.Metrics))
+	for name := range agg.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-38s %9s %9s %9s %9s\n", "metric", "mean", "min", "max", "ci95")
+	for _, name := range names {
+		s := agg.Metrics[name]
+		fmt.Fprintf(&b, "%-38s %9.2f %9.2f %9.2f %8.2f\n", name, s.Mean, s.Min, s.Max, s.CI95)
+	}
+	return b.String()
+}
+
+// ReplicaExport is one replica's machine-readable section.
+type ReplicaExport struct {
+	Replica int               `json:"replica"`
+	Seed    int64             `json:"seed"`
+	Tables  experiment.Export `json:"tables"`
+}
+
+// AggregateExport is the JSON document for a replica study: the aggregate
+// plus a per-replica section. Worker count is deliberately absent — the
+// document is identical for any -parallel value.
+type AggregateExport struct {
+	Aggregate Aggregate       `json:"aggregate"`
+	Replicas  []ReplicaExport `json:"replicas"`
+}
+
+// Export assembles the JSON document.
+func (rs *ReplicaSet) Export() AggregateExport {
+	out := AggregateExport{Aggregate: rs.Aggregate()}
+	for _, run := range rs.Runs {
+		r := run.Results
+		out.Replicas = append(out.Replicas, ReplicaExport{
+			Replica: run.Replica,
+			Seed:    run.Seed,
+			Tables:  experiment.BuildExport(r.Table1, r.Main, r.Table3),
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the aggregate export as indented JSON.
+func (rs *ReplicaSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rs.Export()); err != nil {
+		return fmt.Errorf("core: encoding replica export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"areyouhuman/internal/experiment"
+)
+
+// BenchmarkReplicaScaling measures a fixed-size replica study at increasing
+// worker counts. Because replicas share no simulation state, the study is
+// embarrassingly parallel and wall time should fall near-linearly until the
+// worker count reaches the host's core count; on a single-core host all
+// worker counts measure the same. Results are recorded in BENCH_replicas.json
+// at the repo root.
+func BenchmarkReplicaScaling(b *testing.B) {
+	const replicas = 4
+	base := experiment.Config{TrafficScale: 0.01, MainTrafficPerReport: 50}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d/workers=%d", replicas, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := RunReplicas(ReplicaOptions{
+					Replicas: replicas,
+					Parallel: workers,
+					Base:     base,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs.Runs) != replicas {
+					b.Fatalf("got %d runs, want %d", len(rs.Runs), replicas)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"areyouhuman/internal/experiment"
+)
+
+// runSet is a test helper: run the full replica study with a given worker
+// count over the fast config.
+func runSet(t *testing.T, replicas, parallel int) *ReplicaSet {
+	t.Helper()
+	rs, err := RunReplicas(ReplicaOptions{
+		Replicas: replicas,
+		Parallel: parallel,
+		Base:     fastCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// TestReplicaZeroMatchesSingleRun pins the compatibility promise: replica 0
+// of a multi-replica study is the exact world a plain single run produces —
+// same seed, same report, byte for byte.
+func TestReplicaZeroMatchesSingleRun(t *testing.T) {
+	t.Parallel()
+	single, err := New(fastCfg()).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := runSet(t, 2, 2)
+
+	if got := rs.Runs[0].Seed; got != experiment.DefaultSeed {
+		t.Fatalf("replica 0 seed = %d, want the default master seed %d", got, experiment.DefaultSeed)
+	}
+	if got, want := rs.Runs[0].Results.Report(), single.Report(); got != want {
+		t.Errorf("replica 0 report diverges from a single run:\n--- replica 0 ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if rs.Runs[1].Seed == rs.Runs[0].Seed {
+		t.Error("replica 1 reuses replica 0's seed; worlds would be identical")
+	}
+}
+
+// TestReplicasParallelMatchesSequential is the determinism stress test: four
+// replicas executed by four concurrent workers must produce reports pairwise
+// bit-identical to the same four replicas executed by a single worker. Run
+// under -race this also exercises every substrate for data races across
+// concurrently live worlds.
+func TestReplicasParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	const replicas = 4
+	seq := runSet(t, replicas, 1)
+	par := runSet(t, replicas, replicas)
+
+	for k := 0; k < replicas; k++ {
+		if seq.Runs[k].Seed != par.Runs[k].Seed {
+			t.Fatalf("replica %d seeds differ: sequential %d, parallel %d", k, seq.Runs[k].Seed, par.Runs[k].Seed)
+		}
+		if got, want := par.Runs[k].Results.Report(), seq.Runs[k].Results.Report(); got != want {
+			t.Errorf("replica %d report differs between parallel and sequential execution", k)
+		}
+		if par.Runs[k].Exposure == nil {
+			t.Errorf("replica %d is missing its exposure study", k)
+		}
+	}
+	if got, want := par.Report(), seq.Report(); got != want {
+		t.Errorf("aggregate report depends on worker count:\n--- parallel ---\n%s\n--- sequential ---\n%s", got, want)
+	}
+
+	var parJSON, seqJSON strings.Builder
+	if err := par.WriteJSON(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteJSON(&seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	if parJSON.String() != seqJSON.String() {
+		t.Error("JSON export depends on worker count")
+	}
+}
+
+// TestReplicaRunsDiverge guards against a broken seed split silently running
+// N copies of the same world: with different seeds, at least one replica pair
+// should differ somewhere in the full report.
+func TestReplicaRunsDiverge(t *testing.T) {
+	t.Parallel()
+	rs := runSet(t, 3, 3)
+	distinct := false
+	for k := 1; k < len(rs.Runs); k++ {
+		if rs.Runs[k].Results.Report() != rs.Runs[0].Results.Report() {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("all replicas produced identical reports; seeds are not decorrelating the worlds")
+	}
+}
+
+// TestAggregateShape checks the aggregate covers the study: the scalar series
+// all carry N = replicas samples, Table 2 cells span the full engine × brand
+// × technique grid, and the export round-trips as JSON without a worker-count
+// field.
+func TestAggregateShape(t *testing.T) {
+	t.Parallel()
+	rs := runSet(t, 2, 2)
+	agg := rs.Aggregate()
+
+	if agg.Replicas != 2 || agg.MasterSeed != experiment.DefaultSeed {
+		t.Fatalf("aggregate header = %d replicas seed %d", agg.Replicas, agg.MasterSeed)
+	}
+	for _, name := range []string{
+		"main_total_detected", "gsb_alertbox_avg_min", "netcraft_session_detections",
+		"table1_requests_total", "extensions_detected_total",
+		"ablation_alert_confirm_all", "ablation_form_nosubmit_bypasses",
+		"ablation_cross_feeds_baseline", "cloaking_detected",
+		"exposure_rate_recaptcha",
+	} {
+		s, ok := agg.Metrics[name]
+		if !ok {
+			t.Errorf("aggregate is missing metric %q", name)
+			continue
+		}
+		if s.N != 2 {
+			t.Errorf("metric %q has %d samples, want one per replica", name, s.N)
+		}
+		if s.Min > s.Mean || s.Mean > s.Max {
+			t.Errorf("metric %q violates min <= mean <= max: %+v", name, s)
+		}
+	}
+	// 6 engines x 2 brands x 3 techniques.
+	if len(agg.Cells) != 36 {
+		t.Errorf("aggregate has %d Table 2 cells, want 36", len(agg.Cells))
+	}
+
+	var buf strings.Builder
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if strings.Contains(strings.ToLower(buf.String()), "parallel") {
+		t.Error("export mentions the worker count; output must be identical for any -parallel")
+	}
+	reps, ok := doc["replicas"].([]any)
+	if !ok || len(reps) != 2 {
+		t.Fatalf("export has %v per-replica sections, want 2", doc["replicas"])
+	}
+}
+
+// TestSummarize pins the statistics helper.
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero value", s)
+	}
+	if s := Summarize([]float64{5}); s.N != 1 || s.Mean != 5 || s.Min != 5 || s.Max != 5 || s.CI95 != 0 {
+		t.Fatalf("Summarize single = %+v", s)
+	}
+	s := Summarize([]float64{2, 4, 6, 8})
+	if s.Mean != 5 || s.Min != 2 || s.Max != 8 || s.N != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	// sd = sqrt((9+1+1+9)/3) ≈ 2.582; ci95 = 1.96·sd/2 ≈ 2.53.
+	if s.CI95 < 2.5 || s.CI95 > 2.56 {
+		t.Fatalf("CI95 = %v, want ≈2.53", s.CI95)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"areyouhuman/internal/experiment"
+)
+
+func TestSplitSeedReplicaZeroIsMaster(t *testing.T) {
+	t.Parallel()
+	for _, master := range []int64{experiment.DefaultSeed, 1, -7, 1 << 40} {
+		if got := SplitSeed(master, 0); got != master {
+			t.Fatalf("SplitSeed(%d, 0) = %d, want the master unchanged", master, got)
+		}
+	}
+}
+
+func TestSplitSeedStableAcrossReplicaCounts(t *testing.T) {
+	t.Parallel()
+	// Replica K's seed is a pure function of (master, K): no dependence on
+	// how many siblings exist or who finished first.
+	for k := 0; k < 64; k++ {
+		a := SplitSeed(experiment.DefaultSeed, k)
+		b := SplitSeed(experiment.DefaultSeed, k)
+		if a != b {
+			t.Fatalf("SplitSeed not deterministic at replica %d: %d vs %d", k, a, b)
+		}
+	}
+}
+
+func TestSplitSeedDistinctAndNonZero(t *testing.T) {
+	t.Parallel()
+	for _, master := range []int64{0, experiment.DefaultSeed, -1, 1 << 62} {
+		seen := make(map[int64]int, 4096)
+		for k := 0; k < 4096; k++ {
+			s := SplitSeed(master, k)
+			if s == 0 && k > 0 {
+				t.Fatalf("SplitSeed(%d, %d) = 0; zero means 'default' to Config and must never be derived", master, k)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SplitSeed(%d, ·) collides: replicas %d and %d both get %d", master, prev, k, s)
+			}
+			seen[s] = k
+		}
+	}
+}
+
+// TestSplitSeedDecorrelatesStreams checks the property the replica runner
+// actually needs: the rand streams rooted at adjacent replica seeds should
+// behave like independent draws, not shifted copies. Two cheap proxies: the
+// avalanche between adjacent seeds is ~32 of 64 bits, and first draws from
+// adjacent streams agree no more often than chance.
+func TestSplitSeedDecorrelatesStreams(t *testing.T) {
+	t.Parallel()
+	const n = 2048
+	flips := 0
+	matches := 0
+	for k := 1; k < n; k++ {
+		a := SplitSeed(experiment.DefaultSeed, k)
+		b := SplitSeed(experiment.DefaultSeed, k+1)
+		flips += bits.OnesCount64(uint64(a) ^ uint64(b))
+		ra := rand.New(rand.NewSource(a))
+		rb := rand.New(rand.NewSource(b))
+		if ra.Intn(100) == rb.Intn(100) {
+			matches++
+		}
+	}
+	if avg := float64(flips) / float64(n-1); avg < 24 || avg > 40 {
+		t.Fatalf("avalanche between adjacent replica seeds = %.1f bits on average, want ~32", avg)
+	}
+	// Chance agreement for Intn(100) is 1%; allow generous slack.
+	if matches > n/20 {
+		t.Fatalf("first draws from adjacent replica streams matched %d/%d times, want ~1%%", matches, n-1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestCatalogSharesSumToOne(t *testing.T) {
+	t.Parallel()
 	total := 0.0
 	for _, b := range Catalog() {
 		if b.Share <= 0 {
@@ -19,12 +20,14 @@ func TestCatalogSharesSumToOne(t *testing.T) {
 }
 
 func TestGSBShareMatchesPaper(t *testing.T) {
+	t.Parallel()
 	if got := GSBShare(); math.Abs(got-0.87) > 1e-9 {
 		t.Fatalf("GSB share = %v, paper cites 87%%", got)
 	}
 }
 
 func TestProtectedShare(t *testing.T) {
+	t.Parallel()
 	url := "https://phish.example/login.php"
 	none := func(engine, u string) bool { return false }
 	if got := ProtectedShare(url, none); got != 0 {
@@ -50,6 +53,7 @@ func TestProtectedShare(t *testing.T) {
 }
 
 func TestEngineReachOrdering(t *testing.T) {
+	t.Parallel()
 	reach := EngineReach()
 	if len(reach) == 0 || reach[0].Engine != "gsb" {
 		t.Fatalf("reach = %+v, want GSB first", reach)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestAddZoneAnswersSOAAndNS(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("shop.example", "203.0.113.5")
 	code, soa := s.Query("shop.example", TypeSOA)
@@ -20,6 +21,7 @@ func TestAddZoneAnswersSOAAndNS(t *testing.T) {
 }
 
 func TestMissingZoneIsNXDOMAIN(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	code, recs := s.Query("gone.example", TypeSOA)
 	if code != NXDomain || recs != nil {
@@ -28,6 +30,7 @@ func TestMissingZoneIsNXDOMAIN(t *testing.T) {
 }
 
 func TestRemoveZoneDropsToNXDOMAIN(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("expired.example", "203.0.113.5")
 	if !s.Exists("expired.example") {
@@ -40,6 +43,7 @@ func TestRemoveZoneDropsToNXDOMAIN(t *testing.T) {
 }
 
 func TestNodataForMissingType(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("a.example", "") // no A record
 	code, recs := s.Query("a.example", TypeA)
@@ -49,6 +53,7 @@ func TestNodataForMissingType(t *testing.T) {
 }
 
 func TestResolveA(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("web.example", "203.0.113.9")
 	ip, ok := s.ResolveA("web.example")
@@ -61,6 +66,7 @@ func TestResolveA(t *testing.T) {
 }
 
 func TestSubdomainResolvesWithinZone(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	z := s.AddZone("site.example", "203.0.113.9")
 	z.Records = append(z.Records, Record{Name: "www.site.example", Type: TypeA, Data: "203.0.113.10"})
@@ -71,6 +77,7 @@ func TestSubdomainResolvesWithinZone(t *testing.T) {
 }
 
 func TestCanonicalisation(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("MiXeD.Example.", "203.0.113.5")
 	if !s.Exists("mixed.example") {
@@ -82,6 +89,7 @@ func TestCanonicalisation(t *testing.T) {
 }
 
 func TestDNSSECFlag(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("signed.example", "203.0.113.5")
 	if s.DNSSEC("signed.example") {
@@ -99,6 +107,7 @@ func TestDNSSECFlag(t *testing.T) {
 }
 
 func TestQueriesCounter(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.AddZone("q.example", "203.0.113.5")
 	for i := 0; i < 7; i++ {
@@ -110,6 +119,7 @@ func TestQueriesCounter(t *testing.T) {
 }
 
 func TestZonesSorted(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	for _, d := range []string{"zz.example", "aa.example", "mm.example"} {
 		s.AddZone(d, "")
@@ -123,6 +133,7 @@ func TestZonesSorted(t *testing.T) {
 }
 
 func TestRCodeString(t *testing.T) {
+	t.Parallel()
 	if NoError.String() != "NOERROR" || NXDomain.String() != "NXDOMAIN" {
 		t.Fatalf("RCode strings = %q, %q", NoError, NXDomain)
 	}
@@ -134,6 +145,7 @@ func TestRCodeString(t *testing.T) {
 // Property: after AddZone, Exists is true and after RemoveZone it is false,
 // for arbitrary label casing.
 func TestQuickAddRemoveRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint32, upper bool) bool {
 		domain := strings.ToLower(strings.TrimSpace(synthDomain(raw)))
 		s := NewServer()

@@ -14,6 +14,7 @@ import (
 )
 
 func TestSmallWorldFunnelExact(t *testing.T) {
+	t.Parallel()
 	cfg := SmallConfig()
 	w, err := NewWorld(cfg)
 	if err != nil {
@@ -31,6 +32,7 @@ func TestSmallWorldFunnelExact(t *testing.T) {
 }
 
 func TestWorldDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
 	cfg := SmallConfig()
 	w1, _ := NewWorld(cfg)
 	w2, _ := NewWorld(cfg)
@@ -47,6 +49,7 @@ func TestWorldDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestWorldSeedChangesSelection(t *testing.T) {
+	t.Parallel()
 	a := SmallConfig()
 	b := SmallConfig()
 	b.Seed = 7777
@@ -67,6 +70,7 @@ func TestWorldSeedChangesSelection(t *testing.T) {
 }
 
 func TestWorldConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := SmallConfig()
 	bad.Selected = bad.Clean + 1
 	if _, err := NewWorld(bad); err == nil {
@@ -80,6 +84,7 @@ func TestWorldConfigValidation(t *testing.T) {
 }
 
 func TestFunnelString(t *testing.T) {
+	t.Parallel()
 	f := Funnel{Scanned: 1000000, Expired: 770, Available: 251, Unregistered: 244, Clean: 244, Selected: 50}
 	want := "1000000 -> 770 -> 251 -> 244 -> 244 -> 50"
 	if got := f.String(); got != want {
@@ -88,6 +93,7 @@ func TestFunnelString(t *testing.T) {
 }
 
 func TestRunWantCapsSelection(t *testing.T) {
+	t.Parallel()
 	cfg := SmallConfig()
 	w, _ := NewWorld(cfg)
 	selected, f := Run(w.Top, w.Services(), 2)
@@ -97,6 +103,7 @@ func TestRunWantCapsSelection(t *testing.T) {
 }
 
 func TestSynthDomainsLookRegistrable(t *testing.T) {
+	t.Parallel()
 	cfg := SmallConfig()
 	w, _ := NewWorld(cfg)
 	for _, d := range w.Top[:100] {
@@ -115,6 +122,7 @@ func TestSynthDomainsLookRegistrable(t *testing.T) {
 // Property: the funnel is monotone non-increasing for arbitrary valid
 // configurations, and Selected never exceeds the requested count.
 func TestQuickFunnelMonotone(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, a, b, c, d, e uint8) bool {
 		// Build a valid descending configuration from arbitrary bytes.
 		list := 2000 + int(a)*8
@@ -140,6 +148,7 @@ func TestQuickFunnelMonotone(t *testing.T) {
 }
 
 func TestLiveServicesEndToEnd(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	dns := dnssim.NewServer()
 	db := whois.NewDB()
@@ -176,6 +185,7 @@ func TestLiveServicesEndToEnd(t *testing.T) {
 }
 
 func TestLiveServicesNoRegistrarsNothingAvailable(t *testing.T) {
+	t.Parallel()
 	ls := LiveServices{
 		DNS:     dnssim.NewServer(),
 		WHOIS:   whois.NewDB(),
@@ -190,6 +200,7 @@ func TestLiveServicesNoRegistrarsNothingAvailable(t *testing.T) {
 }
 
 func TestPlantLiveGivesHistoryOnlyToChosen(t *testing.T) {
+	t.Parallel()
 	ls := LiveServices{
 		DNS:     dnssim.NewServer(),
 		WHOIS:   whois.NewDB(),

@@ -25,6 +25,7 @@ func apiWorld(t *testing.T) (*world, *Engine, *http.Client) {
 }
 
 func TestAPIReportTriggersPipeline(t *testing.T) {
+	t.Parallel()
 	w, eng, client := apiWorld(t)
 	resp, err := client.PostForm("http://api.gsb.example/report",
 		map[string][]string{"url": {w.url}, "reporter": {"r@lab.example"}})
@@ -42,6 +43,7 @@ func TestAPIReportTriggersPipeline(t *testing.T) {
 }
 
 func TestAPIReportValidation(t *testing.T) {
+	t.Parallel()
 	_, _, client := apiWorld(t)
 	resp, err := client.Get("http://api.gsb.example/report")
 	if err != nil {
@@ -62,6 +64,7 @@ func TestAPIReportValidation(t *testing.T) {
 }
 
 func TestAPIV4LookupRoundTrip(t *testing.T) {
+	t.Parallel()
 	w, eng, client := apiWorld(t)
 	eng.List.Add(w.url, GSB)
 	prefix := blacklist.HashPrefix(w.url)
@@ -101,6 +104,7 @@ func TestAPIV4LookupRoundTrip(t *testing.T) {
 }
 
 func TestAPIFeedDownload(t *testing.T) {
+	t.Parallel()
 	w, eng, client := apiWorld(t)
 	eng.List.Add(w.url, GSB)
 	eng.List.Add("http://another.example/x.php", GSB)
@@ -117,6 +121,7 @@ func TestAPIFeedDownload(t *testing.T) {
 }
 
 func TestAPIUnverifiedSection(t *testing.T) {
+	t.Parallel()
 	// An alert-box-protected URL is unconfirmable for PhishTank's pipeline
 	// and voters alike, so it stays in the public unverified section.
 	w2 := newWorld(t, evasion.AlertBox, phishkit.PayPal)

@@ -79,6 +79,7 @@ func (w *world) engine(key string, mutate func(*Profile)) *Engine {
 }
 
 func TestProfilesComplete(t *testing.T) {
+	t.Parallel()
 	ps := Profiles()
 	if len(ps) != 7 {
 		t.Fatalf("profiles = %d, want 7", len(ps))
@@ -103,6 +104,7 @@ func TestProfilesComplete(t *testing.T) {
 }
 
 func TestOnlyGSBConfirmsAlerts(t *testing.T) {
+	t.Parallel()
 	ps := Profiles()
 	for key, p := range ps {
 		if key == GSB {
@@ -118,6 +120,7 @@ func TestOnlyGSBConfirmsAlerts(t *testing.T) {
 }
 
 func TestNakedKitDetectedByGSB(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(GSB, nil)
 	eng.Report(w.url, "reporter@lab.example")
@@ -138,6 +141,7 @@ func TestNakedKitDetectedByGSB(t *testing.T) {
 }
 
 func TestNakedGmailOnlyContentPower(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		key  string
 		want bool
@@ -155,6 +159,7 @@ func TestNakedGmailOnlyContentPower(t *testing.T) {
 }
 
 func TestAlertBoxOnlyGSB(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		key  string
 		want bool
@@ -172,6 +177,7 @@ func TestAlertBoxOnlyGSB(t *testing.T) {
 }
 
 func TestSessionBasedNetCraftBypassesAndMayDetect(t *testing.T) {
+	t.Parallel()
 	// Force the confirmation pipeline to 1.0 to assert the bypass+detect
 	// path deterministically.
 	w := newWorld(t, evasion.SessionBased, phishkit.Facebook)
@@ -197,6 +203,7 @@ func TestSessionBasedNetCraftBypassesAndMayDetect(t *testing.T) {
 }
 
 func TestSessionBasedConfirmRateZeroBypassesWithoutListing(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.SessionBased, phishkit.Facebook)
 	eng := w.engine(NetCraft, func(p *Profile) { p.FormPathConfirmRate = 0 })
 	eng.Report(w.url, "r@lab.example")
@@ -210,6 +217,7 @@ func TestSessionBasedConfirmRateZeroBypassesWithoutListing(t *testing.T) {
 }
 
 func TestSessionBasedLoginFormPolicyDoesNotBypass(t *testing.T) {
+	t.Parallel()
 	for _, key := range []string{OpenPhish, PhishTank, GSB, APWG, SmartScreen} {
 		w := newWorld(t, evasion.SessionBased, phishkit.PayPal)
 		eng := w.engine(key, nil)
@@ -225,6 +233,7 @@ func TestSessionBasedLoginFormPolicyDoesNotBypass(t *testing.T) {
 }
 
 func TestFeedSharingNetCraftToGSB(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	registry := map[string]*Engine{}
 	deps := Deps{
@@ -252,6 +261,7 @@ func TestFeedSharingNetCraftToGSB(t *testing.T) {
 }
 
 func TestAbuseNotificationFromOpenPhish(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(OpenPhish, nil)
 	eng.Report(w.url, "r@lab.example")
@@ -263,6 +273,7 @@ func TestAbuseNotificationFromOpenPhish(t *testing.T) {
 }
 
 func TestReporterNotificationFromNetCraft(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(NetCraft, nil)
 	eng.Report(w.url, "reporter@lab.example")
@@ -274,6 +285,7 @@ func TestReporterNotificationFromNetCraft(t *testing.T) {
 }
 
 func TestTrafficVolumeAndConcentration(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(GSB, nil)
 	eng.TrafficPerReport = 500
@@ -291,6 +303,7 @@ func TestTrafficVolumeAndConcentration(t *testing.T) {
 }
 
 func TestOpenPhishProbeStorm(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(OpenPhish, nil)
 	eng.TrafficPerReport = 600
@@ -304,6 +317,7 @@ func TestOpenPhishProbeStorm(t *testing.T) {
 }
 
 func TestYSBDetectsNothing(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(YSB, nil)
 	eng.Report(w.url, "r@lab.example")
@@ -314,6 +328,7 @@ func TestYSBDetectsNothing(t *testing.T) {
 }
 
 func TestRecaptchaNobodyDetects(t *testing.T) {
+	t.Parallel()
 	// Without a CAPTCHA service the widget/verifier can't even be built —
 	// use the full wiring from the evasion tests via a simple always-false
 	// verifier to prove no engine passes the gate.
@@ -353,6 +368,7 @@ func TestRecaptchaNobodyDetects(t *testing.T) {
 }
 
 func TestEngineRNGIndependentOfOrder(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	e := w.engine(NetCraft, nil)
 	a := e.rng("http://x.example/a").Float64()
@@ -364,12 +380,14 @@ func TestEngineRNGIndependentOfOrder(t *testing.T) {
 }
 
 func TestFormPolicyString(t *testing.T) {
+	t.Parallel()
 	if FormNone.String() != "none" || FormLogin.String() != "login-forms" || FormAll.String() != "all-forms" {
 		t.Fatal("form policy strings wrong")
 	}
 }
 
 func TestClassifierPowerAssignments(t *testing.T) {
+	t.Parallel()
 	ps := Profiles()
 	if ps[GSB].Power != classify.PowerContent || ps[NetCraft].Power != classify.PowerContent {
 		t.Fatal("GSB and NetCraft must run content classifiers")
@@ -385,6 +403,7 @@ func TestClassifierPowerAssignments(t *testing.T) {
 }
 
 func TestPhishTankCommunityPublishesNakedKit(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(PhishTank, nil)
 	eng.Report(w.url, "r@lab.example")
@@ -398,6 +417,7 @@ func TestPhishTankCommunityPublishesNakedKit(t *testing.T) {
 }
 
 func TestPhishTankEvasionProtectedStaysUnverified(t *testing.T) {
+	t.Parallel()
 	// The Section 5.1 anecdote: a protected URL submitted to PhishTank sits
 	// in the public unverified section forever because neither the pipeline
 	// nor the voters can confirm it.
@@ -418,6 +438,7 @@ func TestPhishTankEvasionProtectedStaysUnverified(t *testing.T) {
 }
 
 func TestNonCommunityEngineHasNoUnverifiedSection(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(GSB, nil)
 	eng.Report(w.url, "r@lab.example")
@@ -428,6 +449,7 @@ func TestNonCommunityEngineHasNoUnverifiedSection(t *testing.T) {
 }
 
 func TestEngineSurvivesHostTakedown(t *testing.T) {
+	t.Parallel()
 	// A crawl against a downed host must not crash or list anything.
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(GSB, nil)
@@ -440,6 +462,7 @@ func TestEngineSurvivesHostTakedown(t *testing.T) {
 }
 
 func TestRecheckDetectsLateExposure(t *testing.T) {
+	t.Parallel()
 	// The site starts cloaking-protected with the engine's UA blocked, then
 	// the attacker breaks their cloak (serves payload to everyone) before
 	// the 2h recheck: the engine's re-crawl must catch it.
@@ -484,6 +507,7 @@ func TestRecheckDetectsLateExposure(t *testing.T) {
 }
 
 func TestDetectionsReturnsCopy(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	eng := w.engine(GSB, nil)
 	eng.Report(w.url, "r@lab.example")
@@ -499,6 +523,7 @@ func TestDetectionsReturnsCopy(t *testing.T) {
 }
 
 func TestBlacklistDelayDeterministicPerURL(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, evasion.None, phishkit.PayPal)
 	a := w.engine(GSB, nil)
 	b := w.engine(GSB, nil)

@@ -71,6 +71,7 @@ func deploy(t *testing.T, technique Technique, opts Options) (*simnet.Internet, 
 }
 
 func TestNoneAlwaysServesPayload(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := deploy(t, None, Options{Payload: payloadHandler(), Log: rec.fn})
 	b := browser.New(net, browser.Config{})
@@ -95,6 +96,7 @@ func botConfig(policy browser.AlertPolicy) browser.Config {
 }
 
 func TestAlertBoxConfirmReachesPayload(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
 	b := browser.New(net, botConfig(browser.AlertConfirm))
@@ -111,6 +113,7 @@ func TestAlertBoxConfirmReachesPayload(t *testing.T) {
 }
 
 func TestAlertBoxDismissStaysBenign(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
 	b := browser.New(net, botConfig(browser.AlertDismiss))
@@ -127,6 +130,7 @@ func TestAlertBoxDismissStaysBenign(t *testing.T) {
 }
 
 func TestAlertBoxIgnorePolicyBlocked(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
 	b := browser.New(net, botConfig(browser.AlertIgnore))
@@ -146,6 +150,7 @@ func TestAlertBoxIgnorePolicyBlocked(t *testing.T) {
 }
 
 func TestAlertBoxNonJSFetcherSeesBenign(t *testing.T) {
+	t.Parallel()
 	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler()})
 	b := browser.New(net, browser.Config{ExecuteScripts: false})
 	p, err := b.Open(urlStr)
@@ -161,6 +166,7 @@ func TestAlertBoxNonJSFetcherSeesBenign(t *testing.T) {
 }
 
 func TestAlertBoxShortTimerBudgetNeverSeesDialog(t *testing.T) {
+	t.Parallel()
 	// A bot that executes scripts but leaves before the 2s timer fires.
 	net, urlStr := deploy(t, AlertBox, Options{Payload: payloadHandler(), Benign: benignHandler()})
 	cfg := botConfig(browser.AlertConfirm)
@@ -179,6 +185,7 @@ func TestAlertBoxShortTimerBudgetNeverSeesDialog(t *testing.T) {
 }
 
 func TestSessionBasedFormSubmitterReachesPayload(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := deploy(t, SessionBased, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
 	b := browser.New(net, browser.Config{})
@@ -206,6 +213,7 @@ func TestSessionBasedFormSubmitterReachesPayload(t *testing.T) {
 }
 
 func TestSessionBasedDirectPostWithoutSessionFails(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, _ := deploy(t, SessionBased, Options{Payload: payloadHandler(), Benign: benignHandler(), Log: rec.fn})
 	client := simnet.NewClient(net, "198.51.100.77")
@@ -225,6 +233,7 @@ func TestSessionBasedDirectPostWithoutSessionFails(t *testing.T) {
 }
 
 func TestSessionBasedNonSubmittingBotStaysOnCover(t *testing.T) {
+	t.Parallel()
 	net, urlStr := deploy(t, SessionBased, Options{Payload: payloadHandler(), Benign: benignHandler()})
 	b := browser.New(net, botConfig(browser.AlertConfirm))
 	p, err := b.Open(urlStr)
@@ -269,6 +278,7 @@ func recaptchaDeployment(t *testing.T, rec *logRecorder) (*simnet.Internet, stri
 }
 
 func TestRecaptchaHumanReachesPayloadSameURL(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := recaptchaDeployment(t, rec)
 	human := browser.New(net, browser.Config{
@@ -291,6 +301,7 @@ func TestRecaptchaHumanReachesPayloadSameURL(t *testing.T) {
 }
 
 func TestRecaptchaBotsNeverReachPayload(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := recaptchaDeployment(t, rec)
 	for _, cfg := range []browser.Config{
@@ -313,6 +324,7 @@ func TestRecaptchaBotsNeverReachPayload(t *testing.T) {
 }
 
 func TestRecaptchaChallengeHasNoStaticForm(t *testing.T) {
+	t.Parallel()
 	net, urlStr := recaptchaDeployment(t, nil)
 	b := browser.New(net, browser.Config{ExecuteScripts: false})
 	p, err := b.Open(urlStr)
@@ -325,6 +337,7 @@ func TestRecaptchaChallengeHasNoStaticForm(t *testing.T) {
 }
 
 func TestRecaptchaForgedTokenRejected(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net, urlStr := recaptchaDeployment(t, rec)
 	client := simnet.NewClient(net, "198.51.100.50")
@@ -343,6 +356,7 @@ func TestRecaptchaForgedTokenRejected(t *testing.T) {
 }
 
 func TestCloakingBlocksByUserAgentAndIP(t *testing.T) {
+	t.Parallel()
 	rec := &logRecorder{}
 	net := simnet.New(nil)
 	h, err := Wrap(Cloaking, Options{
@@ -385,6 +399,7 @@ func TestCloakingBlocksByUserAgentAndIP(t *testing.T) {
 }
 
 func TestWrapValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Wrap(AlertBox, Options{Payload: payloadHandler()}); err == nil {
 		t.Fatal("missing Benign should fail")
 	}
@@ -397,6 +412,7 @@ func TestWrapValidation(t *testing.T) {
 }
 
 func TestTechniqueStringsAndParse(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []Technique{None, AlertBox, SessionBased, Recaptcha, Cloaking} {
 		parsed, err := Parse(tc.String())
 		if err != nil || parsed != tc {

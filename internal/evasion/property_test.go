@@ -62,6 +62,7 @@ func sanitizeField(s string) string {
 }
 
 func TestQuickAlertBoxGate(t *testing.T) {
+	t.Parallel()
 	hit := fuzzTarget(t, AlertBox, Options{})
 	f := func(val string, extraKey string, post bool) bool {
 		val = sanitizeField(val)
@@ -83,6 +84,7 @@ func TestQuickAlertBoxGate(t *testing.T) {
 }
 
 func TestQuickSessionGateNeedsMintedCookie(t *testing.T) {
+	t.Parallel()
 	hit := fuzzTarget(t, SessionBased, Options{})
 	f := func(sid string, proceed string, post bool) bool {
 		method := http.MethodGet
@@ -114,6 +116,7 @@ func sanitizeCookie(s string) string {
 }
 
 func TestQuickRecaptchaGateNeedsValidToken(t *testing.T) {
+	t.Parallel()
 	const magic = "03A-genuine-token"
 	hit := fuzzTarget(t, Recaptcha, Options{
 		WidgetHTML:  `<div class="g-recaptcha" data-sitekey="k" data-callback="capback" data-endpoint="http://svc.example/issue"></div>`,
@@ -139,6 +142,7 @@ func TestQuickRecaptchaGateNeedsValidToken(t *testing.T) {
 }
 
 func TestSessionMintedCookieOpensGate(t *testing.T) {
+	t.Parallel()
 	// Counterpart to the fuzz test: the legitimate flow (GET to mint, POST
 	// with the minted cookie) does open the gate.
 	opts := Options{Payload: payloadHandler(), Benign: benignHandler()}

@@ -23,6 +23,7 @@ func fastCfg() Config {
 }
 
 func TestPreliminaryTable1Shape(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	rows, err := w.RunPreliminary()
 	if err != nil {
@@ -85,6 +86,7 @@ func TestPreliminaryTable1Shape(t *testing.T) {
 }
 
 func TestPreliminaryTrafficOrdering(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("traffic ordering needs non-trivial volumes")
 	}
@@ -109,6 +111,7 @@ func TestPreliminaryTrafficOrdering(t *testing.T) {
 }
 
 func TestMainExperimentTable2(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	res, err := w.RunMain()
 	if err != nil {
@@ -186,6 +189,7 @@ func TestMainExperimentTable2(t *testing.T) {
 }
 
 func TestMainExperimentTimings(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	res, err := w.RunMain()
 	if err != nil {
@@ -209,6 +213,7 @@ func TestMainExperimentTimings(t *testing.T) {
 }
 
 func TestMainFunnelAndDomainMix(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	res, err := w.RunMain()
 	if err != nil {
@@ -236,6 +241,7 @@ func TestMainFunnelAndDomainMix(t *testing.T) {
 }
 
 func TestExtensionsTable3(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	rows, err := w.RunExtensions()
 	if err != nil {
@@ -258,6 +264,7 @@ func TestExtensionsTable3(t *testing.T) {
 }
 
 func TestRenderersProduceTables(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	rows, err := w.RunPreliminary()
 	if err != nil {
@@ -270,6 +277,7 @@ func TestRenderersProduceTables(t *testing.T) {
 }
 
 func TestDeployBringsFullStackOnline(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	d, err := w.Deploy("garden-craft.com", MountSpec{Brand: phishkit.PayPal, Technique: evasion.Recaptcha})
 	if err != nil {
@@ -293,6 +301,7 @@ func TestDeployBringsFullStackOnline(t *testing.T) {
 }
 
 func TestKeywordDomainsDeterministicDisjoint(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	a := w.KeywordDomains("x", 10, 3)
 	b := w.KeywordDomains("x", 10, 3)
@@ -321,6 +330,7 @@ func TestKeywordDomainsDeterministicDisjoint(t *testing.T) {
 }
 
 func TestMainMonitoringSightings(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	res, err := w.RunMain()
 	if err != nil {
@@ -359,6 +369,7 @@ func TestMainMonitoringSightings(t *testing.T) {
 }
 
 func TestMainUserProtectionShares(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	res, err := w.RunMain()
 	if err != nil {
@@ -382,6 +393,7 @@ func TestMainUserProtectionShares(t *testing.T) {
 }
 
 func TestExportJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	t1, err := w.RunPreliminary()
 	if err != nil {
@@ -431,6 +443,7 @@ func TestExportJSONRoundTrip(t *testing.T) {
 }
 
 func TestDurationsToMinutes(t *testing.T) {
+	t.Parallel()
 	got := durationsToMinutes([]time.Duration{90 * time.Second, time.Hour})
 	if len(got) != 2 || got[0] != 1.5 || got[1] != 60 {
 		t.Fatalf("minutes = %v", got)
@@ -438,6 +451,7 @@ func TestDurationsToMinutes(t *testing.T) {
 }
 
 func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	t.Parallel()
 	// Only NetCraft's exact 2/6 split is seed-calibrated; every structural
 	// outcome must hold for arbitrary seeds.
 	if testing.Short() {
@@ -475,6 +489,7 @@ func TestShapeHoldsAcrossSeeds(t *testing.T) {
 }
 
 func TestDurationStats(t *testing.T) {
+	t.Parallel()
 	ds := []time.Duration{10 * time.Minute, 2 * time.Minute, 6 * time.Minute}
 	s := Stats(ds)
 	if s.N != 3 || s.Min != 2*time.Minute || s.Max != 10*time.Minute || s.Median != 6*time.Minute {
@@ -496,6 +511,7 @@ func TestDurationStats(t *testing.T) {
 }
 
 func TestEngineAPIsMountedInWorld(t *testing.T) {
+	t.Parallel()
 	w := NewWorld(fastCfg())
 	d, err := w.Deploy("api-flow.com", MountSpec{Brand: phishkit.PayPal, Technique: evasion.None})
 	if err != nil {

@@ -55,6 +55,12 @@ type Config struct {
 	// perturbs the RNG or the event order, so instrumented and plain runs
 	// produce identical results.
 	Telemetry *telemetry.Set
+	// Replica identifies which replica of a multi-replica study this world
+	// belongs to (0 for single runs). It is a label, not an input: the
+	// replica runner derives each world's Seed from the master seed via
+	// core.SplitSeed, and Replica only tags telemetry so N worlds can share
+	// one registry (see telemetry.Set.ForReplica).
+	Replica int
 }
 
 // DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
@@ -146,7 +152,12 @@ func NewWorld(cfg Config) *World {
 		Seed:         cfg.Seed,
 		Telemetry:    cfg.Telemetry,
 	}
-	for key, p := range engines.Profiles() {
+	// Wire engines in Table 1 order, not map order: server IPs are allocated
+	// round-robin at registration, so the construction order must be fixed
+	// for two worlds with the same seed to be bit-identical.
+	profiles := engines.Profiles()
+	for _, key := range engines.Keys() {
+		p := profiles[key]
 		if cfg.Mutate != nil {
 			cfg.Mutate(&p)
 		}
@@ -160,6 +171,15 @@ func NewWorld(cfg Config) *World {
 		w.DNS.AddZone(EngineAPIHost(key), apiHost.IP)
 	}
 	return w
+}
+
+// Close retires the world: the scheduler drops its pending events and rejects
+// new ones (see simclock.Scheduler.Close), so a finished replica holds no
+// timers or closures alive and a stray late callback cannot restart its
+// timeline. The world's results (deployments, engine lists, logs) stay
+// readable. Close is idempotent.
+func (w *World) Close() {
+	w.Sched.Close()
 }
 
 // EngineAPIHost is the virtual hostname serving an engine's HTTP API.

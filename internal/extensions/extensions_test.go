@@ -10,6 +10,7 @@ import (
 )
 
 func TestCatalogMatchesTable3(t *testing.T) {
+	t.Parallel()
 	cat := Catalog()
 	if len(cat) != 6 {
 		t.Fatalf("catalog = %d extensions, want 6", len(cat))
@@ -34,6 +35,7 @@ func TestCatalogMatchesTable3(t *testing.T) {
 }
 
 func TestOnNavigatePlainTelemetry(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	x := Build(Catalog()[0], clock, nil) // Avast: plain + params
 	url := "http://phish.example/login.php?sid=abc&next=inbox"
@@ -50,6 +52,7 @@ func TestOnNavigatePlainTelemetry(t *testing.T) {
 }
 
 func TestOnNavigateHashedNoParams(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	var spec Spec
 	for _, s := range Catalog() {
@@ -74,6 +77,7 @@ func TestOnNavigateHashedNoParams(t *testing.T) {
 }
 
 func TestVerdictComesFromVendorList(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	x := Build(Catalog()[0], clock, nil)
 	url := "http://phish.example/login.php"
@@ -88,6 +92,7 @@ func TestVerdictComesFromVendorList(t *testing.T) {
 }
 
 func TestVerdictCachingWindow(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	x := Build(Catalog()[0], clock, nil)
 	url := "http://phish.example/login.php"
@@ -107,6 +112,7 @@ func TestVerdictCachingWindow(t *testing.T) {
 }
 
 func TestBuildWithEngineList(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	ncList := blacklist.NewList("netcraft", clock)
 	var spec Spec
@@ -127,6 +133,7 @@ func TestBuildWithEngineList(t *testing.T) {
 }
 
 func TestContentIsIgnoredByDesign(t *testing.T) {
+	t.Parallel()
 	// Even a page whose content screams phishing is not flagged when the
 	// URL is unlisted — the paper's core client-side finding.
 	clock := simclock.New(simclock.Epoch)

@@ -28,6 +28,7 @@ func register(net *simnet.Internet, host string) {
 }
 
 func TestComplaintLeadsToTakedown(t *testing.T) {
+	t.Parallel()
 	desk, sched, net, mail := newDesk(6 * time.Hour)
 	register(net, "phish-host.example")
 	desk.Start(simclock.Epoch.Add(72 * time.Hour))
@@ -56,6 +57,7 @@ func TestComplaintLeadsToTakedown(t *testing.T) {
 }
 
 func TestDuplicateComplaintsOneTakedown(t *testing.T) {
+	t.Parallel()
 	desk, sched, net, mail := newDesk(time.Hour)
 	register(net, "dup-host.example")
 	desk.Start(simclock.Epoch.Add(48 * time.Hour))
@@ -70,6 +72,7 @@ func TestDuplicateComplaintsOneTakedown(t *testing.T) {
 }
 
 func TestNoComplaintsNoTakedowns(t *testing.T) {
+	t.Parallel()
 	desk, sched, net, _ := newDesk(0)
 	register(net, "quiet-host.example")
 	desk.Start(simclock.Epoch.Add(24 * time.Hour))
@@ -86,6 +89,7 @@ func TestNoComplaintsNoTakedowns(t *testing.T) {
 }
 
 func TestUnknownHostComplaintIgnored(t *testing.T) {
+	t.Parallel()
 	desk, sched, _, mail := newDesk(time.Hour)
 	desk.Start(simclock.Epoch.Add(24 * time.Hour))
 	mail.Send("x@y", "abuse@hosting.example", "complaint", "please remove http://not-ours.example/phish")
@@ -99,6 +103,7 @@ func TestUnknownHostComplaintIgnored(t *testing.T) {
 }
 
 func TestGraceDefault(t *testing.T) {
+	t.Parallel()
 	desk, sched, net, mail := newDesk(0) // zero selects DefaultGrace
 	register(net, "g.example")
 	desk.Start(simclock.Epoch.Add(48 * time.Hour))

@@ -31,6 +31,7 @@ const samplePage = `<!DOCTYPE html>
 </html>`
 
 func TestTokenizeBasics(t *testing.T) {
+	t.Parallel()
 	toks := Tokenize(`<p class="x">hi</p>`)
 	if len(toks) != 3 {
 		t.Fatalf("got %d tokens, want 3: %#v", len(toks), toks)
@@ -50,6 +51,7 @@ func TestTokenizeBasics(t *testing.T) {
 }
 
 func TestTokenizeVoidAndSelfClosing(t *testing.T) {
+	t.Parallel()
 	toks := Tokenize(`<img src="a.png"><br/><input name=q value=search>`)
 	for _, tok := range toks {
 		if tok.Type != SelfClosingTagToken {
@@ -62,6 +64,7 @@ func TestTokenizeVoidAndSelfClosing(t *testing.T) {
 }
 
 func TestTokenizeScriptRawText(t *testing.T) {
+	t.Parallel()
 	toks := Tokenize(`<script>if (a<b) { x = "</div>"; }</script>`)
 	// Note: a real HTML parser would end the script at the literal "</div"
 	// only if it matched "</script"; ours ends at "</script" too.
@@ -77,6 +80,7 @@ func TestTokenizeScriptRawText(t *testing.T) {
 }
 
 func TestTokenizeComment(t *testing.T) {
+	t.Parallel()
 	toks := Tokenize(`<!-- secret -->`)
 	if len(toks) != 1 || toks[0].Type != CommentToken || toks[0].Data != " secret " {
 		t.Fatalf("tokens = %#v", toks)
@@ -84,6 +88,7 @@ func TestTokenizeComment(t *testing.T) {
 }
 
 func TestTokenizeStrayLt(t *testing.T) {
+	t.Parallel()
 	toks := Tokenize(`a < b`)
 	var text strings.Builder
 	for _, tok := range toks {
@@ -98,6 +103,7 @@ func TestTokenizeStrayLt(t *testing.T) {
 }
 
 func TestParseStructure(t *testing.T) {
+	t.Parallel()
 	doc := Parse(samplePage)
 	if doc.Title() != "PayPal - Log In" {
 		t.Fatalf("Title = %q", doc.Title())
@@ -114,6 +120,7 @@ func TestParseStructure(t *testing.T) {
 }
 
 func TestParseForms(t *testing.T) {
+	t.Parallel()
 	doc := Parse(samplePage)
 	forms := doc.Forms()
 	if len(forms) != 1 {
@@ -134,6 +141,7 @@ func TestParseForms(t *testing.T) {
 }
 
 func TestParseLinks(t *testing.T) {
+	t.Parallel()
 	doc := Parse(samplePage)
 	links := doc.Links()
 	if len(links) != 2 || links[0] != "/help.php" || links[1] != "https://elsewhere.example/" {
@@ -142,6 +150,7 @@ func TestParseLinks(t *testing.T) {
 }
 
 func TestParseScripts(t *testing.T) {
+	t.Parallel()
 	doc := Parse(samplePage)
 	scripts := doc.Scripts()
 	if len(scripts) != 1 || !strings.Contains(scripts[0], `document.title = "<fake>"`) {
@@ -150,6 +159,7 @@ func TestParseScripts(t *testing.T) {
 }
 
 func TestScriptsSkipExternal(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<script src="/app.js"></script><script>inline()</script>`)
 	scripts := doc.Scripts()
 	if len(scripts) != 1 || !strings.Contains(scripts[0], "inline()") {
@@ -158,6 +168,7 @@ func TestScriptsSkipExternal(t *testing.T) {
 }
 
 func TestTextExcludesScriptAndStyle(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<body>visible<script>hidden()</script><style>.x{}</style></body>`)
 	text := doc.Text()
 	if !strings.Contains(text, "visible") || strings.Contains(text, "hidden") || strings.Contains(text, ".x") {
@@ -166,6 +177,7 @@ func TestTextExcludesScriptAndStyle(t *testing.T) {
 }
 
 func TestUnbalancedMarkupRepaired(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<div><p>one<p>two</div></span><b>after</b>`)
 	if doc.First("b") == nil {
 		t.Fatal("content after stray close tag must still parse")
@@ -173,6 +185,7 @@ func TestUnbalancedMarkupRepaired(t *testing.T) {
 }
 
 func TestMutationAppendRemove(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<body></body>`)
 	body := doc.Body()
 	form := NewElement("form")
@@ -197,6 +210,7 @@ func TestMutationAppendRemove(t *testing.T) {
 }
 
 func TestSetAttrReplaces(t *testing.T) {
+	t.Parallel()
 	el := NewElement("input")
 	el.SetAttr("value", "a")
 	el.SetAttr("VALUE", "b")
@@ -209,6 +223,7 @@ func TestSetAttrReplaces(t *testing.T) {
 }
 
 func TestRenderRoundTrip(t *testing.T) {
+	t.Parallel()
 	doc := Parse(samplePage)
 	rendered := doc.Render()
 	doc2 := Parse(rendered)
@@ -228,6 +243,7 @@ func TestRenderRoundTrip(t *testing.T) {
 }
 
 func TestEntitiesUnescapedInText(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<p>fish &amp; chips &lt;3</p>`)
 	if got := strings.TrimSpace(doc.Text()); got != "fish & chips <3" {
 		t.Fatalf("Text = %q", got)
@@ -237,6 +253,7 @@ func TestEntitiesUnescapedInText(t *testing.T) {
 // Property: Parse never panics and Render→Parse preserves the element count
 // for arbitrary input strings.
 func TestQuickParseTotal(t *testing.T) {
+	t.Parallel()
 	count := func(n *Node) int {
 		c := 0
 		n.Walk(func(x *Node) bool {
@@ -258,6 +275,7 @@ func TestQuickParseTotal(t *testing.T) {
 }
 
 func TestFormWithNoActionOrMethod(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<form><input name="u" value="1"></form>`)
 	f := doc.Forms()[0]
 	if f.Action != "" || f.Method != "GET" {
@@ -266,6 +284,7 @@ func TestFormWithNoActionOrMethod(t *testing.T) {
 }
 
 func TestTextSkipsSubtreesWithoutAborting(t *testing.T) {
+	t.Parallel()
 	// Regression: an excluded subtree (head/script) must not end text
 	// extraction for the rest of the document.
 	doc := Parse(`<html><head><title>hidden</title></head><body>
@@ -280,6 +299,7 @@ func TestTextSkipsSubtreesWithoutAborting(t *testing.T) {
 }
 
 func TestTextOnTitleNodeItself(t *testing.T) {
+	t.Parallel()
 	doc := Parse(`<title>The Title</title>`)
 	title := doc.First("title")
 	if got := title.Text(); got != "The Title" {
@@ -288,6 +308,7 @@ func TestTextOnTitleNodeItself(t *testing.T) {
 }
 
 func TestRawTextWithInvalidUTF8(t *testing.T) {
+	t.Parallel()
 	// Regression (found by FuzzParse): case-insensitive raw-text scanning
 	// must not fold through strings.ToLower, whose output length differs on
 	// invalid UTF-8 and misaligns byte offsets.

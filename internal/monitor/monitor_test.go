@@ -16,6 +16,7 @@ func newSched() (*simclock.Scheduler, *simclock.SimClock) {
 }
 
 func TestWatchAPIDetectsListing(t *testing.T) {
+	t.Parallel()
 	sched, clock := newSched()
 	m := New(sched)
 	list := blacklist.NewList("gsb", clock)
@@ -40,6 +41,7 @@ func TestWatchAPIDetectsListing(t *testing.T) {
 }
 
 func TestWatchFeedDiff(t *testing.T) {
+	t.Parallel()
 	sched, clock := newSched()
 	m := New(sched)
 	list := blacklist.NewList("openphish", clock)
@@ -59,6 +61,7 @@ func TestWatchFeedDiff(t *testing.T) {
 }
 
 func TestWatchNeverListedNoSighting(t *testing.T) {
+	t.Parallel()
 	sched, clock := newSched()
 	m := New(sched)
 	list := blacklist.NewList("gsb", clock)
@@ -75,6 +78,7 @@ func TestWatchNeverListedNoSighting(t *testing.T) {
 }
 
 func TestPollingStopsAfterSighting(t *testing.T) {
+	t.Parallel()
 	sched, clock := newSched()
 	m := New(sched)
 	list := blacklist.NewList("gsb", clock)
@@ -88,6 +92,7 @@ func TestPollingStopsAfterSighting(t *testing.T) {
 }
 
 func TestWatchMail(t *testing.T) {
+	t.Parallel()
 	sched, clock := newSched()
 	m := New(sched)
 	mail := report.NewMailSystem(clock)
@@ -105,6 +110,7 @@ func TestWatchMail(t *testing.T) {
 }
 
 func TestWatchScreenshotsCadence(t *testing.T) {
+	t.Parallel()
 	sched, _ := newSched()
 	m := New(sched)
 	url := "http://phish.example/s.php"
@@ -132,6 +138,7 @@ func TestWatchScreenshotsCadence(t *testing.T) {
 }
 
 func TestEnginesAccumulate(t *testing.T) {
+	t.Parallel()
 	sched, clock := newSched()
 	m := New(sched)
 	url := "http://phish.example/z.php"

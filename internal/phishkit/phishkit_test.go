@@ -13,6 +13,7 @@ import (
 )
 
 func TestGenerateProvenanceDefaults(t *testing.T) {
+	t.Parallel()
 	for brand, want := range map[Brand]Provenance{PayPal: Cloned, Facebook: Cloned, Gmail: FromScratch} {
 		k, err := Generate(brand)
 		if err != nil {
@@ -25,12 +26,14 @@ func TestGenerateProvenanceDefaults(t *testing.T) {
 }
 
 func TestGenerateUnknownBrand(t *testing.T) {
+	t.Parallel()
 	if _, err := Generate(Brand("MySpace")); err == nil {
 		t.Fatal("unknown brand should fail")
 	}
 }
 
 func TestClonedResourcesMatchOfficialHashes(t *testing.T) {
+	t.Parallel()
 	k, _ := Generate(PayPal)
 	spec, _ := SpecFor(PayPal)
 	if got := HashBytes(k.Resources[spec.LogoPath]); got != OfficialResourceHash(PayPal, "logo") {
@@ -42,6 +45,7 @@ func TestClonedResourcesMatchOfficialHashes(t *testing.T) {
 }
 
 func TestScratchResourcesDiffer(t *testing.T) {
+	t.Parallel()
 	k, _ := Generate(Gmail)
 	spec, _ := SpecFor(Gmail)
 	if HashBytes(k.Resources[spec.LogoPath]) == OfficialResourceHash(Gmail, "logo") {
@@ -50,6 +54,7 @@ func TestScratchResourcesDiffer(t *testing.T) {
 }
 
 func TestAblationCloneGmail(t *testing.T) {
+	t.Parallel()
 	k, err := GenerateWithProvenance(Gmail, Cloned)
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +66,7 @@ func TestAblationCloneGmail(t *testing.T) {
 }
 
 func TestLoginPageLooksLikeBrand(t *testing.T) {
+	t.Parallel()
 	for _, brand := range Brands() {
 		k, _ := Generate(brand)
 		doc := htmlmini.Parse(k.LoginHTML)
@@ -82,6 +88,7 @@ func TestLoginPageLooksLikeBrand(t *testing.T) {
 }
 
 func TestClonedPagesKeepCanonicalLink(t *testing.T) {
+	t.Parallel()
 	pp, _ := Generate(PayPal)
 	if !strings.Contains(pp.LoginHTML, "paypal.com") {
 		t.Fatal("cloned PayPal page should reference the official domain")
@@ -93,6 +100,7 @@ func TestClonedPagesKeepCanonicalLink(t *testing.T) {
 }
 
 func TestHandlerServesPageResourcesAndCollector(t *testing.T) {
+	t.Parallel()
 	k, _ := Generate(Facebook)
 	var collector Collector
 	net := simnet.New(nil)
@@ -136,6 +144,7 @@ func TestHandlerServesPageResourcesAndCollector(t *testing.T) {
 }
 
 func TestHandlerNilCollector(t *testing.T) {
+	t.Parallel()
 	k, _ := Generate(PayPal)
 	net := simnet.New(nil)
 	net.Register("p.example", k.Handler(nil))
@@ -151,6 +160,7 @@ func TestHandlerNilCollector(t *testing.T) {
 }
 
 func TestWriteZipContainsAllFiles(t *testing.T) {
+	t.Parallel()
 	k, _ := Generate(PayPal)
 	var buf bytes.Buffer
 	if err := k.WriteZip(&buf); err != nil {
@@ -174,6 +184,7 @@ func TestWriteZipContainsAllFiles(t *testing.T) {
 }
 
 func TestBrandLetters(t *testing.T) {
+	t.Parallel()
 	if Gmail.Letter() != "G" || Facebook.Letter() != "F" || PayPal.Letter() != "P" {
 		t.Fatal("brand letters wrong")
 	}
@@ -186,12 +197,14 @@ func TestBrandLetters(t *testing.T) {
 }
 
 func TestProvenanceString(t *testing.T) {
+	t.Parallel()
 	if Cloned.String() != "cloned" || FromScratch.String() != "from-scratch" {
 		t.Fatal("provenance strings wrong")
 	}
 }
 
 func TestOfficialResourcesDeterministic(t *testing.T) {
+	t.Parallel()
 	a := OfficialResource(PayPal, "logo")
 	b := OfficialResource(PayPal, "logo")
 	if !bytes.Equal(a, b) {

@@ -17,6 +17,7 @@ func newTestRegistrar(clock simclock.Clock) (*Registrar, *whois.DB, *dnssim.Serv
 }
 
 func TestTLD(t *testing.T) {
+	t.Parallel()
 	cases := map[string]string{
 		"shop.com":        "com",
 		"a.b.c.xyz":       "xyz",
@@ -34,6 +35,7 @@ func TestTLD(t *testing.T) {
 }
 
 func TestGTLDCatalogs(t *testing.T) {
+	t.Parallel()
 	if !IsLegacyGTLD("a.com") || !IsLegacyGTLD("a.net") || !IsLegacyGTLD("a.org") {
 		t.Fatal("legacy gTLDs misclassified")
 	}
@@ -55,6 +57,7 @@ func TestGTLDCatalogs(t *testing.T) {
 }
 
 func TestAvailableThenRegister(t *testing.T) {
+	t.Parallel()
 	r, db, dns := newTestRegistrar(simclock.New(simclock.Epoch))
 	if !r.Available("fresh.com") {
 		t.Fatal("fresh.com should be available")
@@ -82,6 +85,7 @@ func TestAvailableThenRegister(t *testing.T) {
 }
 
 func TestRegisterTakenFails(t *testing.T) {
+	t.Parallel()
 	r, _, _ := newTestRegistrar(nil)
 	if _, err := r.Register("dup.com", "A"); err != nil {
 		t.Fatal(err)
@@ -92,6 +96,7 @@ func TestRegisterTakenFails(t *testing.T) {
 }
 
 func TestRegisterUnsupportedTLD(t *testing.T) {
+	t.Parallel()
 	r, _, _ := newTestRegistrar(nil)
 	if _, err := r.Register("thing.museum", "A"); !errors.Is(err, ErrUnsupportedTLD) {
 		t.Fatalf("err = %v, want ErrUnsupportedTLD", err)
@@ -102,6 +107,7 @@ func TestRegisterUnsupportedTLD(t *testing.T) {
 }
 
 func TestBulkScoreWindows(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	r, _, _ := newTestRegistrar(clock)
 	// Three registrations within one hour, then a gap, then two more.
@@ -134,6 +140,7 @@ func TestBulkScoreWindows(t *testing.T) {
 }
 
 func TestSpreadRegistrationsKeepBulkScoreLow(t *testing.T) {
+	t.Parallel()
 	// The paper registers 112 domains manually over two weeks. Spread evenly,
 	// the 24h bulk score stays in single digits.
 	clock := simclock.New(simclock.Epoch)
@@ -156,6 +163,7 @@ func synth(i int) string {
 }
 
 func TestAvailabilityChecksCounter(t *testing.T) {
+	t.Parallel()
 	r, _, _ := newTestRegistrar(nil)
 	r.Available("x.com")
 	r.Available("y.com")
@@ -165,6 +173,7 @@ func TestAvailabilityChecksCounter(t *testing.T) {
 }
 
 func TestRegistrationsCopy(t *testing.T) {
+	t.Parallel()
 	r, _, _ := newTestRegistrar(nil)
 	r.Register("one.com", "Lab")
 	regs := r.Registrations()

@@ -9,6 +9,7 @@ import (
 )
 
 func TestQueueSubmitDrain(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	q := NewQueue("GSB", ViaForm, clock)
 	q.Submit("http://a.example/login.php", "researchers")
@@ -34,6 +35,7 @@ func TestQueueSubmitDrain(t *testing.T) {
 }
 
 func TestQueueMetadata(t *testing.T) {
+	t.Parallel()
 	q := NewQueue("OpenPhish", ViaEmail, nil)
 	if q.Name() != "OpenPhish" || q.Via() != ViaEmail {
 		t.Fatalf("metadata = %s,%s", q.Name(), q.Via())
@@ -41,6 +43,7 @@ func TestQueueMetadata(t *testing.T) {
 }
 
 func TestMailSystemDelivery(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	m := NewMailSystem(clock)
 	m.Send("netcraft@example", "Researcher@Lab.example", "Report outcome", "blacklisted")
@@ -60,6 +63,7 @@ func TestMailSystemDelivery(t *testing.T) {
 }
 
 func TestInboxIsCopy(t *testing.T) {
+	t.Parallel()
 	m := NewMailSystem(nil)
 	m.Send("a@x", "b@x", "s", "body")
 	inbox := m.Inbox("b@x")
@@ -70,6 +74,7 @@ func TestInboxIsCopy(t *testing.T) {
 }
 
 func TestAbuseNotifier(t *testing.T) {
+	t.Parallel()
 	m := NewMailSystem(nil)
 	n := &AbuseNotifier{Mail: m, From: "notifications@phishlabs.example", AbuseContact: "abuse@hosting.example"}
 	n.Notify("http://phish.example/login.php")
@@ -83,5 +88,6 @@ func TestAbuseNotifier(t *testing.T) {
 }
 
 func TestAbuseNotifierNilSafe(t *testing.T) {
+	t.Parallel()
 	(&AbuseNotifier{}).Notify("http://x.example/") // must not panic
 }

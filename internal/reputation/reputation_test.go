@@ -6,6 +6,7 @@ import (
 )
 
 func TestRankListSetRankAndLen(t *testing.T) {
+	t.Parallel()
 	l := NewRankList()
 	l.Set("popular.com", 12)
 	l.Set("NICHE.com", 500000)
@@ -24,6 +25,7 @@ func TestRankListSetRankAndLen(t *testing.T) {
 }
 
 func TestRankListTopOrdering(t *testing.T) {
+	t.Parallel()
 	l := NewRankList()
 	l.Set("third.com", 30)
 	l.Set("first.com", 1)
@@ -38,6 +40,7 @@ func TestRankListTopOrdering(t *testing.T) {
 }
 
 func TestArchive(t *testing.T) {
+	t.Parallel()
 	a := NewArchive()
 	if a.Archived("old.com") {
 		t.Fatal("fresh archive should report nothing archived")
@@ -53,6 +56,7 @@ func TestArchive(t *testing.T) {
 }
 
 func TestSearchIndex(t *testing.T) {
+	t.Parallel()
 	s := NewSearchIndex()
 	if got := s.SiteQuery("site.com"); got != 0 {
 		t.Fatalf("SiteQuery(unindexed) = %d, want 0", got)
@@ -64,6 +68,7 @@ func TestSearchIndex(t *testing.T) {
 }
 
 func TestScannerVerdicts(t *testing.T) {
+	t.Parallel()
 	s := NewScanner()
 	if !s.Clean("neutral.com") {
 		t.Fatal("unscanned domain should be clean")
@@ -80,6 +85,7 @@ func TestScannerVerdicts(t *testing.T) {
 }
 
 func TestScannerScanCounter(t *testing.T) {
+	t.Parallel()
 	s := NewScanner()
 	s.Clean("a.com")
 	s.Detections("b.com")

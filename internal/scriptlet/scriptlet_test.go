@@ -24,6 +24,7 @@ func run(t *testing.T, src string) []Value {
 }
 
 func TestArithmeticAndPrecedence(t *testing.T) {
+	t.Parallel()
 	got := run(t, `out(1 + 2 * 3); out((1 + 2) * 3); out(10 % 3); out(7 / 2);`)
 	want := []float64{7, 9, 1, 3.5}
 	for i, w := range want {
@@ -34,6 +35,7 @@ func TestArithmeticAndPrecedence(t *testing.T) {
 }
 
 func TestStringsAndConcat(t *testing.T) {
+	t.Parallel()
 	got := run(t, `var a = 'ab' + "cd"; out(a + 1); out(a.length); out('escaped\n'.length);`)
 	if got[0].(string) != "abcd1" {
 		t.Fatalf("concat = %v", got[0])
@@ -47,6 +49,7 @@ func TestStringsAndConcat(t *testing.T) {
 }
 
 func TestStringMethods(t *testing.T) {
+	t.Parallel()
 	got := run(t, `out('Hello'.toLowerCase()); out('hello'.indexOf('ll')); out('hello'.indexOf('x'));`)
 	if got[0].(string) != "hello" || got[1].(float64) != 2 || got[2].(float64) != -1 {
 		t.Fatalf("string methods = %v", got)
@@ -54,6 +57,7 @@ func TestStringMethods(t *testing.T) {
 }
 
 func TestVarScopingAndAssignment(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var x = 1;
 function f() { x = 2; var y = 9; return y; }
@@ -66,6 +70,7 @@ out(x);
 }
 
 func TestIfElseChains(t *testing.T) {
+	t.Parallel()
 	src := `
 function grade(n) {
   if (n >= 90) { return 'A'; }
@@ -80,6 +85,7 @@ out(grade(95)); out(grade(85)); out(grade(50));`
 }
 
 func TestWhileLoop(t *testing.T) {
+	t.Parallel()
 	got := run(t, `var i = 0; var sum = 0; while (i < 5) { sum += i; i += 1; } out(sum);`)
 	if got[0].(float64) != 10 {
 		t.Fatalf("sum = %v", got[0])
@@ -87,6 +93,7 @@ func TestWhileLoop(t *testing.T) {
 }
 
 func TestClosuresCapture(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 function counter() {
   var n = 0;
@@ -101,6 +108,7 @@ out(c());`)
 }
 
 func TestFunctionHoisting(t *testing.T) {
+	t.Parallel()
 	got := run(t, `out(early()); function early() { return 42; }`)
 	if got[0].(float64) != 42 {
 		t.Fatalf("hoisted call = %v", got[0])
@@ -108,6 +116,7 @@ func TestFunctionHoisting(t *testing.T) {
 }
 
 func TestTernaryAndLogical(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 out(true ? 'yes' : 'no');
 out(0 || 'fallback');
@@ -119,6 +128,7 @@ out(false && explode());`) // short-circuit must not call undefined explode
 }
 
 func TestEqualitySemantics(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 out(null == undefined);
 out(null === undefined);
@@ -135,6 +145,7 @@ out(2 !== 2);`)
 }
 
 func TestObjectsAndMembers(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var o = {name: 'form', method: 'post', 'data-x': 7};
 o.action = '/login.php';
@@ -146,6 +157,7 @@ out(o.name); out(o['data-x']); out(o.action); out(o.extra); out(o.missing);`)
 }
 
 func TestMethodCallBindsThis(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var o = {n: 5};
 o.get = function() { return this.n; };
@@ -156,6 +168,7 @@ out(o.get());`)
 }
 
 func TestTypeofOperator(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 out(typeof 1); out(typeof 'x'); out(typeof true); out(typeof undefined);
 out(typeof null); out(typeof {}); out(typeof out); out(typeof not_declared);`)
@@ -168,6 +181,7 @@ out(typeof null); out(typeof {}); out(typeof out); out(typeof not_declared);`)
 }
 
 func TestUndefinedVariableIsError(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	err := in.Run(`missing + 1;`)
 	var re *RuntimeError
@@ -177,6 +191,7 @@ func TestUndefinedVariableIsError(t *testing.T) {
 }
 
 func TestCallingNonFunctionIsError(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	if err := in.Run(`var x = 5; x();`); err == nil {
 		t.Fatal("calling a number should fail")
@@ -184,6 +199,7 @@ func TestCallingNonFunctionIsError(t *testing.T) {
 }
 
 func TestMemberOfUndefinedIsError(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	if err := in.Run(`var u; u.prop;`); err == nil {
 		t.Fatal("member of undefined should fail")
@@ -191,6 +207,7 @@ func TestMemberOfUndefinedIsError(t *testing.T) {
 }
 
 func TestInfiniteLoopHitsBudget(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	in.Budget = 10_000
 	err := in.Run(`while (true) { var x = 1; }`)
@@ -200,6 +217,7 @@ func TestInfiniteLoopHitsBudget(t *testing.T) {
 }
 
 func TestSyntaxErrorsReportLine(t *testing.T) {
+	t.Parallel()
 	_, err := Parse("var a = 1;\nvar b = @;")
 	var se *SyntaxError
 	if !errors.As(err, &se) {
@@ -211,12 +229,14 @@ func TestSyntaxErrorsReportLine(t *testing.T) {
 }
 
 func TestUnterminatedString(t *testing.T) {
+	t.Parallel()
 	if _, err := Parse(`var s = "open`); err == nil {
 		t.Fatal("unterminated string should fail to parse")
 	}
 }
 
 func TestCommentsIgnored(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 // line comment
 var a = 1; /* block
@@ -227,6 +247,7 @@ comment */ out(a);`)
 }
 
 func TestHostObjectGetterSetter(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	store := map[string]Value{}
 	host := &Object{
@@ -244,6 +265,7 @@ func TestHostObjectGetterSetter(t *testing.T) {
 }
 
 func TestCallValueFromHost(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	if err := in.Run(`var handler = function(x) { return x * 2; };`); err != nil {
 		t.Fatal(err)
@@ -259,6 +281,7 @@ func TestCallValueFromHost(t *testing.T) {
 }
 
 func TestNewExprActsLikeCall(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	in.Globals.Define("Thing", NativeFunc(func(_ Value, args []Value) (Value, error) {
 		o := NewObject()
@@ -279,6 +302,7 @@ func TestNewExprActsLikeCall(t *testing.T) {
 }
 
 func TestPaperListing2Shape(t *testing.T) {
+	t.Parallel()
 	// The control flow of Appendix C Listing 2, reduced to its skeleton:
 	// confirm() gating a form submission.
 	src := `
@@ -322,6 +346,7 @@ out(submitted);`
 }
 
 func TestToStringRendering(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		v    Value
 		want string
@@ -345,6 +370,7 @@ func TestToStringRendering(t *testing.T) {
 }
 
 func TestTopLevelReturnTolerated(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	if err := in.Run(`return;`); err != nil {
 		t.Fatalf("top-level return should be tolerated: %v", err)
@@ -354,6 +380,7 @@ func TestTopLevelReturnTolerated(t *testing.T) {
 // Property: the lexer-parser never panics on arbitrary input; it either
 // yields statements or a structured error.
 func TestQuickParseTotal(t *testing.T) {
+	t.Parallel()
 	f := func(src string) bool {
 		_, err := Parse(src)
 		if err == nil {
@@ -369,6 +396,7 @@ func TestQuickParseTotal(t *testing.T) {
 
 // Property: arithmetic on small integers matches Go semantics.
 func TestQuickArithmeticMatchesGo(t *testing.T) {
+	t.Parallel()
 	f := func(a, b int16) bool {
 		in := NewInterp()
 		var got Value
@@ -388,6 +416,7 @@ func TestQuickArithmeticMatchesGo(t *testing.T) {
 }
 
 func TestForLoopWithUpdate(t *testing.T) {
+	t.Parallel()
 	got := run(t, `var sum = 0; for (var i = 0; i < 5; i++) { sum += i; } out(sum);`)
 	if got[0].(float64) != 10 {
 		t.Fatalf("for sum = %v", got[0])
@@ -395,6 +424,7 @@ func TestForLoopWithUpdate(t *testing.T) {
 }
 
 func TestForLoopBreakContinue(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var evens = 0;
 for (var i = 0; i < 100; i++) {
@@ -409,6 +439,7 @@ out(evens);`)
 }
 
 func TestWhileBreak(t *testing.T) {
+	t.Parallel()
 	got := run(t, `var i = 0; while (true) { i++; if (i === 7) { break; } } out(i);`)
 	if got[0].(float64) != 7 {
 		t.Fatalf("i = %v", got[0])
@@ -416,6 +447,7 @@ func TestWhileBreak(t *testing.T) {
 }
 
 func TestForLoopEmptyClauses(t *testing.T) {
+	t.Parallel()
 	got := run(t, `var i = 0; for (;;) { i++; if (i > 2) { break; } } out(i);`)
 	if got[0].(float64) != 3 {
 		t.Fatalf("i = %v", got[0])
@@ -423,6 +455,7 @@ func TestForLoopEmptyClauses(t *testing.T) {
 }
 
 func TestPostfixUpdateYieldsOldValue(t *testing.T) {
+	t.Parallel()
 	got := run(t, `var i = 5; out(i++); out(i); out(i--); out(i);`)
 	want := []float64{5, 6, 6, 5}
 	for k, w := range want {
@@ -433,6 +466,7 @@ func TestPostfixUpdateYieldsOldValue(t *testing.T) {
 }
 
 func TestArraysLiteralIndexLength(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var a = [10, 'x', true];
 out(a.length); out(a[0]); out(a[1]); out(a[2]); out(a[9]);
@@ -450,6 +484,7 @@ out(a[1]);`)
 }
 
 func TestArrayPushPop(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var a = [];
 a.push(1); a.push(2, 3);
@@ -463,6 +498,7 @@ out([].pop());`)
 }
 
 func TestArrayJoinIndexOf(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var a = ['a', 'b', 'c'];
 out(a.join('-'));
@@ -475,6 +511,7 @@ out(a.indexOf('z'));`)
 }
 
 func TestArrayIterationWithFor(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var words = ['please', 'sign', 'in'];
 var msg = '';
@@ -489,6 +526,7 @@ out(msg);`)
 }
 
 func TestBreakOutsideLoopIsError(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	if err := in.Run(`break;`); err == nil {
 		t.Fatal("break outside a loop should error")
@@ -496,6 +534,7 @@ func TestBreakOutsideLoopIsError(t *testing.T) {
 }
 
 func TestForInfiniteHitsBudget(t *testing.T) {
+	t.Parallel()
 	in := NewInterp()
 	in.Budget = 5000
 	if err := in.Run(`for (;;) { var x = 1; }`); !errors.Is(err, ErrBudget) {
@@ -504,6 +543,7 @@ func TestForInfiniteHitsBudget(t *testing.T) {
 }
 
 func TestNestedLoopsBreakInner(t *testing.T) {
+	t.Parallel()
 	got := run(t, `
 var count = 0;
 for (var i = 0; i < 3; i++) {

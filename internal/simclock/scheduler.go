@@ -2,9 +2,14 @@ package simclock
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrClosed is reported by Scheduler.Err after anything was scheduled on a
+// closed scheduler.
+var ErrClosed = errors.New("simclock: scheduler closed")
 
 // Event is a unit of work scheduled on a virtual timeline.
 type Event struct {
@@ -46,6 +51,8 @@ type Scheduler struct {
 	seq     int64
 	ran     int
 	closed  bool
+	dropped int
+	err     error
 	observe EventObserver
 }
 
@@ -70,9 +77,22 @@ func (s *Scheduler) Clock() *SimClock { return s.clock }
 
 // At schedules fn to run at the given virtual time. Times in the past run at
 // the current time.
+//
+// Scheduling on a closed scheduler is a defined no-op error path: the event is
+// dropped (never run), Dropped increments, and Err reports ErrClosed naming
+// the first dropped event. This keeps late callbacks — a recheck firing into a
+// world that has been torn down by the replica runner — from resurrecting a
+// finished timeline.
 func (s *Scheduler) At(at time.Time, name string, fn func(now time.Time)) {
 	if fn == nil {
 		panic("simclock: nil event func")
+	}
+	if s.closed {
+		s.dropped++
+		if s.err == nil {
+			s.err = fmt.Errorf("%w: dropped event %q", ErrClosed, name)
+		}
+		return
 	}
 	if now := s.clock.Now(); at.Before(now) {
 		at = now
@@ -108,6 +128,9 @@ func (s *Scheduler) Every(interval time.Duration, name string, until func(now ti
 // until the queue is empty or the next event lies beyond horizon. It returns
 // the number of events executed. A zero horizon means no bound.
 func (s *Scheduler) Run(horizon time.Time) int {
+	if s.closed {
+		return 0
+	}
 	ran := 0
 	for len(s.queue) > 0 {
 		next := s.queue[0]
@@ -142,3 +165,24 @@ func (s *Scheduler) Len() int { return len(s.queue) }
 
 // Executed reports the total number of events run so far.
 func (s *Scheduler) Executed() int { return s.ran }
+
+// Close shuts the scheduler down: every pending event is released (so a
+// retired world holds no timers or closures alive), Run becomes a no-op, and
+// later At/After/Every calls take the defined ErrClosed drop path. Close is
+// idempotent. Like every other Scheduler method it must be called from the
+// world's single driving goroutine; the replica runner closes each world on
+// the worker that ran it.
+func (s *Scheduler) Close() {
+	s.closed = true
+	s.queue = nil
+}
+
+// Closed reports whether Close has been called.
+func (s *Scheduler) Closed() bool { return s.closed }
+
+// Dropped reports how many events were scheduled after Close (and discarded).
+func (s *Scheduler) Dropped() int { return s.dropped }
+
+// Err returns nil, or an error wrapping ErrClosed describing the first event
+// scheduled after Close.
+func (s *Scheduler) Err() error { return s.err }

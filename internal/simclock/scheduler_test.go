@@ -1,11 +1,14 @@
 package simclock
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 )
 
 func TestSchedulerRunsInDeadlineOrder(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	s := NewScheduler(c)
 	var got []string
@@ -25,6 +28,7 @@ func TestSchedulerRunsInDeadlineOrder(t *testing.T) {
 }
 
 func TestSchedulerTiesRunFIFO(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	s := NewScheduler(c)
 	var got []int
@@ -42,6 +46,7 @@ func TestSchedulerTiesRunFIFO(t *testing.T) {
 }
 
 func TestSchedulerHorizonStopsAndAdvances(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	s := NewScheduler(c)
 	ran := 0
@@ -63,6 +68,7 @@ func TestSchedulerHorizonStopsAndAdvances(t *testing.T) {
 }
 
 func TestSchedulerEventsCanScheduleEvents(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	s := NewScheduler(c)
 	var times []time.Time
@@ -82,6 +88,7 @@ func TestSchedulerEventsCanScheduleEvents(t *testing.T) {
 }
 
 func TestSchedulerEvery(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	s := NewScheduler(c)
 	count := 0
@@ -95,6 +102,7 @@ func TestSchedulerEvery(t *testing.T) {
 }
 
 func TestSchedulerPastEventRunsNow(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	c.Advance(time.Hour)
 	s := NewScheduler(c)
@@ -107,6 +115,7 @@ func TestSchedulerPastEventRunsNow(t *testing.T) {
 }
 
 func TestSchedulerExecutedCounter(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	s := NewScheduler(c)
 	for i := 0; i < 4; i++ {
@@ -120,6 +129,7 @@ func TestSchedulerExecutedCounter(t *testing.T) {
 }
 
 func TestSchedulerNilFuncPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling a nil func should panic")
@@ -130,6 +140,7 @@ func TestSchedulerNilFuncPanics(t *testing.T) {
 }
 
 func TestSchedulerNonPositiveEveryPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Every with non-positive interval should panic")
@@ -137,4 +148,72 @@ func TestSchedulerNonPositiveEveryPanics(t *testing.T) {
 	}()
 	s := NewScheduler(New(Epoch))
 	s.Every(0, "bad", nil, func(time.Time) {})
+}
+
+func TestSchedulerCloseDropsQueueAndStopsRun(t *testing.T) {
+	t.Parallel()
+	c := New(Epoch)
+	s := NewScheduler(c)
+	ran := 0
+	s.After(time.Minute, "pending", func(time.Time) { ran++ })
+	s.Close()
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d after Close, want 0 (queue released)", s.Len())
+	}
+	if n := s.Run(time.Time{}); n != 0 {
+		t.Fatalf("Run on closed scheduler executed %d events, want 0", n)
+	}
+	if ran != 0 {
+		t.Fatalf("pending event ran %d times after Close, want 0", ran)
+	}
+	s.Close() // idempotent
+}
+
+func TestSchedulerAtAfterCloseIsDefinedErrorPath(t *testing.T) {
+	t.Parallel()
+	c := New(Epoch)
+	s := NewScheduler(c)
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v before any post-close scheduling, want nil", err)
+	}
+	s.Close()
+	ran := 0
+	s.At(Epoch.Add(time.Minute), "late-at", func(time.Time) { ran++ })
+	s.After(time.Minute, "late-after", func(time.Time) { ran++ })
+	s.Every(time.Minute, "late-every", nil, func(time.Time) { ran++ })
+	if got := s.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0 (post-close events never enqueue)", s.Len())
+	}
+	s.Run(time.Time{})
+	if ran != 0 {
+		t.Fatalf("post-close events ran %d times, want 0", ran)
+	}
+	err := s.Err()
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err() = %v, want ErrClosed", err)
+	}
+	if !strings.Contains(err.Error(), "late-at") {
+		t.Fatalf("Err() = %q, want it to name the first dropped event", err)
+	}
+}
+
+func TestSchedulerCloseAfterRunLeavesHistory(t *testing.T) {
+	t.Parallel()
+	c := New(Epoch)
+	s := NewScheduler(c)
+	s.After(time.Minute, "e", func(time.Time) {})
+	s.Run(time.Time{})
+	s.Close()
+	if s.Executed() != 1 {
+		t.Fatalf("Executed() = %d after Close, want history preserved", s.Executed())
+	}
+	if s.Err() != nil {
+		t.Fatalf("Err() = %v for a clean Close, want nil", s.Err())
+	}
 }

@@ -8,6 +8,7 @@ import (
 )
 
 func TestNewStartsAtGivenTime(t *testing.T) {
+	t.Parallel()
 	start := time.Date(2020, 5, 1, 12, 0, 0, 0, time.UTC)
 	c := New(start)
 	if got := c.Now(); !got.Equal(start) {
@@ -16,6 +17,7 @@ func TestNewStartsAtGivenTime(t *testing.T) {
 }
 
 func TestAdvanceMovesClock(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	c.Advance(90 * time.Minute)
 	want := Epoch.Add(90 * time.Minute)
@@ -25,6 +27,7 @@ func TestAdvanceMovesClock(t *testing.T) {
 }
 
 func TestAdvanceNegativeIsNoop(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	c.Advance(-time.Hour)
 	if got := c.Now(); !got.Equal(Epoch) {
@@ -33,6 +36,7 @@ func TestAdvanceNegativeIsNoop(t *testing.T) {
 }
 
 func TestAdvanceToBackwardsIsNoop(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	c.AdvanceTo(Epoch.Add(-time.Hour))
 	if got := c.Now(); !got.Equal(Epoch) {
@@ -41,6 +45,7 @@ func TestAdvanceToBackwardsIsNoop(t *testing.T) {
 }
 
 func TestAfterFiresAtDeadline(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	ch := c.After(10 * time.Minute)
 	select {
@@ -67,6 +72,7 @@ func TestAfterFiresAtDeadline(t *testing.T) {
 }
 
 func TestAfterNonPositiveFiresImmediately(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	select {
 	case <-c.After(0):
@@ -81,6 +87,7 @@ func TestAfterNonPositiveFiresImmediately(t *testing.T) {
 }
 
 func TestWaitersDeliveredTheirOwnDeadline(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	durations := []time.Duration{30 * time.Minute, 10 * time.Minute, 20 * time.Minute}
 	chans := make([]<-chan time.Time, len(durations))
@@ -101,6 +108,7 @@ func TestWaitersDeliveredTheirOwnDeadline(t *testing.T) {
 }
 
 func TestConcurrentSleepersAllRelease(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	const n = 16
 	var wg sync.WaitGroup
@@ -122,6 +130,7 @@ func TestConcurrentSleepersAllRelease(t *testing.T) {
 }
 
 func TestPendingAndNextDeadline(t *testing.T) {
+	t.Parallel()
 	c := New(Epoch)
 	if _, ok := c.NextDeadline(); ok {
 		t.Fatal("NextDeadline should report none on a fresh clock")
@@ -142,6 +151,7 @@ func TestPendingAndNextDeadline(t *testing.T) {
 }
 
 func TestRealClockBasics(t *testing.T) {
+	t.Parallel()
 	before := time.Now()
 	got := Real.Now()
 	after := time.Now()
@@ -159,6 +169,7 @@ func TestRealClockBasics(t *testing.T) {
 // Property: advancing by any sequence of non-negative durations is equivalent
 // to advancing once by their sum.
 func TestQuickAdvanceAdditive(t *testing.T) {
+	t.Parallel()
 	f := func(steps []uint16) bool {
 		a := New(Epoch)
 		b := New(Epoch)
@@ -178,6 +189,7 @@ func TestQuickAdvanceAdditive(t *testing.T) {
 
 // Property: a waiter never observes a delivery time earlier than its deadline.
 func TestQuickAfterNeverEarly(t *testing.T) {
+	t.Parallel()
 	f := func(delays []uint8, adv uint16) bool {
 		c := New(Epoch)
 		type pending struct {

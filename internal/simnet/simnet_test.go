@@ -16,6 +16,7 @@ func echoHandler() http.Handler {
 }
 
 func TestRegisterAllocatesPoolRoundRobin(t *testing.T) {
+	t.Parallel()
 	n := New([]string{"10.0.0.1", "10.0.0.2"})
 	a := n.Register("a.example", echoHandler())
 	b := n.Register("b.example", echoHandler())
@@ -26,6 +27,7 @@ func TestRegisterAllocatesPoolRoundRobin(t *testing.T) {
 }
 
 func TestDefaultServerPoolHas22Addresses(t *testing.T) {
+	t.Parallel()
 	pool := DefaultServerPool()
 	if len(pool) != 22 {
 		t.Fatalf("default pool size = %d, want 22 (paper's hosting IPs)", len(pool))
@@ -40,6 +42,7 @@ func TestDefaultServerPoolHas22Addresses(t *testing.T) {
 }
 
 func TestRoundTripReachesHandler(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("shop.example", echoHandler())
 	client := NewClient(n, "198.51.100.9")
@@ -60,6 +63,7 @@ func TestRoundTripReachesHandler(t *testing.T) {
 }
 
 func TestRoundTripUnknownHost(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	client := NewClient(n, "198.51.100.9")
 	_, err := client.Get("http://nope.example/")
@@ -69,6 +73,7 @@ func TestRoundTripUnknownHost(t *testing.T) {
 }
 
 func TestHTTPSRequiresTLS(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("secure.example", echoHandler())
 	client := NewClient(n, "198.51.100.9")
@@ -86,6 +91,7 @@ func TestHTTPSRequiresTLS(t *testing.T) {
 }
 
 func TestTakeDownMakesHostUnreachable(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("bad.example", echoHandler())
 	client := NewClient(n, "198.51.100.9")
@@ -103,6 +109,7 @@ func TestTakeDownMakesHostUnreachable(t *testing.T) {
 }
 
 func TestRequestsCounter(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("a.example", echoHandler())
 	client := NewClient(n, "198.51.100.9")
@@ -119,6 +126,7 @@ func TestRequestsCounter(t *testing.T) {
 }
 
 func TestPostBodyDelivered(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	var got string
 	n.Register("form.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -143,6 +151,7 @@ func TestPostBodyDelivered(t *testing.T) {
 }
 
 func TestRedirectsNotFollowedByDefault(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("r.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "http://elsewhere.example/", http.StatusFound)
@@ -162,6 +171,7 @@ func TestRedirectsNotFollowedByDefault(t *testing.T) {
 }
 
 func TestExternalResolverOverrides(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("real.example", echoHandler())
 	n.SetResolver(resolverFunc(func(host string) (string, bool) {
@@ -178,6 +188,7 @@ type resolverFunc func(string) (string, bool)
 func (f resolverFunc) ResolveA(host string) (string, bool) { return f(host) }
 
 func TestHostsSorted(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	for _, name := range []string{"zeta.example", "alpha.example", "mid.example"} {
 		n.Register(name, echoHandler())
@@ -192,6 +203,7 @@ func TestHostsSorted(t *testing.T) {
 }
 
 func TestContentTypeSniffedForHTML(t *testing.T) {
+	t.Parallel()
 	n := New(nil)
 	n.Register("html.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "<!DOCTYPE html><html><body>hi</body></html>")

@@ -12,6 +12,7 @@ import (
 )
 
 func TestGenerateDefaultPageCount(t *testing.T) {
+	t.Parallel()
 	s := Generate("garden-tools.com", Config{})
 	if len(s.Pages) != DefaultPageCount {
 		t.Fatalf("generated %d pages, want %d", len(s.Pages), DefaultPageCount)
@@ -22,6 +23,7 @@ func TestGenerateDefaultPageCount(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Generate("garden-tools.com", Config{Seed: 5})
 	b := Generate("garden-tools.com", Config{Seed: 5})
 	if len(a.Pages) != len(b.Pages) {
@@ -36,6 +38,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateDomainsDiffer(t *testing.T) {
+	t.Parallel()
 	a := Generate("garden-tools.com", Config{Seed: 5})
 	b := Generate("coffee-guide.net", Config{Seed: 5})
 	if len(a.Pages) == 0 || len(b.Pages) == 0 {
@@ -49,6 +52,7 @@ func TestGenerateDomainsDiffer(t *testing.T) {
 }
 
 func TestPagesUsePHPExtensionsAndDirectories(t *testing.T) {
+	t.Parallel()
 	s := Generate("garden-tools.com", Config{})
 	dirs := map[string]bool{}
 	for path := range s.Pages {
@@ -66,6 +70,7 @@ func TestPagesUsePHPExtensionsAndDirectories(t *testing.T) {
 }
 
 func TestEveryPageReachableFromIndex(t *testing.T) {
+	t.Parallel()
 	s := Generate("coffee-bakery.org", Config{})
 	visited := map[string]bool{}
 	queue := []string{"/index.php"}
@@ -88,6 +93,7 @@ func TestEveryPageReachableFromIndex(t *testing.T) {
 }
 
 func TestLinksPointToExistingPages(t *testing.T) {
+	t.Parallel()
 	s := Generate("music-school.com", Config{})
 	for path, p := range s.Pages {
 		for _, link := range p.Links {
@@ -102,6 +108,7 @@ func TestLinksPointToExistingPages(t *testing.T) {
 }
 
 func TestTopicalContent(t *testing.T) {
+	t.Parallel()
 	s := Generate("garden-tools.com", Config{})
 	idx := s.Pages["/index.php"]
 	if !strings.Contains(strings.ToLower(idx.HTML), "garden") {
@@ -110,6 +117,7 @@ func TestTopicalContent(t *testing.T) {
 }
 
 func TestGibberishDomainFallsBackToRandomKeywords(t *testing.T) {
+	t.Parallel()
 	s := Generate("xqztqq.com", Config{})
 	if len(s.Pages) != DefaultPageCount {
 		t.Fatalf("gibberish domain generated %d pages, want %d", len(s.Pages), DefaultPageCount)
@@ -117,6 +125,7 @@ func TestGibberishDomainFallsBackToRandomKeywords(t *testing.T) {
 }
 
 func TestHandlerServesPagesImagesFavicon(t *testing.T) {
+	t.Parallel()
 	s := Generate("garden-tools.com", Config{})
 	h := s.Handler()
 
@@ -147,6 +156,7 @@ func TestHandlerServesPagesImagesFavicon(t *testing.T) {
 }
 
 func TestWriteZipRoundTrip(t *testing.T) {
+	t.Parallel()
 	s := Generate("garden-tools.com", Config{})
 	var buf bytes.Buffer
 	if err := s.WriteZip(&buf); err != nil {
@@ -179,6 +189,7 @@ func TestWriteZipRoundTrip(t *testing.T) {
 }
 
 func TestImagesShareTopicAcrossPages(t *testing.T) {
+	t.Parallel()
 	s := Generate("garden-tools.com", Config{})
 	if len(s.Images) == 0 {
 		t.Fatal("site should have images")
@@ -193,6 +204,7 @@ func TestImagesShareTopicAcrossPages(t *testing.T) {
 // Property: generation never panics and always yields the requested count
 // (≥1 page) for arbitrary domain-ish inputs.
 func TestQuickGenerateTotal(t *testing.T) {
+	t.Parallel()
 	f := func(label string, n uint8) bool {
 		count := int(n%40) + 1
 		s := Generate(label+".com", Config{PageCount: count, Seed: int64(n)})

@@ -16,7 +16,21 @@ import (
 // on first use; looking a metric up with the same name and labels returns the
 // same instrument, so hot paths resolve their instruments once and then touch
 // only atomics. A nil Registry hands out nil instruments, which no-op.
+//
+// A Registry value is a view: WithLabels returns a second view onto the same
+// family store that stamps extra base labels onto every instrument it hands
+// out. That is how N concurrent replica worlds share one registry without
+// coordination — each world resolves its instruments through its own
+// replica-labelled view, lands on distinct series, and then touches only
+// atomics.
 type Registry struct {
+	st *registryState
+	// base labels stamped onto every instrument resolved through this view.
+	base []string
+}
+
+// registryState is the family store shared by every view of a registry.
+type registryState struct {
 	mu   sync.RWMutex
 	fams map[string]*family
 	help map[string]string
@@ -24,7 +38,32 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{fams: make(map[string]*family), help: make(map[string]string)}
+	return &Registry{st: &registryState{fams: make(map[string]*family), help: make(map[string]string)}}
+}
+
+// WithLabels returns a view of the same registry whose instruments all carry
+// the given extra label pairs (appended to any the view already has). The
+// replica runner uses WithLabels("replica", k) to shard one shared registry
+// into per-world series. A nil registry stays nil.
+func (r *Registry) WithLabels(labelPairs ...string) *Registry {
+	if r == nil || len(labelPairs) == 0 {
+		return r
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("telemetry: odd label list; pass alternating key, value")
+	}
+	base := make([]string, 0, len(r.base)+len(labelPairs))
+	base = append(append(base, r.base...), labelPairs...)
+	return &Registry{st: r.st, base: base}
+}
+
+// withBase prepends the view's base labels to an instrument's own pairs.
+func (r *Registry) withBase(labelPairs []string) []string {
+	if len(r.base) == 0 {
+		return labelPairs
+	}
+	out := make([]string, 0, len(r.base)+len(labelPairs))
+	return append(append(out, r.base...), labelPairs...)
 }
 
 type metricKind int
@@ -61,25 +100,26 @@ func (r *Registry) Describe(name, help string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.help[name] = help
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.help[name] = help
+	r.st.mu.Unlock()
 }
 
 // family returns (creating if needed) the named family, enforcing one kind
 // per name.
 func (r *Registry) family(name string, kind metricKind, buckets []float64) *family {
-	r.mu.RLock()
-	f := r.fams[name]
-	r.mu.RUnlock()
+	st := r.st
+	st.mu.RLock()
+	f := st.fams[name]
+	st.mu.RUnlock()
 	if f == nil {
-		r.mu.Lock()
-		if f = r.fams[name]; f == nil {
+		st.mu.Lock()
+		if f = st.fams[name]; f == nil {
 			f = &family{name: name, kind: kind, buckets: buckets,
 				children: make(map[string]any), labels: make(map[string][]string)}
-			r.fams[name] = f
+			st.fams[name] = f
 		}
-		r.mu.Unlock()
+		st.mu.Unlock()
 	}
 	if f.kind != kind {
 		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
@@ -132,7 +172,7 @@ func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
 		return nil
 	}
 	f := r.family(name, kindCounter, nil)
-	return f.child(labelPairs, func() any { return &Counter{} }).(*Counter)
+	return f.child(r.withBase(labelPairs), func() any { return &Counter{} }).(*Counter)
 }
 
 // Gauge returns the gauge for name with the given label pairs.
@@ -141,7 +181,7 @@ func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
 		return nil
 	}
 	f := r.family(name, kindGauge, nil)
-	return f.child(labelPairs, func() any { return &Gauge{} }).(*Gauge)
+	return f.child(r.withBase(labelPairs), func() any { return &Gauge{} }).(*Gauge)
 }
 
 // Histogram returns the histogram for name with the given label pairs. The
@@ -155,7 +195,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...strin
 		buckets = DefBuckets
 	}
 	f := r.family(name, kindHistogram, buckets)
-	return f.child(labelPairs, func() any { return newHistogram(f.buckets) }).(*Histogram)
+	return f.child(r.withBase(labelPairs), func() any { return newHistogram(f.buckets) }).(*Histogram)
 }
 
 // Counter is a monotonically increasing count.
@@ -340,12 +380,12 @@ func (r *Registry) Snapshot() []Point {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	fams := make([]*family, 0, len(r.fams))
-	for _, f := range r.fams {
+	r.st.mu.RLock()
+	fams := make([]*family, 0, len(r.st.fams))
+	for _, f := range r.st.fams {
 		fams = append(fams, f)
 	}
-	r.mu.RUnlock()
+	r.st.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var out []Point

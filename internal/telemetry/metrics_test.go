@@ -15,6 +15,7 @@ import (
 // resolving instruments and updating them; run under -race this is the
 // subsystem's thread-safety proof.
 func TestRegistryConcurrency(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	const goroutines, iters = 16, 500
 	var wg sync.WaitGroup
@@ -56,6 +57,7 @@ func TestRegistryConcurrency(t *testing.T) {
 }
 
 func TestCounterAndGaugeSemantics(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	c := r.Counter("c_total")
 	c.Inc()
@@ -84,6 +86,7 @@ func TestCounterAndGaugeSemantics(t *testing.T) {
 }
 
 func TestHistogramQuantiles(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", ExpBuckets(0.001, 10, 5)) // 1ms..10s bounds
 	if !math.IsNaN(h.Quantile(0.5)) {
@@ -138,6 +141,7 @@ var promLine = regexp.MustCompile(
 	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+0-9.eEIinfNa]+)$`)
 
 func TestPrometheusTextValidity(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Describe("phish_demo_total", "A demo counter.")
 	r.Counter("phish_demo_total", "engine", "gsb").Add(3)
@@ -189,6 +193,7 @@ func TestPrometheusTextValidity(t *testing.T) {
 }
 
 func TestSnapshotAndJSON(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Counter("a_total", "k", "v").Add(2)
 	r.Gauge("b").Set(1.5)
@@ -223,6 +228,7 @@ func TestSnapshotAndJSON(t *testing.T) {
 }
 
 func TestKindMismatchPanics(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Counter("x")
 	defer func() {
@@ -234,11 +240,74 @@ func TestKindMismatchPanics(t *testing.T) {
 }
 
 func TestExpBuckets(t *testing.T) {
+	t.Parallel()
 	got := ExpBuckets(0.001, 10, 4)
 	want := []float64{0.001, 0.01, 0.1, 1}
 	for i := range want {
 		if math.Abs(got[i]-want[i]) > 1e-12 {
 			t.Fatalf("ExpBuckets = %v, want %v", got, want)
 		}
+	}
+}
+
+func TestWithLabelsShardsOneRegistry(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r0 := r.WithLabels("replica", "0")
+	r1 := r.WithLabels("replica", "1")
+
+	r0.Counter("phish_worlds_total").Add(2)
+	r1.Counter("phish_worlds_total").Inc()
+	r.Counter("phish_worlds_total").Inc() // unlabelled base view
+
+	points := r.Snapshot()
+	byReplica := map[string]float64{}
+	for _, p := range points {
+		if p.Name == "phish_worlds_total" {
+			byReplica[p.Labels["replica"]] = p.Value
+		}
+	}
+	if byReplica["0"] != 2 || byReplica["1"] != 1 || byReplica[""] != 1 {
+		t.Fatalf("sharded counters = %v, want replica 0=2, 1=1, base=1", byReplica)
+	}
+
+	// Same view + same labels resolves the same instrument.
+	if r0.Counter("phish_worlds_total") != r0.Counter("phish_worlds_total") {
+		t.Fatal("repeated resolution through one view returned distinct instruments")
+	}
+	// Views compose: base labels merge with per-instrument labels.
+	r1.Counter("phish_engine_reports_total", "engine", "gsb").Inc()
+	found := false
+	for _, p := range r.Snapshot() {
+		if p.Name == "phish_engine_reports_total" &&
+			p.Labels["replica"] == "1" && p.Labels["engine"] == "gsb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("composed labels (replica + engine) missing from snapshot")
+	}
+
+	// Nil and empty-label views are identity/no-op.
+	if (*Registry)(nil).WithLabels("a", "b") != nil {
+		t.Fatal("nil registry should stay nil")
+	}
+	if r.WithLabels() != r {
+		t.Fatal("WithLabels() without pairs should return the same view")
+	}
+}
+
+func TestSetForReplica(t *testing.T) {
+	t.Parallel()
+	var nilSet *Set
+	if nilSet.ForReplica(3) != nil {
+		t.Fatal("nil set should stay nil")
+	}
+	s := &Set{Metrics: NewRegistry()}
+	s3 := s.ForReplica(3)
+	s3.M().Counter("phish_sched_events_total").Inc()
+	pts := s.M().Snapshot()
+	if len(pts) != 1 || pts[0].Labels["replica"] != "3" {
+		t.Fatalf("snapshot = %+v, want one series labelled replica=3", pts)
 	}
 }

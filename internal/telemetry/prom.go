@@ -16,16 +16,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	fams := make([]*family, 0, len(r.fams))
-	for _, f := range r.fams {
+	r.st.mu.RLock()
+	fams := make([]*family, 0, len(r.st.fams))
+	for _, f := range r.st.fams {
 		fams = append(fams, f)
 	}
-	help := make(map[string]string, len(r.help))
-	for k, v := range r.help {
+	help := make(map[string]string, len(r.st.help))
+	for k, v := range r.st.help {
 		help[k] = v
 	}
-	r.mu.RUnlock()
+	r.st.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder

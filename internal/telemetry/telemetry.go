@@ -16,7 +16,10 @@
 // check (proved by BenchmarkTelemetryOverhead).
 package telemetry
 
-import "time"
+import (
+	"strconv"
+	"time"
+)
 
 // Clock yields the current virtual time. Both *simclock.SimClock and
 // simclock.Real satisfy it; telemetry deliberately depends only on this
@@ -51,4 +54,22 @@ func (s *Set) M() *Registry {
 // Enabled reports whether any telemetry is wired at all.
 func (s *Set) Enabled() bool {
 	return s != nil && (s.Tracer != nil || s.Metrics != nil)
+}
+
+// ForReplica derives a per-world telemetry set for replica id: the metrics
+// half becomes a view of the same registry whose every series carries a
+// "replica" label (see Registry.WithLabels), so N concurrent worlds shard one
+// registry into disjoint series and never contend beyond instrument
+// resolution. The tracer half is carried over as-is — the replica runner keeps
+// it on replica 0 only, because a Tracer has a single virtual clock and
+// interleaving N worlds' timelines in one JSONL stream would be unreadable.
+// A nil set stays nil.
+func (s *Set) ForReplica(id int) *Set {
+	if s == nil {
+		return nil
+	}
+	return &Set{
+		Tracer:  s.Tracer,
+		Metrics: s.Metrics.WithLabels("replica", strconv.Itoa(id)),
+	}
 }

@@ -12,6 +12,7 @@ import (
 )
 
 func TestTraceJSONLRoundTrip(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	var buf bytes.Buffer
 	tr := NewTracer(&buf)
@@ -80,6 +81,7 @@ func TestTraceJSONLRoundTrip(t *testing.T) {
 }
 
 func TestTracerWallFallbackWithoutClock(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	tr := NewTracer(&buf)
 	before := time.Now()
@@ -94,6 +96,7 @@ func TestTracerWallFallbackWithoutClock(t *testing.T) {
 }
 
 func TestTracerConcurrent(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	tr := NewTracer(&buf)
 	tr.SetClock(simclock.New(simclock.Epoch))
@@ -118,6 +121,7 @@ func TestTracerConcurrent(t *testing.T) {
 }
 
 func TestNilTelemetryIsNoOp(t *testing.T) {
+	t.Parallel()
 	// Every call on nil receivers must be safe: this is the uninstrumented
 	// fast path the whole codebase relies on.
 	var set *Set

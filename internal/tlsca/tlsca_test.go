@@ -9,6 +9,7 @@ import (
 )
 
 func TestIssueAndLookup(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	ca := New(clock)
 	cert := ca.Issue("Garden-Tools.example")
@@ -25,6 +26,7 @@ func TestIssueAndLookup(t *testing.T) {
 }
 
 func TestCertificateExpiry(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	ca := New(clock)
 	cert := ca.Issue("a.example")
@@ -37,6 +39,7 @@ func TestCertificateExpiry(t *testing.T) {
 }
 
 func TestTransparencyLogOrder(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	ca := New(clock)
 	ca.Issue("one.example")
@@ -52,6 +55,7 @@ func TestTransparencyLogOrder(t *testing.T) {
 }
 
 func TestIssuedSince(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	ca := New(clock)
 	ca.Issue("old.example")
@@ -65,6 +69,7 @@ func TestIssuedSince(t *testing.T) {
 }
 
 func TestReissueReplacesCurrent(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	ca := New(clock)
 	first := ca.Issue("renew.example")
@@ -80,6 +85,7 @@ func TestReissueReplacesCurrent(t *testing.T) {
 }
 
 func TestCertificateString(t *testing.T) {
+	t.Parallel()
 	ca := New(simclock.New(simclock.Epoch))
 	cert := ca.Issue("s.example")
 	if s := cert.String(); !strings.Contains(s, "s.example") || !strings.Contains(s, "#1") {

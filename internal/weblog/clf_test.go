@@ -25,6 +25,7 @@ func sampleEntry() Entry {
 }
 
 func TestFormatCLFShape(t *testing.T) {
+	t.Parallel()
 	line := FormatCLF(sampleEntry())
 	for _, want := range []string{
 		"66.249.64.7 - - [04/May/2020:13:37:42 +0000]",
@@ -40,6 +41,7 @@ func TestFormatCLFShape(t *testing.T) {
 }
 
 func TestCLFRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := sampleEntry()
 	out, err := ParseCLF(FormatCLF(in))
 	if err != nil {
@@ -53,6 +55,7 @@ func TestCLFRoundTrip(t *testing.T) {
 }
 
 func TestFormatCLFBytes(t *testing.T) {
+	t.Parallel()
 	line := FormatCLF(sampleEntry())
 	if !strings.Contains(line, " 200 5120 ") {
 		t.Fatalf("line %q should carry the real response size after the status", line)
@@ -68,6 +71,7 @@ func TestFormatCLFBytes(t *testing.T) {
 // with the awkward field combinations serve-decision entries actually have:
 // no method, no path, no status, no bytes.
 func TestCLFServeSlotEdgeCases(t *testing.T) {
+	t.Parallel()
 	cases := []Entry{
 		{ // serve decision with empty method and path
 			Time: simclock.Epoch, IP: "10.9.9.9", Host: "h.example",
@@ -96,6 +100,7 @@ func TestCLFServeSlotEdgeCases(t *testing.T) {
 }
 
 func TestCLFServeDecisionRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := sampleEntry()
 	in.Serve = evasion.ServePayload
 	in.Status = 0
@@ -109,6 +114,7 @@ func TestCLFServeDecisionRoundTrip(t *testing.T) {
 }
 
 func TestWriteReadCLFWholeLog(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	log := New(clock)
 	log.Append(sampleEntry())
@@ -134,6 +140,7 @@ func TestWriteReadCLFWholeLog(t *testing.T) {
 }
 
 func TestParseCLFMalformed(t *testing.T) {
+	t.Parallel()
 	for _, line := range []string{
 		"",
 		"nonsense",
@@ -148,6 +155,7 @@ func TestParseCLFMalformed(t *testing.T) {
 
 // Property: format→parse is lossless for entries with printable fields.
 func TestQuickCLFRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(ipOct uint8, status uint8, pathSeed uint16) bool {
 		e := Entry{
 			Time:      simclock.Epoch.Add(time.Duration(pathSeed) * time.Second),

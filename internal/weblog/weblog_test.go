@@ -12,6 +12,7 @@ import (
 )
 
 func TestMiddlewareRecordsRequests(t *testing.T) {
+	t.Parallel()
 	clock := simclock.New(simclock.Epoch)
 	log := New(clock)
 	net := simnet.New(nil)
@@ -51,6 +52,7 @@ func TestMiddlewareRecordsRequests(t *testing.T) {
 }
 
 func TestUniqueIPsAndRequests(t *testing.T) {
+	t.Parallel()
 	log := New(simclock.New(simclock.Epoch))
 	for i, ip := range []string{"10.0.0.1", "10.0.0.2", "10.0.0.1", "10.0.0.3"} {
 		log.Append(Entry{IP: ip, Path: "/", Time: simclock.Epoch.Add(time.Duration(i) * time.Minute)})
@@ -64,6 +66,7 @@ func TestUniqueIPsAndRequests(t *testing.T) {
 }
 
 func TestServeLoggerAndPayloadServes(t *testing.T) {
+	t.Parallel()
 	log := New(simclock.New(simclock.Epoch))
 	fn := log.ServeLogger()
 	req, _ := http.NewRequest("POST", "http://x.example/login.php", nil)
@@ -85,6 +88,7 @@ func TestServeLoggerAndPayloadServes(t *testing.T) {
 }
 
 func TestClassifyProbe(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		path string
 		kind ProbeKind
@@ -109,6 +113,7 @@ func TestClassifyProbe(t *testing.T) {
 }
 
 func TestProbeReport(t *testing.T) {
+	t.Parallel()
 	log := New(simclock.New(simclock.Epoch))
 	paths := []string{"/shell.php", "/c99.php", "/kit.zip", "/creds.txt", "/a.log", "/index.php"}
 	for _, p := range paths {
@@ -121,6 +126,7 @@ func TestProbeReport(t *testing.T) {
 }
 
 func TestTrafficConcentration(t *testing.T) {
+	t.Parallel()
 	log := New(simclock.New(simclock.Epoch))
 	// 9 requests in the first 2 hours, 1 request much later: 90%.
 	for i := 0; i < 9; i++ {
@@ -134,6 +140,7 @@ func TestTrafficConcentration(t *testing.T) {
 }
 
 func TestTrafficConcentrationEmpty(t *testing.T) {
+	t.Parallel()
 	log := New(simclock.New(simclock.Epoch))
 	if got := log.TrafficConcentration(time.Hour); got != 0 {
 		t.Fatalf("empty log concentration = %v", got)

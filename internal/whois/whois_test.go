@@ -19,6 +19,7 @@ func sample() Record {
 }
 
 func TestLookupUnregisteredIsNotFound(t *testing.T) {
+	t.Parallel()
 	db := NewDB()
 	if _, ok := db.Lookup("nobody.example"); ok {
 		t.Fatal("unregistered domain should not be found")
@@ -29,6 +30,7 @@ func TestLookupUnregisteredIsNotFound(t *testing.T) {
 }
 
 func TestPutThenLookup(t *testing.T) {
+	t.Parallel()
 	db := NewDB()
 	db.Put(sample())
 	r, ok := db.Lookup("GARDEN-TOOLS.example")
@@ -41,6 +43,7 @@ func TestPutThenLookup(t *testing.T) {
 }
 
 func TestDeleteReturnsToNotFound(t *testing.T) {
+	t.Parallel()
 	db := NewDB()
 	db.Put(sample())
 	db.Delete("garden-tools.example")
@@ -50,6 +53,7 @@ func TestDeleteReturnsToNotFound(t *testing.T) {
 }
 
 func TestTextRendering(t *testing.T) {
+	t.Parallel()
 	db := NewDB()
 	db.Put(sample())
 	text := db.Text("garden-tools.example")
@@ -67,6 +71,7 @@ func TestTextRendering(t *testing.T) {
 }
 
 func TestTextUnsigned(t *testing.T) {
+	t.Parallel()
 	db := NewDB()
 	r := sample()
 	r.DNSSEC = false
@@ -82,6 +87,7 @@ func TestTextUnsigned(t *testing.T) {
 }
 
 func TestQueriesCounter(t *testing.T) {
+	t.Parallel()
 	db := NewDB()
 	db.Put(sample())
 	db.Lookup("garden-tools.example")

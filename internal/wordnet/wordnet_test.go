@@ -8,6 +8,7 @@ import (
 )
 
 func TestDictionaryNonTrivialAndSorted(t *testing.T) {
+	t.Parallel()
 	d := Dictionary()
 	if len(d) < 200 {
 		t.Fatalf("dictionary has %d words, want a non-trivial vocabulary", len(d))
@@ -18,6 +19,7 @@ func TestDictionaryNonTrivialAndSorted(t *testing.T) {
 }
 
 func TestKnown(t *testing.T) {
+	t.Parallel()
 	for _, w := range []string{"garden", "Yard", "ESPRESSO", "blog"} {
 		if !Known(w) {
 			t.Errorf("Known(%q) = false, want true", w)
@@ -29,6 +31,7 @@ func TestKnown(t *testing.T) {
 }
 
 func TestSynonymsHeadWord(t *testing.T) {
+	t.Parallel()
 	syns := Synonyms("garden")
 	if len(syns) == 0 {
 		t.Fatal("garden should have synonyms")
@@ -45,6 +48,7 @@ func TestSynonymsHeadWord(t *testing.T) {
 }
 
 func TestSynonymsReverseLookup(t *testing.T) {
+	t.Parallel()
 	syns := Synonyms("orchard")
 	if len(syns) == 0 || syns[0] != "garden" {
 		t.Fatalf("Synonyms(orchard) = %v, want head word garden first", syns)
@@ -52,12 +56,14 @@ func TestSynonymsReverseLookup(t *testing.T) {
 }
 
 func TestSynonymsUnknown(t *testing.T) {
+	t.Parallel()
 	if got := Synonyms("qwertyuiop"); got != nil {
 		t.Fatalf("Synonyms(unknown) = %v, want nil", got)
 	}
 }
 
 func TestSynonymsReturnsCopy(t *testing.T) {
+	t.Parallel()
 	a := Synonyms("garden")
 	a[0] = "MUTATED"
 	b := Synonyms("garden")
@@ -67,6 +73,7 @@ func TestSynonymsReturnsCopy(t *testing.T) {
 }
 
 func TestExtractKeywordsHyphenated(t *testing.T) {
+	t.Parallel()
 	got := ExtractKeywords("garden-tools.com")
 	want := map[string]bool{"garden": true, "tool": false} // "tools" is not in dict; "tool" via segmentation? "tools" segments to "tool"+"s"
 	_ = want
@@ -76,6 +83,7 @@ func TestExtractKeywordsHyphenated(t *testing.T) {
 }
 
 func TestExtractKeywordsConcatenated(t *testing.T) {
+	t.Parallel()
 	got := ExtractKeywords("bestcoffeeguide.net")
 	joined := strings.Join(got, ",")
 	for _, w := range []string{"best", "coffee", "guide"} {
@@ -86,6 +94,7 @@ func TestExtractKeywordsConcatenated(t *testing.T) {
 }
 
 func TestExtractKeywordsDigitsAndDuplicates(t *testing.T) {
+	t.Parallel()
 	got := ExtractKeywords("coffee2coffee.org")
 	count := 0
 	for _, w := range got {
@@ -99,12 +108,14 @@ func TestExtractKeywordsDigitsAndDuplicates(t *testing.T) {
 }
 
 func TestExtractKeywordsNoWords(t *testing.T) {
+	t.Parallel()
 	if got := ExtractKeywords("xqzt.com"); len(got) != 0 {
 		t.Fatalf("ExtractKeywords(gibberish) = %v, want none", got)
 	}
 }
 
 func TestRandomKeywordsDeterministic(t *testing.T) {
+	t.Parallel()
 	a := RandomKeywords(42, 5)
 	b := RandomKeywords(42, 5)
 	if len(a) != 5 {
@@ -128,6 +139,7 @@ func TestRandomKeywordsDeterministic(t *testing.T) {
 }
 
 func TestRandomKeywordsBounded(t *testing.T) {
+	t.Parallel()
 	all := RandomKeywords(1, 10_000)
 	if len(all) == 0 || len(all) > len(Dictionary()) {
 		t.Fatalf("RandomKeywords over-asked returned %d words", len(all))
@@ -135,6 +147,7 @@ func TestRandomKeywordsBounded(t *testing.T) {
 }
 
 func TestParagraphsDeterministicAndTopical(t *testing.T) {
+	t.Parallel()
 	p1 := Paragraphs("coffee", 7, 4)
 	p2 := Paragraphs("coffee", 7, 4)
 	if len(p1) != 4 {
@@ -161,6 +174,7 @@ func TestParagraphsDeterministicAndTopical(t *testing.T) {
 
 // Property: every keyword extracted from any string is a dictionary word.
 func TestQuickExtractOnlyDictionaryWords(t *testing.T) {
+	t.Parallel()
 	f := func(s string) bool {
 		for _, w := range ExtractKeywords(s + ".com") {
 			if !Known(w) {

@@ -5,8 +5,9 @@
 //
 //	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel]
 //	          [-seed N] [-replicas N] [-parallel P]
-//	          [-traffic-scale F] [-main-traffic N]
-//	          [-json out.json] [-trace out.jsonl] [-metrics out.prom] [-v]
+//	          [-traffic-scale F] [-main-traffic N] [-nocache]
+//	          [-json out.json] [-trace out.jsonl] [-metrics out.prom]
+//	          [-cpuprofile out.pprof] [-memprofile out.pprof] [-v]
 //
 // The default stage runs everything: Table 1 (preliminary test), Table 2
 // (main experiment), Table 3 (extensions), the headline claims comparison,
@@ -23,6 +24,12 @@
 // and events) as JSON Lines, -metrics snapshots the metrics registry in
 // Prometheus text format after every stage, and -v narrates stage progress
 // with wall times and headline counters on stderr.
+//
+// Performance: -cpuprofile and -memprofile write pprof profiles covering the
+// whole run (the heap profile is taken at exit, after runtime.GC), and
+// -nocache disables the visit-path caches (DOM, scriptlet, render, site, kit)
+// — results are bit-identical either way, so the flag exists to measure the
+// caches and to serve as an escape hatch, not to change behaviour.
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"areyouhuman/internal/core"
@@ -57,12 +66,21 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker goroutines for -replicas (0 = GOMAXPROCS); affects wall time only, never results")
 		scale       = flag.Float64("traffic-scale", 1, "crawler fleet volume scale (1 = Table 1 calibration)")
 		mainTraffic = flag.Int("main-traffic", 0, "fleet requests per URL in the main stage (0 = default 200)")
+		noCache     = flag.Bool("nocache", false, "disable the visit-path caches (DOM/scriptlet/render/site/kit); results are identical, only slower")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file (stage all/preliminary/main/extensions)")
 		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (virtual-time spans and events) to this file")
 		metricsOut  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after each stage")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (taken at exit after GC) to this file")
 		verbose     = flag.Bool("v", false, "narrate stage progress and telemetry totals on stderr")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishfarm:", err)
+		os.Exit(1)
+	}
 
 	opts := options{
 		stage:       *stage,
@@ -91,11 +109,11 @@ func main() {
 		Seed:                 *seed,
 		TrafficScale:         *scale,
 		MainTrafficPerReport: *mainTraffic,
+		NoCache:              *noCache,
 		Telemetry:            opts.tel,
 	}
 	f := core.New(cfg)
 
-	var err error
 	if *replicas > 1 {
 		err = runReplicated(cfg, opts, *replicas, *parallel, *seed)
 	} else {
@@ -106,10 +124,50 @@ func main() {
 	} else if traceBuf != nil {
 		traceBuf.Flush()
 	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phishfarm:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges the exit-time heap
+// snapshot; the returned func stops the CPU profile and writes the heap
+// profile (after a GC, so the numbers reflect live memory, not garbage).
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // finish flushes the trace and writes the final metrics snapshot.

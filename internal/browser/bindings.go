@@ -3,6 +3,7 @@ package browser
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"net/url"
 	"sort"
 	"strings"
@@ -27,6 +28,14 @@ type scriptHost struct {
 	timers   []timer
 	seq      int
 	elements map[*htmlmini.Node]*scriptlet.Object
+	nodes    map[*scriptlet.Object]*htmlmini.Node
+
+	// Element methods are shared across all wrappers (the receiver arrives
+	// as `this`), so creating a wrapper costs no per-method closures.
+	elemGetAttr scriptlet.NativeFunc
+	elemSetAttr scriptlet.NativeFunc
+	elemAppend  scriptlet.NativeFunc
+	elemSubmit  scriptlet.NativeFunc
 }
 
 // runScripts executes the page's inline scripts, the onload handler, and
@@ -34,15 +43,31 @@ type scriptHost struct {
 // widget. The first script failure is recorded and halts further execution,
 // like an uncaught exception would.
 func (p *Page) runScripts() {
+	// The script list is extracted before anything runs, so the cached copy
+	// (from the pristine template) is identical to what this clone holds.
+	scripts := p.browser.cfg.DOMCache.Scripts(p.RawHTML, p.DOM)
+	if len(scripts) == 0 && !p.browser.cfg.CanSolveCAPTCHA {
+		// Nothing can run: window.onload and timers only exist once a script
+		// sets them, so a script-less page needs no interpreter or DOM
+		// bindings at all — a large share of visit allocations for the
+		// payload pages, which are plain HTML forms.
+		return
+	}
 	h := &scriptHost{
 		page:     p,
 		interp:   scriptlet.NewInterp(),
 		elements: make(map[*htmlmini.Node]*scriptlet.Object),
+		nodes:    make(map[*scriptlet.Object]*htmlmini.Node),
 	}
+	h.initElementMethods()
 	h.installGlobals()
 
-	for _, src := range p.DOM.Scripts() {
-		if err := h.interp.Run(src); err != nil {
+	for _, src := range scripts {
+		prog, err := p.browser.cfg.ScriptCache.Get(src) // nil cache compiles fresh
+		if err == nil {
+			err = h.interp.RunProgram(prog)
+		}
+		if err != nil {
 			p.fail(err)
 			break
 		}
@@ -87,7 +112,9 @@ func (h *scriptHost) alertFn(_ scriptlet.Value, args []scriptlet.Value) (scriptl
 		msg = scriptlet.ToString(args[0])
 	}
 	h.page.Dialogs = append(h.page.Dialogs, msg)
-	h.page.browser.tracef(EventAlert, "%q", msg)
+	if h.page.browser.tracing() {
+		h.page.browser.tracef(EventAlert, "%q", msg)
+	}
 	if h.page.browser.cfg.AlertPolicy == AlertIgnore {
 		return nil, ErrDialogUnhandled
 	}
@@ -100,15 +127,22 @@ func (h *scriptHost) confirmFn(_ scriptlet.Value, args []scriptlet.Value) (scrip
 		msg = scriptlet.ToString(args[0])
 	}
 	h.page.Dialogs = append(h.page.Dialogs, msg)
+	tracing := h.page.browser.tracing()
 	switch h.page.browser.cfg.AlertPolicy {
 	case AlertConfirm:
-		h.page.browser.tracef(EventConfirm, "%q -> true", msg)
+		if tracing {
+			h.page.browser.tracef(EventConfirm, "%q -> true", msg)
+		}
 		return true, nil
 	case AlertDismiss:
-		h.page.browser.tracef(EventConfirm, "%q -> false", msg)
+		if tracing {
+			h.page.browser.tracef(EventConfirm, "%q -> false", msg)
+		}
 		return false, nil
 	default:
-		h.page.browser.tracef(EventConfirm, "%q -> unhandled", msg)
+		if tracing {
+			h.page.browser.tracef(EventConfirm, "%q -> unhandled", msg)
+		}
 		return nil, ErrDialogUnhandled
 	}
 }
@@ -130,12 +164,20 @@ func (h *scriptHost) setTimeoutFn(_ scriptlet.Value, args []scriptlet.Value) (sc
 	return float64(h.seq), nil
 }
 
-func (h *scriptHost) consoleObject() *scriptlet.Object {
+// sharedConsole is the console binding, shared by every page: console.log is
+// a stateless no-op, and the write-suppressing Setter keeps scripts from
+// storing state on it (which would leak between pages through the sharing).
+var sharedConsole = func() *scriptlet.Object {
 	console := scriptlet.NewObject()
 	console.Set("log", scriptlet.NativeFunc(func(_ scriptlet.Value, _ []scriptlet.Value) (scriptlet.Value, error) {
 		return nil, nil
 	}))
+	console.Setter = func(string, scriptlet.Value) bool { return true }
 	return console
+}()
+
+func (h *scriptHost) consoleObject() *scriptlet.Object {
+	return sharedConsole
 }
 
 // fireOnload calls window.onload if a script assigned one.
@@ -235,7 +277,8 @@ func (h *scriptHost) documentObject() *scriptlet.Object {
 		}
 		return h.elementArray(h.page.DOM.Find(scriptlet.ToString(args[0]))), nil
 	}))
-	doc.Set("body", h.element(h.page.DOM.Body()))
+	// "body" is served by the Getter below (consulted before Props), so no
+	// eager wrapper is built for pages whose scripts never touch it.
 	doc.Getter = func(key string) (scriptlet.Value, bool) {
 		switch key {
 		case "title":
@@ -276,6 +319,73 @@ func (h *scriptHost) elementArray(nodes []*htmlmini.Node) *scriptlet.Object {
 	return scriptlet.NewArray(elems...)
 }
 
+// initElementMethods builds the shared element method implementations. Each
+// resolves its DOM node from the receiver, so one closure per host serves
+// every element wrapper.
+func (h *scriptHost) initElementMethods() {
+	h.elemGetAttr = func(this scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		n := h.receiverNode(this)
+		if n == nil {
+			return nil, fmt.Errorf("getAttribute: not an element")
+		}
+		if len(args) == 0 {
+			return scriptlet.NullValue, nil
+		}
+		if v, ok := n.Attr(scriptlet.ToString(args[0])); ok {
+			return v, nil
+		}
+		return scriptlet.NullValue, nil
+	}
+	h.elemSetAttr = func(this scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		n := h.receiverNode(this)
+		if n == nil {
+			return nil, fmt.Errorf("setAttribute: not an element")
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("setAttribute: need name and value")
+		}
+		n.SetAttr(scriptlet.ToString(args[0]), scriptlet.ToString(args[1]))
+		return nil, nil
+	}
+	h.elemAppend = func(this scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
+		n := h.receiverNode(this)
+		if n == nil {
+			return nil, fmt.Errorf("appendChild: not an element")
+		}
+		if len(args) == 0 {
+			return nil, fmt.Errorf("appendChild: missing child")
+		}
+		childObj, ok := args[0].(*scriptlet.Object)
+		if !ok {
+			return nil, fmt.Errorf("appendChild: not an element")
+		}
+		child := h.nodes[childObj]
+		if child == nil {
+			return nil, fmt.Errorf("appendChild: foreign object")
+		}
+		n.AppendChild(child)
+		return args[0], nil
+	}
+	h.elemSubmit = func(this scriptlet.Value, _ []scriptlet.Value) (scriptlet.Value, error) {
+		n := h.receiverNode(this)
+		if n == nil || n.Tag != "form" {
+			return nil, fmt.Errorf("submit: not a form")
+		}
+		h.submitFormNode(n)
+		return nil, nil
+	}
+}
+
+// receiverNode resolves a method receiver back to its DOM node (nil for
+// non-element receivers).
+func (h *scriptHost) receiverNode(this scriptlet.Value) *htmlmini.Node {
+	obj, ok := this.(*scriptlet.Object)
+	if !ok {
+		return nil
+	}
+	return h.nodes[obj]
+}
+
 // element returns the (cached) script wrapper for a DOM node.
 func (h *scriptHost) element(n *htmlmini.Node) *scriptlet.Object {
 	if el, ok := h.elements[n]; ok {
@@ -284,45 +394,12 @@ func (h *scriptHost) element(n *htmlmini.Node) *scriptlet.Object {
 	el := scriptlet.NewObject()
 	el.Class = "Element"
 	h.elements[n] = el
+	h.nodes[el] = n
 
-	el.Set("getAttribute", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
-		if len(args) == 0 {
-			return scriptlet.NullValue, nil
-		}
-		if v, ok := n.Attr(scriptlet.ToString(args[0])); ok {
-			return v, nil
-		}
-		return scriptlet.NullValue, nil
-	}))
-	el.Set("setAttribute", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
-		if len(args) < 2 {
-			return nil, fmt.Errorf("setAttribute: need name and value")
-		}
-		n.SetAttr(scriptlet.ToString(args[0]), scriptlet.ToString(args[1]))
-		return nil, nil
-	}))
-	el.Set("appendChild", scriptlet.NativeFunc(func(_ scriptlet.Value, args []scriptlet.Value) (scriptlet.Value, error) {
-		if len(args) == 0 {
-			return nil, fmt.Errorf("appendChild: missing child")
-		}
-		childObj, ok := args[0].(*scriptlet.Object)
-		if !ok {
-			return nil, fmt.Errorf("appendChild: not an element")
-		}
-		child := h.nodeFor(childObj)
-		if child == nil {
-			return nil, fmt.Errorf("appendChild: foreign object")
-		}
-		n.AppendChild(child)
-		return args[0], nil
-	}))
-	el.Set("submit", scriptlet.NativeFunc(func(_ scriptlet.Value, _ []scriptlet.Value) (scriptlet.Value, error) {
-		if n.Tag != "form" {
-			return nil, fmt.Errorf("submit: not a form")
-		}
-		h.submitFormNode(n)
-		return nil, nil
-	}))
+	el.Set("getAttribute", h.elemGetAttr)
+	el.Set("setAttribute", h.elemSetAttr)
+	el.Set("appendChild", h.elemAppend)
+	el.Set("submit", h.elemSubmit)
 	el.Getter = func(key string) (scriptlet.Value, bool) {
 		switch key {
 		case "value":
@@ -380,12 +457,7 @@ func (h *scriptHost) styleObject() *scriptlet.Object {
 
 // nodeFor reverse-maps a wrapper to its DOM node.
 func (h *scriptHost) nodeFor(obj *scriptlet.Object) *htmlmini.Node {
-	for n, o := range h.elements {
-		if o == obj {
-			return n
-		}
-	}
-	return nil
+	return h.nodes[obj]
 }
 
 // submitFormNode converts a form node into a pending navigation, like a real
@@ -402,7 +474,9 @@ func (h *scriptHost) submitFormNode(n *htmlmini.Node) {
 	if action == "" {
 		action = h.page.URL.String()
 	}
-	h.page.browser.tracef(EventSubmit, "script %s %s (%d fields)", method, action, len(fields))
+	if h.page.browser.tracing() {
+		h.page.browser.tracef(EventSubmit, "script %s %s (%d fields)", method, action, len(fields))
+	}
 	h.requestNavigation(method, action, fields)
 }
 
@@ -429,7 +503,12 @@ func (h *scriptHost) solveCaptcha() {
 	q := solveURL.Query()
 	q.Set("sitekey", sitekey)
 	solveURL.RawQuery = q.Encode()
-	resp, err := h.page.browser.client.Get(solveURL.String())
+	solveReq, err := http.NewRequest("GET", solveURL.String(), nil)
+	if err != nil {
+		h.page.fail(fmt.Errorf("browser: captcha challenge: %w", err))
+		return
+	}
+	resp, err := h.page.browser.do(solveReq)
 	if err != nil {
 		h.page.fail(fmt.Errorf("browser: captcha challenge: %w", err))
 		return

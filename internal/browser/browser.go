@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/scriptlet"
 	"areyouhuman/internal/simnet"
 )
 
@@ -70,6 +71,18 @@ type Config struct {
 	// CanSolveCAPTCHA marks human visitors; the CAPTCHA widget binding
 	// consults it. No anti-phishing engine sets it.
 	CanSolveCAPTCHA bool
+	// TraceEvents records a journey trace readable via Trace. Off by
+	// default: formatting the detail string costs an allocation per fetch,
+	// dialog, and submission, and nothing on the visit hot path reads it.
+	TraceEvents bool
+	// DOMCache, when set, memoises HTML parsing by response body content.
+	// Every page is served a fresh deep clone, so script mutation cannot leak
+	// between visits; output is bit-identical with or without the cache.
+	DOMCache *htmlmini.ParseCache
+	// ScriptCache, when set, memoises script compilation by source text. The
+	// AST is immutable under evaluation, so sharing compiled programs across
+	// visits is semantics-preserving.
+	ScriptCache *scriptlet.ProgramCache
 }
 
 // EventKind labels trace events.
@@ -93,10 +106,17 @@ type Event struct {
 
 // Browser is a stateful emulated browser (cookies persist across pages).
 type Browser struct {
-	cfg    Config
-	client *http.Client
-	trace  []Event
+	cfg       Config
+	transport *simnet.Transport
+	jar       *cookiejar.Jar
+	trace     []Event
+	// uaHeader is the User-Agent header value, allocated once and shared by
+	// every request this browser sends (nothing downstream mutates it).
+	uaHeader []string
 }
+
+// formContentType is the shared Content-Type value for form posts.
+var formContentType = []string{"application/x-www-form-urlencoded"}
 
 // New returns a browser riding the given virtual internet.
 func New(net *simnet.Internet, cfg Config) *Browser {
@@ -111,17 +131,62 @@ func New(net *simnet.Internet, cfg Config) *Browser {
 	}
 	jar, _ := cookiejar.New(nil)
 	return &Browser{
-		cfg: cfg,
-		client: &http.Client{
-			Transport: &simnet.Transport{Net: net, SourceIP: cfg.SourceIP},
-			Jar:       jar,
-			CheckRedirect: func(req *http.Request, via []*http.Request) error {
-				if len(via) >= 10 {
-					return errors.New("browser: too many redirects")
-				}
-				return nil
-			},
-		},
+		cfg:       cfg,
+		uaHeader:  []string{cfg.UserAgent},
+		transport: &simnet.Transport{Net: net, SourceIP: cfg.SourceIP},
+		jar:       jar,
+	}
+}
+
+// do sends req over the virtual network, attaching jar cookies and following
+// redirects the way http.Client would (POST rewrites to GET on 301/302/303,
+// Referer carried across hops, at most 10 hops). Driving the transport
+// directly avoids http.Client's defensive per-request header clone, which was
+// a measurable slice of visit allocations.
+func (b *Browser) do(req *http.Request) (*http.Response, error) {
+	for hop := 0; ; hop++ {
+		if cookies := b.jar.Cookies(req.URL); len(cookies) > 0 {
+			for _, c := range cookies {
+				req.AddCookie(c)
+			}
+		}
+		resp, err := b.transport.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if rc := resp.Cookies(); len(rc) > 0 {
+			b.jar.SetCookies(req.URL, rc)
+		}
+		switch resp.StatusCode {
+		case http.StatusMovedPermanently, http.StatusFound, http.StatusSeeOther,
+			http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
+		default:
+			return resp, nil
+		}
+		loc := resp.Header.Get("Location")
+		if loc == "" {
+			return resp, nil
+		}
+		if hop >= 9 {
+			resp.Body.Close()
+			return nil, errors.New("browser: too many redirects")
+		}
+		u, perr := req.URL.Parse(loc)
+		resp.Body.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("browser: bad redirect location %q: %w", loc, perr)
+		}
+		method := req.Method
+		if resp.StatusCode != http.StatusTemporaryRedirect && resp.StatusCode != http.StatusPermanentRedirect {
+			method = "GET"
+		}
+		next, nerr := http.NewRequest(method, u.String(), nil)
+		if nerr != nil {
+			return nil, nerr
+		}
+		next.Header["User-Agent"] = b.uaHeader
+		next.Header.Set("Referer", req.URL.String())
+		req = next
 	}
 }
 
@@ -135,8 +200,29 @@ func (b *Browser) Trace() []Event {
 	return out
 }
 
+// tracing gates tracef calls: hot paths check it first so disabled runs
+// don't even build the variadic argument slice.
+func (b *Browser) tracing() bool { return b.cfg.TraceEvents }
+
 func (b *Browser) tracef(kind EventKind, format string, args ...any) {
+	if !b.cfg.TraceEvents {
+		return
+	}
 	b.trace = append(b.trace, Event{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// readBody drains a response body. When the transport declares the length
+// (the simulated network always does), the buffer is sized exactly once
+// instead of grown through io.ReadAll's doubling.
+func readBody(resp *http.Response) ([]byte, error) {
+	if n := resp.ContentLength; n >= 0 {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(resp.Body, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Page is one rendered document.
@@ -194,7 +280,7 @@ func (b *Browser) fetch(method, target string, form url.Values, referer *url.URL
 	if method == "POST" {
 		req, err = http.NewRequest("POST", target, strings.NewReader(form.Encode()))
 		if err == nil {
-			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+			req.Header["Content-Type"] = formContentType
 		}
 	} else {
 		u := target
@@ -210,27 +296,30 @@ func (b *Browser) fetch(method, target string, form url.Values, referer *url.URL
 	if err != nil {
 		return nil, fmt.Errorf("browser: building request for %s: %w", target, err)
 	}
-	req.Header.Set("User-Agent", b.cfg.UserAgent)
+	req.Header["User-Agent"] = b.uaHeader
 	if referer != nil {
 		req.Header.Set("Referer", referer.String())
 	}
-	resp, err := b.client.Do(req)
+	resp, err := b.do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := readBody(resp)
 	if err != nil {
 		return nil, fmt.Errorf("browser: reading %s: %w", target, err)
 	}
-	b.tracef(EventFetch, "%s %s -> %d", method, req.URL, resp.StatusCode)
+	if b.tracing() {
+		b.tracef(EventFetch, "%s %s -> %d", method, req.URL, resp.StatusCode)
+	}
 
 	finalURL := resp.Request.URL // after redirects
+	raw := string(body)
 	page := &Page{
 		URL:     finalURL,
 		Status:  resp.StatusCode,
-		RawHTML: string(body),
-		DOM:     htmlmini.Parse(string(body)),
+		RawHTML: raw,
+		DOM:     b.cfg.DOMCache.Get(raw), // nil cache degrades to Parse
 		browser: b,
 	}
 	if b.cfg.ExecuteScripts && strings.Contains(resp.Header.Get("Content-Type"), "text/html") {
@@ -289,6 +378,8 @@ func (p *Page) Submit(form htmlmini.Form, overrides map[string]string) (*Page, e
 			return nil, err
 		}
 	}
-	p.browser.tracef(EventSubmit, "%s %s (%d fields)", form.Method, action, len(fields))
+	if p.browser.tracing() {
+		p.browser.tracef(EventSubmit, "%s %s (%d fields)", form.Method, action, len(fields))
+	}
 	return p.browser.navigate(form.Method, action.String(), fields, p.URL)
 }

@@ -388,7 +388,7 @@ func TestTraceRecordsJourney(t *testing.T) {
 	t.Parallel()
 	net := newNet()
 	net.Register("gate.example", serve(confirmPage))
-	b := New(net, Config{ExecuteScripts: true, AlertPolicy: AlertConfirm})
+	b := New(net, Config{ExecuteScripts: true, AlertPolicy: AlertConfirm, TraceEvents: true})
 	if _, err := b.Open("http://gate.example/"); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"areyouhuman/internal/experiment"
+)
+
+// TestCachesAreSemanticsPreserving proves the visit-path caches (parsed-DOM,
+// compiled scriptlets, evasion render, generated sites, phishing kits) never
+// change what the study computes: the same four replicas run with caches
+// enabled and with Config.NoCache must produce bit-identical reports and JSON
+// exports. Both arms run with four concurrent workers, so under -race this
+// also exercises the process-global caches (sitegen, phishkit) and the
+// sync.Pool-backed substrates across concurrently live worlds.
+func TestCachesAreSemanticsPreserving(t *testing.T) {
+	t.Parallel()
+	const replicas = 4
+
+	run := func(noCache bool) *ReplicaSet {
+		cfg := fastCfg()
+		cfg.NoCache = noCache
+		rs, err := RunReplicas(ReplicaOptions{
+			Replicas: replicas,
+			Parallel: replicas,
+			Base:     cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	cached := run(false)
+	fresh := run(true)
+
+	for k := 0; k < replicas; k++ {
+		if got, want := cached.Runs[k].Results.Report(), fresh.Runs[k].Results.Report(); got != want {
+			t.Errorf("replica %d report differs with caches enabled:\n--- cached ---\n%s\n--- nocache ---\n%s", k, got, want)
+		}
+	}
+	if got, want := cached.Report(), fresh.Report(); got != want {
+		t.Errorf("aggregate report depends on caching:\n--- cached ---\n%s\n--- nocache ---\n%s", got, want)
+	}
+
+	var cachedJSON, freshJSON strings.Builder
+	if err := cached.WriteJSON(&cachedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.WriteJSON(&freshJSON); err != nil {
+		t.Fatal(err)
+	}
+	if cachedJSON.String() != freshJSON.String() {
+		t.Error("JSON export depends on caching")
+	}
+}
+
+// TestNoCacheDisablesWorldCaches pins the escape hatch's mechanism: a NoCache
+// world carries no shared caches, so every consumer degrades to fresh parses.
+func TestNoCacheDisablesWorldCaches(t *testing.T) {
+	t.Parallel()
+	cfg := fastCfg()
+	cfg.NoCache = true
+	w := experiment.NewWorld(cfg)
+	if w.DOMCache != nil || w.Scripts != nil {
+		t.Errorf("NoCache world still carries caches: DOM=%v scripts=%v", w.DOMCache, w.Scripts)
+	}
+	w = experiment.NewWorld(fastCfg())
+	if w.DOMCache == nil || w.Scripts == nil {
+		t.Errorf("default world is missing caches: DOM=%v scripts=%v", w.DOMCache, w.Scripts)
+	}
+}

@@ -97,6 +97,8 @@ func (f *Framework) runExposure(tech evasion.Technique, idx int) (ExposureResult
 				AlertPolicy:     browser.AlertConfirm,
 				TimerBudget:     time.Hour,
 				CanSolveCAPTCHA: true,
+				DOMCache:        w.DOMCache,
+				ScriptCache:     w.Scripts,
 			})
 			page, err := human.Open(url)
 			if err != nil {

@@ -81,22 +81,19 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Names are unique by construction (the tail word encodes the list
+	// position), so no dedup table is needed: at paper scale a 1M-entry seen
+	// map plus retry loop dominated world construction.
 	top := make([]string, cfg.ListSize)
-	seen := make(map[string]bool, cfg.ListSize)
+	buf := make([]byte, 0, 32)
 	for i := range top {
-		for {
-			name := synthDomain(rng)
-			if !seen[name] {
-				seen[name] = true
-				top[i] = name
-				break
-			}
-		}
+		top[i], buf = synthDomainAt(buf, rng, i)
 	}
 	// Choose which list positions are expired, then assign survival depths to
 	// the first cfg.X of a shuffled ordering so each step removes exactly the
-	// configured count.
-	idx := rng.Perm(cfg.ListSize)[:cfg.Expired]
+	// configured count. samplePositions draws only cfg.Expired positions
+	// instead of permuting the whole list.
+	idx := samplePositions(rng, cfg.ListSize, cfg.Expired)
 	expired := make([]string, cfg.Expired)
 	for i, j := range idx {
 		expired[i] = top[j]
@@ -133,19 +130,53 @@ func (w *World) Services() Services {
 	}
 }
 
-// synthDomain builds a pronounceable two-word domain name.
-func synthDomain(rng *rand.Rand) string {
-	const consonants = "bcdfghjklmnpqrstvwz"
-	const vowels = "aeiou"
-	word := func(n int) string {
-		b := make([]byte, 0, n*2)
-		for i := 0; i < n; i++ {
-			b = append(b, consonants[rng.Intn(len(consonants))], vowels[rng.Intn(len(vowels))])
-		}
-		return string(b)
+const (
+	synthConsonants = "bcdfghjklmnpqrstvwz"
+	synthVowels     = "aeiou"
+)
+
+var synthTLDs = [...]string{"com", "net", "org", "info"}
+
+// synthDomainAt builds the pronounceable two-word domain name at list
+// position i: a seed-dependent random head word, then a tail word spelling
+// i in consonant-vowel pairs (little-endian base-95 digits, at least two).
+// Distinct positions therefore always yield distinct names. The scratch
+// buffer is returned for reuse; only the final string is allocated.
+func synthDomainAt(buf []byte, rng *rand.Rand, i int) (string, []byte) {
+	buf = buf[:0]
+	head := 2 + rng.Intn(2)
+	for p := 0; p < head; p++ {
+		buf = append(buf, synthConsonants[rng.Intn(len(synthConsonants))], synthVowels[rng.Intn(len(synthVowels))])
 	}
-	tlds := []string{"com", "net", "org", "info"}
-	return word(2+rng.Intn(2)) + "-" + word(2) + "." + tlds[rng.Intn(len(tlds))]
+	buf = append(buf, '-')
+	for d, n := 0, i; d < 2 || n > 0; d++ {
+		digit := n % 95
+		n /= 95
+		buf = append(buf, synthConsonants[digit%19], synthVowels[digit/19])
+	}
+	buf = append(buf, '.')
+	buf = append(buf, synthTLDs[rng.Intn(len(synthTLDs))]...)
+	return string(buf), buf
+}
+
+// samplePositions returns k distinct uniformly random positions in [0, n),
+// in random order — a k-step partial Fisher-Yates over a virtual identity
+// slice, so only the swapped entries are materialised.
+func samplePositions(rng *rand.Rand, n, k int) []int {
+	out := make([]int, k)
+	swapped := make(map[int]int, 2*k)
+	at := func(p int) int {
+		if v, ok := swapped[p]; ok {
+			return v
+		}
+		return p
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = at(j)
+		swapped[j] = at(i)
+	}
+	return out
 }
 
 // LiveServices wires the pipeline to real simulated infrastructure — DNS,

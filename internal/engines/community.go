@@ -110,6 +110,8 @@ func (e *Engine) voterReview(rawURL string) {
 		ExecuteScripts: true,
 		AlertPolicy:    browser.AlertDismiss,
 		TimerBudget:    30 * time.Second,
+		DOMCache:       e.domCache,
+		ScriptCache:    e.scripts,
 	})
 	page, err := voter.Open(rawURL)
 	if err != nil {

@@ -13,7 +13,9 @@ import (
 	"areyouhuman/internal/blacklist"
 	"areyouhuman/internal/browser"
 	"areyouhuman/internal/classify"
+	"areyouhuman/internal/htmlmini"
 	"areyouhuman/internal/report"
+	"areyouhuman/internal/scriptlet"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/telemetry"
@@ -44,6 +46,17 @@ type Engine struct {
 	peers func(key string) *Engine
 	seed  int64
 
+	domCache *htmlmini.ParseCache
+	scripts  *scriptlet.ProgramCache
+	// judgeTr/judgeClient and the fleet client in traffic.go are reused across
+	// calls with a mutated SourceIP. Safe because a world's engines run on its
+	// single scheduler goroutine (the PR 2 concurrency model): no two requests
+	// from one engine are ever in flight at once.
+	judgeTr     *simnet.Transport
+	judgeClient *http.Client
+	fleetTr     *simnet.Transport
+	fleetClient *http.Client
+
 	ipPool     []string
 	detections []Detection
 	community  *communitySection // non-nil for community-verified engines
@@ -73,6 +86,12 @@ type Deps struct {
 	// Telemetry, when set, receives per-engine counters (crawls, verdicts,
 	// fleet volume, detections) and detection trace events.
 	Telemetry *telemetry.Set
+	// DOMCache and Scripts, when set, share parsed-DOM templates and compiled
+	// scripts across this world's visits. Both are semantics-preserving (the
+	// DOM cache hands out deep clones; script ASTs are immutable), so output
+	// is bit-identical with or without them.
+	DOMCache *htmlmini.ParseCache
+	Scripts  *scriptlet.ProgramCache
 }
 
 // instruments are the engine's pre-resolved metric handles; all nil (and
@@ -130,6 +149,8 @@ func New(p Profile, deps Deps) *Engine {
 		peers:            deps.Peers,
 		seed:             deps.Seed,
 		tel:              deps.Telemetry,
+		domCache:         deps.DOMCache,
+		scripts:          deps.Scripts,
 		inst:             newInstruments(deps.Telemetry.M(), p.Key),
 		TrafficPerReport: p.PrelimRequests / 3,
 		Rechecks:         []time.Duration{30 * time.Minute, 2 * time.Hour},
@@ -150,6 +171,20 @@ func New(p Profile, deps Deps) *Engine {
 	}
 	if len(e.ipPool) == 0 {
 		e.ipPool = []string{"198.18.0.1"}
+	}
+	e.judgeTr = &simnet.Transport{Net: deps.Net}
+	e.judgeClient = &http.Client{
+		Transport: e.judgeTr,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	e.fleetTr = &simnet.Transport{Net: deps.Net}
+	e.fleetClient = &http.Client{
+		Transport: e.fleetTr,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
 	}
 	return e
 }
@@ -174,7 +209,9 @@ func (e *Engine) rng(label string) *rand.Rand {
 // Report submits a URL to this engine and schedules its processing.
 func (e *Engine) Report(rawURL, reporter string) {
 	e.inst.reports.Inc()
-	e.tel.T().Event("engine.report", telemetry.String("engine", e.Profile.Key), telemetry.String("url", rawURL))
+	if e.tel.Tracing() {
+		e.tel.T().Event("engine.report", telemetry.String("engine", e.Profile.Key), telemetry.String("url", rawURL))
+	}
 	e.Queue.Submit(rawURL, reporter)
 	e.enqueueCommunity(rawURL)
 	e.sched.After(e.Profile.RespondsWithin, e.Profile.Key+":first-crawl", func(now time.Time) {
@@ -230,11 +267,13 @@ func (e *Engine) crawlAndJudge(rawURL string) {
 			URL: rawURL, CrawledAt: crawledAt, ListedAt: now, ViaFormPath: viaForm,
 		})
 		e.inst.detections.Inc()
-		e.tel.T().Event("engine.blacklist",
-			telemetry.String("engine", e.Profile.Key),
-			telemetry.String("url", rawURL),
-			telemetry.Bool("via_form", viaForm),
-			telemetry.Duration("listing_delay", now.Sub(crawledAt)))
+		if e.tel.Tracing() {
+			e.tel.T().Event("engine.blacklist",
+				telemetry.String("engine", e.Profile.Key),
+				telemetry.String("url", rawURL),
+				telemetry.Bool("via_form", viaForm),
+				telemetry.Duration("listing_delay", now.Sub(crawledAt)))
+		}
 		if e.community != nil {
 			e.community.remove(rawURL)
 		}
@@ -299,6 +338,8 @@ func (e *Engine) visit(rawURL string) (verdict, viaForm bool) {
 		ExecuteScripts: e.Profile.ExecuteScripts,
 		AlertPolicy:    e.Profile.AlertPolicy,
 		TimerBudget:    e.Profile.TimerBudget,
+		DOMCache:       e.domCache,
+		ScriptCache:    e.scripts,
 	})
 	page, err := b.Open(rawURL)
 	if err != nil {
@@ -328,7 +369,8 @@ func (e *Engine) visit(rawURL string) (verdict, viaForm bool) {
 // judge classifies a settled page under the engine's power, fetching
 // referenced resources with the engine's own client for fingerprinting.
 func (e *Engine) judge(page *browser.Page) bool {
-	client := simnet.NewClient(e.net, e.pickIP(page.URL.String(), 1))
+	e.judgeTr.SourceIP = e.pickIP(page.URL.String(), 1)
+	client := e.judgeClient
 	fetch := func(res string) []byte {
 		rel, err := url.Parse(res)
 		if err != nil {

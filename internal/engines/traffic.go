@@ -4,10 +4,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
-
-	"areyouhuman/internal/htmlmini"
-	"areyouhuman/internal/simnet"
 )
 
 // Traffic shaping: the paper received roughly 90% of all engine traffic
@@ -95,7 +93,7 @@ func (e *Engine) discoverPaths(target *url.URL) []string {
 	if body == "" {
 		return nil
 	}
-	doc := htmlmini.Parse(body)
+	doc := e.domCache.Get(body) // nil cache degrades to Parse
 	var out []string
 	for _, href := range doc.Links() {
 		u, err := url.Parse(href)
@@ -109,22 +107,35 @@ func (e *Engine) discoverPaths(target *url.URL) []string {
 	return out
 }
 
+// fleetBufPool holds the 64KB read buffers fleet requests drain bodies into;
+// one buffer per in-flight request instead of one fresh allocation each.
+var fleetBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64*1024)
+		return &b
+	},
+}
+
 // get fetches a URL with the engine identity, returning the body ("" on any
-// failure).
+// failure). The engine's fleet client is reused across calls (the source IP
+// is stamped onto its transport per request; see the concurrency note on
+// Engine).
 func (e *Engine) get(ip, rawURL string) string {
 	e.inst.fleetRequests.Inc()
-	client := simnet.NewClient(e.net, ip)
+	e.fleetTr.SourceIP = ip
 	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
 	if err != nil {
 		return ""
 	}
 	req.Header.Set("User-Agent", e.Profile.UserAgent)
-	resp, err := client.Do(req)
+	resp, err := e.fleetClient.Do(req)
 	if err != nil {
 		return ""
 	}
 	defer resp.Body.Close()
-	buf := make([]byte, 64*1024)
-	n, _ := resp.Body.Read(buf)
-	return string(buf[:n])
+	bufp := fleetBufPool.Get().(*[]byte)
+	n, _ := resp.Body.Read(*bufp)
+	body := string((*bufp)[:n])
+	fleetBufPool.Put(bufp)
+	return body
 }

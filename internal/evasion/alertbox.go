@@ -54,9 +54,23 @@ function get_real_data() {
 </script>
 `
 
-type alertBox struct{ opts Options }
+type alertBox struct {
+	opts Options
+	// frag holds the four fragment variants, indexed by
+	// [firstVisit][alreadyServed], formatted once instead of per visit.
+	frag [2][2]string
+}
 
-func newAlertBox(opts Options) http.Handler { return &alertBox{opts: opts} }
+func newAlertBox(opts Options) http.Handler {
+	a := &alertBox{opts: opts}
+	bools := [2]string{"false", "true"}
+	for fv := 0; fv < 2; fv++ {
+		for as := 0; as < 2; as++ {
+			a.frag[fv][as] = fmt.Sprintf(alertScript, bools[fv], bools[as])
+		}
+	}
+	return a
+}
 
 func (a *alertBox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
@@ -68,18 +82,16 @@ func (a *alertBox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	a.opts.log(r, ServeBenign)
-	firstVisit := "true"
+	firstVisit := 1
 	if r.Method == http.MethodPost {
-		firstVisit = "false"
+		firstVisit = 0
 	}
-	alreadyServed := "false"
+	alreadyServed := 0
 	if r.PostFormValue("login_email") != "" && r.PostFormValue("login_pass") != "" {
-		alreadyServed = "true"
+		alreadyServed = 1
 	}
-	script := fmt.Sprintf(alertScript, firstVisit, alreadyServed)
-	html := captureHTML(a.opts.Benign, r)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, injectBeforeBodyEnd(html, script))
+	io.WriteString(w, a.opts.renderInjected(r, a.frag[firstVisit][alreadyServed]))
 }
 
 // captureHTML renders a handler's response body for the given request.

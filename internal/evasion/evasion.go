@@ -124,6 +124,11 @@ type Options struct {
 	// BotIPs are source addresses (exact or prefix ending in '.') known to
 	// belong to security crawlers.
 	BotIPs []string
+
+	// RenderCache, when set, memoises the injected benign page per request
+	// URI. Opt in only when Benign renders purely from the request URL; see
+	// RenderCache for the exact contract.
+	RenderCache *RenderCache
 }
 
 func (o Options) log(r *http.Request, kind ServeKind) {

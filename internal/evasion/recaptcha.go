@@ -30,9 +30,21 @@ function capback(g_response) {
 // recaptcha implements Listing 1's server side: a POST carrying a gresponse
 // token that verifies against the CAPTCHA service serves the phishing
 // payload; everything else serves the benign CAPTCHA challenge page.
-type recaptcha struct{ opts Options }
+type recaptcha struct {
+	opts Options
+	gate string // challenge fragment, formatted once
+}
 
-func newRecaptcha(opts Options) http.Handler { return &recaptcha{opts: opts} }
+func newRecaptcha(opts Options) http.Handler {
+	return &recaptcha{
+		opts: opts,
+		gate: fmt.Sprintf(`
+<div class="captcha-gate">
+  <p>Please verify that you are human to continue.</p>
+  %s
+</div>%s`, opts.WidgetHTML, capbackScript),
+	}
+}
 
 func (c *recaptcha) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
@@ -45,12 +57,6 @@ func (c *recaptcha) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	c.opts.log(r, ServeChallenge)
-	html := captureHTML(c.opts.Benign, r)
-	gate := fmt.Sprintf(`
-<div class="captcha-gate">
-  <p>Please verify that you are human to continue.</p>
-  %s
-</div>%s`, c.opts.WidgetHTML, capbackScript)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, injectBeforeBodyEnd(html, gate))
+	io.WriteString(w, c.opts.renderInjected(r, c.gate))
 }

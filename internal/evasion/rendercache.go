@@ -1,0 +1,56 @@
+package evasion
+
+import (
+	"net/http"
+	"sync"
+)
+
+// RenderCache memoises the benign-page render plus injected fragment that an
+// evasion wrapper serves to gated visitors. Without it, every visitor that
+// fails the gate re-runs the benign handler and re-concatenates the fragment
+// — the single hottest render path in the simulation, since most engine
+// traffic never passes a gate.
+//
+// Enabling the cache asserts that the Benign handler is a pure function of
+// the request's URL (true for the generated hobby sites the experiment
+// deploys, whose pages depend only on the path). The wrapper still calls
+// Options.Log for every request and writes identical bytes on hits, so
+// cached and uncached runs produce bit-identical logs and responses. Callers
+// whose benign handlers consult anything else (cookies, time, state) must
+// leave Options.RenderCache nil.
+type RenderCache struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewRenderCache returns an empty cache, typically shared by all mounts of
+// one deployment.
+func NewRenderCache() *RenderCache {
+	return &RenderCache{m: make(map[string]string)}
+}
+
+// rendered returns the benign page for r with fragment injected before
+// </body>, caching per (request URI, fragment).
+func (c *RenderCache) rendered(o Options, r *http.Request, fragment string) string {
+	key := r.URL.Path + "?" + r.URL.RawQuery + "\x00" + fragment
+	c.mu.Lock()
+	if page, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return page
+	}
+	c.mu.Unlock()
+	page := injectBeforeBodyEnd(captureHTML(o.Benign, r), fragment)
+	c.mu.Lock()
+	c.m[key] = page
+	c.mu.Unlock()
+	return page
+}
+
+// renderInjected is the shared serve path for gate pages: benign render plus
+// injected fragment, cached when the wrapper was built with a RenderCache.
+func (o Options) renderInjected(r *http.Request, fragment string) string {
+	if o.RenderCache == nil {
+		return injectBeforeBodyEnd(captureHTML(o.Benign, r), fragment)
+	}
+	return o.RenderCache.rendered(o, r, fragment)
+}

@@ -65,8 +65,7 @@ func (s *sessionBased) serveCover(w http.ResponseWriter, r *http.Request) {
 		s.sessions[c.Value] = true
 		s.mu.Unlock()
 	}
-	html := captureHTML(s.opts.Benign, r)
-	cover := `
+	const cover = `
 <div class="invite">
   <h2>You are invited to a WhatsApp group chat</h2>
   <form method="post">
@@ -76,5 +75,5 @@ func (s *sessionBased) serveCover(w http.ResponseWriter, r *http.Request) {
 </div>
 `
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, injectBeforeBodyEnd(html, cover))
+	io.WriteString(w, s.opts.renderInjected(r, cover))
 }

@@ -53,8 +53,9 @@ func (w *World) DropCatchDomains(n int) ([]string, dropcatch.Funnel, error) {
 	listSize := n * 40
 	list := make([]string, 0, listSize)
 	seen := map[string]bool{}
+	words := wordnet.Dictionary() // hoisted: one copy for the whole list
 	for len(list) < listSize {
-		d := synthAged(rng)
+		d := synthAged(rng, words)
 		if !seen[d] {
 			seen[d] = true
 			list = append(list, d)
@@ -111,11 +112,13 @@ func (w *World) DropCatchDomains(n int) ([]string, dropcatch.Funnel, error) {
 	return selected, funnel, nil
 }
 
-// synthAged builds names that look like once-active sites.
-func synthAged(rng *rand.Rand) string {
-	words := wordnet.Dictionary()
+// synthAged builds names that look like once-active sites, drawing from the
+// caller-provided sorted dictionary.
+func synthAged(rng *rand.Rand, words []string) string {
 	a := words[rng.Intn(len(words))]
 	b := words[rng.Intn(len(words))]
-	tlds := []string{"com", "net", "org", "info"}
-	return fmt.Sprintf("%s%s.%s", a, b, tlds[rng.Intn(len(tlds))])
+	tld := agedTLDs[rng.Intn(len(agedTLDs))]
+	return a + b + "." + tld
 }
+
+var agedTLDs = [...]string{"com", "net", "org", "info"}

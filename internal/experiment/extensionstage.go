@@ -78,6 +78,8 @@ func (w *World) RunExtensions() ([]Table3Row, error) {
 			AlertPolicy:     browser.AlertConfirm,
 			TimerBudget:     time.Hour,
 			CanSolveCAPTCHA: true,
+			DOMCache:        w.DOMCache,
+			ScriptCache:     w.Scripts,
 		})
 
 		for _, d := range deployments {

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"testing"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+)
+
+// BenchmarkVisitPath isolates the cost of one bot visit to a deployed
+// evasion-protected phishing URL: the full stack of browser emulation,
+// script execution, virtual transport, evasion gating, benign-site render,
+// HTML parsing, and access logging. This is the per-visitor unit of work the
+// whole study multiplies by fleet volume, so its ns/op and allocs/op are the
+// simulator's primary hot-path gauge (recorded in BENCH_visitpath.json).
+func BenchmarkVisitPath(b *testing.B) {
+	w := NewWorld(Config{TrafficScale: 0.01})
+	d, err := w.Deploy("bench-visit.example",
+		MountSpec{Brand: phishkit.PayPal, Technique: evasion.AlertBox},
+		MountSpec{Brand: phishkit.Facebook, Technique: evasion.SessionBased},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+
+	// A GSB-class visitor: executes scripts and confirms the alert box, so
+	// the visit traverses the full render -> parse -> script -> navigate ->
+	// payload pipeline (two fetches and a scripted form submission).
+	cfg := browser.Config{
+		UserAgent:      "Mozilla/5.0 (bench bot)",
+		SourceIP:       "198.18.77.1",
+		ExecuteScripts: true,
+		AlertPolicy:    browser.AlertConfirm,
+		TimerBudget:    3000000000, // 3s, enough for the 2s alert timer
+		DOMCache:       w.DOMCache, // the caches every in-world visitor uses
+		ScriptCache:    w.Scripts,
+	}
+	url := d.Mounts[0].URL
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw := browser.New(w.Net, cfg)
+		page, err := bw.Open(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if page.Status != 200 {
+			b.Fatalf("status %d", page.Status)
+		}
+	}
+}
+
+// BenchmarkVisitPathNoScripts is the emulator-class visitor (no script
+// execution): one fetch, one parse, one log line. The floor of the visit
+// pipeline.
+func BenchmarkVisitPathNoScripts(b *testing.B) {
+	w := NewWorld(Config{TrafficScale: 0.01})
+	d, err := w.Deploy("bench-visit2.example",
+		MountSpec{Brand: phishkit.PayPal, Technique: evasion.SessionBased},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+
+	cfg := browser.Config{
+		UserAgent:   "Mozilla/5.0 (bench emulator)",
+		SourceIP:    "198.18.77.2",
+		DOMCache:    w.DOMCache,
+		ScriptCache: w.Scripts,
+	}
+	url := d.Mounts[0].URL
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw := browser.New(w.Net, cfg)
+		page, err := bw.Open(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if page.Status != 200 {
+			b.Fatalf("status %d", page.Status)
+		}
+	}
+}

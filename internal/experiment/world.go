@@ -15,9 +15,11 @@ import (
 	"areyouhuman/internal/dnssim"
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/htmlmini"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/registrar"
 	"areyouhuman/internal/report"
+	"areyouhuman/internal/scriptlet"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/sitegen"
@@ -61,6 +63,11 @@ type Config struct {
 	// core.SplitSeed, and Replica only tags telemetry so N worlds can share
 	// one registry (see telemetry.Set.ForReplica).
 	Replica int
+	// NoCache disables the semantics-preserving caches on the visit hot path
+	// (parsed-DOM, compiled-script, kit/site generation, evasion render).
+	// It exists as an escape hatch and as the reference arm of the
+	// cache-vs-nocache bit-identity test; output is identical either way.
+	NoCache bool
 }
 
 // DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
@@ -111,9 +118,15 @@ type World struct {
 	Engines   map[string]*engines.Engine
 	// Tel is the world's telemetry set (from Config.Telemetry; may be nil).
 	Tel *telemetry.Set
+	// DOMCache and Scripts are the world's visit-path caches, shared by the
+	// engines' browsers and any human-visitor simulation riding this world.
+	// Both are nil under Config.NoCache (callers degrade to fresh parses).
+	DOMCache *htmlmini.ParseCache
+	Scripts  *scriptlet.ProgramCache
 
-	rng         *rand.Rand
-	deployments []*Deployment
+	rng             *rand.Rand
+	deployments     []*Deployment
+	instDeployments *telemetry.Counter
 }
 
 // NewWorld builds and wires a world.
@@ -132,6 +145,11 @@ func NewWorld(cfg Config) *World {
 		Tel:   cfg.Telemetry,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if !cfg.NoCache {
+		w.DOMCache = htmlmini.NewParseCache()
+		w.Scripts = scriptlet.NewProgramCache()
+	}
+	w.instDeployments = w.Tel.M().Counter("phish_deployments_total")
 	telemetry.ObserveScheduler(w.Sched, w.Tel)
 	w.Net.SetResolver(w.DNS)
 	w.Registrar = registrar.New("OVH", w.WHOIS, w.DNS, clock)
@@ -151,6 +169,8 @@ func NewWorld(cfg Config) *World {
 		Peers:        func(key string) *engines.Engine { return w.Engines[key] },
 		Seed:         cfg.Seed,
 		Telemetry:    cfg.Telemetry,
+		DOMCache:     w.DOMCache,
+		Scripts:      w.Scripts,
 	}
 	// Wire engines in Table 1 order, not map order: server IPs are allocated
 	// round-robin at registration, so the construction order must be fixed
@@ -243,9 +263,20 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 	if _, err := w.Registrar.Register(domain, "Research Lab"); err != nil {
 		return nil, fmt.Errorf("experiment: registering %s: %w", domain, err)
 	}
-	site := sitegen.Generate(domain, sitegen.Config{Seed: w.Cfg.Seed})
+	var site *sitegen.Site
+	if w.Cfg.NoCache {
+		site = sitegen.Generate(domain, sitegen.Config{Seed: w.Cfg.Seed})
+	} else {
+		site = sitegen.GenerateCached(domain, sitegen.Config{Seed: w.Cfg.Seed})
+	}
 	log := weblog.New(w.Clock)
 	d := &Deployment{Domain: domain, Site: site, Log: log}
+	// One render cache per deployment: the benign site (and therefore a
+	// cached render) is specific to this domain's generated pages.
+	var renderCache *evasion.RenderCache
+	if !w.Cfg.NoCache {
+		renderCache = evasion.NewRenderCache()
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", site.Handler())
@@ -258,12 +289,16 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 	}
 
 	for i, spec := range specs {
+		prov := phishkit.Cloned
+		if !spec.ForceCloned && spec.Brand == phishkit.Gmail {
+			prov = phishkit.FromScratch
+		}
 		var kit *phishkit.Kit
 		var err error
-		if spec.ForceCloned {
-			kit, err = phishkit.GenerateWithProvenance(spec.Brand, phishkit.Cloned)
+		if w.Cfg.NoCache {
+			kit, err = phishkit.GenerateWithProvenance(spec.Brand, prov)
 		} else {
-			kit, err = phishkit.Generate(spec.Brand)
+			kit, err = phishkit.GenerateCached(spec.Brand, prov)
 		}
 		if err != nil {
 			return nil, err
@@ -275,6 +310,9 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 			Payload: payload,
 			Benign:  site.Handler(),
 			Log:     evasion.Instrument(w.Tel, spec.Technique, log.ServeLogger()),
+			// The generated site renders purely from the request path, which
+			// is exactly the contract the render cache requires.
+			RenderCache: renderCache,
 		}
 		if spec.Technique == evasion.Cloaking {
 			opts.BotIPs = spec.BotIPs
@@ -322,14 +360,16 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		w.WHOIS.Put(rec)
 	}
 	w.deployments = append(w.deployments, d)
-	w.Tel.M().Counter("phish_deployments_total").Inc()
-	attrs := []telemetry.Attr{telemetry.String("domain", domain)}
-	for _, m := range d.Mounts {
-		attrs = append(attrs,
-			telemetry.String("technique", m.Technique.String()),
-			telemetry.String("brand", string(m.Brand)))
+	w.instDeployments.Inc()
+	if w.Tel.Tracing() {
+		attrs := []telemetry.Attr{telemetry.String("domain", domain)}
+		for _, m := range d.Mounts {
+			attrs = append(attrs,
+				telemetry.String("technique", m.Technique.String()),
+				telemetry.String("brand", string(m.Brand)))
+		}
+		w.Tel.T().Event("deploy", attrs...)
 	}
-	w.Tel.T().Event("deploy", attrs...)
 	return d, nil
 }
 
@@ -368,8 +408,10 @@ func (w *World) ReportTo(d *Deployment, engineKey string) error {
 	}
 	d.ReportedTo = engineKey
 	d.ReportedAt = w.Clock.Now()
-	w.Tel.T().Event("report.submit",
-		telemetry.String("engine", engineKey), telemetry.String("domain", d.Domain))
+	if w.Tel.Tracing() {
+		w.Tel.T().Event("report.submit",
+			telemetry.String("engine", engineKey), telemetry.String("domain", d.Domain))
+	}
 	for _, url := range d.URLs() {
 		eng.Report(url, ReporterAddress)
 	}

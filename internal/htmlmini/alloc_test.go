@@ -1,0 +1,33 @@
+package htmlmini
+
+import "testing"
+
+// TestParseCacheAllocs is the allocation-regression gate for the cached parse
+// path: a cache hit must skip tokenization entirely and pay only for the
+// deep clone it hands out, which is a fixed small multiple of the node count
+// — far below what a full Parse costs.
+func TestParseCacheAllocs(t *testing.T) {
+	src := samplePage
+	cache := NewParseCache()
+	cache.Get(src) // warm the entry
+
+	hit := testing.AllocsPerRun(100, func() { cache.Get(src) })
+	miss := testing.AllocsPerRun(100, func() { Parse(src) })
+	if hit >= miss {
+		t.Errorf("cached Get allocates %.1f times, full Parse %.1f; the cache should be cheaper", hit, miss)
+	}
+	// The clone is one arena plus one Attrs and one Children slice per node
+	// that has them; pin a generous ceiling so regressions (e.g. the arena
+	// reverting to append-grown nodes) fail loudly.
+	walkCount := 0
+	cache.Get(src).Walk(func(*Node) bool { walkCount++; return true })
+	ceiling := float64(2*walkCount + 4)
+	if hit > ceiling {
+		t.Errorf("cached Get allocates %.1f times for %d nodes, want <= %.0f", hit, walkCount, ceiling)
+	}
+
+	hits, misses := cache.Stats()
+	if hits == 0 || misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want many hits and exactly 1 miss", hits, misses)
+	}
+}

@@ -1,0 +1,116 @@
+package htmlmini
+
+import "sync"
+
+// ParseCache is a content-addressed cache of parsed DOM templates. Get parses
+// each distinct source string once and serves deep clones afterwards, so
+// callers can freely mutate what they receive (browser script execution
+// rewrites attributes and subtrees) without poisoning the cache.
+//
+// Keys are the full source text: entries are bucketed by FNV-1a hash and then
+// compared byte-for-byte, so a hash collision can never serve the wrong tree.
+// The cache is safe for concurrent use; because Parse is a pure function of
+// its input, cache hits are bit-identical to fresh parses and the cache never
+// affects simulation output.
+type ParseCache struct {
+	mu      sync.Mutex
+	entries map[uint64][]parseEntry
+	hits    uint64
+	misses  uint64
+}
+
+type parseEntry struct {
+	src      string
+	template *Node    // never escapes; only clones are handed out
+	scripts  []string // template.Scripts(), extracted once; callers must not mutate
+}
+
+// maxParseCacheEntries bounds the cache; a simulated world serves a few
+// hundred distinct pages, so the bound exists only to keep a pathological
+// workload from growing without limit. On overflow the cache resets.
+const maxParseCacheEntries = 4096
+
+// NewParseCache returns an empty cache.
+func NewParseCache() *ParseCache {
+	return &ParseCache{entries: make(map[uint64][]parseEntry)}
+}
+
+// Get returns a freshly cloned DOM for src, parsing it only on first sight.
+// A nil cache degrades to a plain Parse.
+func (c *ParseCache) Get(src string) *Node {
+	if c == nil {
+		return Parse(src)
+	}
+	h := fnv64a(src)
+	c.mu.Lock()
+	for _, e := range c.entries[h] {
+		if e.src == src {
+			c.hits++
+			tpl := e.template
+			c.mu.Unlock()
+			return tpl.Clone()
+		}
+	}
+	c.misses++
+	c.mu.Unlock()
+	tpl := Parse(src)
+	c.mu.Lock()
+	if c.total() >= maxParseCacheEntries {
+		c.entries = make(map[uint64][]parseEntry)
+	}
+	c.entries[h] = append(c.entries[h], parseEntry{src: src, template: tpl, scripts: tpl.Scripts()})
+	c.mu.Unlock()
+	return tpl.Clone()
+}
+
+// Scripts returns the inline script sources of the page with the given
+// source text, extracting them once per distinct page. The returned slice is
+// shared — callers must treat it as read-only. A nil cache (or a page not yet
+// cached) degrades to extracting from dom, the caller's parsed copy.
+func (c *ParseCache) Scripts(src string, dom *Node) []string {
+	if c == nil {
+		return dom.Scripts()
+	}
+	h := fnv64a(src)
+	c.mu.Lock()
+	for _, e := range c.entries[h] {
+		if e.src == src {
+			scripts := e.scripts
+			c.mu.Unlock()
+			return scripts
+		}
+	}
+	c.mu.Unlock()
+	return dom.Scripts()
+}
+
+// Stats reports cache hits and misses so far.
+func (c *ParseCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *ParseCache) total() int {
+	n := 0
+	for _, b := range c.entries {
+		n += len(b)
+	}
+	return n
+}
+
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -31,25 +31,57 @@ type Node struct {
 // Parse builds a DOM tree from src. It always succeeds, repairing unbalanced
 // markup the way browsers do (unexpected end tags are ignored; unclosed
 // elements close at their ancestor's end).
+//
+// Nodes are allocated out of a single preallocated arena — one slab sized by
+// the token count — so a parse costs O(1) node allocations instead of one per
+// node. The arena is never grown after pointers are taken, so node pointers
+// stay valid for the life of the tree.
 func Parse(src string) *Node {
-	doc := &Node{Type: DocumentNode, Tag: "#document"}
+	tk := tokenizerPool.Get().(*Tokenizer)
+	tokens := tk.Tokenize(src)
+	// Upper bound: one node per token plus the document root. The arena must
+	// be fully sized up front — appending would move it and invalidate every
+	// *Node already handed out.
+	arena := make([]Node, len(tokens)+1)
+	used := 0
+	alloc := func() *Node {
+		n := &arena[used]
+		used++
+		return n
+	}
+	doc := alloc()
+	doc.Type = DocumentNode
+	doc.Tag = "#document"
 	stack := []*Node{doc}
 	top := func() *Node { return stack[len(stack)-1] }
-	for _, tok := range Tokenize(src) {
+	for _, tok := range tokens {
 		switch tok.Type {
 		case TextToken:
 			if strings.TrimSpace(tok.Data) == "" && top().Tag != "script" && top().Tag != "style" {
 				continue
 			}
-			top().append(&Node{Type: TextNode, Data: html.UnescapeString(tok.Data)})
+			t := alloc()
+			t.Type = TextNode
+			t.Data = html.UnescapeString(tok.Data)
+			top().append(t)
 		case CommentToken:
-			top().append(&Node{Type: CommentNode, Data: tok.Data})
+			c := alloc()
+			c.Type = CommentNode
+			c.Data = tok.Data
+			top().append(c)
 		case DoctypeToken:
 			// Dropped: the DOM root stands in for the document type.
 		case SelfClosingTagToken:
-			top().append(&Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs})
+			el := alloc()
+			el.Type = ElementNode
+			el.Tag = tok.Data
+			el.Attrs = tok.Attrs
+			top().append(el)
 		case StartTagToken:
-			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			el := alloc()
+			el.Type = ElementNode
+			el.Tag = tok.Data
+			el.Attrs = tok.Attrs
 			top().append(el)
 			stack = append(stack, el)
 		case EndTagToken:
@@ -62,7 +94,55 @@ func Parse(src string) *Node {
 			}
 		}
 	}
+	tokenizerPool.Put(tk)
 	return doc
+}
+
+// Clone returns a deep copy of the subtree rooted at n, with a nil Parent on
+// the returned root. Attrs and Children backing arrays are fresh, so mutating
+// the clone (SetAttr, AppendChild, script execution) can never alias the
+// original. The copy is arena-allocated like Parse output.
+func (n *Node) Clone() *Node {
+	count, attrs, kids := 0, 0, 0
+	n.Walk(func(c *Node) bool {
+		count++
+		attrs += len(c.Attrs)
+		kids += len(c.Children)
+		return true
+	})
+	// Three allocations total: one arena per kind. Sub-slices are handed out
+	// with full-slice expressions (capped capacity), so a later append —
+	// SetAttr adding an attribute, a script appending a child — copies out
+	// instead of clobbering the neighbouring node's backing array.
+	arena := make([]Node, count)
+	attrBuf := make([]Attr, attrs)
+	childBuf := make([]*Node, kids)
+	used, attrUsed, childUsed := 0, 0, 0
+	var clone func(src *Node, parent *Node) *Node
+	clone = func(src *Node, parent *Node) *Node {
+		dst := &arena[used]
+		used++
+		dst.Type = src.Type
+		dst.Tag = src.Tag
+		dst.Data = src.Data
+		dst.Parent = parent
+		if len(src.Attrs) > 0 {
+			lo := attrUsed
+			attrUsed += len(src.Attrs)
+			dst.Attrs = attrBuf[lo:attrUsed:attrUsed]
+			copy(dst.Attrs, src.Attrs)
+		}
+		if len(src.Children) > 0 {
+			lo := childUsed
+			childUsed += len(src.Children)
+			dst.Children = childBuf[lo:childUsed:childUsed]
+			for i, c := range src.Children {
+				dst.Children[i] = clone(c, dst)
+			}
+		}
+		return dst
+	}
+	return clone(n, nil)
 }
 
 func (n *Node) append(child *Node) {

@@ -10,6 +10,7 @@ package htmlmini
 
 import (
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -49,9 +50,18 @@ var voidElements = map[string]bool{
 // rawTextElements swallow their content verbatim until the matching end tag.
 var rawTextElements = map[string]bool{"script": true, "style": true, "title": true, "textarea": true}
 
-// Tokenize splits src into HTML tokens.
-func Tokenize(src string) []Token {
-	var tokens []Token
+// Tokenizer splits HTML source into tokens, reusing its token buffer across
+// calls so steady-state tokenization does not grow the heap. A Tokenizer is
+// not safe for concurrent use; Tokenize (the function) draws one from a pool.
+type Tokenizer struct {
+	tokens []Token
+}
+
+// Tokenize splits src into HTML tokens. The returned slice is valid until the
+// next Tokenize call on this Tokenizer (its backing array is reused); the
+// token Data strings and Attrs remain valid indefinitely.
+func (t *Tokenizer) Tokenize(src string) []Token {
+	tokens := t.tokens[:0]
 	i := 0
 	n := len(src)
 	for i < n {
@@ -129,7 +139,21 @@ func Tokenize(src string) []Token {
 			}
 		}
 	}
+	t.tokens = tokens
 	return tokens
+}
+
+var tokenizerPool = sync.Pool{New: func() any { return new(Tokenizer) }}
+
+// Tokenize splits src into HTML tokens using a pooled Tokenizer. The returned
+// slice is freshly owned by the caller.
+func Tokenize(src string) []Token {
+	tk := tokenizerPool.Get().(*Tokenizer)
+	scratch := tk.Tokenize(src)
+	out := make([]Token, len(scratch))
+	copy(out, scratch)
+	tokenizerPool.Put(tk)
+	return out
 }
 
 // indexFold is a case-insensitive strings.Index for ASCII needles. It folds

@@ -12,6 +12,7 @@
 package monitor
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -183,10 +184,12 @@ func (m *Monitor) record(s Sighting) {
 	if _, dup := byEngine[s.Engine]; !dup {
 		byEngine[s.Engine] = s
 		m.tel.M().Counter(MetricSightings, "engine", s.Engine, "method", string(s.Method)).Inc()
-		m.tel.T().Event("monitor.sighting",
-			telemetry.String("engine", s.Engine),
-			telemetry.String("url", s.URL),
-			telemetry.String("method", string(s.Method)))
+		if m.tel.Tracing() {
+			m.tel.T().Event("monitor.sighting",
+				telemetry.String("engine", s.Engine),
+				telemetry.String("url", s.URL),
+				telemetry.String("method", string(s.Method)))
+		}
 	}
 }
 
@@ -205,7 +208,8 @@ func (m *Monitor) FirstSeen(url, engine string) (Sighting, bool) {
 	return s, ok
 }
 
-// Engines returns every engine that sighted url.
+// Engines returns every engine that sighted url, in lexical order (the
+// sightings map must never leak Go's randomized iteration order to callers).
 func (m *Monitor) Engines(url string) []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -213,6 +217,7 @@ func (m *Monitor) Engines(url string) []string {
 	for engine := range m.sightings[url] {
 		out = append(out, engine)
 	}
+	sort.Strings(out)
 	return out
 }
 

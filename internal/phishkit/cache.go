@@ -1,0 +1,32 @@
+package phishkit
+
+import "sync"
+
+// kitCache memoises GenerateWithProvenance. A Kit is pure content derived
+// from (brand, provenance) and is never mutated after generation — handlers
+// and classifiers only read it — so one instance can back every mount in
+// every replica world. The main experiment alone generates 105 kits per
+// world; with the cache each (brand, provenance) pair is built once per
+// process.
+var kitCache sync.Map // kitKey -> *Kit
+
+type kitKey struct {
+	brand Brand
+	prov  Provenance
+}
+
+// GenerateCached is GenerateWithProvenance backed by the process-wide kit
+// cache. The returned Kit is shared: callers must treat it as read-only
+// (which every handler and classifier in this repository does).
+func GenerateCached(brand Brand, prov Provenance) (*Kit, error) {
+	key := kitKey{brand: brand, prov: prov}
+	if k, ok := kitCache.Load(key); ok {
+		return k.(*Kit), nil
+	}
+	k, err := GenerateWithProvenance(brand, prov)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := kitCache.LoadOrStore(key, k)
+	return actual.(*Kit), nil
+}

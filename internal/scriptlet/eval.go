@@ -53,12 +53,19 @@ func (continueSignal) Error() string { return "continue outside loop" }
 // Run parses and executes src in the global scope. The step counter is reset
 // per call.
 func (in *Interp) Run(src string) error {
-	stmts, err := Parse(src)
+	prog, err := Compile(src)
 	if err != nil {
 		return err
 	}
+	return in.RunProgram(prog)
+}
+
+// RunProgram executes a pre-compiled program in the global scope. The AST is
+// never mutated by execution, so one Program may be run many times (and by
+// many interpreters) — this is what makes compiled-script caching safe.
+func (in *Interp) RunProgram(p *Program) error {
 	in.steps = 0
-	if err := in.execBlock(stmts, in.Globals); err != nil {
+	if err := in.execBlock(p.stmts, in.Globals); err != nil {
 		if _, isReturn := err.(returnSignal); isReturn {
 			return nil // top-level return: tolerated
 		}

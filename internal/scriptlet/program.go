@@ -1,0 +1,91 @@
+package scriptlet
+
+import "sync"
+
+// Program is a compiled (parsed) script. Evaluation reads the AST but never
+// writes it, so a Program is immutable after Compile and safe to share across
+// interpreters and goroutines.
+type Program struct {
+	stmts []Stmt
+}
+
+// Compile parses src into a reusable Program.
+func Compile(src string) (*Program, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{stmts: stmts}, nil
+}
+
+// ProgramCache memoises Compile by source text. The simulated pages carry a
+// handful of distinct scripts that every scripted visitor re-executes, so
+// caching the parse removes the dominant allocation source on the visit hot
+// path. Entries are bucketed by FNV-1a hash with a full source comparison on
+// lookup, so collisions can never serve the wrong program. Safe for
+// concurrent use.
+type ProgramCache struct {
+	mu      sync.Mutex
+	entries map[uint64][]programEntry
+}
+
+type programEntry struct {
+	src  string
+	prog *Program
+	err  error
+}
+
+// maxProgramCacheEntries bounds the cache; on overflow it resets. Real worlds
+// hold far fewer distinct scripts than this.
+const maxProgramCacheEntries = 1024
+
+// NewProgramCache returns an empty cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{entries: make(map[uint64][]programEntry)}
+}
+
+// Get compiles src, memoising both successes and parse errors. A nil cache
+// degrades to a plain Compile.
+func (c *ProgramCache) Get(src string) (*Program, error) {
+	if c == nil {
+		return Compile(src)
+	}
+	h := fnv64aStr(src)
+	c.mu.Lock()
+	for _, e := range c.entries[h] {
+		if e.src == src {
+			c.mu.Unlock()
+			return e.prog, e.err
+		}
+	}
+	c.mu.Unlock()
+	prog, err := Compile(src)
+	c.mu.Lock()
+	if c.total() >= maxProgramCacheEntries {
+		c.entries = make(map[uint64][]programEntry)
+	}
+	c.entries[h] = append(c.entries[h], programEntry{src: src, prog: prog, err: err})
+	c.mu.Unlock()
+	return prog, err
+}
+
+func (c *ProgramCache) total() int {
+	n := 0
+	for _, b := range c.entries {
+		n += len(b)
+	}
+	return n
+}
+
+func fnv64aStr(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

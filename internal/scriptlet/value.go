@@ -113,12 +113,19 @@ type Env struct {
 }
 
 // NewEnv returns a scope with the given parent (nil for the global frame).
+// The variable map is created lazily on first Define: most frames (blocks,
+// argument-less calls) never declare anything, and a nil map reads fine.
 func NewEnv(parent *Env) *Env {
-	return &Env{vars: make(map[string]Value), parent: parent}
+	return &Env{parent: parent}
 }
 
 // Define declares a variable in this frame.
-func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+func (e *Env) Define(name string, v Value) {
+	if e.vars == nil {
+		e.vars = make(map[string]Value, 4)
+	}
+	e.vars[name] = v
+}
 
 // Lookup resolves name through the scope chain.
 func (e *Env) Lookup(name string) (Value, bool) {
@@ -139,7 +146,7 @@ func (e *Env) Assign(name string, v Value) {
 			return
 		}
 		if s.parent == nil {
-			s.vars[name] = v
+			s.Define(name, v)
 			return
 		}
 	}

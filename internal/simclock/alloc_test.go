@@ -1,0 +1,31 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSchedulerAtAllocs is the allocation-regression gate for event
+// scheduling: once the free list is primed and the heap has grown to its
+// working size, a schedule/run cycle must reuse the event it just retired
+// rather than allocate a fresh one.
+func TestSchedulerAtAllocs(t *testing.T) {
+	clock := New(time.Unix(0, 0))
+	s := NewScheduler(clock)
+	defer s.Close()
+
+	// Prime: populate the free list and grow the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.At(clock.Now().Add(time.Duration(i)*time.Second), "prime", func(time.Time) {})
+	}
+	s.Run(clock.Now().Add(time.Minute))
+
+	next := clock.Now()
+	if got := testing.AllocsPerRun(100, func() {
+		next = next.Add(time.Second)
+		s.At(next, "steady", func(time.Time) {})
+		s.Run(next)
+	}); got != 0 {
+		t.Errorf("steady-state At+Run allocates %.1f times per event, want 0", got)
+	}
+}

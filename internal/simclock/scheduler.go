@@ -54,6 +54,10 @@ type Scheduler struct {
 	dropped int
 	err     error
 	observe EventObserver
+	// free is the Event free list: executed events return here and At reuses
+	// them, so a steady-state simulation allocates no Event structs. A plain
+	// slice suffices — the scheduler is single-goroutine by contract.
+	free []*Event
 }
 
 // EventObserver sees every executed event: its name, virtual deadline, the
@@ -98,7 +102,16 @@ func (s *Scheduler) At(at time.Time, name string, fn func(now time.Time)) {
 		at = now
 	}
 	s.seq++
-	heap.Push(&s.queue, &Event{At: at, Name: name, Run: fn, seq: s.seq})
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = new(Event)
+	}
+	*ev = Event{At: at, Name: name, Run: fn, seq: s.seq}
+	heap.Push(&s.queue, ev)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -147,6 +160,10 @@ func (s *Scheduler) Run(horizon time.Time) int {
 			next.Run(s.clock.Now())
 		}
 		ran++
+		// Recycle after Run returns; nothing may hold an *Event across its
+		// execution (events are internal to the scheduler).
+		*next = Event{}
+		s.free = append(s.free, next)
 	}
 	if !horizon.IsZero() {
 		s.clock.AdvanceTo(horizon)
@@ -175,6 +192,7 @@ func (s *Scheduler) Executed() int { return s.ran }
 func (s *Scheduler) Close() {
 	s.closed = true
 	s.queue = nil
+	s.free = nil
 }
 
 // Closed reports whether Close has been called.

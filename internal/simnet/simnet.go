@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNoSuchHost is returned by Transport when the request's hostname does not
@@ -54,7 +55,7 @@ type Internet struct {
 	ipPool   []string
 	nextIP   int
 	resolver Resolver
-	requests int64
+	requests atomic.Int64 // hot path: every round trip increments, no lock
 }
 
 // New returns an empty virtual internet with the given server address pool.
@@ -154,15 +155,11 @@ func (n *Internet) Hosts() []string {
 
 // Requests reports the total number of round trips served.
 func (n *Internet) Requests() int64 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.requests
+	return n.requests.Load()
 }
 
 func (n *Internet) countRequest() {
-	n.mu.Lock()
-	n.requests++
-	n.mu.Unlock()
+	n.requests.Add(1)
 }
 
 func (n *Internet) resolveHost(name string) (*Host, error) {

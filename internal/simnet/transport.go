@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Transport routes HTTP requests to registered virtual hosts. It implements
@@ -81,7 +83,13 @@ func (t *Transport) serverRequest(req *http.Request) (*http.Request, error) {
 		}
 		body = io.NopCloser(bytes.NewReader(b))
 	}
-	out := req.Clone(req.Context())
+	// Shallow copy instead of req.Clone: the URL and header map are shared
+	// with the client request. Handlers only read them (the virtual servers
+	// never mutate an incoming request), and the handler has returned before
+	// the client resumes, so the sharing is invisible to both sides — while
+	// Clone's deep header copy was a double-digit share of visit allocations.
+	out := new(http.Request)
+	*out = *req
 	out.Body = body
 	out.RequestURI = req.URL.RequestURI()
 	ip := t.SourceIP
@@ -92,24 +100,40 @@ func (t *Transport) serverRequest(req *http.Request) (*http.Request, error) {
 	if port == 0 {
 		port = 40000
 	}
-	out.RemoteAddr = fmt.Sprintf("%s:%d", ip, port)
+	out.RemoteAddr = ip + ":" + strconv.Itoa(port)
 	out.Host = req.URL.Host
 	if out.Header.Get("Host") != "" {
+		out.Header = out.Header.Clone() // don't mutate the shared map
 		out.Header.Del("Host")
 	}
 	return out, nil
 }
 
 // recorder is a minimal http.ResponseWriter capturing the handler's output.
+// Recorders are pooled: the response body handed to the caller is the
+// recorder itself (its reader field), and Close returns the recorder — body
+// buffer included — to the pool. Ownership transfers on Close; a response
+// whose body is never closed simply falls to the garbage collector.
 type recorder struct {
 	code   int
 	header http.Header
 	body   bytes.Buffer
 	wrote  bool
+	reader bytes.Reader
+	closed bool
+}
+
+var recorderPool = sync.Pool{
+	New: func() any { return &recorder{code: http.StatusOK, header: make(http.Header)} },
 }
 
 func newRecorder() *recorder {
-	return &recorder{code: http.StatusOK, header: make(http.Header)}
+	r := recorderPool.Get().(*recorder)
+	r.code = http.StatusOK
+	r.wrote = false
+	r.closed = false
+	r.body.Reset()
+	return r
 }
 
 func (r *recorder) Header() http.Header { return r.header }
@@ -129,16 +153,41 @@ func (r *recorder) Write(p []byte) (int, error) {
 	return r.body.Write(p)
 }
 
+// Read implements the response body.
+func (r *recorder) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("simnet: read after body close")
+	}
+	return r.reader.Read(p)
+}
+
+// Close returns the recorder to the pool. The closed flag makes double-Close
+// safe (only the first Close recycles) and turns use-after-close into an
+// explicit error rather than silent data corruption.
+func (r *recorder) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	// The header map was handed to the response and may be read after Close;
+	// give the recycled recorder a fresh one instead of clearing it.
+	r.header = make(http.Header)
+	r.reader.Reset(nil)
+	recorderPool.Put(r)
+	return nil
+}
+
 func (r *recorder) response(req *http.Request) *http.Response {
 	body := r.body.Bytes()
+	r.reader.Reset(body)
 	resp := &http.Response{
-		Status:        fmt.Sprintf("%d %s", r.code, http.StatusText(r.code)),
+		Status:        statusLine(r.code),
 		StatusCode:    r.code,
 		Proto:         "HTTP/1.1",
 		ProtoMajor:    1,
 		ProtoMinor:    1,
 		Header:        r.header,
-		Body:          io.NopCloser(bytes.NewReader(body)),
+		Body:          r,
 		ContentLength: int64(len(body)),
 		Request:       req,
 	}
@@ -146,6 +195,24 @@ func (r *recorder) response(req *http.Request) *http.Response {
 		resp.Header.Set("Content-Type", sniffContentType(body))
 	}
 	return resp
+}
+
+// statusLine avoids a fmt.Sprintf per response for the codes the simulation
+// actually serves.
+func statusLine(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200 OK"
+	case http.StatusFound:
+		return "302 Found"
+	case http.StatusForbidden:
+		return "403 Forbidden"
+	case http.StatusNotFound:
+		return "404 Not Found"
+	case http.StatusInternalServerError:
+		return "500 Internal Server Error"
+	}
+	return fmt.Sprintf("%d %s", code, http.StatusText(code))
 }
 
 func sniffContentType(body []byte) string {

@@ -1,0 +1,31 @@
+package sitegen
+
+import "sync"
+
+// siteCache memoises Generate. A Site is a pure function of (domain,
+// normalized page count, seed) and is read-only after generation — its
+// handler and the hosting layer only serve from it — so one instance can
+// back every world that deploys the same domain with the same seed (the
+// ablation stages rebuild exactly such worlds).
+var siteCache sync.Map // siteKey -> *Site
+
+type siteKey struct {
+	domain string
+	pages  int
+	seed   int64
+}
+
+// GenerateCached is Generate backed by the process-wide site cache. The
+// returned Site is shared: callers must treat it as read-only.
+func GenerateCached(domain string, cfg Config) *Site {
+	if cfg.PageCount <= 0 {
+		cfg.PageCount = DefaultPageCount
+	}
+	key := siteKey{domain: domain, pages: cfg.PageCount, seed: cfg.Seed}
+	if s, ok := siteCache.Load(key); ok {
+		return s.(*Site)
+	}
+	s := Generate(domain, cfg)
+	actual, _ := siteCache.LoadOrStore(key, s)
+	return actual.(*Site)
+}

@@ -7,7 +7,6 @@ import (
 	"math"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -129,6 +128,9 @@ func (r *Registry) family(name string, kind metricKind, buckets []float64) *fami
 
 // labelSig renders "k,v" pairs into a canonical sorted signature and the
 // sorted pair list. Labels are passed as alternating key, value strings.
+// Instrument resolution runs this once per (name, labels) pair on the hot
+// path's setup, so it avoids fmt and sort.Slice: an in-place insertion sort
+// over the pair slots plus strconv-appended quoting.
 func labelSig(pairs []string) (string, []string) {
 	if len(pairs) == 0 {
 		return "", nil
@@ -136,21 +138,24 @@ func labelSig(pairs []string) (string, []string) {
 	if len(pairs)%2 != 0 {
 		panic("telemetry: odd label list; pass alternating key, value")
 	}
-	kv := make([][2]string, 0, len(pairs)/2)
-	for i := 0; i < len(pairs); i += 2 {
-		kv = append(kv, [2]string{pairs[i], pairs[i+1]})
-	}
-	sort.Slice(kv, func(i, j int) bool { return kv[i][0] < kv[j][0] })
-	var sig strings.Builder
-	flat := make([]string, 0, len(pairs))
-	for i, p := range kv {
-		if i > 0 {
-			sig.WriteByte(',')
+	flat := make([]string, len(pairs))
+	copy(flat, pairs)
+	for i := 2; i < len(flat); i += 2 {
+		for j := i; j > 0 && flat[j] < flat[j-2]; j -= 2 {
+			flat[j], flat[j-2] = flat[j-2], flat[j]
+			flat[j+1], flat[j-1] = flat[j-1], flat[j+1]
 		}
-		fmt.Fprintf(&sig, "%s=%q", p[0], p[1])
-		flat = append(flat, p[0], p[1])
 	}
-	return sig.String(), flat
+	buf := make([]byte, 0, 64)
+	for i := 0; i < len(flat); i += 2 {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, flat[i]...)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, flat[i+1])
+	}
+	return string(buf), flat
 }
 
 func (f *family) child(pairs []string, make func() any) any {

@@ -56,6 +56,14 @@ func (s *Set) Enabled() bool {
 	return s != nil && (s.Tracer != nil || s.Metrics != nil)
 }
 
+// Tracing reports whether a tracer is wired. Hot paths guard their Event
+// calls with it so that untraced runs don't even build the variadic
+// attribute slice — the nil-safe no-op inside Event is free, but the
+// arguments to it are not.
+func (s *Set) Tracing() bool {
+	return s != nil && s.Tracer != nil
+}
+
 // ForReplica derives a per-world telemetry set for replica id: the metrics
 // half becomes a view of the same registry whose every series carries a
 // "replica" label (see Registry.WithLabels), so N concurrent worlds shard one

@@ -1,0 +1,56 @@
+package weblog
+
+import (
+	"testing"
+	"time"
+
+	"areyouhuman/internal/evasion"
+)
+
+// TestAppendCLFAllocs is the allocation-regression gate for the CLF hot path:
+// appending a typical fleet-crawler entry into a pre-sized buffer must not
+// allocate at all, and FormatCLF must pay only for the returned string.
+func TestAppendCLFAllocs(t *testing.T) {
+	e := Entry{
+		Time:      time.Date(2020, 4, 7, 13, 37, 0, 0, time.UTC),
+		IP:        "66.102.9.104",
+		Method:    "GET",
+		Host:      "login-paypal.example",
+		Path:      "/index.php?auth=1",
+		UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		Status:    200,
+		Bytes:     5120,
+		Serve:     evasion.ServePayload,
+	}
+	buf := make([]byte, 0, 512)
+	if got := testing.AllocsPerRun(100, func() {
+		buf = AppendCLF(buf[:0], e)
+	}); got != 0 {
+		t.Errorf("AppendCLF into a sized buffer allocates %.1f times per line, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		_ = FormatCLF(e)
+	}); got > 2 {
+		t.Errorf("FormatCLF allocates %.1f times per line, want <= 2 (slice + string)", got)
+	}
+}
+
+// TestAppendCLFAllocsEscaped pins the slow path's ceiling: a user agent that
+// needs real escaping may allocate for the quoted form but must stay bounded.
+func TestAppendCLFAllocsEscaped(t *testing.T) {
+	e := Entry{
+		Time:      time.Date(2020, 4, 7, 13, 37, 0, 0, time.UTC),
+		IP:        "198.51.100.7",
+		Method:    "GET",
+		Host:      "login-paypal.example",
+		Path:      "/x",
+		UserAgent: "weird \"agent\"\twith controls",
+		Status:    404,
+	}
+	buf := make([]byte, 0, 512)
+	if got := testing.AllocsPerRun(100, func() {
+		buf = AppendCLF(buf[:0], e)
+	}); got > 2 {
+		t.Errorf("AppendCLF escaped path allocates %.1f times per line, want <= 2", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"areyouhuman/internal/evasion"
@@ -25,23 +26,82 @@ const clfTime = "02/Jan/2006:15:04:05 -0700"
 // trip. The size slot is the response byte count, "-" when nothing was
 // written (the CLF convention for absent sizes).
 func FormatCLF(e Entry) string {
-	proto := "HTTP/1.1"
-	if e.Serve != "" {
-		proto = "SERVE/" + string(e.Serve)
+	// 256 bytes covers a typical line in one allocation; longer lines grow.
+	return string(AppendCLF(make([]byte, 0, 256), e))
+}
+
+// AppendCLF appends the combined-log line for e to dst and returns the
+// extended slice. It produces byte-for-byte the same line as FormatCLF while
+// letting callers amortise the buffer — the zero-allocation path the access
+// log's export uses for every request of every visitor.
+func AppendCLF(dst []byte, e Entry) []byte {
+	dst = append(dst, e.IP...)
+	dst = append(dst, " - - ["...)
+	dst = e.Time.AppendFormat(dst, clfTime)
+	dst = append(dst, "] "...)
+	// Request line, quoted like %q of "METHOD PATH PROTO".
+	method, path := orDash(e.Method), orDash(e.Path)
+	if plainASCII(method) && plainASCII(path) && plainASCII(string(e.Serve)) {
+		dst = append(dst, '"')
+		dst = append(dst, method...)
+		dst = append(dst, ' ')
+		dst = append(dst, path...)
+		dst = append(dst, ' ')
+		if e.Serve != "" {
+			dst = append(dst, "SERVE/"...)
+			dst = append(dst, e.Serve...)
+		} else {
+			dst = append(dst, "HTTP/1.1"...)
+		}
+		dst = append(dst, '"')
+	} else {
+		proto := "HTTP/1.1"
+		if e.Serve != "" {
+			proto = "SERVE/" + string(e.Serve)
+		}
+		dst = strconv.AppendQuote(dst, method+" "+path+" "+proto)
 	}
-	size := "-"
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(e.Status), 10)
+	dst = append(dst, ' ')
 	if e.Bytes > 0 {
-		size = strconv.Itoa(e.Bytes)
+		dst = strconv.AppendInt(dst, int64(e.Bytes), 10)
+	} else {
+		dst = append(dst, '-')
 	}
-	return fmt.Sprintf("%s - - [%s] %q %d %s %q %q",
-		e.IP,
-		e.Time.Format(clfTime),
-		fmt.Sprintf("%s %s %s", orDash(e.Method), orDash(e.Path), proto),
-		e.Status,
-		size,
-		"http://"+e.Host+"/",
-		e.UserAgent,
-	)
+	dst = append(dst, ' ')
+	if plainASCII(e.Host) {
+		dst = append(dst, `"http://`...)
+		dst = append(dst, e.Host...)
+		dst = append(dst, `/"`...)
+	} else {
+		dst = strconv.AppendQuote(dst, "http://"+e.Host+"/")
+	}
+	dst = append(dst, ' ')
+	dst = appendQuoted(dst, e.UserAgent)
+	return dst
+}
+
+// plainASCII reports whether s quotes under %q as just `"` + s + `"` —
+// printable ASCII with no escapes. The fast paths above rely on it to stay
+// byte-identical with strconv.Quote.
+func plainASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+func appendQuoted(dst []byte, s string) []byte {
+	if plainASCII(s) {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	return strconv.AppendQuote(dst, s)
 }
 
 func orDash(s string) string {
@@ -51,13 +111,38 @@ func orDash(s string) string {
 	return s
 }
 
-// WriteCLF dumps the whole log in arrival order.
+// clfBufPool holds export scratch buffers for WriteCLF.
+var clfBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
+
+// WriteCLF dumps the whole log in arrival order. Lines are formatted into a
+// pooled buffer and flushed in chunks, without copying the entry slice.
 func (l *Log) WriteCLF(w io.Writer) error {
-	for _, e := range l.Entries() {
-		if _, err := fmt.Fprintln(w, FormatCLF(e)); err != nil {
+	bufp := clfBufPool.Get().(*[]byte)
+	defer clfBufPool.Put(bufp)
+	buf := (*bufp)[:0]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		buf = AppendCLF(buf, e)
+		buf = append(buf, '\n')
+		if len(buf) >= 48*1024 {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("weblog: writing CLF: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("weblog: writing CLF: %w", err)
 		}
 	}
+	*bufp = buf[:0]
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // thesaurus maps head words to related words. Both directions are useful:
@@ -87,15 +88,30 @@ func buildDictionary() map[string]bool {
 	return d
 }
 
-// Dictionary returns the embedded word list in lexical order.
+// Dictionary returns the embedded word list in lexical order. The sorted
+// list is computed once (the dictionary is immutable after init); each call
+// returns a fresh copy so callers may shuffle it freely.
 func Dictionary() []string {
-	out := make([]string, 0, len(dictionary))
-	for w := range dictionary {
-		out = append(out, w)
-	}
-	sort.Strings(out)
+	d := sortedDictionary()
+	out := make([]string, len(d))
+	copy(out, d)
 	return out
 }
+
+var sortedDictionary = func() func() []string {
+	var once sync.Once
+	var words []string
+	return func() []string {
+		once.Do(func() {
+			words = make([]string, 0, len(dictionary))
+			for w := range dictionary {
+				words = append(words, w)
+			}
+			sort.Strings(words)
+		})
+		return words
+	}
+}()
 
 // Known reports whether w is a dictionary word.
 func Known(w string) bool { return dictionary[strings.ToLower(w)] }
@@ -110,7 +126,11 @@ func Synonyms(w string) []string {
 		copy(out, syns)
 		return out
 	}
-	for head, syns := range thesaurus {
+	// Scan heads in lexical order, not map order: if a word ever appears
+	// under two heads, the winner must not depend on Go's randomized map
+	// iteration — this feeds generated page text and therefore output.
+	for _, head := range sortedHeads() {
+		syns := thesaurus[head]
 		for _, s := range syns {
 			if s == w {
 				out := []string{head}
@@ -125,6 +145,23 @@ func Synonyms(w string) []string {
 	}
 	return nil
 }
+
+// sortedHeads returns the thesaurus head words in lexical order, computed
+// once (the thesaurus is immutable after init).
+var sortedHeads = func() func() []string {
+	var once sync.Once
+	var heads []string
+	return func() []string {
+		once.Do(func() {
+			heads = make([]string, 0, len(thesaurus))
+			for h := range thesaurus {
+				heads = append(heads, h)
+			}
+			sort.Strings(heads)
+		})
+		return heads
+	}
+}()
 
 // ExtractKeywords extracts meaningful dictionary words from a domain name
 // (step 1 of the paper's algorithm): the label is split on hyphens and

@@ -16,20 +16,34 @@
 //
 // Quick start:
 //
-//	results, err := areyouhuman.RunStudy(areyouhuman.Config{})
+//	res, err := areyouhuman.Run(context.Background())
 //	if err != nil { ... }
-//	fmt.Print(results.Report())
+//	fmt.Print(res.Report())
 //
 // The defaults reproduce the paper's Tables 1–3 and headline numbers: 8 of
 // 105 protected URLs detected, GSB alone bypassing the alert box (average
 // ≈132 minutes), NetCraft alone bypassing session pages (2 of 6 confirmed),
 // and not a single reCAPTCHA-protected URL detected by anyone.
+//
+// Options compose the larger studies — seeded replicas, telemetry, and
+// deterministic fault injection:
+//
+//	res, err := areyouhuman.Run(ctx,
+//		areyouhuman.WithSeed(42),
+//		areyouhuman.WithReplicas(8),
+//		areyouhuman.WithChaosPreset("flaky"))
 package areyouhuman
 
 import (
+	"context"
+	"fmt"
+
+	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/dropcatch"
 	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/telemetry"
 )
 
 // Config parameterises a study run. The zero value reproduces the paper.
@@ -56,11 +70,168 @@ type Table3Row = experiment.Table3Row
 // Funnel is the drop-catch selection funnel (Section 3).
 type Funnel = dropcatch.Funnel
 
+// ChaosPlan is a declarative fault-injection plan; see internal/chaos for
+// the fault kinds and the determinism contract.
+type ChaosPlan = chaos.Plan
+
+// ReplicaSet is the outcome of a multi-replica run: one full study per
+// replica plus cross-replica aggregation.
+type ReplicaSet = core.ReplicaSet
+
+// Error surfaces, re-exported so callers can errors.Is/As without importing
+// internal packages.
+var (
+	// ErrClosed reports events scheduled on a retired world.
+	ErrClosed = simclock.ErrClosed
+	// ErrUnknownEngine reports a report submitted to a nonexistent engine.
+	ErrUnknownEngine = experiment.ErrUnknownEngine
+	// ErrDeployFailed matches every failed deployment (errors.As against
+	// *DeployError recovers the domain and cause).
+	ErrDeployFailed = experiment.ErrDeployFailed
+	// ErrUnknownPreset reports an unrecognised chaos preset name.
+	ErrUnknownPreset = chaos.ErrUnknownPreset
+)
+
+// DeployError is the concrete deployment failure (domain + cause).
+type DeployError = experiment.DeployError
+
+// Option adjusts a Run.
+type Option func(*runOptions) error
+
+type runOptions struct {
+	cfg      Config
+	replicas int
+	parallel int
+}
+
+// WithConfig replaces the whole configuration. Options applied after it
+// still take effect; options applied before it are overwritten.
+func WithConfig(cfg Config) Option {
+	return func(o *runOptions) error { o.cfg = cfg; return nil }
+}
+
+// WithSeed sets the experiment seed (the master seed under WithReplicas).
+// Zero selects the paper-calibrated default.
+func WithSeed(seed int64) Option {
+	return func(o *runOptions) error { o.cfg.Seed = seed; return nil }
+}
+
+// WithTrafficScale scales the engines' crawler-fleet volumes (1 = the
+// Table 1 calibration; tests use small values for speed).
+func WithTrafficScale(scale float64) Option {
+	return func(o *runOptions) error { o.cfg.TrafficScale = scale; return nil }
+}
+
+// WithTelemetry instruments the run end to end (see telemetry.Set).
+// Telemetry observes only; results are identical with or without it.
+func WithTelemetry(tel *telemetry.Set) Option {
+	return func(o *runOptions) error { o.cfg.Telemetry = tel; return nil }
+}
+
+// WithChaosPlan subjects the run to a fault-injection plan. The plan is
+// validated here so a malformed plan fails before any world is built.
+func WithChaosPlan(plan *ChaosPlan) Option {
+	return func(o *runOptions) error {
+		if plan != nil {
+			if err := plan.Validate(); err != nil {
+				return err
+			}
+		}
+		o.cfg.Chaos = plan
+		return nil
+	}
+}
+
+// WithChaosPreset subjects the run to a named built-in fault plan
+// ("flaky", "outage", "degraded"; "" and "none" are no-ops).
+func WithChaosPreset(name string) Option {
+	return func(o *runOptions) error {
+		plan, err := chaos.Preset(name)
+		if err != nil {
+			return err
+		}
+		o.cfg.Chaos = plan
+		return nil
+	}
+}
+
+// WithReplicas runs the full study n times in independent seeded worlds and
+// aggregates (n < 1 is treated as 1).
+func WithReplicas(n int) Option {
+	return func(o *runOptions) error { o.replicas = n; return nil }
+}
+
+// WithParallelism caps the replica worker count (0 = GOMAXPROCS). It
+// affects wall time only, never results.
+func WithParallelism(workers int) Option {
+	return func(o *runOptions) error { o.parallel = workers; return nil }
+}
+
+// StudyResult is what Run produces. Exactly one of Results/Replicas is the
+// primary view: single runs fill Results; WithReplicas(n>1) fills Replicas.
+type StudyResult struct {
+	// Results is the single-run study (nil when Replicas is set).
+	Results *Results
+	// Replicas is the multi-replica study (nil for single runs).
+	Replicas *ReplicaSet
+}
+
+// Report renders whichever study ran.
+func (r *StudyResult) Report() string {
+	if r.Replicas != nil {
+		return r.Replicas.Report()
+	}
+	if r.Results != nil {
+		return r.Results.Report()
+	}
+	return ""
+}
+
+// Run executes the study under ctx. Cancelling ctx stops the simulation
+// within a bounded number of events and returns ctx's error. The zero-option
+// call reproduces the paper's three experiments with default settings.
+func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
+	var o runOptions
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&o); err != nil {
+			return nil, fmt.Errorf("areyouhuman: %w", err)
+		}
+	}
+	if o.replicas > 1 {
+		rs, err := core.RunReplicas(core.ReplicaOptions{
+			Replicas:   o.replicas,
+			Parallel:   o.parallel,
+			MasterSeed: o.cfg.Seed,
+			Base:       o.cfg,
+			Ctx:        ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &StudyResult{Replicas: rs}, nil
+	}
+	f := core.New(o.cfg)
+	if ctx != nil {
+		f.WithContext(ctx)
+	}
+	res, err := f.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return &StudyResult{Results: res}, nil
+}
+
 // NewFramework returns a study framework for cfg.
 func NewFramework(cfg Config) *Framework { return core.New(cfg) }
 
-// RunStudy runs all three experiments (preliminary, main, extensions) and
-// returns the aggregated results.
+// RunStudy runs all three experiments and returns the aggregated results.
+//
+// Deprecated: use Run(ctx, WithConfig(cfg)), which adds cancellation and
+// composes with the chaos and replica options. RunStudy remains as a
+// compatibility shim and behaves exactly as before.
 func RunStudy(cfg Config) (*Results, error) {
 	return core.New(cfg).RunAll()
 }

@@ -3,15 +3,27 @@
 //
 // Usage:
 //
-//	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel]
+//	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel|chaos]
 //	          [-seed N] [-replicas N] [-parallel P]
 //	          [-traffic-scale F] [-main-traffic N] [-nocache]
+//	          [-chaos plan.json] [-chaos-preset flaky|outage|degraded]
 //	          [-json out.json] [-trace out.jsonl] [-metrics out.prom]
 //	          [-cpuprofile out.pprof] [-memprofile out.pprof] [-v]
 //
 // The default stage runs everything: Table 1 (preliminary test), Table 2
 // (main experiment), Table 3 (extensions), the headline claims comparison,
 // the ablation studies, and the paper-scale drop-catch funnel.
+//
+// Fault injection: -chaos loads a declarative fault plan (see internal/chaos)
+// and -chaos-preset selects a built-in one; either subjects the whole run to
+// deterministic faults — network resets and latency, DNS failures, engine
+// outages and slowdowns, stale feeds, flapping listings — reproducible from
+// (seed, plan) alone. -stage chaos runs the comparison study instead: the
+// main experiment once clean and once per preset, reporting detection-rate
+// and timing deltas.
+//
+// The run is cancellable: SIGINT stops the simulation within a bounded
+// number of events and exits with the interruption error.
 //
 // With -replicas N (N > 1) the full study runs N times in fully independent
 // worlds seeded by splitting -seed, across -parallel workers (default
@@ -34,13 +46,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/telemetry"
@@ -60,13 +75,15 @@ type options struct {
 
 func main() {
 	var (
-		stage       = flag.String("stage", "all", "which stage to run: all, preliminary, main, extensions, ablations, exposure, funnel")
+		stage       = flag.String("stage", "all", "which stage to run: all, preliminary, main, extensions, ablations, exposure, funnel, chaos")
 		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default); the master seed when -replicas > 1")
 		replicas    = flag.Int("replicas", 1, "independent replicas of the full study (1 = plain single run)")
 		parallel    = flag.Int("parallel", 0, "worker goroutines for -replicas (0 = GOMAXPROCS); affects wall time only, never results")
 		scale       = flag.Float64("traffic-scale", 1, "crawler fleet volume scale (1 = Table 1 calibration)")
 		mainTraffic = flag.Int("main-traffic", 0, "fleet requests per URL in the main stage (0 = default 200)")
 		noCache     = flag.Bool("nocache", false, "disable the visit-path caches (DOM/scriptlet/render/site/kit); results are identical, only slower")
+		chaosPath   = flag.String("chaos", "", "fault-injection plan (JSON file, see internal/chaos); faults are deterministic in (seed, plan)")
+		chaosPreset = flag.String("chaos-preset", "", "built-in fault plan: flaky, outage, or degraded (empty/none = no faults)")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file (stage all/preliminary/main/extensions)")
 		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (virtual-time spans and events) to this file")
 		metricsOut  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after each stage")
@@ -105,18 +122,30 @@ func main() {
 		}
 	}
 
+	plan, err := resolveChaos(*chaosPath, *chaosPreset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishfarm:", err)
+		os.Exit(1)
+	}
+
 	cfg := experiment.Config{
 		Seed:                 *seed,
 		TrafficScale:         *scale,
 		MainTrafficPerReport: *mainTraffic,
 		NoCache:              *noCache,
 		Telemetry:            opts.tel,
+		Chaos:                plan,
 	}
-	f := core.New(cfg)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	f := core.New(cfg).WithContext(ctx)
 
-	if *replicas > 1 {
-		err = runReplicated(cfg, opts, *replicas, *parallel, *seed)
-	} else {
+	switch {
+	case opts.stage == "chaos":
+		err = chaosStudy(ctx, cfg, opts)
+	case *replicas > 1:
+		err = runReplicated(ctx, cfg, opts, *replicas, *parallel, *seed)
+	default:
 		err = run(f, cfg, opts)
 	}
 	if err == nil {
@@ -324,10 +353,41 @@ func run(f *core.Framework, cfg experiment.Config, opts options) error {
 	}
 }
 
+// resolveChaos loads the fault plan from -chaos or -chaos-preset (at most
+// one may be set); both empty means no fault injection.
+func resolveChaos(path, preset string) (*chaos.Plan, error) {
+	if path != "" && preset != "" {
+		return nil, fmt.Errorf("-chaos and -chaos-preset are mutually exclusive")
+	}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return chaos.ParsePlan(data)
+	}
+	return chaos.Preset(preset)
+}
+
+// chaosStudy runs the fault-injection comparison: the main experiment once
+// clean, then once per built-in preset, and prints the delta table.
+func chaosStudy(ctx context.Context, cfg experiment.Config, opts options) error {
+	done := opts.stageStart("chaos")
+	defer done()
+	base := cfg
+	base.Chaos = nil // arms add their own plans; the baseline must be clean
+	study, err := core.RunChaosStudy(ctx, base, chaos.PresetNames())
+	if err != nil {
+		return err
+	}
+	fmt.Print(study.Report())
+	return nil
+}
+
 // runReplicated executes the replicated study: the full pipeline (tables,
 // ablations, exposure) in n independent worlds, aggregated. Only the default
 // stage makes sense replicated — the aggregate spans the whole study.
-func runReplicated(cfg experiment.Config, opts options, n, workers int, masterSeed int64) error {
+func runReplicated(ctx context.Context, cfg experiment.Config, opts options, n, workers int, masterSeed int64) error {
 	if opts.stage != "all" {
 		return fmt.Errorf("-replicas %d requires -stage all (the aggregate spans the full study), got -stage %s", n, opts.stage)
 	}
@@ -337,6 +397,7 @@ func runReplicated(cfg experiment.Config, opts options, n, workers int, masterSe
 		Parallel:   workers,
 		MasterSeed: masterSeed,
 		Base:       cfg,
+		Ctx:        ctx,
 	})
 	done()
 	if err != nil {

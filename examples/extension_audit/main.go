@@ -1,14 +1,17 @@
-// extension_audit reruns the Section 5 client-side study: the six most
-// popular anti-phishing extensions, nine CAPTCHA/alert/session-protected
-// URLs, three human visits each — and prints Table 3 plus a sample of the
-// telemetry each extension shipped to its vendor (the paper's Burp-proxy
-// view), showing who sends naked URLs with parameters and who hashes.
+// extension_audit reruns the Section 5 client-side study through the public
+// areyouhuman.Run API: the six most popular anti-phishing extensions, nine
+// CAPTCHA/alert/session-protected URLs, three human visits each — and prints
+// Table 3 plus a sample of the telemetry each extension shipped to its vendor
+// (the paper's Burp-proxy view), showing who sends naked URLs with parameters
+// and who hashes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"areyouhuman"
 	"areyouhuman/internal/blacklist"
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/extensions"
@@ -16,13 +19,13 @@ import (
 )
 
 func main() {
-	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.005})
-	rows, err := world.RunExtensions()
+	res, err := areyouhuman.Run(context.Background(),
+		areyouhuman.WithTrafficScale(0.005))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Table 3 — client-side extensions")
-	fmt.Print(experiment.RenderTable3(rows))
+	fmt.Print(experiment.RenderTable3(res.Results.Table3))
 
 	// Show what the telemetry actually looks like on the wire.
 	fmt.Println("\nSample telemetry (what a proxy sees):")

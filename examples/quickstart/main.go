@@ -1,15 +1,26 @@
-// Quickstart: deploy one reCAPTCHA-protected phishing site, report it to
-// Google Safe Browsing, and watch the paper's core finding play out — the
-// bot never reaches the payload and the URL is never blacklisted, while a
-// human solves the checkbox and lands straight on the fake login page at the
-// very same URL.
+// Quickstart, in two acts.
+//
+// Act 1 runs the paper's whole study through the public API —
+// areyouhuman.Run(ctx, opts...) — and prints the headline claims: 8 of 105
+// protected URLs detected, and not a single reCAPTCHA-protected URL ever
+// blacklisted. Ctrl-C cancels the simulation cleanly mid-study.
+//
+// Act 2 drops to the low-level world API to show *why*: deploy one
+// reCAPTCHA-protected phishing site, report it to Google Safe Browsing, and
+// watch the core finding play out — the bot never reaches the payload and
+// the URL is never blacklisted, while a human solves the checkbox and lands
+// straight on the fake login page at the very same URL.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
+	"areyouhuman"
 	"areyouhuman/internal/browser"
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
@@ -18,9 +29,28 @@ import (
 )
 
 func main() {
-	// A fresh simulated internet: DNS, WHOIS, registrar, CA, the reCAPTCHA
-	// service, and all seven anti-phishing engines.
+	// Act 1 — the full study through the public facade. The traffic scale
+	// keeps the crawler fleets small enough to finish in seconds; drop the
+	// option for the paper-calibrated volumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := areyouhuman.Run(ctx, areyouhuman.WithTrafficScale(0.002))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("headline claims (paper vs this run):")
+	for _, c := range res.Results.Claims() {
+		status := "HOLDS"
+		if !c.Holds {
+			status = "DIFFERS"
+		}
+		fmt.Printf("  %-38s paper %-8s measured %-8s %s\n", c.Name, c.Paper, c.Measured, status)
+	}
+
+	// Act 2 — one URL, up close, on the low-level world API.
 	world := experiment.NewWorld(experiment.Config{TrafficScale: 0.01})
+	defer world.Close()
 
 	// Register a domain, generate its 30-page cover website, and mount a
 	// PayPal kit behind the reCAPTCHA gate.
@@ -32,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	url := deployment.Mounts[0].URL
-	fmt.Println("phishing URL:", url)
+	fmt.Println("\nphishing URL:", url)
 
 	// Report it to Google Safe Browsing and let 48 virtual hours pass.
 	if err := world.ReportTo(deployment, engines.GSB); err != nil {

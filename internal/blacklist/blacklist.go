@@ -147,6 +147,27 @@ func (l *List) Snapshot() []Entry {
 	return out
 }
 
+// SnapshotBefore returns the feed as it stood at cutoff: only entries added
+// strictly before that instant, in Snapshot order. A stale-feed fault serves
+// consumers SnapshotBefore(now - staleness) instead of the live Snapshot.
+func (l *List) SnapshotBefore(cutoff time.Time) []Entry {
+	l.mu.RLock()
+	out := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		if e.AddedAt.Before(cutoff) {
+			out = append(out, e)
+		}
+	}
+	l.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AddedAt.Equal(out[j].AddedAt) {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].AddedAt.Before(out[j].AddedAt)
+	})
+	return out
+}
+
 // PrefixSize is the hash-prefix length in bytes (GSB v4 uses 4-byte
 // prefixes).
 const PrefixSize = 4

@@ -68,6 +68,9 @@ type Config struct {
 	TimerBudget time.Duration
 	// MaxNavigations bounds script- or redirect-driven navigation chains.
 	MaxNavigations int
+	// Timeout bounds each fetch; it only bites under fault injection, when
+	// added latency beyond it fails the request (see simnet.Transport).
+	Timeout time.Duration
 	// CanSolveCAPTCHA marks human visitors; the CAPTCHA widget binding
 	// consults it. No anti-phishing engine sets it.
 	CanSolveCAPTCHA bool
@@ -133,7 +136,7 @@ func New(net *simnet.Internet, cfg Config) *Browser {
 	return &Browser{
 		cfg:       cfg,
 		uaHeader:  []string{cfg.UserAgent},
-		transport: &simnet.Transport{Net: net, SourceIP: cfg.SourceIP},
+		transport: &simnet.Transport{Net: net, SourceIP: cfg.SourceIP, Timeout: cfg.Timeout},
 		jar:       jar,
 	}
 }

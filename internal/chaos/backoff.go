@@ -1,0 +1,54 @@
+package chaos
+
+import "time"
+
+// Backoff is an exponential backoff policy with deterministic jitter. The
+// consumers (engine crawl retries, monitor probe retries) run it on the
+// virtual clock: Delay answers "how long until attempt N", and the caller
+// schedules a virtual-time event that far out.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Factor multiplies the delay per attempt (>= 1).
+	Factor float64
+	// Max caps the un-jittered delay.
+	Max time.Duration
+	// Jitter in [0, 1] stretches each delay by up to that fraction,
+	// deterministically per (seed, label, attempt).
+	Jitter float64
+	// Attempts is the retry budget: attempts beyond it are refused.
+	Attempts int
+}
+
+// DefaultBackoff is the policy both the engines and the monitor start from:
+// first retry after 2 virtual minutes, doubling to a 30-minute cap, up to
+// half again in jitter, at most 5 retries.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 2 * time.Minute, Factor: 2, Max: 30 * time.Minute, Jitter: 0.5, Attempts: 5}
+}
+
+// Delay returns the wait before retry attempt (1-based) for the work item
+// identified by label, or false when the budget is exhausted. The jitter
+// draw is a pure function of (seed, label, attempt): two replicas with the
+// same seed retry on identical schedules, and re-running one replica
+// reproduces its schedule exactly.
+func (b Backoff) Delay(seed int64, label string, attempt int) (time.Duration, bool) {
+	if attempt < 1 || (b.Attempts > 0 && attempt > b.Attempts) {
+		return 0, false
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		d *= 1 + b.Jitter*u01(uint64(seed), label, int64(attempt))
+	}
+	return time.Duration(d), true
+}

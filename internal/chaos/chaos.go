@@ -1,0 +1,209 @@
+// Package chaos is the deterministic fault-injection layer for the virtual
+// internet.
+//
+// A Plan is a declarative list of named fault specs, each with a virtual-time
+// window, a probability, and a target selector. An Injector compiled from a
+// (plan, seed) pair answers point questions from the simulation layers —
+// "does this connection reset?", "is this engine down right now?", "how stale
+// is this feed?" — without owning any of their state. The layers stay
+// ignorant of each other: simnet and dnssim consume small func hooks,
+// engines and monitor consume narrow interfaces that *Injector satisfies
+// directly.
+//
+// Determinism contract: every stochastic decision is a pure function of
+// (seed, spec name, decision label, virtual time). No shared RNG stream is
+// advanced, so decisions are independent of scheduling order and replica
+// parallelism — a chaos run is bit-identical across -parallel settings and
+// reproducible from (seed, plan) alone. An empty plan injects nothing and a
+// nil plan installs nothing; both produce byte-identical output to a run
+// without chaos.
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the fault types a spec can inject.
+type Kind string
+
+const (
+	// KindNetReset aborts matching HTTP connections with a reset error.
+	KindNetReset Kind = "net-reset"
+	// KindNetLatency adds latency to matching HTTP connections; if the
+	// added latency exceeds the client's timeout the request fails.
+	KindNetLatency Kind = "net-latency"
+	// KindNetTruncate delivers only the first half of the response body.
+	KindNetTruncate Kind = "net-truncate"
+	// KindDNSServFail answers matching DNS queries with SERVFAIL.
+	KindDNSServFail Kind = "dns-servfail"
+	// KindDNSNXDomain answers matching DNS queries with NXDOMAIN even when
+	// the zone exists.
+	KindDNSNXDomain Kind = "dns-nxdomain"
+	// KindEngineOutage takes a detection engine hard-down: crawls do not
+	// run and its public API answers 503.
+	KindEngineOutage Kind = "engine-outage"
+	// KindEngineSlow adds processing latency to an engine's pipeline,
+	// delaying blacklist listing.
+	KindEngineSlow Kind = "engine-slow"
+	// KindFeedStale serves monitor feed reads from a snapshot Staleness
+	// old instead of the live blacklist.
+	KindFeedStale Kind = "feed-stale"
+	// KindListFlap makes already-listed URLs intermittently invisible to
+	// monitor lookups (the listing itself is untouched).
+	KindListFlap Kind = "list-flap"
+)
+
+// kinds is the closed set Validate accepts.
+var kinds = map[Kind]bool{
+	KindNetReset: true, KindNetLatency: true, KindNetTruncate: true,
+	KindDNSServFail: true, KindDNSNXDomain: true,
+	KindEngineOutage: true, KindEngineSlow: true,
+	KindFeedStale: true, KindListFlap: true,
+}
+
+// Duration is a time.Duration that marshals to/from JSON as a Go duration
+// string ("30m", "72h"). Plain numbers are accepted on input as nanoseconds.
+type Duration time.Duration
+
+// D returns the value as a time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a quoted Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a quoted duration string or a number of
+// nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return err
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// FaultSpec is one named fault: a kind, a target selector, an activity
+// window in virtual time (relative to the stage start), and a probability
+// applied per decision inside the window.
+//
+// Target selects what the fault applies to. "" and "*" match everything;
+// "*suffix" matches by suffix; anything else is an exact match. Net and DNS
+// faults match against the host name, engine/feed/flap faults against the
+// engine key ("gsb", "netcraft", ...).
+//
+// Window semantics: the fault is active for virtual times t with
+// start+Start <= t < start+Start+Duration. A Duration of zero (or negative)
+// therefore never fires — a zero-length window is inert by construction.
+type FaultSpec struct {
+	Name        string   `json:"name"`
+	Kind        Kind     `json:"kind"`
+	Target      string   `json:"target,omitempty"`
+	Start       Duration `json:"start"`
+	Duration    Duration `json:"duration"`
+	Probability float64  `json:"probability"`
+	// Latency is the added delay for net-latency and engine-slow faults.
+	Latency Duration `json:"latency,omitempty"`
+	// Staleness is the feed age for feed-stale faults.
+	Staleness Duration `json:"staleness,omitempty"`
+}
+
+// Plan is a named collection of fault specs. The zero value (and nil) is the
+// empty plan: valid, and injecting nothing.
+type Plan struct {
+	Name   string      `json:"name,omitempty"`
+	Faults []FaultSpec `json:"faults,omitempty"`
+}
+
+// Empty reports whether the plan contains no fault specs.
+func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// Validate checks the plan's internal consistency: unique non-empty spec
+// names, known kinds, probabilities in [0, 1], non-negative windows, and
+// kind-specific parameters present where required.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	seen := make(map[string]bool, len(p.Faults))
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Name == "" {
+			return fmt.Errorf("chaos: fault %d has no name", i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("chaos: duplicate fault name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if !kinds[f.Kind] {
+			return fmt.Errorf("chaos: fault %q has unknown kind %q", f.Name, f.Kind)
+		}
+		if f.Probability < 0 || f.Probability > 1 {
+			return fmt.Errorf("chaos: fault %q probability %v outside [0, 1]", f.Name, f.Probability)
+		}
+		if f.Start < 0 {
+			return fmt.Errorf("chaos: fault %q has negative start", f.Name)
+		}
+		if f.Duration < 0 {
+			return fmt.Errorf("chaos: fault %q has negative duration", f.Name)
+		}
+		switch f.Kind {
+		case KindNetLatency, KindEngineSlow:
+			if f.Latency <= 0 {
+				return fmt.Errorf("chaos: fault %q kind %s requires latency > 0", f.Name, f.Kind)
+			}
+		case KindFeedStale:
+			if f.Staleness <= 0 {
+				return fmt.Errorf("chaos: fault %q kind %s requires staleness > 0", f.Name, f.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes and validates a JSON plan.
+func ParsePlan(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chaos: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ErrUnknownPreset is returned by Preset for names it does not know.
+var ErrUnknownPreset = errors.New("chaos: unknown preset")
+
+// matchTarget reports whether a spec target selects name. "" and "*" match
+// everything; a leading "*" matches by suffix; otherwise exact.
+func matchTarget(target, name string) bool {
+	switch {
+	case target == "" || target == "*":
+		return true
+	case strings.HasPrefix(target, "*"):
+		return strings.HasSuffix(name, target[1:])
+	default:
+		return target == name
+	}
+}

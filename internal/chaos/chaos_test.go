@@ -1,0 +1,343 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func mustInjector(t *testing.T, p *Plan, seed int64) *Injector {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return NewInjector(p, seed, t0, nil)
+}
+
+func TestPlanValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" = valid
+	}{
+		{"empty", Plan{}, ""},
+		{"ok", Plan{Faults: []FaultSpec{{Name: "a", Kind: KindNetReset, Duration: 1, Probability: 0.5}}}, ""},
+		{"no name", Plan{Faults: []FaultSpec{{Kind: KindNetReset}}}, "has no name"},
+		{"dup name", Plan{Faults: []FaultSpec{
+			{Name: "a", Kind: KindNetReset}, {Name: "a", Kind: KindNetTruncate},
+		}}, "duplicate fault name"},
+		{"bad kind", Plan{Faults: []FaultSpec{{Name: "a", Kind: "net-unplug"}}}, "unknown kind"},
+		{"bad probability", Plan{Faults: []FaultSpec{{Name: "a", Kind: KindNetReset, Probability: 1.5}}}, "outside [0, 1]"},
+		{"negative start", Plan{Faults: []FaultSpec{{Name: "a", Kind: KindNetReset, Start: -1}}}, "negative start"},
+		{"negative duration", Plan{Faults: []FaultSpec{{Name: "a", Kind: KindNetReset, Duration: -1}}}, "negative duration"},
+		{"latency required", Plan{Faults: []FaultSpec{{Name: "a", Kind: KindNetLatency, Duration: 1, Probability: 1}}}, "requires latency"},
+		{"staleness required", Plan{Faults: []FaultSpec{{Name: "a", Kind: KindFeedStale, Duration: 1, Probability: 1}}}, "requires staleness"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		switch {
+		case tc.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.want != "" && (err == nil || !strings.Contains(err.Error(), tc.want)):
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	src := `{
+	  "name": "demo",
+	  "faults": [
+	    {"name": "lag", "kind": "net-latency", "target": "*.example",
+	     "start": "24h", "duration": "36h", "probability": 0.25, "latency": "45s"},
+	    {"name": "stale", "kind": "feed-stale", "target": "gsb",
+	     "start": 3600000000000, "duration": "48h", "probability": 1, "staleness": "24h"}
+	  ]
+	}`
+	p, err := ParsePlan([]byte(src))
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Faults[0].Latency.D() != 45*time.Second {
+		t.Errorf("latency = %v, want 45s", p.Faults[0].Latency.D())
+	}
+	if p.Faults[1].Start.D() != time.Hour {
+		t.Errorf("numeric start = %v, want 1h", p.Faults[1].Start.D())
+	}
+	out, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	p2, err := ParsePlan(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(p2.Faults) != 2 || p2.Faults[0].Latency != p.Faults[0].Latency {
+		t.Errorf("round trip mismatch: %+v", p2)
+	}
+	if _, err := ParsePlan([]byte(`{"faults": [{"name": "x", "kind": "net-reset", "surprise": 1}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestWindowEdges(t *testing.T) {
+	t.Parallel()
+	hour := Duration(time.Hour)
+	in := mustInjector(t, &Plan{Faults: []FaultSpec{
+		{Name: "zero", Kind: KindEngineOutage, Start: hour, Duration: 0, Probability: 1},
+		{Name: "always", Kind: KindNetReset, Start: hour, Duration: hour, Probability: 1},
+		{Name: "never", Kind: KindNetTruncate, Start: hour, Duration: hour, Probability: 0},
+	}}, 7)
+
+	// A zero-length window never fires, even exactly at its start instant.
+	for _, at := range []time.Duration{0, time.Hour, time.Hour + 1, 48 * time.Hour} {
+		if in.EngineDown("gsb", t0.Add(at)) {
+			t.Errorf("zero-length window fired at +%v", at)
+		}
+	}
+	// Probability 1 fires on every draw inside [start, start+duration)...
+	for _, at := range []time.Duration{time.Hour, 90 * time.Minute, 2*time.Hour - 1} {
+		if f := in.Net("host.example", t0.Add(at)); !f.Reset {
+			t.Errorf("p=1 did not fire at +%v", at)
+		}
+	}
+	// ...and never outside it (end-exclusive).
+	for _, at := range []time.Duration{0, time.Hour - 1, 2 * time.Hour, 3 * time.Hour} {
+		if f := in.Net("host.example", t0.Add(at)); f.Reset {
+			t.Errorf("p=1 fired outside window at +%v", at)
+		}
+	}
+	// Probability 0 never fires even inside the window.
+	for _, at := range []time.Duration{time.Hour, 90 * time.Minute} {
+		if f := in.Net("host.example", t0.Add(at)); f.TruncateBody {
+			t.Errorf("p=0 fired at +%v", at)
+		}
+	}
+}
+
+func TestOverlappingWindowsCompose(t *testing.T) {
+	t.Parallel()
+	hour := Duration(time.Hour)
+	in := mustInjector(t, &Plan{Faults: []FaultSpec{
+		{Name: "slow-a", Kind: KindNetLatency, Start: 0, Duration: 2 * hour, Probability: 1, Latency: Duration(10 * time.Second)},
+		{Name: "slow-b", Kind: KindNetLatency, Start: hour, Duration: 2 * hour, Probability: 1, Latency: Duration(5 * time.Second)},
+	}}, 7)
+	cases := []struct {
+		at   time.Duration
+		want time.Duration
+	}{
+		{30 * time.Minute, 10 * time.Second}, // only a
+		{90 * time.Minute, 15 * time.Second}, // overlap: latencies add
+		{150 * time.Minute, 5 * time.Second}, // only b
+		{4 * time.Hour, 0},                   // neither
+	}
+	for _, tc := range cases {
+		if got := in.Net("h.example", t0.Add(tc.at)).Latency; got != tc.want {
+			t.Errorf("latency at +%v = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestDecisionsDeterministicAndOrderIndependent(t *testing.T) {
+	t.Parallel()
+	plan := Flaky()
+	a := mustInjector(t, plan, 21)
+	b := mustInjector(t, plan, 21)
+	c := mustInjector(t, plan, 22)
+
+	hosts := []string{"one.example", "two.example", "three.example"}
+	// Query b in reverse order with interleaved extra queries: answers must
+	// still match a's exactly (no shared stream to perturb).
+	type q struct {
+		host string
+		at   time.Duration
+	}
+	var queries []q
+	for i := 0; i < 200; i++ {
+		queries = append(queries, q{hosts[i%len(hosts)], time.Duration(i) * 13 * time.Minute})
+	}
+	ans := make(map[q]NetFault, len(queries))
+	for _, query := range queries {
+		ans[query] = a.Net(query.host, t0.Add(query.at))
+	}
+	diffSeed := 0
+	for i := len(queries) - 1; i >= 0; i-- {
+		query := queries[i]
+		b.DNS("noise.example", t0.Add(query.at)) // extra draws must not matter
+		if got := b.Net(query.host, t0.Add(query.at)); got != ans[query] {
+			t.Fatalf("order-dependent decision for %+v: %+v vs %+v", query, got, ans[query])
+		}
+		if c.Net(query.host, t0.Add(query.at)) != ans[query] {
+			diffSeed++
+		}
+	}
+	if diffSeed == 0 {
+		t.Error("seed change did not alter any of 200 decisions")
+	}
+}
+
+func TestTargetMatching(t *testing.T) {
+	t.Parallel()
+	day := Duration(24 * time.Hour)
+	in := mustInjector(t, &Plan{Faults: []FaultSpec{
+		{Name: "exact", Kind: KindEngineOutage, Target: "gsb", Duration: day, Probability: 1},
+		{Name: "suffix", Kind: KindNetReset, Target: "*.shop", Duration: day, Probability: 1},
+	}}, 3)
+	at := t0.Add(time.Hour)
+	if !in.EngineDown("gsb", at) || in.EngineDown("netcraft", at) {
+		t.Error("exact target mismatch")
+	}
+	if !in.Net("pay.shop", at).Reset || in.Net("pay.example", at).Reset {
+		t.Error("suffix target mismatch")
+	}
+}
+
+func TestDNSFirstMatchWins(t *testing.T) {
+	t.Parallel()
+	day := Duration(24 * time.Hour)
+	in := mustInjector(t, &Plan{Faults: []FaultSpec{
+		{Name: "sf", Kind: KindDNSServFail, Duration: day, Probability: 1},
+		{Name: "nx", Kind: KindDNSNXDomain, Duration: day, Probability: 1},
+	}}, 3)
+	f := in.DNS("a.example", t0.Add(time.Minute))
+	if !f.ServFail || f.NXDomain {
+		t.Errorf("overlapping DNS faults: got %+v, want first (servfail) to win", f)
+	}
+}
+
+func TestDegradedTime(t *testing.T) {
+	t.Parallel()
+	hour := Duration(time.Hour)
+	in := mustInjector(t, &Plan{Faults: []FaultSpec{
+		{Name: "o", Kind: KindEngineOutage, Target: "gsb", Start: 0, Duration: 2 * hour, Probability: 1},
+		{Name: "s", Kind: KindEngineSlow, Target: "*", Start: 0, Duration: 3 * hour, Probability: 0.5, Latency: hour},
+		{Name: "z", Kind: KindEngineOutage, Target: "gsb", Start: hour, Duration: 0, Probability: 1},
+	}}, 3)
+	if got := in.DegradedTime("gsb"); got != 5*time.Hour {
+		t.Errorf("DegradedTime(gsb) = %v, want 5h", got)
+	}
+	if got := in.DegradedTime("netcraft"); got != 3*time.Hour {
+		t.Errorf("DegradedTime(netcraft) = %v, want 3h", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	t.Parallel()
+	var in *Injector
+	at := t0.Add(time.Hour)
+	if f := in.Net("h", at); f.Reset || f.Latency != 0 || f.TruncateBody {
+		t.Error("nil injector injected a net fault")
+	}
+	if f := in.DNS("h", at); f.ServFail || f.NXDomain {
+		t.Error("nil injector injected a DNS fault")
+	}
+	if in.EngineDown("gsb", at) || in.EngineSlowdown("gsb", at) != 0 ||
+		in.FeedLag("gsb", at) != 0 || in.Flap("u", "gsb", at) || in.DegradedTime("gsb") != 0 {
+		t.Error("nil injector reported engine faults")
+	}
+	in.PublishDegraded([]string{"gsb"})
+	if NewInjector(nil, 1, t0, nil) != nil {
+		t.Error("NewInjector(nil plan) != nil")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	t.Parallel()
+	for _, name := range PresetNames() {
+		p, err := Preset(name)
+		if err != nil || p == nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("preset %q has Name %q", name, p.Name)
+		}
+	}
+	if p, err := Preset("none"); err != nil || p != nil {
+		t.Errorf("Preset(none) = %v, %v", p, err)
+	}
+	if _, err := Preset("mayhem"); !errors.Is(err, ErrUnknownPreset) {
+		t.Errorf("Preset(mayhem) error = %v, want ErrUnknownPreset", err)
+	}
+}
+
+func TestSplitSeed(t *testing.T) {
+	t.Parallel()
+	if SplitSeed(21, 0) != 21 {
+		t.Error("stream 0 must return the master seed unchanged")
+	}
+	seen := map[int64]bool{}
+	for k := 0; k < 1000; k++ {
+		s := SplitSeed(21, k)
+		if s == 0 {
+			t.Fatalf("SplitSeed(21, %d) = 0", k)
+		}
+		if seen[s] {
+			t.Fatalf("SplitSeed collision at k=%d", k)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBackoffDeterministicJitterAndBudget(t *testing.T) {
+	t.Parallel()
+	b := DefaultBackoff()
+	var prev []time.Duration
+	for run := 0; run < 2; run++ {
+		var ds []time.Duration
+		for attempt := 1; ; attempt++ {
+			d, ok := b.Delay(21, "crawl|http://x.example/", attempt)
+			if !ok {
+				break
+			}
+			ds = append(ds, d)
+		}
+		if len(ds) != b.Attempts {
+			t.Fatalf("got %d delays, want %d", len(ds), b.Attempts)
+		}
+		if run == 1 {
+			for i := range ds {
+				if ds[i] != prev[i] {
+					t.Fatalf("jitter not deterministic: run 0 %v vs run 1 %v", prev, ds)
+				}
+			}
+		}
+		prev = ds
+	}
+	// Delays respect Base and the jittered Max ceiling, and grow overall.
+	for i, d := range prev {
+		if d < b.Base {
+			t.Errorf("attempt %d delay %v below base %v", i+1, d, b.Base)
+		}
+		max := time.Duration(float64(b.Max) * (1 + b.Jitter))
+		if d > max {
+			t.Errorf("attempt %d delay %v above jittered max %v", i+1, d, max)
+		}
+	}
+	if prev[len(prev)-1] <= prev[0] {
+		t.Errorf("delays did not grow: %v", prev)
+	}
+	// Different seeds jitter differently; zero jitter removes the spread.
+	d1, _ := b.Delay(21, "x", 1)
+	d2, _ := b.Delay(22, "x", 1)
+	if d1 == d2 {
+		t.Error("distinct seeds produced identical jitter")
+	}
+	b.Jitter = 0
+	for _, seed := range []int64{21, 22, 23} {
+		if d, _ := b.Delay(seed, "x", 1); d != b.Base {
+			t.Errorf("jitterless first delay = %v, want %v", d, b.Base)
+		}
+	}
+	if _, ok := b.Delay(21, "x", 0); ok {
+		t.Error("attempt 0 accepted")
+	}
+}

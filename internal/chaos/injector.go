@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"time"
+
+	"areyouhuman/internal/telemetry"
+)
+
+// Metric names exported by the injector.
+const (
+	// MetricFaultsInjected counts positive injection decisions, labelled by
+	// fault name and kind.
+	MetricFaultsInjected = "chaos_faults_injected_total"
+	// MetricDegradedSeconds gauges the plan-declared degraded window time
+	// per engine (outage + slow windows that target it).
+	MetricDegradedSeconds = "chaos_engine_degraded_seconds"
+)
+
+// NetFault is the injector's answer for one HTTP exchange.
+type NetFault struct {
+	// Reset aborts the connection before any response is delivered.
+	Reset bool
+	// Latency is added virtual delay; requests whose client timeout is
+	// shorter than the added latency fail with a timeout.
+	Latency time.Duration
+	// TruncateBody delivers only the first half of the response body.
+	TruncateBody bool
+}
+
+// DNSFault is the injector's answer for one DNS query.
+type DNSFault struct {
+	ServFail bool
+	NXDomain bool
+}
+
+// Injector answers fault-decision queries for a compiled (plan, seed) pair.
+// All methods are safe on a nil receiver (they report "no fault"), safe for
+// concurrent use, and allocation-free on the no-fault path.
+type Injector struct {
+	start time.Time
+	tel   *telemetry.Set
+
+	net    []*specState
+	dns    []*specState
+	outage []*specState
+	slow   []*specState
+	feed   []*specState
+	flap   []*specState
+}
+
+// specState is one compiled fault spec: the spec itself, its private draw
+// stream, and its injection counter.
+type specState struct {
+	spec     FaultSpec
+	from, to time.Duration // window bounds relative to start
+	stream   uint64
+	injected *telemetry.Counter
+}
+
+// NewInjector compiles a plan into an injector rooted at the given virtual
+// start time. Spec K draws from the SplitSeed(seed, K+1) stream, so decisions
+// are reproducible from (seed, plan) alone. A nil plan yields a nil injector.
+// The plan should be validated first; NewInjector does not re-check it.
+func NewInjector(plan *Plan, seed int64, start time.Time, tel *telemetry.Set) *Injector {
+	if plan == nil {
+		return nil
+	}
+	in := &Injector{start: start, tel: tel}
+	tel.M().Describe(MetricFaultsInjected, "Chaos fault injection decisions that fired, by fault name and kind.")
+	tel.M().Describe(MetricDegradedSeconds, "Plan-declared degraded window seconds per engine (outage + slow).")
+	for i := range plan.Faults {
+		spec := plan.Faults[i]
+		st := &specState{
+			spec:     spec,
+			from:     spec.Start.D(),
+			to:       spec.Start.D() + spec.Duration.D(),
+			stream:   uint64(SplitSeed(seed, i+1)),
+			injected: tel.M().Counter(MetricFaultsInjected, "fault", spec.Name, "kind", string(spec.Kind)),
+		}
+		switch spec.Kind {
+		case KindNetReset, KindNetLatency, KindNetTruncate:
+			in.net = append(in.net, st)
+		case KindDNSServFail, KindDNSNXDomain:
+			in.dns = append(in.dns, st)
+		case KindEngineOutage:
+			in.outage = append(in.outage, st)
+		case KindEngineSlow:
+			in.slow = append(in.slow, st)
+		case KindFeedStale:
+			in.feed = append(in.feed, st)
+		case KindListFlap:
+			in.flap = append(in.flap, st)
+		}
+	}
+	return in
+}
+
+// hit reports whether the spec fires for (label, now): window active, target
+// matched by the caller, probability drawn from the spec's own stream. The
+// probability edge cases are exact: 0 never fires, 1 always fires inside the
+// window.
+func (st *specState) hit(start time.Time, label string, now time.Time) bool {
+	elapsed := now.Sub(start)
+	if elapsed < st.from || elapsed >= st.to {
+		return false
+	}
+	p := st.spec.Probability
+	if p <= 0 {
+		return false
+	}
+	if p < 1 && u01(st.stream, label, now.UnixNano()) >= p {
+		return false
+	}
+	st.injected.Inc()
+	return true
+}
+
+// Net answers for one HTTP exchange to host. Multiple active specs compose:
+// any reset wins, latencies add, any truncate truncates.
+func (in *Injector) Net(host string, now time.Time) NetFault {
+	var f NetFault
+	if in == nil {
+		return f
+	}
+	for _, st := range in.net {
+		if !matchTarget(st.spec.Target, host) || !st.hit(in.start, host, now) {
+			continue
+		}
+		switch st.spec.Kind {
+		case KindNetReset:
+			f.Reset = true
+		case KindNetLatency:
+			f.Latency += st.spec.Latency.D()
+		case KindNetTruncate:
+			f.TruncateBody = true
+		}
+	}
+	return f
+}
+
+// DNS answers for one query for name. The first active spec in plan order
+// wins, keeping overlapping windows deterministic.
+func (in *Injector) DNS(name string, now time.Time) DNSFault {
+	var f DNSFault
+	if in == nil {
+		return f
+	}
+	for _, st := range in.dns {
+		if !matchTarget(st.spec.Target, name) || !st.hit(in.start, name, now) {
+			continue
+		}
+		if st.spec.Kind == KindDNSServFail {
+			f.ServFail = true
+		} else {
+			f.NXDomain = true
+		}
+		return f
+	}
+	return f
+}
+
+// EngineDown reports whether engine key is inside an active outage window.
+func (in *Injector) EngineDown(key string, now time.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, st := range in.outage {
+		if matchTarget(st.spec.Target, key) && st.hit(in.start, key, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// EngineSlowdown returns the added processing latency for engine key, summed
+// over active slow windows.
+func (in *Injector) EngineSlowdown(key string, now time.Time) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, st := range in.slow {
+		if matchTarget(st.spec.Target, key) && st.hit(in.start, key, now) {
+			total += st.spec.Latency.D()
+		}
+	}
+	return total
+}
+
+// FeedLag returns how stale engine key's public feed reads are right now
+// (the maximum over active feed-stale windows; zero = live).
+func (in *Injector) FeedLag(key string, now time.Time) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var lag time.Duration
+	for _, st := range in.feed {
+		if matchTarget(st.spec.Target, key) && st.hit(in.start, key, now) {
+			if s := st.spec.Staleness.D(); s > lag {
+				lag = s
+			}
+		}
+	}
+	return lag
+}
+
+// Flap reports whether a listed URL is momentarily invisible to monitor
+// lookups against engine key. The listing itself is untouched — flapping
+// perturbs observation, never ground truth.
+func (in *Injector) Flap(url, key string, now time.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, st := range in.flap {
+		if matchTarget(st.spec.Target, key) && st.hit(in.start, url+"|"+key, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradedTime sums the plan-declared degraded window time (outage + slow)
+// targeting engine key. It reads the plan, not runtime decisions, so it is
+// known at construction.
+func (in *Injector) DegradedTime(key string) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, set := range [][]*specState{in.outage, in.slow} {
+		for _, st := range set {
+			if matchTarget(st.spec.Target, key) && st.to > st.from {
+				total += st.to - st.from
+			}
+		}
+	}
+	return total
+}
+
+// PublishDegraded sets the per-engine degraded-time gauges for the given
+// engine keys.
+func (in *Injector) PublishDegraded(keys []string) {
+	if in == nil {
+		return
+	}
+	for _, key := range keys {
+		in.tel.M().Gauge(MetricDegradedSeconds, "engine", key).Set(in.DegradedTime(key).Seconds())
+	}
+}

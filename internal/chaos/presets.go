@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Named presets. Windows are expressed relative to the stage start; the main
+// study runs 14 virtual days, so "whole study" windows use 336h.
+const study = Duration(14 * 24 * time.Hour)
+
+// Flaky models a persistently unreliable network: connection resets,
+// timeout-inducing latency spikes, truncated transfers, and intermittent
+// resolver failures, all probabilistic and study-long.
+func Flaky() *Plan {
+	return &Plan{Name: "flaky", Faults: []FaultSpec{
+		{Name: "flaky-reset", Kind: KindNetReset, Start: 0, Duration: study, Probability: 0.15},
+		{Name: "flaky-latency", Kind: KindNetLatency, Start: 0, Duration: study, Probability: 0.10, Latency: Duration(45 * time.Second)},
+		{Name: "flaky-truncate", Kind: KindNetTruncate, Start: 0, Duration: study, Probability: 0.10},
+		{Name: "flaky-servfail", Kind: KindDNSServFail, Start: 0, Duration: study, Probability: 0.10},
+	}}
+}
+
+// Outage models hard engine downtime: two single-engine outages early in the
+// study and one short all-engine blackout in week two. Inside a window the
+// engine neither crawls nor answers its public API.
+func Outage() *Plan {
+	return &Plan{Name: "outage", Faults: []FaultSpec{
+		{Name: "outage-gsb", Kind: KindEngineOutage, Target: "gsb", Start: Duration(24 * time.Hour), Duration: Duration(24 * time.Hour), Probability: 1},
+		{Name: "outage-netcraft", Kind: KindEngineOutage, Target: "netcraft", Start: Duration(3 * 24 * time.Hour), Duration: Duration(36 * time.Hour), Probability: 1},
+		{Name: "outage-blackout", Kind: KindEngineOutage, Target: "*", Start: Duration(8 * 24 * time.Hour), Duration: Duration(6 * time.Hour), Probability: 1},
+	}}
+}
+
+// Degraded models a soft-failure ecosystem: every engine's pipeline runs
+// hours behind, public feeds serve day-old snapshots for most of the study,
+// and listed URLs flap in and out of monitor visibility.
+func Degraded() *Plan {
+	return &Plan{Name: "degraded", Faults: []FaultSpec{
+		{Name: "degraded-slow", Kind: KindEngineSlow, Target: "*", Start: 0, Duration: study, Probability: 1, Latency: Duration(4 * time.Hour)},
+		{Name: "degraded-feeds", Kind: KindFeedStale, Target: "*", Start: Duration(2 * 24 * time.Hour), Duration: Duration(10 * 24 * time.Hour), Probability: 1, Staleness: Duration(24 * time.Hour)},
+		{Name: "degraded-flap", Kind: KindListFlap, Target: "*", Start: 0, Duration: study, Probability: 0.30},
+	}}
+}
+
+// PresetNames lists the named presets in display order.
+func PresetNames() []string { return []string{"flaky", "outage", "degraded"} }
+
+// Preset returns the named preset plan, or ErrUnknownPreset. "none" and ""
+// return a nil plan.
+func Preset(name string) (*Plan, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "flaky":
+		return Flaky(), nil
+	case "outage":
+		return Outage(), nil
+	case "degraded":
+		return Degraded(), nil
+	default:
+		return nil, fmt.Errorf("%w %q (have flaky, outage, degraded)", ErrUnknownPreset, name)
+	}
+}

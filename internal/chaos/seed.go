@@ -1,0 +1,60 @@
+package chaos
+
+// Seed splitting and hash-based uniform draws.
+//
+// SplitSeed is the repo's canonical seed splitter (core.SplitSeed delegates
+// here so the chaos layer can derive per-spec streams without importing
+// core, which would cycle through experiment). See the determinism notes in
+// the package comment: chaos decisions never advance a shared RNG stream;
+// each decision hashes (stream, label, virtual time) through the same
+// splitmix64 finalizer and maps the result to [0, 1).
+
+const (
+	splitmixGamma = 0x9E3779B97F4A7C15 // 2^64 / golden ratio, odd
+	splitmixMul1  = 0xBF58476D1CE4E5B9
+	splitmixMul2  = 0x94D049BB133111EB
+
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// SplitSeed derives stream K from a master seed with the splitmix64
+// finalizer (Steele, Lea & Flood 2014). Stream 0 returns master unchanged —
+// a single-replica run stays bit-identical to historical single-run output —
+// and the result is never 0, because experiment.Config treats a zero seed as
+// "use the paper-calibrated default".
+func SplitSeed(master int64, k int) int64 {
+	if k == 0 {
+		return master
+	}
+	z := mix64(uint64(master) + uint64(k)*splitmixGamma)
+	if z == 0 {
+		z = splitmixGamma
+	}
+	return int64(z)
+}
+
+// mix64 is the splitmix64 avalanche finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= splitmixMul1
+	z ^= z >> 27
+	z *= splitmixMul2
+	z ^= z >> 31
+	return z
+}
+
+// u01 maps (stream, label, tick) to a uniform float64 in [0, 1) without
+// allocating: FNV-1a over the label folded into the stream, the virtual-time
+// tick mixed in, and the splitmix finalizer for avalanche. Two calls with
+// the same arguments always agree, regardless of what any other decision
+// drew — the property the cross-parallelism bit-identity test relies on.
+func u01(stream uint64, label string, tick int64) float64 {
+	h := uint64(fnvOffset) ^ stream
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	h = mix64(h ^ uint64(tick))
+	return float64(h>>11) / (1 << 53)
+}

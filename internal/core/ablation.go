@@ -32,7 +32,7 @@ func (f *Framework) RunAlertConfirmAblation() (AlertAblationResult, error) {
 	run := func(mutate func(p *engines.Profile)) (int, int, error) {
 		cfg := f.Cfg
 		cfg.Mutate = mutate
-		w := experiment.NewWorld(cfg)
+		w := f.newWorld(cfg)
 		defer w.Close()
 		detected, total := 0, 0
 		for i, key := range engines.MainExperimentKeys() {
@@ -47,6 +47,9 @@ func (f *Framework) RunAlertConfirmAblation() (AlertAblationResult, error) {
 			total++
 		}
 		w.Sched.RunFor(24 * time.Hour)
+		if err := w.Sched.InterruptErr(); err != nil {
+			return 0, 0, err
+		}
 		for _, d := range w.Deployments() {
 			if w.Engines[d.ReportedTo].List.Contains(d.Mounts[0].URL) {
 				detected++
@@ -86,7 +89,7 @@ func (f *Framework) RunFormSubmitAblation() (FormAblationResult, error) {
 	run := func(mutate func(p *engines.Profile)) (int, int, error) {
 		cfg := f.Cfg
 		cfg.Mutate = mutate
-		w := experiment.NewWorld(cfg)
+		w := f.newWorld(cfg)
 		defer w.Close()
 		total := 0
 		var deployments []*experiment.Deployment
@@ -107,6 +110,9 @@ func (f *Framework) RunFormSubmitAblation() (FormAblationResult, error) {
 			total++
 		}
 		w.Sched.RunFor(24 * time.Hour)
+		if err := w.Sched.InterruptErr(); err != nil {
+			return 0, 0, err
+		}
 		bypassed := 0
 		for _, d := range deployments {
 			if len(d.Log.PayloadServes()) > 0 {
@@ -143,7 +149,7 @@ type ProvenanceAblationResult struct {
 // OpenPhish (fingerprint-only) and compares outcomes.
 func (f *Framework) RunKitProvenanceAblation() (ProvenanceAblationResult, error) {
 	run := func(cloned bool) (bool, error) {
-		w := experiment.NewWorld(f.Cfg)
+		w := f.newWorld(f.Cfg)
 		defer w.Close()
 		d, err := w.Deploy("ablation-gmail.com",
 			experiment.MountSpec{Brand: phishkit.Gmail, Technique: evasion.None, ForceCloned: cloned})
@@ -154,6 +160,9 @@ func (f *Framework) RunKitProvenanceAblation() (ProvenanceAblationResult, error)
 			return false, err
 		}
 		w.Sched.RunFor(24 * time.Hour)
+		if err := w.Sched.InterruptErr(); err != nil {
+			return false, err
+		}
 		return w.Engines[engines.OpenPhish].List.Contains(d.Mounts[0].URL), nil
 	}
 	scratch, err := run(false)
@@ -180,7 +189,7 @@ func (f *Framework) RunFeedSharingAblation() (SharingAblationResult, error) {
 	count := func(mutate func(p *engines.Profile)) (int, error) {
 		cfg := f.Cfg
 		cfg.Mutate = mutate
-		w := experiment.NewWorld(cfg)
+		w := f.newWorld(cfg)
 		defer w.Close()
 		rows, err := w.RunPreliminary()
 		if err != nil {
@@ -263,7 +272,7 @@ func (f *Framework) RunCloakingBaseline() (CloakingBaselineResult, error) {
 			p.BlacklistJitter = 24 * time.Minute
 		}
 	}
-	w := experiment.NewWorld(cfg)
+	w := f.newWorld(cfg)
 	defer w.Close()
 
 	// The attacker's blocklist covers the engines' published crawler ranges.
@@ -295,6 +304,9 @@ func (f *Framework) RunCloakingBaseline() (CloakingBaselineResult, error) {
 		}
 	}
 	w.Sched.RunFor(48 * time.Hour)
+	if err := w.Sched.InterruptErr(); err != nil {
+		return res, err
+	}
 
 	var delays []time.Duration
 	for _, d := range ds {

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/chaos"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/telemetry"
+)
+
+// TestEmptyPlanIsByteIdentical pins the chaos layer's central invariant: a
+// non-nil but empty fault plan installs inert hooks, and the full study's
+// report is byte-for-byte what a chaos-free run produces. If any fault hook
+// consumed randomness, reordered events, or perturbed a timing even when no
+// fault fires, this diverges.
+func TestEmptyPlanIsByteIdentical(t *testing.T) {
+	t.Parallel()
+	clean, err := New(fastCfg()).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Chaos = &chaos.Plan{Name: "empty"}
+	empty, err := New(cfg).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := empty.Report(), clean.Report(); got != want {
+		t.Errorf("empty plan perturbs the study:\n--- empty plan ---\n%s\n--- no plan ---\n%s", got, want)
+	}
+}
+
+// TestChaosReplicasParallelMatchesSequential is the fault-injection
+// determinism stress test: with a nonempty plan, N replicas must still be
+// bit-identical between one worker and N workers. Fault draws are pure
+// functions of (seed, plan, label, time), so worker count cannot reach them;
+// under -race this also proves the injector is safe across concurrently
+// live worlds.
+func TestChaosReplicasParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	const replicas = 3
+	cfg := fastCfg()
+	cfg.Chaos = chaos.Flaky()
+	run := func(parallel int) *ReplicaSet {
+		rs, err := RunReplicas(ReplicaOptions{Replicas: replicas, Parallel: parallel, Base: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	seq := run(1)
+	par := run(replicas)
+
+	for k := 0; k < replicas; k++ {
+		if got, want := par.Runs[k].Results.Report(), seq.Runs[k].Results.Report(); got != want {
+			t.Errorf("replica %d diverges between parallel and sequential under chaos", k)
+		}
+	}
+	var seqJSON, parJSON strings.Builder
+	if err := seq.WriteJSON(&seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if seqJSON.String() != parJSON.String() {
+		t.Error("chaos-run JSON export depends on worker count")
+	}
+}
+
+// TestChaosFaultsObservable runs the main experiment under the flaky preset
+// with telemetry and checks the chaos layer actually fired: injected-fault
+// counters are positive and the run still completes with the full URL count.
+func TestChaosFaultsObservable(t *testing.T) {
+	t.Parallel()
+	cfg := fastCfg()
+	cfg.Chaos = chaos.Flaky()
+	cfg.Telemetry = &telemetry.Set{Metrics: telemetry.NewRegistry()}
+	res, err := New(cfg).RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalURLs != 105 {
+		t.Fatalf("chaos run deployed %d URLs, want 105", res.TotalURLs)
+	}
+	injected := 0.0
+	for _, p := range cfg.Telemetry.Metrics.Snapshot() {
+		if p.Name == chaos.MetricFaultsInjected {
+			injected += p.Value
+		}
+	}
+	if injected == 0 {
+		t.Error("flaky preset injected no faults over a two-week main run")
+	}
+}
+
+// TestChaosStudyComparesArms checks the comparison harness: a baseline arm
+// plus one preset arm, full URL counts in both, and a rendered delta table.
+func TestChaosStudyComparesArms(t *testing.T) {
+	t.Parallel()
+	study, err := RunChaosStudy(context.Background(), fastCfg(), []string{"outage"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Baseline.Total != 105 || len(study.Arms) != 1 || study.Arms[0].Total != 105 {
+		t.Fatalf("study shape: baseline %d/%d, %d arms", study.Baseline.Detected, study.Baseline.Total, len(study.Arms))
+	}
+	if study.Arms[0].Name != "outage" {
+		t.Fatalf("arm name = %q", study.Arms[0].Name)
+	}
+	rep := study.Report()
+	if !strings.Contains(rep, "baseline") || !strings.Contains(rep, "outage") {
+		t.Errorf("report is missing arms:\n%s", rep)
+	}
+}
+
+// TestRunChaosStudyUnknownPreset propagates the preset error.
+func TestRunChaosStudyUnknownPreset(t *testing.T) {
+	t.Parallel()
+	_, err := RunChaosStudy(context.Background(), fastCfg(), []string{"earthquake"})
+	if !errors.Is(err, chaos.ErrUnknownPreset) {
+		t.Fatalf("err = %v, want ErrUnknownPreset", err)
+	}
+}
+
+// TestFrameworkContextCancellation: a framework under an already-cancelled
+// context must fail promptly with the context error, not run a two-week
+// simulation to completion.
+func TestFrameworkContextCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(fastCfg()).WithContext(ctx).RunAll()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAll under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunReplicasContextCancellation: a cancelled study returns ctx.Err and
+// no result set.
+func TestRunReplicasContextCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, err := RunReplicas(ReplicaOptions{Replicas: 2, Parallel: 2, Base: fastCfg(), Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunReplicas under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if rs != nil {
+		t.Error("cancelled study still returned a result set")
+	}
+}
+
+// TestChaosChangesOutcome guards against the chaos layer being wired but
+// inert: a heavy outage plan must shift something measurable relative to the
+// clean baseline (detections, listing delay, or sighting lag). A fully
+// identical run would mean the faults never reach the pipeline.
+func TestChaosChangesOutcome(t *testing.T) {
+	t.Parallel()
+	clean, err := New(fastCfg()).RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Chaos = chaos.Degraded()
+	faulty, err := New(cfg).RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanList := func(res *experiment.MainResults) float64 {
+		var all []time.Duration
+		for _, ds := range res.TimesToList {
+			all = append(all, ds...)
+		}
+		return experiment.AverageDuration(all).Minutes()
+	}
+	cleanMean, faultyMean := meanList(clean), meanList(faulty)
+	// The degraded preset's study-long engine-slow window adds 4 hours to
+	// every listing pipeline, so mean time-to-list must move by hours.
+	if faultyMean < cleanMean+60 {
+		t.Errorf("degraded preset left listing delays untouched: clean mean %.0fm, degraded mean %.0fm",
+			cleanMean, faultyMean)
+	}
+}

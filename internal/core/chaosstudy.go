@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/chaos"
+	"areyouhuman/internal/experiment"
+)
+
+// The chaos study measures how resilient the reproduced pipeline is to an
+// imperfect world: it runs the main experiment once as a clean baseline and
+// once per fault plan, and reports how detection and timing shift. The paper
+// ran against the real internet, which misbehaves for free; the simulation
+// has to inject its misbehaviour deliberately.
+
+// ChaosArm is one run of the main experiment under one fault plan (or none).
+type ChaosArm struct {
+	// Name labels the arm: "baseline" or the plan/preset name.
+	Name string
+	// Detected and Total are the Table 2 headline for this arm.
+	Detected int
+	Total    int
+	// MeanTimeToList averages report-to-listing delay over detected URLs.
+	MeanTimeToList time.Duration
+	// MeanSightingLag averages how far behind the true listing time the
+	// monitoring pipeline's first sighting ran (over detected URLs that were
+	// sighted at all). Feed staleness and outages stretch this.
+	MeanSightingLag time.Duration
+	// Sighted counts detected URLs the monitor actually observed.
+	Sighted int
+}
+
+// DetectionRate is Detected/Total (0 when Total is 0).
+func (a ChaosArm) DetectionRate() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Detected) / float64(a.Total)
+}
+
+// ChaosStudy compares the main experiment across fault plans.
+type ChaosStudy struct {
+	Baseline ChaosArm
+	Arms     []ChaosArm
+}
+
+// RunChaosStudy runs the main experiment once without faults and once per
+// preset name, all from the same base configuration and seed, and returns the
+// comparison. Every arm is a fresh world; only the fault plan differs, so any
+// delta is attributable to the injected faults alone.
+func RunChaosStudy(ctx context.Context, base experiment.Config, presets []string) (*ChaosStudy, error) {
+	study := &ChaosStudy{}
+	arm, err := runChaosArm(ctx, base, "baseline", nil)
+	if err != nil {
+		return nil, err
+	}
+	study.Baseline = arm
+	for _, name := range presets {
+		plan, err := chaos.Preset(name)
+		if err != nil {
+			return nil, err
+		}
+		arm, err := runChaosArm(ctx, base, name, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: chaos arm %q: %w", name, err)
+		}
+		study.Arms = append(study.Arms, arm)
+	}
+	return study, nil
+}
+
+func runChaosArm(ctx context.Context, base experiment.Config, name string, plan *chaos.Plan) (ChaosArm, error) {
+	cfg := base
+	cfg.Chaos = plan
+	f := New(cfg)
+	if ctx != nil {
+		f.WithContext(ctx)
+	}
+	res, err := f.RunMain()
+	if err != nil {
+		return ChaosArm{}, err
+	}
+	arm := ChaosArm{Name: name, Detected: res.TotalDetected, Total: res.TotalURLs}
+	var listDelays []time.Duration
+	for _, ds := range res.TimesToList {
+		listDelays = append(listDelays, ds...)
+	}
+	arm.MeanTimeToList = experiment.AverageDuration(listDelays)
+	var lags []time.Duration
+	for url, listedAt := range res.ListedAt {
+		if s, sighted := res.Sightings[url]; sighted {
+			arm.Sighted++
+			lags = append(lags, s.SeenAt.Sub(listedAt))
+		}
+	}
+	arm.MeanSightingLag = experiment.AverageDuration(lags)
+	return arm, nil
+}
+
+// Report renders the study as a fixed-width comparison table with deltas
+// against the baseline.
+func (s *ChaosStudy) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Chaos study: main experiment under fault injection ==\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %8s %15s %14s %10s\n",
+		"arm", "detected", "rate", "mean list time", "sighting lag", "sighted")
+	row := func(a ChaosArm, base *ChaosArm) {
+		fmt.Fprintf(&b, "%-12s %7d/%d %7.1f%% %14.0fm %13.0fm %7d/%d",
+			a.Name, a.Detected, a.Total, 100*a.DetectionRate(),
+			a.MeanTimeToList.Minutes(), a.MeanSightingLag.Minutes(),
+			a.Sighted, a.Detected)
+		if base != nil {
+			fmt.Fprintf(&b, "   (Δdetect %+d, Δlist %+.0fm, Δlag %+.0fm)",
+				a.Detected-base.Detected,
+				a.MeanTimeToList.Minutes()-base.MeanTimeToList.Minutes(),
+				a.MeanSightingLag.Minutes()-base.MeanSightingLag.Minutes())
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	row(s.Baseline, nil)
+	for _, a := range s.Arms {
+		row(a, &s.Baseline)
+	}
+	return b.String()
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -23,11 +24,29 @@ import (
 // Framework runs the study.
 type Framework struct {
 	Cfg experiment.Config
+	ctx context.Context
 }
 
 // New returns a framework with the given configuration.
 func New(cfg experiment.Config) *Framework {
 	return &Framework{Cfg: cfg}
+}
+
+// WithContext subjects every world the framework builds to ctx: once ctx is
+// cancelled, the running stage stops within a bounded number of events and
+// returns ctx's error. Returns the framework for chaining.
+func (f *Framework) WithContext(ctx context.Context) *Framework {
+	f.ctx = ctx
+	return f
+}
+
+// newWorld builds a world from cfg and applies the framework's context.
+func (f *Framework) newWorld(cfg experiment.Config) *experiment.World {
+	w := experiment.NewWorld(cfg)
+	if f.ctx != nil {
+		w.SetContext(f.ctx)
+	}
+	return w
 }
 
 // Results aggregates all three experiments.
@@ -39,14 +58,14 @@ type Results struct {
 
 // RunPreliminary runs the 24-hour naked-kit test (Table 1) in a fresh world.
 func (f *Framework) RunPreliminary() ([]experiment.Table1Row, error) {
-	w := experiment.NewWorld(f.Cfg)
+	w := f.newWorld(f.Cfg)
 	defer w.Close()
 	return w.RunPreliminary()
 }
 
 // RunMain runs the two-week main experiment (Table 2) in a fresh world.
 func (f *Framework) RunMain() (*experiment.MainResults, error) {
-	w := experiment.NewWorld(f.Cfg)
+	w := f.newWorld(f.Cfg)
 	defer w.Close()
 	return w.RunMain()
 }
@@ -54,7 +73,7 @@ func (f *Framework) RunMain() (*experiment.MainResults, error) {
 // RunExtensions runs the client-side extension study (Table 3) in a fresh
 // world.
 func (f *Framework) RunExtensions() ([]experiment.Table3Row, error) {
-	w := experiment.NewWorld(f.Cfg)
+	w := f.newWorld(f.Cfg)
 	defer w.Close()
 	return w.RunExtensions()
 }

@@ -63,7 +63,7 @@ func (f *Framework) RunExposureStudy() ([]ExposureResult, error) {
 }
 
 func (f *Framework) runExposure(tech evasion.Technique, idx int) (ExposureResult, error) {
-	w := experiment.NewWorld(f.Cfg)
+	w := f.newWorld(f.Cfg)
 	defer w.Close()
 	d, err := w.Deploy(fmt.Sprintf("exposure-%s-%d.com", tech, idx),
 		experiment.MountSpec{Brand: phishkit.PayPal, Technique: tech})
@@ -135,6 +135,9 @@ func (f *Framework) runExposure(tech evasion.Technique, idx int) (ExposureResult
 		})
 	}
 	w.Sched.RunFor(time.Duration(ExposureCampaignDays*24)*time.Hour + 2*time.Hour)
+	if err := w.Sched.InterruptErr(); err != nil {
+		return ExposureResult{}, err
+	}
 
 	if entry, ok := gsb.List.Lookup(url); ok {
 		res.BlacklistedAfter = entry.AddedAt.Sub(d.ReportedAt)

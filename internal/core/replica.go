@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,6 +45,10 @@ type ReplicaOptions struct {
 	// Telemetry fields are overridden per replica; Mutate, if set, is called
 	// from several worker goroutines and must be stateless.
 	Base experiment.Config
+	// Ctx, when set, cancels the study: in-flight replicas stop within a
+	// bounded number of events, queued replicas never start, and RunReplicas
+	// returns Ctx's error. Nil means no cancellation (as before).
+	Ctx context.Context
 }
 
 func (o ReplicaOptions) withDefaults() ReplicaOptions {
@@ -100,6 +105,10 @@ func RunReplicas(opts ReplicaOptions) (*ReplicaSet, error) {
 		go func() {
 			defer wg.Done()
 			for k := range indices {
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					errs[k] = opts.Ctx.Err()
+					continue // drain remaining indices without running them
+				}
 				runs[k], errs[k] = runReplica(opts, k)
 			}
 		}()
@@ -110,6 +119,11 @@ func RunReplicas(opts ReplicaOptions) (*ReplicaSet, error) {
 	close(indices)
 	wg.Wait()
 
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	for k, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: replica %d (seed %d): %w", k, SplitSeed(opts.MasterSeed, k), err)
@@ -126,6 +140,9 @@ func runReplica(opts ReplicaOptions, k int) (ReplicaRun, error) {
 	cfg.Telemetry = replicaTelemetry(opts.Base.Telemetry, k)
 
 	f := New(cfg)
+	if opts.Ctx != nil {
+		f.WithContext(opts.Ctx)
+	}
 	run := ReplicaRun{Replica: k, Seed: cfg.Seed}
 	var err error
 	if run.Results, err = f.RunAll(); err != nil {

@@ -1,5 +1,7 @@
 package core
 
+import "areyouhuman/internal/chaos"
+
 // Seed splitting.
 //
 // A replica study runs N fully independent worlds from one master seed. Each
@@ -17,28 +19,14 @@ package core
 // seed unchanged — a single-replica run is bit-identical to the historical
 // single-run output.
 
-const (
-	splitmixGamma = 0x9E3779B97F4A7C15 // 2^64 / golden ratio, odd
-	splitmixMul1  = 0xBF58476D1CE4E5B9
-	splitmixMul2  = 0x94D049BB133111EB
-)
-
 // SplitSeed derives replica K's world seed from the master seed. Replica 0
 // returns master unchanged; K > 0 returns splitmix64(master + K*gamma). The
 // result is never 0, because experiment.Config treats a zero seed as "use the
 // paper-calibrated default".
+//
+// The implementation lives in the chaos package (which also derives per-spec
+// fault streams from it and cannot import core); this wrapper preserves the
+// historical call site and its tests.
 func SplitSeed(master int64, replica int) int64 {
-	if replica == 0 {
-		return master
-	}
-	z := uint64(master) + uint64(replica)*splitmixGamma
-	z ^= z >> 30
-	z *= splitmixMul1
-	z ^= z >> 27
-	z *= splitmixMul2
-	z ^= z >> 31
-	if z == 0 {
-		z = splitmixGamma
-	}
-	return int64(z)
+	return chaos.SplitSeed(master, replica)
 }

@@ -32,6 +32,7 @@ type RCode int
 const (
 	NoError RCode = iota
 	NXDomain
+	ServFail
 )
 
 func (c RCode) String() string {
@@ -40,10 +41,19 @@ func (c RCode) String() string {
 		return "NOERROR"
 	case NXDomain:
 		return "NXDOMAIN"
+	case ServFail:
+		return "SERVFAIL"
 	default:
 		return fmt.Sprintf("RCODE(%d)", int(c))
 	}
 }
+
+// FaultFunc lets a fault-injection layer override live resolutions: a
+// non-NoError return makes ResolveA fail as if the authoritative server
+// answered that code. Only ResolveA (the path live HTTP traffic takes)
+// consults it — direct Query calls, like the drop-catch pipeline's SOA
+// scans, see the true zone store.
+type FaultFunc func(name string) RCode
 
 // Record is a single resource record.
 type Record struct {
@@ -64,6 +74,7 @@ type Zone struct {
 type Server struct {
 	mu      sync.RWMutex
 	zones   map[string]*Zone
+	fault   FaultFunc
 	queries int64
 }
 
@@ -151,8 +162,27 @@ func (s *Server) DNSSEC(domain string) bool {
 	return ok && z.DNSSEC
 }
 
+// SetFault installs a resolution fault hook; nil removes it.
+func (s *Server) SetFault(f FaultFunc) {
+	s.mu.Lock()
+	s.fault = f
+	s.mu.Unlock()
+}
+
 // ResolveA implements simnet.Resolver.
 func (s *Server) ResolveA(host string) (string, bool) {
+	s.mu.RLock()
+	fault := s.fault
+	s.mu.RUnlock()
+	if fault != nil {
+		if rc := fault(canonical(host)); rc != NoError {
+			// The failed lookup still counts as a served query.
+			s.mu.Lock()
+			s.queries++
+			s.mu.Unlock()
+			return "", false
+		}
+	}
 	code, recs := s.Query(host, TypeA)
 	if code != NoError || len(recs) == 0 {
 		return "", false

@@ -1,0 +1,60 @@
+package dnssim
+
+import "testing"
+
+// TestFaultFailsResolveAOnly pins the fault hook's scope: an injected
+// SERVFAIL (or NXDOMAIN) breaks live A-record resolution but leaves Query —
+// and therefore the drop-catch SOA/NS scans — answering from the true store.
+func TestFaultFailsResolveAOnly(t *testing.T) {
+	t.Parallel()
+	s := NewServer()
+	s.AddZone("site.example", "203.0.113.5")
+
+	if ip, ok := s.ResolveA("site.example"); !ok || ip != "203.0.113.5" {
+		t.Fatalf("pre-fault ResolveA = %q %v", ip, ok)
+	}
+
+	s.SetFault(func(name string) RCode {
+		if name == "site.example" {
+			return ServFail
+		}
+		return NoError
+	})
+	if ip, ok := s.ResolveA("site.example"); ok {
+		t.Fatalf("ResolveA under SERVFAIL = %q, want failure", ip)
+	}
+	if code, _ := s.Query("site.example", TypeSOA); code != NoError {
+		t.Fatalf("Query under fault = %v, want NOERROR (faults must not reach Query)", code)
+	}
+	if !s.Exists("site.example") {
+		t.Fatal("Exists must keep answering from the true store under faults")
+	}
+
+	// Clearing the fault restores resolution.
+	s.SetFault(nil)
+	if _, ok := s.ResolveA("site.example"); !ok {
+		t.Fatal("ResolveA still failing after fault cleared")
+	}
+}
+
+// TestFaultCountsQueries: a faulted resolution still counts as a served
+// query — the resolver answered, just unhelpfully.
+func TestFaultCountsQueries(t *testing.T) {
+	t.Parallel()
+	s := NewServer()
+	s.AddZone("q.example", "203.0.113.9")
+	s.SetFault(func(name string) RCode { return NXDomain })
+	before := s.Queries()
+	s.ResolveA("q.example")
+	if got := s.Queries(); got != before+1 {
+		t.Fatalf("queries = %d, want %d", got, before+1)
+	}
+}
+
+// TestServFailString covers the new RCode.
+func TestServFailString(t *testing.T) {
+	t.Parallel()
+	if ServFail.String() != "SERVFAIL" {
+		t.Fatalf("ServFail.String() = %q", ServFail.String())
+	}
+}

@@ -88,5 +88,16 @@ func (e *Engine) Handler() http.Handler {
 		}
 		json.NewEncoder(w).Encode(pending)
 	})
-	return mux
+	if e.faults == nil {
+		return mux
+	}
+	// Under fault injection, an engine in an outage window is down on every
+	// public surface, not just the crawl pipeline.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if e.faults.EngineDown(e.Profile.Key, e.sched.Clock().Now()) {
+			http.Error(w, e.Profile.Name+" is temporarily unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }

@@ -1,6 +1,7 @@
 package engines
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"areyouhuman/internal/blacklist"
 	"areyouhuman/internal/browser"
+	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/classify"
 	"areyouhuman/internal/htmlmini"
 	"areyouhuman/internal/report"
@@ -20,6 +22,20 @@ import (
 	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/telemetry"
 )
+
+// FaultSource answers fault-window queries for the engine pipeline.
+// *chaos.Injector satisfies it; a nil field means a perfect world.
+type FaultSource interface {
+	// EngineDown reports whether this engine is inside a hard outage: no
+	// crawls launch and the public API answers 503.
+	EngineDown(key string, now time.Time) bool
+	// EngineSlowdown is extra pipeline latency added to blacklist listing.
+	EngineSlowdown(key string, now time.Time) time.Duration
+}
+
+// APITimeout is the engines' patience budget per HTTP exchange (crawls,
+// resource fetches, fleet traffic). It only bites under fault injection.
+const APITimeout = 30 * time.Second
 
 // Detection records one confirmed verdict.
 type Detection struct {
@@ -62,6 +78,8 @@ type Engine struct {
 	community  *communitySection // non-nil for community-verified engines
 	tel        *telemetry.Set
 	inst       instruments
+	faults     FaultSource
+	backoff    chaos.Backoff
 	// TrafficPerReport is how many crawler-fleet requests one report
 	// triggers (beyond the deciding bot visits). The experiment calibrates
 	// this per stage; the preliminary stage uses PrelimRequests/3.
@@ -92,6 +110,9 @@ type Deps struct {
 	// is bit-identical with or without them.
 	DOMCache *htmlmini.ParseCache
 	Scripts  *scriptlet.ProgramCache
+	// Faults, when set, injects outage and slowdown windows into the crawl
+	// pipeline (see internal/chaos). Leave nil for a perfect world.
+	Faults FaultSource
 }
 
 // instruments are the engine's pre-resolved metric handles; all nil (and
@@ -104,6 +125,8 @@ type instruments struct {
 	verdictBenign *telemetry.Counter
 	detections    *telemetry.Counter
 	shares        *telemetry.Counter
+	retries       *telemetry.Counter
+	retriesGiven  *telemetry.Counter
 }
 
 // Engine metric names.
@@ -114,6 +137,8 @@ const (
 	MetricVerdicts      = "phish_engine_verdicts_total"
 	MetricDetections    = "phish_engine_detections_total"
 	MetricShares        = "phish_engine_shares_total"
+	MetricRetries       = "phish_engine_retries_total"
+	MetricRetriesGiven  = "phish_engine_retries_exhausted_total"
 )
 
 func newInstruments(m *telemetry.Registry, engine string) instruments {
@@ -126,6 +151,8 @@ func newInstruments(m *telemetry.Registry, engine string) instruments {
 	m.Describe(MetricVerdicts, "Crawl verdicts by outcome (phish includes the via-form path).")
 	m.Describe(MetricDetections, "URLs an engine added to its own blacklist.")
 	m.Describe(MetricShares, "Listings propagated to partner feeds.")
+	m.Describe(MetricRetries, "Crawl attempts rescheduled after an injected failure or outage window.")
+	m.Describe(MetricRetriesGiven, "Crawl retry sequences abandoned after exhausting the backoff budget.")
 	return instruments{
 		reports:       m.Counter(MetricReports, "engine", engine),
 		crawls:        m.Counter(MetricCrawls, "engine", engine),
@@ -134,6 +161,8 @@ func newInstruments(m *telemetry.Registry, engine string) instruments {
 		verdictBenign: m.Counter(MetricVerdicts, "engine", engine, "verdict", "benign"),
 		detections:    m.Counter(MetricDetections, "engine", engine),
 		shares:        m.Counter(MetricShares, "engine", engine),
+		retries:       m.Counter(MetricRetries, "engine", engine),
+		retriesGiven:  m.Counter(MetricRetriesGiven, "engine", engine),
 	}
 }
 
@@ -152,6 +181,8 @@ func New(p Profile, deps Deps) *Engine {
 		domCache:         deps.DOMCache,
 		scripts:          deps.Scripts,
 		inst:             newInstruments(deps.Telemetry.M(), p.Key),
+		faults:           deps.Faults,
+		backoff:          chaos.DefaultBackoff(),
 		TrafficPerReport: p.PrelimRequests / 3,
 		Rechecks:         []time.Duration{30 * time.Minute, 2 * time.Hour},
 	}
@@ -172,14 +203,14 @@ func New(p Profile, deps Deps) *Engine {
 	if len(e.ipPool) == 0 {
 		e.ipPool = []string{"198.18.0.1"}
 	}
-	e.judgeTr = &simnet.Transport{Net: deps.Net}
+	e.judgeTr = &simnet.Transport{Net: deps.Net, Timeout: APITimeout}
 	e.judgeClient = &http.Client{
 		Transport: e.judgeTr,
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
 			return http.ErrUseLastResponse
 		},
 	}
-	e.fleetTr = &simnet.Transport{Net: deps.Net}
+	e.fleetTr = &simnet.Transport{Net: deps.Net, Timeout: APITimeout}
 	e.fleetClient = &http.Client{
 		Transport: e.fleetTr,
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
@@ -242,11 +273,56 @@ func (e *Engine) process(rawURL string) {
 // crawlAndJudge performs one bot visit and, on a confirmed verdict,
 // schedules the blacklist listing, sharing, and notifications.
 func (e *Engine) crawlAndJudge(rawURL string) {
+	e.crawlAttempt(rawURL, 1)
+}
+
+// retryable reports whether a visit failure warrants a backoff retry. Only
+// manufactured failures qualify: injected transport faults, and resolution
+// failures (which, during a study, only an injected DNS fault produces —
+// study deployments are never torn down mid-run). Organic errors keep their
+// historical benign-verdict path, which is what makes an empty chaos plan
+// byte-identical to a run without one.
+func retryable(err error) bool {
+	return errors.Is(err, simnet.ErrInjected) || errors.Is(err, simnet.ErrNoSuchHost)
+}
+
+// retry schedules the next attempt for rawURL under the engine's backoff
+// policy. The dropped revisit is rescheduled, not lost; only an exhausted
+// budget abandons the URL (until the next independent recheck).
+func (e *Engine) retry(rawURL string, attempt int) {
+	delay, ok := e.backoff.Delay(e.seed, e.Profile.Key+"|retry|"+rawURL, attempt)
+	if !ok {
+		e.inst.retriesGiven.Inc()
+		return
+	}
+	e.inst.retries.Inc()
+	if e.tel.Tracing() {
+		e.tel.T().Event("engine.retry",
+			telemetry.String("engine", e.Profile.Key),
+			telemetry.String("url", rawURL),
+			telemetry.Int("attempt", attempt),
+			telemetry.Duration("delay", delay))
+	}
+	e.sched.After(delay, e.Profile.Key+":retry", func(time.Time) {
+		e.crawlAttempt(rawURL, attempt+1)
+	})
+}
+
+func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 	if e.List.Contains(rawURL) {
 		return
 	}
+	if e.faults != nil && e.faults.EngineDown(e.Profile.Key, e.sched.Clock().Now()) {
+		// The crawler never launches during an outage; the visit is deferred.
+		e.retry(rawURL, attempt)
+		return
+	}
 	e.inst.crawls.Inc()
-	verdict, viaForm := e.visit(rawURL)
+	verdict, viaForm, err := e.visit(rawURL)
+	if err != nil && retryable(err) {
+		e.retry(rawURL, attempt)
+		return
+	}
 	if !verdict {
 		e.inst.verdictBenign.Inc()
 		return
@@ -259,6 +335,10 @@ func (e *Engine) crawlAndJudge(rawURL string) {
 	}
 	crawledAt := e.sched.Clock().Now()
 	delay := e.blacklistDelay(rawURL)
+	if e.faults != nil {
+		// A degraded pipeline confirms as usual but lists late.
+		delay += e.faults.EngineSlowdown(e.Profile.Key, crawledAt)
+	}
 	e.sched.After(delay, e.Profile.Key+":blacklist", func(now time.Time) {
 		if !e.List.Add(rawURL, e.Profile.Key) {
 			return
@@ -330,26 +410,29 @@ func (e *Engine) share(rawURL string) {
 
 // visit opens the URL with the engine's browser capabilities and classifies
 // whatever it reaches; when the direct path stays benign and the form policy
-// allows, it submits forms and classifies the results.
-func (e *Engine) visit(rawURL string) (verdict, viaForm bool) {
+// allows, it submits forms and classifies the results. The returned error is
+// the navigation failure, if any (the caller decides whether it is worth a
+// retry); a failed visit always carries a false verdict.
+func (e *Engine) visit(rawURL string) (verdict, viaForm bool, err error) {
 	b := browser.New(e.net, browser.Config{
 		UserAgent:      e.Profile.UserAgent,
 		SourceIP:       e.pickIP(rawURL, 0),
 		ExecuteScripts: e.Profile.ExecuteScripts,
 		AlertPolicy:    e.Profile.AlertPolicy,
 		TimerBudget:    e.Profile.TimerBudget,
+		Timeout:        APITimeout,
 		DOMCache:       e.domCache,
 		ScriptCache:    e.scripts,
 	})
 	page, err := b.Open(rawURL)
 	if err != nil {
-		return false, false
+		return false, false, err
 	}
 	if e.judge(page) {
-		return true, false
+		return true, false, nil
 	}
 	if e.Profile.FormPolicy == FormNone {
-		return false, false
+		return false, false, nil
 	}
 	for _, form := range page.Forms() {
 		if !e.shouldSubmit(form.Fields) {
@@ -360,10 +443,10 @@ func (e *Engine) visit(rawURL string) (verdict, viaForm bool) {
 			continue
 		}
 		if e.judge(after) {
-			return true, true
+			return true, true, nil
 		}
 	}
-	return false, false
+	return false, false, nil
 }
 
 // judge classifies a settled page under the engine's power, fetching

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownEngine is returned by ReportTo (and wrapped by the facade) when
+// the named engine does not exist in this world.
+var ErrUnknownEngine = errors.New("experiment: unknown engine")
+
+// ErrDeployFailed is the sentinel every *DeployError matches via errors.Is,
+// letting callers catch "deployment failed" without enumerating causes.
+var ErrDeployFailed = errors.New("experiment: deploy failed")
+
+// DeployError reports a failed deployment: which domain, and why. It matches
+// ErrDeployFailed via errors.Is and unwraps to the underlying cause for
+// errors.As / errors.Is on the specific failure.
+type DeployError struct {
+	Domain string
+	Reason error
+}
+
+func (e *DeployError) Error() string {
+	return fmt.Sprintf("experiment: deploying %s: %v", e.Domain, e.Reason)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *DeployError) Unwrap() error { return e.Reason }
+
+// Is matches the ErrDeployFailed sentinel.
+func (e *DeployError) Is(target error) bool { return target == ErrDeployFailed }

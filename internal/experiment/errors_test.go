@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+)
+
+// TestDeployErrorSurface pins the typed deployment-error contract: a failed
+// Deploy matches ErrDeployFailed via errors.Is, recovers the domain and
+// cause via errors.As, and unwraps to the underlying registrar error.
+func TestDeployErrorSurface(t *testing.T) {
+	t.Parallel()
+	w := NewWorld(Config{TrafficScale: 0.002})
+	defer w.Close()
+	if _, err := w.Deploy("dup.example.com",
+		MountSpec{Brand: phishkit.PayPal, Technique: evasion.None}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering the same domain is the reliable failure path.
+	_, err := w.Deploy("dup.example.com",
+		MountSpec{Brand: phishkit.PayPal, Technique: evasion.None})
+	if err == nil {
+		t.Fatal("duplicate deployment succeeded")
+	}
+	if !errors.Is(err, ErrDeployFailed) {
+		t.Errorf("errors.Is(err, ErrDeployFailed) = false for %v", err)
+	}
+	var de *DeployError
+	if !errors.As(err, &de) {
+		t.Fatalf("errors.As(*DeployError) = false for %v", err)
+	}
+	if de.Domain != "dup.example.com" || de.Reason == nil {
+		t.Errorf("DeployError = {Domain: %q, Reason: %v}", de.Domain, de.Reason)
+	}
+}
+
+// TestReportToUnknownEngine pins the sentinel for misdirected reports.
+func TestReportToUnknownEngine(t *testing.T) {
+	t.Parallel()
+	w := NewWorld(Config{TrafficScale: 0.002})
+	defer w.Close()
+	d, err := w.Deploy("report-err.example.com",
+		MountSpec{Brand: phishkit.Facebook, Technique: evasion.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.ReportTo(d, "no-such-engine")
+	if !errors.Is(err, ErrUnknownEngine) {
+		t.Errorf("errors.Is(err, ErrUnknownEngine) = false for %v", err)
+	}
+	if err := w.ReportTo(d, "gsb"); err != nil {
+		t.Errorf("valid engine errored: %v", err)
+	}
+}

@@ -100,6 +100,9 @@ func (w *World) RunExtensions() ([]Table3Row, error) {
 			}
 		}
 		w.Sched.RunFor(time.Duration(ExtensionVisits)*ExtensionVisitSpacing + time.Hour)
+		if err := w.Sched.InterruptErr(); err != nil {
+			return nil, err
+		}
 
 		rows = append(rows, Table3Row{
 			Name:          spec.Name,

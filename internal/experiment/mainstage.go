@@ -50,6 +50,9 @@ type MainResults struct {
 	// what the paper could actually see from outside, at most one poll
 	// interval after the true listing time.
 	Sightings map[string]monitor.Sighting
+	// ListedAt is the true listing time per detected URL (the engine's own
+	// blacklist entry time) — the ground truth the sightings chase.
+	ListedAt map[string]time.Time
 	// UserProtection is, per technique, the average fraction of web users
 	// whose browser would warn about the technique's URLs at experiment end
 	// (browser market shares and engine wiring from Section 3; cross-feed
@@ -117,6 +120,7 @@ func (w *World) RunMain() (*MainResults, error) {
 		Cells:       make(map[string]map[phishkit.Brand]map[evasion.Technique]*Cell),
 		Funnel:      funnel,
 		TimesToList: make(map[string][]time.Duration),
+		ListedAt:    make(map[string]time.Time),
 		TotalURLs:   totalURLs,
 	}
 	cell := func(engine string, brand phishkit.Brand, tech evasion.Technique) *Cell {
@@ -169,6 +173,9 @@ func (w *World) RunMain() (*MainResults, error) {
 	// and screenshot-probe SmartScreen through a monitored browser.
 	mon := monitor.New(w.Sched)
 	mon.Instrument(w.Tel)
+	if w.Faults != nil {
+		mon.WithFaults(w.Faults, w.Cfg.Seed)
+	}
 	horizon := w.Clock.Now().Add(MainDuration)
 	for _, d := range res.Deployments {
 		url := d.Mounts[0].URL
@@ -186,6 +193,9 @@ func (w *World) RunMain() (*MainResults, error) {
 	}
 
 	w.Sched.RunFor(MainDuration)
+	if err := w.Sched.InterruptErr(); err != nil {
+		return nil, err
+	}
 
 	res.Sightings = make(map[string]monitor.Sighting)
 	for _, d := range res.Deployments {
@@ -206,6 +216,7 @@ func (w *World) RunMain() (*MainResults, error) {
 		}
 		cell(d.ReportedTo, m.Brand, m.Technique).Detected++
 		res.TotalDetected++
+		res.ListedAt[m.URL] = entry.AddedAt
 		delay := entry.AddedAt.Sub(d.ReportedAt)
 		res.TimesToList[d.ReportedTo] = append(res.TimesToList[d.ReportedTo], delay)
 		if d.ReportedTo == engines.GSB && m.Technique == evasion.AlertBox {

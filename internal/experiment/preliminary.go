@@ -54,6 +54,9 @@ func (w *World) RunPreliminary() ([]Table1Row, error) {
 		deployments[i] = d
 	}
 	w.Sched.RunFor(PreliminaryDuration)
+	if err := w.Sched.InterruptErr(); err != nil {
+		return nil, err
+	}
 
 	rows := make([]Table1Row, len(keys))
 	for i, key := range keys {

@@ -6,12 +6,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"time"
 
 	"areyouhuman/internal/captcha"
+	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/dnssim"
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
@@ -68,6 +70,13 @@ type Config struct {
 	// It exists as an escape hatch and as the reference arm of the
 	// cache-vs-nocache bit-identity test; output is identical either way.
 	NoCache bool
+	// Chaos, when set, subjects the world to the plan's fault windows (see
+	// internal/chaos): network resets and latency, DNS failures, engine
+	// outages and slowdowns, feed staleness, monitor-visible flapping. Fault
+	// draws derive from (Seed, plan) alone, so a chaos run is bit-identical
+	// across -parallel settings. Nil — and, provably, the empty plan — leaves
+	// the world byte-identical to a run without chaos.
+	Chaos *chaos.Plan
 }
 
 // DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
@@ -118,6 +127,10 @@ type World struct {
 	Engines   map[string]*engines.Engine
 	// Tel is the world's telemetry set (from Config.Telemetry; may be nil).
 	Tel *telemetry.Set
+	// Faults is the world's chaos injector (nil without Config.Chaos). It is
+	// consulted by the network, DNS, engines, and — once the main study wires
+	// it — the monitor.
+	Faults *chaos.Injector
 	// DOMCache and Scripts are the world's visit-path caches, shared by the
 	// engines' browsers and any human-visitor simulation riding this world.
 	// Both are nil under Config.NoCache (callers degrade to fresh parses).
@@ -152,6 +165,27 @@ func NewWorld(cfg Config) *World {
 	w.instDeployments = w.Tel.M().Counter("phish_deployments_total")
 	telemetry.ObserveScheduler(w.Sched, w.Tel)
 	w.Net.SetResolver(w.DNS)
+	w.Faults = chaos.NewInjector(cfg.Chaos, cfg.Seed, cfg.Start, cfg.Telemetry)
+	if w.Faults != nil {
+		// The hooks close over the world clock: every fault decision is a pure
+		// function of (seed, plan, virtual time), so installation order and
+		// replica parallelism cannot perturb the draws.
+		w.Net.SetFault(func(host string) simnet.Fault {
+			f := w.Faults.Net(host, w.Clock.Now())
+			return simnet.Fault{Reset: f.Reset, Latency: f.Latency, TruncateBody: f.TruncateBody}
+		})
+		w.DNS.SetFault(func(name string) dnssim.RCode {
+			f := w.Faults.DNS(name, w.Clock.Now())
+			switch {
+			case f.ServFail:
+				return dnssim.ServFail
+			case f.NXDomain:
+				return dnssim.NXDomain
+			default:
+				return dnssim.NoError
+			}
+		})
+	}
 	w.Registrar = registrar.New("OVH", w.WHOIS, w.DNS, clock)
 	w.Checkers = []*registrar.Registrar{
 		registrar.New("GoDaddy", w.WHOIS, w.DNS, clock),
@@ -172,6 +206,11 @@ func NewWorld(cfg Config) *World {
 		DOMCache:     w.DOMCache,
 		Scripts:      w.Scripts,
 	}
+	if w.Faults != nil {
+		// Guarded assignment: a typed-nil *chaos.Injector in the interface
+		// field would defeat the engines' `faults != nil` fast path.
+		deps.Faults = w.Faults
+	}
 	// Wire engines in Table 1 order, not map order: server IPs are allocated
 	// round-robin at registration, so the construction order must be fixed
 	// for two worlds with the same seed to be bit-identical.
@@ -190,7 +229,20 @@ func NewWorld(cfg Config) *World {
 		apiHost := w.Net.Register(EngineAPIHost(key), e.Handler())
 		w.DNS.AddZone(EngineAPIHost(key), apiHost.IP)
 	}
+	w.Faults.PublishDegraded(engines.Keys())
 	return w
+}
+
+// SetContext subjects the world's scheduler to ctx: once ctx is cancelled the
+// scheduler stops within a bounded number of events and every later Run is a
+// no-op (see simclock.Scheduler.SetInterrupt). Stage drivers surface the
+// cancellation by checking Sched.InterruptErr after each run.
+func (w *World) SetContext(ctx context.Context) {
+	if ctx == nil {
+		w.Sched.SetInterrupt(nil)
+		return
+	}
+	w.Sched.SetInterrupt(ctx.Err)
 }
 
 // Close retires the world: the scheduler drops its pending events and rejects
@@ -261,7 +313,7 @@ type MountSpec struct {
 // techniques, and brings the host online.
 func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 	if _, err := w.Registrar.Register(domain, "Research Lab"); err != nil {
-		return nil, fmt.Errorf("experiment: registering %s: %w", domain, err)
+		return nil, &DeployError{Domain: domain, Reason: err}
 	}
 	var site *sitegen.Site
 	if w.Cfg.NoCache {
@@ -301,7 +353,7 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 			kit, err = phishkit.GenerateCached(spec.Brand, prov)
 		}
 		if err != nil {
-			return nil, err
+			return nil, &DeployError{Domain: domain, Reason: err}
 		}
 		collector := &phishkit.Collector{}
 		payload := kit.Handler(collector)
@@ -329,7 +381,7 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		}
 		wrapped, err := evasion.Wrap(spec.Technique, opts)
 		if err != nil {
-			return nil, err
+			return nil, &DeployError{Domain: domain, Reason: err}
 		}
 		path := phishPath(spec.Brand, i)
 		handle(path, wrapped)
@@ -404,7 +456,7 @@ func (w *World) Deployments() []*Deployment {
 func (w *World) ReportTo(d *Deployment, engineKey string) error {
 	eng, ok := w.Engines[engineKey]
 	if !ok {
-		return fmt.Errorf("experiment: unknown engine %q", engineKey)
+		return fmt.Errorf("%w %q", ErrUnknownEngine, engineKey)
 	}
 	d.ReportedTo = engineKey
 	d.ReportedAt = w.Clock.Now()

@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/telemetry"
+)
+
+// fakeFaults is a scripted FaultSource: the engine is down inside the outage
+// window, the feed reads stale by lag, and flapping hides a listing before
+// flapUntil.
+type fakeFaults struct {
+	outageFrom, outageTo time.Time
+	lag                  time.Duration
+	flapUntil            time.Time
+}
+
+func (f *fakeFaults) EngineDown(key string, now time.Time) bool {
+	return !now.Before(f.outageFrom) && now.Before(f.outageTo)
+}
+func (f *fakeFaults) FeedLag(key string, now time.Time) time.Duration { return f.lag }
+func (f *fakeFaults) Flap(url, key string, now time.Time) bool {
+	return now.Before(f.flapUntil)
+}
+
+// TestWatchAPIRetriesThroughOutage drives an API watcher into a scripted
+// outage: every poll inside the window must schedule backoff retries (counted
+// in telemetry), the retries must respect the virtual clock, and once the
+// outage lifts the watcher still records the sighting.
+func TestWatchAPIRetriesThroughOutage(t *testing.T) {
+	t.Parallel()
+	sched, clock := newSched()
+	tel := &telemetry.Set{Metrics: telemetry.NewRegistry()}
+	faults := &fakeFaults{
+		outageFrom: simclock.Epoch,
+		outageTo:   simclock.Epoch.Add(3 * time.Hour),
+	}
+	m := New(sched).WithFaults(faults, 7)
+	m.Instrument(tel)
+	list := blacklist.NewList("gsb", clock)
+	url := "http://phish.example/login.php"
+	until := simclock.Epoch.Add(24 * time.Hour)
+	m.WatchAPI(url, "gsb", list, until)
+
+	sched.After(30*time.Minute, "list", func(time.Time) { list.Add(url, "gsb") })
+	sched.Run(until.Add(time.Hour))
+
+	retries := tel.M().Counter(MetricRetries, "engine", "gsb").Value()
+	if retries == 0 {
+		t.Error("no backoff retries were scheduled during a 3-hour outage")
+	}
+	s, ok := m.FirstSeen(url, "gsb")
+	if !ok {
+		t.Fatal("sighting lost to the outage; graceful degradation failed")
+	}
+	if s.SeenAt.Before(faults.outageTo) {
+		t.Errorf("sighting at %v, inside the outage window ending %v", s.SeenAt, faults.outageTo)
+	}
+	if s.SeenAt.After(until) {
+		t.Errorf("sighting at %v is past the watch deadline %v", s.SeenAt, until)
+	}
+}
+
+// TestRetriesAreBounded pins the backoff budget: an outage covering the whole
+// watch window must not retry forever — the attempt budget caps the extra
+// probes each poll tick spawns.
+func TestRetriesAreBounded(t *testing.T) {
+	t.Parallel()
+	sched, clock := newSched()
+	tel := &telemetry.Set{Metrics: telemetry.NewRegistry()}
+	until := simclock.Epoch.Add(6 * time.Hour)
+	faults := &fakeFaults{outageFrom: simclock.Epoch, outageTo: until.Add(time.Hour)}
+	m := New(sched).WithFaults(faults, 7)
+	m.Instrument(tel)
+	list := blacklist.NewList("gsb", clock)
+	m.WatchAPI("http://phish.example/x", "gsb", list, until)
+
+	sched.Run(until.Add(2 * time.Hour))
+
+	retries := tel.M().Counter(MetricRetries, "engine", "gsb").Value()
+	// 12 poll ticks in 6 hours, at most Attempts retries each.
+	maxRetries := int64(12 * m.backoff.Attempts)
+	if retries == 0 || retries > maxRetries {
+		t.Errorf("retries = %d, want in (0, %d]", retries, maxRetries)
+	}
+}
+
+// TestFeedLagDelaysSighting: with a stale feed, a fresh listing stays
+// invisible until the lagged snapshot catches up to it.
+func TestFeedLagDelaysSighting(t *testing.T) {
+	t.Parallel()
+	sched, clock := newSched()
+	faults := &fakeFaults{lag: 2 * time.Hour}
+	m := New(sched).WithFaults(faults, 7)
+	list := blacklist.NewList("openphish", clock)
+	url := "http://phish.example/feed.php"
+	until := simclock.Epoch.Add(24 * time.Hour)
+	m.WatchFeed(url, "openphish", list, until)
+
+	listAt := simclock.Epoch.Add(30 * time.Minute)
+	sched.After(30*time.Minute, "list", func(time.Time) { list.Add(url, "openphish") })
+	sched.Run(until.Add(time.Hour))
+
+	s, ok := m.FirstSeen(url, "openphish")
+	if !ok {
+		t.Fatal("sighting expected once the stale feed catches up")
+	}
+	if s.SeenAt.Before(listAt.Add(faults.lag)) {
+		t.Errorf("stale feed sighted at %v, before listing+lag %v", s.SeenAt, listAt.Add(faults.lag))
+	}
+}
+
+// TestFlappingHidesThenReveals: while flapping, an already-listed URL is
+// invisible to lookups; after the flap window the sighting lands.
+func TestFlappingHidesThenReveals(t *testing.T) {
+	t.Parallel()
+	sched, clock := newSched()
+	flapUntil := simclock.Epoch.Add(4 * time.Hour)
+	faults := &fakeFaults{flapUntil: flapUntil}
+	m := New(sched).WithFaults(faults, 7)
+	list := blacklist.NewList("gsb", clock)
+	url := "http://phish.example/flap.php"
+	until := simclock.Epoch.Add(24 * time.Hour)
+	m.WatchAPI(url, "gsb", list, until)
+
+	list.Add(url, "gsb") // listed from the start
+	sched.Run(until.Add(time.Hour))
+
+	s, ok := m.FirstSeen(url, "gsb")
+	if !ok {
+		t.Fatal("sighting expected after flapping stops")
+	}
+	if s.SeenAt.Before(flapUntil) {
+		t.Errorf("sighted at %v while the listing was flapping until %v", s.SeenAt, flapUntil)
+	}
+}

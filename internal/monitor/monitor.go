@@ -18,10 +18,25 @@ import (
 	"time"
 
 	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/telemetry"
 )
+
+// FaultSource answers fault-window queries for the monitoring pipeline.
+// *chaos.Injector satisfies it; without one the pipeline observes a perfect
+// world, as it always did.
+type FaultSource interface {
+	// EngineDown reports whether the engine's public surface (lookup API,
+	// feed download) is answering 503 right now.
+	EngineDown(key string, now time.Time) bool
+	// FeedLag is how stale the engine's public feed reads are (0 = live).
+	FeedLag(key string, now time.Time) time.Duration
+	// Flap reports whether an already-listed URL is momentarily invisible
+	// to lookups against the engine.
+	Flap(url, key string, now time.Time) bool
+}
 
 // Method labels how a sighting was obtained.
 type Method string
@@ -44,8 +59,11 @@ type Sighting struct {
 
 // Monitor watches engine blacklists for a set of URLs.
 type Monitor struct {
-	sched *simclock.Scheduler
-	tel   *telemetry.Set
+	sched   *simclock.Scheduler
+	tel     *telemetry.Set
+	faults  FaultSource
+	seed    int64
+	backoff chaos.Backoff
 
 	mu        sync.Mutex
 	sightings map[string]map[string]Sighting // url -> engine -> first sighting
@@ -57,10 +75,22 @@ func New(sched *simclock.Scheduler) *Monitor {
 	return &Monitor{sched: sched, sightings: make(map[string]map[string]Sighting)}
 }
 
+// WithFaults subjects the monitor's probes to a fault source: probes against
+// a down engine schedule bounded backoff retries (deterministically jittered
+// from seed) instead of silently learning nothing, feed diffs honour feed
+// staleness, and lookups honour flapping. Returns the monitor for chaining.
+func (m *Monitor) WithFaults(f FaultSource, seed int64) *Monitor {
+	m.faults = f
+	m.seed = seed
+	m.backoff = chaos.DefaultBackoff()
+	return m
+}
+
 // Monitor metric names.
 const (
 	MetricPolls     = "phish_monitor_polls_total"
 	MetricSightings = "phish_monitor_sightings_total"
+	MetricRetries   = "monitor_retries_total"
 )
 
 // Instrument attaches telemetry: a poll counter per (engine, method), a
@@ -70,6 +100,7 @@ func (m *Monitor) Instrument(set *telemetry.Set) {
 	if reg := set.M(); reg != nil {
 		reg.Describe(MetricPolls, "Blacklist probe actions (API polls, feed diffs, mailbox scans, screenshots).")
 		reg.Describe(MetricSightings, "First observations of a watched URL on an engine blacklist.")
+		reg.Describe(MetricRetries, "Backoff retry probes scheduled after an engine's public surface answered 503.")
 	}
 }
 
@@ -96,28 +127,57 @@ func (m *Monitor) WatchFeed(url, engine string, list *blacklist.List, until time
 
 func (m *Monitor) watchList(url, engine string, list *blacklist.List, method Method, interval time.Duration, until time.Time) {
 	pollc := m.pollCounter(engine, method)
+	var probe func(now time.Time, attempt int)
+	probe = func(now time.Time, attempt int) {
+		m.mu.Lock()
+		m.polls++
+		m.mu.Unlock()
+		pollc.Inc()
+		if m.faults != nil && m.faults.EngineDown(engine, now) {
+			// The engine's public surface answered 503. The regular cadence
+			// keeps running regardless; these are bounded extra probes so a
+			// short outage costs minutes, not a full poll interval.
+			delay, ok := m.backoff.Delay(m.seed, "monitor|"+engine+"|"+url, attempt)
+			if !ok {
+				return
+			}
+			m.tel.M().Counter(MetricRetries, "engine", engine).Inc()
+			m.sched.After(delay, "monitor:retry:"+engine, func(then time.Time) {
+				if then.After(until) || m.seen(url, engine) {
+					return
+				}
+				probe(then, attempt+1)
+			})
+			return
+		}
+		listed := false
+		if method == MethodFeed {
+			entries := list.Snapshot()
+			if m.faults != nil {
+				if lag := m.faults.FeedLag(engine, now); lag > 0 {
+					// A stale feed is the feed as it stood lag ago.
+					entries = list.SnapshotBefore(now.Add(-lag))
+				}
+			}
+			for _, e := range entries {
+				if e.URL == blacklist.Canonicalize(url) {
+					listed = true
+					break
+				}
+			}
+		} else {
+			listed = list.CheckByHash(url)
+		}
+		if listed && m.faults != nil && m.faults.Flap(url, engine, now) {
+			listed = false // flapping: the listing is momentarily invisible
+		}
+		if listed {
+			m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: method})
+		}
+	}
 	m.sched.Every(interval, "monitor:"+engine,
 		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
-		func(now time.Time) {
-			m.mu.Lock()
-			m.polls++
-			m.mu.Unlock()
-			pollc.Inc()
-			listed := false
-			if method == MethodFeed {
-				for _, e := range list.Snapshot() {
-					if e.URL == blacklist.Canonicalize(url) {
-						listed = true
-						break
-					}
-				}
-			} else {
-				listed = list.CheckByHash(url)
-			}
-			if listed {
-				m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: method})
-			}
-		})
+		func(now time.Time) { probe(now, 1) })
 }
 
 // WatchMail scans the reporter mailbox on the polling cadence for outcome

@@ -46,14 +46,16 @@ func (h *eventHeap) Pop() (popped any) {
 // runs are fully deterministic. Events may schedule further events; Run keeps
 // draining until the queue is empty or the horizon is reached.
 type Scheduler struct {
-	clock   *SimClock
-	queue   eventHeap
-	seq     int64
-	ran     int
-	closed  bool
-	dropped int
-	err     error
-	observe EventObserver
+	clock     *SimClock
+	queue     eventHeap
+	seq       int64
+	ran       int
+	closed    bool
+	dropped   int
+	err       error
+	observe   EventObserver
+	interrupt func() error
+	intErr    error
 	// free is the Event free list: executed events return here and At reuses
 	// them, so a steady-state simulation allocates no Event structs. A plain
 	// slice suffices — the scheduler is single-goroutine by contract.
@@ -75,6 +77,20 @@ func (s *Scheduler) Observe(fn EventObserver) { s.observe = fn }
 func NewScheduler(clock *SimClock) *Scheduler {
 	return &Scheduler{clock: clock}
 }
+
+// interruptStride is how many events Run executes between interrupt checks.
+// Events are sub-millisecond, so a stride of 64 keeps cancellation latency
+// far below human-perceptible while costing the hot loop nothing.
+const interruptStride = 64
+
+// SetInterrupt installs a cancellation check (typically ctx.Err) polled every
+// interruptStride events during Run. The first non-nil return stops the
+// current Run early, is remembered, and makes every later Run a no-op — a
+// cancelled world never resumes. Pass nil to remove the check.
+func (s *Scheduler) SetInterrupt(fn func() error) { s.interrupt = fn }
+
+// InterruptErr returns the error that interrupted Run, if any.
+func (s *Scheduler) InterruptErr() error { return s.intErr }
 
 // Clock returns the clock this scheduler drives.
 func (s *Scheduler) Clock() *SimClock { return s.clock }
@@ -141,11 +157,17 @@ func (s *Scheduler) Every(interval time.Duration, name string, until func(now ti
 // until the queue is empty or the next event lies beyond horizon. It returns
 // the number of events executed. A zero horizon means no bound.
 func (s *Scheduler) Run(horizon time.Time) int {
-	if s.closed {
+	if s.closed || s.intErr != nil {
 		return 0
 	}
 	ran := 0
 	for len(s.queue) > 0 {
+		if s.interrupt != nil && ran%interruptStride == 0 {
+			if err := s.interrupt(); err != nil {
+				s.intErr = err
+				break
+			}
+		}
 		next := s.queue[0]
 		if !horizon.IsZero() && next.At.After(horizon) {
 			break
@@ -165,7 +187,7 @@ func (s *Scheduler) Run(horizon time.Time) int {
 		*next = Event{}
 		s.free = append(s.free, next)
 	}
-	if !horizon.IsZero() {
+	if !horizon.IsZero() && s.intErr == nil {
 		s.clock.AdvanceTo(horizon)
 	}
 	s.ran += ran

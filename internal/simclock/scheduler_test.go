@@ -217,3 +217,51 @@ func TestSchedulerCloseAfterRunLeavesHistory(t *testing.T) {
 		t.Fatalf("Err() = %v for a clean Close, want nil", s.Err())
 	}
 }
+
+func TestSchedulerInterrupt(t *testing.T) {
+	t.Parallel()
+	c := New(Epoch)
+	s := NewScheduler(c)
+	for i := 0; i < 10*interruptStride; i++ {
+		s.After(time.Duration(i)*time.Second, "work", func(time.Time) {})
+	}
+	cancelled := errors.New("cancelled")
+	calls := 0
+	s.SetInterrupt(func() error {
+		calls++
+		if calls > 3 {
+			return cancelled
+		}
+		return nil
+	})
+	ran := s.Run(time.Time{})
+	if !errors.Is(s.InterruptErr(), cancelled) {
+		t.Fatalf("InterruptErr = %v, want cancelled", s.InterruptErr())
+	}
+	if ran == 0 || ran >= 10*interruptStride {
+		t.Fatalf("Run executed %d events, want an early stop strictly inside (0, %d)", ran, 10*interruptStride)
+	}
+	if ran > 4*interruptStride {
+		t.Fatalf("Run executed %d events after cancellation at check 4 (stride %d)", ran, interruptStride)
+	}
+	// An interrupted scheduler never resumes.
+	if again := s.Run(time.Time{}); again != 0 {
+		t.Fatalf("interrupted scheduler ran %d more events", again)
+	}
+	if s.Len() == 0 {
+		t.Fatal("interrupted scheduler should still hold its pending events")
+	}
+}
+
+func TestSchedulerInterruptNilIsFree(t *testing.T) {
+	t.Parallel()
+	c := New(Epoch)
+	s := NewScheduler(c)
+	done := false
+	s.After(time.Minute, "ok", func(time.Time) { done = true })
+	s.SetInterrupt(func() error { return nil })
+	s.Run(time.Time{})
+	if !done || s.InterruptErr() != nil {
+		t.Fatalf("clean interrupt check perturbed the run: done=%v err=%v", done, s.InterruptErr())
+	}
+}

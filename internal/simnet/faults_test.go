@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func faultClient(n *Internet, timeout time.Duration) *http.Client {
+	return &http.Client{Transport: &Transport{Net: n, SourceIP: "198.51.100.9", Timeout: timeout}}
+}
+
+// TestFaultConnReset: a reset fault fails the round trip with an error
+// matching ErrInjected (and ErrConnReset), before the handler serves.
+func TestFaultConnReset(t *testing.T) {
+	t.Parallel()
+	n := New(nil)
+	n.Register("shop.example", echoHandler())
+	n.SetFault(func(host string) Fault { return Fault{Reset: host == "shop.example"} })
+
+	req, _ := http.NewRequest("GET", "http://shop.example/", nil)
+	_, err := faultClient(n, 0).Do(req)
+	if err == nil {
+		t.Fatal("reset fault did not fail the request")
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrConnReset) {
+		t.Errorf("err = %v, want ErrInjected/ErrConnReset", err)
+	}
+	if n.Requests() != 0 {
+		t.Errorf("reset connection still counted %d served requests", n.Requests())
+	}
+}
+
+// TestFaultLatencyTimeout: injected latency above the transport timeout turns
+// into ErrTimeout; the server still observed the request (log realism), but
+// the client never sees the body.
+func TestFaultLatencyTimeout(t *testing.T) {
+	t.Parallel()
+	n := New(nil)
+	n.Register("slow.example", echoHandler())
+	n.SetFault(func(host string) Fault { return Fault{Latency: time.Minute} })
+
+	req, _ := http.NewRequest("GET", "http://slow.example/", nil)
+	_, err := faultClient(n, 30*time.Second).Do(req)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrInjected/ErrTimeout", err)
+	}
+	if n.Requests() != 1 {
+		t.Errorf("server saw %d requests, want 1 (the request reached it before timing out)", n.Requests())
+	}
+
+	// Latency below the timeout (or with no timeout at all) is harmless.
+	resp, err := faultClient(n, 2*time.Minute).Do(req)
+	if err != nil {
+		t.Fatalf("sub-timeout latency failed the request: %v", err)
+	}
+	resp.Body.Close()
+	if resp2, err := faultClient(n, 0).Do(req); err != nil {
+		t.Fatalf("no-timeout transport failed under latency: %v", err)
+	} else {
+		resp2.Body.Close()
+	}
+}
+
+// TestFaultTruncatedBody: the truncate fault halves the delivered body while
+// the request still succeeds — the partial-response failure mode crawlers
+// actually see.
+func TestFaultTruncatedBody(t *testing.T) {
+	t.Parallel()
+	n := New(nil)
+	n.Register("cut.example", echoHandler())
+
+	req, _ := http.NewRequest("GET", "http://cut.example/some/long/path/for/payload", nil)
+	resp, err := faultClient(n, 0).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	n.SetFault(func(host string) Fault { return Fault{TruncateBody: true} })
+	resp, err = faultClient(n, 0).Do(req)
+	if err != nil {
+		t.Fatalf("truncation failed the request: %v", err)
+	}
+	cut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(cut) >= len(full) || len(cut) != len(full)/2 {
+		t.Errorf("truncated body = %d bytes, want %d (half of %d)", len(cut), len(full)/2, len(full))
+	}
+}
+
+// TestNoFaultFuncIsFreePath: without SetFault the transport behaves exactly
+// as before (the empty-plan identity depends on this).
+func TestNoFaultFuncIsFreePath(t *testing.T) {
+	t.Parallel()
+	n := New(nil)
+	n.Register("plain.example", echoHandler())
+	req, _ := http.NewRequest("GET", "http://plain.example/", nil)
+	resp, err := faultClient(n, 30*time.Second).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrNoSuchHost is returned by Transport when the request's hostname does not
@@ -31,6 +32,40 @@ var ErrTLSNotProvisioned = errors.New("simnet: host has no TLS certificate")
 
 // ErrHostDown is returned for a request to a host that has been taken down.
 var ErrHostDown = errors.New("simnet: host is down")
+
+// ErrInjected marks failures manufactured by an installed fault hook (the
+// chaos layer) rather than arising from the simulated world's state. Resilient
+// clients retry on errors.Is(err, ErrInjected) while leaving organic failures
+// (ErrHostDown, a genuinely missing host) on their historical code paths —
+// that distinction is what keeps a run without faults byte-identical to one
+// with an empty plan installed.
+var ErrInjected = errors.New("simnet: injected fault")
+
+// ErrConnReset is an injected connection reset.
+var ErrConnReset = fmt.Errorf("%w: connection reset", ErrInjected)
+
+// ErrTimeout is an injected timeout: the fault hook added more latency than
+// the transport's Timeout allows. The server still observed and served the
+// request — only the response was lost, as with a real client-side timeout.
+var ErrTimeout = fmt.Errorf("%w: request timed out", ErrInjected)
+
+// Fault describes what an installed fault hook wants done to one round trip.
+// The zero value means "deliver normally".
+type Fault struct {
+	// Reset aborts the exchange before it reaches the server.
+	Reset bool
+	// Latency is virtual delay added to the exchange. It cannot advance the
+	// discrete-event clock mid-round-trip; its observable effect is tripping
+	// the transport's Timeout when it exceeds it.
+	Latency time.Duration
+	// TruncateBody delivers only the first half of the response body.
+	TruncateBody bool
+}
+
+// FaultFunc is consulted once per round trip with the destination host.
+// Implementations must be safe for concurrent use and deterministic in the
+// virtual-time sense (see internal/chaos).
+type FaultFunc func(host string) Fault
 
 // Resolver maps a hostname to an IP address. dnssim.Server implements it; the
 // Internet's built-in registry is the default.
@@ -55,6 +90,7 @@ type Internet struct {
 	ipPool   []string
 	nextIP   int
 	resolver Resolver
+	fault    FaultFunc
 	requests atomic.Int64 // hot path: every round trip increments, no lock
 }
 
@@ -83,6 +119,20 @@ func (n *Internet) SetResolver(r Resolver) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.resolver = r
+}
+
+// SetFault installs a fault hook consulted on every round trip. Pass nil to
+// remove it. Without a hook the wire is perfect, as it always was.
+func (n *Internet) SetFault(f FaultFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fault = f
+}
+
+func (n *Internet) faultFunc() FaultFunc {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.fault
 }
 
 // Register binds name to handler, allocating a server IP from the pool

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Transport routes HTTP requests to registered virtual hosts. It implements
@@ -21,6 +22,10 @@ type Transport struct {
 	Net        *Internet
 	SourceIP   string // client address visible to the server; default 192.0.2.1
 	SourcePort int    // default 40000
+	// Timeout is the client's patience budget for one exchange. It only
+	// matters under fault injection: an injected latency above it fails the
+	// round trip with ErrTimeout. Zero means wait forever.
+	Timeout time.Duration
 }
 
 // NewClient returns an *http.Client whose traffic originates from sourceIP on
@@ -61,6 +66,14 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, fmt.Errorf("simnet: unsupported scheme %q", req.URL.Scheme)
 	}
 
+	var fault Fault
+	if ff := t.Net.faultFunc(); ff != nil {
+		fault = ff(hostname)
+	}
+	if fault.Reset {
+		return nil, fmt.Errorf("%w: %s", ErrConnReset, hostname)
+	}
+
 	srvReq, err := t.serverRequest(req)
 	if err != nil {
 		return nil, err
@@ -68,6 +81,15 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	rec := newRecorder()
 	host.Handler.ServeHTTP(rec, srvReq)
 	t.Net.countRequest()
+	if t.Timeout > 0 && fault.Latency > t.Timeout {
+		// The server handled the request (its logs show it); the client gave
+		// up waiting for the response.
+		rec.Close()
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, hostname, t.Timeout)
+	}
+	if fault.TruncateBody {
+		rec.body.Truncate(rec.body.Len() / 2)
+	}
 	return rec.response(req), nil
 }
 

@@ -1,0 +1,106 @@
+package areyouhuman
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunMatchesRunStudy pins the facade redesign's compatibility promise:
+// Run(ctx, WithConfig(cfg)) produces byte-for-byte the report the deprecated
+// RunStudy(cfg) produces.
+func TestRunMatchesRunStudy(t *testing.T) {
+	t.Parallel()
+	cfg := Config{TrafficScale: 0.002}
+	old, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results == nil || res.Replicas != nil {
+		t.Fatalf("single run filled the wrong StudyResult arm: %+v", res)
+	}
+	if got, want := res.Report(), old.Report(); got != want {
+		t.Errorf("Run and RunStudy reports diverge:\n--- Run ---\n%s\n--- RunStudy ---\n%s", got, want)
+	}
+}
+
+// TestRunOptionsCompose checks later options override earlier ones and the
+// option order WithConfig-then-specific works as documented.
+func TestRunOptionsCompose(t *testing.T) {
+	t.Parallel()
+	var o runOptions
+	for _, opt := range []Option{
+		WithConfig(Config{TrafficScale: 0.5, Seed: 1}),
+		WithSeed(42),
+		WithTrafficScale(0.002),
+		WithReplicas(3),
+		WithParallelism(2),
+	} {
+		if err := opt(&o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.cfg.Seed != 42 || o.cfg.TrafficScale != 0.002 || o.replicas != 3 || o.parallel != 2 {
+		t.Fatalf("options composed wrong: %+v", o)
+	}
+}
+
+// TestRunWithReplicas drives the replica path through the facade.
+func TestRunWithReplicas(t *testing.T) {
+	t.Parallel()
+	res, err := Run(context.Background(),
+		WithTrafficScale(0.002), WithReplicas(2), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas == nil || res.Results != nil {
+		t.Fatalf("replica run filled the wrong StudyResult arm: %+v", res)
+	}
+	if got := len(res.Replicas.Runs); got != 2 {
+		t.Fatalf("replica runs = %d, want 2", got)
+	}
+	if !strings.Contains(res.Report(), "Aggregate over 2 replicas") {
+		t.Errorf("replica report missing aggregate header:\n%s", res.Report())
+	}
+}
+
+// TestRunCancelled: a cancelled context stops the study promptly with the
+// context error for both the single-run and replica paths.
+func TestRunCancelled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, WithTrafficScale(0.002)); !errors.Is(err, context.Canceled) {
+		t.Errorf("single run under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := Run(ctx, WithTrafficScale(0.002), WithReplicas(2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("replica run under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunChaosOptions: a bad preset fails fast; a valid preset plan threads
+// through to the configuration; an invalid explicit plan is rejected at
+// option time.
+func TestRunChaosOptions(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(context.Background(), WithChaosPreset("earthquake")); !errors.Is(err, ErrUnknownPreset) {
+		t.Errorf("unknown preset err = %v, want ErrUnknownPreset", err)
+	}
+	var o runOptions
+	if err := WithChaosPreset("flaky")(&o); err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.Chaos == nil || o.cfg.Chaos.Name != "flaky" {
+		t.Fatalf("preset plan = %+v", o.cfg.Chaos)
+	}
+	bad := &ChaosPlan{Faults: nil}
+	bad.Faults = append(bad.Faults, o.cfg.Chaos.Faults[0], o.cfg.Chaos.Faults[0]) // duplicate names
+	if err := WithChaosPlan(bad)(&o); err == nil {
+		t.Error("invalid plan passed validation at option time")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -69,8 +70,14 @@ func main() {
 	w.Sched.RunFor(time.Duration(*hours) * time.Hour)
 
 	fmt.Println("server serve-decision log:")
-	for kind, n := range d.Log.ServeCounts() {
-		fmt.Printf("  %-10s x%d\n", kind, n)
+	counts := d.Log.ServeCounts()
+	kinds := make([]evasion.ServeKind, 0, len(counts))
+	for kind := range counts {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		fmt.Printf("  %-10s x%d\n", kind, counts[kind])
 	}
 	fmt.Printf("payload reached: %d times\n", len(d.Log.PayloadServes()))
 	fmt.Printf("host traffic: %d requests from %d unique IPs\n", d.Log.Requests(), d.Log.UniqueIPs())

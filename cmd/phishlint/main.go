@@ -1,0 +1,154 @@
+// Command phishlint runs the determinism lint suite of internal/lint over
+// this module — the compile-time half of the bit-identity guarantees the
+// replica, cache, and chaos tests check at run time (DESIGN.md §11).
+//
+// Usage:
+//
+//	go run ./cmd/phishlint ./...
+//	go run ./cmd/phishlint -json findings.json ./internal/... ./cmd/...
+//
+// Patterns are package directories, with the usual `dir/...` recursion; the
+// default is `./...` from the current directory. Exit status is 0 when the
+// tree is clean, 1 when any finding is reported, 2 when a package fails to
+// load. Findings print one per line as file:line:col: analyzer: message;
+// -json additionally writes the machine-readable findings array to the given
+// path ("-" for stdout), which CI uploads as a build artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"areyouhuman/internal/lint"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "write findings as a JSON array to this `path` (\"-\" for stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: phishlint [-json path] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args(), *jsonPath))
+}
+
+func run(patterns []string, jsonPath string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishlint:", err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := resolve(loader, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishlint:", err)
+		return 2
+	}
+	var findings []lint.Finding
+	for _, tgt := range targets {
+		pkg, err := loader.Load(tgt.Dir, tgt.Path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phishlint:", err)
+			return 2
+		}
+		findings = append(findings, lint.RunAnalyzers(pkg, lint.Analyzers)...)
+	}
+	for i := range findings {
+		findings[i].File = relPath(cwd, findings[i].File)
+		findings[i].Pos.Filename = findings[i].File
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "phishlint:", err)
+			return 2
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "phishlint: %d finding(s) in %d package(s)\n", len(findings), len(targets))
+		return 1
+	}
+	return 0
+}
+
+// resolve expands pattern arguments into package targets. `dir/...` walks
+// recursively; a plain directory is a single package.
+func resolve(loader *lint.Loader, cwd string, patterns []string) ([]lint.Target, error) {
+	seen := map[string]bool{}
+	var out []lint.Target
+	add := func(ts ...lint.Target) {
+		for _, t := range ts {
+			if !seen[t.Path] {
+				seen[t.Path] = true
+				out = append(out, t)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rest == "" || rest == "." {
+				rest = cwd
+			}
+			ts, err := lint.WalkPackages(loader, rest)
+			if err != nil {
+				return nil, err
+			}
+			add(ts...)
+			continue
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.ModuleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %s is outside module %s", pat, loader.ModulePath)
+		}
+		path := loader.ModulePath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		add(lint.Target{Dir: abs, Path: path})
+	}
+	return out, nil
+}
+
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+func writeJSON(path string, findings []lint.Finding) error {
+	if findings == nil {
+		findings = []lint.Finding{} // encode as [], not null
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,11 +1,16 @@
-// Command sitegen generates a full-fledged fake website for a domain — the
-// paper's 2-minute site-in-a-box pipeline — and writes it to a directory or
-// a ready-to-upload .zip.
+// Command sitegen (import path areyouhuman/cmd/sitegen) is the CLI
+// front-end to the library package areyouhuman/internal/sitegen — the two
+// share a name but not an identity, and tooling that lists packages by bare
+// name (godoc indexes, phishlint's package walker) should key on the import
+// paths above. The command generates a full-fledged fake website for a
+// domain — the paper's 2-minute site-in-a-box pipeline — and writes it to a
+// directory or a ready-to-upload .zip; all generation logic lives in the
+// library package.
 //
 // Usage:
 //
 //	sitegen -domain garden-tools.com [-pages 30] [-seed 7] [-zip site.zip | -out ./site]
-package main
+package main // import "areyouhuman/cmd/sitegen"
 
 import (
 	"flag"

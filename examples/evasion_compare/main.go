@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"areyouhuman/internal/engines"
@@ -29,6 +30,7 @@ func main() {
 	for _, p := range engines.Profiles() {
 		botIPs = append(botIPs, p.IPPrefix)
 	}
+	sort.Strings(botIPs)
 
 	type key struct {
 		tech   evasion.Technique

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"areyouhuman/internal/blacklist"
@@ -280,6 +281,7 @@ func (f *Framework) RunCloakingBaseline() (CloakingBaselineResult, error) {
 	for _, p := range engines.Profiles() {
 		botIPs = append(botIPs, p.IPPrefix)
 	}
+	sort.Strings(botIPs)
 
 	res := CloakingBaselineResult{}
 	var ds []*experiment.Deployment

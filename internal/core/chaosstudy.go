@@ -85,11 +85,13 @@ func runChaosArm(ctx context.Context, base experiment.Config, name string, plan 
 	}
 	arm := ChaosArm{Name: name, Detected: res.TotalDetected, Total: res.TotalURLs}
 	var listDelays []time.Duration
+	//phishlint:sorted only the order-insensitive sum/mean (AverageDuration) consumes the slice
 	for _, ds := range res.TimesToList {
 		listDelays = append(listDelays, ds...)
 	}
 	arm.MeanTimeToList = experiment.AverageDuration(listDelays)
 	var lags []time.Duration
+	//phishlint:sorted only a count and the order-insensitive mean (AverageDuration) consume this
 	for url, listedAt := range res.ListedAt {
 		if s, sighted := res.Sightings[url]; sighted {
 			arm.Sighted++

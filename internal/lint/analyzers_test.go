@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each analyzer is exercised over a fixture package in testdata/src/<name>:
+// `// want "re"` lines are the triggering half, clean lines the
+// non-triggering half, and the harness fails on both missed wants and
+// unexpected findings.
+
+func TestDetrandFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, []*Analyzer{Detrand}, ".", "detrand", "areyouhuman/internal/fixture/detrand")
+}
+
+func TestClockwaitFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, []*Analyzer{Clockwait}, ".", "clockwait", "areyouhuman/internal/fixture/clockwait")
+}
+
+func TestMaporderFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, []*Analyzer{Maporder}, ".", "maporder", "areyouhuman/internal/fixture/maporder")
+}
+
+func TestSeedpureFixture(t *testing.T) {
+	t.Parallel()
+	// The fixture impersonates internal/chaos — seedpure only polices the
+	// seed-derivation packages.
+	RunFixture(t, []*Analyzer{Seedpure}, ".", "seedpure", "areyouhuman/internal/chaos")
+}
+
+func TestMetriclabelFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, []*Analyzer{Metriclabel}, ".", "metriclabel", "areyouhuman/internal/fixture/metriclabel")
+}
+
+func TestAnnotationsFixture(t *testing.T) {
+	t.Parallel()
+	// Runs the full suite so every annotation token resolves.
+	RunFixture(t, Analyzers, ".", "annotations", "areyouhuman/internal/fixture/annotations")
+}
+
+// loadFixture loads a fixture package under an arbitrary import path,
+// bypassing want matching — for scope tests, where the same sources must
+// yield zero findings.
+func loadFixture(t *testing.T, fixture, importPath string) *Package {
+	t.Helper()
+	loader, err := NewLoader("testdata/src/" + fixture)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Load("testdata/src/"+fixture, importPath)
+	if err != nil {
+		t.Fatalf("load %s as %s: %v", fixture, importPath, err)
+	}
+	return pkg
+}
+
+func TestDetrandSkipsNonSimPackages(t *testing.T) {
+	t.Parallel()
+	// The same violating sources, loaded outside internal/, are clean: the
+	// determinism rules bind simulation code, not CLIs.
+	pkg := loadFixture(t, "detrand", "areyouhuman/cmd/fixture")
+	if got := RunAnalyzers(pkg, []*Analyzer{Detrand}); len(got) != 0 {
+		t.Errorf("detrand outside internal/ reported %d findings, want 0: %v", len(got), got)
+	}
+}
+
+func TestClockwaitSkipsExemptPackages(t *testing.T) {
+	t.Parallel()
+	// simclock is the wall-clock abstraction boundary and is exempt.
+	pkg := loadFixture(t, "clockwait", "areyouhuman/internal/simclock")
+	if got := RunAnalyzers(pkg, []*Analyzer{Clockwait}); len(got) != 0 {
+		t.Errorf("clockwait in exempt package reported %d findings, want 0: %v", len(got), got)
+	}
+}
+
+func TestSeedpureSkipsOtherPackages(t *testing.T) {
+	t.Parallel()
+	// Outside chaos/core the same sources are legal — stream RNGs are fine
+	// in a package that owns a world-local seeded source.
+	pkg := loadFixture(t, "seedpure", "areyouhuman/internal/evasion")
+	if got := RunAnalyzers(pkg, []*Analyzer{Seedpure}); len(got) != 0 {
+		t.Errorf("seedpure outside chaos/core reported %d findings, want 0: %v", len(got), got)
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"areyouhuman/internal/experiment", true},
+		{"areyouhuman/internal/chaos", true},
+		{"areyouhuman/internal/simclock", false},
+		{"areyouhuman/internal/lint", false},
+		{"areyouhuman/internal/telemetry", true},
+		{"areyouhuman/cmd/phishfarm", false},
+		{"areyouhuman", false},
+	}
+	for _, c := range cases {
+		if got := IsSimPackage(c.path); got != c.want {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestIsSnakeCase(t *testing.T) {
+	t.Parallel()
+	good := []string{"a", "phish_total", "chaos_faults_injected_total", "x9_y"}
+	bad := []string{"", "Phish", "9lives", "_x", "x_", "a__b", "a-b", "a b", "é"}
+	for _, s := range good {
+		if !isSnakeCase(s) {
+			t.Errorf("isSnakeCase(%q) = false, want true", s)
+		}
+	}
+	for _, s := range bad {
+		if isSnakeCase(s) {
+			t.Errorf("isSnakeCase(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestAnalyzersHaveDistinctNamesAndDocs(t *testing.T) {
+	t.Parallel()
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Name != strings.ToLower(a.Name) {
+			t.Errorf("analyzer name %q is not lowercase", a.Name)
+		}
+	}
+}
+
+func TestParseWantPatterns(t *testing.T) {
+	t.Parallel()
+	pats, err := parseWantPatterns("\"a b\" `c\\.d`")
+	if err != nil {
+		t.Fatalf("parseWantPatterns: %v", err)
+	}
+	if len(pats) != 2 || pats[0] != "a b" || pats[1] != `c\.d` {
+		t.Errorf("parseWantPatterns = %q", pats)
+	}
+	if _, err := parseWantPatterns("`unterminated"); err == nil {
+		t.Error("unterminated backquote not rejected")
+	}
+	if _, err := parseWantPatterns("bare"); err == nil {
+		t.Error("unquoted pattern not rejected")
+	}
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Clockwait forbids wall-clock waiting primitives in simulation packages:
+// time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker,
+// time.AfterFunc, and wall-deadline contexts (context.WithTimeout,
+// context.WithDeadline). Inside a world there is exactly one goroutine and
+// one timeline — the scheduler's — so every wait must be a scheduler event
+// (Scheduler.At / clock-driven callbacks), never a real sleep. A wall sleep
+// in sim code either stalls the event loop for real seconds or, worse,
+// introduces a wall/virtual race that only shows up under -race with load.
+//
+// The //phishlint:wallclock <why> annotation suppresses a finding for code
+// that deliberately touches the real clock.
+var Clockwait = &Analyzer{
+	Name:   "clockwait",
+	Doc:    "forbid wall-clock waits in sim packages; waits must be scheduler events",
+	Tokens: []string{"wallclock"},
+	Run:    runClockwait,
+}
+
+var clockwaitForbidden = map[string]map[string]string{
+	"time": {
+		"Sleep":     "blocks the event loop on the wall clock; schedule a simclock event instead",
+		"After":     "wall-clock timer; schedule a simclock event instead",
+		"Tick":      "wall-clock ticker; schedule repeating simclock events instead",
+		"NewTimer":  "wall-clock timer; schedule a simclock event instead",
+		"NewTicker": "wall-clock ticker; schedule repeating simclock events instead",
+		"AfterFunc": "wall-clock callback; schedule a simclock event instead",
+	},
+	"context": {
+		"WithTimeout":  "wall-clock deadline; bound work in virtual time via the scheduler",
+		"WithDeadline": "wall-clock deadline; bound work in virtual time via the scheduler",
+	},
+}
+
+func runClockwait(pass *Pass) {
+	if !IsSimPackage(pass.Path) {
+		return
+	}
+	forEachPkgFuncUse(pass, func(id *ast.Ident, fn *types.Func) {
+		if reason, ok := clockwaitForbidden[fn.Pkg().Path()][fn.Name()]; ok {
+			pass.Reportf(id.Pos(), "%s.%s: %s", fn.Pkg().Path(), fn.Name(), reason)
+		}
+	})
+}

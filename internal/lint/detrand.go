@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand forbids nondeterministic value sources in simulation packages:
+// wall-clock reads (time.Now, time.Since, time.Until), environment reads
+// (os.Getenv, os.LookupEnv, os.Environ), and draws from the global math/rand
+// stream (rand.Intn and friends without an explicit *rand.Rand). Virtual
+// time must come from simclock and randomness from the world's seeded
+// source — a single violation on an output path breaks the bit-identity the
+// replica, cache, and chaos tests all pin.
+//
+// The seeded constructors rand.New, rand.NewSource, and rand.NewZipf stay
+// legal: they consume an explicit seed, which is exactly the sanctioned
+// pattern. The escape hatch for deliberate wall-clock reads (telemetry's
+// dual sim/wall timestamps) is //phishlint:wallclock <why>.
+var Detrand = &Analyzer{
+	Name:   "detrand",
+	Doc:    "forbid wall-clock, environment, and global-RNG reads in sim packages",
+	Tokens: []string{"wallclock"},
+	Run:    runDetrand,
+}
+
+// detrandForbidden maps package path -> function name -> short reason.
+var detrandForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read; take virtual time from simclock",
+		"Since": "wall-clock read; take virtual time from simclock",
+		"Until": "wall-clock read; take virtual time from simclock",
+	},
+	"os": {
+		"Getenv":    "environment read; runs must be pure functions of (seed, config, plan)",
+		"LookupEnv": "environment read; runs must be pure functions of (seed, config, plan)",
+		"Environ":   "environment read; runs must be pure functions of (seed, config, plan)",
+	},
+}
+
+// detrandRandOK lists the math/rand package-level functions that remain
+// legal in sim packages: explicit-seed constructors, not global-stream draws.
+var detrandRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetrand(pass *Pass) {
+	if !IsSimPackage(pass.Path) {
+		return
+	}
+	forEachPkgFuncUse(pass, func(id *ast.Ident, fn *types.Func) {
+		pkg := fn.Pkg().Path()
+		if reason, ok := detrandForbidden[pkg][fn.Name()]; ok {
+			pass.Reportf(id.Pos(), "%s.%s: %s", pkg, fn.Name(), reason)
+			return
+		}
+		if (pkg == "math/rand" || pkg == "math/rand/v2") && !detrandRandOK[fn.Name()] {
+			pass.Reportf(id.Pos(), "%s.%s draws from the global RNG; use the world's seeded *rand.Rand", pkg, fn.Name())
+		}
+	})
+}
+
+// forEachPkgFuncUse invokes fn for every use of a package-level function
+// (methods have receivers and are skipped — clock.Now() is the sanctioned
+// call, time.Now() the forbidden one).
+func forEachPkgFuncUse(pass *Pass, visit func(*ast.Ident, *types.Func)) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			visit(id, fn)
+			return true
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The fixture harness mirrors golang.org/x/tools' analysistest, stdlib-only:
+// a fixture is a real Go package under testdata/src/<name>, loaded under a
+// caller-chosen import path (so scope rules like "only sim packages" are
+// exercised by fabricating the right path), and expectations are `// want
+// "regexp"` comments on the offending lines. Lines without a want comment
+// are the non-triggering half of the fixture — the harness fails on missed
+// wants AND on unexpected findings, so every fixture proves both directions.
+
+// A TB is the subset of testing.TB the harness needs; keeping the interface
+// local means the lint package (linked into cmd/phishlint) never imports
+// the testing package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture loads testdata/src/<fixture> (relative to dir) as importPath,
+// runs the given analyzers plus annotation processing over it, and matches
+// findings against the fixture's want comments.
+func RunFixture(t TB, analyzers []*Analyzer, dir, fixture, importPath string) {
+	t.Helper()
+	fixDir := filepath.Join(dir, "testdata", "src", fixture)
+	loader, err := NewLoader(fixDir)
+	if err != nil {
+		t.Fatalf("lint fixture %s: %v", fixture, err)
+	}
+	pkg, err := loader.Load(fixDir, importPath)
+	if err != nil {
+		t.Fatalf("lint fixture %s: %v", fixture, err)
+	}
+	findings := RunAnalyzers(pkg, analyzers)
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("lint fixture %s: %v", fixture, err)
+	}
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding: %s: %s", fixture, f.Analyzer, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: no finding matched want %q", fixture, filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantMarker introduces expectations in a fixture: one or more quoted (or
+// backquoted) regexps, each of which must match one finding on that line.
+const wantMarker = "// want "
+
+// collectWants parses the `// want "re" ["re" ...]` comments of a fixture
+// package. A want comment governs the line it sits on.
+func collectWants(pkg *Package) ([]want, error) {
+	var wants []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, wantMarker)
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats, err := parseWantPatterns(c.Text[idx+len(wantMarker):])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v in want comment: %s", pos, err, c.Text)
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantPatterns splits `"a" `+"`b`"+` ...` into unquoted pattern strings.
+func parseWantPatterns(s string) ([]string, error) {
+	var pats []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return pats, nil
+		}
+		var q string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote")
+			}
+			q, s = s[:end+2], s[end+2:]
+		case '"':
+			end := 1
+			for end < len(s) && s[end] != '"' {
+				if s[end] == '\\' {
+					end++
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			q, s = s[:end+1], s[end+1:]
+		default:
+			return nil, fmt.Errorf("unexpected %q after want", s[0])
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %s: %v", q, err)
+		}
+		pats = append(pats, pat)
+	}
+}

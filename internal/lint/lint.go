@@ -1,0 +1,282 @@
+// Package lint is the determinism lint suite behind cmd/phishlint.
+//
+// Every headline number this reproduction reports depends on a run being a
+// pure function of (seed, config, plan): the -race bit-identity tests of
+// DESIGN.md §7–§9 check that property after the fact, but nothing in the
+// compiler stops a refactor from reintroducing wall-clock reads, unsorted
+// map iteration on an output path, or an unseeded RNG. This package encodes
+// those invariants as analyzers over go/ast + go/types — stdlib only, in the
+// spirit of go vet — so violations fail CI (and `go test ./...`, via the
+// repo meta-test) with a file:line finding instead of a flaky diff three PRs
+// later.
+//
+// Analyzers ship in this package (Analyzers lists them all): detrand,
+// maporder, clockwait, seedpure, and metriclabel. Each is documented on its
+// own Analyzer value; DESIGN.md §11 describes the suite, the
+// //phishlint:<token> annotation escape hatch, and how to add an analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package. Run inspects
+// pass.Files and reports findings through the pass; the framework applies
+// annotation-based suppression afterwards, so analyzers never look at
+// //phishlint comments themselves.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //phishlint:allow
+	// annotations. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Tokens lists the annotation tokens (beyond the generic "allow") that
+	// suppress this analyzer's findings, e.g. "sorted" for maporder.
+	Tokens []string
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*Analyzer{Detrand, Maporder, Clockwait, Seedpure, Metriclabel}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Path is the package's import path ("areyouhuman/internal/chaos").
+	// Fixture packages fabricate paths to exercise scope rules.
+	Path string
+	Pkg  *types.Package
+	Info *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// A Finding is one reported violation.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+
+	// Flattened position for -json output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// simExempt lists internal packages the determinism analyzers (detrand,
+// clockwait) do not police: simclock because it *is* the wall-clock
+// abstraction boundary, and lint itself. Everything else under internal/ is
+// simulation code and must take time from simclock and randomness from the
+// world's seeded source. telemetry is deliberately NOT exempt — its two
+// sanctioned wall-clock reads carry //phishlint:wallclock annotations so the
+// next one added is a conscious decision.
+var simExempt = map[string]bool{
+	"areyouhuman/internal/simclock": true,
+	"areyouhuman/internal/lint":     true,
+}
+
+// IsSimPackage reports whether the determinism rules apply to the package at
+// importPath: every package under areyouhuman/internal/ except the exempt
+// substrates above.
+func IsSimPackage(importPath string) bool {
+	if !strings.HasPrefix(importPath, "areyouhuman/internal/") {
+		return false
+	}
+	return !simExempt[importPath]
+}
+
+// RunAnalyzers runs every analyzer in suite over pkg and returns the
+// surviving findings, sorted by position: annotation-suppressed findings are
+// dropped, and malformed annotations (no justification, unknown token)
+// become findings themselves.
+func RunAnalyzers(pkg *Package, suite []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	anns, bad := collectAnnotations(pkg, suite)
+	findings := bad
+	for _, f := range raw {
+		if !anns.suppresses(f) {
+			findings = append(findings, f)
+		}
+	}
+	for i := range findings {
+		findings[i].File = findings[i].Pos.Filename
+		findings[i].Line = findings[i].Pos.Line
+		findings[i].Col = findings[i].Pos.Column
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// annotationPrefix introduces a suppression comment: //phishlint:<token>
+// <justification>. A token either names an analyzer-specific escape hatch
+// ("sorted", "wallclock") or is the generic "allow <analyzer>". The
+// justification is mandatory — an annotation that silences a finding without
+// saying why is itself a finding.
+const annotationPrefix = "//phishlint:"
+
+// annotation is one parsed //phishlint comment, resolved to the set of
+// analyzer names it silences and the source line it governs.
+type annotation struct {
+	analyzers map[string]bool
+	line      int
+	file      string
+}
+
+type annotationSet []annotation
+
+func (s annotationSet) suppresses(f Finding) bool {
+	for _, a := range s {
+		if a.file == f.Pos.Filename && a.line == f.Pos.Line && a.analyzers[f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAnnotations parses every //phishlint comment in pkg. An annotation
+// governs the line it sits on when it trails code, or the next line when it
+// stands alone. Malformed annotations are returned as findings attributed to
+// the framework pseudo-analyzer "annotation".
+func collectAnnotations(pkg *Package, suite []*Analyzer) (annotationSet, []Finding) {
+	byToken := map[string][]string{} // token -> analyzer names it silences
+	known := map[string]bool{}
+	for _, a := range suite {
+		known[a.Name] = true
+		for _, tok := range a.Tokens {
+			byToken[tok] = append(byToken[tok], a.Name)
+		}
+	}
+	var anns annotationSet
+	var bad []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Finding{
+			Analyzer: "annotation",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annotationPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, annotationPrefix)
+				// The justification runs to the end of the comment or to an
+				// embedded "//" (which lets fixture files carry a trailing
+				// `// want` expectation on the same line).
+				if cut := strings.Index(rest, "//"); cut >= 0 {
+					rest = rest[:cut]
+				}
+				tok, just, _ := strings.Cut(rest, " ")
+				just = strings.TrimSpace(just)
+				var silenced []string
+				switch {
+				case tok == "allow":
+					name, j, _ := strings.Cut(just, " ")
+					just = strings.TrimSpace(j)
+					if !known[name] {
+						report(c.Pos(), "//phishlint:allow names unknown analyzer %q", name)
+						continue
+					}
+					silenced = []string{name}
+				case byToken[tok] != nil:
+					silenced = byToken[tok]
+				default:
+					report(c.Pos(), "unknown //phishlint annotation token %q", tok)
+					continue
+				}
+				if just == "" {
+					report(c.Pos(), "//phishlint:%s needs a justification after the token", tok)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if pos.Column == 1 || standsAlone(pkg.Fset, file, c) {
+					line++ // whole-line comment governs the next line
+				}
+				m := map[string]bool{}
+				for _, n := range silenced {
+					m[n] = true
+				}
+				anns = append(anns, annotation{analyzers: m, line: line, file: pos.Filename})
+			}
+		}
+	}
+	return anns, bad
+}
+
+// standsAlone reports whether comment c is the first token on its line (an
+// indented whole-line comment rather than one trailing code).
+func standsAlone(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	alone := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return true
+		}
+		if _, ok := n.(*ast.CommentGroup); ok {
+			return true
+		}
+		p := fset.Position(n.Pos())
+		if p.Line == cpos.Line && p.Column < cpos.Column {
+			// Some code token starts before the comment on the same line.
+			if _, isFile := n.(*ast.File); !isFile {
+				alone = false
+			}
+		}
+		return true
+	})
+	return alone
+}

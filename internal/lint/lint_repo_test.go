@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean is the in-tree half of the phishlint gate: it runs the
+// full analyzer suite over every package of the live module, so `go test
+// ./...` fails on a new determinism violation even when CI (which also runs
+// `go run ./cmd/phishlint ./...`) is out of the loop. Fixing a failure means
+// either making the code deterministic or adding a justified
+// //phishlint:<token> annotation — see DESIGN.md §11.
+func TestRepoIsLintClean(t *testing.T) {
+	t.Parallel()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	targets, err := WalkPackages(loader, loader.ModuleRoot)
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+	// A walker regression that silently skipped most of the tree would make
+	// this test pass vacuously; the module has 40+ packages.
+	if len(targets) < 30 {
+		t.Fatalf("walker found only %d packages, expected the whole module (40+)", len(targets))
+	}
+	var total int
+	for _, tgt := range targets {
+		pkg, err := loader.Load(tgt.Dir, tgt.Path)
+		if err != nil {
+			t.Errorf("loading %s: %v", tgt.Path, err)
+			continue
+		}
+		for _, f := range RunAnalyzers(pkg, Analyzers) {
+			rel, err := filepath.Rel(loader.ModuleRoot, f.Pos.Filename)
+			if err != nil {
+				rel = f.Pos.Filename
+			}
+			t.Errorf("%s:%d:%d: %s: %s", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+			total++
+		}
+	}
+	if total > 0 {
+		t.Logf("%d determinism finding(s); fix them or annotate with //phishlint:<token> <why> (DESIGN.md §11)", total)
+	}
+}

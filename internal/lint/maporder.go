@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `for range` over a map when the loop body does something
+// order-sensitive: appends to a slice, writes output (fmt printing, Write*
+// methods), or feeds the telemetry / report / weblog subsystems. Go
+// randomizes map iteration order per run *by design*, so any of those sinks
+// turns the range into a nondeterminism source — exactly the class of bug
+// PR 3 had to hunt by hand twice (wordnet Synonyms, monitor.Engines).
+//
+// Two safe shapes are recognized and not flagged:
+//
+//   - order-insensitive bodies (summing, counting, building another map,
+//     deleting keys);
+//   - the collect-then-sort idiom: the loop appends to a slice and a later
+//     statement in the same block sorts it (sort.* / slices.*) before
+//     anything else observes it — intervening statements may touch other
+//     state (RUnlock, say) or be further collect loops into the same slice.
+//
+// Anything else that is provably harmless — an order-insensitive sum, a
+// slice the caller sorts — gets a //phishlint:sorted <why> annotation on the
+// range statement.
+var Maporder = &Analyzer{
+	Name:   "maporder",
+	Doc:    "flag map iteration feeding slices, output, or telemetry/report/weblog",
+	Tokens: []string{"sorted"},
+	Run:    runMaporder,
+}
+
+// maporderSinkPkgs are packages whose mere use inside a map-range body makes
+// the order observable downstream.
+var maporderSinkPkgs = map[string]string{
+	"areyouhuman/internal/telemetry": "telemetry",
+	"areyouhuman/internal/report":    "the report layer",
+	"areyouhuman/internal/weblog":    "the web log",
+}
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files {
+		safe := collectSortedLater(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			sink := findOrderSink(pass, rs.Body)
+			if sink == nil || safe[rs] {
+				return true
+			}
+			pass.Reportf(rs.For, "map iteration order is randomized but this range %s; sort the keys first (or annotate //phishlint:sorted with why order is harmless)", sink.what)
+			return true
+		})
+	}
+}
+
+// orderSink describes the order-sensitive operation in a range body. When
+// several exist, non-append sinks win: an append can be redeemed by a later
+// sort, a Printf cannot.
+type orderSink struct {
+	what string
+	// appendTo is the object of the slice appended to when the sink is a
+	// plain `x = append(x, ...)` — the collect-then-sort check needs it.
+	appendTo types.Object
+}
+
+// collectSortedLater marks the range statements whose only sink is an append
+// redeemed by a later sort in the same statement list: scanning forward from
+// the range, statements that don't mention the slice are skipped, further
+// map-collect loops into the same slice are skipped, and the first statement
+// that does mention it must be a sort.*/slices.* call on it.
+func collectSortedLater(pass *Pass, file *ast.File) map[*ast.RangeStmt]bool {
+	safe := map[*ast.RangeStmt]bool{}
+	scan := func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			rs, ok := stmt.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			sink := findOrderSink(pass, rs.Body)
+			if sink == nil || sink.appendTo == nil {
+				continue
+			}
+			obj := sink.appendTo
+			for j := i + 1; j < len(stmts); j++ {
+				next := stmts[j]
+				if sortsObject(pass, next, obj) {
+					safe[rs] = true
+					break
+				}
+				if !mentionsObject(pass, next, obj) {
+					continue
+				}
+				if nrs, ok := next.(*ast.RangeStmt); ok {
+					if s := findOrderSink(pass, nrs.Body); s != nil && s.appendTo == obj {
+						continue // sibling collect loop into the same slice
+					}
+				}
+				break // something observed the slice before a sort
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			scan(b.List)
+		case *ast.CaseClause:
+			scan(b.Body)
+		case *ast.CommClause:
+			scan(b.Body)
+		}
+		return true
+	})
+	return safe
+}
+
+// sortsObject reports whether stmt is a call into the sort or slices package
+// with obj among its arguments.
+func sortsObject(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if exprObject(pass, arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObject reports whether obj is referenced anywhere in stmt.
+func mentionsObject(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprObject resolves an identifier or field selector to its object.
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// findOrderSink scans a range body for order-sensitive operations.
+func findOrderSink(pass *Pass, body *ast.BlockStmt) *orderSink {
+	var appendSink, otherSink *orderSink
+	ast.Inspect(body, func(n ast.Node) bool {
+		if otherSink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if bi, ok := pass.Info.Uses[fun].(*types.Builtin); ok && bi.Name() == "append" && appendSink == nil {
+				appendSink = &orderSink{what: "appends to a slice"}
+				if len(call.Args) > 0 {
+					appendSink.appendTo = exprObject(pass, call.Args[0])
+				}
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				pkg := fn.Pkg().Path()
+				if pkg == "fmt" && strings.Contains(name, "rint") { // Print*, Fprint*, Sprint*
+					otherSink = &orderSink{what: "writes formatted output (fmt." + name + ")"}
+					return false
+				}
+				if what, ok := maporderSinkPkgs[pkg]; ok {
+					otherSink = &orderSink{what: "feeds " + what + " (" + name + ")"}
+					return false
+				}
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					if what := sinkRecv(recv.Type()); what != "" {
+						otherSink = &orderSink{what: "feeds " + what + " (" + name + ")"}
+						return false
+					}
+					if strings.HasPrefix(name, "Write") {
+						otherSink = &orderSink{what: "writes output (" + name + ")"}
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	if otherSink != nil {
+		return otherSink
+	}
+	return appendSink
+}
+
+// sinkRecv reports whether a method receiver belongs to one of the sink
+// packages (telemetry counters, report builders, weblog appenders).
+func sinkRecv(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Named:
+			if p := u.Obj().Pkg(); p != nil {
+				if what, ok := maporderSinkPkgs[p.Path()]; ok {
+					return what
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

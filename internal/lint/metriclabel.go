@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Metriclabel requires telemetry metric names to be lowercase snake_case
+// strings whose value is known at compile time (a literal or a string
+// constant). The metrics Registry interns families by name and the replica
+// sharding (Set.ForReplica, Registry.WithLabels) relies on every world
+// asking for the same family strings: a dynamically built name — fmt.Sprintf
+// with a replica index, say — forks the family per world and breaks both the
+// aggregated snapshot and the Prometheus exposition (which additionally
+// rejects non-[a-z0-9_] name characters).
+//
+// Checked call sites: Counter, Gauge, Histogram, and Describe on
+// telemetry.Registry. Labels are not checked — label *values* are data.
+var Metriclabel = &Analyzer{
+	Name: "metriclabel",
+	Doc:  "telemetry metric names must be constant lowercase snake_case strings",
+	Run:  runMetriclabel,
+}
+
+var metriclabelMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Describe":  true,
+}
+
+func runMetriclabel(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metriclabelMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isTelemetryRegistry(sig.Recv().Type()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			nameArg := call.Args[0]
+			tv, ok := pass.Info.Types[nameArg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(nameArg.Pos(), "dynamic metric name passed to Registry.%s; names must be compile-time constants so families agree across replicas", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !isSnakeCase(name) {
+				pass.Reportf(nameArg.Pos(), "metric name %q is not lowercase snake_case ([a-z0-9_], starting with a letter)", name)
+			}
+			return true
+		})
+	}
+}
+
+func isTelemetryRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == "areyouhuman/internal/telemetry"
+}
+
+// isSnakeCase reports whether s matches ^[a-z][a-z0-9]*(_[a-z0-9]+)*$.
+func isSnakeCase(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	prevUnderscore := false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_':
+			if prevUnderscore {
+				return false
+			}
+			prevUnderscore = true
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevUnderscore = false
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore
+}

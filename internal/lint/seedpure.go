@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Seedpure polices the seed-derivation packages, internal/chaos and
+// internal/core. Fault decisions and replica seeds must be pure functions of
+// (master seed, stream index, label, virtual time) folded through the
+// repo's splitmix64/FNV helpers (chaos.SplitSeed, mix64, u01) — the
+// cross-parallelism bit-identity tests rely on draws being order-independent
+// and machine-independent. Seedpure therefore forbids, in those two packages:
+//
+//   - math/rand (v1 or v2): stream-advancing RNGs make draws depend on call
+//     order, which differs between sequential and parallel runs;
+//   - unsafe, and reflect's Pointer/UnsafePointer: pointer values differ per
+//     process, so anything derived from them is unreproducible;
+//   - the %p verb in format strings, for the same reason;
+//   - feeding a raw loop counter straight into u01/mix64: counters must be
+//     folded through SplitSeed's avalanche first, or adjacent streams
+//     correlate (stream K and K+1 differ by one bit pre-mix).
+var Seedpure = &Analyzer{
+	Name: "seedpure",
+	Doc:  "seed/fault draws in chaos+core must derive from the splitmix64/FNV helpers",
+	Run:  runSeedpure,
+}
+
+// seedpureScope lists the packages whose draws are policed. Fixture packages
+// fabricate one of these paths to exercise the analyzer.
+var seedpureScope = map[string]bool{
+	"areyouhuman/internal/chaos": true,
+	"areyouhuman/internal/core":  true,
+}
+
+func runSeedpure(pass *Pass) {
+	if !seedpureScope[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "math/rand advances a shared stream; draws here must be order-independent hashes (SplitSeed/u01)")
+			case "unsafe":
+				pass.Reportf(imp.Pos(), "unsafe exposes pointer values, which differ per process; seeds must be reproducible from (seed, config, plan)")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind == token.STRING && strings.Contains(n.Value, "%p") {
+					pass.Reportf(n.Pos(), "%%p formats a pointer value, which differs per process; never fold it into a seed or label")
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "reflect" {
+					if fn.Name() == "Pointer" || fn.Name() == "UnsafePointer" {
+						pass.Reportf(n.Sel.Pos(), "reflect.%s yields a per-process pointer value; seeds must be reproducible", fn.Name())
+					}
+				}
+			case *ast.FuncDecl:
+				checkLoopCounterDraws(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkLoopCounterDraws flags calls to u01/mix64 whose arguments reference a
+// loop variable without folding it through SplitSeed first.
+func checkLoopCounterDraws(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if a, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(pass, call)
+		if name != "u01" && name != "mix64" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesLoopVar(pass, arg, loopVars) && !containsSplitSeed(pass, arg) {
+				pass.Reportf(arg.Pos(), "raw loop counter fed into %s; fold it through SplitSeed so adjacent streams decorrelate", name)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName resolves the simple name of a called function, "" if unknown.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return f.Name()
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+func usesLoopVar(pass *Pass, e ast.Expr, loopVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && loopVars[pass.Info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func containsSplitSeed(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && calleeName(pass, call) == "SplitSeed" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

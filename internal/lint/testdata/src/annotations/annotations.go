@@ -1,0 +1,32 @@
+// Package annotationsfix exercises the framework's annotation handling:
+// justified annotations suppress findings, and malformed annotations are
+// findings in their own right.
+package annotationsfix
+
+import "time"
+
+func suppressedTrailing() time.Time {
+	return time.Now() //phishlint:wallclock fixture: trailing annotation with a justification
+}
+
+func suppressedStandalone() time.Time {
+	//phishlint:allow detrand fixture: generic allow with a justification
+	return time.Now()
+}
+
+func missingJustification() time.Time {
+	return time.Now() //phishlint:wallclock // want `needs a justification` `time\.Now: wall-clock read`
+}
+
+func unknownToken() time.Time {
+	return time.Now() //phishlint:bogus because reasons // want `unknown //phishlint annotation token "bogus"` `time\.Now: wall-clock read`
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //phishlint:allow nosuchcheck because reasons // want `names unknown analyzer "nosuchcheck"` `time\.Now: wall-clock read`
+}
+
+func wrongAnalyzerToken(m map[string]int) time.Time {
+	// A sorted annotation does not silence detrand.
+	return time.Now() //phishlint:sorted fixture: wrong escape hatch for this finding // want `time\.Now: wall-clock read`
+}

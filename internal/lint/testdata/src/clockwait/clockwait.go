@@ -1,0 +1,48 @@
+// Package clockwaitfix exercises the clockwait analyzer: wall-clock waits
+// are findings inside a sim package; scheduler events and plain context use
+// are not.
+package clockwaitfix
+
+import (
+	"context"
+	"time"
+)
+
+// Scheduler stands in for simclock.Scheduler.
+type Scheduler interface {
+	At(t time.Time, name string, fn func())
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want `time\.Sleep: blocks the event loop on the wall clock`
+}
+
+func waiter() <-chan time.Time {
+	return time.After(time.Minute) // want `time\.After: wall-clock timer`
+}
+
+func ticker() <-chan time.Time {
+	return time.Tick(time.Minute) // want `time\.Tick: wall-clock ticker`
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer: wall-clock timer`
+}
+
+func deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // want `context\.WithTimeout: wall-clock deadline`
+}
+
+// Non-triggering cases.
+
+func scheduled(s Scheduler, now time.Time) {
+	s.At(now.Add(time.Hour), "probe", func() {}) // waits as scheduler events are the sanctioned pattern
+}
+
+func cancelable(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // cancellation without a wall deadline is fine
+}
+
+func annotated() {
+	time.Sleep(time.Millisecond) //phishlint:wallclock fixture: deliberate wall sleep with a justification
+}

@@ -1,0 +1,54 @@
+// Package detrandfix exercises the detrand analyzer: wall-clock reads,
+// environment reads, and global-RNG draws are findings inside a sim package;
+// seeded constructors, clock-interface calls, and annotated lines are not.
+package detrandfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock stands in for simclock.Clock.
+type Clock interface {
+	Now() time.Time
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now: wall-clock read; take virtual time from simclock`
+}
+
+func wallSince(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since: wall-clock read`
+}
+
+func wallUntil(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until: wall-clock read`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os\.Getenv: environment read`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the global RNG`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from the global RNG`
+}
+
+// Non-triggering cases: the sanctioned patterns.
+
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor is the sanctioned pattern
+	return rng.Intn(10)
+}
+
+func virtualNow(c Clock) time.Time {
+	return c.Now() // method on the clock interface, not the time package
+}
+
+func annotated() time.Time {
+	return time.Now() //phishlint:wallclock fixture: deliberate wall read with a justification
+}

@@ -1,0 +1,113 @@
+// Package maporderfix exercises the maporder analyzer: map ranges feeding
+// slices, output, or telemetry are findings; order-insensitive bodies, the
+// collect-then-sort idiom, and annotated ranges are not.
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"areyouhuman/internal/telemetry"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `this range appends to a slice`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func printing(m map[string]int) {
+	for k, v := range m { // want `this range writes formatted output \(fmt\.Printf\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func feedsTelemetry(m map[string]int, reg *telemetry.Registry) {
+	for k := range m { // want `this range feeds telemetry \(Inc\)`
+		reg.Counter("maporder_fixture_total", "key", k).Inc()
+	}
+}
+
+func writerSink(m map[string]int) string {
+	var b sortableBuilder
+	for k := range m { // want `this range writes output \(WriteString\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+type sortableBuilder struct{ parts []string }
+
+func (b *sortableBuilder) WriteString(s string) { b.parts = append(b.parts, s) }
+func (b *sortableBuilder) String() string       { return fmt.Sprint(b.parts) }
+
+// Non-triggering cases.
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-insensitive fold
+		total += v
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectUnlockSort(m map[string]int, mu *sync.RWMutex) []string {
+	mu.RLock()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	mu.RUnlock() // statements not touching the slice are skipped
+	sort.Strings(keys)
+	return keys
+}
+
+func twoCollectsOneSort(a, b map[string]int) []string {
+	var keys []string
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b { // sibling collect loop into the same slice
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fieldCollect(m map[string]int) []string {
+	var row struct{ Keys []string }
+	for k := range m {
+		row.Keys = append(row.Keys, k)
+	}
+	sort.Strings(row.Keys)
+	return row.Keys
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slices iterate in order; only maps are flagged
+		out = append(out, x)
+	}
+	return out
+}
+
+func annotated(m map[string]int) []string {
+	var keys []string
+	//phishlint:sorted fixture: the caller sorts; order provably harmless
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

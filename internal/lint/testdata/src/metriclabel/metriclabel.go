@@ -1,0 +1,55 @@
+// Package metriclabelfix exercises the metriclabel analyzer: metric names
+// must be compile-time lowercase snake_case strings at every Registry call
+// site.
+package metriclabelfix
+
+import (
+	"fmt"
+
+	"areyouhuman/internal/telemetry"
+)
+
+// MetricGood is the sanctioned shape: a named string constant.
+const MetricGood = "fixture_events_total"
+
+func dynamicName(reg *telemetry.Registry, replica int) {
+	reg.Counter(fmt.Sprintf("events_%d_total", replica)).Inc() // want `dynamic metric name passed to Registry\.Counter`
+}
+
+func dynamicGauge(reg *telemetry.Registry, name string) {
+	reg.Gauge(name).Set(1) // want `dynamic metric name passed to Registry\.Gauge`
+}
+
+func upperCase(reg *telemetry.Registry) {
+	reg.Counter("EventsTotal").Inc() // want `metric name "EventsTotal" is not lowercase snake_case`
+}
+
+func badChars(reg *telemetry.Registry) {
+	reg.Histogram("latency-seconds", nil).Observe(1) // want `metric name "latency-seconds" is not lowercase snake_case`
+}
+
+func doubleUnderscore(reg *telemetry.Registry) {
+	reg.Describe("bad__name", "help") // want `metric name "bad__name" is not lowercase snake_case`
+}
+
+// Non-triggering cases.
+
+func literalName(reg *telemetry.Registry) {
+	reg.Counter("events_total", "kind", "fixture").Inc() // snake_case literal
+}
+
+func constName(reg *telemetry.Registry) {
+	reg.Gauge(MetricGood).Set(1) // constants resolve at compile time
+}
+
+func labelsAreData(reg *telemetry.Registry, engine string) {
+	reg.Counter("engine_probes_total", "engine", engine).Inc() // label values are data, not names
+}
+
+type fake struct{}
+
+func (fake) Counter(name string) fake { return fake{} }
+
+func notARegistry(f fake) {
+	f.Counter("AnythingGoes") // a method merely named Counter on another type is not checked
+}

@@ -1,0 +1,69 @@
+// Package chaos is a fixture standing in for internal/chaos (the harness
+// loads it under that import path): seed draws must derive from the
+// splitmix64/FNV helpers, never from stream RNGs, pointers, or raw loop
+// counters.
+package chaos
+
+import (
+	"fmt"
+	"math/rand" // want `math/rand advances a shared stream`
+	"reflect"
+)
+
+// Stubs matching the real chaos helpers the analyzer knows by name.
+
+func mix64(z uint64) uint64 { return z * 0x9E3779B97F4A7C15 }
+
+func SplitSeed(master int64, k int) int64 {
+	if k == 0 {
+		return master
+	}
+	return int64(mix64(uint64(master) + uint64(k)))
+}
+
+func u01(stream uint64, label string, tick int64) float64 {
+	return float64(mix64(stream^uint64(tick))>>11) / (1 << 53)
+}
+
+func streamDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func pointerLabel(v any) string {
+	return fmt.Sprintf("%p", v) // want `%p formats a pointer value`
+}
+
+func reflectedPointer(v any) uint64 {
+	return uint64(reflect.ValueOf(v).Pointer()) // want `reflect\.Pointer yields a per-process pointer value`
+}
+
+func rawCounterDraws(seed int64, n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, u01(uint64(i), "spec", 0)) // want `raw loop counter fed into u01; fold it through SplitSeed`
+	}
+	return out
+}
+
+func rawRangeCounter(seed int64, specs []string) uint64 {
+	var h uint64
+	for i := range specs {
+		h ^= mix64(uint64(i)) // want `raw loop counter fed into mix64`
+	}
+	return h
+}
+
+// Non-triggering cases.
+
+func splitDraws(seed int64, n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, u01(uint64(SplitSeed(seed, i+1)), "spec", 0)) // counters folded through SplitSeed are the sanctioned pattern
+	}
+	return out
+}
+
+func labelDraw(stream uint64, label string, tick int64) float64 {
+	return u01(stream, label, tick) // no loop counter in sight
+}

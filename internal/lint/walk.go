@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Target is one package directory discovered by WalkPackages.
+type Target struct {
+	Dir  string // absolute directory
+	Path string // import path under the module
+}
+
+// WalkPackages finds every package directory under root (a directory inside
+// the module), mirroring the `./...` pattern: testdata directories, hidden
+// directories, and directories without non-test .go files are skipped.
+// Results are sorted by import path so lint runs are deterministic.
+func WalkPackages(l *Loader, root string) ([]Target, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var targets []Target
+	err = filepath.WalkDir(abs, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, path)
+		if err != nil {
+			return err
+		}
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+		targets = append(targets, Target{Dir: path, Path: importPath})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
+	return targets, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -79,7 +79,7 @@ func (t *Tracer) now() time.Time {
 	if c, ok := t.clock.Load().(*Clock); ok {
 		return (*c).Now()
 	}
-	return time.Now()
+	return time.Now() //phishlint:wallclock documented fallback before any virtual clock is installed
 }
 
 // Records reports how many records have been written.
@@ -105,6 +105,7 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 	if t == nil {
 		return
 	}
+	//phishlint:wallclock Record carries both timelines by design; Wall never feeds results
 	t.emit(Record{Type: "event", Name: name, Sim: t.now(), Wall: time.Now(), Attrs: attrMap(attrs)})
 }
 
@@ -122,6 +123,7 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
+	//phishlint:wallclock spans time their own wall-clock cost by design; never feeds results
 	return &Span{t: t, name: name, simStart: t.now(), wallStart: time.Now(), attrs: attrs}
 }
 
@@ -137,7 +139,7 @@ func (s *Span) End(attrs ...Attr) {
 		Sim:    s.simStart,
 		SimEnd: &simEnd,
 		Wall:   s.wallStart,
-		WallNS: time.Since(s.wallStart).Nanoseconds(),
+		WallNS: time.Since(s.wallStart).Nanoseconds(), //phishlint:wallclock span wall-clock cost; never feeds results
 		Attrs:  attrMap(append(s.attrs, attrs...)),
 	})
 }

@@ -37,11 +37,13 @@ package areyouhuman
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/dropcatch"
 	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/telemetry"
 )
@@ -126,6 +128,17 @@ func WithTrafficScale(scale float64) Option {
 // Telemetry observes only; results are identical with or without it.
 func WithTelemetry(tel *telemetry.Set) Option {
 	return func(o *runOptions) error { o.cfg.Telemetry = tel; return nil }
+}
+
+// WithJournal streams the run's lifecycle journal — every deploy, report,
+// deciding crawl, listing, sighting, and fault injection, virtual-clock
+// stamped and causally linked — to w as JSON Lines (see internal/journal).
+// Like telemetry it observes only: results are identical with or without it,
+// and the journal bytes themselves are bit-identical for a fixed seed
+// regardless of -parallel. Wrap w in a bufio.Writer when writing to a file;
+// a nil w is a no-op.
+func WithJournal(w io.Writer) Option {
+	return func(o *runOptions) error { o.cfg.Journal = journal.NewWriter(w); return nil }
 }
 
 // WithChaosPlan subjects the run to a fault-injection plan. The plan is
@@ -220,6 +233,9 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	res, err := f.RunAll()
 	if err != nil {
 		return nil, err
+	}
+	if err := o.cfg.Journal.Flush(); err != nil {
+		return nil, fmt.Errorf("areyouhuman: %w", err)
 	}
 	return &StudyResult{Results: res}, nil
 }

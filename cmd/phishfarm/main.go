@@ -7,7 +7,8 @@
 //	          [-seed N] [-replicas N] [-parallel P]
 //	          [-traffic-scale F] [-main-traffic N] [-nocache]
 //	          [-chaos plan.json] [-chaos-preset flaky|outage|degraded]
-//	          [-json out.json] [-trace out.jsonl] [-metrics out.prom]
+//	          [-json out.json] [-trace out.jsonl] [-journal out.jsonl]
+//	          [-metrics out.prom]
 //	          [-cpuprofile out.pprof] [-memprofile out.pprof] [-v]
 //
 // The default stage runs everything: Table 1 (preliminary test), Table 2
@@ -33,9 +34,12 @@
 // the plain single run.
 //
 // Observability: -trace streams every telemetry record (virtual-time spans
-// and events) as JSON Lines, -metrics snapshots the metrics registry in
-// Prometheus text format after every stage, and -v narrates stage progress
-// with wall times and headline counters on stderr.
+// and events) as JSON Lines, -journal streams the URL lifecycle journal
+// (deploys, reports, deciding crawls, listings, sightings, fault injections
+// — virtual-clock stamped, causally linked, bit-identical for any -parallel;
+// see internal/journal and cmd/phishtrace), -metrics snapshots the metrics
+// registry in Prometheus text format after every stage, and -v narrates
+// stage progress with wall times and headline counters on stderr.
 //
 // Performance: -cpuprofile and -memprofile write pprof profiles covering the
 // whole run (the heap profile is taken at exit, after runtime.GC), and
@@ -58,6 +62,7 @@ import (
 	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/telemetry"
 )
 
@@ -86,6 +91,7 @@ func main() {
 		chaosPreset = flag.String("chaos-preset", "", "built-in fault plan: flaky, outage, or degraded (empty/none = no faults)")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file (stage all/preliminary/main/extensions)")
 		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (virtual-time spans and events) to this file")
+		journalOut  = flag.String("journal", "", "write the URL lifecycle journal (JSONL, see cmd/phishtrace) to this file")
 		metricsOut  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after each stage")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (taken at exit after GC) to this file")
@@ -128,6 +134,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	var journalWriter *journal.Writer
+	var journalBuf *bufio.Writer
+	if *journalOut != "" {
+		f, err := os.Create(*journalOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phishfarm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		journalBuf = bufio.NewWriterSize(f, 1<<20)
+		journalWriter = journal.NewWriter(journalBuf)
+	}
+
 	cfg := experiment.Config{
 		Seed:                 *seed,
 		TrafficScale:         *scale,
@@ -135,6 +154,7 @@ func main() {
 		NoCache:              *noCache,
 		Telemetry:            opts.tel,
 		Chaos:                plan,
+		Journal:              journalWriter,
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
@@ -152,6 +172,17 @@ func main() {
 		err = opts.finish(traceBuf)
 	} else if traceBuf != nil {
 		traceBuf.Flush()
+	}
+	if journalWriter != nil {
+		if ferr := journalWriter.Flush(); err == nil {
+			err = ferr
+		}
+		if ferr := journalBuf.Flush(); err == nil {
+			err = ferr
+		}
+		if err == nil {
+			opts.vlog("journal: %d events -> %s", journalWriter.Lines(), *journalOut)
+		}
 	}
 	if perr := stopProfiles(); err == nil {
 		err = perr

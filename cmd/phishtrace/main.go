@@ -1,0 +1,277 @@
+// Command phishtrace analyses URL lifecycle journals recorded by phishfarm
+// -journal (or areyouhuman.WithJournal): per-URL timelines, paper-style
+// detection and lag summaries, causal-consistency checks, Chrome trace
+// export, and run-to-run diffing.
+//
+// Usage:
+//
+//	phishtrace summary   journal.jsonl [-stage main] [-replica 0]
+//	phishtrace timeline  journal.jsonl -url <url|substring> [-stage S] [-replica K]
+//	phishtrace anomalies journal.jsonl
+//	phishtrace chrome    journal.jsonl [-o trace.json]
+//	phishtrace diff      a.jsonl b.jsonl
+//
+// summary renders each stage section (or just -stage/-replica) in the
+// paper's Table 2 shape — detected/total per (engine, brand, technique) —
+// plus the report→listing lag distribution per engine, reconstructed
+// entirely from the journal.
+//
+// timeline prints the full lifecycle of every URL matching -url (substring
+// match): deploy, report, deciding crawls with verdicts, retries, payload
+// serves, listings, sightings, and the final outcome.
+//
+// anomalies runs the causal checks — first-party listings with no
+// phish-verdict visit, reports for URLs never deployed, activity on hosts
+// after their takedown — and exits 1 when any are flagged. A journal from a
+// healthy run has none.
+//
+// chrome exports the journal in the Chrome trace-event format; load the
+// output in Perfetto (ui.perfetto.dev) or chrome://tracing. One process per
+// replica, one thread per URL/stage/fault span.
+//
+// diff compares two journals by URL outcome (listing engine, lag, visit
+// counts) and event-kind totals, and exits 1 when they disagree — the tool
+// behind the journal-identity CI check: two runs with the same seed must
+// produce byte-identical journals whatever -parallel was.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"areyouhuman/internal/journal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = cmdSummary(args)
+	case "timeline":
+		err = cmdTimeline(args)
+	case "anomalies":
+		err = cmdAnomalies(args)
+	case "chrome":
+		err = cmdChrome(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "phishtrace: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  phishtrace summary   journal.jsonl [-stage S] [-replica K]
+  phishtrace timeline  journal.jsonl -url <url|substring> [-stage S] [-replica K]
+  phishtrace anomalies journal.jsonl
+  phishtrace chrome    journal.jsonl [-o trace.json]
+  phishtrace diff      a.jsonl b.jsonl
+`)
+}
+
+// loadEvents reads one journal file ("-" = stdin).
+func loadEvents(path string) ([]journal.Event, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := journal.ReadEvents(bufio.NewReaderSize(r, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// parseJournalArgs splits a subcommand's arguments into the positional
+// journal paths and its flags: flags may come before or after the paths.
+func parseJournalArgs(fs *flag.FlagSet, args []string, nPaths int) ([]string, error) {
+	var paths []string
+	rest := args
+	for len(rest) > 0 {
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		paths = append(paths, rest[0])
+		rest = rest[1:]
+	}
+	if len(paths) != nPaths {
+		return nil, fmt.Errorf("expected %d journal file(s), got %d", nPaths, len(paths))
+	}
+	return paths, nil
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	stage := fs.String("stage", "", "only this stage (default: every section)")
+	replica := fs.Int("replica", -1, "only this replica (default: every replica)")
+	paths, err := parseJournalArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	events, err := loadEvents(paths[0])
+	if err != nil {
+		return err
+	}
+	st := journal.Analyze(events)
+	printed := 0
+	for _, sec := range st.Sections {
+		if *stage != "" && sec.Stage != *stage {
+			continue
+		}
+		if *replica >= 0 && sec.Replica != *replica {
+			continue
+		}
+		if len(sec.Timelines) == 0 {
+			continue
+		}
+		if printed > 0 {
+			fmt.Println()
+		}
+		fmt.Print(sec.SummaryTable())
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no matching stage sections in %s", paths[0])
+	}
+	return nil
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	url := fs.String("url", "", "URL (or substring) to print timelines for")
+	stage := fs.String("stage", "", "only this stage")
+	replica := fs.Int("replica", -1, "only this replica")
+	paths, err := parseJournalArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("timeline requires -url")
+	}
+	events, err := loadEvents(paths[0])
+	if err != nil {
+		return err
+	}
+	st := journal.Analyze(events)
+	matched := 0
+	for _, sec := range st.Sections {
+		if *stage != "" && sec.Stage != *stage {
+			continue
+		}
+		if *replica >= 0 && sec.Replica != *replica {
+			continue
+		}
+		for _, tl := range sec.Timelines {
+			if !strings.Contains(tl.URL, *url) {
+				continue
+			}
+			if matched > 0 {
+				fmt.Println()
+			}
+			fmt.Print(tl.TimelineText())
+			matched++
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no URL matching %q in %s", *url, paths[0])
+	}
+	return nil
+}
+
+func cmdAnomalies(args []string) error {
+	fs := flag.NewFlagSet("anomalies", flag.ContinueOnError)
+	paths, err := parseJournalArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	events, err := loadEvents(paths[0])
+	if err != nil {
+		return err
+	}
+	anomalies := journal.Analyze(events).Anomalies()
+	if len(anomalies) == 0 {
+		fmt.Printf("no anomalies: %d events, causal chains consistent\n", len(events))
+		return nil
+	}
+	for _, a := range anomalies {
+		fmt.Println(a)
+	}
+	return fmt.Errorf("%d anomalies flagged", len(anomalies))
+}
+
+func cmdChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	paths, err := parseJournalArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	events, err := loadEvents(paths[0])
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		w = bw
+	}
+	return journal.WriteChromeTrace(w, events)
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	paths, err := parseJournalArgs(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	a, err := loadEvents(paths[0])
+	if err != nil {
+		return err
+	}
+	b, err := loadEvents(paths[1])
+	if err != nil {
+		return err
+	}
+	d := journal.Diff(a, b)
+	fmt.Print(d.Render(paths[0], paths[1]))
+	if !d.Identical() {
+		return fmt.Errorf("journals differ")
+	}
+	return nil
+}

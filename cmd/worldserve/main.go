@@ -18,6 +18,19 @@
 //	go tool pprof http://127.0.0.1:8080/debug/pprof/profile?seconds=5
 //
 // Virtual hosts never use those reserved paths, so routing is unaffected.
+//
+// Live study mode: -study runs the paper's 105-URL main experiment in the
+// background and serves a dashboard at /debug/study — per-engine and
+// per-technique progress streamed over SSE straight from the run's lifecycle
+// journal, the final Table 2 when the virtual two weeks complete:
+//
+//	worldserve -addr :8080 -study
+//	open http://127.0.0.1:8080/debug/study      # or curl /debug/study/state
+//
+// -study-pace throttles journal playback (wall-clock pause per event) so the
+// run is watchable; -traffic-scale sizes the crawler fleets. The study world
+// runs single-threaded on its own goroutine, so in this mode the gateway does
+// not route Host-header requests into its virtual internet.
 package main
 
 import (
@@ -28,9 +41,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/telemetry"
@@ -43,8 +58,16 @@ func main() {
 		brandFlag = flag.String("brand", "paypal", "target brand: paypal, facebook, gmail")
 		domain    = flag.String("domain", "demo-site.com", "virtual domain for the deployment")
 		obs       = flag.Bool("obs", true, "serve /metrics and /debug/pprof on the gateway")
+		study     = flag.Bool("study", false, "run the 105-URL main study live and serve /debug/study")
+		pace      = flag.Duration("study-pace", 5*time.Millisecond, "wall-clock pause per journal event in -study mode (0 = full speed)")
+		scale     = flag.Float64("traffic-scale", 0.02, "crawler fleet scale in -study mode")
 	)
 	flag.Parse()
+
+	if *study {
+		runStudyMode(*addr, *obs, *pace, *scale)
+		return
+	}
 
 	technique, err := evasion.Parse(*techFlag)
 	if err != nil {
@@ -87,6 +110,35 @@ func main() {
 	}
 }
 
+// runStudyMode starts the main experiment on a background goroutine, feeding
+// its lifecycle journal into the /debug/study dashboard, and serves only the
+// observability endpoints (the study world is single-threaded, so its virtual
+// hosts are not routable while it runs).
+func runStudyMode(addr string, obs bool, pace time.Duration, scale float64) {
+	var set *telemetry.Set
+	if obs {
+		set = &telemetry.Set{Metrics: telemetry.NewRegistry()}
+	}
+	srv := newStudyServer(pace)
+	world := experiment.NewWorld(experiment.Config{
+		TrafficScale: scale,
+		Telemetry:    set,
+		Journal:      journal.NewWriter(srv.writer()),
+	})
+	go srv.run(world)
+
+	gateway := newGateway(nil, set)
+	gateway.study = srv
+	log.Printf("serving live study on %s", addr)
+	log.Printf("dashboard: http://%s/debug/study  (state: /debug/study/state, SSE: /debug/study/events)", addr)
+	if obs {
+		log.Printf("observability: curl 'http://%s/metrics'  (pprof at /debug/pprof/)", addr)
+	}
+	if err := http.ListenAndServe(addr, gateway); err != nil {
+		log.Fatal("worldserve: ", err)
+	}
+}
+
 func pathOf(rawURL string) string {
 	if i := strings.Index(rawURL, "://"); i >= 0 {
 		rest := rawURL[i+3:]
@@ -98,10 +150,12 @@ func pathOf(rawURL string) string {
 }
 
 // gateway routes real TCP requests into the virtual internet by Host header,
-// reserving /metrics and /debug/pprof for the observability endpoints.
+// reserving /metrics, /debug/pprof, and (in study mode) /debug/study for the
+// observability endpoints.
 type gateway struct {
-	net      *simnet.Internet
-	obs      *http.ServeMux // nil when observability is off
+	net      *simnet.Internet // nil in study mode: no host routing
+	obs      *http.ServeMux   // nil when observability is off
+	study    *studyServer     // nil outside -study mode
 	requests func(host string) *telemetry.Counter
 }
 
@@ -126,6 +180,15 @@ func newGateway(net *simnet.Internet, set *telemetry.Set) *gateway {
 func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if g.obs != nil && (r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/pprof")) {
 		g.obs.ServeHTTP(w, r)
+		return
+	}
+	if g.study != nil && strings.HasPrefix(r.URL.Path, "/debug/study") {
+		g.study.ServeHTTP(w, r)
+		return
+	}
+	if g.net == nil {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<h1>live study</h1><p>the virtual internet is busy running the study; watch it at <a href=\"/debug/study\">/debug/study</a>.</p>")
 		return
 	}
 	hostname := r.Host

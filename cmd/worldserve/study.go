@@ -1,0 +1,234 @@
+package main
+
+// The -study mode: run the paper's 105-URL main experiment live and serve a
+// dashboard at /debug/study fed by the run's lifecycle journal. The journal
+// recorder streams each event line into a journal.Progress aggregator; the
+// dashboard page subscribes over SSE and re-renders per-engine and
+// per-technique tallies as the virtual two weeks play out.
+//
+// Wall-clock pacing (time.Sleep, time.Ticker) is fine here — this file is
+// presentation, outside the simulation; the sim itself stays pure virtual
+// time. While a study runs, the gateway does not route into the study's
+// virtual internet: the world runs single-threaded on the study goroutine,
+// and the dashboard observes it only through the journal stream.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/journal"
+)
+
+// studyServer is the shared state behind the /debug/study endpoints.
+type studyServer struct {
+	progress *journal.Progress
+	pace     time.Duration
+
+	mu     sync.Mutex
+	done   bool
+	err    error
+	report string
+}
+
+func newStudyServer(pace time.Duration) *studyServer {
+	return &studyServer{progress: journal.NewProgress(), pace: pace}
+}
+
+// run executes the main study on this goroutine and records the outcome.
+func (s *studyServer) run(world *experiment.World) {
+	res, err := world.RunMain()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	s.err = err
+	if err == nil {
+		s.report = experiment.RenderTable2(res)
+	}
+}
+
+// writer returns the io.Writer the journal streams into: it splits the
+// stream back into lines, folds each into the progress aggregator, and
+// paces playback so the dashboard is watchable.
+func (s *studyServer) writer() *progressWriter {
+	return &progressWriter{srv: s}
+}
+
+type progressWriter struct {
+	srv *studyServer
+	buf []byte
+}
+
+func (w *progressWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := w.buf[:i]
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := w.srv.progress.ObserveLine(line); err != nil {
+				return 0, err
+			}
+		}
+		w.buf = w.buf[i+1:]
+		if w.srv.pace > 0 {
+			time.Sleep(w.srv.pace)
+		}
+	}
+}
+
+// studyState is the JSON document /debug/study/state serves and the SSE
+// stream repeats.
+type studyState struct {
+	journal.Snapshot
+	Done   bool   `json:"done"`
+	Error  string `json:"error,omitempty"`
+	Report string `json:"report,omitempty"`
+}
+
+func (s *studyServer) state() studyState {
+	st := studyState{Snapshot: s.progress.Snapshot()}
+	s.mu.Lock()
+	st.Done = s.done
+	if s.err != nil {
+		st.Error = s.err.Error()
+	}
+	st.Report = s.report
+	s.mu.Unlock()
+	return st
+}
+
+// ServeHTTP handles the /debug/study endpoint family.
+func (s *studyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/debug/study":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, studyHTML)
+	case "/debug/study/state":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.state())
+	case "/debug/study/events":
+		s.serveSSE(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveSSE streams the study state as server-sent events, one snapshot per
+// second, until the client disconnects (plus one final frame after the study
+// completes).
+func (s *studyServer) serveSSE(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	send := func() bool {
+		st := s.state()
+		data, err := json.Marshal(st)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return !st.Done
+	}
+	if !send() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}
+
+const studyHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>live study — are you human?</title>
+<style>
+body { font: 14px/1.5 ui-monospace, monospace; background: #111; color: #ddd; margin: 2em; }
+h1 { font-size: 18px; } h2 { font-size: 15px; margin-top: 1.5em; }
+table { border-collapse: collapse; margin-top: .5em; }
+th, td { border: 1px solid #333; padding: 4px 10px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.big { font-size: 26px; margin-right: 1.5em; }
+.dim { color: #888; } .on { color: #7c5; } .fault { color: #d95; }
+pre { background: #1a1a1a; padding: 1em; overflow-x: auto; }
+</style></head><body>
+<h1>live study: 105 protected URLs, two virtual weeks</h1>
+<p>
+  <span class="big"><span id="detected">0</span><span class="dim">/</span><span id="urls">0</span> <span class="dim">detected</span></span>
+  <span class="big" id="sim" class="dim"></span>
+</p>
+<p class="dim">stage <span id="stage">—</span> · <span id="events">0</span> journal events · <span id="status">running</span></p>
+<h2>engines</h2>
+<table id="engines"><thead><tr>
+<th>engine</th><th>reports</th><th>visits</th><th>retries</th><th>listings</th><th>shared-in</th><th>sightings</th>
+</tr></thead><tbody></tbody></table>
+<h2>techniques</h2>
+<table id="techs"><thead><tr>
+<th>technique</th><th>deploys</th><th>payload serves</th><th>listings</th>
+</tr></thead><tbody></tbody></table>
+<div id="faultbox" style="display:none"><h2>fault windows</h2>
+<table id="faults"><thead><tr>
+<th>fault</th><th>kind</th><th>opens</th><th>closes</th><th>state</th>
+</tr></thead><tbody></tbody></table>
+<p class="dim"><span id="injections">0</span> injections fired</p></div>
+<div id="reportbox" style="display:none"><h2>final table</h2><pre id="report"></pre></div>
+<script>
+function fill(id, rows, cols) {
+  var tb = document.querySelector('#' + id + ' tbody'); tb.innerHTML = '';
+  (rows || []).forEach(function (r) {
+    var tr = document.createElement('tr');
+    cols.forEach(function (c) {
+      var td = document.createElement('td'); td.textContent = r[c]; tr.appendChild(td);
+    });
+    tb.appendChild(tr);
+  });
+}
+var es = new EventSource('/debug/study/events');
+es.onmessage = function (e) {
+  var s = JSON.parse(e.data);
+  document.getElementById('detected').textContent = s.detected;
+  document.getElementById('urls').textContent = s.urls;
+  document.getElementById('sim').textContent = s.sim ? s.sim.replace('T', ' ').replace('Z', '') : '';
+  document.getElementById('stage').textContent = s.stage || '—';
+  document.getElementById('events').textContent = s.events;
+  fill('engines', s.engines, ['engine','reports','visits','retries','listings','shared','sightings']);
+  fill('techs', s.techniques, ['technique','deploys','payload_serves','listings']);
+  if (s.faults && s.faults.length) {
+    document.getElementById('faultbox').style.display = '';
+    fill('faults', s.faults.map(function (f) {
+      return { fault: f.fault, kind: f.kind, open_at: f.open_at, close_at: f.close_at || '',
+               state: f.active ? 'ACTIVE' : 'inactive' };
+    }), ['fault','kind','open_at','close_at','state']);
+    document.getElementById('injections').textContent = s.injections || 0;
+  }
+  if (s.done) {
+    document.getElementById('status').textContent = s.error ? 'failed: ' + s.error : 'complete';
+    if (s.report) {
+      document.getElementById('reportbox').style.display = '';
+      document.getElementById('report').textContent = s.report;
+    }
+    es.close();
+  }
+};
+</script></body></html>
+`

@@ -15,7 +15,7 @@ func mustInjector(t *testing.T, p *Plan, seed int64) *Injector {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	return NewInjector(p, seed, t0, nil)
+	return NewInjector(p, seed, t0, nil, nil)
 }
 
 func TestPlanValidate(t *testing.T) {
@@ -242,7 +242,7 @@ func TestNilInjectorIsInert(t *testing.T) {
 		t.Error("nil injector reported engine faults")
 	}
 	in.PublishDegraded([]string{"gsb"})
-	if NewInjector(nil, 1, t0, nil) != nil {
+	if NewInjector(nil, 1, t0, nil, nil) != nil {
 		t.Error("NewInjector(nil plan) != nil")
 	}
 }

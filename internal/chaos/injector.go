@@ -3,6 +3,7 @@ package chaos
 import (
 	"time"
 
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/telemetry"
 )
 
@@ -46,27 +47,32 @@ type Injector struct {
 	slow   []*specState
 	feed   []*specState
 	flap   []*specState
+	all    []*specState // plan order, for Windows
 }
 
 // specState is one compiled fault spec: the spec itself, its private draw
-// stream, and its injection counter.
+// stream, its injection counter, and the journal recorder (nil when the
+// world runs unjournaled).
 type specState struct {
 	spec     FaultSpec
 	from, to time.Duration // window bounds relative to start
 	stream   uint64
 	injected *telemetry.Counter
+	rec      *journal.Recorder
 }
 
 // NewInjector compiles a plan into an injector rooted at the given virtual
 // start time. Spec K draws from the SplitSeed(seed, K+1) stream, so decisions
 // are reproducible from (seed, plan) alone. A nil plan yields a nil injector.
 // The plan should be validated first; NewInjector does not re-check it.
-func NewInjector(plan *Plan, seed int64, start time.Time, tel *telemetry.Set) *Injector {
+// rec, when non-nil, receives a fault_injected journal event per positive
+// decision; journaling observes only — it never touches the draw streams.
+func NewInjector(plan *Plan, seed int64, start time.Time, tel *telemetry.Set, rec *journal.Recorder) *Injector {
 	if plan == nil {
 		return nil
 	}
 	in := &Injector{start: start, tel: tel}
-	tel.M().Describe(MetricFaultsInjected, "Chaos fault injection decisions that fired, by fault name and kind.")
+	tel.M().Describe(MetricFaultsInjected, "Chaos fault injection decisions that fired, by fault name and fault kind.")
 	tel.M().Describe(MetricDegradedSeconds, "Plan-declared degraded window seconds per engine (outage + slow).")
 	for i := range plan.Faults {
 		spec := plan.Faults[i]
@@ -75,8 +81,10 @@ func NewInjector(plan *Plan, seed int64, start time.Time, tel *telemetry.Set) *I
 			from:     spec.Start.D(),
 			to:       spec.Start.D() + spec.Duration.D(),
 			stream:   uint64(SplitSeed(seed, i+1)),
-			injected: tel.M().Counter(MetricFaultsInjected, "fault", spec.Name, "kind", string(spec.Kind)),
+			injected: tel.M().Counter(MetricFaultsInjected, "fault", spec.Name, "fault_kind", string(spec.Kind)),
+			rec:      rec,
 		}
+		in.all = append(in.all, st)
 		switch spec.Kind {
 		case KindNetReset, KindNetLatency, KindNetTruncate:
 			in.net = append(in.net, st)
@@ -112,7 +120,36 @@ func (st *specState) hit(start time.Time, label string, now time.Time) bool {
 		return false
 	}
 	st.injected.Inc()
+	if st.rec != nil {
+		st.rec.Emit(journal.KindFaultInjected, journal.Fields{
+			Fault:     st.spec.Name,
+			FaultKind: string(st.spec.Kind),
+			Target:    label,
+			Sim:       now,
+		})
+	}
 	return true
+}
+
+// Window is one plan-declared fault window: its identity and bounds relative
+// to the injector's start. Windows lets the world journal every window's
+// open/close without chaos scheduling anything itself.
+type Window struct {
+	Name     string
+	Kind     string
+	From, To time.Duration
+}
+
+// Windows returns the plan's fault windows in plan order.
+func (in *Injector) Windows() []Window {
+	if in == nil {
+		return nil
+	}
+	out := make([]Window, len(in.all))
+	for i, st := range in.all {
+		out[i] = Window{Name: st.spec.Name, Kind: string(st.spec.Kind), From: st.from, To: st.to}
+	}
+	return out
 }
 
 // Net answers for one HTTP exchange to host. Multiple active specs compose:

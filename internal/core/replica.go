@@ -107,9 +107,15 @@ func RunReplicas(opts ReplicaOptions) (*ReplicaSet, error) {
 			for k := range indices {
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
 					errs[k] = opts.Ctx.Err()
+					opts.Base.Journal.CloseReplica(k)
 					continue // drain remaining indices without running them
 				}
 				runs[k], errs[k] = runReplica(opts, k)
+				// Retire the replica's journal section: the writer streams
+				// replica K's buffered lines once every replica below K has
+				// closed, keeping the journal in replica order for any worker
+				// count or completion order.
+				opts.Base.Journal.CloseReplica(k)
 			}
 		}()
 	}
@@ -118,6 +124,9 @@ func RunReplicas(opts ReplicaOptions) (*ReplicaSet, error) {
 	}
 	close(indices)
 	wg.Wait()
+	if err := opts.Base.Journal.Flush(); err != nil {
+		return nil, fmt.Errorf("core: flushing journal: %w", err)
+	}
 
 	if opts.Ctx != nil {
 		if err := opts.Ctx.Err(); err != nil {

@@ -16,6 +16,7 @@ import (
 	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/classify"
 	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/scriptlet"
 	"areyouhuman/internal/simclock"
@@ -78,6 +79,7 @@ type Engine struct {
 	community  *communitySection // non-nil for community-verified engines
 	tel        *telemetry.Set
 	inst       instruments
+	rec        *journal.Recorder
 	faults     FaultSource
 	backoff    chaos.Backoff
 	// TrafficPerReport is how many crawler-fleet requests one report
@@ -113,6 +115,10 @@ type Deps struct {
 	// Faults, when set, injects outage and slowdown windows into the crawl
 	// pipeline (see internal/chaos). Leave nil for a perfect world.
 	Faults FaultSource
+	// Journal, when set, records report submissions, deciding crawls,
+	// retries, and listings as lifecycle events (see internal/journal).
+	// Like Telemetry it observes only.
+	Journal *journal.Recorder
 }
 
 // instruments are the engine's pre-resolved metric handles; all nil (and
@@ -181,6 +187,7 @@ func New(p Profile, deps Deps) *Engine {
 		domCache:         deps.DOMCache,
 		scripts:          deps.Scripts,
 		inst:             newInstruments(deps.Telemetry.M(), p.Key),
+		rec:              deps.Journal,
 		faults:           deps.Faults,
 		backoff:          chaos.DefaultBackoff(),
 		TrafficPerReport: p.PrelimRequests / 3,
@@ -243,6 +250,9 @@ func (e *Engine) Report(rawURL, reporter string) {
 	if e.tel.Tracing() {
 		e.tel.T().Event("engine.report", telemetry.String("engine", e.Profile.Key), telemetry.String("url", rawURL))
 	}
+	e.rec.Emit(journal.KindReportSubmit, journal.Fields{
+		URL: rawURL, Engine: e.Profile.Key, Source: reporter,
+	})
 	e.Queue.Submit(rawURL, reporter)
 	e.enqueueCommunity(rawURL)
 	e.sched.After(e.Profile.RespondsWithin, e.Profile.Key+":first-crawl", func(now time.Time) {
@@ -303,6 +313,9 @@ func (e *Engine) retry(rawURL string, attempt int) {
 			telemetry.Int("attempt", attempt),
 			telemetry.Duration("delay", delay))
 	}
+	e.rec.Emit(journal.KindCrawlRetry, journal.Fields{
+		URL: rawURL, Engine: e.Profile.Key, Attempt: attempt, Delay: delay,
+	})
 	e.sched.After(delay, e.Profile.Key+":retry", func(time.Time) {
 		e.crawlAttempt(rawURL, attempt+1)
 	})
@@ -319,6 +332,19 @@ func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 	}
 	e.inst.crawls.Inc()
 	verdict, viaForm, err := e.visit(rawURL)
+	if e.rec != nil {
+		v := "benign"
+		switch {
+		case err != nil:
+			v = "error"
+		case verdict:
+			v = "phish"
+		}
+		e.rec.Emit(journal.KindCrawlVisit, journal.Fields{
+			URL: rawURL, Engine: e.Profile.Key,
+			Verdict: v, ViaForm: viaForm, Attempt: attempt,
+		})
+	}
 	if err != nil && retryable(err) {
 		e.retry(rawURL, attempt)
 		return
@@ -354,6 +380,10 @@ func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 				telemetry.Bool("via_form", viaForm),
 				telemetry.Duration("listing_delay", now.Sub(crawledAt)))
 		}
+		e.rec.Emit(journal.KindBlacklistAdd, journal.Fields{
+			URL: rawURL, Engine: e.Profile.Key, Source: e.Profile.Key,
+			ViaForm: viaForm, Delay: now.Sub(crawledAt),
+		})
 		if e.community != nil {
 			e.community.remove(rawURL)
 		}
@@ -403,6 +433,9 @@ func (e *Engine) share(rawURL string) {
 					URL: rawURL, CrawledAt: now, ListedAt: now,
 				})
 				e.inst.shares.Inc()
+				e.rec.Emit(journal.KindBlacklistAdd, journal.Fields{
+					URL: rawURL, Engine: key, Source: "shared:" + e.Profile.Key,
+				})
 			}
 		})
 	}

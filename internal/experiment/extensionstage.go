@@ -9,6 +9,7 @@ import (
 	"areyouhuman/internal/browser"
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/extensions"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/telemetry"
 )
@@ -41,6 +42,8 @@ type Table3Row struct {
 func (w *World) RunExtensions() ([]Table3Row, error) {
 	span := w.Tel.T().Start("stage.extensions")
 	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
+	w.Journal.Emit(journal.KindStageStart, journal.Fields{Stage: "extensions"})
+	defer w.Journal.Emit(journal.KindStageEnd, journal.Fields{Stage: "extensions"})
 	var specs []MountSpec
 	brands := []phishkit.Brand{phishkit.Facebook, phishkit.PayPal}
 	for _, tech := range evasion.Techniques() {

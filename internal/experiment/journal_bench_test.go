@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"io"
+	"testing"
+
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/journal"
+	"areyouhuman/internal/phishkit"
+)
+
+// BenchmarkJournalOverhead measures what the lifecycle journal costs on the
+// visit hot path. The "off" case must stay allocation-identical to
+// BenchmarkVisitPath (the 187-alloc path recorded in BENCH_visitpath.json):
+// an unjournaled world pays one nil check per emit site and nothing else.
+// The "on" case streams payload_serve events to io.Discard; the budget is
+// <5% ns/op overhead (recorded in BENCH_visitpath.json).
+func BenchmarkJournalOverhead(b *testing.B) {
+	run := func(b *testing.B, w *World) {
+		d, err := w.Deploy("bench-journal.example",
+			MountSpec{Brand: phishkit.PayPal, Technique: evasion.AlertBox},
+			MountSpec{Brand: phishkit.Facebook, Technique: evasion.SessionBased},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(w.Close)
+		cfg := browser.Config{
+			UserAgent:      "Mozilla/5.0 (bench bot)",
+			SourceIP:       "198.18.77.3",
+			ExecuteScripts: true,
+			AlertPolicy:    browser.AlertConfirm,
+			TimerBudget:    3000000000,
+			DOMCache:       w.DOMCache,
+			ScriptCache:    w.Scripts,
+		}
+		url := d.Mounts[0].URL
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bw := browser.New(w.Net, cfg)
+			page, err := bw.Open(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if page.Status != 200 {
+				b.Fatalf("status %d", page.Status)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, NewWorld(Config{TrafficScale: 0.01}))
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, NewWorld(Config{TrafficScale: 0.01, Journal: journal.NewWriter(io.Discard)}))
+	})
+}

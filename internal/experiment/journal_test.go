@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"areyouhuman/internal/journal"
+)
+
+// TestJournalReconstructsMainStudy is the journal acceptance test: attach a
+// journal to the 105-URL main study and require that phishtrace-style
+// analysis reproduces the run's own results — same detections, same lags,
+// zero causal anomalies — from the journal alone.
+func TestJournalReconstructsMainStudy(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	w := NewWorld(Config{TrafficScale: 0.002, Journal: journal.NewWriter(&buf)})
+	defer w.Close()
+	res, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cfg.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := journal.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := journal.Analyze(events)
+	if anomalies := st.Anomalies(); len(anomalies) != 0 {
+		t.Fatalf("journal flagged %d anomalies, e.g. %v", len(anomalies), anomalies[0])
+	}
+	sec := st.Section("main", 0)
+	if sec == nil {
+		t.Fatal("no main section in the journal")
+	}
+	if len(sec.Timelines) != res.TotalURLs {
+		t.Errorf("timelines = %d, want %d", len(sec.Timelines), res.TotalURLs)
+	}
+	if sec.Detected() != res.TotalDetected {
+		t.Errorf("journal detections = %d, run reported %d", sec.Detected(), res.TotalDetected)
+	}
+	// The report→listing lags must match the run's own measurements, engine
+	// by engine, value by value (both are recorded in submission-plan order).
+	lags := sec.Lags()
+	if len(lags) != len(res.TimesToList) {
+		t.Errorf("lag engines = %d, want %d", len(lags), len(res.TimesToList))
+	}
+	for engine, want := range res.TimesToList {
+		got := lags[engine]
+		if len(got) != len(want) {
+			t.Errorf("%s: %d lags in journal, %d in results", engine, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s lag[%d] = %v, want %v", engine, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestJournalObservesOnly pins the "journal observes only" contract: a run
+// with the journal attached produces the same results as one without.
+func TestJournalObservesOnly(t *testing.T) {
+	t.Parallel()
+	bare := NewWorld(Config{TrafficScale: 0.002})
+	defer bare.Close()
+	resBare, err := bare.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	journaled := NewWorld(Config{TrafficScale: 0.002, Journal: journal.NewWriter(&buf)})
+	defer journaled.Close()
+	resJournaled, err := journaled.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBare.TotalDetected != resJournaled.TotalDetected {
+		t.Errorf("journal changed detections: %d vs %d", resBare.TotalDetected, resJournaled.TotalDetected)
+	}
+	if RenderTable2(resBare) != RenderTable2(resJournaled) {
+		t.Errorf("journal changed Table 2")
+	}
+	if buf.Len() == 0 {
+		t.Error("journal is empty")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"areyouhuman/internal/dropcatch"
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/monitor"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/telemetry"
@@ -102,6 +103,8 @@ func mainPlan() []struct {
 func (w *World) RunMain() (*MainResults, error) {
 	span := w.Tel.T().Start("stage.main")
 	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
+	w.Journal.Emit(journal.KindStageStart, journal.Fields{Stage: "main"})
+	defer w.Journal.Emit(journal.KindStageEnd, journal.Fields{Stage: "main"})
 	plan := mainPlan()
 	totalURLs := 0
 	for _, p := range plan {
@@ -173,6 +176,7 @@ func (w *World) RunMain() (*MainResults, error) {
 	// and screenshot-probe SmartScreen through a monitored browser.
 	mon := monitor.New(w.Sched)
 	mon.Instrument(w.Tel)
+	mon.WithJournal(w.Journal)
 	if w.Faults != nil {
 		mon.WithFaults(w.Faults, w.Cfg.Seed)
 	}

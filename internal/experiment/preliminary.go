@@ -8,6 +8,7 @@ import (
 
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/telemetry"
 )
@@ -35,6 +36,8 @@ const PreliminaryDuration = 24 * time.Hour
 func (w *World) RunPreliminary() ([]Table1Row, error) {
 	span := w.Tel.T().Start("stage.preliminary")
 	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
+	w.Journal.Emit(journal.KindStageStart, journal.Fields{Stage: "preliminary"})
+	defer w.Journal.Emit(journal.KindStageEnd, journal.Fields{Stage: "preliminary"})
 	keys := engines.Keys()
 	domains := w.KeywordDomains("init", len(keys), 0)
 

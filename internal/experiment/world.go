@@ -18,6 +18,7 @@ import (
 	"areyouhuman/internal/engines"
 	"areyouhuman/internal/evasion"
 	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/phishkit"
 	"areyouhuman/internal/registrar"
 	"areyouhuman/internal/report"
@@ -77,6 +78,13 @@ type Config struct {
 	// across -parallel settings. Nil — and, provably, the empty plan — leaves
 	// the world byte-identical to a run without chaos.
 	Chaos *chaos.Plan
+	// Journal, when set, records every URL's lifecycle (deploy, report,
+	// crawl, listing, sighting) as causally linked journal events. Like
+	// Telemetry it observes only: a journaled run produces results
+	// bit-identical to an unjournaled one, and the journal bytes themselves
+	// are bit-identical for a fixed seed regardless of replica parallelism
+	// (see internal/journal).
+	Journal *journal.Writer
 }
 
 // DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
@@ -131,6 +139,9 @@ type World struct {
 	// consulted by the network, DNS, engines, and — once the main study wires
 	// it — the monitor.
 	Faults *chaos.Injector
+	// Journal is the world's lifecycle recorder (nil without Config.Journal).
+	// All emit sites tolerate nil, so unjournaled worlds pay one pointer check.
+	Journal *journal.Recorder
 	// DOMCache and Scripts are the world's visit-path caches, shared by the
 	// engines' browsers and any human-visitor simulation riding this world.
 	// Both are nil under Config.NoCache (callers degrade to fresh parses).
@@ -165,7 +176,17 @@ func NewWorld(cfg Config) *World {
 	w.instDeployments = w.Tel.M().Counter("phish_deployments_total")
 	telemetry.ObserveScheduler(w.Sched, w.Tel)
 	w.Net.SetResolver(w.DNS)
-	w.Faults = chaos.NewInjector(cfg.Chaos, cfg.Seed, cfg.Start, cfg.Telemetry)
+	w.Journal = journal.NewRecorder(cfg.Journal, cfg.Seed, cfg.Replica, clock)
+	w.Faults = chaos.NewInjector(cfg.Chaos, cfg.Seed, cfg.Start, cfg.Telemetry, w.Journal)
+	// Fault windows are plan-declared, so their open/close events are emitted
+	// up front with explicit virtual timestamps rather than scheduled — the
+	// journal must never add scheduler events (telemetry counts them).
+	for _, win := range w.Faults.Windows() {
+		w.Journal.Emit(journal.KindFaultWindowOpen, journal.Fields{
+			Fault: win.Name, FaultKind: win.Kind, Sim: cfg.Start.Add(win.From)})
+		w.Journal.Emit(journal.KindFaultWindowClose, journal.Fields{
+			Fault: win.Name, FaultKind: win.Kind, Sim: cfg.Start.Add(win.To)})
+	}
 	if w.Faults != nil {
 		// The hooks close over the world clock: every fault decision is a pure
 		// function of (seed, plan, virtual time), so installation order and
@@ -205,6 +226,7 @@ func NewWorld(cfg Config) *World {
 		Telemetry:    cfg.Telemetry,
 		DOMCache:     w.DOMCache,
 		Scripts:      w.Scripts,
+		Journal:      w.Journal,
 	}
 	if w.Faults != nil {
 		// Guarded assignment: a typed-nil *chaos.Injector in the interface
@@ -357,11 +379,14 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		}
 		collector := &phishkit.Collector{}
 		payload := kit.Handler(collector)
+		path := phishPath(spec.Brand, i)
+		mountURL := "https://" + domain + path
 
 		opts := evasion.Options{
 			Payload: payload,
 			Benign:  site.Handler(),
-			Log:     evasion.Instrument(w.Tel, spec.Technique, log.ServeLogger()),
+			Log: journalServeLog(w.Journal, spec.Technique, mountURL, domain,
+				evasion.Instrument(w.Tel, spec.Technique, log.ServeLogger())),
 			// The generated site renders purely from the request path, which
 			// is exactly the contract the render cache requires.
 			RenderCache: renderCache,
@@ -383,7 +408,6 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		if err != nil {
 			return nil, &DeployError{Domain: domain, Reason: err}
 		}
-		path := phishPath(spec.Brand, i)
 		handle(path, wrapped)
 		// Kit asset and collector routes live beside the phishing page.
 		for res := range kit.Resources {
@@ -394,7 +418,7 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		d.Mounts = append(d.Mounts, Mount{
 			Brand:     spec.Brand,
 			Technique: spec.Technique,
-			URL:       "https://" + domain + path,
+			URL:       mountURL,
 			Kit:       kit,
 			Collector: collector,
 		})
@@ -413,6 +437,14 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 	}
 	w.deployments = append(w.deployments, d)
 	w.instDeployments.Inc()
+	if w.Journal != nil {
+		for _, m := range d.Mounts {
+			w.Journal.Emit(journal.KindDeploy, journal.Fields{
+				URL: m.URL, Domain: domain,
+				Brand: string(m.Brand), Technique: m.Technique.String(),
+			})
+		}
+	}
 	if w.Tel.Tracing() {
 		attrs := []telemetry.Attr{telemetry.String("domain", domain)}
 		for _, m := range d.Mounts {
@@ -423,6 +455,28 @@ func (w *World) Deploy(domain string, specs ...MountSpec) (*Deployment, error) {
 		w.Tel.T().Event("deploy", attrs...)
 	}
 	return d, nil
+}
+
+// journalServeLog chains a payload-serve journal emit in front of next. Only
+// payload reveals on a real technique are journaled — the same moments the
+// tracer marks as "bot reached the phishing content"; the None control serves
+// its payload to everyone and would only add noise. With no recorder (or the
+// None technique) next is returned unchanged, so the unjournaled serve path
+// is untouched.
+func journalServeLog(rec *journal.Recorder, t evasion.Technique, url, domain string, next evasion.LogFunc) evasion.LogFunc {
+	if rec == nil || t == evasion.None {
+		return next
+	}
+	return func(r *http.Request, kind evasion.ServeKind) {
+		if kind == evasion.ServePayload {
+			rec.Emit(journal.KindPayloadServe, journal.Fields{
+				URL: url, Domain: domain, Technique: t.String(),
+			})
+		}
+		if next != nil {
+			next(r, kind)
+		}
+	}
 }
 
 // phishPath derives the phishing URL path for a mount. Paths mimic

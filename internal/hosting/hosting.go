@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/simnet"
@@ -39,6 +40,9 @@ type AbuseDesk struct {
 	// Grace is the delay between first notification and takedown; zero
 	// selects DefaultGrace.
 	Grace time.Duration
+	// Journal, when set, records each completed takedown as a lifecycle
+	// event (see internal/journal).
+	Journal *journal.Recorder
 
 	mu        sync.Mutex
 	seen      int // mails already processed
@@ -93,6 +97,9 @@ func (d *AbuseDesk) poll(now time.Time) {
 				d.mu.Lock()
 				d.takedowns = append(d.takedowns, Takedown{Host: host, NotifiedAt: notifiedAt, DownAt: at})
 				d.mu.Unlock()
+				d.Journal.Emit(journal.KindTakedown, journal.Fields{
+					Domain: host, Delay: at.Sub(notifiedAt),
+				})
 			}
 		})
 	}

@@ -1,0 +1,481 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline is one URL's reconstructed lifecycle within a stage section.
+type Timeline struct {
+	URL       string
+	Domain    string
+	Brand     string
+	Technique string
+	// Engine is the engine the URL was reported to.
+	Engine  string
+	Replica int
+
+	Deployed   bool
+	DeployedAt time.Time
+	Reported   bool
+	ReportedAt time.Time
+	// Listed reports a first-party listing by the reported engine; shared
+	// propagation lands in SharedTo instead.
+	Listed     bool
+	ListedAt   time.Time
+	ViaForm    bool
+	ListingLag time.Duration // ListedAt - ReportedAt
+	Seen       bool
+	SeenAt     time.Time
+	SeenMethod string
+	TakenDown  bool
+	DownAt     time.Time
+
+	Visits        int // deciding bot visits
+	PhishVerdicts int
+	Retries       int
+	PayloadServes int
+	SharedTo      []string
+
+	// Events are the raw journal lines of this URL's span, in stream order.
+	Events []Event
+}
+
+// Section is one stage's worth of journal, bracketed by stage_start and
+// stage_end markers. Ablation re-runs of a stage produce further sections
+// with the same stage name; Study.Section returns the first.
+type Section struct {
+	Stage   string
+	Replica int
+	StartAt time.Time
+	EndAt   time.Time
+	// Timelines in deploy order — for the main study this is the paper's
+	// submission-plan order, so derived tables come out in Table 2 shape.
+	Timelines []*Timeline
+	// Takedowns maps host -> takedown time within this section.
+	Takedowns map[string]time.Time
+
+	byURL map[string]*Timeline
+}
+
+// Timeline returns the section's timeline for url (nil when absent).
+func (s *Section) Timeline(url string) *Timeline { return s.byURL[url] }
+
+// Study is a fully parsed journal: events, stage sections, and the fault
+// decoration (window and injection events, which live outside URL spans).
+type Study struct {
+	Events   []Event
+	Sections []*Section
+	// Faults are fault_window_open/close and fault_injected events, in
+	// stream order.
+	Faults []Event
+}
+
+// Section returns the first section named stage for the replica (nil when
+// absent) — "first" because ablations re-run stages under the same name.
+func (st *Study) Section(stage string, replica int) *Section {
+	for _, sec := range st.Sections {
+		if sec.Stage == stage && sec.Replica == replica {
+			return sec
+		}
+	}
+	return nil
+}
+
+// Replicas lists the replica indices present, ascending.
+func (st *Study) Replicas() []int {
+	seen := make(map[int]bool)
+	for _, ev := range st.Events {
+		seen[ev.Replica] = true
+	}
+	out := make([]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Analyze reconstructs a Study from a journal's events. Events are expected
+// in stream order (replica blocks contiguous, as the Writer guarantees).
+func Analyze(events []Event) *Study {
+	st := &Study{Events: events}
+	// One open section per replica: replica blocks are contiguous, but being
+	// keyed by replica also tolerates hand-concatenated journals.
+	open := make(map[int]*Section)
+	section := func(ev Event) *Section {
+		sec := open[ev.Replica]
+		if sec == nil {
+			// Events before any stage marker (or in a marker-less synthetic
+			// journal) land in an implicit unnamed section.
+			sec = &Section{Stage: "", Replica: ev.Replica, StartAt: ev.Sim,
+				Takedowns: make(map[string]time.Time), byURL: make(map[string]*Timeline)}
+			open[ev.Replica] = sec
+			st.Sections = append(st.Sections, sec)
+		}
+		return sec
+	}
+	timeline := func(sec *Section, ev Event) *Timeline {
+		tl := sec.byURL[ev.URL]
+		if tl == nil {
+			tl = &Timeline{URL: ev.URL, Replica: ev.Replica}
+			sec.byURL[ev.URL] = tl
+			sec.Timelines = append(sec.Timelines, tl)
+		}
+		return tl
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindFaultWindowOpen, KindFaultWindowClose, KindFaultInjected:
+			st.Faults = append(st.Faults, ev)
+			continue
+		case KindStageStart:
+			sec := &Section{Stage: ev.Stage, Replica: ev.Replica, StartAt: ev.Sim,
+				Takedowns: make(map[string]time.Time), byURL: make(map[string]*Timeline)}
+			open[ev.Replica] = sec
+			st.Sections = append(st.Sections, sec)
+			continue
+		case KindStageEnd:
+			if sec := open[ev.Replica]; sec != nil {
+				sec.EndAt = ev.Sim
+			}
+			delete(open, ev.Replica)
+			continue
+		}
+		sec := section(ev)
+		if ev.Kind == KindTakedown {
+			if _, dup := sec.Takedowns[ev.Domain]; !dup {
+				sec.Takedowns[ev.Domain] = ev.Sim
+			}
+			continue
+		}
+		tl := timeline(sec, ev)
+		tl.Events = append(tl.Events, ev)
+		switch ev.Kind {
+		case KindDeploy:
+			tl.Deployed = true
+			tl.DeployedAt = ev.Sim
+			tl.Domain, tl.Brand, tl.Technique = ev.Domain, ev.Brand, ev.Technique
+		case KindReportSubmit:
+			if !tl.Reported {
+				tl.Reported = true
+				tl.ReportedAt = ev.Sim
+				tl.Engine = ev.Engine
+			}
+		case KindCrawlVisit:
+			tl.Visits++
+			if ev.Verdict == "phish" {
+				tl.PhishVerdicts++
+			}
+		case KindCrawlRetry:
+			tl.Retries++
+		case KindPayloadServe:
+			tl.PayloadServes++
+		case KindBlacklistAdd:
+			if strings.HasPrefix(ev.Source, sharedPrefix) {
+				tl.SharedTo = append(tl.SharedTo, ev.Engine)
+			} else if !tl.Listed {
+				tl.Listed = true
+				tl.ListedAt = ev.Sim
+				tl.ViaForm = ev.ViaForm
+				if tl.Reported {
+					tl.ListingLag = ev.Sim.Sub(tl.ReportedAt)
+				}
+			}
+		case KindSighting:
+			if !tl.Seen {
+				tl.Seen = true
+				tl.SeenAt = ev.Sim
+				tl.SeenMethod = ev.Method
+			}
+		}
+	}
+	// Join takedowns onto timelines by host.
+	for _, sec := range st.Sections {
+		for _, tl := range sec.Timelines {
+			if at, ok := sec.Takedowns[tl.Domain]; ok {
+				tl.TakenDown = true
+				tl.DownAt = at
+			}
+		}
+	}
+	return st
+}
+
+// Anomaly kinds flagged by the causal checker.
+const (
+	AnomalyDetectedWithoutVisit = "detected_without_visit"
+	AnomalyVisitAfterTakedown   = "visit_after_takedown"
+	AnomalyReportWithoutDeploy  = "report_without_deploy"
+)
+
+// Anomaly is one causal-consistency violation: a journal whose chains don't
+// add up (a listing with no deciding visit, activity on a dead host, a
+// report for a URL that never went live).
+type Anomaly struct {
+	Kind    string
+	Stage   string
+	Replica int
+	URL     string
+	Engine  string
+	Sim     time.Time
+	Detail  string
+}
+
+func (a Anomaly) String() string {
+	return fmt.Sprintf("%s [%s r%d] %s %s: %s", a.Kind, a.Stage, a.Replica, a.Sim.UTC().Format(time.RFC3339), a.URL, a.Detail)
+}
+
+// Anomalies runs the causal checks over every section. A healthy journal
+// returns none; phishtrace exits nonzero when any are flagged.
+func (st *Study) Anomalies() []Anomaly {
+	var out []Anomaly
+	for _, sec := range st.Sections {
+		for _, tl := range sec.Timelines {
+			if tl.Reported && !tl.Deployed {
+				out = append(out, Anomaly{
+					Kind: AnomalyReportWithoutDeploy, Stage: sec.Stage, Replica: sec.Replica,
+					URL: tl.URL, Engine: tl.Engine, Sim: tl.ReportedAt,
+					Detail: "URL was reported to " + tl.Engine + " but never deployed in this stage",
+				})
+			}
+			if tl.Listed && tl.PhishVerdicts == 0 {
+				out = append(out, Anomaly{
+					Kind: AnomalyDetectedWithoutVisit, Stage: sec.Stage, Replica: sec.Replica,
+					URL: tl.URL, Engine: tl.Engine, Sim: tl.ListedAt,
+					Detail: "first-party listing with no phish-verdict crawl visit on record",
+				})
+			}
+			if tl.TakenDown {
+				for _, ev := range tl.Events {
+					if (ev.Kind == KindCrawlVisit || ev.Kind == KindPayloadServe) && ev.Sim.After(tl.DownAt) {
+						out = append(out, Anomaly{
+							Kind: AnomalyVisitAfterTakedown, Stage: sec.Stage, Replica: sec.Replica,
+							URL: tl.URL, Engine: ev.Engine, Sim: ev.Sim,
+							Detail: fmt.Sprintf("%s at %s but host %s went down at %s",
+								ev.Kind, ev.Sim.UTC().Format(time.RFC3339), tl.Domain, tl.DownAt.UTC().Format(time.RFC3339)),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// durationStats mirrors the experiment package's lag summary (journal sits
+// below experiment, so it carries its own copy).
+type durationStats struct {
+	n                      int
+	min, median, mean, max time.Duration
+}
+
+func statsOf(ds []time.Duration) durationStats {
+	if len(ds) == 0 {
+		return durationStats{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		mid = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return durationStats{
+		n: len(sorted), min: sorted[0], median: mid,
+		mean: sum / time.Duration(len(sorted)), max: sorted[len(sorted)-1],
+	}
+}
+
+func (s durationStats) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.0fm median=%.0fm mean=%.0fm max=%.0fm",
+		s.n, s.min.Minutes(), s.median.Minutes(), s.mean.Minutes(), s.max.Minutes())
+}
+
+// appearanceOrder returns unique values in first-appearance order — for the
+// main study, deploys arrive in submission-plan order, so engines, brands,
+// and techniques come out in the paper's Table 2 order without this package
+// having to know the engine roster.
+func appearanceOrder(pick func(*Timeline) string, tls []*Timeline) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, tl := range tls {
+		v := pick(tl)
+		if v == "" || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// Detected counts first-party listings in the section.
+func (s *Section) Detected() int {
+	n := 0
+	for _, tl := range s.Timelines {
+		if tl.Listed {
+			n++
+		}
+	}
+	return n
+}
+
+// SummaryTable renders the section in the paper's Table 2 shape — one row
+// per engine, detected/total per (brand, technique) cell — followed by the
+// report→listing lag distribution per engine, reconstructed entirely from
+// the journal.
+func (s *Section) SummaryTable() string {
+	engines := appearanceOrder(func(t *Timeline) string { return t.Engine }, s.Timelines)
+	brands := appearanceOrder(func(t *Timeline) string { return t.Brand }, s.Timelines)
+	techs := appearanceOrder(func(t *Timeline) string { return t.Technique }, s.Timelines)
+
+	type cell struct{ detected, total int }
+	cells := make(map[string]*cell)
+	key := func(e, b, t string) string { return e + "|" + b + "|" + t }
+	lags := make(map[string][]time.Duration)
+	for _, tl := range s.Timelines {
+		k := key(tl.Engine, tl.Brand, tl.Technique)
+		c := cells[k]
+		if c == nil {
+			c = &cell{}
+			cells[k] = c
+		}
+		c.total++
+		if tl.Listed {
+			c.detected++
+			lags[tl.Engine] = append(lags[tl.Engine], tl.ListingLag)
+		}
+	}
+
+	var b strings.Builder
+	stage := s.Stage
+	if stage == "" {
+		stage = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "Stage %q, replica %d: %d URLs, %d detected\n\n",
+		stage, s.Replica, len(s.Timelines), s.Detected())
+	colw := 9
+	fmt.Fprintf(&b, "%-14s |", "")
+	for _, brand := range brands {
+		fmt.Fprintf(&b, " %-*s|", colw*len(techs), brand)
+	}
+	fmt.Fprintf(&b, "\n%-14s |", "Engine")
+	for range brands {
+		for _, tech := range techs {
+			short := tech
+			if len(short) > colw-2 {
+				short = short[:colw-2]
+			}
+			fmt.Fprintf(&b, " %-*s", colw-1, short)
+		}
+		fmt.Fprintf(&b, "|")
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, eng := range engines {
+		fmt.Fprintf(&b, "%-14s |", eng)
+		for _, brand := range brands {
+			for _, tech := range techs {
+				c := cells[key(eng, brand, tech)]
+				if c == nil {
+					c = &cell{}
+				}
+				fmt.Fprintf(&b, " %-*s", colw-1, fmt.Sprintf("%d/%d", c.detected, c.total))
+			}
+			fmt.Fprintf(&b, "|")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "\nTime from report to listing (first-party only):\n")
+	for _, eng := range engines {
+		fmt.Fprintf(&b, "  %-14s %s\n", eng, statsOf(lags[eng]))
+	}
+	return b.String()
+}
+
+// Lags returns the report→listing delays of first-party listings, per
+// engine — the journal-side counterpart of MainResults.TimesToList.
+func (s *Section) Lags() map[string][]time.Duration {
+	out := make(map[string][]time.Duration)
+	for _, tl := range s.Timelines {
+		if tl.Listed {
+			out[tl.Engine] = append(out[tl.Engine], tl.ListingLag)
+		}
+	}
+	return out
+}
+
+// TimelineText renders one URL's lifecycle, one line per event with offsets
+// relative to deploy.
+func (tl *Timeline) TimelineText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", tl.URL)
+	fmt.Fprintf(&b, "  domain=%s brand=%s technique=%s reported-to=%s\n",
+		tl.Domain, tl.Brand, tl.Technique, tl.Engine)
+	base := tl.DeployedAt
+	for _, ev := range tl.Events {
+		off := "+0m"
+		if !base.IsZero() {
+			off = fmt.Sprintf("+%.0fm", ev.Sim.Sub(base).Minutes())
+		}
+		fmt.Fprintf(&b, "  %-28s %6s  %s%s\n",
+			ev.Sim.UTC().Format(time.RFC3339), off, ev.Kind, eventDetail(ev))
+	}
+	if tl.TakenDown {
+		fmt.Fprintf(&b, "  %-28s %6s  takedown host=%s\n",
+			tl.DownAt.UTC().Format(time.RFC3339),
+			fmt.Sprintf("+%.0fm", tl.DownAt.Sub(base).Minutes()), tl.Domain)
+	}
+	switch {
+	case tl.Listed && tl.Seen:
+		fmt.Fprintf(&b, "  => listed by %s after %.0fm (sighted via %s %.0fm later)\n",
+			tl.Engine, tl.ListingLag.Minutes(), tl.SeenMethod, tl.SeenAt.Sub(tl.ListedAt).Minutes())
+	case tl.Listed:
+		fmt.Fprintf(&b, "  => listed by %s after %.0fm\n", tl.Engine, tl.ListingLag.Minutes())
+	default:
+		fmt.Fprintf(&b, "  => never listed (%d visits, %d payload serves)\n", tl.Visits, tl.PayloadServes)
+	}
+	return b.String()
+}
+
+func eventDetail(ev Event) string {
+	var parts []string
+	if ev.Engine != "" {
+		parts = append(parts, "engine="+ev.Engine)
+	}
+	if ev.Verdict != "" {
+		parts = append(parts, "verdict="+ev.Verdict)
+	}
+	if ev.ViaForm {
+		parts = append(parts, "via_form")
+	}
+	if ev.Attempt != 0 {
+		parts = append(parts, fmt.Sprintf("attempt=%d", ev.Attempt))
+	}
+	if ev.Technique != "" && ev.Kind == KindPayloadServe {
+		parts = append(parts, "technique="+ev.Technique)
+	}
+	if ev.Source != "" {
+		parts = append(parts, "source="+ev.Source)
+	}
+	if ev.Method != "" {
+		parts = append(parts, "method="+ev.Method)
+	}
+	if ev.DelayS != 0 {
+		parts = append(parts, fmt.Sprintf("delay=%.0fs", ev.DelayS))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " " + strings.Join(parts, " ")
+}

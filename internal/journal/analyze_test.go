@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// record builds a synthetic journal through a real recorder, so analyzer
+// tests exercise the same encode → read → analyze path production uses.
+func record(t *testing.T, emit func(rec *Recorder, clock *fakeClock)) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(NewWriter(&buf), 99, 0, newFakeClock())
+	emit(rec, rec.clock.(*fakeClock))
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestAnalyzeHealthyLifecycle(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		emitLifecycle(rec, clock, "https://evil.example/login", "evil.example")
+	})
+	st := Analyze(events)
+	if got := st.Anomalies(); len(got) != 0 {
+		t.Fatalf("healthy journal flagged %d anomalies: %v", len(got), got)
+	}
+	sec := st.Section("main", 0)
+	if sec == nil {
+		t.Fatal("no main section")
+	}
+	tl := sec.Timeline("https://evil.example/login")
+	if tl == nil {
+		t.Fatal("no timeline for the URL")
+	}
+	if !tl.Deployed || !tl.Reported || !tl.Listed || !tl.Seen || !tl.TakenDown {
+		t.Errorf("lifecycle flags: %+v", tl)
+	}
+	if tl.Engine != "gsb" || tl.Brand != "PayPal" || tl.Technique != "alertbox" {
+		t.Errorf("identity fields: engine=%s brand=%s technique=%s", tl.Engine, tl.Brand, tl.Technique)
+	}
+	if tl.ListingLag != 41*time.Minute {
+		t.Errorf("ListingLag = %v, want 41m", tl.ListingLag)
+	}
+	if tl.Visits != 2 || tl.PhishVerdicts != 1 || tl.PayloadServes != 1 {
+		t.Errorf("visit counts: visits=%d phish=%d serves=%d", tl.Visits, tl.PhishVerdicts, tl.PayloadServes)
+	}
+	if len(tl.SharedTo) != 1 || tl.SharedTo[0] != "smartscreen" {
+		t.Errorf("SharedTo = %v", tl.SharedTo)
+	}
+	if sec.Detected() != 1 {
+		t.Errorf("Detected = %d", sec.Detected())
+	}
+	lags := sec.Lags()
+	if len(lags["gsb"]) != 1 || lags["gsb"][0] != 41*time.Minute {
+		t.Errorf("Lags = %v", lags)
+	}
+	if !strings.Contains(sec.SummaryTable(), "1/1") {
+		t.Errorf("summary table missing the 1/1 cell:\n%s", sec.SummaryTable())
+	}
+	if txt := tl.TimelineText(); !strings.Contains(txt, "listed by gsb after 41m") {
+		t.Errorf("timeline text missing outcome:\n%s", txt)
+	}
+}
+
+func TestAnomalyDetectedWithoutVisit(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		rec.Emit(KindStageStart, Fields{Stage: "main"})
+		rec.Emit(KindDeploy, Fields{URL: "https://a.example/p", Domain: "a.example"})
+		rec.Emit(KindReportSubmit, Fields{URL: "https://a.example/p", Engine: "gsb"})
+		clock.advance(time.Hour)
+		// Listing appears with no phish-verdict crawl on record.
+		rec.Emit(KindBlacklistAdd, Fields{URL: "https://a.example/p", Engine: "gsb", Source: "gsb"})
+		rec.Emit(KindStageEnd, Fields{Stage: "main"})
+	})
+	anomalies := Analyze(events).Anomalies()
+	if len(anomalies) != 1 || anomalies[0].Kind != AnomalyDetectedWithoutVisit {
+		t.Fatalf("anomalies = %v, want one %s", anomalies, AnomalyDetectedWithoutVisit)
+	}
+	if anomalies[0].URL != "https://a.example/p" || anomalies[0].Engine != "gsb" {
+		t.Errorf("anomaly identity: %+v", anomalies[0])
+	}
+}
+
+func TestAnomalyReportWithoutDeploy(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		rec.Emit(KindStageStart, Fields{Stage: "main"})
+		rec.Emit(KindReportSubmit, Fields{URL: "https://ghost.example/p", Engine: "netcraft"})
+		rec.Emit(KindStageEnd, Fields{Stage: "main"})
+	})
+	anomalies := Analyze(events).Anomalies()
+	if len(anomalies) != 1 || anomalies[0].Kind != AnomalyReportWithoutDeploy {
+		t.Fatalf("anomalies = %v, want one %s", anomalies, AnomalyReportWithoutDeploy)
+	}
+}
+
+func TestAnomalyVisitAfterTakedown(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		rec.Emit(KindStageStart, Fields{Stage: "main"})
+		rec.Emit(KindDeploy, Fields{URL: "https://b.example/p", Domain: "b.example"})
+		rec.Emit(KindReportSubmit, Fields{URL: "https://b.example/p", Engine: "gsb"})
+		clock.advance(time.Hour)
+		rec.Emit(KindTakedown, Fields{Domain: "b.example"})
+		clock.advance(time.Hour)
+		// The host is down, yet a crawl visit still lands.
+		rec.Emit(KindCrawlVisit, Fields{URL: "https://b.example/p", Engine: "gsb", Verdict: "benign", Attempt: 1})
+		rec.Emit(KindStageEnd, Fields{Stage: "main"})
+	})
+	anomalies := Analyze(events).Anomalies()
+	if len(anomalies) != 1 || anomalies[0].Kind != AnomalyVisitAfterTakedown {
+		t.Fatalf("anomalies = %v, want one %s", anomalies, AnomalyVisitAfterTakedown)
+	}
+}
+
+func TestAnalyzeSectionsAndFaults(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		rec.Emit(KindFaultWindowOpen, Fields{Fault: "dns_flap", FaultKind: "dns_blackout", Sim: baseTime})
+		rec.Emit(KindFaultWindowClose, Fields{Fault: "dns_flap", FaultKind: "dns_blackout", Sim: baseTime.Add(time.Hour)})
+		rec.Emit(KindStageStart, Fields{Stage: "preliminary"})
+		rec.Emit(KindDeploy, Fields{URL: "https://p.example/x", Domain: "p.example"})
+		rec.Emit(KindStageEnd, Fields{Stage: "preliminary"})
+		clock.advance(time.Hour)
+		rec.Emit(KindStageStart, Fields{Stage: "main"})
+		rec.Emit(KindFaultInjected, Fields{Fault: "dns_flap", Target: "p.example"})
+		rec.Emit(KindDeploy, Fields{URL: "https://m.example/y", Domain: "m.example"})
+		rec.Emit(KindStageEnd, Fields{Stage: "main"})
+	})
+	st := Analyze(events)
+	if len(st.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(st.Sections))
+	}
+	if st.Section("preliminary", 0) == nil || st.Section("main", 0) == nil {
+		t.Fatal("missing a named section")
+	}
+	// Fault events decorate the study; they never land inside URL timelines.
+	if len(st.Faults) != 3 {
+		t.Errorf("Faults = %d, want 3", len(st.Faults))
+	}
+	for _, sec := range st.Sections {
+		if len(sec.Timelines) != 1 {
+			t.Errorf("section %q has %d timelines, want 1", sec.Stage, len(sec.Timelines))
+		}
+	}
+	if got := st.Replicas(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Replicas = %v", got)
+	}
+}
+
+func TestDiffIdenticalAndChanged(t *testing.T) {
+	healthy := func(rec *Recorder, clock *fakeClock) {
+		emitLifecycle(rec, clock, "https://evil.example/login", "evil.example")
+	}
+	a := record(t, healthy)
+	b := record(t, healthy)
+	if d := Diff(a, b); !d.Identical() {
+		t.Fatalf("identical journals diffed:\n%s", d.Render("a", "b"))
+	}
+
+	c := record(t, func(rec *Recorder, clock *fakeClock) {
+		rec.Emit(KindStageStart, Fields{Stage: "main"})
+		rec.Emit(KindDeploy, Fields{URL: "https://evil.example/login", Domain: "evil.example"})
+		rec.Emit(KindReportSubmit, Fields{URL: "https://evil.example/login", Engine: "gsb"})
+		rec.Emit(KindStageEnd, Fields{Stage: "main"})
+	})
+	d := Diff(a, c)
+	if d.Identical() {
+		t.Fatal("differing journals reported identical")
+	}
+	if len(d.Changed) != 1 {
+		t.Errorf("Changed = %v", d.Changed)
+	}
+	if len(d.KindCounts) == 0 {
+		t.Errorf("expected event-kind total differences")
+	}
+	if !strings.Contains(d.Render("a", "c"), "changed: r0|main|https://evil.example/login") {
+		t.Errorf("render:\n%s", d.Render("a", "c"))
+	}
+}
+
+func TestProgressObserve(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		emitLifecycle(rec, clock, "https://evil.example/login", "evil.example")
+	})
+	p := NewProgress()
+	for _, ev := range events {
+		p.Observe(ev)
+	}
+	snap := p.Snapshot()
+	if snap.URLs != 1 || snap.Detected != 1 || snap.Stage != "main" {
+		t.Errorf("snapshot: urls=%d detected=%d stage=%q", snap.URLs, snap.Detected, snap.Stage)
+	}
+	if snap.Events != int64(len(events)) {
+		t.Errorf("Events = %d, want %d", snap.Events, len(events))
+	}
+	var gsb *EngineProgress
+	for i := range snap.Engines {
+		if snap.Engines[i].Engine == "gsb" {
+			gsb = &snap.Engines[i]
+		}
+	}
+	if gsb == nil || gsb.Listings != 1 || gsb.Visits != 2 || gsb.Sightings != 1 {
+		t.Errorf("gsb progress = %+v", gsb)
+	}
+}

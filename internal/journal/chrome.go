@@ -1,0 +1,182 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// The Chrome trace-event exporter renders a journal in the format Perfetto
+// and chrome://tracing load: one process per replica, one thread per span
+// (URL lifecycle, stage, fault window), instant events for lifecycle points,
+// and complete ("X") events for stage and fault-window intervals.
+//
+// Output is deterministic: pids are replica indices, tids are assigned in
+// span first-appearance order, args maps are key-sorted by encoding/json,
+// and timestamps are microseconds of virtual time relative to the journal's
+// earliest event.
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Cat  string            `json:"cat,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// spanThreadLabel names the exporter thread for a span from any of its
+// events.
+func spanThreadLabel(ev Event) string {
+	switch {
+	case ev.URL != "":
+		return ev.URL
+	case ev.Stage != "":
+		return "stage " + ev.Stage
+	case ev.Fault != "":
+		return "fault " + ev.Fault
+	case ev.Domain != "":
+		return "host " + ev.Domain
+	default:
+		return "span " + ev.Span
+	}
+}
+
+func traceArgs(ev Event) map[string]string {
+	args := map[string]string{"id": ev.ID, "seq": strconv.FormatUint(ev.Seq, 10)}
+	if ev.Parent != "" {
+		args["parent"] = ev.Parent
+	}
+	for _, kv := range [...][2]string{
+		{"url", ev.URL}, {"domain", ev.Domain}, {"brand", ev.Brand},
+		{"technique", ev.Technique}, {"engine", ev.Engine}, {"source", ev.Source},
+		{"method", ev.Method}, {"verdict", ev.Verdict}, {"stage", ev.Stage},
+		{"fault", ev.Fault}, {"fault_kind", ev.FaultKind}, {"target", ev.Target},
+	} {
+		if kv[1] != "" {
+			args[kv[0]] = kv[1]
+		}
+	}
+	if ev.ViaForm {
+		args["via_form"] = "true"
+	}
+	if ev.Attempt != 0 {
+		args["attempt"] = strconv.Itoa(ev.Attempt)
+	}
+	if ev.DelayS != 0 {
+		args["delay_s"] = strconv.FormatFloat(ev.DelayS, 'g', -1, 64)
+	}
+	return args
+}
+
+// WriteChromeTrace exports events as a Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if len(events) == 0 {
+		return json.NewEncoder(w).Encode(chromeTrace{DisplayTimeUnit: "ms"})
+	}
+	base := events[0].Sim
+	maxSim := base
+	for _, ev := range events {
+		if ev.Sim.Before(base) {
+			base = ev.Sim
+		}
+		if ev.Sim.After(maxSim) {
+			maxSim = ev.Sim
+		}
+	}
+	ts := func(t time.Time) int64 { return t.Sub(base).Microseconds() }
+
+	// Assign thread ids per (replica, span) in first-appearance order, and
+	// collect replica process ids in first-appearance order.
+	type threadKey struct {
+		replica int
+		span    string
+	}
+	tids := make(map[threadKey]int)
+	nextTid := make(map[int]int)
+	var meta []traceEvent
+	seenPid := make(map[int]bool)
+	for _, ev := range events {
+		if !seenPid[ev.Replica] {
+			seenPid[ev.Replica] = true
+			meta = append(meta, traceEvent{
+				Name: "process_name", Ph: "M", Pid: ev.Replica,
+				Args: map[string]string{"name": fmt.Sprintf("replica %d", ev.Replica)},
+			})
+		}
+		key := threadKey{ev.Replica, ev.Span}
+		if _, ok := tids[key]; !ok {
+			nextTid[ev.Replica]++
+			tids[key] = nextTid[ev.Replica]
+			meta = append(meta, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: ev.Replica, Tid: tids[key],
+				Args: map[string]string{"name": spanThreadLabel(ev)},
+			})
+		}
+	}
+
+	out := make([]traceEvent, 0, len(events)+len(meta))
+	out = append(out, meta...)
+	// Interval pairing: opens wait (keyed by span) for their close; the X
+	// event lands at the close's stream position. Unclosed opens run to the
+	// journal's horizon and land at the end, in open order.
+	type openInterval struct {
+		ev  Event
+		tid int
+	}
+	opens := make(map[threadKey]openInterval)
+	var openOrder []threadKey
+	for _, ev := range events {
+		key := threadKey{ev.Replica, ev.Span}
+		tid := tids[key]
+		switch ev.Kind {
+		case KindStageStart, KindFaultWindowOpen:
+			opens[key] = openInterval{ev: ev, tid: tid}
+			openOrder = append(openOrder, key)
+		case KindStageEnd, KindFaultWindowClose:
+			if op, ok := opens[key]; ok {
+				delete(opens, key)
+				out = append(out, traceEvent{
+					Name: spanThreadLabel(op.ev), Ph: "X", Cat: op.ev.Kind,
+					Pid: ev.Replica, Tid: tid,
+					Ts: ts(op.ev.Sim), Dur: ev.Sim.Sub(op.ev.Sim).Microseconds(),
+					Args: traceArgs(op.ev),
+				})
+			}
+		default:
+			out = append(out, traceEvent{
+				Name: ev.Kind, Ph: "i", Cat: ev.Kind, S: "t",
+				Pid: ev.Replica, Tid: tid, Ts: ts(ev.Sim), Args: traceArgs(ev),
+			})
+		}
+	}
+	for _, key := range openOrder {
+		op, ok := opens[key]
+		if !ok {
+			continue
+		}
+		out = append(out, traceEvent{
+			Name: spanThreadLabel(op.ev), Ph: "X", Cat: op.ev.Kind,
+			Pid: op.ev.Replica, Tid: op.tid,
+			Ts: ts(op.ev.Sim), Dur: maxSim.Sub(op.ev.Sim).Microseconds(),
+			Args: traceArgs(op.ev),
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: out}); err != nil {
+		return fmt.Errorf("journal: encoding chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the exporter's exact output for a synthetic
+// lifecycle journal: process/thread metadata, instant events, interval
+// pairing, and deterministic ordering. Regenerate with -update after an
+// intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	events := record(t, func(rec *Recorder, clock *fakeClock) {
+		rec.Emit(KindFaultWindowOpen, Fields{Fault: "dns_flap", FaultKind: "dns_blackout", Sim: baseTime})
+		emitLifecycle(rec, clock, "https://evil.example/login", "evil.example")
+		rec.Emit(KindFaultWindowClose, Fields{Fault: "dns_flap", FaultKind: "dns_blackout", Sim: baseTime.Add(30 * time.Minute)})
+	})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file; run with -update if intentional\n got: %s", buf.Bytes())
+	}
+
+	// Structural sanity independent of the exact bytes.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var metas, instants, completes int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "i":
+			instants++
+		case "X":
+			completes++
+		}
+	}
+	if metas == 0 || instants == 0 {
+		t.Errorf("trace shape: %d metadata, %d instants", metas, instants)
+	}
+	// The stage and the fault window each pair into one complete event.
+	if completes != 2 {
+		t.Errorf("completes = %d, want 2 (stage + fault window)", completes)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}

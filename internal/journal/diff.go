@@ -1,0 +1,128 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SpanChange is one URL whose lifecycle outcome differs between two
+// journals.
+type SpanChange struct {
+	Key  string // "r<replica>|<stage>|<url>"
+	A, B string // rendered outcomes
+}
+
+// DiffReport is the run-to-run comparison of two journals, keyed by
+// (replica, stage, url). Outcomes compare listing engine, report→listing
+// lag, and visit counts — the things a regression in engine behaviour or
+// evasion strength would move.
+type DiffReport struct {
+	// OnlyA / OnlyB are URL keys present in only one journal.
+	OnlyA, OnlyB []string
+	// Changed are URLs present in both with differing outcomes.
+	Changed []SpanChange
+	// KindCounts maps event kind -> [countA, countB] for kinds whose totals
+	// differ.
+	KindCounts map[string][2]int
+}
+
+// Identical reports whether the diff found no differences.
+func (d *DiffReport) Identical() bool {
+	return len(d.OnlyA) == 0 && len(d.OnlyB) == 0 && len(d.Changed) == 0 && len(d.KindCounts) == 0
+}
+
+func outcomeOf(tl *Timeline) string {
+	if !tl.Listed {
+		return fmt.Sprintf("not listed (visits=%d serves=%d)", tl.Visits, tl.PayloadServes)
+	}
+	return fmt.Sprintf("listed by %s after %.0fm (visits=%d via_form=%v)",
+		tl.Engine, tl.ListingLag.Minutes(), tl.Visits, tl.ViaForm)
+}
+
+func spanOutcomes(events []Event) (map[string]string, []string) {
+	st := Analyze(events)
+	out := make(map[string]string)
+	var order []string
+	for _, sec := range st.Sections {
+		for _, tl := range sec.Timelines {
+			key := fmt.Sprintf("r%d|%s|%s", sec.Replica, sec.Stage, tl.URL)
+			if _, dup := out[key]; dup {
+				continue // later sections re-running a stage keep the first outcome
+			}
+			out[key] = outcomeOf(tl)
+			order = append(order, key)
+		}
+	}
+	return out, order
+}
+
+// Diff compares two journals run-to-run.
+func Diff(a, b []Event) *DiffReport {
+	d := &DiffReport{KindCounts: make(map[string][2]int)}
+	oa, orderA := spanOutcomes(a)
+	ob, orderB := spanOutcomes(b)
+	for _, key := range orderA {
+		bv, ok := ob[key]
+		if !ok {
+			d.OnlyA = append(d.OnlyA, key)
+			continue
+		}
+		if av := oa[key]; av != bv {
+			d.Changed = append(d.Changed, SpanChange{Key: key, A: av, B: bv})
+		}
+	}
+	for _, key := range orderB {
+		if _, ok := oa[key]; !ok {
+			d.OnlyB = append(d.OnlyB, key)
+		}
+	}
+	counts := make(map[string][2]int)
+	for _, ev := range a {
+		c := counts[ev.Kind]
+		c[0]++
+		counts[ev.Kind] = c
+	}
+	for _, ev := range b {
+		c := counts[ev.Kind]
+		c[1]++
+		counts[ev.Kind] = c
+	}
+	for kind, c := range counts {
+		if c[0] != c[1] {
+			d.KindCounts[kind] = c
+		}
+	}
+	return d
+}
+
+// Render formats the diff as text; labels name the two journals.
+func (d *DiffReport) Render(labelA, labelB string) string {
+	var b strings.Builder
+	if d.Identical() {
+		fmt.Fprintf(&b, "journals agree: same URL outcomes and event-kind totals\n")
+		return b.String()
+	}
+	if len(d.KindCounts) > 0 {
+		kinds := make([]string, 0, len(d.KindCounts))
+		for k := range d.KindCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(&b, "event-kind totals differ:\n")
+		for _, k := range kinds {
+			c := d.KindCounts[k]
+			fmt.Fprintf(&b, "  %-20s %s=%d %s=%d\n", k, labelA, c[0], labelB, c[1])
+		}
+	}
+	for _, key := range d.OnlyA {
+		fmt.Fprintf(&b, "only in %s: %s\n", labelA, key)
+	}
+	for _, key := range d.OnlyB {
+		fmt.Fprintf(&b, "only in %s: %s\n", labelB, key)
+	}
+	for _, ch := range d.Changed {
+		fmt.Fprintf(&b, "changed: %s\n  %s: %s\n  %s: %s\n", ch.Key, labelA, ch.A, labelB, ch.B)
+	}
+	return b.String()
+}

@@ -1,0 +1,413 @@
+// Package journal is the study's flight recorder: a deterministic,
+// virtual-clock-stamped event stream recording every URL's lifecycle as
+// causally linked spans — deploy → report(engine) → crawl_visit(bot, evasion
+// outcome) → blacklist → takedown — plus fault windows and stage markers.
+//
+// The paper's core evidence is exactly this per-URL timeline (which bot
+// visited which protected URL, which evasion check it passed, and when a
+// blacklist entry appeared); the journal makes that chain a first-class,
+// replayable artifact instead of something implicit across counters and the
+// weblog.
+//
+// Determinism contract. Journal lines carry only virtual time — never wall
+// time — and every span/event/parent ID is a pure function of (world seed,
+// span label, event kind, qualifier, per-world sequence number), folded
+// through a splitmix64 finalizer over FNV-64a hashes. No per-URL state is
+// retained while recording (ready for 100k+ URL campaigns), and the Writer
+// streams replicas in index order regardless of completion order, so a
+// journal is byte-identical for any -parallel worker count on a fixed seed
+// (pinned by a -race test in internal/core).
+//
+// Everything is nil-safe: a nil *Recorder or nil *Writer accepts every call
+// as a no-op, so instrumented code pays only a nil check when journaling is
+// off — the visit hot path stays allocation-identical to an unjournaled run
+// (proved by BenchmarkJournalOverhead).
+package journal
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock yields the current virtual time. *simclock.SimClock satisfies it;
+// journal depends only on this one-method surface so it sits below every
+// simulation package.
+type Clock interface {
+	Now() time.Time
+}
+
+// Event kinds, in rough lifecycle order. Kind strings are constant lowercase
+// snake_case — enforced at compile time by the phishlint metriclabel
+// analyzer at every Recorder.Emit call site.
+const (
+	// KindDeploy records a phishing URL going live on a deployment.
+	KindDeploy = "deploy"
+	// KindReportSubmit records the URL's submission to one engine.
+	KindReportSubmit = "report_submit"
+	// KindCrawlVisit records one deciding bot visit and its verdict
+	// ("phish", "benign", or "error"), including the via-form bypass bit.
+	KindCrawlVisit = "crawl_visit"
+	// KindCrawlRetry records a backoff retry scheduled after an injected
+	// failure or outage window.
+	KindCrawlRetry = "crawl_retry"
+	// KindPayloadServe records an evasion wrapper revealing the phishing
+	// payload behind a real technique — the "bot reached the content" moment.
+	KindPayloadServe = "payload_serve"
+	// KindBlacklistAdd records a blacklist entry. Source is the listing
+	// engine's own key for first-party listings, "shared:<origin>" for feed
+	// propagation.
+	KindBlacklistAdd = "blacklist_add"
+	// KindSighting records the monitoring pipeline first observing a listing
+	// from outside (API poll, feed diff, outcome mail, screenshot).
+	KindSighting = "sighting"
+	// KindTakedown records the hosting provider taking a host offline.
+	KindTakedown = "takedown"
+	// KindStageStart / KindStageEnd bracket one experiment stage
+	// ("preliminary", "main", "extensions").
+	KindStageStart = "stage_start"
+	KindStageEnd   = "stage_end"
+	// KindFaultWindowOpen / KindFaultWindowClose bracket one chaos fault
+	// window; both are emitted at world construction (the bounds are
+	// plan-declared) so degraded runs are explainable from the journal alone.
+	KindFaultWindowOpen  = "fault_window_open"
+	KindFaultWindowClose = "fault_window_close"
+	// KindFaultInjected records one positive injection decision inside a
+	// window, labelled with the decision target (host, engine, url|engine).
+	KindFaultInjected = "fault_injected"
+)
+
+// Event is one journal line. Fixed fields come first; everything else is
+// omitted when empty. Sim is virtual time only — wall time never appears in
+// a journal, which is what lets two runs of the same seed produce
+// byte-identical files.
+type Event struct {
+	// Seq is the per-world emission sequence number.
+	Seq uint64 `json:"seq"`
+	// ID identifies this event; Span groups a lifecycle; Parent is the ID of
+	// the causally preceding event ("" for roots). All three are 16-hex-digit
+	// derivations — see DESIGN.md §12 for the scheme.
+	ID     string `json:"id"`
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	Kind   string `json:"kind"`
+	// Sim is the virtual time of the event (RFC3339Nano, UTC).
+	Sim     time.Time `json:"sim"`
+	Replica int       `json:"replica"`
+
+	Stage     string  `json:"stage,omitempty"`
+	URL       string  `json:"url,omitempty"`
+	Domain    string  `json:"domain,omitempty"`
+	Brand     string  `json:"brand,omitempty"`
+	Technique string  `json:"technique,omitempty"`
+	Engine    string  `json:"engine,omitempty"`
+	Source    string  `json:"source,omitempty"`
+	Method    string  `json:"method,omitempty"`
+	Verdict   string  `json:"verdict,omitempty"`
+	ViaForm   bool    `json:"via_form,omitempty"`
+	Attempt   int     `json:"attempt,omitempty"`
+	DelayS    float64 `json:"delay_s,omitempty"`
+	Fault     string  `json:"fault,omitempty"`
+	FaultKind string  `json:"fault_kind,omitempty"`
+	Target    string  `json:"target,omitempty"`
+}
+
+// Fields carries the annotations an emit site provides; the Recorder fills
+// in sequence, IDs, and time. The zero value of every field means "absent".
+type Fields struct {
+	Stage     string
+	URL       string
+	Domain    string
+	Brand     string
+	Technique string
+	Engine    string
+	Source    string
+	Method    string
+	Verdict   string
+	ViaForm   bool
+	Attempt   int
+	// Delay is rendered in seconds (listing delay, retry backoff).
+	Delay     time.Duration
+	Fault     string
+	FaultKind string
+	Target    string
+	// Sim overrides the event time (zero uses the recorder's clock "now") —
+	// used for plan-declared fault window bounds, which are known upfront.
+	Sim time.Time
+}
+
+// Recorder stamps and emits events for one world. Create one per world with
+// NewRecorder; a nil Recorder accepts every Emit as a no-op. Safe for
+// concurrent use (worldserve drives real concurrent HTTP through a world),
+// though a simulation world emits from its single scheduler goroutine.
+type Recorder struct {
+	w       *Writer
+	seed    uint64
+	replica int
+	clock   Clock
+
+	mu  sync.Mutex
+	seq uint64
+	buf []byte
+}
+
+// NewRecorder returns a recorder for one world: seed scopes the ID scheme,
+// replica routes lines through the writer's ordered stream, clock stamps
+// virtual time. A nil writer (or clock) yields a nil recorder.
+func NewRecorder(w *Writer, seed int64, replica int, clock Clock) *Recorder {
+	if w == nil || clock == nil {
+		return nil
+	}
+	return &Recorder{w: w, seed: uint64(seed), replica: replica, clock: clock}
+}
+
+// splitmix64 finalizer and FNV-64a, kept local so the ID scheme is fully
+// specified by this package (journal sits below chaos and cannot import it).
+const (
+	idGamma   = 0x9e3779b97f4a7c15
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnvParts hashes the parts with a NUL separator between them, so ("a","bc")
+// and ("ab","c") hash differently.
+func fnvParts(parts ...string) uint64 {
+	h := uint64(fnvOffset)
+	for i, p := range parts {
+		if i > 0 {
+			h ^= 0
+			h *= fnvPrime
+		}
+		for j := 0; j < len(p); j++ {
+			h ^= uint64(p[j])
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// spanID derives the span identity for a lifecycle label under a seed.
+func spanID(seed uint64, label string) uint64 { return mix64(seed ^ fnvParts(label)) }
+
+// slotID derives the identity of a (kind, qualifier) slot within a span —
+// the ID of a unique event, and the parent handle repeated events hang off.
+func slotID(span uint64, kind, qual string) uint64 {
+	return mix64(span ^ fnvParts(kind, qual))
+}
+
+// occID distinguishes repeated occurrences of one slot by the emission
+// sequence number, folded through the avalanche so adjacent occurrences
+// don't correlate.
+func occID(slot, seq uint64) uint64 { return mix64(slot ^ (seq+1)*idGamma) }
+
+// sharedPrefix marks blacklist entries propagated from a partner feed.
+const sharedPrefix = "shared:"
+
+// spanLabelFor picks the lifecycle a kind belongs to: the URL where there is
+// one, the host for takedowns (which apply to every mount on the host), and
+// dedicated namespaces for stages and fault windows.
+func spanLabelFor(kind string, f Fields) string {
+	switch kind {
+	case KindTakedown:
+		return "host|" + f.Domain
+	case KindStageStart, KindStageEnd:
+		return "stage|" + f.Stage
+	case KindFaultWindowOpen, KindFaultWindowClose, KindFaultInjected:
+		return "fault|" + f.Fault
+	default:
+		if f.URL != "" {
+			return f.URL
+		}
+		return "world"
+	}
+}
+
+// Emit records one event. kind must be one of the Kind constants (a
+// compile-time constant snake_case string — phishlint enforces this at every
+// call site). Emit on a nil recorder is a no-op, so emit sites guard only
+// when building Fields is itself costly.
+func (r *Recorder) Emit(kind string, f Fields) {
+	if r == nil {
+		return
+	}
+	span := spanID(r.seed, spanLabelFor(kind, f))
+
+	// Causal derivation: qual scopes the slot within the span (the engine for
+	// crawl/listing events, the technique for payload serves, the decision
+	// target for injections); parent is the slot of the causally preceding
+	// event, derivable without retained state because the scheme is pure.
+	var qual string
+	var repeat bool
+	var parent uint64
+	switch kind {
+	case KindDeploy, KindTakedown, KindStageStart, KindFaultWindowOpen:
+		// Span roots: no parent.
+	case KindReportSubmit:
+		qual = f.Engine
+		parent = slotID(span, KindDeploy, "")
+	case KindCrawlVisit, KindCrawlRetry:
+		qual, repeat = f.Engine, true
+		parent = slotID(span, KindReportSubmit, f.Engine)
+	case KindPayloadServe:
+		qual, repeat = f.Technique, true
+		parent = slotID(span, KindDeploy, "")
+	case KindBlacklistAdd:
+		qual = f.Engine
+		if origin, ok := strings.CutPrefix(f.Source, sharedPrefix); ok {
+			parent = slotID(span, KindBlacklistAdd, origin)
+		} else {
+			parent = slotID(span, KindReportSubmit, f.Engine)
+		}
+	case KindSighting:
+		qual = f.Engine
+		parent = slotID(span, KindBlacklistAdd, f.Engine)
+	case KindStageEnd:
+		parent = slotID(span, KindStageStart, "")
+	case KindFaultWindowClose, KindFaultInjected:
+		repeat = kind == KindFaultInjected
+		if repeat {
+			qual = f.Target
+		}
+		parent = slotID(span, KindFaultWindowOpen, "")
+	}
+
+	sim := f.Sim
+	if sim.IsZero() {
+		sim = r.clock.Now()
+	}
+
+	r.mu.Lock()
+	seq := r.seq
+	r.seq++
+	slot := slotID(span, kind, qual)
+	id := slot
+	if repeat {
+		id = occID(slot, seq)
+	}
+	r.buf = appendEvent(r.buf[:0], seq, id, span, parent, kind, sim, r.replica, f)
+	r.w.write(r.replica, r.buf)
+	r.mu.Unlock()
+}
+
+// Seq reports how many events this recorder has emitted.
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// appendEvent renders one journal line. The encoder is hand-rolled so field
+// order, float formatting, and escaping are fully specified here (and cheap
+// enough for the <5% visit-path overhead budget); encoding/json would also
+// work but pins the hot path to reflection.
+func appendEvent(b []byte, seq, id, span, parent uint64, kind string, sim time.Time, replica int, f Fields) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, `,"id":"`...)
+	b = appendHex16(b, id)
+	b = append(b, `","span":"`...)
+	b = appendHex16(b, span)
+	b = append(b, '"')
+	if parent != 0 {
+		b = append(b, `,"parent":"`...)
+		b = appendHex16(b, parent)
+		b = append(b, '"')
+	}
+	b = append(b, `,"kind":"`...)
+	b = append(b, kind...) // kind constants are snake_case: no escaping needed
+	b = append(b, `","sim":"`...)
+	b = sim.UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","replica":`...)
+	b = strconv.AppendInt(b, int64(replica), 10)
+	b = appendStringField(b, "stage", f.Stage)
+	b = appendStringField(b, "url", f.URL)
+	b = appendStringField(b, "domain", f.Domain)
+	b = appendStringField(b, "brand", f.Brand)
+	b = appendStringField(b, "technique", f.Technique)
+	b = appendStringField(b, "engine", f.Engine)
+	b = appendStringField(b, "source", f.Source)
+	b = appendStringField(b, "method", f.Method)
+	b = appendStringField(b, "verdict", f.Verdict)
+	if f.ViaForm {
+		b = append(b, `,"via_form":true`...)
+	}
+	if f.Attempt != 0 {
+		b = append(b, `,"attempt":`...)
+		b = strconv.AppendInt(b, int64(f.Attempt), 10)
+	}
+	if f.Delay != 0 {
+		b = append(b, `,"delay_s":`...)
+		b = strconv.AppendFloat(b, f.Delay.Seconds(), 'g', -1, 64)
+	}
+	b = appendStringField(b, "fault", f.Fault)
+	b = appendStringField(b, "fault_kind", f.FaultKind)
+	b = appendStringField(b, "target", f.Target)
+	b = append(b, '}', '\n')
+	return b
+}
+
+func appendStringField(b []byte, key, val string) []byte {
+	if val == "" {
+		return b
+	}
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return appendJSONString(b, val)
+}
+
+// appendJSONString appends val as a JSON string. URLs, engine keys, and
+// technique names are plain ASCII, so the fast path is a straight copy;
+// quotes, backslashes, and control bytes take the escape path.
+func appendJSONString(b []byte, val string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(val); i++ {
+		c := val[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		b = append(b, val[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, val[start:]...)
+	return append(b, '"')
+}
+
+func appendHex16(b []byte, v uint64) []byte {
+	const hex = "0123456789abcdef"
+	var tmp [16]byte
+	for i := 15; i >= 0; i-- {
+		tmp[i] = hex[v&0xf]
+		v >>= 4
+	}
+	return append(b, tmp[:]...)
+}

@@ -1,0 +1,244 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced virtual clock for recorder tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: baseTime} }
+
+var baseTime = time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// emitLifecycle drives one full URL lifecycle through rec — the emit
+// sequence the instrumented world produces, in causal order.
+func emitLifecycle(rec *Recorder, clock *fakeClock, url, domain string) {
+	rec.Emit(KindStageStart, Fields{Stage: "main"})
+	rec.Emit(KindDeploy, Fields{URL: url, Domain: domain, Brand: "PayPal", Technique: "alertbox"})
+	clock.advance(5 * time.Minute)
+	rec.Emit(KindReportSubmit, Fields{URL: url, Engine: "gsb", Source: "reporter@example.org"})
+	clock.advance(30 * time.Minute)
+	rec.Emit(KindCrawlVisit, Fields{URL: url, Engine: "gsb", Verdict: "benign", Attempt: 1})
+	clock.advance(10 * time.Minute)
+	rec.Emit(KindPayloadServe, Fields{URL: url, Domain: domain, Technique: "alertbox"})
+	rec.Emit(KindCrawlVisit, Fields{URL: url, Engine: "gsb", Verdict: "phish", ViaForm: true, Attempt: 2})
+	clock.advance(time.Minute)
+	rec.Emit(KindBlacklistAdd, Fields{URL: url, Engine: "gsb", Source: "gsb", ViaForm: true, Delay: 41 * time.Minute})
+	rec.Emit(KindBlacklistAdd, Fields{URL: url, Engine: "smartscreen", Source: "shared:gsb"})
+	clock.advance(2 * time.Minute)
+	rec.Emit(KindSighting, Fields{URL: url, Engine: "gsb", Method: "api"})
+	clock.advance(time.Hour)
+	rec.Emit(KindTakedown, Fields{Domain: domain, Delay: 98 * time.Minute})
+	rec.Emit(KindStageEnd, Fields{Stage: "main"})
+}
+
+func recordLifecycle(seed int64, replica int) []byte {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewWriter(&buf), seed, replica, newFakeClock())
+	clock := rec.clock.(*fakeClock)
+	emitLifecycle(rec, clock, "https://evil-"+string(rune('a'+replica))+".example/login", "evil.example")
+	return buf.Bytes()
+}
+
+func TestRecorderDeterministic(t *testing.T) {
+	a := recordLifecycle(42, 0)
+	b := recordLifecycle(42, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different journals:\n%s\nvs\n%s", a, b)
+	}
+	c := recordLifecycle(43, 0)
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds produced identical journals")
+	}
+}
+
+func TestRecorderCausalChain(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewWriter(&buf), 7, 0, newFakeClock())
+	emitLifecycle(rec, rec.clock.(*fakeClock), "https://evil.example/login", "evil.example")
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := func(kind, engine string) Event {
+		for _, ev := range events {
+			if ev.Kind == kind && (engine == "" || ev.Engine == engine) {
+				return ev
+			}
+		}
+		t.Fatalf("no %s/%s event", kind, engine)
+		return Event{}
+	}
+
+	deploy := byKind(KindDeploy, "")
+	report := byKind(KindReportSubmit, "gsb")
+	listing := byKind(KindBlacklistAdd, "gsb")
+	shared := byKind(KindBlacklistAdd, "smartscreen")
+	sighting := byKind(KindSighting, "gsb")
+
+	if deploy.Parent != "" {
+		t.Errorf("deploy should be a span root, parent=%s", deploy.Parent)
+	}
+	if report.Parent != deploy.ID {
+		t.Errorf("report parent = %s, want deploy id %s", report.Parent, deploy.ID)
+	}
+	if listing.Parent != report.ID {
+		t.Errorf("listing parent = %s, want report id %s", listing.Parent, report.ID)
+	}
+	if shared.Parent != listing.ID {
+		t.Errorf("shared listing parent = %s, want origin listing id %s", shared.Parent, listing.ID)
+	}
+	if sighting.Parent != listing.ID {
+		t.Errorf("sighting parent = %s, want listing id %s", sighting.Parent, listing.ID)
+	}
+	// crawl visits chain to the report and repeat occurrences stay distinct.
+	var visitIDs []string
+	for _, ev := range events {
+		if ev.Kind != KindCrawlVisit {
+			continue
+		}
+		if ev.Parent != report.ID {
+			t.Errorf("visit parent = %s, want report id %s", ev.Parent, report.ID)
+		}
+		visitIDs = append(visitIDs, ev.ID)
+	}
+	if len(visitIDs) != 2 || visitIDs[0] == visitIDs[1] {
+		t.Errorf("repeat visits should get distinct ids, got %v", visitIDs)
+	}
+	// Every URL-lifecycle event shares the deploy's span; stage and host
+	// events live in their own namespaces.
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindStageStart, KindStageEnd, KindTakedown:
+			if ev.Span == deploy.Span {
+				t.Errorf("%s should not share the URL span", ev.Kind)
+			}
+		default:
+			if ev.Span != deploy.Span {
+				t.Errorf("%s span = %s, want URL span %s", ev.Kind, ev.Span, deploy.Span)
+			}
+		}
+	}
+	stageEnd := byKind(KindStageEnd, "")
+	if stageEnd.Parent != byKind(KindStageStart, "").ID {
+		t.Errorf("stage_end should parent on stage_start")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Emit(KindDeploy, Fields{URL: "https://x.example"}) // must not panic
+	if rec.Seq() != 0 {
+		t.Errorf("nil recorder Seq = %d", rec.Seq())
+	}
+	if NewRecorder(nil, 1, 0, newFakeClock()) != nil {
+		t.Errorf("NewRecorder with nil writer should be nil")
+	}
+	if NewRecorder(NewWriter(&bytes.Buffer{}), 1, 0, nil) != nil {
+		t.Errorf("NewRecorder with nil clock should be nil")
+	}
+	if NewWriter(nil) != nil {
+		t.Errorf("NewWriter(nil) should be nil")
+	}
+	var w *Writer
+	w.write(0, []byte("x\n"))
+	w.CloseReplica(0)
+	if err := w.Flush(); err != nil {
+		t.Errorf("nil writer Flush = %v", err)
+	}
+	if w.Lines() != 0 || w.Err() != nil {
+		t.Errorf("nil writer Lines/Err = %d/%v", w.Lines(), w.Err())
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewWriter(&buf), 3, 2, newFakeClock())
+	rec.Emit(KindCrawlVisit, Fields{
+		URL:     `https://weird.example/p?q="1"\2`,
+		Engine:  "gsb",
+		Verdict: "phish",
+		ViaForm: true,
+		Attempt: 3,
+		Delay:   90 * time.Second,
+	})
+	// Replica 2 buffers until the ordered stream reaches it.
+	if err := rec.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+	ev := events[0]
+	if ev.URL != `https://weird.example/p?q="1"\2` {
+		t.Errorf("URL round-trip = %q", ev.URL)
+	}
+	if ev.Kind != KindCrawlVisit || ev.Engine != "gsb" || ev.Verdict != "phish" ||
+		!ev.ViaForm || ev.Attempt != 3 || ev.DelayS != 90 || ev.Replica != 2 {
+		t.Errorf("round-trip mismatch: %+v", ev)
+	}
+	if !ev.Sim.Equal(baseTime) {
+		t.Errorf("Sim = %v, want %v", ev.Sim, baseTime)
+	}
+	if len(ev.ID) != 16 || len(ev.Span) != 16 {
+		t.Errorf("ids should be 16 hex digits: id=%q span=%q", ev.ID, ev.Span)
+	}
+}
+
+func TestAppendJSONString(t *testing.T) {
+	cases := map[string]string{
+		"plain":        `"plain"`,
+		`quo"te`:       `"quo\"te"`,
+		`back\slash`:   `"back\\slash"`,
+		"new\nline":    `"new\nline"`,
+		"tab\there":    `"tab\there"`,
+		"bell\x07ring": `"bell\u0007ring"`,
+		"":             `""`,
+	}
+	for in, want := range cases {
+		if got := string(appendJSONString(nil, in)); got != want {
+			t.Errorf("appendJSONString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestRecorderSimOverride(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewWriter(&buf), 1, 0, newFakeClock())
+	at := baseTime.Add(72 * time.Hour)
+	rec.Emit(KindFaultWindowOpen, Fields{Fault: "dns_outage", FaultKind: "dns_blackout", Sim: at})
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !events[0].Sim.Equal(at) {
+		t.Errorf("Sim override not honoured: %v", events[0].Sim)
+	}
+	if events[0].FaultKind != "dns_blackout" {
+		t.Errorf("fault_kind = %q", events[0].FaultKind)
+	}
+}
+
+func TestJournalLinesAreOneLineEach(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewWriter(&buf), 1, 0, newFakeClock())
+	emitLifecycle(rec, rec.clock.(*fakeClock), "https://evil.example/login", "evil.example")
+	out := buf.String()
+	n := strings.Count(out, "\n")
+	if int64(n) != rec.w.Lines() {
+		t.Errorf("%d newlines vs %d lines accepted", n, rec.w.Lines())
+	}
+	if rec.Seq() != uint64(n) {
+		t.Errorf("Seq = %d, want %d", rec.Seq(), n)
+	}
+}

@@ -1,0 +1,184 @@
+package journal
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is the dashboard-side journal consumer: it folds a live event
+// stream into per-engine and per-technique counters that worldserve's
+// /debug/study page renders. It is an analysis-side component — unlike the
+// Recorder it may retain per-URL state (one technique string per deployed
+// URL, needed to attribute listings to techniques).
+type Progress struct {
+	mu         sync.Mutex
+	events     int64
+	lastSim    time.Time
+	stage      string
+	urls       int
+	detected   int
+	engines    map[string]*EngineProgress
+	engOrder   []string
+	techs      map[string]*TechniqueProgress
+	techOrder  []string
+	urlTech    map[string]string
+	windows    []FaultWindowStatus
+	injections int
+}
+
+// EngineProgress is one engine's running totals.
+type EngineProgress struct {
+	Engine    string `json:"engine"`
+	Reports   int    `json:"reports"`
+	Visits    int    `json:"visits"`
+	Retries   int    `json:"retries"`
+	Listings  int    `json:"listings"`
+	Shared    int    `json:"shared"`
+	Sightings int    `json:"sightings"`
+}
+
+// TechniqueProgress is one evasion technique's running totals.
+type TechniqueProgress struct {
+	Technique     string `json:"technique"`
+	Deploys       int    `json:"deploys"`
+	PayloadServes int    `json:"payload_serves"`
+	Listings      int    `json:"listings"`
+}
+
+// FaultWindowStatus is one plan-declared fault window with its bounds.
+type FaultWindowStatus struct {
+	Fault   string    `json:"fault"`
+	Kind    string    `json:"kind"`
+	OpenAt  time.Time `json:"open_at"`
+	CloseAt time.Time `json:"close_at,omitempty"`
+	// Active is recomputed at snapshot time against the latest sim time.
+	Active bool `json:"active"`
+}
+
+// Snapshot is the JSON-ready dashboard state.
+type Snapshot struct {
+	Events     int64               `json:"events"`
+	Sim        time.Time           `json:"sim"`
+	Stage      string              `json:"stage"`
+	URLs       int                 `json:"urls"`
+	Detected   int                 `json:"detected"`
+	Engines    []EngineProgress    `json:"engines"`
+	Techniques []TechniqueProgress `json:"techniques"`
+	Faults     []FaultWindowStatus `json:"faults,omitempty"`
+	Injections int                 `json:"injections,omitempty"`
+}
+
+// NewProgress returns an empty aggregator.
+func NewProgress() *Progress {
+	return &Progress{
+		engines: make(map[string]*EngineProgress),
+		techs:   make(map[string]*TechniqueProgress),
+		urlTech: make(map[string]string),
+	}
+}
+
+func (p *Progress) engine(key string) *EngineProgress {
+	e := p.engines[key]
+	if e == nil {
+		e = &EngineProgress{Engine: key}
+		p.engines[key] = e
+		p.engOrder = append(p.engOrder, key)
+	}
+	return e
+}
+
+func (p *Progress) tech(name string) *TechniqueProgress {
+	t := p.techs[name]
+	if t == nil {
+		t = &TechniqueProgress{Technique: name}
+		p.techs[name] = t
+		p.techOrder = append(p.techOrder, name)
+	}
+	return t
+}
+
+// Observe folds one event into the aggregates.
+func (p *Progress) Observe(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events++
+	if ev.Sim.After(p.lastSim) {
+		p.lastSim = ev.Sim
+	}
+	switch ev.Kind {
+	case KindStageStart:
+		p.stage = ev.Stage
+	case KindDeploy:
+		p.urls++
+		p.tech(ev.Technique).Deploys++
+		p.urlTech[ev.URL] = ev.Technique
+	case KindReportSubmit:
+		p.engine(ev.Engine).Reports++
+	case KindCrawlVisit:
+		p.engine(ev.Engine).Visits++
+	case KindCrawlRetry:
+		p.engine(ev.Engine).Retries++
+	case KindPayloadServe:
+		p.tech(ev.Technique).PayloadServes++
+	case KindBlacklistAdd:
+		e := p.engine(ev.Engine)
+		if ev.Source == ev.Engine {
+			e.Listings++
+			p.detected++
+			if tech, ok := p.urlTech[ev.URL]; ok {
+				p.tech(tech).Listings++
+			}
+		} else {
+			e.Shared++
+		}
+	case KindSighting:
+		p.engine(ev.Engine).Sightings++
+	case KindFaultWindowOpen:
+		p.windows = append(p.windows, FaultWindowStatus{Fault: ev.Fault, Kind: ev.FaultKind, OpenAt: ev.Sim})
+	case KindFaultWindowClose:
+		for i := range p.windows {
+			if p.windows[i].Fault == ev.Fault && p.windows[i].CloseAt.IsZero() {
+				p.windows[i].CloseAt = ev.Sim
+				break
+			}
+		}
+	case KindFaultInjected:
+		p.injections++
+	}
+}
+
+// ObserveLine parses one journal line and folds it in.
+func (p *Progress) ObserveLine(line []byte) error {
+	ev, err := ParseEvent(line)
+	if err != nil {
+		return err
+	}
+	p.Observe(ev)
+	return nil
+}
+
+// Snapshot returns the current aggregates, rows in first-appearance order
+// (which for a study is submission-plan order).
+func (p *Progress) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := Snapshot{
+		Events:     p.events,
+		Sim:        p.lastSim,
+		Stage:      p.stage,
+		URLs:       p.urls,
+		Detected:   p.detected,
+		Injections: p.injections,
+	}
+	for _, key := range p.engOrder {
+		snap.Engines = append(snap.Engines, *p.engines[key])
+	}
+	for _, name := range p.techOrder {
+		snap.Techniques = append(snap.Techniques, *p.techs[name])
+	}
+	for _, w := range p.windows {
+		w.Active = !w.OpenAt.After(p.lastSim) && (w.CloseAt.IsZero() || w.CloseAt.After(p.lastSim))
+		snap.Faults = append(snap.Faults, w)
+	}
+	return snap
+}

@@ -1,0 +1,41 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ParseEvent decodes one journal line.
+func ParseEvent(line []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return ev, fmt.Errorf("journal: parsing event: %w", err)
+	}
+	return ev, nil
+}
+
+// ReadEvents parses a JSONL journal back into events — the analysis-side
+// counterpart of the Recorder, used by phishtrace and the tests.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := ParseEvent(line)
+		if err != nil {
+			return out, fmt.Errorf("journal: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("journal: reading journal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Writer serialises journal lines from N concurrent replica worlds into one
+// byte-identical stream: replica K's lines appear as one contiguous block,
+// blocks in replica order, whatever the worker count or completion order.
+//
+// Replica 0 (and, after it closes, the lowest-index unclosed replica)
+// streams straight through; later replicas buffer until every earlier one
+// has closed. Buffering is therefore bounded by how far completion order
+// runs ahead of replica order — at most (workers-1) replica blocks — and a
+// single-world run buffers nothing at all.
+//
+// A nil Writer accepts every call as a no-op.
+type Writer struct {
+	mu      sync.Mutex
+	out     io.Writer
+	next    int // lowest replica index not yet closed: its lines stream through
+	closed  map[int]bool
+	pending map[int][]byte
+	lines   int64
+	err     error
+}
+
+// NewWriter returns a journal writer streaming JSONL to out. Wrap out in a
+// bufio.Writer when writing to a file; the journal emits one Write per line.
+// A nil out yields a nil Writer.
+func NewWriter(out io.Writer) *Writer {
+	if out == nil {
+		return nil
+	}
+	return &Writer{out: out, closed: make(map[int]bool), pending: make(map[int][]byte)}
+}
+
+// write routes one rendered line. The caller's buffer is not retained.
+func (w *Writer) write(replica int, line []byte) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lines++
+	if replica == w.next {
+		w.emit(line)
+		return
+	}
+	w.pending[replica] = append(w.pending[replica], line...)
+}
+
+func (w *Writer) emit(line []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.out.Write(line); err != nil {
+		w.err = fmt.Errorf("journal: writing line: %w", err)
+	}
+}
+
+// CloseReplica declares that replica k will emit no further lines. When k is
+// the streaming replica, the ordered flush advances: each next replica's
+// buffered block is written out, chaining through already-closed replicas.
+// The replica runner calls this as each world finishes.
+func (w *Writer) CloseReplica(k int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed[k] = true
+	for w.closed[w.next] {
+		delete(w.closed, w.next)
+		w.next++
+		if buf, ok := w.pending[w.next]; ok {
+			w.emit(buf)
+			delete(w.pending, w.next)
+		}
+	}
+}
+
+// Flush writes any still-buffered replica blocks in replica order — the
+// end-of-run safety net for replicas that never closed (a cancelled study) —
+// and returns the first write error encountered, if any.
+func (w *Writer) Flush() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keys := make([]int, 0, len(w.pending))
+	for k := range w.pending {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		w.emit(w.pending[k])
+		delete(w.pending, k)
+	}
+	return w.err
+}
+
+// Lines reports how many lines have been accepted (streamed or buffered).
+func (w *Writer) Lines() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lines
+}
+
+// Err returns the first write error encountered, if any.
+func (w *Writer) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

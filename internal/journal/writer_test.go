@@ -1,0 +1,91 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func line(s string) []byte { return []byte(s + "\n") }
+
+func TestWriterReplicaOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+
+	// Three replica worlds emitting interleaved, completing out of order.
+	w.write(1, line("r1a"))
+	w.write(0, line("r0a"))
+	w.write(2, line("r2a"))
+	w.write(1, line("r1b"))
+	w.CloseReplica(2) // finishes first: must still print last
+	w.write(0, line("r0b"))
+	w.CloseReplica(0)
+	w.write(1, line("r1c"))
+	w.CloseReplica(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := "r0a\nr0b\nr1a\nr1b\nr1c\nr2a\n"
+	if got := buf.String(); got != want {
+		t.Errorf("stream order:\n got %q\nwant %q", got, want)
+	}
+	if w.Lines() != 6 {
+		t.Errorf("Lines = %d, want 6", w.Lines())
+	}
+}
+
+func TestWriterStreamsLowestOpenReplica(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.write(0, line("r0a"))
+	if buf.String() != "r0a\n" {
+		t.Errorf("replica 0 should stream through immediately, got %q", buf.String())
+	}
+	w.CloseReplica(0)
+	// After replica 0 closes, replica 1 becomes the streaming replica.
+	w.write(1, line("r1a"))
+	if buf.String() != "r0a\nr1a\n" {
+		t.Errorf("replica 1 should stream after 0 closes, got %q", buf.String())
+	}
+}
+
+func TestWriterFlushSafetyNet(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// A cancelled run: replicas 2 and 1 buffered, nothing ever closed.
+	w.write(2, line("r2a"))
+	w.write(1, line("r1a"))
+	w.write(1, line("r1b"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "r1a\nr1b\nr2a\n"
+	if got := buf.String(); got != want {
+		t.Errorf("flush order:\n got %q\nwant %q", got, want)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestWriterErrorSticks(t *testing.T) {
+	w := NewWriter(&failWriter{after: 1})
+	w.write(0, line("ok"))
+	w.write(0, line("fails"))
+	w.write(0, line("skipped"))
+	if w.Err() == nil {
+		t.Fatal("expected a write error")
+	}
+	if err := w.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Flush = %v, want the first write error", err)
+	}
+}

@@ -15,11 +15,17 @@ import (
 // aggregated snapshot and the Prometheus exposition (which additionally
 // rejects non-[a-z0-9_] name characters).
 //
+// The same rule covers journal event kinds: Recorder.Emit's kind is the
+// stable vocabulary phishtrace, the diff tool, and the dashboard key on. A
+// computed kind would fork that vocabulary per call site, so kinds too must
+// be constant lowercase snake_case strings (the journal.Kind* constants).
+//
 // Checked call sites: Counter, Gauge, Histogram, and Describe on
-// telemetry.Registry. Labels are not checked — label *values* are data.
+// telemetry.Registry, and Emit on journal.Recorder. Labels are not checked —
+// label *values* are data.
 var Metriclabel = &Analyzer{
 	Name: "metriclabel",
-	Doc:  "telemetry metric names must be constant lowercase snake_case strings",
+	Doc:  "telemetry metric names and journal event kinds must be constant lowercase snake_case strings",
 	Run:  runMetriclabel,
 }
 
@@ -38,7 +44,7 @@ func runMetriclabel(pass *Pass) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !metriclabelMethods[sel.Sel.Name] {
+			if !ok || (!metriclabelMethods[sel.Sel.Name] && sel.Sel.Name != "Emit") {
 				return true
 			}
 			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
@@ -46,7 +52,17 @@ func runMetriclabel(pass *Pass) {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() == nil || !isTelemetryRegistry(sig.Recv().Type()) {
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			// Which vocabulary is this call site naming into?
+			var what, where string
+			switch {
+			case metriclabelMethods[sel.Sel.Name] && isTelemetryRegistry(sig.Recv().Type()):
+				what, where = "metric name", "Registry."+sel.Sel.Name
+			case sel.Sel.Name == "Emit" && isJournalRecorder(sig.Recv().Type()):
+				what, where = "journal event kind", "Recorder.Emit"
+			default:
 				return true
 			}
 			if len(call.Args) == 0 {
@@ -55,12 +71,12 @@ func runMetriclabel(pass *Pass) {
 			nameArg := call.Args[0]
 			tv, ok := pass.Info.Types[nameArg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				pass.Reportf(nameArg.Pos(), "dynamic metric name passed to Registry.%s; names must be compile-time constants so families agree across replicas", sel.Sel.Name)
+				pass.Reportf(nameArg.Pos(), "dynamic %s passed to %s; names must be compile-time constants so families agree across replicas", what, where)
 				return true
 			}
 			name := constant.StringVal(tv.Value)
 			if !isSnakeCase(name) {
-				pass.Reportf(nameArg.Pos(), "metric name %q is not lowercase snake_case ([a-z0-9_], starting with a letter)", name)
+				pass.Reportf(nameArg.Pos(), "%s %q is not lowercase snake_case ([a-z0-9_], starting with a letter)", what, name)
 			}
 			return true
 		})
@@ -68,6 +84,14 @@ func runMetriclabel(pass *Pass) {
 }
 
 func isTelemetryRegistry(t types.Type) bool {
+	return isNamedType(t, "Registry", "areyouhuman/internal/telemetry")
+}
+
+func isJournalRecorder(t types.Type) bool {
+	return isNamedType(t, "Recorder", "areyouhuman/internal/journal")
+}
+
+func isNamedType(t types.Type, name, pkgPath string) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
@@ -76,7 +100,7 @@ func isTelemetryRegistry(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == "areyouhuman/internal/telemetry"
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
 }
 
 // isSnakeCase reports whether s matches ^[a-z][a-z0-9]*(_[a-z0-9]+)*$.

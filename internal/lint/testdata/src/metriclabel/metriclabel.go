@@ -1,11 +1,12 @@
 // Package metriclabelfix exercises the metriclabel analyzer: metric names
 // must be compile-time lowercase snake_case strings at every Registry call
-// site.
+// site, and journal event kinds the same at every Recorder.Emit site.
 package metriclabelfix
 
 import (
 	"fmt"
 
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/telemetry"
 )
 
@@ -46,10 +47,31 @@ func labelsAreData(reg *telemetry.Registry, engine string) {
 	reg.Counter("engine_probes_total", "engine", engine).Inc() // label values are data, not names
 }
 
+// Journal event kinds obey the same rule at Recorder.Emit sites.
+
+func dynamicKind(rec *journal.Recorder, stage string) {
+	rec.Emit("stage_"+stage, journal.Fields{}) // want `dynamic journal event kind passed to Recorder\.Emit`
+}
+
+func upperKind(rec *journal.Recorder) {
+	rec.Emit("CrawlVisit", journal.Fields{}) // want `journal event kind "CrawlVisit" is not lowercase snake_case`
+}
+
+func constKind(rec *journal.Recorder) {
+	rec.Emit(journal.KindDeploy, journal.Fields{URL: "https://x.example/p"}) // the Kind* constants are the sanctioned shape
+}
+
+func literalKind(rec *journal.Recorder) {
+	rec.Emit("custom_probe", journal.Fields{}) // snake_case literal
+}
+
 type fake struct{}
 
 func (fake) Counter(name string) fake { return fake{} }
 
+func (fake) Emit(kind string) {}
+
 func notARegistry(f fake) {
 	f.Counter("AnythingGoes") // a method merely named Counter on another type is not checked
+	f.Emit("AnythingGoes")    // likewise Emit on another type
 }

@@ -19,6 +19,7 @@ import (
 
 	"areyouhuman/internal/blacklist"
 	"areyouhuman/internal/chaos"
+	"areyouhuman/internal/journal"
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/telemetry"
@@ -61,6 +62,7 @@ type Sighting struct {
 type Monitor struct {
 	sched   *simclock.Scheduler
 	tel     *telemetry.Set
+	rec     *journal.Recorder
 	faults  FaultSource
 	seed    int64
 	backoff chaos.Backoff
@@ -83,6 +85,13 @@ func (m *Monitor) WithFaults(f FaultSource, seed int64) *Monitor {
 	m.faults = f
 	m.seed = seed
 	m.backoff = chaos.DefaultBackoff()
+	return m
+}
+
+// WithJournal records each first sighting as a journal event. Returns the
+// monitor for chaining.
+func (m *Monitor) WithJournal(rec *journal.Recorder) *Monitor {
+	m.rec = rec
 	return m
 }
 
@@ -250,6 +259,9 @@ func (m *Monitor) record(s Sighting) {
 				telemetry.String("url", s.URL),
 				telemetry.String("method", string(s.Method)))
 		}
+		m.rec.Emit(journal.KindSighting, journal.Fields{
+			URL: s.URL, Engine: s.Engine, Method: string(s.Method), Sim: s.SeenAt,
+		})
 	}
 }
 

@@ -180,6 +180,24 @@ func WithParallelism(workers int) Option {
 	return func(o *runOptions) error { o.parallel = workers; return nil }
 }
 
+// WithShardWorkers runs each world on the sharded scheduler with n workers:
+// the event queue is partitioned into host-keyed shards drained concurrently
+// in lock-stepped virtual-time windows (see internal/simclock). Every
+// observable output — journal, metrics, study tables — is byte-identical for
+// any n >= 1, including n = 1, so the worker count affects wall time only.
+// n = 0 (the default) keeps the classic serial scheduler, whose event
+// interleaving the calibrated paper claims were recorded under; n < 0 is an
+// error.
+func WithShardWorkers(n int) Option {
+	return func(o *runOptions) error {
+		if n < 0 {
+			return fmt.Errorf("shard workers must be >= 0, got %d", n)
+		}
+		o.cfg.ShardWorkers = n
+		return nil
+	}
+}
+
 // StudyResult is what Run produces. Exactly one of Results/Replicas is the
 // primary view: single runs fill Results; WithReplicas(n>1) fills Replicas.
 type StudyResult struct {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel|chaos]
-//	          [-seed N] [-replicas N] [-parallel P]
+//	          [-seed N] [-replicas N] [-parallel P] [-shard-workers W]
 //	          [-traffic-scale F] [-main-traffic N] [-nocache]
 //	          [-chaos plan.json] [-chaos-preset flaky|outage|degraded]
 //	          [-json out.json] [-trace out.jsonl] [-journal out.jsonl]
@@ -32,6 +32,11 @@
 // Replica 0 always reproduces the single-run output for the same -seed, and
 // results are bit-identical for any -parallel value. -replicas 1 is exactly
 // the plain single run.
+//
+// -shard-workers W (default 1) drains each world's event queue with W workers
+// over host-keyed shards in lock-stepped virtual-time windows (see
+// internal/simclock). Output — tables, journal, metrics — is byte-identical
+// for every W >= 1, so the flag affects wall time only; W < 1 is rejected.
 //
 // Observability: -trace streams every telemetry record (virtual-time spans
 // and events) as JSON Lines, -journal streams the URL lifecycle journal
@@ -63,6 +68,7 @@ import (
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/journal"
+	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/telemetry"
 )
 
@@ -84,6 +90,7 @@ func main() {
 		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default); the master seed when -replicas > 1")
 		replicas    = flag.Int("replicas", 1, "independent replicas of the full study (1 = plain single run)")
 		parallel    = flag.Int("parallel", 0, "worker goroutines for -replicas (0 = GOMAXPROCS); affects wall time only, never results")
+		shardW      = flag.Int("shard-workers", 1, "intra-world scheduler workers over host-keyed shards (>= 1); affects wall time only, never output")
 		scale       = flag.Float64("traffic-scale", 1, "crawler fleet volume scale (1 = Table 1 calibration)")
 		mainTraffic = flag.Int("main-traffic", 0, "fleet requests per URL in the main stage (0 = default 200)")
 		noCache     = flag.Bool("nocache", false, "disable the visit-path caches (DOM/scriptlet/render/site/kit); results are identical, only slower")
@@ -147,6 +154,13 @@ func main() {
 		journalWriter = journal.NewWriter(journalBuf)
 	}
 
+	shardWorkers, err := resolveShardWorkers(*shardW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishfarm:", err)
+		os.Exit(2)
+	}
+	opts.vlog("scheduler: %d shards, %d workers", simclock.DefaultShards, shardWorkers)
+
 	cfg := experiment.Config{
 		Seed:                 *seed,
 		TrafficScale:         *scale,
@@ -155,6 +169,7 @@ func main() {
 		Telemetry:            opts.tel,
 		Chaos:                plan,
 		Journal:              journalWriter,
+		ShardWorkers:         shardWorkers,
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
@@ -169,6 +184,7 @@ func main() {
 		err = run(f, cfg, opts)
 	}
 	if err == nil {
+		opts.logShardCounts()
 		err = opts.finish(traceBuf)
 	} else if traceBuf != nil {
 		traceBuf.Flush()
@@ -381,6 +397,41 @@ func run(f *core.Framework, cfg experiment.Config, opts options) error {
 		return funnel()
 	default:
 		return fmt.Errorf("unknown stage %q", opts.stage)
+	}
+}
+
+// ShardWorkersError reports an invalid -shard-workers value.
+type ShardWorkersError struct {
+	// N is the rejected value.
+	N int
+}
+
+func (e *ShardWorkersError) Error() string {
+	return fmt.Sprintf("-shard-workers must be >= 1, got %d", e.N)
+}
+
+// resolveShardWorkers validates the -shard-workers flag. phishfarm always
+// runs the sharded scheduler — one worker is the sequential baseline every
+// other worker count must match byte for byte — so zero and negative counts
+// are rejected rather than silently clamped.
+func resolveShardWorkers(n int) (int, error) {
+	if n < 1 {
+		return 0, &ShardWorkersError{N: n}
+	}
+	return n, nil
+}
+
+// logShardCounts narrates the per-shard event totals recorded by each
+// world's Close (verbose runs only; the counts are key-derived and therefore
+// identical for every -shard-workers value).
+func (o options) logShardCounts() {
+	if !o.verbose {
+		return
+	}
+	for _, p := range o.tel.M().Snapshot() {
+		if p.Name == experiment.MetricShardEvents {
+			o.vlog("shard %s: %.0f events", p.Labels["shard"], p.Value)
+		}
 	}
 }
 

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestResolveShardWorkersRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -8} {
+		got, err := resolveShardWorkers(n)
+		if err == nil {
+			t.Fatalf("resolveShardWorkers(%d) = %d, want error", n, got)
+		}
+		var swe *ShardWorkersError
+		if !errors.As(err, &swe) {
+			t.Fatalf("resolveShardWorkers(%d) error type %T, want *ShardWorkersError", n, err)
+		}
+		if swe.N != n {
+			t.Errorf("ShardWorkersError.N = %d, want %d", swe.N, n)
+		}
+		if !strings.Contains(err.Error(), ">= 1") {
+			t.Errorf("error %q should state the >= 1 requirement", err)
+		}
+	}
+}
+
+func TestResolveShardWorkersAcceptsPositive(t *testing.T) {
+	for _, n := range []int{1, 4, 64} {
+		got, err := resolveShardWorkers(n)
+		if err != nil || got != n {
+			t.Fatalf("resolveShardWorkers(%d) = %d, %v; want %d, nil", n, got, err, n)
+		}
+	}
+}

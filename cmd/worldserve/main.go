@@ -61,11 +61,16 @@ func main() {
 		study     = flag.Bool("study", false, "run the 105-URL main study live and serve /debug/study")
 		pace      = flag.Duration("study-pace", 5*time.Millisecond, "wall-clock pause per journal event in -study mode (0 = full speed)")
 		scale     = flag.Float64("traffic-scale", 0.02, "crawler fleet scale in -study mode")
+		shardW    = flag.Int("shard-workers", 0, "scheduler workers over host-keyed shards in -study mode (0 = classic serial scheduler); output is identical for every value")
 	)
 	flag.Parse()
 
+	if *shardW < 0 {
+		fmt.Fprintf(os.Stderr, "worldserve: -shard-workers must be >= 0, got %d\n", *shardW)
+		os.Exit(2)
+	}
 	if *study {
-		runStudyMode(*addr, *obs, *pace, *scale)
+		runStudyMode(*addr, *obs, *pace, *scale, *shardW)
 		return
 	}
 
@@ -114,7 +119,7 @@ func main() {
 // its lifecycle journal into the /debug/study dashboard, and serves only the
 // observability endpoints (the study world is single-threaded, so its virtual
 // hosts are not routable while it runs).
-func runStudyMode(addr string, obs bool, pace time.Duration, scale float64) {
+func runStudyMode(addr string, obs bool, pace time.Duration, scale float64, shardWorkers int) {
 	var set *telemetry.Set
 	if obs {
 		set = &telemetry.Set{Metrics: telemetry.NewRegistry()}
@@ -124,6 +129,7 @@ func runStudyMode(addr string, obs bool, pace time.Duration, scale float64) {
 		TrafficScale: scale,
 		Telemetry:    set,
 		Journal:      journal.NewWriter(srv.writer()),
+		ShardWorkers: shardWorkers,
 	})
 	go srv.run(world)
 

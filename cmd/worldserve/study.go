@@ -42,6 +42,10 @@ func newStudyServer(pace time.Duration) *studyServer {
 // run executes the main study on this goroutine and records the outcome.
 func (s *studyServer) run(world *experiment.World) {
 	res, err := world.RunMain()
+	// Close releases the scheduler and records Close-time metrics (the
+	// per-shard event counters) into the registry /metrics serves; the
+	// dashboard only reads the aggregates captured below.
+	world.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.done = true

@@ -38,6 +38,90 @@ type List struct {
 	mu      sync.RWMutex
 	entries map[string]Entry
 	lookups int64
+
+	// Sharded mode (see ShardBuffered): in-event additions stage on the
+	// adding shard and publish at window barriers, so cross-shard readers
+	// observe barrier-quantized state — independent of worker interleaving —
+	// while the adding shard reads its own writes, exactly like a serial run.
+	src    simclock.StampSource
+	shards []*shardPending
+}
+
+// shardPending is one shard's staged additions. Only the shard's draining
+// worker touches it during a window; the barrier publisher reads it with all
+// workers idle.
+type shardPending struct {
+	adds  []pendingAdd
+	index map[string]int
+}
+
+type pendingAdd struct {
+	entry Entry
+	stamp simclock.Stamp
+	idx   int
+}
+
+// ShardBuffered switches the list into barrier-buffered mode for sharded
+// execution: Add from inside an event stages on the event's shard (visible
+// to later same-shard readers immediately), and PublishPending — registered
+// as an OnBarrier callback — merges staged additions into the list in
+// (At, shard, seq) stamp order with first-source-wins semantics, so entry
+// sources and AddedAt are identical for any worker count.
+func (l *List) ShardBuffered(src simclock.StampSource, shards int) {
+	if src == nil || shards <= 0 {
+		return
+	}
+	l.src = src
+	l.shards = make([]*shardPending, shards)
+	for i := range l.shards {
+		l.shards[i] = &shardPending{index: make(map[string]int)}
+	}
+}
+
+// PublishPending merges every staged addition into the published list, in
+// stamp order. Call at a window barrier; a no-op in unbuffered mode.
+func (l *List) PublishPending() {
+	if l.shards == nil {
+		return
+	}
+	var all []pendingAdd
+	for _, sp := range l.shards {
+		all = append(all, sp.adds...)
+		sp.adds = sp.adds[:0]
+		for k := range sp.index {
+			delete(sp.index, k)
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].stamp == all[j].stamp {
+			return all[i].idx < all[j].idx
+		}
+		return all[i].stamp.Less(all[j].stamp)
+	})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range all {
+		if _, dup := l.entries[p.entry.URL]; dup {
+			continue
+		}
+		l.entries[p.entry.URL] = p.entry
+	}
+}
+
+// shardPendingFor returns the staging buffer for the event running on the
+// calling goroutine, or nil outside events / in unbuffered mode.
+func (l *List) shardPendingFor() (*shardPending, simclock.Stamp, bool) {
+	if l.shards == nil {
+		return nil, simclock.Stamp{}, false
+	}
+	stamp, ok := l.src.ExecStamp()
+	if !ok || stamp.Shard < 0 || stamp.Shard >= len(l.shards) {
+		return nil, simclock.Stamp{}, false
+	}
+	return l.shards[stamp.Shard], stamp, true
 }
 
 // NewList returns an empty list (clock defaults to simclock.Real).
@@ -88,6 +172,26 @@ func Canonicalize(raw string) string {
 // so AddedAt records first-seen time, as blacklist feeds do.
 func (l *List) Add(url, source string) bool {
 	key := Canonicalize(url)
+	if sp, stamp, ok := l.shardPendingFor(); ok {
+		if _, dup := sp.index[key]; dup {
+			return false
+		}
+		l.mu.RLock()
+		_, dup := l.entries[key]
+		l.mu.RUnlock()
+		if dup {
+			return false
+		}
+		// AddedAt is the event's exact virtual deadline — what a serial run
+		// records — not the publish-time clock position.
+		sp.index[key] = len(sp.adds)
+		sp.adds = append(sp.adds, pendingAdd{
+			entry: Entry{URL: key, AddedAt: stamp.At, Source: source},
+			stamp: stamp,
+			idx:   len(sp.adds),
+		})
+		return true
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, dup := l.entries[key]; dup {
@@ -103,12 +207,20 @@ func (l *List) Contains(url string) bool {
 	return ok
 }
 
-// Lookup returns the entry for url.
+// Lookup returns the entry for url. In sharded mode a reader sees the
+// published (barrier-quantized) list plus its own shard's staged additions —
+// read-your-writes for the URL's owning chain, deterministic deferral for
+// everyone else.
 func (l *List) Lookup(url string) (Entry, bool) {
 	key := Canonicalize(url)
 	l.mu.Lock()
 	l.lookups++
 	l.mu.Unlock()
+	if sp, _, ok := l.shardPendingFor(); ok {
+		if i, hit := sp.index[key]; hit {
+			return sp.adds[i].entry, true
+		}
+	}
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	e, ok := l.entries[key]

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"areyouhuman/internal/experiment"
+)
+
+// BenchmarkShardedWorld measures one main-experiment world on the sharded
+// scheduler at increasing worker counts. Unlike BenchmarkReplicaScaling this
+// parallelises *inside* a single world: the event queue is partitioned into
+// host-keyed shards drained concurrently in lock-stepped virtual-time
+// windows, so speedup is bounded by the window barrier and by how evenly the
+// 105 URL chains spread over the shards. On a single-core host all worker
+// counts measure the same. Results are recorded in BENCH_shardedworld.json
+// at the repo root.
+func BenchmarkShardedWorld(b *testing.B) {
+	base := experiment.Config{TrafficScale: 0.05, MainTrafficPerReport: 100}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shard-workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.ShardWorkers = workers
+				w := experiment.NewWorld(cfg)
+				res, err := w.RunMain()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalURLs != 105 {
+					b.Fatalf("got %d URLs, want 105", res.TotalURLs)
+				}
+				w.Close()
+			}
+		})
+	}
+}

@@ -213,6 +213,15 @@ func canonical(name string) string {
 	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(name)), ".")
 }
 
+// ShardKey returns the scheduler affinity key for a DNS name: the zone apex
+// it belongs to, in the same "host:<registrable>" form as simnet.ShardKey.
+// Event chains that mutate a zone (registration, removal, DNSSEC flips)
+// should be rooted with simclock.EventScheduler.OnKey on this key so they
+// serialize with the web-layer events for the same domain.
+func ShardKey(name string) string {
+	return "host:" + registrable(canonical(name))
+}
+
 // registrable maps a hostname to the zone apex it belongs to in this
 // simulation: the last two labels (e.g. www.shop.example.com → example.com).
 // Real DNS uses the public-suffix list; two labels suffice for the synthetic

@@ -8,7 +8,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"areyouhuman/internal/blacklist"
@@ -48,6 +50,10 @@ type Detection struct {
 	// ViaFormPath is true when the payload was reached by submitting a form
 	// (the session-bypass path).
 	ViaFormPath bool
+
+	// stamp orders detections deterministically under sharded execution
+	// (appends race across shards; Detections sorts by stamp).
+	stamp simclock.Stamp
 }
 
 // Engine is one running anti-phishing entity.
@@ -57,7 +63,7 @@ type Engine struct {
 	List    *blacklist.List
 
 	net   *simnet.Internet
-	sched *simclock.Scheduler
+	sched simclock.EventScheduler
 	mail  *report.MailSystem
 	abuse *report.AbuseNotifier
 	peers func(key string) *Engine
@@ -65,16 +71,20 @@ type Engine struct {
 
 	domCache *htmlmini.ParseCache
 	scripts  *scriptlet.ProgramCache
-	// judgeTr/judgeClient and the fleet client in traffic.go are reused across
-	// calls with a mutated SourceIP. Safe because a world's engines run on its
-	// single scheduler goroutine (the PR 2 concurrency model): no two requests
-	// from one engine are ever in flight at once.
-	judgeTr     *simnet.Transport
-	judgeClient *http.Client
-	fleetTr     *simnet.Transport
-	fleetClient *http.Client
+	// judgeTrs/judgeClients and the fleet clients in traffic.go are reused
+	// across calls with a mutated SourceIP — one instance per scheduler
+	// shard, indexed by the running event's shard, so no two in-flight
+	// requests ever share a transport. On the serial scheduler that
+	// degenerates to the single reused instance of the PR 2 model.
+	judgeTrs     []*simnet.Transport
+	judgeClients []*http.Client
+	fleetTrs     []*simnet.Transport
+	fleetClients []*http.Client
 
-	ipPool     []string
+	ipPool []string
+	// detMu guards detections: under sharded execution, share events append
+	// to a peer engine's slice from the sharing chain's shard.
+	detMu      sync.Mutex
 	detections []Detection
 	community  *communitySection // non-nil for community-verified engines
 	tel        *telemetry.Set
@@ -92,8 +102,11 @@ type Engine struct {
 
 // Deps wires an engine into the simulated world.
 type Deps struct {
-	Net   *simnet.Internet
-	Sched *simclock.Scheduler
+	Net *simnet.Internet
+	// Sched drives the engine's crawl pipeline. When it is sharded, the
+	// engine's blacklist switches to barrier-buffered publication and its
+	// HTTP clients become per-shard.
+	Sched simclock.EventScheduler
 	Mail  *report.MailSystem
 	// AbuseContact receives PhishLabs-style notifications for engines with
 	// NotifiesAbuse.
@@ -210,28 +223,61 @@ func New(p Profile, deps Deps) *Engine {
 	if len(e.ipPool) == 0 {
 		e.ipPool = []string{"198.18.0.1"}
 	}
-	e.judgeTr = &simnet.Transport{Net: deps.Net, Timeout: APITimeout}
-	e.judgeClient = &http.Client{
-		Transport: e.judgeTr,
-		CheckRedirect: func(req *http.Request, via []*http.Request) error {
-			return http.ErrUseLastResponse
-		},
+	shards := deps.Sched.Shards()
+	e.judgeTrs = make([]*simnet.Transport, shards)
+	e.judgeClients = make([]*http.Client, shards)
+	e.fleetTrs = make([]*simnet.Transport, shards)
+	e.fleetClients = make([]*http.Client, shards)
+	for i := 0; i < shards; i++ {
+		e.judgeTrs[i] = &simnet.Transport{Net: deps.Net, Timeout: APITimeout}
+		e.judgeClients[i] = &http.Client{
+			Transport: e.judgeTrs[i],
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		}
+		e.fleetTrs[i] = &simnet.Transport{Net: deps.Net, Timeout: APITimeout}
+		e.fleetClients[i] = &http.Client{
+			Transport: e.fleetTrs[i],
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		}
 	}
-	e.fleetTr = &simnet.Transport{Net: deps.Net, Timeout: APITimeout}
-	e.fleetClient = &http.Client{
-		Transport: e.fleetTr,
-		CheckRedirect: func(req *http.Request, via []*http.Request) error {
-			return http.ErrUseLastResponse
-		},
+	if deps.Sched.Sharded() {
+		e.List.ShardBuffered(deps.Sched, shards)
+		deps.Sched.OnBarrier(e.List.PublishPending)
 	}
 	return e
 }
 
-// Detections returns confirmed detections so far.
+// shardIdx is the running event's shard (0 between events and on the serial
+// scheduler) — the index into the per-shard client pools.
+func (e *Engine) shardIdx() int {
+	if stamp, ok := e.sched.ExecStamp(); ok {
+		return stamp.Shard
+	}
+	return 0
+}
+
+// Detections returns confirmed detections so far, in deterministic stamp
+// order (the serial execution order; under sharding, the virtual-time total
+// order regardless of worker count).
 func (e *Engine) Detections() []Detection {
+	e.detMu.Lock()
 	out := make([]Detection, len(e.detections))
 	copy(out, e.detections)
+	e.detMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].stamp.Less(out[j].stamp) })
 	return out
+}
+
+// recordDetection appends d stamped with the current event, under the lock.
+func (e *Engine) recordDetection(d Detection) {
+	d.stamp, _ = e.sched.ExecStamp()
+	e.detMu.Lock()
+	e.detections = append(e.detections, d)
+	e.detMu.Unlock()
 }
 
 // rng returns a deterministic generator scoped to this engine and a label
@@ -369,7 +415,7 @@ func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 		if !e.List.Add(rawURL, e.Profile.Key) {
 			return
 		}
-		e.detections = append(e.detections, Detection{
+		e.recordDetection(Detection{
 			URL: rawURL, CrawledAt: crawledAt, ListedAt: now, ViaFormPath: viaForm,
 		})
 		e.inst.detections.Inc()
@@ -429,7 +475,7 @@ func (e *Engine) share(rawURL string) {
 		}
 		e.sched.After(e.Profile.ShareDelay, e.Profile.Key+":share:"+key, func(now time.Time) {
 			if peer.List.Add(rawURL, "shared:"+e.Profile.Key) {
-				peer.detections = append(peer.detections, Detection{
+				peer.recordDetection(Detection{
 					URL: rawURL, CrawledAt: now, ListedAt: now,
 				})
 				e.inst.shares.Inc()
@@ -485,8 +531,9 @@ func (e *Engine) visit(rawURL string) (verdict, viaForm bool, err error) {
 // judge classifies a settled page under the engine's power, fetching
 // referenced resources with the engine's own client for fingerprinting.
 func (e *Engine) judge(page *browser.Page) bool {
-	e.judgeTr.SourceIP = e.pickIP(page.URL.String(), 1)
-	client := e.judgeClient
+	shard := e.shardIdx()
+	e.judgeTrs[shard].SourceIP = e.pickIP(page.URL.String(), 1)
+	client := e.judgeClients[shard]
 	fetch := func(res string) []byte {
 		rel, err := url.Parse(res)
 		if err != nil {

@@ -122,13 +122,14 @@ var fleetBufPool = sync.Pool{
 // Engine).
 func (e *Engine) get(ip, rawURL string) string {
 	e.inst.fleetRequests.Inc()
-	e.fleetTr.SourceIP = ip
+	shard := e.shardIdx()
+	e.fleetTrs[shard].SourceIP = ip
 	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
 	if err != nil {
 		return ""
 	}
 	req.Header.Set("User-Agent", e.Profile.UserAgent)
-	resp, err := e.fleetClient.Do(req)
+	resp, err := e.fleetClients[shard].Do(req)
 	if err != nil {
 		return ""
 	}

@@ -14,6 +14,7 @@ import (
 	"areyouhuman/internal/journal"
 	"areyouhuman/internal/monitor"
 	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/telemetry"
 )
 
@@ -164,7 +165,11 @@ func (w *World) RunMain() (*MainResults, error) {
 			dep := d
 			engineKey := p.engine
 			d.ReportedTo = engineKey // known at planning time; ReportTo restates it
-			w.Sched.After(time.Duration(next)*10*time.Minute, "report:"+engineKey, func(time.Time) {
+			// Root the report on the deployment domain's affinity key: the
+			// whole downstream chain (crawls, rechecks, listing, shares,
+			// fleet traffic) inherits the shard, so one URL's lifecycle is
+			// serial even when the world runs on many workers.
+			w.Sched.OnKey(simnet.ShardKey(dep.Domain)).After(time.Duration(next)*10*time.Minute, "report:"+engineKey, func(time.Time) {
 				w.ReportTo(dep, engineKey)
 			})
 			res.Deployments = append(res.Deployments, d)

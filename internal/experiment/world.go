@@ -85,6 +85,15 @@ type Config struct {
 	// are bit-identical for a fixed seed regardless of replica parallelism
 	// (see internal/journal).
 	Journal *journal.Writer
+	// ShardWorkers selects the scheduler. 0 keeps the classic serial
+	// Scheduler — the exact historical execution model every calibrated
+	// claim was recorded under. Any n >= 1 runs the world on the sharded
+	// scheduler with n workers: the event queue is partitioned into
+	// simclock.DefaultShards host-keyed shards drained concurrently in
+	// lock-stepped virtual-time windows, and all observable output (journal,
+	// metrics, study tables) is byte-identical for every n — including
+	// n = 1 — though not necessarily identical to the classic scheduler's.
+	ShardWorkers int
 }
 
 // DefaultSeed reproduces the paper's stochastic outcomes (see Config.Seed).
@@ -120,7 +129,9 @@ const ReporterAddress = "reporter@lab.example"
 type World struct {
 	Cfg   Config
 	Clock *simclock.SimClock
-	Sched *simclock.Scheduler
+	// Sched is the world's event scheduler: the classic serial Scheduler when
+	// Cfg.ShardWorkers is 0, the sharded one otherwise (see Config.ShardWorkers).
+	Sched simclock.EventScheduler
 	Net   *simnet.Internet
 	DNS   *dnssim.Server
 	WHOIS *whois.DB
@@ -151,16 +162,23 @@ type World struct {
 	rng             *rand.Rand
 	deployments     []*Deployment
 	instDeployments *telemetry.Counter
+	closed          bool
 }
 
 // NewWorld builds and wires a world.
 func NewWorld(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	clock := simclock.New(cfg.Start)
+	var sched simclock.EventScheduler
+	if cfg.ShardWorkers >= 1 {
+		sched = simclock.NewSharded(clock, simclock.ShardedConfig{Workers: cfg.ShardWorkers})
+	} else {
+		sched = simclock.NewScheduler(clock)
+	}
 	w := &World{
 		Cfg:   cfg,
 		Clock: clock,
-		Sched: simclock.NewScheduler(clock),
+		Sched: sched,
 		Net:   simnet.New(nil),
 		DNS:   dnssim.NewServer(),
 		WHOIS: whois.NewDB(),
@@ -177,6 +195,17 @@ func NewWorld(cfg Config) *World {
 	telemetry.ObserveScheduler(w.Sched, w.Tel)
 	w.Net.SetResolver(w.DNS)
 	w.Journal = journal.NewRecorder(cfg.Journal, cfg.Seed, cfg.Replica, clock)
+	if w.Sched.Sharded() {
+		// Barrier-buffered sinks: in-event output stages per shard and
+		// publishes in (At, shard, seq) stamp order at window barriers, so
+		// journal bytes and mail delivery order are pure functions of virtual
+		// time, independent of worker interleaving. The engines wire their
+		// blacklists the same way in engines.New.
+		w.Journal.ShardBuffer(stampAdapter{w.Sched}, w.Sched.Shards())
+		w.Sched.OnBarrier(w.Journal.FlushShards)
+		w.Mail.ShardBuffered(w.Sched, w.Sched.Shards())
+		w.Sched.OnBarrier(w.Mail.PublishPending)
+	}
 	w.Faults = chaos.NewInjector(cfg.Chaos, cfg.Seed, cfg.Start, cfg.Telemetry, w.Journal)
 	// Fault windows are plan-declared, so their open/close events are emitted
 	// up front with explicit virtual timestamps rather than scheduled — the
@@ -267,12 +296,37 @@ func (w *World) SetContext(ctx context.Context) {
 	w.Sched.SetInterrupt(ctx.Err)
 }
 
+// stampAdapter bridges simclock's ExecStamp to the journal's flat-tuple
+// Stamper (journal sits below simclock and cannot import its Stamp type).
+type stampAdapter struct{ s simclock.EventScheduler }
+
+func (a stampAdapter) ExecStamp() (time.Time, int, int64, bool) {
+	st, ok := a.s.ExecStamp()
+	return st.At, st.Shard, st.Seq, ok
+}
+
+// MetricShardEvents counts events executed per scheduler shard; recorded once
+// at Close, only for sharded worlds. Shard assignment is key-derived, so the
+// counts are identical for every worker count.
+const MetricShardEvents = "phish_sched_shard_events_total"
+
 // Close retires the world: the scheduler drops its pending events and rejects
 // new ones (see simclock.Scheduler.Close), so a finished replica holds no
 // timers or closures alive and a stray late callback cannot restart its
 // timeline. The world's results (deployments, engine lists, logs) stay
 // readable. Close is idempotent.
 func (w *World) Close() {
+	if !w.closed {
+		w.closed = true
+		if ss, ok := w.Sched.(*simclock.ShardedScheduler); ok && w.Tel.Enabled() {
+			if m := w.Tel.M(); m != nil {
+				m.Describe(MetricShardEvents, "Events executed per scheduler shard (sharded worlds only; recorded at Close).")
+				for shard, n := range ss.ShardEventCounts() {
+					m.Counter(MetricShardEvents, "shard", fmt.Sprintf("%d", shard)).Add(n)
+				}
+			}
+		}
+	}
 	w.Sched.Close()
 }
 

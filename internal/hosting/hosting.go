@@ -32,9 +32,12 @@ type Takedown struct {
 // AbuseDesk processes complaints arriving at the provider's abuse mailbox
 // and takes reported hosts offline after a grace period.
 type AbuseDesk struct {
-	Net   *simnet.Internet
-	Mail  *report.MailSystem
-	Sched *simclock.Scheduler
+	Net  *simnet.Internet
+	Mail *report.MailSystem
+	// Sched drives the desk's mailbox polls (driver-rooted, so shard 0 under
+	// sharded execution) and the takedown timers, which are rooted on the
+	// target host's affinity key so they serialize with that host's traffic.
+	Sched simclock.EventScheduler
 	// Address is the abuse mailbox the desk reads.
 	Address string
 	// Grace is the delay between first notification and takedown; zero
@@ -92,7 +95,7 @@ func (d *AbuseDesk) poll(now time.Time) {
 	for _, host := range newHosts {
 		host := host
 		notifiedAt := now
-		d.Sched.After(grace, "abuse-takedown", func(at time.Time) {
+		d.Sched.OnKey(simnet.ShardKey(host)).After(grace, "abuse-takedown", func(at time.Time) {
 			if d.Net.TakeDown(host) {
 				d.mu.Lock()
 				d.takedowns = append(d.takedowns, Takedown{Host: host, NotifiedAt: notifiedAt, DownAt: at})

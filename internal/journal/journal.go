@@ -25,6 +25,7 @@
 package journal
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -150,6 +151,91 @@ type Recorder struct {
 	mu  sync.Mutex
 	seq uint64
 	buf []byte
+
+	// Sharded mode (see ShardBuffer): in-event emits are staged per shard —
+	// each slice touched only by the shard's draining worker — and flushed
+	// in stamp order at window barriers, so sequence numbers and line order
+	// depend on virtual time, never on worker interleaving.
+	stamper   Stamper
+	shardBufs []*shardBuf
+}
+
+// Stamper reports the (virtual time, shard, shard-local sequence) stamp of
+// the event executing on the calling goroutine, if any. It mirrors
+// simclock.StampSource as a flat tuple because journal sits below every
+// simulation package and cannot import simclock.
+type Stamper interface {
+	ExecStamp() (at time.Time, shard int, seq int64, ok bool)
+}
+
+// pendingEvent is one staged emit: everything needed to render the line at
+// the barrier, plus the stamp that orders it.
+type pendingEvent struct {
+	kind         string
+	f            Fields
+	sim          time.Time
+	span, parent uint64
+	qual         string
+	repeat       bool
+
+	at    time.Time
+	shard int
+	eseq  int64
+	idx   int // emit index within (shard, event), ordering same-event emits
+}
+
+type shardBuf struct {
+	pending []pendingEvent
+}
+
+// ShardBuffer switches the recorder into barrier-buffered mode for sharded
+// execution. Emits from inside events (src reports a stamp) are staged on
+// the emitting shard's buffer; FlushShards — registered by the world as an
+// OnBarrier callback — sorts the staged events by (At, shard, seq, emit
+// index) and only then assigns sequence numbers and renders, so the journal
+// stays byte-identical for any worker count. Emits outside events (deploys,
+// stage markers, fault windows) keep the immediate path.
+func (r *Recorder) ShardBuffer(src Stamper, shards int) {
+	if r == nil || src == nil || shards <= 0 {
+		return
+	}
+	r.stamper = src
+	r.shardBufs = make([]*shardBuf, shards)
+	for i := range r.shardBufs {
+		r.shardBufs[i] = &shardBuf{}
+	}
+}
+
+// FlushShards renders every staged event in stamp order. Call at a window
+// barrier (no events in flight); a no-op in unbuffered mode.
+func (r *Recorder) FlushShards() {
+	if r == nil || r.shardBufs == nil {
+		return
+	}
+	var all []pendingEvent
+	for _, sb := range r.shardBufs {
+		all = append(all, sb.pending...)
+		sb.pending = sb.pending[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if !a.at.Equal(b.at) {
+			return a.at.Before(b.at)
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		if a.eseq != b.eseq {
+			return a.eseq < b.eseq
+		}
+		return a.idx < b.idx
+	})
+	for _, p := range all {
+		r.render(p.span, p.parent, p.kind, p.qual, p.repeat, p.sim, p.f)
+	}
 }
 
 // NewRecorder returns a recorder for one world: seed scopes the ID scheme,
@@ -286,6 +372,24 @@ func (r *Recorder) Emit(kind string, f Fields) {
 		sim = r.clock.Now()
 	}
 
+	if r.stamper != nil {
+		if at, shard, eseq, ok := r.stamper.ExecStamp(); ok && shard >= 0 && shard < len(r.shardBufs) {
+			sb := r.shardBufs[shard]
+			sb.pending = append(sb.pending, pendingEvent{
+				kind: kind, f: f, sim: sim, span: span, parent: parent,
+				qual: qual, repeat: repeat,
+				at: at, shard: shard, eseq: eseq, idx: len(sb.pending),
+			})
+			return
+		}
+	}
+	r.render(span, parent, kind, qual, repeat, sim, f)
+}
+
+// render assigns the next sequence number and writes one line. The sequence
+// counter lives here so both the immediate path and the barrier flush share
+// one numbering.
+func (r *Recorder) render(span, parent uint64, kind, qual string, repeat bool, sim time.Time, f Fields) {
 	r.mu.Lock()
 	seq := r.seq
 	r.seq++

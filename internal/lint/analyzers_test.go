@@ -37,6 +37,23 @@ func TestMetriclabelFixture(t *testing.T) {
 	RunFixture(t, []*Analyzer{Metriclabel}, ".", "metriclabel", "areyouhuman/internal/fixture/metriclabel")
 }
 
+func TestShardsafeFixture(t *testing.T) {
+	t.Parallel()
+	// The fixture impersonates internal/engines — shardsafe only polices the
+	// packages whose event chains run on sharded workers.
+	RunFixture(t, []*Analyzer{Shardsafe}, ".", "shardsafe", "areyouhuman/internal/engines")
+}
+
+func TestShardsafeSkipsUnscopedPackages(t *testing.T) {
+	t.Parallel()
+	// The same violating sources outside the sharded packages are clean:
+	// closures there only ever run on the serial scheduler goroutine.
+	pkg := loadFixture(t, "shardsafe", "areyouhuman/internal/weblog")
+	if got := RunAnalyzers(pkg, []*Analyzer{Shardsafe}); len(got) != 0 {
+		t.Errorf("shardsafe outside scope reported %d findings, want 0: %v", len(got), got)
+	}
+}
+
 func TestAnnotationsFixture(t *testing.T) {
 	t.Parallel()
 	// Runs the full suite so every annotation token resolves.

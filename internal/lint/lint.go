@@ -11,9 +11,10 @@
 // later.
 //
 // Analyzers ship in this package (Analyzers lists them all): detrand,
-// maporder, clockwait, seedpure, and metriclabel. Each is documented on its
-// own Analyzer value; DESIGN.md §11 describes the suite, the
-// //phishlint:<token> annotation escape hatch, and how to add an analyzer.
+// maporder, clockwait, seedpure, metriclabel, and shardsafe. Each is
+// documented on its own Analyzer value; DESIGN.md §11 describes the suite,
+// the //phishlint:<token> annotation escape hatch, and how to add an
+// analyzer.
 package lint
 
 import (
@@ -43,7 +44,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in reporting order.
-var Analyzers = []*Analyzer{Detrand, Maporder, Clockwait, Seedpure, Metriclabel}
+var Analyzers = []*Analyzer{Detrand, Maporder, Clockwait, Seedpure, Metriclabel, Shardsafe}
 
 // A Pass carries one analyzer's view of one package.
 type Pass struct {

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shardsafe polices the packages whose event chains may run on the sharded
+// scheduler (internal/simclock.ShardedScheduler): engines, experiment,
+// monitor, and hosting. Under sharded execution, closures scheduled with
+// At/After/Every run on worker goroutines — concurrently with events on
+// other shards — so a closure that writes a variable captured from its
+// enclosing scope is a data race unless something serialises it (the shard
+// key, a barrier-buffered sink, or a mutex plus deterministic ordering by
+// ExecStamp).
+//
+// Shardsafe flags direct writes (assignment, compound assignment, ++/--) to
+// captured identifiers inside any function literal passed to an At/After/
+// Every call. Field writes through captured pointers are deliberately out of
+// scope — they are almost always mutex-guarded struct state, and flagging
+// them would drown the signal. A legitimate capture (a driver-rooted stage
+// closure that runs before the scheduler, or shard-0-serial setup) is
+// suppressed with `//phishlint:allow shardsafe <why>` — the annotation's
+// mandatory justification is the audit trail.
+var Shardsafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "event closures in sharded packages must not write captured variables",
+	Run:  runShardsafe,
+}
+
+// shardsafeScope lists the packages whose event closures may execute on
+// sharded worker goroutines. Fixture packages fabricate one of these paths
+// to exercise the analyzer.
+var shardsafeScope = map[string]bool{
+	"areyouhuman/internal/engines":    true,
+	"areyouhuman/internal/experiment": true,
+	"areyouhuman/internal/monitor":    true,
+	"areyouhuman/internal/hosting":    true,
+}
+
+// schedulerMethods are the scheduling entry points whose func-literal
+// arguments become events. Matching is by method name: within the scoped
+// packages these names always mean the simclock scheduling contract (the
+// Scheduler, the ShardedScheduler, or a shard Handle).
+var schedulerMethods = map[string]bool{"At": true, "After": true, "Every": true}
+
+func runShardsafe(pass *Pass) {
+	if !shardsafeScope[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !schedulerMethods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkEventClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkEventClosure reports writes to variables the closure captures from an
+// enclosing scope.
+func checkEventClosure(pass *Pass, lit *ast.FuncLit) {
+	flag := func(id *ast.Ident, how string) {
+		if id.Name == "_" {
+			return
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return
+		}
+		// Declared inside the closure (including its parameters) is fine;
+		// anything declared before the literal's body is captured state.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return
+		}
+		pass.Reportf(id.Pos(), "event closure %s captured variable %q; under sharded execution this races across shards — stage it per shard, publish at a barrier, or order it by ExecStamp", how, id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					flag(id, "writes")
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				flag(id, "increments")
+			}
+		}
+		return true
+	})
+}

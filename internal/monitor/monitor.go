@@ -22,6 +22,7 @@ import (
 	"areyouhuman/internal/journal"
 	"areyouhuman/internal/report"
 	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
 	"areyouhuman/internal/telemetry"
 )
 
@@ -60,7 +61,7 @@ type Sighting struct {
 
 // Monitor watches engine blacklists for a set of URLs.
 type Monitor struct {
-	sched   *simclock.Scheduler
+	sched   simclock.EventScheduler
 	tel     *telemetry.Set
 	rec     *journal.Recorder
 	faults  FaultSource
@@ -72,9 +73,35 @@ type Monitor struct {
 	polls     int
 }
 
-// New returns a monitor driving its probes off sched.
-func New(sched *simclock.Scheduler) *Monitor {
+// New returns a monitor driving its probes off sched. Each watch chain is
+// rooted on the watched URL's host affinity key (see root), so under a
+// sharded scheduler the poll load — by far the world's largest event
+// population — spreads across shards instead of serialising on shard 0.
+func New(sched simclock.EventScheduler) *Monitor {
 	return &Monitor{sched: sched, sightings: make(map[string]map[string]Sighting)}
+}
+
+// root returns the scheduling handle a watch on url rides: the URL's host
+// affinity key, the same one the report chain is rooted on — so a URL's
+// probes serialise with its own lifecycle, and what a probe observes (its
+// own shard's staged blacklist additions plus barrier-published state) is a
+// pure function of virtual time, identical for every worker count.
+func (m *Monitor) root(url string) simclock.Handle {
+	return m.sched.OnKey(simnet.ShardKey(hostOf(url)))
+}
+
+// hostOf extracts the host from a URL without needing it to parse fully.
+func hostOf(rawURL string) string {
+	s := rawURL
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '?' || s[i] == '#' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // WithFaults subjects the monitor's probes to a fault source: probes against
@@ -184,7 +211,7 @@ func (m *Monitor) watchList(url, engine string, list *blacklist.List, method Met
 			m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: method})
 		}
 	}
-	m.sched.Every(interval, "monitor:"+engine,
+	m.root(url).Every(interval, "monitor:"+engine,
 		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
 		func(now time.Time) { probe(now, 1) })
 }
@@ -193,7 +220,7 @@ func (m *Monitor) watchList(url, engine string, list *blacklist.List, method Met
 // notifications mentioning url.
 func (m *Monitor) WatchMail(url, engine, mailbox string, mail *report.MailSystem, until time.Time) {
 	pollc := m.pollCounter(engine, MethodMail)
-	m.sched.Every(PollInterval, "monitor:mail:"+engine,
+	m.root(url).Every(PollInterval, "monitor:mail:"+engine,
 		func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
 		func(now time.Time) {
 			m.mu.Lock()
@@ -232,10 +259,13 @@ func (m *Monitor) WatchScreenshots(url, engine string, visit func() bool, until 
 			m.record(Sighting{URL: url, Engine: engine, SeenAt: now, Method: MethodScreenshot})
 		}
 	}
-	m.sched.Every(screenshotFastInterval, "monitor:screenshot-fast:"+engine,
+	h := m.root(url)
+	h.Every(screenshotFastInterval, "monitor:screenshot-fast:"+engine,
 		func(now time.Time) bool { return now.After(fastEnd) || now.After(until) || m.seen(url, engine) },
 		shoot)
-	m.sched.At(fastEnd, "monitor:screenshot-slow-start:"+engine, func(time.Time) {
+	h.At(fastEnd, "monitor:screenshot-slow-start:"+engine, func(time.Time) {
+		// Scheduling from inside the event stays on the caller's shard, so
+		// the slow cadence inherits the URL's affinity.
 		m.sched.Every(screenshotSlowInterval, "monitor:screenshot-slow:"+engine,
 			func(now time.Time) bool { return now.After(until) || m.seen(url, engine) },
 			shoot)

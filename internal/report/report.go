@@ -11,6 +11,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -104,6 +105,18 @@ type MailSystem struct {
 	mu    sync.Mutex
 	boxes map[string][]Mail
 	sent  int
+
+	// Sharded mode (see ShardBuffered): in-event sends stage per shard and
+	// deliver at window barriers in stamp order, so inbox ordering is
+	// independent of worker interleaving.
+	src    simclock.StampSource
+	shards [][]pendingMail
+}
+
+type pendingMail struct {
+	mail  Mail
+	stamp simclock.Stamp
+	idx   int
 }
 
 // NewMailSystem returns an empty mail system.
@@ -114,9 +127,59 @@ func NewMailSystem(clock simclock.Clock) *MailSystem {
 	return &MailSystem{clock: clock, boxes: make(map[string][]Mail)}
 }
 
-// Send delivers a message to the recipient's inbox.
+// ShardBuffered switches the mail system into barrier-buffered mode for
+// sharded execution: Send from inside an event stages the message on the
+// sending shard, and PublishPending — registered as an OnBarrier callback —
+// delivers staged mail in (At, shard, seq) stamp order. Inbox consumers (the
+// monitoring pipeline, the abuse desk) poll on event cadences far coarser
+// than a window, so barrier-deferred delivery is invisible to them while
+// inbox order becomes a pure function of virtual time.
+func (m *MailSystem) ShardBuffered(src simclock.StampSource, shards int) {
+	if src == nil || shards <= 0 {
+		return
+	}
+	m.src = src
+	m.shards = make([][]pendingMail, shards)
+}
+
+// PublishPending delivers every staged message in stamp order. Call at a
+// window barrier; a no-op in unbuffered mode.
+func (m *MailSystem) PublishPending() {
+	if m.shards == nil {
+		return
+	}
+	var all []pendingMail
+	for i := range m.shards {
+		all = append(all, m.shards[i]...)
+		m.shards[i] = m.shards[i][:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].stamp == all[j].stamp {
+			return all[i].idx < all[j].idx
+		}
+		return all[i].stamp.Less(all[j].stamp)
+	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range all {
+		m.boxes[p.mail.To] = append(m.boxes[p.mail.To], p.mail)
+		m.sent++
+	}
+}
+
+// Send delivers a message to the recipient's inbox (at the next barrier, in
+// sharded mode).
 func (m *MailSystem) Send(from, to, subject, body string) Mail {
 	mail := Mail{From: from, To: strings.ToLower(to), Subject: subject, Body: body, At: m.clock.Now()}
+	if m.shards != nil {
+		if stamp, ok := m.src.ExecStamp(); ok && stamp.Shard >= 0 && stamp.Shard < len(m.shards) {
+			m.shards[stamp.Shard] = append(m.shards[stamp.Shard], pendingMail{mail: mail, stamp: stamp, idx: len(m.shards[stamp.Shard])})
+			return mail
+		}
+	}
 	m.mu.Lock()
 	m.boxes[mail.To] = append(m.boxes[mail.To], mail)
 	m.sent++

@@ -60,6 +60,14 @@ type Scheduler struct {
 	// them, so a steady-state simulation allocates no Event structs. A plain
 	// slice suffices — the scheduler is single-goroutine by contract.
 	free []*Event
+	// cur is the stamp of the event currently executing (curOK while inside
+	// its Run), so sinks can ask ExecStamp on either scheduler flavour.
+	cur   Stamp
+	curOK bool
+	// barriers are OnBarrier callbacks, fired at the end of every Run for
+	// parity with the sharded barrier protocol (sinks are unbuffered on the
+	// serial scheduler, so these are cheap no-op flushes).
+	barriers []func()
 }
 
 // EventObserver sees every executed event: its name, virtual deadline, the
@@ -138,19 +146,15 @@ func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) 
 // Every schedules fn to run every interval until the predicate until returns
 // true (checked before each run). A nil until runs forever (bounded only by
 // the Run horizon).
+//
+// Both until and fn observe the tick's nominal deadline — start + k*interval
+// — not the clock's position when the tick happens to execute. The two can
+// differ when a horizon truncation ends a Run (the trailing AdvanceTo moves
+// the clock to the horizon) or when the caller advances the clock directly
+// before resuming; deriving the observed time from the schedule instead
+// keeps the cadence and the until cutoff identical in either case.
 func (s *Scheduler) Every(interval time.Duration, name string, until func(now time.Time) bool, fn func(now time.Time)) {
-	if interval <= 0 {
-		panic(fmt.Sprintf("simclock: non-positive interval %v for %q", interval, name))
-	}
-	var tick func(now time.Time)
-	tick = func(now time.Time) {
-		if until != nil && until(now) {
-			return
-		}
-		fn(now)
-		s.After(interval, name, tick)
-	}
-	s.After(interval, name, tick)
+	scheduleEvery(s, s.clock.Now(), interval, name, until, fn)
 }
 
 // Run drains the event queue, advancing the clock to each event's deadline,
@@ -174,6 +178,7 @@ func (s *Scheduler) Run(horizon time.Time) int {
 		}
 		heap.Pop(&s.queue)
 		s.clock.AdvanceTo(next.At)
+		s.cur, s.curOK = Stamp{At: next.At, Seq: next.seq}, true
 		if s.observe != nil {
 			start := time.Now()
 			next.Run(s.clock.Now())
@@ -181,6 +186,7 @@ func (s *Scheduler) Run(horizon time.Time) int {
 		} else {
 			next.Run(s.clock.Now())
 		}
+		s.curOK = false
 		ran++
 		// Recycle after Run returns; nothing may hold an *Event across its
 		// execution (events are internal to the scheduler).
@@ -191,6 +197,9 @@ func (s *Scheduler) Run(horizon time.Time) int {
 		s.clock.AdvanceTo(horizon)
 	}
 	s.ran += ran
+	for _, fn := range s.barriers {
+		fn()
+	}
 	return ran
 }
 
@@ -226,3 +235,44 @@ func (s *Scheduler) Dropped() int { return s.dropped }
 // Err returns nil, or an error wrapping ErrClosed describing the first event
 // scheduled after Close.
 func (s *Scheduler) Err() error { return s.err }
+
+// The sharding surface, degraded to the serial case so worlds can be wired
+// against EventScheduler regardless of mode: one shard, one worker, every
+// key on shard 0, and the serial execution order (At, seq) reported as
+// stamps (At, 0, seq).
+
+// Sharded reports false: this scheduler is the serial event loop.
+func (s *Scheduler) Sharded() bool { return false }
+
+// Shards returns 1.
+func (s *Scheduler) Shards() int { return 1 }
+
+// Workers returns 1.
+func (s *Scheduler) Workers() int { return 1 }
+
+// ShardFor maps every key to shard 0.
+func (s *Scheduler) ShardFor(string) int { return 0 }
+
+// OnKey returns the scheduler itself: with a single shard, affinity is moot.
+func (s *Scheduler) OnKey(string) Handle { return s }
+
+// OnShard returns the scheduler itself (shard must be 0).
+func (s *Scheduler) OnShard(shard int) Handle {
+	if shard != 0 {
+		panic(fmt.Sprintf("simclock: shard %d out of range [0,1)", shard))
+	}
+	return s
+}
+
+// OnBarrier registers fn to run at the end of every Run, mirroring the
+// sharded barrier so sink wiring is mode-independent.
+func (s *Scheduler) OnBarrier(fn func()) { s.barriers = append(s.barriers, fn) }
+
+// ExecStamp reports the stamp (At, 0, seq) of the event currently executing,
+// or ok=false between events.
+func (s *Scheduler) ExecStamp() (Stamp, bool) {
+	if !s.curOK {
+		return Stamp{}, false
+	}
+	return s.cur, true
+}

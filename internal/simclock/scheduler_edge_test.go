@@ -1,0 +1,156 @@
+package simclock
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Every's until predicate and fn must observe the tick's nominal deadline
+// even when the clock has been advanced past it — a horizon truncation ends
+// Run with a trailing AdvanceTo, and a caller may advance the clock directly
+// before resuming. Before the fix the tick observed the (later) clock
+// position, so an until cutoff between the deadline and the clock position
+// ended the series one tick early and the cadence drifted.
+func TestEveryObservesTickTimeAcrossHorizonTruncation(t *testing.T) {
+	t.Parallel()
+	clock := New(Epoch)
+	s := NewScheduler(clock)
+	end := Epoch.Add(45 * time.Minute)
+	var ticks []time.Time
+	s.Every(10*time.Minute, "tick", func(now time.Time) bool {
+		return now.After(end)
+	}, func(now time.Time) {
+		ticks = append(ticks, now)
+	})
+	// Truncate the run between ticks, then advance the clock past the next
+	// deadline before resuming — the tick at +40m now executes "late".
+	s.Run(Epoch.Add(35 * time.Minute))
+	clock.AdvanceTo(Epoch.Add(47 * time.Minute))
+	s.RunFor(2 * time.Hour)
+
+	want := []time.Time{
+		Epoch.Add(10 * time.Minute),
+		Epoch.Add(20 * time.Minute),
+		Epoch.Add(30 * time.Minute),
+		Epoch.Add(40 * time.Minute),
+	}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks (%v), want %d — the +40m tick must run (40m <= until cutoff 45m) and the +50m one must not", len(ticks), ticks, len(want))
+	}
+	for i := range want {
+		if !ticks[i].Equal(want[i]) {
+			t.Errorf("tick %d observed %v, want nominal deadline %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+// A recurring tick whose reschedule lands on a closed scheduler must take
+// the defined drop path: counted by Dropped, first drop remembered by Err,
+// and nothing resurrected.
+func TestEveryRescheduleOntoClosedSchedulerIsDropped(t *testing.T) {
+	t.Parallel()
+	s := NewScheduler(New(Epoch))
+	fired := 0
+	s.Every(time.Minute, "tick", nil, func(now time.Time) {
+		fired++
+		if fired == 3 {
+			// Closing from inside an event models a world torn down by a
+			// callback; the tick's own reschedule is the late scheduling.
+			s.Close()
+		}
+	})
+	s.RunFor(10 * time.Minute)
+	if fired != 3 {
+		t.Fatalf("fired %d ticks, want 3", fired)
+	}
+	if s.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want exactly the tick reschedule", s.Dropped())
+	}
+	if !errors.Is(s.Err(), ErrClosed) {
+		t.Errorf("Err = %v, want ErrClosed", s.Err())
+	}
+}
+
+// At with a deadline already in the past is clamped to the current virtual
+// time and runs immediately, after same-time events scheduled earlier.
+func TestAtPastDeadlineClampsToNow(t *testing.T) {
+	t.Parallel()
+	clock := New(Epoch)
+	s := NewScheduler(clock)
+	clock.AdvanceTo(Epoch.Add(time.Hour))
+	var order []string
+	var ranAt time.Time
+	s.At(clock.Now(), "same-time", func(now time.Time) { order = append(order, "same-time") })
+	s.At(Epoch.Add(10*time.Minute), "past", func(now time.Time) {
+		order = append(order, "past")
+		ranAt = now
+	})
+	s.RunFor(time.Minute)
+	if len(order) != 2 || order[0] != "same-time" || order[1] != "past" {
+		t.Fatalf("execution order %v, want [same-time past] (clamp preserves FIFO among same-time events)", order)
+	}
+	if !ranAt.Equal(Epoch.Add(time.Hour)) {
+		t.Errorf("past event ran at %v, want clamped to %v", ranAt, Epoch.Add(time.Hour))
+	}
+}
+
+// The interrupt check runs before events at stride multiples; a cancellation
+// landing exactly on a stride boundary must stop the run at that boundary,
+// with no extra event executed.
+func TestInterruptFiresExactlyOnStrideBoundary(t *testing.T) {
+	t.Parallel()
+	s := NewScheduler(New(Epoch))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.SetInterrupt(ctx.Err)
+	ran := 0
+	for i := 0; i < 3*interruptStride; i++ {
+		s.At(Epoch.Add(time.Duration(i+1)*time.Second), "ev", func(now time.Time) {
+			ran++
+			if ran == interruptStride {
+				cancel() // observed by the check before event interruptStride+1
+			}
+		})
+	}
+	got := s.RunFor(time.Hour)
+	if got != interruptStride || ran != interruptStride {
+		t.Fatalf("ran %d events (Run reported %d), want exactly one stride %d", ran, got, interruptStride)
+	}
+	if !errors.Is(s.InterruptErr(), context.Canceled) {
+		t.Fatalf("InterruptErr = %v, want context.Canceled", s.InterruptErr())
+	}
+}
+
+// Close must release the free list: recycled events are zeroed after running,
+// but the free list itself would otherwise pin the backing array (and the
+// last Run closure set into it before zeroing is reachable until then). After
+// Close, a closure's referent must be collectable.
+func TestCloseReleasesFreeListClosures(t *testing.T) {
+	t.Parallel()
+	s := NewScheduler(New(Epoch))
+	type big struct{ payload [1 << 16]byte }
+	leaked := &big{}
+	collected := make(chan struct{})
+	runtime.SetFinalizer(leaked, func(*big) { close(collected) })
+	s.At(Epoch.Add(time.Second), "holds-big", func(now time.Time) {
+		_ = leaked.payload[0]
+	})
+	s.RunFor(time.Minute) // event ran and was recycled to the free list
+	leaked = nil
+	s.Close()
+	deadline := time.After(2 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("closure referent not collected after Close — free list leaks Run closures")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,745 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements deterministic intra-world parallelism: a single
+// world's event queue partitioned into shards executed by a worker pool in
+// lock-stepped virtual-time windows (DESIGN.md §13).
+//
+// The contract is byte-identity across worker counts, not across modes: a
+// sharded run produces the same journal, metrics, and tables for any Workers
+// value (including 1), because every source of order is derived from virtual
+// time and per-shard sequence numbers, never from goroutine interleaving.
+//   - Events carry a Stamp (At, Shard, Seq); shard-local execution order is
+//     the heap order (At, Seq), identical regardless of which worker drains
+//     the shard or when.
+//   - A window [W, W+Window) is drained concurrently across shards, then all
+//     workers synchronize at a barrier. Within a window, shards share nothing:
+//     an event may only mutate state owned by its own shard or state behind
+//     a published-at-barrier buffer (journal, blacklists, mail).
+//   - Cross-shard sends go through per-shard mailboxes. Deliveries are
+//     deferred to the barrier and merged in (At, source shard, source seq,
+//     send index) order — a total order independent of worker scheduling —
+//     before receiving fresh destination sequence numbers.
+//   - The clock never moves during a window. Event functions receive their
+//     exact virtual deadline as now, and SimClock.Now() observes the running
+//     event's deadline through the exec hook, so timestamps match what a
+//     serial scheduler would produce.
+
+// Stamp locates one executed event in a scheduler's deterministic total
+// order: its virtual deadline, owning shard, and shard-local sequence number.
+// Stamps order buffered side effects (journal entries, blacklist additions,
+// mail) so publication order is independent of worker count.
+type Stamp struct {
+	At    time.Time
+	Shard int
+	Seq   int64
+}
+
+// Less orders stamps by (At, Shard, Seq) — the scheduler's total event order.
+func (s Stamp) Less(o Stamp) bool {
+	if !s.At.Equal(o.At) {
+		return s.At.Before(o.At)
+	}
+	if s.Shard != o.Shard {
+		return s.Shard < o.Shard
+	}
+	return s.Seq < o.Seq
+}
+
+// A StampSource reports the stamp of the event currently executing on the
+// calling goroutine, if any. Barrier-buffered sinks take one to tag entries.
+type StampSource interface {
+	ExecStamp() (Stamp, bool)
+}
+
+// A Handle schedules events with a fixed shard affinity. Scheduling through
+// a handle obtained from OnKey pins the event chain — the event and
+// everything it transitively schedules — to the key's shard.
+type Handle interface {
+	// At schedules fn at the given virtual time (past times are clamped).
+	At(at time.Time, name string, fn func(now time.Time))
+	// After schedules fn d after the current virtual time.
+	After(d time.Duration, name string, fn func(now time.Time))
+	// Every schedules fn every interval until the predicate returns true.
+	Every(interval time.Duration, name string, until func(now time.Time) bool, fn func(now time.Time))
+}
+
+// EventScheduler is the scheduling contract shared by the serial Scheduler
+// and the ShardedScheduler, so worlds can be wired against either.
+//
+// The sharding surface degrades gracefully on the serial scheduler: one
+// shard, one worker, every key mapping to shard 0, and ExecStamp reporting
+// (At, 0, Seq) of the running event.
+type EventScheduler interface {
+	Handle
+	StampSource
+	// Clock returns the clock this scheduler drives.
+	Clock() *SimClock
+	// Run drains events up to horizon (zero = unbounded); RunFor is Run at
+	// now+d. Both return the number of events executed.
+	Run(horizon time.Time) int
+	RunFor(d time.Duration) int
+	Len() int
+	Executed() int
+	Close()
+	Closed() bool
+	Dropped() int
+	Err() error
+	SetInterrupt(fn func() error)
+	InterruptErr() error
+	Observe(fn EventObserver)
+	// Sharded reports whether this scheduler runs the windowed shard
+	// protocol (even with one worker). Sinks use it to pick buffered mode.
+	Sharded() bool
+	// Shards is the number of event-queue partitions; Workers the number of
+	// goroutines draining them. Workers affects wall time only.
+	Shards() int
+	Workers() int
+	// ShardFor maps an affinity key (canonically "host:<registrable domain>")
+	// to its shard.
+	ShardFor(key string) int
+	// OnKey returns a Handle pinning event chains to ShardFor(key).
+	OnKey(key string) Handle
+	// OnShard returns a Handle pinning event chains to the given shard.
+	OnShard(shard int) Handle
+	// OnBarrier registers fn to run at every window barrier (and at the end
+	// of every Run), on the driving goroutine with no events in flight.
+	// Sinks flush their per-shard buffers here. Callbacks run in
+	// registration order and must not schedule events.
+	OnBarrier(fn func())
+}
+
+// ShardFor is the key-to-shard map shared by both schedulers: FNV-1a folded
+// through a splitmix64 finalizer (the same avalanche family as
+// core.SplitSeed), so nearby keys land on independent shards and the mapping
+// is identical on every platform.
+func shardFor(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return int(h % uint64(shards))
+}
+
+// scheduleEvery is the shared Every implementation: ticks track their own
+// nominal deadline so the until predicate and fn observe the tick time
+// consistently even when a horizon truncation or an external AdvanceTo moves
+// the clock past a deadline before the tick runs. The cadence never drifts:
+// tick k always observes start + (k+1)*interval.
+func scheduleEvery(h Handle, start time.Time, interval time.Duration, name string, until func(now time.Time) bool, fn func(now time.Time)) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive interval %v for %q", interval, name))
+	}
+	next := start.Add(interval)
+	var tick func(time.Time)
+	tick = func(time.Time) {
+		at := next
+		if until != nil && until(at) {
+			return
+		}
+		fn(at)
+		next = next.Add(interval)
+		h.At(next, name, tick)
+	}
+	h.At(next, name, tick)
+}
+
+// Defaults for ShardedConfig zero fields.
+const (
+	// DefaultShards fixes the partition count independently of Workers, so
+	// shard assignment — and therefore output — is identical at any
+	// parallelism.
+	DefaultShards = 8
+	// DefaultWindow is the lock-step quantum. Five virtual minutes is well
+	// under every feedback latency in the study (crawl delays, poll
+	// cadences), so cross-shard barrier deferral stays invisible, while
+	// windows remain wide enough to batch useful parallel work.
+	DefaultWindow = 5 * time.Minute
+)
+
+// ShardedConfig parameterises NewSharded. Zero fields take the defaults
+// (DefaultShards, one worker, DefaultWindow).
+type ShardedConfig struct {
+	Shards  int
+	Workers int
+	Window  time.Duration
+}
+
+// mailEntry is one cross-shard send awaiting delivery at the barrier.
+type mailEntry struct {
+	at       time.Time
+	name     string
+	fn       func(now time.Time)
+	srcShard int
+	srcSeq   int64
+	sendIdx  int
+}
+
+// shardState is one event-queue partition. Its queue, seq, free list, and
+// ran counter are touched only by the worker currently draining it (or by
+// the driver between windows); the mailbox is the one concurrently written
+// field and has its own lock.
+type shardState struct {
+	id    int
+	queue eventHeap
+	seq   int64
+	ran   int64
+	free  []*Event
+
+	mu      sync.Mutex
+	mailbox []mailEntry
+}
+
+// execCtx is the identity of the event currently running on a worker.
+type execCtx struct {
+	sh    *shardState
+	at    time.Time
+	seq   int64
+	sends int
+}
+
+// workerCtx is one worker goroutine's slot in the gid map. Only its own
+// goroutine reads or writes exec.
+type workerCtx struct {
+	exec *execCtx
+}
+
+// ShardedScheduler executes one world's events on a pool of workers in
+// lock-stepped virtual-time windows, with output byte-identical for any
+// worker count. It implements EventScheduler; see the file comment for the
+// protocol and DESIGN.md §13 for the determinism argument.
+//
+// Like the serial Scheduler, all driving methods (Run, Close, At outside
+// events, …) belong to a single goroutine. Event functions run on pool
+// workers; scheduling from inside an event is routed by the calling
+// goroutine's execution context.
+type ShardedScheduler struct {
+	clock   *SimClock
+	window  time.Duration
+	shards  []*shardState
+	workers int
+
+	// gidCtx maps worker goroutine ids to their contexts. Built once before
+	// the first window and read-only after, so lookups are lock-free.
+	gidCtx  map[uint64]*workerCtx
+	work    chan *shardState
+	wg      sync.WaitGroup
+	poolUp  bool
+	running atomic.Bool
+
+	// windowEnd and limit are set by the driver before dispatching a window
+	// and read by workers during it (ordered by the work-channel send).
+	windowEnd time.Time
+	limit     time.Time
+
+	onBarrier []func()
+	observe   EventObserver
+
+	ran     int
+	closed  bool
+	dropped int
+	err     error
+
+	interrupt func() error
+	intMu     sync.Mutex
+	intErr    error
+}
+
+// NewSharded returns a ShardedScheduler driving clock. Worker goroutines are
+// started lazily on the first Run and stopped by Close.
+func NewSharded(clock *SimClock, cfg ShardedConfig) *ShardedScheduler {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	s := &ShardedScheduler{clock: clock, window: cfg.Window, workers: cfg.Workers}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shardState{id: i})
+	}
+	// Let SimClock.Now() observe the running event's exact deadline, so
+	// in-event timestamps match a serial execution instead of the window
+	// floor.
+	clock.setExecHook(s.execAt)
+	return s
+}
+
+// gid returns the calling goroutine's id, parsed from the runtime.Stack
+// header ("goroutine N [running]:"). Workers resolve their execution context
+// through it; the id is stable for a goroutine's lifetime.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	frame := buf[:n]
+	const prefix = "goroutine "
+	if len(frame) <= len(prefix) {
+		return 0
+	}
+	frame = frame[len(prefix):]
+	i := 0
+	for i < len(frame) && frame[i] != ' ' {
+		i++
+	}
+	id, _ := strconv.ParseUint(string(frame[:i]), 10, 64)
+	return id
+}
+
+// exec returns the execution context of the event running on the calling
+// goroutine, or nil outside events. The running flag short-circuits the gid
+// parse on the driver path between windows.
+func (s *ShardedScheduler) exec() *execCtx {
+	if !s.running.Load() {
+		return nil
+	}
+	if w := s.gidCtx[gid()]; w != nil {
+		return w.exec
+	}
+	return nil
+}
+
+func (s *ShardedScheduler) execAt() (time.Time, bool) {
+	if ec := s.exec(); ec != nil {
+		return ec.at, true
+	}
+	return time.Time{}, false
+}
+
+// ExecStamp reports the stamp of the event currently executing on the
+// calling goroutine.
+func (s *ShardedScheduler) ExecStamp() (Stamp, bool) {
+	ec := s.exec()
+	if ec == nil {
+		return Stamp{}, false
+	}
+	return Stamp{At: ec.at, Shard: ec.sh.id, Seq: ec.seq}, true
+}
+
+// push enqueues on sh with a fresh shard-local sequence number. The caller
+// must own sh (its draining worker, or the driver between windows).
+func (s *ShardedScheduler) push(sh *shardState, at time.Time, name string, fn func(now time.Time)) {
+	sh.seq++
+	var ev *Event
+	if n := len(sh.free); n > 0 {
+		ev = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+	} else {
+		ev = new(Event)
+	}
+	*ev = Event{At: at, Name: name, Run: fn, seq: sh.seq}
+	heap.Push(&sh.queue, ev)
+}
+
+// schedule routes one event. target < 0 means "the caller's shard": the
+// running event's shard from a worker, shard 0 from the driver. From a
+// worker, a cross-shard target goes through the destination mailbox and is
+// delivered at the barrier, clamped to the window end so no shard ever
+// receives work inside a window it is already draining.
+func (s *ShardedScheduler) schedule(target int, at time.Time, name string, fn func(now time.Time)) {
+	if fn == nil {
+		panic("simclock: nil event func")
+	}
+	if ec := s.exec(); ec != nil {
+		if at.Before(ec.at) {
+			at = ec.at
+		}
+		if target < 0 || target == ec.sh.id {
+			s.push(ec.sh, at, name, fn)
+			return
+		}
+		if at.Before(s.windowEnd) {
+			at = s.windowEnd
+		}
+		dst := s.shards[target]
+		ec.sends++
+		dst.mu.Lock()
+		dst.mailbox = append(dst.mailbox, mailEntry{at: at, name: name, fn: fn, srcShard: ec.sh.id, srcSeq: ec.seq, sendIdx: ec.sends})
+		dst.mu.Unlock()
+		return
+	}
+	if s.closed {
+		s.dropped++
+		if s.err == nil {
+			s.err = fmt.Errorf("%w: dropped event %q", ErrClosed, name)
+		}
+		return
+	}
+	if now := s.clock.Now(); at.Before(now) {
+		at = now
+	}
+	if target < 0 {
+		target = 0
+	}
+	s.push(s.shards[target], at, name, fn)
+}
+
+// At schedules fn on the caller's shard (shard 0 outside events).
+func (s *ShardedScheduler) At(at time.Time, name string, fn func(now time.Time)) {
+	s.schedule(-1, at, name, fn)
+}
+
+// After schedules fn d after the current virtual time on the caller's shard.
+func (s *ShardedScheduler) After(d time.Duration, name string, fn func(now time.Time)) {
+	s.schedule(-1, s.clock.Now().Add(d), name, fn)
+}
+
+// Every schedules fn every interval on the caller's shard; see
+// Scheduler.Every for tick-time semantics.
+func (s *ShardedScheduler) Every(interval time.Duration, name string, until func(now time.Time) bool, fn func(now time.Time)) {
+	scheduleEvery(s, s.clock.Now(), interval, name, until, fn)
+}
+
+// shardHandle pins scheduling to one shard.
+type shardHandle struct {
+	s     *ShardedScheduler
+	shard int
+}
+
+func (h shardHandle) At(at time.Time, name string, fn func(now time.Time)) {
+	h.s.schedule(h.shard, at, name, fn)
+}
+
+func (h shardHandle) After(d time.Duration, name string, fn func(now time.Time)) {
+	h.s.schedule(h.shard, h.s.clock.Now().Add(d), name, fn)
+}
+
+func (h shardHandle) Every(interval time.Duration, name string, until func(now time.Time) bool, fn func(now time.Time)) {
+	scheduleEvery(h, h.s.clock.Now(), interval, name, until, fn)
+}
+
+// Sharded reports true: this scheduler runs the windowed shard protocol.
+func (s *ShardedScheduler) Sharded() bool { return true }
+
+// Shards returns the partition count.
+func (s *ShardedScheduler) Shards() int { return len(s.shards) }
+
+// Workers returns the pool size. It affects wall time only, never output.
+func (s *ShardedScheduler) Workers() int { return s.workers }
+
+// ShardFor maps an affinity key to its shard.
+func (s *ShardedScheduler) ShardFor(key string) int { return shardFor(key, len(s.shards)) }
+
+// OnKey returns a Handle pinning event chains to ShardFor(key).
+func (s *ShardedScheduler) OnKey(key string) Handle { return s.OnShard(s.ShardFor(key)) }
+
+// OnShard returns a Handle pinning event chains to the given shard.
+func (s *ShardedScheduler) OnShard(shard int) Handle {
+	if shard < 0 || shard >= len(s.shards) {
+		panic(fmt.Sprintf("simclock: shard %d out of range [0,%d)", shard, len(s.shards)))
+	}
+	return shardHandle{s: s, shard: shard}
+}
+
+// OnBarrier registers a barrier callback; see EventScheduler.OnBarrier.
+func (s *ShardedScheduler) OnBarrier(fn func()) { s.onBarrier = append(s.onBarrier, fn) }
+
+// Observe installs fn as the event observer (nil disables). In sharded mode
+// the observer is called concurrently from pool workers and must be
+// goroutine-safe; queueDepth is the depth of the event's own shard.
+func (s *ShardedScheduler) Observe(fn EventObserver) { s.observe = fn }
+
+// Clock returns the clock this scheduler drives.
+func (s *ShardedScheduler) Clock() *SimClock { return s.clock }
+
+// SetInterrupt installs a cancellation check polled every interruptStride
+// events on each worker; fn must be safe for concurrent use (context.Err
+// is). Semantics otherwise match Scheduler.SetInterrupt.
+func (s *ShardedScheduler) SetInterrupt(fn func() error) { s.interrupt = fn }
+
+// InterruptErr returns the error that interrupted Run, if any.
+func (s *ShardedScheduler) InterruptErr() error {
+	s.intMu.Lock()
+	defer s.intMu.Unlock()
+	return s.intErr
+}
+
+func (s *ShardedScheduler) setIntErr(err error) {
+	s.intMu.Lock()
+	if s.intErr == nil {
+		s.intErr = err
+	}
+	s.intMu.Unlock()
+}
+
+// ensurePool starts the workers and builds the gid map. Workers register
+// their goroutine ids over a channel before the map is published, so the map
+// is immutable by the time any window is dispatched.
+func (s *ShardedScheduler) ensurePool() {
+	if s.poolUp {
+		return
+	}
+	s.work = make(chan *shardState)
+	s.gidCtx = make(map[uint64]*workerCtx, s.workers)
+	type reg struct {
+		id uint64
+		w  *workerCtx
+	}
+	regc := make(chan reg)
+	for i := 0; i < s.workers; i++ {
+		go func() {
+			w := &workerCtx{}
+			regc <- reg{id: gid(), w: w}
+			for sh := range s.work {
+				s.drain(sh, w)
+				s.wg.Done()
+			}
+		}()
+	}
+	for i := 0; i < s.workers; i++ {
+		r := <-regc
+		s.gidCtx[r.id] = r.w
+	}
+	s.poolUp = true
+}
+
+// drain runs sh's events with deadlines inside the current window (and
+// horizon), in (At, seq) order, on the calling worker.
+func (s *ShardedScheduler) drain(sh *shardState, w *workerCtx) {
+	ec := &execCtx{sh: sh}
+	w.exec = ec
+	defer func() { w.exec = nil }()
+	n := 0
+	for len(sh.queue) > 0 {
+		next := sh.queue[0]
+		if !next.At.Before(s.windowEnd) {
+			break
+		}
+		if !s.limit.IsZero() && next.At.After(s.limit) {
+			break
+		}
+		if s.interrupt != nil && n%interruptStride == 0 {
+			if err := s.interrupt(); err != nil {
+				s.setIntErr(err)
+				break
+			}
+		}
+		heap.Pop(&sh.queue)
+		ec.at, ec.seq, ec.sends = next.At, next.seq, 0
+		// Events receive their exact deadline as now — identical to a
+		// serial execution, where the clock advances to each deadline.
+		if s.observe != nil {
+			start := time.Now()
+			next.Run(next.At)
+			s.observe(next.Name, next.At, time.Since(start), len(sh.queue))
+		} else {
+			next.Run(next.At)
+		}
+		n++
+		sh.ran++
+		*next = Event{}
+		sh.free = append(sh.free, next)
+	}
+}
+
+// mergeMailboxes delivers deferred cross-shard sends at the barrier, in
+// (At, source shard, source seq, send index) order — a total order fixed by
+// virtual time, so destination sequence numbers are identical for any worker
+// count.
+func (s *ShardedScheduler) mergeMailboxes() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		pending := sh.mailbox
+		sh.mailbox = nil
+		sh.mu.Unlock()
+		if len(pending) == 0 {
+			continue
+		}
+		sort.Slice(pending, func(i, j int) bool {
+			a, b := pending[i], pending[j]
+			if !a.at.Equal(b.at) {
+				return a.at.Before(b.at)
+			}
+			if a.srcShard != b.srcShard {
+				return a.srcShard < b.srcShard
+			}
+			if a.srcSeq != b.srcSeq {
+				return a.srcSeq < b.srcSeq
+			}
+			return a.sendIdx < b.sendIdx
+		})
+		for _, m := range pending {
+			s.push(sh, m.at, m.name, m.fn)
+		}
+	}
+}
+
+// nextAt returns the earliest queued deadline across shards.
+func (s *ShardedScheduler) nextAt() (time.Time, bool) {
+	var at time.Time
+	ok := false
+	for _, sh := range s.shards {
+		if len(sh.queue) == 0 {
+			continue
+		}
+		if h := sh.queue[0].At; !ok || h.Before(at) {
+			at = h
+			ok = true
+		}
+	}
+	return at, ok
+}
+
+func (s *ShardedScheduler) totalRan() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += int(sh.ran)
+	}
+	return n
+}
+
+// Run drains windows until the queue is empty or the next event lies beyond
+// horizon, then advances the clock to horizon and fires a final barrier so
+// sinks are flushed even when no window ran. It returns the number of events
+// executed.
+func (s *ShardedScheduler) Run(horizon time.Time) int {
+	if s.closed || s.InterruptErr() != nil {
+		return 0
+	}
+	s.ensurePool()
+	ran0 := s.totalRan()
+	for {
+		if s.interrupt != nil {
+			if err := s.interrupt(); err != nil {
+				s.setIntErr(err)
+				break
+			}
+		}
+		next, ok := s.nextAt()
+		if !ok {
+			break
+		}
+		if !horizon.IsZero() && next.After(horizon) {
+			break
+		}
+		s.windowEnd = next.Add(s.window)
+		s.limit = horizon
+		s.clock.AdvanceTo(next)
+		var busy []*shardState
+		for _, sh := range s.shards {
+			if len(sh.queue) == 0 {
+				continue
+			}
+			head := sh.queue[0].At
+			if head.Before(s.windowEnd) && (horizon.IsZero() || !head.After(horizon)) {
+				busy = append(busy, sh)
+			}
+		}
+		s.running.Store(true)
+		s.wg.Add(len(busy))
+		for _, sh := range busy {
+			s.work <- sh
+		}
+		s.wg.Wait()
+		s.running.Store(false)
+		s.mergeMailboxes()
+		for _, fn := range s.onBarrier {
+			fn()
+		}
+		if s.InterruptErr() != nil {
+			break
+		}
+		end := s.windowEnd
+		if !horizon.IsZero() && horizon.Before(end) {
+			end = horizon
+		}
+		s.clock.AdvanceTo(end)
+	}
+	if !horizon.IsZero() && s.InterruptErr() == nil {
+		s.clock.AdvanceTo(horizon)
+	}
+	for _, fn := range s.onBarrier {
+		fn()
+	}
+	s.ran = s.totalRan()
+	return s.ran - ran0
+}
+
+// RunFor drains events for d of virtual time from now.
+func (s *ShardedScheduler) RunFor(d time.Duration) int {
+	return s.Run(s.clock.Now().Add(d))
+}
+
+// Len reports the number of queued events across all shards.
+func (s *ShardedScheduler) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.queue)
+	}
+	return n
+}
+
+// Executed reports the total number of events run so far.
+func (s *ShardedScheduler) Executed() int { return s.totalRan() }
+
+// ShardEventCounts returns the number of events executed per shard, for
+// operator visibility (phishfarm -v). The slice is a copy.
+func (s *ShardedScheduler) ShardEventCounts() []int64 {
+	counts := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		counts[i] = sh.ran
+	}
+	return counts
+}
+
+// Close stops the worker pool, releases every pending event and mailbox
+// entry, and makes later scheduling take the ErrClosed drop path. Idempotent;
+// driver goroutine only.
+func (s *ShardedScheduler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.poolUp {
+		close(s.work)
+		s.poolUp = false
+	}
+	s.clock.setExecHook(nil)
+	for _, sh := range s.shards {
+		sh.queue = nil
+		sh.free = nil
+		sh.mailbox = nil
+	}
+	s.onBarrier = nil
+}
+
+// Closed reports whether Close has been called.
+func (s *ShardedScheduler) Closed() bool { return s.closed }
+
+// Dropped reports how many events were scheduled after Close (and discarded).
+func (s *ShardedScheduler) Dropped() int { return s.dropped }
+
+// Err returns nil, or an error wrapping ErrClosed describing the first event
+// scheduled after Close.
+func (s *ShardedScheduler) Err() error { return s.err }
+
+// Interface conformance.
+var (
+	_ EventScheduler = (*Scheduler)(nil)
+	_ EventScheduler = (*ShardedScheduler)(nil)
+)

@@ -1,0 +1,293 @@
+package simclock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardWorkload drives a synthetic mixed workload — keyed root chains,
+// unkeyed roots, cross-shard sends, recurring ticks, barrier-buffered
+// output — and returns a transcript ordered purely by stamps. Identical
+// transcripts across worker counts is the scheduler's core contract.
+func shardWorkload(t *testing.T, workers int) string {
+	t.Helper()
+	clock := New(Epoch)
+	s := NewSharded(clock, ShardedConfig{Shards: 4, Workers: workers, Window: 5 * time.Minute})
+	defer s.Close()
+
+	type rec struct {
+		stamp Stamp
+		line  string
+	}
+	buf := make([][]rec, s.Shards())
+	var out []string
+	s.OnBarrier(func() {
+		var all []rec
+		for i := range buf {
+			all = append(all, buf[i]...)
+			buf[i] = buf[i][:0]
+		}
+		// Insertion sort by stamp: small windows, and keeps the test free of
+		// sort-package noise.
+		for i := 1; i < len(all); i++ {
+			for j := i; j > 0 && all[j].stamp.Less(all[j-1].stamp); j-- {
+				all[j], all[j-1] = all[j-1], all[j]
+			}
+		}
+		for _, r := range all {
+			out = append(out, r.line)
+		}
+	})
+	emit := func(format string, args ...any) {
+		stamp, ok := s.ExecStamp()
+		if !ok {
+			t.Fatalf("emit outside event")
+		}
+		buf[stamp.Shard] = append(buf[stamp.Shard], rec{stamp, fmt.Sprintf("%s s%d q%d ", stamp.At.Format("15:04:05"), stamp.Shard, stamp.Seq) + fmt.Sprintf(format, args...)})
+	}
+
+	hosts := []string{"alpha.example", "bravo.example", "charlie.example", "delta.example", "echo.example", "foxtrot.example"}
+	for i, host := range hosts {
+		host := host
+		h := s.OnKey("host:" + host)
+		// Root chains at staggered times; each chain schedules follow-ups on
+		// its own shard and one cross-shard send.
+		h.At(Epoch.Add(time.Duration(i)*90*time.Second), "visit:"+host, func(now time.Time) {
+			emit("visit %s", host)
+			s.After(45*time.Second, "revisit:"+host, func(now time.Time) {
+				emit("revisit %s", host)
+			})
+			peer := hosts[(i+1)%len(hosts)]
+			s.OnKey("host:"+peer).After(30*time.Second, "xshard:"+host, func(now time.Time) {
+				emit("xshard %s->%s", host, peer)
+			})
+		})
+		h.Every(7*time.Minute, "tick:"+host, func(now time.Time) bool {
+			return now.After(Epoch.Add(40 * time.Minute))
+		}, func(now time.Time) {
+			emit("tick %s", host)
+		})
+	}
+	// Unkeyed root (driver context) lands on shard 0.
+	s.After(10*time.Minute, "unkeyed", func(now time.Time) {
+		emit("unkeyed")
+		if stamp, _ := s.ExecStamp(); stamp.Shard != 0 {
+			t.Errorf("unkeyed root ran on shard %d, want 0", stamp.Shard)
+		}
+	})
+	s.RunFor(time.Hour)
+	if err := s.Err(); err != nil {
+		t.Fatalf("scheduler error: %v", err)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestShardedByteIdenticalAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	want := shardWorkload(t, 1)
+	if want == "" {
+		t.Fatal("workload produced no output")
+	}
+	for _, workers := range []int{2, 4, 9} {
+		if got := shardWorkload(t, workers); got != want {
+			t.Errorf("workers=%d transcript differs from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s", workers, want, workers, got)
+		}
+	}
+}
+
+func TestShardedEventsSeeExactDeadline(t *testing.T) {
+	t.Parallel()
+	clock := New(Epoch)
+	s := NewSharded(clock, ShardedConfig{Shards: 4, Workers: 2, Window: 10 * time.Minute})
+	defer s.Close()
+	// Two events inside one window: the second must observe its own deadline
+	// through now, ExecStamp, and Clock().Now(), not the window floor.
+	at := Epoch.Add(7 * time.Minute)
+	s.OnKey("a").At(Epoch.Add(time.Minute), "first", func(now time.Time) {})
+	s.OnKey("a").At(at, "second", func(now time.Time) {
+		if !now.Equal(at) {
+			t.Errorf("now = %v, want %v", now, at)
+		}
+		if got := s.Clock().Now(); !got.Equal(at) {
+			t.Errorf("Clock().Now() = %v, want exact deadline %v", got, at)
+		}
+		if stamp, ok := s.ExecStamp(); !ok || !stamp.At.Equal(at) {
+			t.Errorf("ExecStamp = %v, %v; want at %v", stamp, ok, at)
+		}
+	})
+	s.RunFor(time.Hour)
+}
+
+func TestShardedCrossShardSendDeferredToBarrier(t *testing.T) {
+	t.Parallel()
+	clock := New(Epoch)
+	s := NewSharded(clock, ShardedConfig{Shards: 4, Workers: 1, Window: 5 * time.Minute})
+	defer s.Close()
+	// Find two keys on different shards.
+	a, b := "k0", ""
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if s.ShardFor(k) != s.ShardFor(a) {
+			b = k
+			break
+		}
+	}
+	var deliveredAt time.Time
+	sendAt := Epoch.Add(time.Minute)
+	s.OnKey(a).At(sendAt, "send", func(now time.Time) {
+		// Nominal delivery 1s later is inside the current window, so it must
+		// be clamped to the window end.
+		s.OnKey(b).After(time.Second, "recv", func(now time.Time) {
+			deliveredAt = now
+		})
+	})
+	s.RunFor(time.Hour)
+	windowEnd := sendAt.Add(5 * time.Minute)
+	if !deliveredAt.Equal(windowEnd) {
+		t.Errorf("cross-shard delivery at %v, want clamped to window end %v", deliveredAt, windowEnd)
+	}
+}
+
+func TestShardedRunsSameEventsAsSerial(t *testing.T) {
+	t.Parallel()
+	// The same chain-structured workload on the serial Scheduler and the
+	// sharded one executes the same event multiset (order may differ across
+	// shards, never within a chain).
+	build := func(s EventScheduler) *[]string {
+		var names []string
+		for i := 0; i < 5; i++ {
+			i := i
+			s.OnKey(fmt.Sprintf("host%d", i)).After(time.Duration(i+1)*time.Minute, fmt.Sprintf("root%d", i), func(now time.Time) {
+				names = append(names, fmt.Sprintf("root%d", i))
+				s.After(30*time.Second, fmt.Sprintf("leaf%d", i), func(now time.Time) {
+					names = append(names, fmt.Sprintf("leaf%d", i))
+				})
+			})
+		}
+		return &names
+	}
+	serial := NewScheduler(New(Epoch))
+	sn := build(serial)
+	serialRan := serial.RunFor(time.Hour)
+
+	sharded := NewSharded(New(Epoch), ShardedConfig{Shards: 4, Workers: 1})
+	defer sharded.Close()
+	shn := build(sharded)
+	shardedRan := sharded.RunFor(time.Hour)
+
+	if serialRan != shardedRan {
+		t.Fatalf("serial ran %d events, sharded %d", serialRan, shardedRan)
+	}
+	seen := map[string]int{}
+	for _, n := range *sn {
+		seen[n]++
+	}
+	for _, n := range *shn {
+		seen[n]--
+	}
+	for n, c := range seen {
+		if c != 0 {
+			t.Errorf("event %q multiset mismatch (%+d)", n, c)
+		}
+	}
+}
+
+func TestShardedInterruptStopsRun(t *testing.T) {
+	t.Parallel()
+	clock := New(Epoch)
+	s := NewSharded(clock, ShardedConfig{Shards: 2, Workers: 2})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetInterrupt(ctx.Err)
+	ran := 0
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		ran++
+		if ran == 10 {
+			cancel()
+		}
+		s.After(time.Second, "tick", tick)
+	}
+	s.After(time.Second, "tick", tick)
+	s.RunFor(24 * time.Hour)
+	if !errors.Is(s.InterruptErr(), context.Canceled) {
+		t.Fatalf("InterruptErr = %v, want context.Canceled", s.InterruptErr())
+	}
+	if n := s.RunFor(time.Hour); n != 0 {
+		t.Errorf("Run after interrupt executed %d events, want 0", n)
+	}
+}
+
+func TestShardedCloseDropsLateEvents(t *testing.T) {
+	t.Parallel()
+	s := NewSharded(New(Epoch), ShardedConfig{Shards: 2, Workers: 1})
+	s.After(time.Minute, "pre", func(time.Time) {})
+	s.RunFor(time.Hour)
+	s.Close()
+	s.Close() // idempotent
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	s.After(time.Minute, "late", func(time.Time) { t.Error("late event ran") })
+	if s.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped())
+	}
+	if !errors.Is(s.Err(), ErrClosed) {
+		t.Errorf("Err = %v, want ErrClosed", s.Err())
+	}
+	if n := s.RunFor(time.Hour); n != 0 {
+		t.Errorf("Run after Close executed %d events", n)
+	}
+}
+
+func TestShardedShardForStableAndSpread(t *testing.T) {
+	t.Parallel()
+	s := NewSharded(New(Epoch), ShardedConfig{Shards: 8, Workers: 1})
+	defer s.Close()
+	hit := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("host:site-%d.example", i)
+		sh := s.ShardFor(k)
+		if sh < 0 || sh >= 8 {
+			t.Fatalf("ShardFor(%q) = %d out of range", k, sh)
+		}
+		if s.ShardFor(k) != sh {
+			t.Fatalf("ShardFor(%q) unstable", k)
+		}
+		hit[sh] = true
+	}
+	if len(hit) < 6 {
+		t.Errorf("64 keys hit only %d of 8 shards — hash not spreading", len(hit))
+	}
+}
+
+func TestShardedObserverSeesEveryEvent(t *testing.T) {
+	t.Parallel()
+	s := NewSharded(New(Epoch), ShardedConfig{Shards: 4, Workers: 1})
+	defer s.Close()
+	var names []string
+	s.Observe(func(name string, at time.Time, wall time.Duration, depth int) {
+		names = append(names, name)
+	})
+	for i := 0; i < 6; i++ {
+		s.OnKey(fmt.Sprintf("k%d", i)).After(time.Duration(i+1)*time.Minute, "ev", func(time.Time) {})
+	}
+	if ran := s.RunFor(time.Hour); ran != len(names) {
+		t.Errorf("observer saw %d events, Run reported %d", len(names), ran)
+	}
+	if s.Executed() != 6 || s.Len() != 0 {
+		t.Errorf("Executed=%d Len=%d, want 6, 0", s.Executed(), s.Len())
+	}
+	counts := s.ShardEventCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("ShardEventCounts sums to %d, want 6", total)
+	}
+}

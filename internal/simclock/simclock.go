@@ -9,6 +9,7 @@ package simclock
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,6 +45,12 @@ type SimClock struct {
 	now     time.Time
 	waiters waiterHeap
 	seq     int64 // tiebreaker for waiters with equal deadlines
+	// execHook, when set by a ShardedScheduler, lets Now observe the exact
+	// deadline of the event running on the calling goroutine instead of the
+	// window-floor clock value, so in-event timestamps match a serial run.
+	// Installed before any worker starts and cleared on Close; atomic so a
+	// straggling reader races cleanly with teardown.
+	execHook atomic.Pointer[execHookFn]
 }
 
 // New returns a SimClock whose current time is start.
@@ -80,11 +87,31 @@ func (h *waiterHeap) Pop() (popped any) {
 	return
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. While a sharded scheduler drives
+// this clock, a call from inside an event returns that event's exact virtual
+// deadline (the serial-equivalent reading); everywhere else it returns the
+// clock's own position.
 func (c *SimClock) Now() time.Time {
+	if hook := c.execHook.Load(); hook != nil {
+		if at, ok := (*hook)(); ok {
+			return at
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.now
+}
+
+// execHookFn is the in-event time hook's shape (see SimClock.execHook).
+type execHookFn = func() (time.Time, bool)
+
+// setExecHook installs (or clears, with nil) the in-event time hook.
+func (c *SimClock) setExecHook(fn func() (time.Time, bool)) {
+	if fn == nil {
+		c.execHook.Store(nil)
+		return
+	}
+	c.execHook.Store(&fn)
 }
 
 // Sleep blocks until the virtual clock has advanced by d. A non-positive d

@@ -17,10 +17,26 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ShardKey returns the scheduler affinity key for a hostname: every event
+// chain concerning the same registrable domain (two trailing labels, matching
+// dnssim's zone apexes) maps to the same key, so a sharded scheduler runs
+// them serially in virtual-time order. Use it with
+// simclock.EventScheduler.OnKey when rooting host-directed work — report
+// processing, takedowns — so mutations of one host's state never race across
+// shards.
+func ShardKey(host string) string {
+	host = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(host)), ".")
+	if labels := strings.Split(host, "."); len(labels) > 2 {
+		host = strings.Join(labels[len(labels)-2:], ".")
+	}
+	return "host:" + host
+}
 
 // ErrNoSuchHost is returned by Transport when the request's hostname does not
 // resolve to a registered host.

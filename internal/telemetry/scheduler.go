@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sync"
 	"time"
 
 	"areyouhuman/internal/simclock"
@@ -13,12 +14,24 @@ const (
 	MetricSchedWallSeconds = "phish_sched_event_wall_seconds"
 )
 
+// ObservableScheduler is the slice of simclock.EventScheduler that telemetry
+// needs; both the serial Scheduler and ShardedScheduler satisfy it.
+type ObservableScheduler interface {
+	Clock() *simclock.SimClock
+	Observe(simclock.EventObserver)
+	Sharded() bool
+}
+
 // ObserveScheduler installs a telemetry observer on the scheduler: a counter
-// and a wall-time latency histogram per event name, plus a queue-depth gauge.
-// It also points the set's tracer at the scheduler's clock so every trace
-// record is stamped with this world's virtual time. A nil or empty set leaves
-// the scheduler untouched (and unmeasured).
-func ObserveScheduler(s *simclock.Scheduler, set *Set) {
+// per event name, plus — on the serial scheduler only — a wall-time latency
+// histogram per event name and a queue-depth gauge. Wall timings and queue
+// depth depend on worker interleaving, so on a sharded scheduler they are
+// skipped entirely: the metrics output must be a pure function of virtual
+// time, byte-identical for any worker count (including one).
+// ObserveScheduler also points the set's tracer at the scheduler's clock so
+// every trace record is stamped with this world's virtual time. A nil or
+// empty set leaves the scheduler untouched (and unmeasured).
+func ObserveScheduler(s ObservableScheduler, set *Set) {
 	if s == nil || !set.Enabled() {
 		return
 	}
@@ -28,6 +41,23 @@ func ObserveScheduler(s *simclock.Scheduler, set *Set) {
 		return
 	}
 	m.Describe(MetricSchedEvents, "Virtual-time events executed by the scheduler, by event name.")
+	if s.Sharded() {
+		// Worker goroutines report concurrently: the instrument cache needs a
+		// lock here, where the serial path below gets away with a plain map.
+		var mu sync.Mutex
+		cache := make(map[string]*Counter)
+		s.Observe(func(name string, _ time.Time, _ time.Duration, _ int) {
+			mu.Lock()
+			c, ok := cache[name]
+			if !ok {
+				c = m.Counter(MetricSchedEvents, "event", name)
+				cache[name] = c
+			}
+			mu.Unlock()
+			c.Inc()
+		})
+		return
+	}
 	m.Describe(MetricSchedQueueDepth, "Events pending in the scheduler queue.")
 	m.Describe(MetricSchedWallSeconds, "Wall-clock execution time per scheduler event, by event name.")
 	depth := m.Gauge(MetricSchedQueueDepth)

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 
+	"areyouhuman/internal/campaign"
 	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/dropcatch"
@@ -72,6 +73,13 @@ type Table3Row = experiment.Table3Row
 // Funnel is the drop-catch selection funnel (Section 3).
 type Funnel = dropcatch.Funnel
 
+// CampaignConfig sizes a paper-scale streaming campaign study; see
+// internal/campaign for the defaults and the constant-memory contract.
+type CampaignConfig = campaign.Config
+
+// CampaignResults is a campaign study's aggregated output.
+type CampaignResults = campaign.Results
+
 // ChaosPlan is a declarative fault-injection plan; see internal/chaos for
 // the fault kinds and the determinism contract.
 type ChaosPlan = chaos.Plan
@@ -92,6 +100,10 @@ var (
 	ErrDeployFailed = experiment.ErrDeployFailed
 	// ErrUnknownPreset reports an unrecognised chaos preset name.
 	ErrUnknownPreset = chaos.ErrUnknownPreset
+	// ErrCampaignProvider reports an unknown campaign provider name.
+	ErrCampaignProvider = campaign.ErrProvider
+	// ErrCampaignSize reports a non-positive campaign URL count.
+	ErrCampaignSize = campaign.ErrSize
 )
 
 // DeployError is the concrete deployment failure (domain + cause).
@@ -104,6 +116,7 @@ type runOptions struct {
 	cfg      Config
 	replicas int
 	parallel int
+	campaign CampaignConfig
 }
 
 // WithConfig replaces the whole configuration. Options applied after it
@@ -198,24 +211,63 @@ func WithShardWorkers(n int) Option {
 	}
 }
 
-// StudyResult is what Run produces. Exactly one of Results/Replicas is the
-// primary view: single runs fill Results; WithReplicas(n>1) fills Replicas.
+// StudyResult is what Run produces. Exactly one of
+// Results/Replicas/Campaign is the primary view: single runs fill Results,
+// WithReplicas(n>1) fills Replicas, WithCampaign(n) fills Campaign.
 type StudyResult struct {
-	// Results is the single-run study (nil when Replicas is set).
+	// Results is the single-run study (nil when Replicas or Campaign is set).
 	Results *Results
-	// Replicas is the multi-replica study (nil for single runs).
+	// Replicas is the multi-replica study (nil otherwise).
 	Replicas *ReplicaSet
+	// Campaign is the streaming campaign study (nil otherwise).
+	Campaign *CampaignResults
 }
 
-// Report renders whichever study ran.
+// Report renders whichever study ran. For campaigns this is the
+// deterministic table only — wall-clock figures (throughput, peak heap)
+// stay in the Campaign fields so Report stays byte-comparable across
+// machines and worker counts.
 func (r *StudyResult) Report() string {
 	if r.Replicas != nil {
 		return r.Replicas.Report()
+	}
+	if r.Campaign != nil {
+		return r.Campaign.RenderTable()
 	}
 	if r.Results != nil {
 		return r.Results.Report()
 	}
 	return ""
+}
+
+// WithCampaign switches the run to a paper-scale streaming campaign study
+// of n phishing URLs (see internal/campaign): URLs deploy in waves on the
+// free-hosting providers, each is reported to one engine and scored when
+// its measurement window closes, and results stream into fixed-size
+// (engine, brand, technique) cells — memory stays flat from 10k to 1M URLs.
+// Composes with WithSeed, WithJournal, WithTelemetry, and WithShardWorkers;
+// it does not compose with WithReplicas. n must be positive.
+func WithCampaign(n int) Option {
+	return func(o *runOptions) error {
+		if n <= 0 {
+			return fmt.Errorf("%w (got %d)", ErrCampaignSize, n)
+		}
+		o.campaign.URLs = n
+		return nil
+	}
+}
+
+// WithCampaignProvider selects the campaign hosting model: "free" (shared
+// free-hosting apexes with IP reputation and provider sweeps, the default)
+// or "dedicated" (one registrable domain per URL). Requires WithCampaign.
+func WithCampaignProvider(name string) Option {
+	return func(o *runOptions) error {
+		if name != campaign.ProviderFree && name != campaign.ProviderDedicated {
+			return fmt.Errorf("%w %q", ErrCampaignProvider, name)
+		}
+		o.campaign.Provider = name
+		return nil
+	}
 }
 
 // Run executes the study under ctx. Cancelling ctx stops the simulation
@@ -230,6 +282,26 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 		if err := opt(&o); err != nil {
 			return nil, fmt.Errorf("areyouhuman: %w", err)
 		}
+	}
+	if o.campaign.Provider != "" && o.campaign.URLs == 0 {
+		return nil, fmt.Errorf("areyouhuman: WithCampaignProvider requires WithCampaign")
+	}
+	if o.campaign.URLs > 0 {
+		if o.replicas > 1 {
+			return nil, fmt.Errorf("areyouhuman: campaign studies do not compose with replicas")
+		}
+		f := core.New(o.cfg)
+		if ctx != nil {
+			f.WithContext(ctx)
+		}
+		res, err := f.RunCampaign(o.campaign)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.cfg.Journal.Flush(); err != nil {
+			return nil, fmt.Errorf("areyouhuman: %w", err)
+		}
+		return &StudyResult{Campaign: res}, nil
 	}
 	if o.replicas > 1 {
 		rs, err := core.RunReplicas(core.ReplicaOptions{

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel|chaos]
+//	          [-campaign N] [-provider free|dedicated]
 //	          [-seed N] [-replicas N] [-parallel P] [-shard-workers W]
 //	          [-traffic-scale F] [-main-traffic N] [-nocache]
 //	          [-chaos plan.json] [-chaos-preset flaky|outage|degraded]
@@ -22,6 +23,14 @@
 // (seed, plan) alone. -stage chaos runs the comparison study instead: the
 // main experiment once clean and once per preset, reporting detection-rate
 // and timing deltas.
+//
+// Campaigns: -campaign N replaces the classic stages with a paper-scale
+// streaming study of N phishing URLs (see internal/campaign) deployed in
+// waves on -provider hosting — "free" (shared free-hosting apexes with
+// shared-IP reputation and provider abuse sweeps, the default) or
+// "dedicated" (one registrable domain per URL). The deterministic campaign
+// table goes to stdout — byte-identical for every -shard-workers value —
+// while wall-clock figures (URLs/sec, peak heap) go to stderr under -v.
 //
 // The run is cancellable: SIGINT stops the simulation within a bounded
 // number of events and exits with the interruption error.
@@ -62,8 +71,10 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"areyouhuman/internal/campaign"
 	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/experiment"
@@ -87,6 +98,8 @@ type options struct {
 func main() {
 	var (
 		stage       = flag.String("stage", "all", "which stage to run: all, preliminary, main, extensions, ablations, exposure, funnel, chaos")
+		campaignN   = flag.Int("campaign", 0, "run a streaming campaign study of N URLs instead of the classic stages (0 = off)")
+		provider    = flag.String("provider", "free", "campaign hosting model: free (shared apexes, IP reputation, sweeps) or dedicated (one domain per URL)")
 		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default); the master seed when -replicas > 1")
 		replicas    = flag.Int("replicas", 1, "independent replicas of the full study (1 = plain single run)")
 		parallel    = flag.Int("parallel", 0, "worker goroutines for -replicas (0 = GOMAXPROCS); affects wall time only, never results")
@@ -161,6 +174,18 @@ func main() {
 	}
 	opts.vlog("scheduler: %d shards, %d workers", simclock.DefaultShards, shardWorkers)
 
+	providerSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "provider" {
+			providerSet = true
+		}
+	})
+	campaignCfg, campaignRun, err := resolveCampaign(*campaignN, *provider, providerSet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishfarm:", err)
+		os.Exit(2)
+	}
+
 	cfg := experiment.Config{
 		Seed:                 *seed,
 		TrafficScale:         *scale,
@@ -176,6 +201,8 @@ func main() {
 	f := core.New(cfg).WithContext(ctx)
 
 	switch {
+	case campaignRun:
+		err = runCampaignCLI(f, opts, campaignCfg)
 	case opts.stage == "chaos":
 		err = chaosStudy(ctx, cfg, opts)
 	case *replicas > 1:
@@ -398,6 +425,77 @@ func run(f *core.Framework, cfg experiment.Config, opts options) error {
 	default:
 		return fmt.Errorf("unknown stage %q", opts.stage)
 	}
+}
+
+// CampaignSizeError reports an invalid -campaign value.
+type CampaignSizeError struct {
+	// N is the rejected value.
+	N int
+}
+
+func (e *CampaignSizeError) Error() string {
+	return fmt.Sprintf("-campaign must be >= 1, got %d", e.N)
+}
+
+// ProviderError reports an unknown -provider name.
+type ProviderError struct {
+	// Name is the rejected value.
+	Name string
+}
+
+func (e *ProviderError) Error() string {
+	return fmt.Sprintf("-provider must be one of %s, got %q",
+		strings.Join(campaign.Providers(), "|"), e.Name)
+}
+
+// resolveCampaign validates the -campaign/-provider flag pair. A zero size
+// means no campaign was requested (run=false); negative sizes and unknown
+// provider names are rejected with typed errors so tests can assert on them,
+// mirroring resolveShardWorkers. -provider without -campaign is an error:
+// silently ignoring it would hide a typo'd invocation.
+func resolveCampaign(n int, provider string, providerSet bool) (cc campaign.Config, run bool, err error) {
+	if n == 0 {
+		if providerSet {
+			return cc, false, fmt.Errorf("-provider requires -campaign")
+		}
+		return cc, false, nil
+	}
+	if n < 0 {
+		return cc, false, &CampaignSizeError{N: n}
+	}
+	ok := false
+	for _, p := range campaign.Providers() {
+		if provider == p {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return cc, false, &ProviderError{Name: provider}
+	}
+	cc.URLs = n
+	cc.Provider = provider
+	// The CLI always measures the heap watermark so CI (and curious users)
+	// can read peak memory off stderr; sampling happens at wave boundaries
+	// and costs one forced GC per wave.
+	cc.MeasureHeap = true
+	return cc, true, nil
+}
+
+// runCampaignCLI runs the streaming campaign study. The deterministic table
+// goes to stdout — CI compares it byte for byte across -shard-workers — and
+// the wall-clock figures go to stderr under -v.
+func runCampaignCLI(f *core.Framework, opts options, cc campaign.Config) error {
+	done := opts.stageStart("campaign")
+	res, err := f.RunCampaign(cc)
+	done()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.RenderTable())
+	opts.vlog("campaign: %.0f URLs/sec wall, %.2fs total, peak heap %.1f MiB",
+		res.URLsPerSec, res.WallSeconds, float64(res.PeakHeapBytes)/(1<<20))
+	return nil
 }
 
 // ShardWorkersError reports an invalid -shard-workers value.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"areyouhuman/internal/campaign"
 )
 
 func TestResolveShardWorkersRejectsNonPositive(t *testing.T) {
@@ -30,6 +32,67 @@ func TestResolveShardWorkersAcceptsPositive(t *testing.T) {
 		got, err := resolveShardWorkers(n)
 		if err != nil || got != n {
 			t.Fatalf("resolveShardWorkers(%d) = %d, %v; want %d, nil", n, got, err, n)
+		}
+	}
+}
+
+func TestResolveCampaignRejectsNegativeSize(t *testing.T) {
+	for _, n := range []int{-1, -100} {
+		_, run, err := resolveCampaign(n, campaign.ProviderFree, false)
+		if err == nil || run {
+			t.Fatalf("resolveCampaign(%d) run=%v err=%v, want validation error", n, run, err)
+		}
+		var cse *CampaignSizeError
+		if !errors.As(err, &cse) {
+			t.Fatalf("resolveCampaign(%d) error type %T, want *CampaignSizeError", n, err)
+		}
+		if cse.N != n {
+			t.Errorf("CampaignSizeError.N = %d, want %d", cse.N, n)
+		}
+		if !strings.Contains(err.Error(), ">= 1") {
+			t.Errorf("error %q should state the >= 1 requirement", err)
+		}
+	}
+}
+
+func TestResolveCampaignRejectsUnknownProvider(t *testing.T) {
+	for _, name := range []string{"", "clown", "FREE"} {
+		_, run, err := resolveCampaign(100, name, true)
+		if err == nil || run {
+			t.Fatalf("resolveCampaign(100, %q) run=%v err=%v, want validation error", name, run, err)
+		}
+		var pe *ProviderError
+		if !errors.As(err, &pe) {
+			t.Fatalf("resolveCampaign(100, %q) error type %T, want *ProviderError", name, err)
+		}
+		if pe.Name != name {
+			t.Errorf("ProviderError.Name = %q, want %q", pe.Name, name)
+		}
+		for _, p := range campaign.Providers() {
+			if !strings.Contains(err.Error(), p) {
+				t.Errorf("error %q should list valid provider %q", err, p)
+			}
+		}
+	}
+}
+
+func TestResolveCampaignOffAndOn(t *testing.T) {
+	// -campaign absent: no campaign, no error.
+	if cc, run, err := resolveCampaign(0, campaign.ProviderFree, false); err != nil || run || cc.URLs != 0 {
+		t.Fatalf("resolveCampaign(0) = %+v run=%v err=%v, want off", cc, run, err)
+	}
+	// -provider without -campaign is a typo'd invocation, not a no-op.
+	if _, run, err := resolveCampaign(0, campaign.ProviderDedicated, true); err == nil || run {
+		t.Fatalf("resolveCampaign(0, provider set) run=%v err=%v, want error", run, err)
+	}
+	// Valid pair passes through, with heap measurement always on for the CLI.
+	for _, p := range campaign.Providers() {
+		cc, run, err := resolveCampaign(20_000, p, true)
+		if err != nil || !run {
+			t.Fatalf("resolveCampaign(20000, %q) run=%v err=%v, want ok", p, run, err)
+		}
+		if cc.URLs != 20_000 || cc.Provider != p || !cc.MeasureHeap {
+			t.Errorf("resolveCampaign(20000, %q) = %+v, want URLs/Provider/MeasureHeap set", p, cc)
 		}
 	}
 }

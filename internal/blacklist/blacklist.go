@@ -47,18 +47,19 @@ type List struct {
 	shards []*shardPending
 }
 
-// shardPending is one shard's staged additions. Only the shard's draining
-// worker touches it during a window; the barrier publisher reads it with all
-// workers idle.
+// shardPending is one shard's staged operations (additions and removals, in
+// staging order). Only the shard's draining worker touches it during a
+// window; the barrier publisher reads it with all workers idle.
 type shardPending struct {
-	adds  []pendingAdd
-	index map[string]int
+	ops   []pendingOp
+	index map[string]int // url -> index of the *latest* staged op
 }
 
-type pendingAdd struct {
-	entry Entry
-	stamp simclock.Stamp
-	idx   int
+type pendingOp struct {
+	entry  Entry
+	remove bool
+	stamp  simclock.Stamp
+	idx    int
 }
 
 // ShardBuffered switches the list into barrier-buffered mode for sharded
@@ -78,16 +79,17 @@ func (l *List) ShardBuffered(src simclock.StampSource, shards int) {
 	}
 }
 
-// PublishPending merges every staged addition into the published list, in
-// stamp order. Call at a window barrier; a no-op in unbuffered mode.
+// PublishPending merges every staged operation into the published list, in
+// stamp order (additions first-source-wins, removals delete). Call at a
+// window barrier; a no-op in unbuffered mode.
 func (l *List) PublishPending() {
 	if l.shards == nil {
 		return
 	}
-	var all []pendingAdd
+	var all []pendingOp
 	for _, sp := range l.shards {
-		all = append(all, sp.adds...)
-		sp.adds = sp.adds[:0]
+		all = append(all, sp.ops...)
+		sp.ops = sp.ops[:0]
 		for k := range sp.index {
 			delete(sp.index, k)
 		}
@@ -104,6 +106,10 @@ func (l *List) PublishPending() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, p := range all {
+		if p.remove {
+			delete(l.entries, p.entry.URL)
+			continue
+		}
 		if _, dup := l.entries[p.entry.URL]; dup {
 			continue
 		}
@@ -173,22 +179,26 @@ func Canonicalize(raw string) string {
 func (l *List) Add(url, source string) bool {
 	key := Canonicalize(url)
 	if sp, stamp, ok := l.shardPendingFor(); ok {
-		if _, dup := sp.index[key]; dup {
-			return false
-		}
-		l.mu.RLock()
-		_, dup := l.entries[key]
-		l.mu.RUnlock()
-		if dup {
-			return false
+		if i, hit := sp.index[key]; hit {
+			if !sp.ops[i].remove {
+				return false // duplicate staged addition
+			}
+			// The latest staged op is a removal: a re-add after it is new.
+		} else {
+			l.mu.RLock()
+			_, dup := l.entries[key]
+			l.mu.RUnlock()
+			if dup {
+				return false
+			}
 		}
 		// AddedAt is the event's exact virtual deadline — what a serial run
 		// records — not the publish-time clock position.
-		sp.index[key] = len(sp.adds)
-		sp.adds = append(sp.adds, pendingAdd{
+		sp.index[key] = len(sp.ops)
+		sp.ops = append(sp.ops, pendingOp{
 			entry: Entry{URL: key, AddedAt: stamp.At, Source: source},
 			stamp: stamp,
-			idx:   len(sp.adds),
+			idx:   len(sp.ops),
 		})
 		return true
 	}
@@ -207,6 +217,46 @@ func (l *List) Contains(url string) bool {
 	return ok
 }
 
+// Remove delists url — what happens when a host is taken down and the engine
+// re-verifies, or when a streaming campaign closes a URL's measurement
+// window and purges its state so list size tracks in-flight URLs, not total
+// URLs. In sharded mode the removal stages on the calling shard (masking the
+// entry from the shard's own readers immediately) and publishes at the next
+// barrier, ordered with additions by stamp. It reports whether the URL was
+// listed (published or staged) at the time of the call.
+func (l *List) Remove(url string) bool {
+	key := Canonicalize(url)
+	if sp, stamp, ok := l.shardPendingFor(); ok {
+		listed := false
+		if i, hit := sp.index[key]; hit {
+			if sp.ops[i].remove {
+				return false // already staged for removal
+			}
+			listed = true
+		} else {
+			l.mu.RLock()
+			_, listed = l.entries[key]
+			l.mu.RUnlock()
+			if !listed {
+				return false
+			}
+		}
+		sp.index[key] = len(sp.ops)
+		sp.ops = append(sp.ops, pendingOp{
+			entry:  Entry{URL: key},
+			remove: true,
+			stamp:  stamp,
+			idx:    len(sp.ops),
+		})
+		return listed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[key]
+	delete(l.entries, key)
+	return ok
+}
+
 // Lookup returns the entry for url. In sharded mode a reader sees the
 // published (barrier-quantized) list plus its own shard's staged additions —
 // read-your-writes for the URL's owning chain, deterministic deferral for
@@ -218,7 +268,12 @@ func (l *List) Lookup(url string) (Entry, bool) {
 	l.mu.Unlock()
 	if sp, _, ok := l.shardPendingFor(); ok {
 		if i, hit := sp.index[key]; hit {
-			return sp.adds[i].entry, true
+			if sp.ops[i].remove {
+				// A staged removal masks any published entry from the
+				// removing shard's own readers, mirroring read-your-writes.
+				return Entry{}, false
+			}
+			return sp.ops[i].entry, true
 		}
 	}
 	l.mu.RLock()

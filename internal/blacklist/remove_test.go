@@ -1,0 +1,112 @@
+package blacklist
+
+import (
+	"testing"
+	"time"
+
+	"areyouhuman/internal/simclock"
+)
+
+// stampSrc is a settable StampSource so tests can play the role of the
+// sharded scheduler's exec hook without running one.
+type stampSrc struct {
+	stamp simclock.Stamp
+	ok    bool
+}
+
+func (s *stampSrc) ExecStamp() (simclock.Stamp, bool) { return s.stamp, s.ok }
+
+func TestRemoveUnbuffered(t *testing.T) {
+	t.Parallel()
+	l := NewList("gsb", nil)
+	url := "http://phish.example/login"
+	if !l.Add(url, "gsb") || !l.Contains(url) {
+		t.Fatal("setup add failed")
+	}
+	if !l.Remove(url) {
+		t.Error("Remove of a listed URL reported false")
+	}
+	if l.Contains(url) || l.Len() != 0 {
+		t.Error("URL survives removal")
+	}
+	if l.Remove(url) {
+		t.Error("second Remove reported true")
+	}
+	// Delist-then-relist must behave like a fresh listing.
+	if !l.Add(url, "netcraft") {
+		t.Error("re-add after removal rejected")
+	}
+	if e, ok := l.Lookup(url); !ok || e.Source != "netcraft" {
+		t.Errorf("re-added entry = %+v, %v", e, ok)
+	}
+}
+
+func TestRemoveStagedMasksOwnShard(t *testing.T) {
+	t.Parallel()
+	l := NewList("gsb", nil)
+	src := &stampSrc{ok: true, stamp: simclock.Stamp{At: simclock.Epoch, Shard: 0}}
+	l.ShardBuffered(src, 2)
+	url := "http://phish.example/login"
+
+	// Publish an entry through the barrier path.
+	if !l.Add(url, "gsb") {
+		t.Fatal("staged add rejected")
+	}
+	l.PublishPending()
+	if !l.Contains(url) {
+		t.Fatal("published entry missing")
+	}
+
+	// Shard 0 stages a removal: its own readers stop seeing the entry at
+	// once (read-your-writes) while shard 1 still sees the published state
+	// until the barrier.
+	src.stamp = simclock.Stamp{At: simclock.Epoch.Add(time.Hour), Shard: 0, Seq: 1}
+	if !l.Remove(url) {
+		t.Fatal("Remove of a published entry reported false")
+	}
+	if l.Contains(url) {
+		t.Error("removing shard still sees the entry")
+	}
+	if l.Remove(url) {
+		t.Error("double staged removal reported true")
+	}
+	src.stamp.Shard = 1
+	if !l.Contains(url) {
+		t.Error("other shard lost the entry before the barrier")
+	}
+
+	l.PublishPending()
+	src.stamp.Shard = 0
+	if l.Contains(url) || l.Len() != 0 {
+		t.Error("entry survived the barrier publish")
+	}
+}
+
+func TestRemoveStagedAddNeverPublished(t *testing.T) {
+	t.Parallel()
+	l := NewList("gsb", nil)
+	src := &stampSrc{ok: true, stamp: simclock.Stamp{At: simclock.Epoch, Shard: 0}}
+	l.ShardBuffered(src, 1)
+	url := "http://phish.example/a"
+
+	// Add and remove inside the same window: the entry must never publish.
+	if !l.Add(url, "gsb") {
+		t.Fatal("staged add rejected")
+	}
+	src.stamp.Seq = 1
+	if !l.Remove(url) {
+		t.Error("Remove of a staged add reported false")
+	}
+	// A re-add after the staged removal is a new listing again.
+	src.stamp.Seq = 2
+	if !l.Add(url, "apwg") {
+		t.Error("re-add after staged removal rejected")
+	}
+	l.PublishPending()
+	if e, ok := l.Lookup(url); !ok || e.Source != "apwg" {
+		t.Errorf("after publish entry = %+v, %v (want the re-add to win)", e, ok)
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d, want 1", l.Len())
+	}
+}

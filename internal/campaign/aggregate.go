@@ -1,0 +1,301 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ExemplarCap bounds the exemplar URL ring each cell keeps: enough to spot-
+// check a cell's URLs by hand (or hand to the monitor), small enough that
+// exemplar storage is O(cells), not O(URLs).
+const ExemplarCap = 4
+
+// Outcome is one URL's scored lifecycle, delivered when its measurement
+// window closes. It is consumed by value and nothing in it is retained
+// except what folds into the cell (counters, one lag sample, maybe an
+// exemplar slot).
+type Outcome struct {
+	Engine    string
+	Brand     string
+	Technique string // technique letter (A/S/R)
+	URL       string
+	// Listed: the reported engine's own pipeline listed the URL inside the
+	// window (feed shares don't count, as in Table 2).
+	Listed bool
+	// Taint: the listing came from shared-IP reputation (the engine never
+	// got a phish verdict from content; co-hosted listings tipped it).
+	Taint bool
+	// Shared is how many *other* engines list the URL via feed sharing.
+	Shared int
+	// Lag is report-to-listing delay (meaningful only when Listed).
+	Lag time.Duration
+}
+
+// cell is the fixed-size accumulator for one (engine, brand, technique)
+// combination on one shard.
+type cell struct {
+	deployed int
+	listed   int
+	taint    int
+	shared   int
+	lags     LagSketch
+	ring     [ExemplarCap]string
+	rn       int
+}
+
+func (c *cell) observe(o Outcome) {
+	c.deployed++
+	c.shared += o.Shared
+	if !o.Listed {
+		return
+	}
+	c.listed++
+	if o.Taint {
+		c.taint++
+	}
+	c.lags.Add(o.Lag)
+	c.ring[c.rn%ExemplarCap] = o.URL
+	c.rn++
+}
+
+// exemplars returns the ring's contents oldest-first.
+func (c *cell) exemplars() []string {
+	n := c.rn
+	if n > ExemplarCap {
+		n = ExemplarCap
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.ring[(c.rn-n+i)%ExemplarCap])
+	}
+	return out
+}
+
+// Aggregator folds streamed Outcomes into per-shard cell grids. Each shard
+// writes only its own grid — window-close events run on the URL's home
+// shard, so no two workers touch the same cell and no locking is needed —
+// and Results merges the grids in shard order 0..N-1, making the rendered
+// tables a pure function of virtual time.
+type Aggregator struct {
+	engines    []string
+	brands     []string
+	techniques []string
+	eIdx       map[string]int
+	bIdx       map[string]int
+	tIdx       map[string]int
+	shards     [][]cell // [shard][e*nb*nt + b*nt + t]
+}
+
+// NewAggregator builds an aggregator over fixed dimension orders (the
+// orders also fix table row order).
+func NewAggregator(shards int, engines, brands, techniques []string) *Aggregator {
+	if shards < 1 {
+		shards = 1
+	}
+	a := &Aggregator{
+		engines:    append([]string(nil), engines...),
+		brands:     append([]string(nil), brands...),
+		techniques: append([]string(nil), techniques...),
+		eIdx:       make(map[string]int, len(engines)),
+		bIdx:       make(map[string]int, len(brands)),
+		tIdx:       make(map[string]int, len(techniques)),
+		shards:     make([][]cell, shards),
+	}
+	for i, e := range a.engines {
+		a.eIdx[e] = i
+	}
+	for i, b := range a.brands {
+		a.bIdx[b] = i
+	}
+	for i, t := range a.techniques {
+		a.tIdx[t] = i
+	}
+	size := len(engines) * len(brands) * len(techniques)
+	for i := range a.shards {
+		a.shards[i] = make([]cell, size)
+	}
+	return a
+}
+
+// Observe folds o into shard's grid. Callers must deliver each shard's
+// outcomes from that shard's own events (or from a single goroutine).
+func (a *Aggregator) Observe(shard int, o Outcome) {
+	if shard < 0 || shard >= len(a.shards) {
+		shard = 0
+	}
+	e, ok := a.eIdx[o.Engine]
+	if !ok {
+		return
+	}
+	b, ok := a.bIdx[o.Brand]
+	if !ok {
+		return
+	}
+	t, ok := a.tIdx[o.Technique]
+	if !ok {
+		return
+	}
+	a.shards[shard][(e*len(a.brands)+b)*len(a.techniques)+t].observe(o)
+}
+
+// CellResult is one merged (engine, brand, technique) row.
+type CellResult struct {
+	Engine    string
+	Brand     string
+	Technique string
+	Deployed  int
+	Listed    int
+	Taint     int // listings owed to shared-IP reputation
+	Shared    int // cross-engine feed-share listings
+	P50       time.Duration
+	P90       time.Duration
+	Exemplars []string
+}
+
+// EngineResult totals one engine across brands and techniques.
+type EngineResult struct {
+	Engine   string
+	Deployed int
+	Listed   int
+	Taint    int
+	Shared   int
+	P50      time.Duration
+	P90      time.Duration
+}
+
+// ProviderReport snapshots one hosting provider's campaign-relevant
+// counters (mirrors hosting.ProviderStats without importing it — campaign
+// sits below the hosting layer).
+type ProviderReport struct {
+	Apex      string
+	Mounted   int64
+	Evicted   int64
+	Sweeps    int64
+	Takedowns int64
+}
+
+// Results is a campaign's complete output. Everything except the wall-clock
+// fields is deterministic for a fixed seed and identical across scheduler
+// worker counts.
+type Results struct {
+	URLs     int
+	Provider string
+	Cells    []CellResult // dimension order, rows with Deployed > 0
+	Engines  []EngineResult
+	Deployed int
+	Listed   int
+	Taint    int
+	Shared   int
+	// Providers is filled by the free-hosting runner (empty for dedicated).
+	Providers []ProviderReport
+	// Watched/Sighted: how many exemplar URLs carried real monitor watches,
+	// and how many of those the monitoring pipeline sighted in time.
+	Watched int
+	Sighted int
+	// VirtualDuration is how much simulated time the campaign spanned.
+	VirtualDuration time.Duration
+	// PeakHeapBytes is the wave-boundary heap high-water mark (0 unless
+	// Config.MeasureHeap). Wall-clock figures, excluded from RenderTable.
+	PeakHeapBytes uint64
+	WallSeconds   float64
+	URLsPerSec    float64
+}
+
+// Results merges the shard grids (in shard order) and assembles the final
+// tables.
+func (a *Aggregator) Results(urls int, provider string) *Results {
+	res := &Results{URLs: urls, Provider: provider}
+	nb, nt := len(a.brands), len(a.techniques)
+	for e, eng := range a.engines {
+		et := EngineResult{Engine: eng}
+		var elags LagSketch
+		for b := 0; b < nb; b++ {
+			for t := 0; t < nt; t++ {
+				var m cell
+				var lags LagSketch
+				var ex []string
+				for shard := range a.shards {
+					c := &a.shards[shard][(e*nb+b)*nt+t]
+					m.deployed += c.deployed
+					m.listed += c.listed
+					m.taint += c.taint
+					m.shared += c.shared
+					lags.Merge(&c.lags)
+					for _, u := range c.exemplars() {
+						if len(ex) < ExemplarCap {
+							ex = append(ex, u)
+						}
+					}
+				}
+				if m.deployed == 0 {
+					continue
+				}
+				res.Cells = append(res.Cells, CellResult{
+					Engine: eng, Brand: a.brands[b], Technique: a.techniques[t],
+					Deployed: m.deployed, Listed: m.listed, Taint: m.taint,
+					Shared: m.shared,
+					P50:    lags.Quantile(0.5), P90: lags.Quantile(0.9),
+					Exemplars: ex,
+				})
+				et.Deployed += m.deployed
+				et.Listed += m.listed
+				et.Taint += m.taint
+				et.Shared += m.shared
+				elags.Merge(&lags)
+			}
+		}
+		if et.Deployed == 0 {
+			continue
+		}
+		et.P50 = elags.Quantile(0.5)
+		et.P90 = elags.Quantile(0.9)
+		res.Engines = append(res.Engines, et)
+		res.Deployed += et.Deployed
+		res.Listed += et.Listed
+		res.Taint += et.Taint
+		res.Shared += et.Shared
+	}
+	return res
+}
+
+// RenderTable formats the deterministic portion of the results: the cell
+// grid, engine totals, and provider counters. Wall-clock fields (rate, heap)
+// are deliberately absent so the rendering can be byte-compared across
+// worker counts and machines.
+func (r *Results) RenderTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d URLs, provider=%s, virtual span %.0fh\n",
+		r.URLs, r.Provider, r.VirtualDuration.Hours())
+	fmt.Fprintf(&b, "%-14s %-10s %-4s %9s %8s %8s %8s %8s %8s\n",
+		"engine", "brand", "tech", "deployed", "listed", "ip-rep", "shared", "p50", "p90")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-14s %-10s %-4s %9d %8d %8d %8d %8s %8s\n",
+			c.Engine, c.Brand, c.Technique,
+			c.Deployed, c.Listed, c.Taint, c.Shared, mins(c.P50), mins(c.P90))
+	}
+	fmt.Fprintf(&b, "%-30s %9s %8s %8s %8s %8s %8s\n", "engine totals",
+		"deployed", "listed", "ip-rep", "shared", "p50", "p90")
+	for _, e := range r.Engines {
+		fmt.Fprintf(&b, "%-30s %9d %8d %8d %8d %8s %8s\n",
+			e.Engine, e.Deployed, e.Listed, e.Taint, e.Shared, mins(e.P50), mins(e.P90))
+	}
+	fmt.Fprintf(&b, "total: deployed=%d listed=%d ip-rep=%d shared=%d\n",
+		r.Deployed, r.Listed, r.Taint, r.Shared)
+	if r.Watched > 0 {
+		fmt.Fprintf(&b, "monitor: sighted %d of %d watched exemplars\n", r.Sighted, r.Watched)
+	}
+	for _, p := range r.Providers {
+		fmt.Fprintf(&b, "provider %s: mounted=%d evicted=%d sweeps=%d takedowns=%d\n",
+			p.Apex, p.Mounted, p.Evicted, p.Sweeps, p.Takedowns)
+	}
+	return b.String()
+}
+
+// mins renders a duration as whole minutes, or "-" for zero (no listings).
+func mins(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0fm", d.Minutes())
+}

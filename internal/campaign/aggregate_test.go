@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testAggregator(shards int) *Aggregator {
+	return NewAggregator(shards,
+		[]string{"gsb", "netcraft"},
+		[]string{"PayPal", "Gmail"},
+		[]string{"A", "R"})
+}
+
+func TestAggregatorMerge(t *testing.T) {
+	a := testAggregator(4)
+	// Spread the same cell's outcomes across shards; Results must merge them.
+	for shard := 0; shard < 4; shard++ {
+		a.Observe(shard, Outcome{
+			Engine: "gsb", Brand: "PayPal", Technique: "A",
+			URL:    fmt.Sprintf("https://u%d.example/", shard),
+			Listed: true, Lag: time.Duration(shard+1) * 10 * time.Minute,
+		})
+	}
+	a.Observe(1, Outcome{Engine: "netcraft", Brand: "Gmail", Technique: "R", Shared: 2})
+
+	res := a.Results(5, ProviderFree)
+	if res.Deployed != 5 || res.Listed != 4 || res.Shared != 2 {
+		t.Fatalf("totals = deployed %d listed %d shared %d, want 5/4/2", res.Deployed, res.Listed, res.Shared)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (empty cells must be skipped): %+v", len(res.Cells), res.Cells)
+	}
+	c := res.Cells[0]
+	if c.Engine != "gsb" || c.Deployed != 4 || c.Listed != 4 {
+		t.Fatalf("gsb cell = %+v", c)
+	}
+	if len(c.Exemplars) != 4 {
+		t.Fatalf("exemplars = %v, want all 4 listed URLs", c.Exemplars)
+	}
+	if c.P50 != 20*time.Minute {
+		t.Errorf("merged p50 = %v, want 20m", c.P50)
+	}
+	if len(res.Engines) != 2 {
+		t.Fatalf("engine rows = %d, want 2", len(res.Engines))
+	}
+	if res.Engines[0].Engine != "gsb" || res.Engines[1].Engine != "netcraft" {
+		t.Errorf("engine order = %s, %s; want dimension order", res.Engines[0].Engine, res.Engines[1].Engine)
+	}
+}
+
+func TestAggregatorUnknownDimensionsIgnored(t *testing.T) {
+	a := testAggregator(1)
+	a.Observe(0, Outcome{Engine: "nope", Brand: "PayPal", Technique: "A"})
+	a.Observe(0, Outcome{Engine: "gsb", Brand: "nope", Technique: "A"})
+	a.Observe(0, Outcome{Engine: "gsb", Brand: "PayPal", Technique: "Z"})
+	// Out-of-range shards clamp to 0 instead of panicking.
+	a.Observe(99, Outcome{Engine: "gsb", Brand: "PayPal", Technique: "A"})
+	a.Observe(-1, Outcome{Engine: "gsb", Brand: "PayPal", Technique: "A"})
+	res := a.Results(5, ProviderFree)
+	if res.Deployed != 2 {
+		t.Errorf("deployed = %d, want 2 (unknown dimensions dropped, bad shards clamped)", res.Deployed)
+	}
+}
+
+func TestCellExemplarRing(t *testing.T) {
+	var c cell
+	for i := 0; i < ExemplarCap+3; i++ {
+		c.observe(Outcome{URL: fmt.Sprintf("u%d", i), Listed: true})
+	}
+	got := c.exemplars()
+	want := []string{"u3", "u4", "u5", "u6"} // oldest-first, earliest evicted
+	if len(got) != len(want) {
+		t.Fatalf("exemplars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exemplars = %v, want %v", got, want)
+		}
+	}
+	// Unlisted outcomes count deploys but never enter the ring.
+	var d cell
+	d.observe(Outcome{URL: "unlisted"})
+	if d.deployed != 1 || len(d.exemplars()) != 0 {
+		t.Errorf("unlisted outcome: deployed=%d exemplars=%v", d.deployed, d.exemplars())
+	}
+}
+
+func TestRenderTableShape(t *testing.T) {
+	a := testAggregator(1)
+	a.Observe(0, Outcome{
+		Engine: "gsb", Brand: "PayPal", Technique: "A",
+		URL: "https://x.example/", Listed: true, Taint: true, Lag: 90 * time.Minute,
+	})
+	res := a.Results(1, ProviderFree)
+	res.VirtualDuration = 16 * time.Hour
+	res.Providers = []ProviderReport{{Apex: "pages.example", Mounted: 1, Evicted: 1, Sweeps: 2, Takedowns: 1}}
+	res.Watched = 4
+	res.Sighted = 3
+	// Wall-clock fields must never reach the rendered table: the CI smoke
+	// job byte-compares tables across worker counts and machines.
+	res.PeakHeapBytes = 123456789
+	res.WallSeconds = 9.87
+	res.URLsPerSec = 1234
+
+	tb := res.RenderTable()
+	for _, want := range []string{
+		"campaign: 1 URLs, provider=free, virtual span 16h",
+		"gsb",
+		"PayPal",
+		"90m",
+		"total: deployed=1 listed=1 ip-rep=1 shared=0",
+		"monitor: sighted 3 of 4 watched exemplars",
+		"provider pages.example: mounted=1 evicted=1 sweeps=2 takedowns=1",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("table missing %q:\n%s", want, tb)
+		}
+	}
+	for _, banned := range []string{"123456789", "9.87", "1234", "MiB", "sec"} {
+		if strings.Contains(tb, banned) {
+			t.Errorf("table leaks wall-clock figure %q:\n%s", banned, tb)
+		}
+	}
+	// No listings renders "-" rather than 0m.
+	b := testAggregator(1)
+	b.Observe(0, Outcome{Engine: "gsb", Brand: "PayPal", Technique: "A"})
+	if tb := b.Results(1, ProviderFree).RenderTable(); !strings.Contains(tb, "-") {
+		t.Errorf("unlisted cell should render '-' lags:\n%s", tb)
+	}
+}

@@ -1,0 +1,228 @@
+// Package campaign plans and aggregates paper-scale phishing studies: the
+// same lifecycle the 105-URL main experiment measures (deploy, report,
+// crawl, listing, feed sharing), run over 100k-1M URLs in one world. Two
+// properties make that tractable where the classic stage is not:
+//
+//   - Planning is positional. Every URL's assignment — label, provider
+//     apex, brand, evasion technique, reporting engine, deploy jitter — is
+//     a pure function of (seed, list position) folded through the repo's
+//     splitmix64 helpers, and the label itself spells the position in
+//     dropcatch's collision-free consonant-vowel encoding. No dedup table,
+//     no retained plan slice: wave N's URLs are re-derivable from their
+//     indexes alone.
+//
+//   - Aggregation is streaming. Nothing per-URL survives a URL's
+//     measurement window. When a window closes, the outcome folds into a
+//     fixed-size cell — one per (engine, brand, technique) — holding
+//     counters, a capped-centroid lag sketch, and a bounded ring of
+//     exemplar URLs. Memory is O(cells), not O(URLs), which is what the
+//     heap-regression test pins down.
+//
+// The package is seed-pure (policed by the seedpure phishlint analyzer):
+// no math/rand, draws derive from chaos.SplitSeed so two worlds with the
+// same seed plan identical campaigns regardless of scheduler parallelism.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"areyouhuman/internal/chaos"
+	"areyouhuman/internal/dropcatch"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+)
+
+// Provider models selectable with Config.Provider.
+const (
+	// ProviderFree hosts every URL as a subdomain of a shared free-hosting
+	// apex (see hosting.FreeProvider): O(1) per-URL deployment, shared-IP
+	// reputation, provider abuse sweeps.
+	ProviderFree = "free"
+	// ProviderDedicated gives every URL its own registrable domain, like
+	// the paper's keyword-domain deployments, registered and torn down per
+	// window.
+	ProviderDedicated = "dedicated"
+)
+
+// Providers lists the valid Config.Provider values.
+func Providers() []string { return []string{ProviderFree, ProviderDedicated} }
+
+// ErrProvider reports an unknown Config.Provider value.
+var ErrProvider = errors.New("campaign: unknown provider")
+
+// ErrSize reports a non-positive Config.URLs.
+var ErrSize = errors.New("campaign: URL count must be positive")
+
+// Campaign cadence defaults.
+const (
+	// DefaultWave is how many URLs deploy per wave. One wave is the
+	// campaign's in-flight set: its routes, evasion wrappers, and blacklist
+	// entries all release when its windows close, so Wave — not URLs —
+	// bounds steady-state memory.
+	DefaultWave = 4096
+	// DefaultWindow is each URL's measurement window: long enough to cover
+	// the slowest engine chain (28m response + 4h blacklist delay + jitter
+	// + 90m share delay), after which the URL is scored and purged.
+	DefaultWindow = 8 * time.Hour
+	// DefaultWatches is how many exemplar URLs get real monitor watches —
+	// a sighting-pipeline sanity sample, not per-URL instrumentation.
+	DefaultWatches = 16
+)
+
+// Config sizes a campaign.
+type Config struct {
+	// URLs is the campaign size (the paper-scale target is 100k-1M).
+	URLs int
+	// Provider selects the hosting model: ProviderFree (default) or
+	// ProviderDedicated.
+	Provider string
+	// Wave is the per-wave deploy count (DefaultWave when 0). Waves are
+	// spaced one Window apart, so at most one wave is in flight.
+	Wave int
+	// Window is the per-URL measurement window (DefaultWindow when 0).
+	Window time.Duration
+	// SweepInterval overrides the free providers' abuse-sweep cadence
+	// (hosting.DefaultSweepInterval when 0).
+	SweepInterval time.Duration
+	// Watches is how many exemplar URLs get monitor watches
+	// (DefaultWatches when 0, negative disables).
+	Watches int
+	// MeasureHeap samples the runtime heap at each wave boundary (forcing
+	// a GC first) and reports the high-water mark. Off by default: the
+	// forced GCs cost wall time and perturb nothing else.
+	MeasureHeap bool
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Provider == "" {
+		c.Provider = ProviderFree
+	}
+	if c.Wave <= 0 {
+		c.Wave = DefaultWave
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Watches == 0 {
+		c.Watches = DefaultWatches
+	}
+	return c
+}
+
+// Validate reports whether the (defaulted) config is runnable.
+func (c Config) Validate() error {
+	if c.URLs <= 0 {
+		return fmt.Errorf("%w (got %d)", ErrSize, c.URLs)
+	}
+	if c.Provider != ProviderFree && c.Provider != ProviderDedicated {
+		return fmt.Errorf("%w %q (want %q or %q)", ErrProvider, c.Provider, ProviderFree, ProviderDedicated)
+	}
+	return nil
+}
+
+// Waves is the number of deploy waves the config implies.
+func (c Config) Waves() int {
+	if c.Wave <= 0 || c.URLs <= 0 {
+		return 0
+	}
+	return (c.URLs + c.Wave - 1) / c.Wave
+}
+
+// Plan is one URL's complete assignment, derived from its list position.
+type Plan struct {
+	Index     int
+	Label     string // collision-free subdomain label / domain head
+	Apex      string // provider apex ("" under ProviderDedicated)
+	Host      string
+	URL       string
+	Engine    string // engine key the URL is reported to
+	Brand     phishkit.Brand
+	Technique evasion.Technique
+	// Jitter staggers the URL's deploy inside its wave, mimicking the
+	// paper's spread submissions.
+	Jitter time.Duration
+}
+
+// Planner derives per-URL plans. The zero value is not useful; construct
+// with NewPlanner and override fields before first use if needed.
+type Planner struct {
+	Seed int64
+	// Apexes are the free-hosting apexes URLs rotate across; empty means
+	// ProviderDedicated (each URL gets Label + "." + DedicatedTLD).
+	Apexes     []string
+	Engines    []string
+	Brands     []phishkit.Brand
+	Techniques []evasion.Technique
+	// Spread is the deploy-jitter range within a wave.
+	Spread time.Duration
+}
+
+// DedicatedTLD is the synthetic TLD dedicated campaign domains register
+// under. Labels are unique per position, so <label>.example never collides
+// with the classic stages' keyword domains.
+const DedicatedTLD = "example"
+
+// DefaultSpread is the default intra-wave deploy jitter range.
+const DefaultSpread = 30 * time.Minute
+
+// NewPlanner builds a planner over the repo's canonical dimensions: all
+// seven engines in Table 1 order, the three kit brands, the three human-
+// verification techniques.
+func NewPlanner(seed int64, apexes []string) *Planner {
+	return &Planner{
+		Seed:       seed,
+		Apexes:     apexes,
+		Engines:    engines.Keys(),
+		Brands:     phishkit.Brands(),
+		Techniques: evasion.Techniques(),
+		Spread:     DefaultSpread,
+	}
+}
+
+// At derives position i's plan. Pure: At(i) is the same on every call, in
+// every process, for a fixed planner.
+func (pl *Planner) At(i int) Plan {
+	// k = i+1: SplitSeed(master, 0) returns master verbatim, and position 0
+	// must not expose the raw seed as its draw stream.
+	s := uint64(chaos.SplitSeed(pl.Seed, i+1))
+	// The label head is a second independent stream so cosmetic name
+	// variation doesn't correlate with the assignment fields drawn from s.
+	hd := uint64(chaos.SplitSeed(int64(s), 1))
+
+	buf := make([]byte, 0, 24)
+	buf = dropcatch.AppendPositionWord(buf, int(hd%9025)) // two CV pairs
+	buf = append(buf, '-')
+	buf = dropcatch.AppendPositionWord(buf, i)
+	label := string(buf)
+
+	p := Plan{Index: i, Label: label}
+	h := s
+	draw := func(n int) int {
+		d := int(h % uint64(n))
+		h /= uint64(n)
+		return d
+	}
+	p.Engine = pl.Engines[draw(len(pl.Engines))]
+	p.Brand = pl.Brands[draw(len(pl.Brands))]
+	p.Technique = pl.Techniques[draw(len(pl.Techniques))]
+	if len(pl.Apexes) > 0 {
+		p.Apex = pl.Apexes[draw(len(pl.Apexes))]
+		p.Host = label + "." + p.Apex
+	} else {
+		p.Host = label + "." + DedicatedTLD
+	}
+	if pl.Spread > 0 {
+		p.Jitter = time.Duration(draw(int(pl.Spread/time.Second))) * time.Second
+	}
+	p.URL = "https://" + p.Host + PhishPath
+	return p
+}
+
+// PhishPath is the path every campaign URL serves its page at. A fixed path
+// keeps the provider render caches warm across URLs (the benign cover page
+// renders purely from the path).
+const PhishPath = "/account/verify"

@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"sort"
+	"time"
+)
+
+// SketchCentroids caps a LagSketch's size. 64 centroids resolve the p50/p90
+// of a listing-lag distribution (a few modes a few minutes to hours wide)
+// to well under the one-minute granularity the tables print.
+const SketchCentroids = 64
+
+// LagSketch is a deterministic capped-centroid quantile sketch over
+// durations — the t-digest idea stripped to what byte-identical replay
+// needs. Values insert as unit-weight centroids in sorted order; past the
+// cap, the adjacent pair with the smallest combined weight merges (ties to
+// the smallest index). Every operation is a pure function of the insertion
+// sequence — no randomness, no scale functions with platform-dependent
+// rounding — so per-shard sketches built in event order and merged in shard
+// order render identically for every worker count.
+//
+// The zero value is an empty sketch ready for use.
+type LagSketch struct {
+	cs []centroid
+	n  int64
+}
+
+type centroid struct {
+	mean float64
+	w    int64
+}
+
+// Add folds one observation in.
+func (s *LagSketch) Add(d time.Duration) { s.add(float64(d), 1) }
+
+// Count is the number of observations folded in.
+func (s *LagSketch) Count() int64 { return s.n }
+
+func (s *LagSketch) add(v float64, w int64) {
+	if w <= 0 {
+		return
+	}
+	i := sort.Search(len(s.cs), func(j int) bool { return s.cs[j].mean >= v })
+	if i < len(s.cs) && s.cs[i].mean == v {
+		s.cs[i].w += w
+	} else {
+		s.cs = append(s.cs, centroid{})
+		copy(s.cs[i+1:], s.cs[i:])
+		s.cs[i] = centroid{mean: v, w: w}
+	}
+	s.n += w
+	if len(s.cs) > SketchCentroids {
+		s.compress()
+	}
+}
+
+// compress merges the adjacent centroid pair with the smallest combined
+// weight; ties break to the smallest index. The merged mean is computed in
+// separate statements so the compiler cannot fuse the arithmetic into an
+// FMA, which would make the float bits platform-dependent.
+func (s *LagSketch) compress() {
+	best := 0
+	bw := s.cs[0].w + s.cs[1].w
+	for i := 1; i+1 < len(s.cs); i++ {
+		if w := s.cs[i].w + s.cs[i+1].w; w < bw {
+			best, bw = i, w
+		}
+	}
+	a, b := s.cs[best], s.cs[best+1]
+	wa := a.mean * float64(a.w)
+	wb := b.mean * float64(b.w)
+	sum := wa + wb
+	s.cs[best] = centroid{mean: sum / float64(bw), w: bw}
+	s.cs = append(s.cs[:best+1], s.cs[best+2:]...)
+}
+
+// Merge folds o's centroids into s, in o's (sorted) order. Merging the same
+// sketches in the same order always yields the same result, which is how
+// the aggregator gets shard-count-independent tables: per-shard sketches
+// merge in shard order 0..N-1.
+func (s *LagSketch) Merge(o *LagSketch) {
+	if o == nil {
+		return
+	}
+	// o's centroid slice is re-read by index because s.add never mutates o
+	// (s != o is required, as with most merge APIs).
+	for i := range o.cs {
+		s.add(o.cs[i].mean, o.cs[i].w)
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as a duration: the mean of
+// the centroid holding the q*n-th observation. Empty sketches report 0.
+func (s *LagSketch) Quantile(q float64) time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.n)
+	cum := int64(0)
+	for i := range s.cs {
+		cum += s.cs[i].w
+		if float64(cum) >= target {
+			return time.Duration(s.cs[i].mean)
+		}
+	}
+	return time.Duration(s.cs[len(s.cs)-1].mean)
+}

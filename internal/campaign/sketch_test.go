@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLagSketchExact(t *testing.T) {
+	// Below the centroid cap nothing merges, so quantiles are exact order
+	// statistics of the inserted values.
+	var s LagSketch
+	for i := 10; i >= 1; i-- { // insertion order must not matter
+		s.Add(time.Duration(i) * time.Minute)
+	}
+	if s.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count())
+	}
+	if got := s.Quantile(0.5); got != 5*time.Minute {
+		t.Errorf("p50 = %v, want 5m", got)
+	}
+	if got := s.Quantile(0.9); got != 9*time.Minute {
+		t.Errorf("p90 = %v, want 9m", got)
+	}
+	if got := s.Quantile(1); got != 10*time.Minute {
+		t.Errorf("p100 = %v, want 10m", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := s.Quantile(-3); got != 1*time.Minute {
+		t.Errorf("Quantile(-3) = %v, want 1m", got)
+	}
+	if got := s.Quantile(7); got != 10*time.Minute {
+		t.Errorf("Quantile(7) = %v, want 10m", got)
+	}
+}
+
+func TestLagSketchEmpty(t *testing.T) {
+	var s LagSketch
+	if s.Quantile(0.5) != 0 || s.Count() != 0 {
+		t.Error("empty sketch should report zero")
+	}
+}
+
+func TestLagSketchCompressionCap(t *testing.T) {
+	var s LagSketch
+	for i := 0; i < 10_000; i++ {
+		s.Add(time.Duration(i) * time.Second)
+	}
+	if len(s.cs) > SketchCentroids {
+		t.Fatalf("sketch holds %d centroids, cap is %d", len(s.cs), SketchCentroids)
+	}
+	if s.Count() != 10_000 {
+		t.Fatalf("Count = %d, want 10000", s.Count())
+	}
+	// Compression trades exactness for bounded size; on a uniform ramp the
+	// p50 must still land near the middle.
+	p50 := s.Quantile(0.5)
+	if p50 < 4000*time.Second || p50 > 6000*time.Second {
+		t.Errorf("compressed p50 = %v, want near 5000s", p50)
+	}
+	// Centroids stay sorted through compression.
+	for i := 1; i < len(s.cs); i++ {
+		if s.cs[i-1].mean > s.cs[i].mean {
+			t.Fatalf("centroids out of order at %d: %v > %v", i, s.cs[i-1].mean, s.cs[i].mean)
+		}
+	}
+}
+
+func TestLagSketchDeterministic(t *testing.T) {
+	build := func() *LagSketch {
+		var s LagSketch
+		for i := 0; i < 5000; i++ {
+			// A fixed mixed sequence (no randomness): two interleaved ramps.
+			s.Add(time.Duration((i*7919)%3600) * time.Second)
+		}
+		return &s
+	}
+	a, b := build(), build()
+	if len(a.cs) != len(b.cs) || a.n != b.n {
+		t.Fatalf("sketch shapes differ: %d/%d centroids, %d/%d count", len(a.cs), len(b.cs), a.n, b.n)
+	}
+	for i := range a.cs {
+		if a.cs[i] != b.cs[i] {
+			t.Fatalf("centroid %d differs: %+v vs %+v", i, a.cs[i], b.cs[i])
+		}
+	}
+}
+
+func TestLagSketchMergeOrderFixed(t *testing.T) {
+	// The aggregator merges per-shard sketches in shard order 0..N-1; the
+	// guarantee it relies on is that the same merge sequence always produces
+	// the same sketch, bit for bit.
+	shard := func(k int) *LagSketch {
+		var s LagSketch
+		for i := 0; i < 900; i++ {
+			s.Add(time.Duration((i*31+k*1009)%7200) * time.Second)
+		}
+		return &s
+	}
+	merge := func() *LagSketch {
+		var m LagSketch
+		for k := 0; k < 4; k++ {
+			m.Merge(shard(k))
+		}
+		return &m
+	}
+	a, b := merge(), merge()
+	if a.n != b.n || len(a.cs) != len(b.cs) {
+		t.Fatalf("merged shapes differ")
+	}
+	for i := range a.cs {
+		if a.cs[i] != b.cs[i] {
+			t.Fatalf("merged centroid %d differs: %+v vs %+v", i, a.cs[i], b.cs[i])
+		}
+	}
+	if got := a.Count(); got != 4*900 {
+		t.Errorf("merged count = %d, want %d", got, 4*900)
+	}
+	// Merging a nil sketch is a no-op.
+	n := a.n
+	a.Merge(nil)
+	if a.n != n {
+		t.Error("Merge(nil) changed the sketch")
+	}
+}
+
+func TestLagSketchEqualValuesCoalesce(t *testing.T) {
+	var s LagSketch
+	for i := 0; i < 1000; i++ {
+		s.Add(42 * time.Second)
+	}
+	if len(s.cs) != 1 {
+		t.Fatalf("1000 equal values produced %d centroids, want 1", len(s.cs))
+	}
+	if got := s.Quantile(0.9); got != 42*time.Second {
+		t.Errorf("p90 = %v, want 42s", got)
+	}
+}

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"areyouhuman/internal/campaign"
+)
+
+// RunCampaign runs a paper-scale streaming campaign study in a fresh world:
+// cfg.URLs phishing URLs deployed in waves on free-hosting providers (or
+// dedicated domains), each reported to one engine and scored when its
+// measurement window closes. Results aggregate into fixed-size cells — see
+// internal/campaign — so memory stays flat from 10k to 1M URLs.
+func (f *Framework) RunCampaign(cfg campaign.Config) (*campaign.Results, error) {
+	w := f.newWorld(f.Cfg)
+	defer w.Close()
+	return w.RunCampaign(cfg)
+}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"areyouhuman/internal/simnet"
 )
 
 // RType is a DNS record type.
@@ -104,6 +106,22 @@ func (s *Server) AddZone(domain, ip string) *Zone {
 	return z
 }
 
+// AddWildcardA appends a wildcard A record ("*." + apex) to apex's zone, the
+// way free-hosting providers resolve every customer subdomain to shared
+// front-end addresses. The zone must already exist (AddZone). It reports
+// whether the record was added.
+func (s *Server) AddWildcardA(apex, ip string) bool {
+	apex = canonical(apex)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	z, ok := s.zones[apex]
+	if !ok {
+		return false
+	}
+	z.Records = append(z.Records, Record{Name: "*." + apex, Type: TypeA, Data: ip})
+	return true
+}
+
 // RemoveZone deletes the zone, making subsequent queries answer NXDOMAIN —
 // what happens when a domain expires and drops.
 func (s *Server) RemoveZone(domain string) {
@@ -142,6 +160,16 @@ func (s *Server) Query(name string, t RType) (RCode, []Record) {
 	for _, r := range z.Records {
 		if r.Type == t && canonical(r.Name) == name {
 			out = append(out, r)
+		}
+	}
+	if out == nil && name != z.Domain {
+		// No exact match for a subdomain: wildcard records answer, like real
+		// DNS wildcard synthesis (RFC 4592, simplified to one label deep).
+		wild := "*." + z.Domain
+		for _, r := range z.Records {
+			if r.Type == t && canonical(r.Name) == wild {
+				out = append(out, r)
+			}
 		}
 	}
 	return NoError, out
@@ -213,13 +241,15 @@ func canonical(name string) string {
 	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(name)), ".")
 }
 
-// ShardKey returns the scheduler affinity key for a DNS name: the zone apex
-// it belongs to, in the same "host:<registrable>" form as simnet.ShardKey.
-// Event chains that mutate a zone (registration, removal, DNSSEC flips)
-// should be rooted with simclock.EventScheduler.OnKey on this key so they
-// serialize with the web-layer events for the same domain.
+// ShardKey returns the scheduler affinity key for a DNS name, in the same
+// "host:<registrable>" form as simnet.ShardKey (including the free-hosting
+// shared-suffix rule, so DNS-layer events for a campaign subdomain land on
+// the same shard as its web-layer lifecycle). Event chains that mutate a
+// zone (registration, removal, DNSSEC flips) should be rooted with
+// simclock.EventScheduler.OnKey on this key so they serialize with the
+// web-layer events for the same domain.
 func ShardKey(name string) string {
-	return "host:" + registrable(canonical(name))
+	return simnet.ShardKey(name)
 }
 
 // registrable maps a hostname to the zone apex it belongs to in this

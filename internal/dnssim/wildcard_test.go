@@ -1,0 +1,56 @@
+package dnssim
+
+import (
+	"testing"
+
+	"areyouhuman/internal/simnet"
+)
+
+func TestAddWildcardAAndQuery(t *testing.T) {
+	t.Parallel()
+	s := NewServer()
+	z := s.AddZone("pages.example", "198.51.100.7")
+	if !s.AddWildcardA("pages.example", "198.51.100.7") {
+		t.Fatal("AddWildcardA on an existing zone failed")
+	}
+	// A wildcard record for a zone that was never created is refused.
+	if s.AddWildcardA("nozone.example", "198.51.100.9") {
+		t.Error("AddWildcardA invented a zone")
+	}
+
+	// Subdomains synthesise from the wildcard...
+	rc, recs := s.Query("victim-login.pages.example", TypeA)
+	if rc != NoError || len(recs) != 1 || recs[0].Data != "198.51.100.7" {
+		t.Fatalf("wildcard synthesis: rc=%v recs=%v", rc, recs)
+	}
+	// ...an exact record still wins for its own name...
+	z.Records = append(z.Records, Record{Name: "special.pages.example", Type: TypeA, Data: "203.0.113.50"})
+	if _, recs := s.Query("special.pages.example", TypeA); len(recs) != 1 || recs[0].Data != "203.0.113.50" {
+		t.Errorf("exact record lost to the wildcard: %v", recs)
+	}
+	// ...and removing the zone kills wildcard synthesis with it.
+	s.RemoveZone("pages.example")
+	if rc, _ := s.Query("victim-login.pages.example", TypeA); rc != NXDomain {
+		t.Errorf("query after RemoveZone = %v, want NXDomain", rc)
+	}
+}
+
+// TestShardKeyMatchesSimnet pins the cross-layer agreement the campaign
+// relies on: DNS events for a host land on the same scheduler shard as its
+// web-layer lifecycle, including the free-hosting shared-suffix rule.
+func TestShardKeyMatchesSimnet(t *testing.T) {
+	t.Parallel()
+	for _, host := range []string{
+		"shop.example",
+		"www.shop.example",
+		"victim.pages.example",
+		"a.b.freesites.example",
+	} {
+		if got, want := ShardKey(host), simnet.ShardKey(host); got != want {
+			t.Errorf("ShardKey(%q) = %q, simnet says %q", host, got, want)
+		}
+	}
+	if ShardKey("a.pages.example") == ShardKey("b.pages.example") {
+		t.Error("free-hosting subdomains serialise on one DNS shard key")
+	}
+}

@@ -149,20 +149,39 @@ func synthDomainAt(buf []byte, rng *rand.Rand, i int) (string, []byte) {
 		buf = append(buf, synthConsonants[rng.Intn(len(synthConsonants))], synthVowels[rng.Intn(len(synthVowels))])
 	}
 	buf = append(buf, '-')
-	for d, n := 0, i; d < 2 || n > 0; d++ {
-		digit := n % 95
-		n /= 95
-		buf = append(buf, synthConsonants[digit%19], synthVowels[digit/19])
-	}
+	buf = AppendPositionWord(buf, i)
 	buf = append(buf, '.')
 	buf = append(buf, synthTLDs[rng.Intn(len(synthTLDs))]...)
 	return string(buf), buf
 }
 
+// AppendPositionWord appends the pronounceable little-endian base-95
+// encoding of position i (consonant-vowel pairs, at least two) to buf and
+// returns the extended slice. Distinct non-negative positions always encode
+// to distinct words, which is what lets a million-name campaign synthesise
+// collision-free labels with no dedup map — the idiom NewWorld uses for its
+// top-list names, exported for the campaign URL generator.
+func AppendPositionWord(buf []byte, i int) []byte {
+	for d, n := 0, i; d < 2 || n > 0; d++ {
+		digit := n % 95
+		n /= 95
+		buf = append(buf, synthConsonants[digit%19], synthVowels[digit/19])
+	}
+	return buf
+}
+
 // samplePositions returns k distinct uniformly random positions in [0, n),
 // in random order — a k-step partial Fisher-Yates over a virtual identity
-// slice, so only the swapped entries are materialised.
+// slice, so only the swapped entries are materialised. A sample size larger
+// than the pool clamps to a full permutation (you cannot draw more distinct
+// positions than exist), and k = n is exactly a Fisher-Yates shuffle.
 func samplePositions(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
 	out := make([]int, k)
 	swapped := make(map[int]int, 2*k)
 	at := func(p int) int {

@@ -1,0 +1,123 @@
+package dropcatch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAppendPositionWordEdges pins the name-synthesis edge cases: position 0
+// still encodes to a full two-pair word, every word is consonant-vowel
+// alternating over the synth alphabets, and distinct positions never collide
+// (the property the campaign label generator leans on).
+func TestAppendPositionWordEdges(t *testing.T) {
+	w0 := string(AppendPositionWord(nil, 0))
+	if len(w0) != 4 {
+		t.Fatalf("position 0 word %q, want two consonant-vowel pairs", w0)
+	}
+	// Single base-95 digit boundary: 94 is the last one-digit value, 95 the
+	// first two-digit one — both still pad to the two-pair minimum.
+	if a, b := string(AppendPositionWord(nil, 94)), string(AppendPositionWord(nil, 95)); a == b || len(a) != 4 || len(b) != 4 {
+		t.Fatalf("digit-boundary words: %q vs %q", a, b)
+	}
+	// Three digits appear at 95^2.
+	if w := string(AppendPositionWord(nil, 95*95)); len(w) != 6 {
+		t.Fatalf("position 95^2 word %q, want three pairs", w)
+	}
+
+	seen := make(map[string]int, 20_000)
+	for i := 0; i < 20_000; i++ {
+		w := string(AppendPositionWord(nil, i))
+		if j, dup := seen[w]; dup {
+			t.Fatalf("positions %d and %d both encode to %q", j, i, w)
+		}
+		seen[w] = i
+		for k := 0; k < len(w); k += 2 {
+			if !strings.ContainsRune(synthConsonants, rune(w[k])) || !strings.ContainsRune(synthVowels, rune(w[k+1])) {
+				t.Fatalf("word %q (position %d) breaks consonant-vowel alternation at %d", w, i, k)
+			}
+		}
+	}
+}
+
+// TestAppendPositionWordReusesBuffer checks the append contract: the word
+// lands on the passed buffer so hot loops can amortise one allocation.
+func TestAppendPositionWordReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, "x-"...)
+	buf = AppendPositionWord(buf, 123)
+	if !strings.HasPrefix(string(buf), "x-") {
+		t.Fatalf("prefix lost: %q", buf)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		b := buf[:0]
+		_ = AppendPositionWord(b, 99_999)
+	}); allocs != 0 {
+		t.Errorf("AppendPositionWord into a sized buffer allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestSamplePositionsEdges covers the clamping contract: k = 0 draws
+// nothing, k = n is a full permutation, k > n clamps to the pool, and
+// negative k clamps to zero.
+func TestSamplePositionsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := samplePositions(rng, 10, 0); len(got) != 0 {
+		t.Errorf("k=0 drew %v", got)
+	}
+	if got := samplePositions(rng, 10, -3); len(got) != 0 {
+		t.Errorf("k<0 drew %v", got)
+	}
+	if got := samplePositions(rng, 0, 5); len(got) != 0 {
+		t.Errorf("empty pool drew %v", got)
+	}
+	for _, k := range []int{50, 75} { // k = n exactly, and k > n clamped
+		got := samplePositions(rand.New(rand.NewSource(2)), 50, k)
+		if len(got) != 50 {
+			t.Fatalf("k=%d over pool 50 drew %d positions, want 50", k, len(got))
+		}
+		seen := make([]bool, 50)
+		for _, p := range got {
+			if p < 0 || p >= 50 || seen[p] {
+				t.Fatalf("k=%d sample not a permutation: %v", k, got)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestSamplePositionsDistinctAndDeterministic checks the partial
+// Fisher-Yates: samples are distinct and in range, the same seed reproduces
+// the same sample, and two seeds draw differently.
+func TestSamplePositionsDistinctAndDeterministic(t *testing.T) {
+	draw := func(seed int64) []int {
+		return samplePositions(rand.New(rand.NewSource(seed)), 10_000, 300)
+	}
+	a, b := draw(7), draw(7)
+	if len(a) != 300 {
+		t.Fatalf("drew %d positions, want 300", len(a))
+	}
+	seen := make(map[int]bool, 300)
+	for i, p := range a {
+		if p < 0 || p >= 10_000 {
+			t.Fatalf("position %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate position %d", p)
+		}
+		seen[p] = true
+		if b[i] != p {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, p, b[i])
+		}
+	}
+	c := draw(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("two seeds drew identical samples")
+	}
+}

@@ -98,6 +98,46 @@ type Engine struct {
 	TrafficPerReport int
 	// Recheck intervals after the first crawl.
 	Rechecks []time.Duration
+
+	// Campaign streaming mode (see CampaignTune): detections flow to detSink
+	// instead of accumulating, and per-report queue/community/mail state is
+	// skipped so memory stays constant per URL.
+	streaming bool
+	detSink   func(Detection)
+	hostRep   HostRep
+}
+
+// HostRep scores shared-hosting IP reputation. A free-hosting provider
+// implements it over its published taint state: once co-hosted URLs on the
+// same provider address are blacklisted, engines begin flagging sibling
+// URLs on that address without needing to reach their payload — the
+// infrastructure-reputation channel that makes human-verification cloaking
+// (reCAPTCHA and friends) leaky on shared hosting.
+type HostRep interface {
+	// TaintScore returns the probability in [0, 1] that a benign-looking URL
+	// on host gets flagged anyway on reputation grounds at virtual time now.
+	// Implementations must be deterministic in virtual time (barrier-stable
+	// under sharded execution) and safe for concurrent use.
+	TaintScore(host string, now time.Time) float64
+}
+
+// TaintSourcePrefix marks blacklist entries contributed by the shared-IP
+// reputation channel rather than a content verdict: the entry source is
+// TaintSourcePrefix + the engine key.
+const TaintSourcePrefix = "ip-rep:"
+
+// hostOf extracts the host from a URL without needing it to parse fully.
+func hostOf(rawURL string) string {
+	s := rawURL
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '?' || s[i] == '#' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // Deps wires an engine into the simulated world.
@@ -132,6 +172,10 @@ type Deps struct {
 	// retries, and listings as lifecycle events (see internal/journal).
 	// Like Telemetry it observes only.
 	Journal *journal.Recorder
+	// HostRep, when set, lets the crawl pipeline flag benign-looking URLs on
+	// reputation-tainted shared-hosting addresses (see HostRep). Leave nil
+	// for the classic content-only pipeline.
+	HostRep HostRep
 }
 
 // instruments are the engine's pre-resolved metric handles; all nil (and
@@ -202,6 +246,7 @@ func New(p Profile, deps Deps) *Engine {
 		inst:             newInstruments(deps.Telemetry.M(), p.Key),
 		rec:              deps.Journal,
 		faults:           deps.Faults,
+		hostRep:          deps.HostRep,
 		backoff:          chaos.DefaultBackoff(),
 		TrafficPerReport: p.PrelimRequests / 3,
 		Rechecks:         []time.Duration{30 * time.Minute, 2 * time.Hour},
@@ -273,11 +318,38 @@ func (e *Engine) Detections() []Detection {
 }
 
 // recordDetection appends d stamped with the current event, under the lock.
+// In streaming mode the detection flows to the sink (or is dropped) instead
+// of accumulating, keeping engine memory constant per URL at campaign scale.
 func (e *Engine) recordDetection(d Detection) {
 	d.stamp, _ = e.sched.ExecStamp()
+	if e.streaming {
+		if e.detSink != nil {
+			e.detSink(d)
+		}
+		return
+	}
 	e.detMu.Lock()
 	e.detections = append(e.detections, d)
 	e.detMu.Unlock()
+}
+
+// CampaignTune reconfigures the engine for streaming campaign studies where
+// per-URL cost must be constant: no crawler-fleet traffic, no rechecks, no
+// reporter/abuse notification mail, no retained report queue or community
+// section, and detections streamed to sink (discarded when nil, scorable via
+// List at window close) instead of accumulating. rep, when non-nil, installs
+// a shared-hosting reputation source consulted on benign verdicts. Call
+// before the first Report; the classic stages never call it.
+func (e *Engine) CampaignTune(rep HostRep, sink func(Detection)) {
+	e.TrafficPerReport = 0
+	e.Rechecks = nil
+	e.Profile.NotifiesReporter = false
+	e.abuse = nil
+	e.streaming = true
+	e.detSink = sink
+	if rep != nil {
+		e.hostRep = rep
+	}
 }
 
 // rng returns a deterministic generator scoped to this engine and a label
@@ -299,8 +371,12 @@ func (e *Engine) Report(rawURL, reporter string) {
 	e.rec.Emit(journal.KindReportSubmit, journal.Fields{
 		URL: rawURL, Engine: e.Profile.Key, Source: reporter,
 	})
-	e.Queue.Submit(rawURL, reporter)
-	e.enqueueCommunity(rawURL)
+	if !e.streaming {
+		// The intake queue and community section retain per-report state for
+		// the classic stages' bookkeeping; a streaming campaign skips both.
+		e.Queue.Submit(rawURL, reporter)
+		e.enqueueCommunity(rawURL)
+	}
 	e.sched.After(e.Profile.RespondsWithin, e.Profile.Key+":first-crawl", func(now time.Time) {
 		e.process(rawURL)
 	})
@@ -378,6 +454,19 @@ func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 	}
 	e.inst.crawls.Inc()
 	verdict, viaForm, err := e.visit(rawURL)
+	tainted := false
+	if err == nil && !verdict && e.hostRep != nil {
+		// The page looked benign (or hid behind a human-verification gate),
+		// but the engine also scores the hosting infrastructure: on a
+		// shared-hosting address already serving blacklisted siblings, the
+		// URL can be flagged on reputation alone. The draw is seed-pure per
+		// (engine, URL), so the decision is independent of scheduling order.
+		if score := e.hostRep.TaintScore(hostOf(rawURL), e.sched.Clock().Now()); score > 0 {
+			if e.rng("iprep|"+rawURL).Float64() < score {
+				verdict, tainted = true, true
+			}
+		}
+	}
 	if e.rec != nil {
 		v := "benign"
 		switch {
@@ -411,8 +500,14 @@ func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 		// A degraded pipeline confirms as usual but lists late.
 		delay += e.faults.EngineSlowdown(e.Profile.Key, crawledAt)
 	}
+	source := e.Profile.Key
+	if tainted {
+		// Reputation-grounded listings carry a distinct source so campaign
+		// scoring can attribute them to the shared-IP channel.
+		source = TaintSourcePrefix + e.Profile.Key
+	}
 	e.sched.After(delay, e.Profile.Key+":blacklist", func(now time.Time) {
-		if !e.List.Add(rawURL, e.Profile.Key) {
+		if !e.List.Add(rawURL, source) {
 			return
 		}
 		e.recordDetection(Detection{
@@ -427,7 +522,7 @@ func (e *Engine) crawlAttempt(rawURL string, attempt int) {
 				telemetry.Duration("listing_delay", now.Sub(crawledAt)))
 		}
 		e.rec.Emit(journal.KindBlacklistAdd, journal.Fields{
-			URL: rawURL, Engine: e.Profile.Key, Source: e.Profile.Key,
+			URL: rawURL, Engine: e.Profile.Key, Source: source,
 			ViaForm: viaForm, Delay: now.Sub(crawledAt),
 		})
 		if e.community != nil {

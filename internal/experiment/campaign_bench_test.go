@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"areyouhuman/internal/campaign"
+)
+
+// BenchmarkCampaign measures streaming-campaign throughput (URLs/sec) and
+// the wave-boundary peak heap at two campaign sizes. The ratio between the
+// two heap figures is the constant-memory story: the aggregator is
+// O(cells), the in-flight set is O(wave), so 10x the URLs should cost
+// roughly 1x the memory (TestCampaignHeapFlat enforces <= 3x). Results are
+// recorded in BENCH_campaign.json at the repo root.
+func BenchmarkCampaign(b *testing.B) {
+	for _, urls := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("urls=%d", urls), func(b *testing.B) {
+			var peak uint64
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				w := NewWorld(Config{})
+				res, err := w.RunCampaign(campaign.Config{
+					URLs: urls, MeasureHeap: true, Watches: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Deployed != urls {
+					b.Fatalf("deployed %d of %d", res.Deployed, urls)
+				}
+				peak = res.PeakHeapBytes
+				rate = res.URLsPerSec
+				w.Close()
+			}
+			b.ReportMetric(rate, "URLs/sec")
+			b.ReportMetric(float64(peak), "peak-heap-bytes")
+		})
+	}
+}

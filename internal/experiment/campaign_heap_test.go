@@ -1,0 +1,48 @@
+//go:build !race
+
+// The heap regression runs a 100k-URL campaign; under the race detector
+// that costs minutes for no extra signal (the determinism tests already run
+// race-enabled), so the file is excluded from -race builds.
+
+package experiment
+
+import (
+	"testing"
+
+	"areyouhuman/internal/campaign"
+)
+
+// TestCampaignHeapFlat is the constant-memory acceptance gate: a 100k-URL
+// campaign's wave-boundary heap high-water mark must stay within a small
+// factor of a 10k-URL campaign's. If per-URL state leaks past its window —
+// a retained slice, an unevicted route, an unpurged blacklist entry — the
+// 10x size ratio shows up in this ratio and the test fails.
+func TestCampaignHeapFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-URL campaign is a long test")
+	}
+	peak := func(urls int) uint64 {
+		w := NewWorld(Config{})
+		defer w.Close()
+		res, err := w.RunCampaign(campaign.Config{
+			URLs: urls, MeasureHeap: true, Watches: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deployed != urls {
+			t.Fatalf("deployed %d of %d", res.Deployed, urls)
+		}
+		if res.PeakHeapBytes == 0 {
+			t.Fatal("MeasureHeap produced no samples")
+		}
+		return res.PeakHeapBytes
+	}
+	p10 := peak(10_000)
+	p100 := peak(100_000)
+	t.Logf("peak heap: 10k URLs = %.1f MiB, 100k URLs = %.1f MiB (ratio %.2f)",
+		float64(p10)/(1<<20), float64(p100)/(1<<20), float64(p100)/float64(p10))
+	if p100 > 3*p10 {
+		t.Errorf("peak heap grew with campaign size: 10k=%d bytes, 100k=%d bytes (> 3x)", p10, p100)
+	}
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"areyouhuman/internal/campaign"
+	"areyouhuman/internal/journal"
+)
+
+func runCampaign(t *testing.T, workers int, cc campaign.Config) (*campaign.Results, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWorld(Config{Journal: journal.NewWriter(&buf), ShardWorkers: workers})
+	defer w.Close()
+	res, err := w.RunCampaign(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cfg.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.String()
+}
+
+// TestRunCampaignFree drives a small free-hosting campaign end to end on the
+// classic serial scheduler: every URL deploys, lists or expires, and is torn
+// down; the journal stays anomaly-free.
+func TestRunCampaignFree(t *testing.T) {
+	t.Parallel()
+	res, jb := runCampaign(t, 0, campaign.Config{URLs: 150, Wave: 50, Watches: 8})
+	if res.Deployed != 150 {
+		t.Errorf("deployed = %d, want 150", res.Deployed)
+	}
+	if res.Listed == 0 {
+		t.Error("campaign produced no listings")
+	}
+	if res.Shared == 0 {
+		t.Error("no cross-engine feed-share listings observed")
+	}
+	var mounted, evicted int64
+	for _, p := range res.Providers {
+		mounted += p.Mounted
+		evicted += p.Evicted
+	}
+	if mounted != 150 {
+		t.Errorf("providers mounted %d sites, want 150", mounted)
+	}
+	if evicted != 150 {
+		t.Errorf("providers evicted %d sites, want 150 (campaign must tear down every route)", evicted)
+	}
+	if res.Watched != 8 {
+		t.Errorf("watched = %d, want 8", res.Watched)
+	}
+	table := res.RenderTable()
+	if !strings.Contains(table, "campaign: 150 URLs, provider=free") {
+		t.Errorf("table header missing:\n%s", table)
+	}
+
+	events, err := journal.ReadEvents(strings.NewReader(jb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := journal.Analyze(events)
+	if anomalies := st.Anomalies(); len(anomalies) != 0 {
+		t.Fatalf("journal flagged %d anomalies, e.g. %v", len(anomalies), anomalies[0])
+	}
+}
+
+// TestRunCampaignDedicated checks the dedicated-domain provider: each URL
+// registers its own host and zone, and both are released at window close.
+func TestRunCampaignDedicated(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	w := NewWorld(Config{Journal: journal.NewWriter(&buf)})
+	defer w.Close()
+	zonesBefore := len(w.DNS.Zones())
+	res, err := w.RunCampaign(campaign.Config{
+		URLs: 60, Wave: 30, Provider: campaign.ProviderDedicated, Watches: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deployed != 60 {
+		t.Errorf("deployed = %d, want 60", res.Deployed)
+	}
+	if res.Listed == 0 {
+		t.Error("dedicated campaign produced no listings")
+	}
+	if res.Taint != 0 {
+		t.Errorf("dedicated campaign reported %d ip-rep listings; reputation needs shared hosting", res.Taint)
+	}
+	if got := len(w.DNS.Zones()); got != zonesBefore {
+		t.Errorf("dangling DNS zones after campaign: %d, want %d", got, zonesBefore)
+	}
+	if len(res.Providers) != 0 {
+		t.Errorf("dedicated campaign lists %d providers, want 0", len(res.Providers))
+	}
+}
+
+// TestCampaignValidation pins the config error paths.
+func TestCampaignValidation(t *testing.T) {
+	t.Parallel()
+	w := NewWorld(Config{})
+	defer w.Close()
+	if _, err := w.RunCampaign(campaign.Config{URLs: 0}); err == nil {
+		t.Error("URLs=0 accepted")
+	}
+	if _, err := w.RunCampaign(campaign.Config{URLs: 10, Provider: "clown"}); err == nil {
+		t.Error("unknown provider accepted")
+	}
+}
+
+// TestCampaignShardWorkerIdentity is the campaign determinism gate: the
+// rendered tables and journal bytes must be identical for 1 and 4 workers
+// (this is the in-tree version of the CI campaign-smoke byte comparison).
+func TestCampaignShardWorkerIdentity(t *testing.T) {
+	t.Parallel()
+	cc := campaign.Config{URLs: 300, Wave: 100, Watches: 8}
+	res1, j1 := runCampaign(t, 1, cc)
+	res4, j4 := runCampaign(t, 4, cc)
+	if t1, t4 := res1.RenderTable(), res4.RenderTable(); t1 != t4 {
+		t.Errorf("tables differ across worker counts:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s", t1, t4)
+	}
+	if j1 != j4 {
+		t.Error("journal bytes differ across worker counts")
+	}
+}
+
+// TestCampaignTaintListings runs long enough for provider sweeps to publish
+// shared-IP reputation and checks that reputation listings actually occur
+// (the free-hosting channel Recaptcha URLs can only be caught through).
+func TestCampaignTaintListings(t *testing.T) {
+	t.Parallel()
+	res, _ := runCampaign(t, 1, campaign.Config{URLs: 600, Wave: 150, Watches: -1})
+	if res.Taint == 0 {
+		t.Error("no shared-IP reputation listings; taint channel inert")
+	}
+	var sweeps, takedowns int64
+	for _, p := range res.Providers {
+		sweeps += p.Sweeps
+		takedowns += p.Takedowns
+	}
+	if sweeps == 0 {
+		t.Error("providers ran no abuse sweeps")
+	}
+	if takedowns == 0 {
+		t.Error("provider sweeps took down no listed sites")
+	}
+}

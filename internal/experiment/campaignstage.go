@@ -1,0 +1,394 @@
+package experiment
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/campaign"
+	"areyouhuman/internal/captcha"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/hosting"
+	"areyouhuman/internal/journal"
+	"areyouhuman/internal/monitor"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/simnet"
+	"areyouhuman/internal/sitegen"
+	"areyouhuman/internal/telemetry"
+)
+
+// CampaignCoverDomain names the shared benign cover site dedicated-mode
+// campaign URLs serve beside their phishing page.
+const CampaignCoverDomain = "portfolio-hosting.example"
+
+// RunCampaign runs a paper-scale streaming study: cfg.URLs phishing URLs
+// deployed in waves, each reported to one engine, measured for one window,
+// scored into the streaming aggregator, and torn down. Unlike RunMain,
+// nothing per-URL outlives its window — no Deployment records, no result
+// maps — so memory is bounded by one wave plus the aggregator's fixed cells
+// regardless of campaign size (the heap-regression test holds this to a
+// small factor between 10k and 100k URLs).
+//
+// Free-provider campaigns additionally exercise the shared-hosting dynamics
+// the dedicated study cannot: subdomain URLs spread across the provider
+// apexes (and therefore across scheduler shards), listings taint the
+// provider's shared IPs so engines begin flagging co-hosted URLs on
+// reputation alone, and the providers' periodic abuse sweeps bulk-evict
+// listed sites on the virtual clock.
+func (w *World) RunCampaign(cc campaign.Config) (*campaign.Results, error) {
+	cc = cc.WithDefaults()
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	span := w.Tel.T().Start("stage.campaign")
+	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
+	w.Journal.Emit(journal.KindStageStart, journal.Fields{Stage: "campaign"})
+	defer w.Journal.Emit(journal.KindStageEnd, journal.Fields{Stage: "campaign"})
+
+	keys := engines.Keys()
+	feeds := make([]*blacklist.List, len(keys))
+	for i, key := range keys {
+		feeds[i] = w.Engines[key].List
+	}
+
+	// Providers and the reputation channel. Everything shared across URLs —
+	// provider front ends, kits, cover sites, the CAPTCHA site, render
+	// caches — is built here, before the scheduler runs, so deploy events on
+	// different shards only ever read it.
+	var providers []*hosting.FreeProvider
+	var apexes []string
+	var rep engines.HostRep
+	if cc.Provider == campaign.ProviderFree {
+		apexes = simnet.FreeHostingApexes()
+		for _, apex := range apexes {
+			p := hosting.NewFreeProvider(apex, w.Net, w.DNS, w.Sched, w.Journal)
+			if w.Sched.Sharded() {
+				w.Sched.OnBarrier(p.PublishTaint)
+			}
+			providers = append(providers, p)
+		}
+		rep = providerMux(providers)
+	}
+	for _, key := range keys {
+		w.Engines[key].CampaignTune(rep, nil)
+	}
+
+	factories := make(map[string]*siteFactory, len(apexes)+1)
+	if len(apexes) == 0 {
+		f, err := w.newSiteFactory(CampaignCoverDomain)
+		if err != nil {
+			return nil, err
+		}
+		factories[""] = f
+	}
+	for _, apex := range apexes {
+		f, err := w.newSiteFactory(apex)
+		if err != nil {
+			return nil, err
+		}
+		factories[apex] = f
+	}
+
+	planner := campaign.NewPlanner(w.Cfg.Seed, apexes)
+	agg := campaign.NewAggregator(w.Sched.Shards(), planner.Engines,
+		brandNames(planner.Brands), techniqueLetters(planner.Techniques))
+
+	mon := monitor.New(w.Sched)
+	mon.Instrument(w.Tel)
+	mon.WithJournal(w.Journal)
+
+	providerByApex := make(map[string]*hosting.FreeProvider, len(providers))
+	for _, p := range providers {
+		providerByApex[p.Apex] = p
+	}
+
+	var heap heapWatermark
+	waves := cc.Waves()
+	start := w.Clock.Now()
+	// Horizon: the last wave starts at (waves-1)*Window, its deploys jitter
+	// by up to Spread, and their windows run one more Window. The slack
+	// hour lets trailing provider takedowns and sweeps drain.
+	horizon := start.Add(time.Duration(waves-1)*cc.Window + planner.Spread + cc.Window + time.Hour)
+	for _, p := range providers {
+		p.StartSweeps(cc.SweepInterval, horizon, feeds)
+	}
+
+	closeOne := func(p campaign.Plan, reportedAt time.Time) {
+		o := campaign.Outcome{
+			Engine: p.Engine, Brand: string(p.Brand),
+			Technique: p.Technique.Letter(), URL: p.URL,
+		}
+		own, taintedOwn := p.Engine, engines.TaintSourcePrefix+p.Engine
+		for i, key := range keys {
+			entry, ok := feeds[i].Lookup(p.URL)
+			if !ok {
+				continue
+			}
+			if key == p.Engine && (entry.Source == own || entry.Source == taintedOwn) {
+				o.Listed = true
+				o.Taint = entry.Source == taintedOwn
+				o.Lag = entry.AddedAt.Sub(reportedAt)
+			} else {
+				o.Shared++
+			}
+			feeds[i].Remove(p.URL)
+		}
+		shard := 0
+		if st, ok := w.Sched.ExecStamp(); ok {
+			shard = st.Shard
+		}
+		agg.Observe(shard, o)
+		if prov := providerByApex[p.Apex]; prov != nil {
+			prov.Evict(p.Label)
+		} else {
+			w.Net.Unregister(p.Host)
+			w.DNS.RemoveZone(p.Host)
+		}
+		if p.Index < cc.Watches {
+			mon.Forget(p.URL)
+		}
+		w.Journal.Emit(journal.KindWindowClose, journal.Fields{
+			URL: p.URL, Domain: p.Host, Engine: p.Engine,
+		})
+	}
+
+	deployOne := func(p campaign.Plan, now time.Time) {
+		apexKey := p.Apex // "" selects the dedicated factory
+		site := factories[apexKey].site(p)
+		if prov := providerByApex[p.Apex]; prov != nil {
+			prov.Mount(p.Label, site)
+		} else {
+			host := w.Net.Register(p.Host, site)
+			w.DNS.AddZone(p.Host, host.IP)
+			w.Net.EnableTLS(p.Host)
+		}
+		w.Journal.Emit(journal.KindDeploy, journal.Fields{
+			URL: p.URL, Domain: p.Host,
+			Brand: string(p.Brand), Technique: p.Technique.String(),
+		})
+		eng := w.Engines[p.Engine]
+		eng.Report(p.URL, ReporterAddress)
+		if p.Index < cc.Watches {
+			until := now.Add(cc.Window)
+			switch p.Engine {
+			case engines.GSB:
+				mon.WatchAPI(p.URL, p.Engine, eng.List, until)
+			case engines.SmartScreen:
+				probe := &blacklistProbe{list: eng.List, url: p.URL}
+				mon.WatchScreenshots(p.URL, p.Engine, probe.blocked, until)
+			default:
+				mon.WatchFeed(p.URL, p.Engine, eng.List, until)
+			}
+		}
+		w.Sched.OnKey(simnet.ShardKey(p.Host)).After(cc.Window, "campaign:close", func(time.Time) {
+			closeOne(p, now)
+		})
+	}
+
+	// The wave pump: a serial chain on its own affinity key that fans each
+	// wave's deploys out to the URLs' home shards (cross-shard sends ride
+	// the deterministic barrier mailboxes), then sleeps one window — so at
+	// most one wave is in flight and memory stays flat.
+	pumpKey := w.Sched.OnKey("campaign:pump")
+	var pump func(now time.Time, wave int)
+	pump = func(now time.Time, wave int) {
+		if cc.MeasureHeap {
+			heap.sample()
+		}
+		lo := wave * cc.Wave
+		hi := min(cc.URLs, lo+cc.Wave)
+		for i := lo; i < hi; i++ {
+			p := planner.At(i)
+			w.Sched.OnKey(simnet.ShardKey(p.Host)).After(p.Jitter, "campaign:deploy", func(at time.Time) {
+				deployOne(p, at)
+			})
+		}
+		if hi < cc.URLs {
+			pumpKey.After(cc.Window, "campaign:wave", func(at time.Time) {
+				pump(at, wave+1)
+			})
+		}
+	}
+	wallStart := time.Now() //phishlint:wallclock throughput metric; excluded from RenderTable so results stay deterministic
+	pumpKey.After(0, "campaign:wave", func(at time.Time) { pump(at, 0) })
+
+	w.Sched.RunFor(horizon.Sub(start))
+	if err := w.Sched.InterruptErr(); err != nil {
+		return nil, err
+	}
+	if cc.MeasureHeap {
+		heap.sample()
+	}
+
+	res := agg.Results(cc.URLs, cc.Provider)
+	res.VirtualDuration = w.Clock.Now().Sub(start)
+	res.PeakHeapBytes = heap.peak
+	res.WallSeconds = time.Since(wallStart).Seconds() //phishlint:wallclock throughput metric; never feeds deterministic output
+	if res.WallSeconds > 0 {
+		res.URLsPerSec = float64(cc.URLs) / res.WallSeconds
+	}
+	for _, p := range providers {
+		st := p.Stats()
+		res.Providers = append(res.Providers, campaign.ProviderReport{
+			Apex: st.Apex, Mounted: st.Mounted, Evicted: st.Evicted,
+			Sweeps: st.Sweeps, Takedowns: st.Takedowns,
+		})
+	}
+	res.Watched = min(cc.Watches, cc.URLs)
+	if res.Watched < 0 {
+		res.Watched = 0
+	}
+	for i := 0; i < res.Watched; i++ {
+		p := planner.At(i)
+		if _, ok := mon.FirstSeen(p.URL, p.Engine); ok {
+			res.Sighted++
+		}
+	}
+	return res, nil
+}
+
+// providerMux routes reputation queries to the provider owning the host's
+// apex. It implements engines.HostRep.
+type providerMux []*hosting.FreeProvider
+
+func (m providerMux) TaintScore(host string, now time.Time) float64 {
+	for _, p := range m {
+		if strings.HasSuffix(host, "."+p.Apex) {
+			return p.TaintScore(host, now)
+		}
+	}
+	return 0
+}
+
+// siteFactory memoizes everything a campaign URL's site shares with its
+// siblings on the same provider: the per-brand kits and payload handlers,
+// the benign cover site, one CAPTCHA site registration, and one render
+// cache. Only the evasion wrapper is built per URL — session state must not
+// leak between URLs — and it is released when the route is evicted.
+type siteFactory struct {
+	benign   http.Handler
+	render   *evasion.RenderCache
+	widget   string
+	verify   func(string) bool
+	kits     map[phishkit.Brand]*phishkit.Kit
+	payloads map[phishkit.Brand]http.Handler
+}
+
+func (w *World) newSiteFactory(coverDomain string) (*siteFactory, error) {
+	cover := sitegen.GenerateCached(coverDomain, sitegen.Config{Seed: w.Cfg.Seed})
+	f := &siteFactory{
+		benign:   cover.Handler(),
+		render:   evasion.NewRenderCache(),
+		kits:     make(map[phishkit.Brand]*phishkit.Kit),
+		payloads: make(map[phishkit.Brand]http.Handler),
+	}
+	for _, b := range phishkit.Brands() {
+		prov := phishkit.Cloned
+		if b == phishkit.Gmail {
+			prov = phishkit.FromScratch
+		}
+		kit, err := phishkit.GenerateCached(b, prov)
+		if err != nil {
+			return nil, err
+		}
+		f.kits[b] = kit
+		f.payloads[b] = kit.Handler(nil)
+	}
+	sitekey, secret := w.Captcha.RegisterSite()
+	f.widget = captcha.WidgetHTML(CaptchaHost, sitekey, "capback")
+	verifier := &captcha.Client{
+		HTTP:    simnet.NewClient(w.Net, "203.0.113.250"),
+		BaseURL: "http://" + CaptchaHost,
+		Secret:  secret,
+	}
+	f.verify = verifier.Verify
+	return f, nil
+}
+
+// site assembles one URL's routed handler from the factory's shared parts
+// plus a fresh evasion wrapper.
+func (f *siteFactory) site(p campaign.Plan) http.Handler {
+	opts := evasion.Options{
+		Payload:     f.payloads[p.Brand],
+		Benign:      f.benign,
+		RenderCache: f.render,
+	}
+	if p.Technique == evasion.Recaptcha {
+		opts.WidgetHTML = f.widget
+		opts.VerifyToken = f.verify
+	}
+	wrapped, err := evasion.Wrap(p.Technique, opts)
+	if err != nil {
+		// Techniques() only yields wrappable techniques; an error here is a
+		// programming bug, and the placeholder 404 is the safe fallback.
+		return http.NotFoundHandler()
+	}
+	return &campaignSite{
+		phish:   wrapped,
+		kit:     f.kits[p.Brand],
+		payload: f.payloads[p.Brand],
+		benign:  f.benign,
+	}
+}
+
+// campaignSite routes one URL's paths the way Deploy's per-domain mux does,
+// without allocating a ServeMux per URL: the evasion-wrapped page at the
+// campaign path, kit assets and the credential collector beside it, the
+// benign cover site everywhere else.
+type campaignSite struct {
+	phish   http.Handler
+	kit     *phishkit.Kit
+	payload http.Handler
+	benign  http.Handler
+}
+
+func (s *campaignSite) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == campaign.PhishPath:
+		s.phish.ServeHTTP(w, r)
+	case path == s.kit.CollectPath:
+		s.payload.ServeHTTP(w, r)
+	default:
+		if _, ok := s.kit.Resources[path]; ok {
+			s.payload.ServeHTTP(w, r)
+			return
+		}
+		s.benign.ServeHTTP(w, r)
+	}
+}
+
+// heapWatermark tracks the wave-boundary heap high-water mark. Samples run
+// only on the pump chain (one affinity key, serial), so the plain field is
+// race-free; the final read happens after the scheduler drains.
+type heapWatermark struct {
+	peak uint64
+}
+
+func (h *heapWatermark) sample() {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+}
+
+func brandNames(bs []phishkit.Brand) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = string(b)
+	}
+	return out
+}
+
+func techniqueLetters(ts []evasion.Technique) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Letter()
+	}
+	return out
+}

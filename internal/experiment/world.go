@@ -360,15 +360,21 @@ type Deployment struct {
 	// ReportedTo is the engine key this deployment's URLs were submitted to.
 	ReportedTo string
 	ReportedAt time.Time
+
+	urls []string // memoized by URLs
 }
 
-// URLs lists the deployment's phishing URLs.
+// URLs lists the deployment's phishing URLs. The slice is memoized — the
+// stage drivers and renderers call this repeatedly per deployment — and
+// rebuilt only if mounts were added since; callers must not modify it.
 func (d *Deployment) URLs() []string {
-	out := make([]string, len(d.Mounts))
-	for i, m := range d.Mounts {
-		out[i] = m.URL
+	if len(d.urls) != len(d.Mounts) {
+		d.urls = make([]string, len(d.Mounts))
+		for i, m := range d.Mounts {
+			d.urls[i] = m.URL
+		}
 	}
-	return out
+	return d.urls
 }
 
 // MountSpec requests one phishing page on a deployment.

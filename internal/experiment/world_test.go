@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestDeploymentURLsMemoized pins the URLs() memoization: the hot path (no
+// mount changes since the last call) must allocate nothing and return the
+// same backing slice, and the memo must refresh when mounts are added.
+func TestDeploymentURLsMemoized(t *testing.T) {
+	d := &Deployment{Domain: "memo.example"}
+	d.Mounts = append(d.Mounts,
+		Mount{URL: "https://memo.example/a"},
+		Mount{URL: "https://memo.example/b"})
+
+	first := d.URLs()
+	if len(first) != 2 || first[0] != "https://memo.example/a" || first[1] != "https://memo.example/b" {
+		t.Fatalf("URLs() = %v", first)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { d.URLs() }); allocs != 0 {
+		t.Errorf("memoized URLs() allocates %.1f per call, want 0", allocs)
+	}
+	if second := d.URLs(); &second[0] != &first[0] {
+		t.Error("repeated URLs() rebuilt the slice instead of reusing the memo")
+	}
+
+	d.Mounts = append(d.Mounts, Mount{URL: "https://memo.example/c"})
+	third := d.URLs()
+	if len(third) != 3 || third[2] != "https://memo.example/c" {
+		t.Fatalf("URLs() after mount add = %v", third)
+	}
+}

@@ -1,0 +1,325 @@
+package hosting
+
+import (
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/dnssim"
+	"areyouhuman/internal/journal"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+// FreeProvider models a free web-hosting platform (the infrastructure Roy et
+// al. analyse at tens-of-thousands scale): every customer site is a
+// subdomain of one shared apex, served by a single wildcard front end off a
+// small pool of shared addresses. That architecture gives campaigns three
+// properties the paper's dedicated-domain study never had:
+//
+//   - O(1) deployment: one wildcard host + one wildcard DNS record cover any
+//     number of subdomain URLs; per-URL state is one routing-table entry.
+//   - Shared-IP reputation: a blacklisted subdomain taints the shared
+//     address it resolves to, and engines begin flagging co-hosted siblings
+//     on reputation alone — which is how reCAPTCHA-cloaked URLs get caught
+//     on free hosting despite bots never reaching their payload.
+//   - Provider-side abuse sweeps: the platform periodically diffs public
+//     blacklist feeds against its own customer base and bulk-evicts listed
+//     sites after a short grace, independent of any abuse report.
+//
+// All mutable state is bounded by *in-flight* sites: eviction at window
+// close (or by a sweep) returns the routing table to its prior size, so a
+// 1M-URL campaign holds only one wave's worth of routes at any instant.
+type FreeProvider struct {
+	// Apex is the shared registrable domain (one of
+	// simnet.FreeHostingApexes, so the scheduler shard-keys each subdomain
+	// independently).
+	Apex string
+	// Grace is how long after a sweep flags a site until the provider takes
+	// it down. DefaultSweepGrace when zero.
+	Grace time.Duration
+
+	net   *simnet.Internet
+	sched simclock.EventScheduler
+	rec   *journal.Recorder
+	ips   []string
+
+	mu       sync.RWMutex
+	routes   map[string]http.Handler // subdomain label -> site
+	slated   map[string]bool         // labels awaiting sweep takedown
+	mounted  int64
+	evicted  int64
+	sweeps   int64
+	takedown int64
+
+	repMu   sync.RWMutex
+	taint   map[string]int // shared IP -> listed co-hosted sites (published)
+	pending map[string]int // next sweep's recount, awaiting barrier publish
+}
+
+// Provider cadence defaults: platforms sweep abuse feeds a few times a day
+// and act within the hour.
+const (
+	DefaultSweepInterval = 6 * time.Hour
+	DefaultSweepGrace    = 45 * time.Minute
+	// ProviderIPs is the size of each provider's shared address pool.
+	ProviderIPs = 4
+)
+
+// NewFreeProvider brings the platform online: one wildcard web host (with
+// TLS — free-hosting platforms hand out certificates with the subdomain) and
+// a wildcard DNS record under apex. dns may be nil when the world resolves
+// through the host registry alone; rec may be nil to skip journalling.
+func NewFreeProvider(apex string, net *simnet.Internet, dns *dnssim.Server, sched simclock.EventScheduler, rec *journal.Recorder) *FreeProvider {
+	apex = strings.ToLower(strings.TrimSpace(apex))
+	p := &FreeProvider{
+		Apex:   apex,
+		Grace:  DefaultSweepGrace,
+		net:    net,
+		sched:  sched,
+		rec:    rec,
+		routes: make(map[string]http.Handler),
+		slated: make(map[string]bool),
+		taint:  make(map[string]int),
+	}
+	p.ips = make([]string, ProviderIPs)
+	for i := range p.ips {
+		// Each provider derives its shared pool from its apex so pools don't
+		// collide across providers.
+		p.ips[i] = "198.51.100." + strconv.Itoa(int(mix64str(apex)%59)+10+i)
+	}
+	host := net.RegisterWildcard(apex, p)
+	net.EnableTLS("*." + apex)
+	if dns != nil {
+		dns.AddZone(apex, host.IP)
+		dns.AddWildcardA(apex, host.IP)
+	}
+	return p
+}
+
+// Mount routes label.<apex> to site. It replaces any previous route for the
+// label (free hosting recycles names) and reports the full host name.
+func (p *FreeProvider) Mount(label string, site http.Handler) string {
+	p.mu.Lock()
+	p.routes[label] = site
+	p.mounted++
+	p.mu.Unlock()
+	return label + "." + p.Apex
+}
+
+// Evict removes label's route, reporting whether it existed. Subsequent
+// visits get the provider's placeholder page (benign).
+func (p *FreeProvider) Evict(label string) bool {
+	p.mu.Lock()
+	_, ok := p.routes[label]
+	delete(p.routes, label)
+	delete(p.slated, label)
+	if ok {
+		p.evicted++
+	}
+	p.mu.Unlock()
+	return ok
+}
+
+// ServeHTTP dispatches on the request's Host header: the mounted site if the
+// subdomain is live, the provider's placeholder page otherwise.
+func (p *FreeProvider) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	label := p.labelOf(r.Host)
+	p.mu.RLock()
+	site := p.routes[label]
+	p.mu.RUnlock()
+	if site == nil {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, "<html><head><title>Site not found</title></head><body><h1>404</h1><p>This site has been removed or never existed. Host your own site for free!</p></body></html>")
+		return
+	}
+	site.ServeHTTP(w, r)
+}
+
+// labelOf extracts the customer subdomain label from a host name under the
+// apex ("" when host is not under it).
+func (p *FreeProvider) labelOf(host string) string {
+	host = strings.TrimSuffix(strings.ToLower(host), ".")
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	label, found := strings.CutSuffix(host, "."+p.Apex)
+	if !found || strings.Contains(label, ".") {
+		return ""
+	}
+	return label
+}
+
+// IPFor returns the shared pool address label's site resolves to — a pure
+// hash so assignment needs no per-site state.
+func (p *FreeProvider) IPFor(label string) string {
+	return p.ips[mix64str(label)%uint64(len(p.ips))]
+}
+
+// TaintScore implements engines.HostRep over the published taint state: the
+// more co-hosted listings share a site's address, the likelier an engine
+// flags it on reputation alone. Reads see barrier-quantized state under
+// sharded execution (PublishTaint), so the score at a virtual instant is
+// identical for every worker count.
+func (p *FreeProvider) TaintScore(host string, now time.Time) float64 {
+	label := p.labelOf(host)
+	if label == "" {
+		return 0
+	}
+	p.repMu.RLock()
+	n := p.taint[p.IPFor(label)]
+	p.repMu.RUnlock()
+	switch {
+	case n >= 3:
+		return 0.85
+	case n == 2:
+		return 0.6
+	case n == 1:
+		return 0.35
+	default:
+		return 0
+	}
+}
+
+// PublishTaint promotes the latest sweep's recount to the published taint
+// map. Register it as an OnBarrier callback under sharded execution; the
+// serial path publishes inline from the sweep event.
+func (p *FreeProvider) PublishTaint() {
+	p.repMu.Lock()
+	if p.pending != nil {
+		p.taint = p.pending
+		p.pending = nil
+	}
+	p.repMu.Unlock()
+}
+
+// StartSweeps begins the provider's abuse sweeps on the virtual clock: every
+// interval (DefaultSweepInterval when zero) until the horizon, the platform
+// downloads the public feeds, recomputes per-address taint over its own
+// customer base, and slates every listed subdomain for takedown after Grace.
+// The sweep chain is rooted on the apex key, takedowns on each subdomain's
+// own key, so campaign providers cost one recurring event each.
+func (p *FreeProvider) StartSweeps(interval time.Duration, until time.Time, feeds []*blacklist.List) {
+	if interval <= 0 {
+		interval = DefaultSweepInterval
+	}
+	p.sched.OnKey(simnet.ShardKey(p.Apex)).Every(interval, "provider:sweep",
+		func(now time.Time) bool { return now.After(until) },
+		func(now time.Time) { p.sweep(now, feeds) })
+}
+
+// sweep is one provider pass over the public feeds.
+func (p *FreeProvider) sweep(now time.Time, feeds []*blacklist.List) {
+	suffix := "." + p.Apex
+	counts := make(map[string]int)
+	listed := make(map[string]bool)
+	for _, list := range feeds {
+		for _, e := range list.Snapshot() {
+			label := p.labelOf(hostOfURL(e.URL))
+			if label == "" || !strings.HasSuffix(hostOfURL(e.URL), suffix) {
+				continue
+			}
+			listed[label] = true
+		}
+	}
+	p.mu.Lock()
+	p.sweeps++
+	var doomed []string
+	for label := range listed {
+		counts[p.IPFor(label)]++
+		if p.routes[label] != nil && !p.slated[label] {
+			p.slated[label] = true
+			doomed = append(doomed, label)
+		}
+	}
+	p.mu.Unlock()
+	// Map iteration built doomed in random order; takedown scheduling must
+	// be deterministic.
+	sort.Strings(doomed)
+
+	p.repMu.Lock()
+	p.pending = counts
+	p.repMu.Unlock()
+	if !p.sched.Sharded() {
+		p.PublishTaint()
+	}
+
+	p.rec.Emit(journal.KindProviderSweep, journal.Fields{
+		Domain: p.Apex, Attempt: len(listed), Sim: now,
+	})
+
+	for _, label := range doomed {
+		host := label + suffix
+		p.sched.OnKey(simnet.ShardKey(host)).After(p.Grace, "provider:takedown", func(then time.Time) {
+			if !p.Evict(label) {
+				return // window already closed and released the route
+			}
+			p.mu.Lock()
+			p.takedown++
+			p.mu.Unlock()
+			p.rec.Emit(journal.KindTakedown, journal.Fields{
+				Domain: host, Sim: then,
+			})
+		})
+	}
+}
+
+// ProviderStats is a point-in-time snapshot of one provider's counters.
+type ProviderStats struct {
+	Apex      string
+	Live      int   // currently mounted sites
+	Mounted   int64 // sites ever mounted
+	Evicted   int64 // routes released (window close or takedown)
+	Sweeps    int64 // abuse sweeps run
+	Takedowns int64 // sweep-driven evictions
+}
+
+// Stats returns the provider's counters.
+func (p *FreeProvider) Stats() ProviderStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return ProviderStats{
+		Apex:      p.Apex,
+		Live:      len(p.routes),
+		Mounted:   p.mounted,
+		Evicted:   p.evicted,
+		Sweeps:    p.sweeps,
+		Takedowns: p.takedown,
+	}
+}
+
+// hostOfURL extracts the host portion of a canonicalised URL.
+func hostOfURL(rawURL string) string {
+	s := rawURL
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '?' || s[i] == '#' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// mix64str hashes a string FNV-64a then splitmix64-finalises it — the same
+// seed-pure construction the chaos and campaign layers use, so provider IP
+// assignment is a pure function of the label.
+func mix64str(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,187 @@
+package hosting
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+)
+
+func testProvider(t *testing.T) (*FreeProvider, *simnet.Internet, *simclock.Scheduler, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.New(simclock.Epoch)
+	sched := simclock.NewScheduler(clock)
+	net := simnet.New(nil)
+	p := NewFreeProvider("pages.example", net, nil, sched, nil)
+	return p, net, sched, clock
+}
+
+func textHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func get(t *testing.T, net *simnet.Internet, url string) (int, string) {
+	t.Helper()
+	client := simnet.NewClient(net, "203.0.113.99")
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestProviderMountServeEvict(t *testing.T) {
+	t.Parallel()
+	p, net, _, _ := testProvider(t)
+	host := p.Mount("victim-login", textHandler("phish"))
+	if host != "victim-login.pages.example" {
+		t.Fatalf("Mount returned %q", host)
+	}
+	// The wildcard front end serves the mounted site over HTTPS — free
+	// hosting hands out certificates with the subdomain.
+	if code, body := get(t, net, "https://"+host+"/account"); code != 200 || body != "phish" {
+		t.Fatalf("mounted site: %d %q", code, body)
+	}
+	// Unmounted siblings get the provider placeholder, not an error.
+	if code, body := get(t, net, "https://other.pages.example/"); code != 404 || !strings.Contains(body, "free") {
+		t.Errorf("placeholder page: %d %q", code, body)
+	}
+	if !p.Evict("victim-login") {
+		t.Fatal("Evict of a live route reported false")
+	}
+	if code, _ := get(t, net, "https://"+host+"/account"); code != 404 {
+		t.Errorf("evicted site still serving: %d", code)
+	}
+	if p.Evict("victim-login") {
+		t.Error("double Evict reported true")
+	}
+	st := p.Stats()
+	if st.Mounted != 1 || st.Evicted != 1 || st.Live != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProviderLabelOf(t *testing.T) {
+	t.Parallel()
+	p, _, _, _ := testProvider(t)
+	cases := []struct{ host, want string }{
+		{"victim.pages.example", "victim"},
+		{"Victim.Pages.Example.", "victim"},
+		{"victim.pages.example:443", "victim"},
+		{"a.b.pages.example", ""}, // nested subdomains are not customer labels
+		{"pages.example", ""},
+		{"victim.webhost.example", ""}, // different provider
+	}
+	for _, c := range cases {
+		if got := p.labelOf(c.host); got != c.want {
+			t.Errorf("labelOf(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestProviderIPForStableAndPooled(t *testing.T) {
+	t.Parallel()
+	p, _, _, _ := testProvider(t)
+	q := NewFreeProvider("webhost.example", simnet.New(nil), nil, p.sched, nil)
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		label := "site-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		ip := p.IPFor(label)
+		if ip != p.IPFor(label) {
+			t.Fatal("IPFor not stable")
+		}
+		seen[ip] = true
+	}
+	if len(seen) != ProviderIPs {
+		t.Errorf("64 labels used %d addresses, want the full pool of %d", len(seen), ProviderIPs)
+	}
+	// Distinct providers draw from distinct pools.
+	if p.IPFor("x") == q.IPFor("x") && p.ips[0] == q.ips[0] {
+		t.Error("providers share an address pool")
+	}
+}
+
+func TestProviderTaintScoreThresholds(t *testing.T) {
+	t.Parallel()
+	p, _, _, _ := testProvider(t)
+	ip := p.IPFor("victim")
+	for n, want := range map[int]float64{0: 0, 1: 0.35, 2: 0.6, 3: 0.85, 7: 0.85} {
+		p.taint = map[string]int{ip: n}
+		if got := p.TaintScore("victim.pages.example", simclock.Epoch); got != want {
+			t.Errorf("TaintScore with %d co-hosted listings = %v, want %v", n, got, want)
+		}
+	}
+	if got := p.TaintScore("elsewhere.example", simclock.Epoch); got != 0 {
+		t.Errorf("off-apex host scored %v, want 0", got)
+	}
+}
+
+func TestPublishTaintBarrier(t *testing.T) {
+	t.Parallel()
+	p, _, _, _ := testProvider(t)
+	ip := p.IPFor("victim")
+	p.pending = map[string]int{ip: 3}
+	if got := p.TaintScore("victim.pages.example", simclock.Epoch); got != 0 {
+		t.Fatalf("pending recount visible before publish: %v", got)
+	}
+	p.PublishTaint()
+	if got := p.TaintScore("victim.pages.example", simclock.Epoch); got != 0.85 {
+		t.Fatalf("published taint score = %v, want 0.85", got)
+	}
+	// No pending recount: publish keeps the current map.
+	p.PublishTaint()
+	if got := p.TaintScore("victim.pages.example", simclock.Epoch); got != 0.85 {
+		t.Errorf("empty publish clobbered taint: %v", got)
+	}
+}
+
+// TestProviderSweepTakedown drives the abuse-sweep loop on the virtual
+// clock: a blacklisted customer site is slated at the sweep and taken down
+// after the grace period, while unlisted sites survive; the sweep's IP
+// recount feeds TaintScore.
+func TestProviderSweepTakedown(t *testing.T) {
+	t.Parallel()
+	p, net, sched, clock := testProvider(t)
+	feed := blacklist.NewList("gsb", clock)
+	p.Mount("listed-site", textHandler("phish"))
+	p.Mount("clean-site", textHandler("ham"))
+	feed.Add("https://listed-site.pages.example/account", "gsb")
+	// Off-apex listings must not confuse the sweep.
+	feed.Add("https://elsewhere.example/x", "gsb")
+
+	p.StartSweeps(2*time.Hour, simclock.Epoch.Add(5*time.Hour), []*blacklist.List{feed})
+	sched.Run(simclock.Epoch.Add(6 * time.Hour))
+
+	st := p.Stats()
+	if st.Sweeps < 2 {
+		t.Errorf("sweeps = %d, want >= 2", st.Sweeps)
+	}
+	if st.Takedowns != 1 {
+		t.Errorf("takedowns = %d, want 1", st.Takedowns)
+	}
+	if code, _ := get(t, net, "https://listed-site.pages.example/account"); code != 404 {
+		t.Errorf("listed site still serving after sweep takedown: %d", code)
+	}
+	if code, body := get(t, net, "https://clean-site.pages.example/"); code != 200 || body != "ham" {
+		t.Errorf("clean site affected by sweep: %d %q", code, body)
+	}
+	// Serial scheduler publishes taint inline from the sweep event: the
+	// listed site's shared address carries one listing's worth of taint.
+	if got := p.TaintScore("listed-site.pages.example", clock.Now()); got != 0.35 {
+		t.Errorf("listed site's address taint = %v, want 0.35 (one listing)", got)
+	}
+	if p.IPFor("clean-site") == p.IPFor("listed-site") {
+		if got := p.TaintScore("clean-site.pages.example", clock.Now()); got == 0 {
+			t.Error("co-hosted site has no reputation taint after sweep")
+		}
+	}
+}

@@ -56,6 +56,9 @@ type Section struct {
 	Timelines []*Timeline
 	// Takedowns maps host -> takedown time within this section.
 	Takedowns map[string]time.Time
+	// Sweeps are free-hosting provider abuse sweeps (provider_sweep events),
+	// in stream order. They live outside URL spans, like takedowns.
+	Sweeps []Event
 
 	byURL map[string]*Timeline
 }
@@ -150,6 +153,10 @@ func Analyze(events []Event) *Study {
 			if _, dup := sec.Takedowns[ev.Domain]; !dup {
 				sec.Takedowns[ev.Domain] = ev.Sim
 			}
+			continue
+		}
+		if ev.Kind == KindProviderSweep {
+			sec.Sweeps = append(sec.Sweeps, ev)
 			continue
 		}
 		tl := timeline(sec, ev)

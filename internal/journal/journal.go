@@ -65,6 +65,14 @@ const (
 	KindSighting = "sighting"
 	// KindTakedown records the hosting provider taking a host offline.
 	KindTakedown = "takedown"
+	// KindWindowClose records a streaming campaign closing one URL's
+	// measurement window: the moment its lifecycle is folded into the
+	// aggregate and its retained state (routes, listings, watches) purged.
+	KindWindowClose = "window_close"
+	// KindProviderSweep records one free-hosting provider abuse sweep over
+	// its shared apex (Domain); Attempt carries the number of listed
+	// subdomains the sweep found.
+	KindProviderSweep = "provider_sweep"
 	// KindStageStart / KindStageEnd bracket one experiment stage
 	// ("preliminary", "main", "extensions").
 	KindStageStart = "stage_start"
@@ -306,6 +314,8 @@ func spanLabelFor(kind string, f Fields) string {
 	switch kind {
 	case KindTakedown:
 		return "host|" + f.Domain
+	case KindProviderSweep:
+		return "provider|" + f.Domain
 	case KindStageStart, KindStageEnd:
 		return "stage|" + f.Stage
 	case KindFaultWindowOpen, KindFaultWindowClose, KindFaultInjected:
@@ -338,6 +348,11 @@ func (r *Recorder) Emit(kind string, f Fields) {
 	switch kind {
 	case KindDeploy, KindTakedown, KindStageStart, KindFaultWindowOpen:
 		// Span roots: no parent.
+	case KindProviderSweep:
+		// Span root too, but sweeps recur on the provider's span.
+		repeat = true
+	case KindWindowClose:
+		parent = slotID(span, KindDeploy, "")
 	case KindReportSubmit:
 		qual = f.Engine
 		parent = slotID(span, KindDeploy, "")

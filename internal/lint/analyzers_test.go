@@ -32,6 +32,13 @@ func TestSeedpureFixture(t *testing.T) {
 	RunFixture(t, []*Analyzer{Seedpure}, ".", "seedpure", "areyouhuman/internal/chaos")
 }
 
+func TestSeedpureCoversCampaign(t *testing.T) {
+	t.Parallel()
+	// The campaign planner is in scope too: its positional draws feed a
+	// million URL assignments, so the same purity rules apply there.
+	RunFixture(t, []*Analyzer{Seedpure}, ".", "seedpure", "areyouhuman/internal/campaign")
+}
+
 func TestMetriclabelFixture(t *testing.T) {
 	t.Parallel()
 	RunFixture(t, []*Analyzer{Metriclabel}, ".", "metriclabel", "areyouhuman/internal/fixture/metriclabel")

@@ -1,0 +1,45 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/simclock"
+)
+
+// TestForgetDropsSightings pins the streaming-campaign contract: Forget
+// releases every engine's sighting state for the URL (memory bounded by
+// in-flight watches) while leaving other URLs untouched.
+func TestForgetDropsSightings(t *testing.T) {
+	t.Parallel()
+	sched, clock := newSched()
+	m := New(sched)
+	list := blacklist.NewList("gsb", clock)
+	keep := "http://keep.example/login"
+	drop := "http://drop.example/login"
+	until := simclock.Epoch.Add(6 * time.Hour)
+	m.WatchAPI(keep, "gsb", list, until)
+	m.WatchAPI(drop, "gsb", list, until)
+	sched.After(10*time.Minute, "list", func(time.Time) {
+		list.Add(keep, "gsb")
+		list.Add(drop, "gsb")
+	})
+	sched.Run(until.Add(time.Hour))
+
+	if _, ok := m.FirstSeen(drop, "gsb"); !ok {
+		t.Fatal("setup: no sighting to forget")
+	}
+	m.Forget(drop)
+	if _, ok := m.FirstSeen(drop, "gsb"); ok {
+		t.Error("sighting survived Forget")
+	}
+	if got := m.Engines(drop); len(got) != 0 {
+		t.Errorf("Engines after Forget = %v, want none", got)
+	}
+	if _, ok := m.FirstSeen(keep, "gsb"); !ok {
+		t.Error("Forget leaked onto an unrelated URL")
+	}
+	// Forgetting an unknown URL is a no-op, not a panic.
+	m.Forget("http://never-watched.example/")
+}

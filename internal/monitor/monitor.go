@@ -302,6 +302,18 @@ func (m *Monitor) seen(url, engine string) bool {
 	return ok
 }
 
+// Forget drops all sighting state for url. Streaming campaigns call it when
+// a watched exemplar URL's measurement window closes, so monitor memory is
+// bounded by in-flight watches instead of growing with every URL ever
+// watched. Any still-scheduled watch chain for the URL terminates on its
+// next tick: seen() no longer answers true, but the watch's `until` horizon
+// should already have passed by window close.
+func (m *Monitor) Forget(url string) {
+	m.mu.Lock()
+	delete(m.sightings, url)
+	m.mu.Unlock()
+}
+
 // FirstSeen returns the first sighting of url by engine.
 func (m *Monitor) FirstSeen(url, engine string) (Sighting, bool) {
 	m.mu.Lock()

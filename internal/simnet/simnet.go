@@ -24,18 +24,67 @@ import (
 )
 
 // ShardKey returns the scheduler affinity key for a hostname: every event
-// chain concerning the same registrable domain (two trailing labels, matching
-// dnssim's zone apexes) maps to the same key, so a sharded scheduler runs
-// them serially in virtual-time order. Use it with
+// chain concerning the same registrable domain maps to the same key, so a
+// sharded scheduler runs them serially in virtual-time order. Use it with
 // simclock.EventScheduler.OnKey when rooting host-directed work — report
 // processing, takedowns — so mutations of one host's state never race across
 // shards.
+//
+// The registrable domain is normally the two trailing labels (matching
+// dnssim's zone apexes). Free-hosting provider apexes are treated like
+// public suffixes: a subdomain URL on a shared apex keys one label deeper,
+// so a 100k-URL campaign on one provider spreads across every shard instead
+// of serialising on the provider's own key.
 func ShardKey(host string) string {
-	host = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(host)), ".")
-	if labels := strings.Split(host, "."); len(labels) > 2 {
-		host = strings.Join(labels[len(labels)-2:], ".")
+	return "host:" + Registrable(host)
+}
+
+// freeHostingApexes are the virtual free-hosting provider apex domains.
+// They act as public suffixes for shard-affinity purposes: each customer
+// subdomain is its own registrable site. hosting.FreeProvider deploys
+// campaign URLs under these apexes; the list is fixed so ShardKey stays a
+// pure function (no registry, no lock on the per-request path).
+var freeHostingApexes = [...]string{
+	"freesites.example",
+	"pages.example",
+	"sitehub.example",
+	"webhost.example",
+}
+
+// FreeHostingApexes returns the shared free-hosting apex domains, in a fixed
+// deterministic order.
+func FreeHostingApexes() []string {
+	out := make([]string, len(freeHostingApexes))
+	copy(out, freeHostingApexes[:])
+	return out
+}
+
+// IsFreeHostingApex reports whether domain is one of the shared free-hosting
+// provider apexes.
+func IsFreeHostingApex(domain string) bool {
+	domain = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(domain)), ".")
+	for _, apex := range freeHostingApexes {
+		if domain == apex {
+			return true
+		}
 	}
-	return "host:" + host
+	return false
+}
+
+// Registrable canonicalizes host to its registrable domain: the two trailing
+// labels, or three when the two trailing labels form a free-hosting apex (a
+// shared-suffix rule, like the public-suffix list treats co.uk).
+func Registrable(host string) string {
+	host = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(host)), ".")
+	labels := strings.Split(host, ".")
+	if len(labels) > 2 {
+		apex := strings.Join(labels[len(labels)-2:], ".")
+		if IsFreeHostingApex(apex) {
+			return strings.Join(labels[len(labels)-3:], ".")
+		}
+		return apex
+	}
+	return host
 }
 
 // ErrNoSuchHost is returned by Transport when the request's hostname does not
@@ -166,6 +215,29 @@ func (n *Internet) Register(name string, handler http.Handler) *Host {
 	return h
 }
 
+// RegisterWildcard binds every subdomain of apex to handler through a single
+// catch-all host entry ("*." + apex), the way free-hosting providers serve
+// millions of customer sites off one front end. Lookup falls back to the
+// wildcard when no exact host matches, so a campaign can deploy 100k
+// subdomain URLs with O(1) registry cost. The returned Host is the shared
+// front end; per-subdomain routing is the handler's business (it reads the
+// request's Host header).
+func (n *Internet) RegisterWildcard(apex string, handler http.Handler) *Host {
+	return n.Register("*."+strings.ToLower(strings.TrimSpace(apex)), handler)
+}
+
+// Unregister removes the named host (exact name, including "*." wildcard
+// entries), reporting whether it existed. Dedicated-hosting campaigns use it
+// to release a URL's registration when its measurement window closes, so the
+// registry stays bounded by in-flight URLs rather than total URLs.
+func (n *Internet) Unregister(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.hosts[name]
+	delete(n.hosts, name)
+	return ok
+}
+
 // EnableTLS marks the named host as having a valid certificate. It reports
 // whether the host exists.
 func (n *Internet) EnableTLS(name string) bool {
@@ -190,12 +262,21 @@ func (n *Internet) TakeDown(name string) bool {
 	return ok
 }
 
-// Lookup returns the registered host for name.
+// Lookup returns the registered host for name. An exact entry wins; failing
+// that, a wildcard entry for the name's parent domain ("*.parent", see
+// RegisterWildcard) answers for any subdomain.
 func (n *Internet) Lookup(name string) (*Host, bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	h, ok := n.hosts[name]
-	return h, ok
+	if h, ok := n.hosts[name]; ok {
+		return h, ok
+	}
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		if h, ok := n.hosts["*"+name[i:]]; ok {
+			return h, ok
+		}
+	}
+	return nil, false
 }
 
 // ResolveA implements Resolver using the host registry.

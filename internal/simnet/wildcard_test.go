@@ -1,0 +1,117 @@
+package simnet
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestRegistrableFreeHostingDepth(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ host, want string }{
+		// Normal hosts: two trailing labels.
+		{"shop.example", "shop.example"},
+		{"www.shop.example", "shop.example"},
+		{"a.b.shop.example", "shop.example"},
+		// Free-hosting apexes act like public suffixes: one label deeper, so
+		// each customer subdomain is its own registrable site.
+		{"victim-login.pages.example", "victim-login.pages.example"},
+		{"a.b.pages.example", "b.pages.example"},
+		{"pages.example", "pages.example"},
+		// Canonicalisation.
+		{"WWW.Shop.Example.", "shop.example"},
+		{"X.PAGES.example", "x.pages.example"},
+	}
+	for _, c := range cases {
+		if got := Registrable(c.host); got != c.want {
+			t.Errorf("Registrable(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+	// ShardKey spreads free-hosting subdomains instead of serialising on the
+	// shared apex.
+	if ShardKey("a.pages.example") == ShardKey("b.pages.example") {
+		t.Error("distinct free-hosting subdomains share a shard key")
+	}
+	if ShardKey("a.shop.example") != ShardKey("b.shop.example") {
+		t.Error("subdomains of a normal registrable split shard keys")
+	}
+}
+
+func TestFreeHostingApexesFixed(t *testing.T) {
+	t.Parallel()
+	a, b := FreeHostingApexes(), FreeHostingApexes()
+	if len(a) == 0 {
+		t.Fatal("no free-hosting apexes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("apex order not deterministic")
+		}
+		if !IsFreeHostingApex(a[i]) {
+			t.Errorf("listed apex %q not recognised by IsFreeHostingApex", a[i])
+		}
+	}
+	// The returned slice is a copy: mutating it must not poison the registry.
+	a[0] = "hacked.example"
+	if IsFreeHostingApex("hacked.example") || FreeHostingApexes()[0] == "hacked.example" {
+		t.Error("FreeHostingApexes exposed internal state")
+	}
+	if IsFreeHostingApex("shop.example") {
+		t.Error("ordinary domain classified as free-hosting apex")
+	}
+}
+
+func TestWildcardRegisterLookupUnregister(t *testing.T) {
+	t.Parallel()
+	n := New(nil)
+	h := n.RegisterWildcard("pages.example", http.NotFoundHandler())
+	if h.Name != "*.pages.example" {
+		t.Fatalf("wildcard host name = %q", h.Name)
+	}
+
+	// Any subdomain resolves through the wildcard entry...
+	got, ok := n.Lookup("victim.pages.example")
+	if !ok || got != h {
+		t.Fatalf("Lookup(subdomain) = %v, %v; want the wildcard host", got, ok)
+	}
+	if _, ok := n.Lookup("pages.example"); ok {
+		t.Error("apex itself resolved; the wildcard covers subdomains only")
+	}
+	// ...but an exact registration wins over the wildcard.
+	exact := n.Register("special.pages.example", http.NotFoundHandler())
+	if got, _ := n.Lookup("special.pages.example"); got != exact {
+		t.Error("exact host entry did not win over the wildcard")
+	}
+
+	// TLS on the wildcard covers every subdomain served through it.
+	if !n.EnableTLS("*.pages.example") {
+		t.Fatal("EnableTLS on wildcard entry failed")
+	}
+	if got, _ := n.Lookup("victim.pages.example"); !got.TLS {
+		t.Error("wildcard TLS not visible through subdomain lookup")
+	}
+
+	if !n.Unregister("*.pages.example") {
+		t.Fatal("Unregister(wildcard) reported false")
+	}
+	if _, ok := n.Lookup("victim.pages.example"); ok {
+		t.Error("subdomain still resolves after wildcard unregistered")
+	}
+	if n.Unregister("*.pages.example") {
+		t.Error("double Unregister reported true")
+	}
+}
+
+func TestUnregisterReleasesDedicatedHost(t *testing.T) {
+	t.Parallel()
+	n := New(nil)
+	n.Register("ephemeral.example", http.NotFoundHandler())
+	if !n.Unregister("ephemeral.example") {
+		t.Fatal("Unregister reported false for a registered host")
+	}
+	if _, ok := n.Lookup("ephemeral.example"); ok {
+		t.Error("host still resolves after Unregister")
+	}
+	if got := len(n.Hosts()); got != 0 {
+		t.Errorf("registry holds %d hosts after release, want 0", got)
+	}
+}

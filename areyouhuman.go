@@ -25,13 +25,28 @@
 // ≈132 minutes), NetCraft alone bypassing session pages (2 of 6 confirmed),
 // and not a single reCAPTCHA-protected URL detected by anyone.
 //
-// Options compose the larger studies — seeded replicas, telemetry, and
-// deterministic fault injection:
+// Options compose the larger studies — seeded replicas, telemetry,
+// deterministic fault injection, and heterogeneous victim populations:
 //
 //	res, err := areyouhuman.Run(ctx,
 //		areyouhuman.WithSeed(42),
 //		areyouhuman.WithReplicas(8),
 //		areyouhuman.WithChaosPreset("flaky"))
+//
+// Victim traffic is described by a population: cohorts of victims with
+// distinct URL-inspection skill, susceptibility, reporting propensity, and
+// visit cadence (see internal/population and the presets "uniform", "paper",
+// "lain2025"). WithPopulation runs the exposure side of the study against
+// such a population at any scale — victims derive positionally from the
+// seed, so a million-victim study holds no per-victim state:
+//
+//	spec, _ := areyouhuman.Population("lain2025")
+//	spec.Size = 1_000_000
+//	res, err := areyouhuman.Run(ctx, areyouhuman.WithPopulation(spec))
+//	fmt.Print(res.Report())
+//
+// The legacy TrafficScale knob remains as a compat shim: a zero-valued
+// PopulationSpec synthesizes the uniform population it used to scale.
 package areyouhuman
 
 import (
@@ -45,12 +60,49 @@ import (
 	"areyouhuman/internal/dropcatch"
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/journal"
-	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/population"
 	"areyouhuman/internal/telemetry"
 )
 
 // Config parameterises a study run. The zero value reproduces the paper.
-type Config = experiment.Config
+//
+// Config is a facade type, deliberately not an alias of the internal
+// experiment configuration: internal fields (observers, stage hooks,
+// scheduler plumbing) can evolve without breaking this surface. Observers
+// attach through options instead — WithTelemetry, WithJournal,
+// WithChaosPlan/WithChaosPreset.
+type Config struct {
+	// Seed drives every stochastic choice (0 selects the paper-calibrated
+	// default). Under WithReplicas it is the master seed.
+	Seed int64
+	// TrafficScale scales the engines' crawler-fleet volumes (0 selects 1.0,
+	// the Table 1 calibration; tests use small values for speed). It also
+	// sizes the compat population a zero PopulationSpec synthesizes.
+	TrafficScale float64
+	// MainTrafficPerReport is the fleet volume per URL in the main
+	// experiment (0 selects the default 200).
+	MainTrafficPerReport int
+	// NoCache disables the semantics-preserving visit-path caches; results
+	// are identical either way, only slower.
+	NoCache bool
+	// ShardWorkers selects the scheduler: 0 the classic serial scheduler,
+	// n >= 1 the sharded scheduler with n workers (byte-identical output for
+	// every n >= 1). Set it through WithShardWorkers to get validation.
+	ShardWorkers int
+}
+
+// internal converts the facade configuration to the experiment package's.
+// This is the only place the two structs meet; observers (telemetry,
+// journal, chaos) are threaded separately by runOptions.
+func (c Config) internal() experiment.Config {
+	return experiment.Config{
+		Seed:                 c.Seed,
+		TrafficScale:         c.TrafficScale,
+		MainTrafficPerReport: c.MainTrafficPerReport,
+		NoCache:              c.NoCache,
+		ShardWorkers:         c.ShardWorkers,
+	}
+}
 
 // Framework orchestrates the three experiments; see internal/core.
 type Framework = core.Framework
@@ -80,6 +132,21 @@ type CampaignConfig = campaign.Config
 // CampaignResults is a campaign study's aggregated output.
 type CampaignResults = campaign.Results
 
+// PopulationSpec describes a heterogeneous victim population: a victim
+// count partitioned into cohorts. See internal/population for the
+// determinism contract (victims derive positionally from the seed; memory
+// is flat in the population size).
+type PopulationSpec = population.Spec
+
+// PopulationCohort is one victim segment: its share of the population and
+// its URL-inspection skill, susceptibility, reporting propensity, and visit
+// cadence (rates after Lain et al., arXiv:2502.20234).
+type PopulationCohort = population.Cohort
+
+// PopulationResults is a completed population study: per-(cohort,
+// technique) outcome cells plus the community-verification summary.
+type PopulationResults = population.Results
+
 // ChaosPlan is a declarative fault-injection plan; see internal/chaos for
 // the fault kinds and the determinism contract.
 type ChaosPlan = chaos.Plan
@@ -88,35 +155,43 @@ type ChaosPlan = chaos.Plan
 // replica plus cross-replica aggregation.
 type ReplicaSet = core.ReplicaSet
 
-// Error surfaces, re-exported so callers can errors.Is/As without importing
-// internal packages.
-var (
-	// ErrClosed reports events scheduled on a retired world.
-	ErrClosed = simclock.ErrClosed
-	// ErrUnknownEngine reports a report submitted to a nonexistent engine.
-	ErrUnknownEngine = experiment.ErrUnknownEngine
-	// ErrDeployFailed matches every failed deployment (errors.As against
-	// *DeployError recovers the domain and cause).
-	ErrDeployFailed = experiment.ErrDeployFailed
-	// ErrUnknownPreset reports an unrecognised chaos preset name.
-	ErrUnknownPreset = chaos.ErrUnknownPreset
-	// ErrCampaignProvider reports an unknown campaign provider name.
-	ErrCampaignProvider = campaign.ErrProvider
-	// ErrCampaignSize reports a non-positive campaign URL count.
-	ErrCampaignSize = campaign.ErrSize
-)
+// Population returns a built-in population spec by name: "uniform" (the
+// legacy homogeneous stream), "paper" (the IMC 2020 study's implicit
+// spam-campaign audience), or "lain2025" (the enterprise cohorts of Lain et
+// al.). The returned spec's Size is zero; set it or let the default apply.
+// Unknown names report ErrPopulationPreset.
+func Population(name string) (PopulationSpec, error) {
+	return population.Preset(name)
+}
 
-// DeployError is the concrete deployment failure (domain + cause).
-type DeployError = experiment.DeployError
+// PopulationPresets lists the built-in population names, sorted.
+func PopulationPresets() []string { return population.Presets() }
 
 // Option adjusts a Run.
 type Option func(*runOptions) error
 
+// runOptions is the resolved option set. The facade Config carries only the
+// plain knobs; observers and study selectors live beside it and are joined
+// into the internal configuration by internalConfig.
 type runOptions struct {
-	cfg      Config
-	replicas int
-	parallel int
-	campaign CampaignConfig
+	cfg        Config
+	tel        *telemetry.Set
+	journalW   *journal.Writer
+	chaos      *ChaosPlan
+	population *PopulationSpec
+	replicas   int
+	parallel   int
+	campaign   CampaignConfig
+}
+
+// internalConfig assembles the experiment configuration: the facade knobs
+// plus the separately-threaded observers.
+func (o *runOptions) internalConfig() experiment.Config {
+	cfg := o.cfg.internal()
+	cfg.Telemetry = o.tel
+	cfg.Chaos = o.chaos
+	cfg.Journal = o.journalW
+	return cfg
 }
 
 // WithConfig replaces the whole configuration. Options applied after it
@@ -132,15 +207,47 @@ func WithSeed(seed int64) Option {
 }
 
 // WithTrafficScale scales the engines' crawler-fleet volumes (1 = the
-// Table 1 calibration; tests use small values for speed).
+// Table 1 calibration; tests use small values for speed). For victim
+// traffic prefer WithPopulation; this knob remains the compat path.
 func WithTrafficScale(scale float64) Option {
 	return func(o *runOptions) error { o.cfg.TrafficScale = scale; return nil }
+}
+
+// WithPopulation switches the run to a heterogeneous-victim exposure study
+// of the given population: victims in cohorts (inspection skill,
+// susceptibility, reporting propensity, visit cadence) visit
+// evasion-protected lures, their blacklist guards block what got listed, and
+// their reports feed community verification — the paper's exposure story at
+// any scale. Victims derive positionally from the seed, so memory stays
+// flat from 10k to 1M+ victims and results are byte-identical for every
+// WithShardWorkers value.
+//
+// A zero-valued spec selects the TrafficScale compat path: the uniform
+// preset sized by the configured TrafficScale, reproducing the legacy
+// homogeneous victim stream. Composes with WithSeed, WithJournal,
+// WithTelemetry, and WithShardWorkers; it does not compose with
+// WithReplicas or WithCampaign. Spec problems surface as *PopulationError.
+func WithPopulation(spec PopulationSpec) Option {
+	return func(o *runOptions) error { o.population = &spec; return nil }
+}
+
+// WithPopulationPreset is WithPopulation with a built-in spec sized at its
+// default; unknown names fail at option time with ErrPopulationPreset.
+func WithPopulationPreset(name string) Option {
+	return func(o *runOptions) error {
+		spec, err := population.Preset(name)
+		if err != nil {
+			return err
+		}
+		o.population = &spec
+		return nil
+	}
 }
 
 // WithTelemetry instruments the run end to end (see telemetry.Set).
 // Telemetry observes only; results are identical with or without it.
 func WithTelemetry(tel *telemetry.Set) Option {
-	return func(o *runOptions) error { o.cfg.Telemetry = tel; return nil }
+	return func(o *runOptions) error { o.tel = tel; return nil }
 }
 
 // WithJournal streams the run's lifecycle journal — every deploy, report,
@@ -151,7 +258,7 @@ func WithTelemetry(tel *telemetry.Set) Option {
 // regardless of -parallel. Wrap w in a bufio.Writer when writing to a file;
 // a nil w is a no-op.
 func WithJournal(w io.Writer) Option {
-	return func(o *runOptions) error { o.cfg.Journal = journal.NewWriter(w); return nil }
+	return func(o *runOptions) error { o.journalW = journal.NewWriter(w); return nil }
 }
 
 // WithChaosPlan subjects the run to a fault-injection plan. The plan is
@@ -163,7 +270,7 @@ func WithChaosPlan(plan *ChaosPlan) Option {
 				return err
 			}
 		}
-		o.cfg.Chaos = plan
+		o.chaos = plan
 		return nil
 	}
 }
@@ -176,7 +283,7 @@ func WithChaosPreset(name string) Option {
 		if err != nil {
 			return err
 		}
-		o.cfg.Chaos = plan
+		o.chaos = plan
 		return nil
 	}
 }
@@ -199,12 +306,12 @@ func WithParallelism(workers int) Option {
 // observable output — journal, metrics, study tables — is byte-identical for
 // any n >= 1, including n = 1, so the worker count affects wall time only.
 // n = 0 (the default) keeps the classic serial scheduler, whose event
-// interleaving the calibrated paper claims were recorded under; n < 0 is an
-// error.
+// interleaving the calibrated paper claims were recorded under; n < 0 is a
+// *ShardWorkersError.
 func WithShardWorkers(n int) Option {
 	return func(o *runOptions) error {
 		if n < 0 {
-			return fmt.Errorf("shard workers must be >= 0, got %d", n)
+			return &ShardWorkersError{N: n, Min: 0}
 		}
 		o.cfg.ShardWorkers = n
 		return nil
@@ -212,27 +319,33 @@ func WithShardWorkers(n int) Option {
 }
 
 // StudyResult is what Run produces. Exactly one of
-// Results/Replicas/Campaign is the primary view: single runs fill Results,
-// WithReplicas(n>1) fills Replicas, WithCampaign(n) fills Campaign.
+// Results/Replicas/Campaign/Population is the primary view: single runs
+// fill Results, WithReplicas(n>1) fills Replicas, WithCampaign(n) fills
+// Campaign, WithPopulation fills Population.
 type StudyResult struct {
-	// Results is the single-run study (nil when Replicas or Campaign is set).
+	// Results is the single-run study (nil when another view is primary).
 	Results *Results
 	// Replicas is the multi-replica study (nil otherwise).
 	Replicas *ReplicaSet
 	// Campaign is the streaming campaign study (nil otherwise).
 	Campaign *CampaignResults
+	// Population is the heterogeneous-victim exposure study (nil otherwise).
+	Population *PopulationResults
 }
 
-// Report renders whichever study ran. For campaigns this is the
-// deterministic table only — wall-clock figures (throughput, peak heap)
-// stay in the Campaign fields so Report stays byte-comparable across
-// machines and worker counts.
+// Report renders whichever study ran. For campaigns and populations this is
+// the deterministic table only — wall-clock figures (throughput, peak heap)
+// stay in the result fields so Report stays byte-comparable across machines
+// and worker counts.
 func (r *StudyResult) Report() string {
 	if r.Replicas != nil {
 		return r.Replicas.Report()
 	}
 	if r.Campaign != nil {
 		return r.Campaign.RenderTable()
+	}
+	if r.Population != nil {
+		return r.Population.RenderTable()
 	}
 	if r.Results != nil {
 		return r.Results.Report()
@@ -246,11 +359,11 @@ func (r *StudyResult) Report() string {
 // its measurement window closes, and results stream into fixed-size
 // (engine, brand, technique) cells — memory stays flat from 10k to 1M URLs.
 // Composes with WithSeed, WithJournal, WithTelemetry, and WithShardWorkers;
-// it does not compose with WithReplicas. n must be positive.
+// it does not compose with WithReplicas. n < 1 is a *CampaignSizeError.
 func WithCampaign(n int) Option {
 	return func(o *runOptions) error {
 		if n <= 0 {
-			return fmt.Errorf("%w (got %d)", ErrCampaignSize, n)
+			return &CampaignSizeError{N: n}
 		}
 		o.campaign.URLs = n
 		return nil
@@ -286,11 +399,18 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	if o.campaign.Provider != "" && o.campaign.URLs == 0 {
 		return nil, fmt.Errorf("areyouhuman: WithCampaignProvider requires WithCampaign")
 	}
+	if o.population != nil {
+		res, err := runPopulation(ctx, &o)
+		if err != nil {
+			return nil, err
+		}
+		return &StudyResult{Population: res}, nil
+	}
 	if o.campaign.URLs > 0 {
 		if o.replicas > 1 {
 			return nil, fmt.Errorf("areyouhuman: campaign studies do not compose with replicas")
 		}
-		f := core.New(o.cfg)
+		f := core.New(o.internalConfig())
 		if ctx != nil {
 			f.WithContext(ctx)
 		}
@@ -298,7 +418,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := o.cfg.Journal.Flush(); err != nil {
+		if err := o.journalW.Flush(); err != nil {
 			return nil, fmt.Errorf("areyouhuman: %w", err)
 		}
 		return &StudyResult{Campaign: res}, nil
@@ -308,7 +428,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 			Replicas:   o.replicas,
 			Parallel:   o.parallel,
 			MasterSeed: o.cfg.Seed,
-			Base:       o.cfg,
+			Base:       o.internalConfig(),
 			Ctx:        ctx,
 		})
 		if err != nil {
@@ -316,7 +436,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 		}
 		return &StudyResult{Replicas: rs}, nil
 	}
-	f := core.New(o.cfg)
+	f := core.New(o.internalConfig())
 	if ctx != nil {
 		f.WithContext(ctx)
 	}
@@ -324,23 +444,51 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := o.cfg.Journal.Flush(); err != nil {
+	if err := o.journalW.Flush(); err != nil {
 		return nil, fmt.Errorf("areyouhuman: %w", err)
 	}
 	return &StudyResult{Results: res}, nil
 }
 
-// NewFramework returns a study framework for cfg.
-func NewFramework(cfg Config) *Framework { return core.New(cfg) }
-
-// RunStudy runs all three experiments and returns the aggregated results.
-//
-// Deprecated: use Run(ctx, WithConfig(cfg)), which adds cancellation and
-// composes with the chaos and replica options. RunStudy remains as a
-// compatibility shim and behaves exactly as before.
-func RunStudy(cfg Config) (*Results, error) {
-	return core.New(cfg).RunAll()
+// runPopulation validates the population composition rules and runs the
+// exposure study, applying the TrafficScale compat shim to a zero spec.
+func runPopulation(ctx context.Context, o *runOptions) (*PopulationResults, error) {
+	if o.replicas > 1 {
+		return nil, fmt.Errorf("areyouhuman: %w",
+			&PopulationError{Reason: "population studies do not compose with replicas"})
+	}
+	if o.campaign.URLs > 0 || o.campaign.Provider != "" {
+		return nil, fmt.Errorf("areyouhuman: %w",
+			&PopulationError{Reason: "population studies do not compose with campaigns"})
+	}
+	spec := *o.population
+	if spec.Size == 0 && len(spec.Cohorts) == 0 && spec.Name == "" {
+		scale := o.cfg.TrafficScale
+		if scale == 0 {
+			scale = 1
+		}
+		spec = population.Uniform(scale)
+	}
+	if err := spec.WithDefaults().Validate(); err != nil {
+		return nil, fmt.Errorf("areyouhuman: %w",
+			&PopulationError{Reason: "invalid spec", Err: err})
+	}
+	f := core.New(o.internalConfig())
+	if ctx != nil {
+		f.WithContext(ctx)
+	}
+	res, err := f.RunPopulation(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.journalW.Flush(); err != nil {
+		return nil, fmt.Errorf("areyouhuman: %w", err)
+	}
+	return res, nil
 }
+
+// NewFramework returns a study framework for cfg.
+func NewFramework(cfg Config) *Framework { return core.New(cfg.internal()) }
 
 // PaperScaleFunnel runs the domain-selection pipeline over a synthetic
 // 1M-name popularity list, reproducing the paper's exact funnel

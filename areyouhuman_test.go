@@ -1,6 +1,7 @@
 package areyouhuman
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,10 +10,11 @@ import (
 // shape of every paper table. This is the repository's single highest-level
 // check: if it passes, the reproduction holds.
 func TestPaperReproduction(t *testing.T) {
-	results, err := RunStudy(Config{TrafficScale: 0.002})
+	res, err := Run(context.Background(), WithConfig(Config{TrafficScale: 0.002}))
 	if err != nil {
 		t.Fatal(err)
 	}
+	results := res.Results
 	if results.Main.TotalDetected != 8 || results.Main.TotalURLs != 105 {
 		t.Fatalf("main = %d/%d, want 8/105", results.Main.TotalDetected, results.Main.TotalURLs)
 	}

@@ -26,13 +26,14 @@ import (
 )
 
 // benchCfg uses reduced fleet traffic so iterations stay fast; detection
-// outcomes are identical at any scale.
-func benchCfg() Config {
-	return Config{TrafficScale: 0.01, MainTrafficPerReport: 50}
+// outcomes are identical at any scale. Benchmarks drive the internal
+// experiment/core layers directly, so they use the internal config.
+func benchCfg() experiment.Config {
+	return experiment.Config{TrafficScale: 0.01, MainTrafficPerReport: 50}
 }
 
 // fullCfg is the Table 1 calibration at full volume.
-func fullCfg() Config { return Config{} }
+func fullCfg() experiment.Config { return experiment.Config{} }
 
 // BenchmarkTable1Preliminary regenerates Table 1 at the paper's full crawl
 // volumes (≈105k requests across the seven engines).
@@ -199,7 +200,7 @@ func BenchmarkTimeToBlacklist(b *testing.B) {
 func BenchmarkTrafficConcentration(b *testing.B) {
 	var conc float64
 	for i := 0; i < b.N; i++ {
-		w := experiment.NewWorld(Config{TrafficScale: 0.1})
+		w := experiment.NewWorld(experiment.Config{TrafficScale: 0.1})
 		if _, err := w.RunPreliminary(); err != nil {
 			b.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 //
 //	phishfarm [-stage all|preliminary|main|extensions|ablations|funnel|chaos]
 //	          [-campaign N] [-provider free|dedicated]
+//	          [-population uniform|paper|lain2025] [-victims N]
 //	          [-seed N] [-replicas N] [-parallel P] [-shard-workers W]
 //	          [-traffic-scale F] [-main-traffic N] [-nocache]
 //	          [-chaos plan.json] [-chaos-preset flaky|outage|degraded]
@@ -31,6 +32,17 @@
 // "dedicated" (one registrable domain per URL). The deterministic campaign
 // table goes to stdout — byte-identical for every -shard-workers value —
 // while wall-clock figures (URLs/sec, peak heap) go to stderr under -v.
+//
+// Populations: -population <preset> replaces the classic stages with a
+// heterogeneous-victim exposure study (see internal/population): cohorts
+// with distinct URL-inspection skill, susceptibility, reporting propensity,
+// and visit cadence visit evasion-protected lures, and their reports feed
+// community verification. -victims N sizes the population (0 keeps the
+// preset default). Victims derive positionally from -seed, so the table and
+// journal are byte-identical for every -shard-workers value and memory is
+// flat to 1M+ victims. -population is mutually exclusive with -campaign and
+// with -traffic-scale (the population is the victim-traffic model); flag
+// conflicts are rejected with typed areyouhuman errors.
 //
 // The run is cancellable: SIGINT stops the simulation within a bounded
 // number of events and exits with the interruption error.
@@ -74,11 +86,13 @@ import (
 	"strings"
 	"time"
 
+	"areyouhuman"
 	"areyouhuman/internal/campaign"
 	"areyouhuman/internal/chaos"
 	"areyouhuman/internal/core"
 	"areyouhuman/internal/experiment"
 	"areyouhuman/internal/journal"
+	"areyouhuman/internal/population"
 	"areyouhuman/internal/simclock"
 	"areyouhuman/internal/telemetry"
 )
@@ -100,6 +114,8 @@ func main() {
 		stage       = flag.String("stage", "all", "which stage to run: all, preliminary, main, extensions, ablations, exposure, funnel, chaos")
 		campaignN   = flag.Int("campaign", 0, "run a streaming campaign study of N URLs instead of the classic stages (0 = off)")
 		provider    = flag.String("provider", "free", "campaign hosting model: free (shared apexes, IP reputation, sweeps) or dedicated (one domain per URL)")
+		popName     = flag.String("population", "", "run a heterogeneous-victim exposure study with this population preset (uniform, paper, lain2025; empty = off)")
+		victims     = flag.Int("victims", 0, "victim count for -population (0 = preset default)")
 		seed        = flag.Int64("seed", 0, "experiment seed (0 = paper-calibrated default); the master seed when -replicas > 1")
 		replicas    = flag.Int("replicas", 1, "independent replicas of the full study (1 = plain single run)")
 		parallel    = flag.Int("parallel", 0, "worker goroutines for -replicas (0 = GOMAXPROCS); affects wall time only, never results")
@@ -174,13 +190,14 @@ func main() {
 	}
 	opts.vlog("scheduler: %d shards, %d workers", simclock.DefaultShards, shardWorkers)
 
-	providerSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "provider" {
-			providerSet = true
-		}
-	})
-	campaignCfg, campaignRun, err := resolveCampaign(*campaignN, *provider, providerSet)
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	campaignCfg, campaignRun, err := resolveCampaign(*campaignN, *provider, setFlags["provider"])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phishfarm:", err)
+		os.Exit(2)
+	}
+	popSpec, popRun, err := resolvePopulation(*popName, *victims, *replicas, setFlags)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phishfarm:", err)
 		os.Exit(2)
@@ -201,6 +218,8 @@ func main() {
 	f := core.New(cfg).WithContext(ctx)
 
 	switch {
+	case popRun:
+		err = runPopulationCLI(f, opts, popSpec)
 	case campaignRun:
 		err = runCampaignCLI(f, opts, campaignCfg)
 	case opts.stage == "chaos":
@@ -427,16 +446,6 @@ func run(f *core.Framework, cfg experiment.Config, opts options) error {
 	}
 }
 
-// CampaignSizeError reports an invalid -campaign value.
-type CampaignSizeError struct {
-	// N is the rejected value.
-	N int
-}
-
-func (e *CampaignSizeError) Error() string {
-	return fmt.Sprintf("-campaign must be >= 1, got %d", e.N)
-}
-
 // ProviderError reports an unknown -provider name.
 type ProviderError struct {
 	// Name is the rejected value.
@@ -461,7 +470,7 @@ func resolveCampaign(n int, provider string, providerSet bool) (cc campaign.Conf
 		return cc, false, nil
 	}
 	if n < 0 {
-		return cc, false, &CampaignSizeError{N: n}
+		return cc, false, fmt.Errorf("-campaign: %w", &areyouhuman.CampaignSizeError{N: n})
 	}
 	ok := false
 	for _, p := range campaign.Providers() {
@@ -498,25 +507,72 @@ func runCampaignCLI(f *core.Framework, opts options, cc campaign.Config) error {
 	return nil
 }
 
-// ShardWorkersError reports an invalid -shard-workers value.
-type ShardWorkersError struct {
-	// N is the rejected value.
-	N int
-}
-
-func (e *ShardWorkersError) Error() string {
-	return fmt.Sprintf("-shard-workers must be >= 1, got %d", e.N)
-}
-
 // resolveShardWorkers validates the -shard-workers flag. phishfarm always
 // runs the sharded scheduler — one worker is the sequential baseline every
 // other worker count must match byte for byte — so zero and negative counts
-// are rejected rather than silently clamped.
+// are rejected rather than silently clamped. The typed error lives in the
+// areyouhuman facade (see its errors.go).
 func resolveShardWorkers(n int) (int, error) {
 	if n < 1 {
-		return 0, &ShardWorkersError{N: n}
+		return 0, fmt.Errorf("-shard-workers: %w", &areyouhuman.ShardWorkersError{N: n, Min: 1})
 	}
 	return n, nil
+}
+
+// resolvePopulation validates the -population/-victims flag group against
+// the rest of the invocation. The population replaces the victim-traffic
+// model, so -traffic-scale is mutually exclusive with it, as are -campaign
+// (even -campaign 0: a campaign flag next to a population spec is a typo'd
+// invocation, not a no-op) and -replicas. Conflicts surface as the facade's
+// typed *areyouhuman.PopulationError so tests and scripts can classify them.
+func resolvePopulation(name string, victims, replicas int, setFlags map[string]bool) (population.Spec, bool, error) {
+	var spec population.Spec
+	if !setFlags["population"] {
+		if setFlags["victims"] {
+			return spec, false, &areyouhuman.PopulationError{Reason: "-victims requires -population"}
+		}
+		return spec, false, nil
+	}
+	if name == "" {
+		return spec, false, &areyouhuman.PopulationError{Reason: "empty population spec; pick a preset: " + strings.Join(population.Presets(), "|")}
+	}
+	if setFlags["campaign"] {
+		return spec, false, &areyouhuman.PopulationError{Reason: "-campaign and -population are mutually exclusive"}
+	}
+	if setFlags["traffic-scale"] {
+		return spec, false, &areyouhuman.PopulationError{Reason: "-traffic-scale and -population are mutually exclusive (the population is the victim-traffic model)"}
+	}
+	if replicas > 1 {
+		return spec, false, &areyouhuman.PopulationError{Reason: "-replicas does not compose with -population"}
+	}
+	if victims < 0 {
+		return spec, false, &areyouhuman.PopulationError{Reason: fmt.Sprintf("-victims must be >= 0, got %d", victims)}
+	}
+	spec, err := population.Preset(name)
+	if err != nil {
+		return spec, false, err
+	}
+	spec.Size = victims
+	// Like campaigns, the CLI always measures the heap watermark so CI can
+	// read peak memory off stderr; sampling happens at pump-batch boundaries.
+	spec.MeasureHeap = true
+	return spec, true, nil
+}
+
+// runPopulationCLI runs the heterogeneous-victim exposure study. The
+// deterministic table goes to stdout — CI compares it byte for byte across
+// -shard-workers — and the wall-clock figures go to stderr under -v.
+func runPopulationCLI(f *core.Framework, opts options, spec population.Spec) error {
+	done := opts.stageStart("population")
+	res, err := f.RunPopulation(spec)
+	done()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.RenderTable())
+	opts.vlog("population: %.0f victims/sec wall, %.2fs total, peak heap %.1f MiB",
+		res.VictimsPerSec, res.WallSeconds, float64(res.PeakHeapBytes)/(1<<20))
+	return nil
 }
 
 // logShardCounts narrates the per-shard event totals recorded by each

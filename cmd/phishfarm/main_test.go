@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"areyouhuman"
 	"areyouhuman/internal/campaign"
+	"areyouhuman/internal/population"
 )
 
 func TestResolveShardWorkersRejectsNonPositive(t *testing.T) {
@@ -14,9 +16,9 @@ func TestResolveShardWorkersRejectsNonPositive(t *testing.T) {
 		if err == nil {
 			t.Fatalf("resolveShardWorkers(%d) = %d, want error", n, got)
 		}
-		var swe *ShardWorkersError
+		var swe *areyouhuman.ShardWorkersError
 		if !errors.As(err, &swe) {
-			t.Fatalf("resolveShardWorkers(%d) error type %T, want *ShardWorkersError", n, err)
+			t.Fatalf("resolveShardWorkers(%d) error type %T, want *areyouhuman.ShardWorkersError", n, err)
 		}
 		if swe.N != n {
 			t.Errorf("ShardWorkersError.N = %d, want %d", swe.N, n)
@@ -42,12 +44,15 @@ func TestResolveCampaignRejectsNegativeSize(t *testing.T) {
 		if err == nil || run {
 			t.Fatalf("resolveCampaign(%d) run=%v err=%v, want validation error", n, run, err)
 		}
-		var cse *CampaignSizeError
+		var cse *areyouhuman.CampaignSizeError
 		if !errors.As(err, &cse) {
-			t.Fatalf("resolveCampaign(%d) error type %T, want *CampaignSizeError", n, err)
+			t.Fatalf("resolveCampaign(%d) error type %T, want *areyouhuman.CampaignSizeError", n, err)
 		}
 		if cse.N != n {
 			t.Errorf("CampaignSizeError.N = %d, want %d", cse.N, n)
+		}
+		if !errors.Is(err, areyouhuman.ErrCampaignSize) {
+			t.Errorf("error %v should unwrap to ErrCampaignSize", err)
 		}
 		if !strings.Contains(err.Error(), ">= 1") {
 			t.Errorf("error %q should state the >= 1 requirement", err)
@@ -94,5 +99,86 @@ func TestResolveCampaignOffAndOn(t *testing.T) {
 		if cc.URLs != 20_000 || cc.Provider != p || !cc.MeasureHeap {
 			t.Errorf("resolveCampaign(20000, %q) = %+v, want URLs/Provider/MeasureHeap set", p, cc)
 		}
+	}
+}
+
+// flags is shorthand for the flag.Visit set resolvePopulation receives.
+func flags(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestResolvePopulationOff(t *testing.T) {
+	if _, run, err := resolvePopulation("", 0, 1, flags()); err != nil || run {
+		t.Fatalf("no flags: run=%v err=%v, want off", run, err)
+	}
+	// -victims without -population is a typo'd invocation, not a no-op.
+	_, run, err := resolvePopulation("", 5000, 1, flags("victims"))
+	var perr *areyouhuman.PopulationError
+	if err == nil || run || !errors.As(err, &perr) {
+		t.Fatalf("-victims alone: run=%v err=%v (%T), want *areyouhuman.PopulationError", run, err, err)
+	}
+}
+
+func TestResolvePopulationFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name     string
+		set      map[string]bool
+		replicas int
+		wantIn   string
+	}{
+		{"empty spec", flags("population"), 1, "empty population spec"},
+		{"campaign set", flags("population", "campaign"), 1, "-campaign"},
+		{"zero campaign set", flags("population", "campaign"), 1, "mutually exclusive"},
+		{"traffic-scale set", flags("population", "traffic-scale"), 1, "-traffic-scale"},
+		{"replicas", flags("population"), 4, "-replicas"},
+	}
+	for _, tc := range cases {
+		name := "paper"
+		if tc.wantIn == "empty population spec" {
+			name = ""
+		}
+		_, run, err := resolvePopulation(name, 0, tc.replicas, tc.set)
+		if err == nil || run {
+			t.Fatalf("%s: run=%v err=%v, want typed error", tc.name, run, err)
+		}
+		var perr *areyouhuman.PopulationError
+		if !errors.As(err, &perr) {
+			t.Fatalf("%s: error type %T, want *areyouhuman.PopulationError", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("%s: error %q should mention %q", tc.name, err, tc.wantIn)
+		}
+	}
+}
+
+func TestResolvePopulationPresetAndSize(t *testing.T) {
+	if _, run, err := resolvePopulation("crowd", 0, 1, flags("population")); err == nil || run ||
+		!errors.Is(err, areyouhuman.ErrPopulationPreset) {
+		t.Fatalf("unknown preset: run=%v err=%v, want ErrPopulationPreset", run, err)
+	}
+	if _, run, err := resolvePopulation("paper", -5, 1, flags("population", "victims")); err == nil || run {
+		t.Fatalf("negative victims: run=%v err=%v, want error", run, err)
+	}
+	spec, run, err := resolvePopulation("lain2025", 50_000, 1, flags("population", "victims"))
+	if err != nil || !run {
+		t.Fatalf("valid invocation: run=%v err=%v", run, err)
+	}
+	if spec.Name != "lain2025" || spec.Size != 50_000 || !spec.MeasureHeap {
+		t.Errorf("spec = %+v, want lain2025 sized 50000 with MeasureHeap", spec)
+	}
+	if len(spec.Cohorts) == 0 {
+		t.Error("preset spec carries no cohorts")
+	}
+	// Unsized: the preset default applies downstream (Size stays 0 here).
+	spec, run, err = resolvePopulation("uniform", 0, 1, flags("population"))
+	if err != nil || !run || spec.Size != 0 {
+		t.Fatalf("unsized preset: spec=%+v run=%v err=%v, want Size 0 passthrough", spec, run, err)
+	}
+	if spec.WithDefaults().Size != population.DefaultSize {
+		t.Errorf("unsized preset should default to %d victims", population.DefaultSize)
 	}
 }

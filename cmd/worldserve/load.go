@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"areyouhuman/internal/population"
+	"areyouhuman/internal/telemetry"
+)
+
+// loadConfig parameterises a -load replay: a worker-pool HTTP client fires
+// population-derived victim requests at the live gateway and records the
+// latency distribution.
+type loadConfig struct {
+	requests  int
+	workers   int
+	seed      int64
+	domain    string // Host header for every request
+	phishPath string // the deployment's phishing path
+	technique string
+	brand     string
+	benchOut  string // BENCH_serve.json destination ("" = print only)
+	set       *telemetry.Set
+}
+
+// latencyBuckets spans 10µs to ~160s in powers of two — fine enough that the
+// interpolated p50/p99 are meaningful for an in-process gateway.
+func latencyBuckets() []float64 { return telemetry.ExpBuckets(1e-5, 2, 24) }
+
+// runLoad replays victim traffic against the gateway at addr. The request
+// mix derives from the "paper" population via the positional planner: each
+// request i is victim i's first visit — careful victims inspect the URL and
+// only fetch the cover page, everyone else goes straight for the phishing
+// path. Latencies land in a telemetry histogram; the summary goes to stdout
+// and, when benchOut is set, to a BENCH_serve.json record.
+func runLoad(addr string, cfg loadConfig) error {
+	spec, err := population.Preset("paper")
+	if err != nil {
+		return err
+	}
+	spec.Size = cfg.requests
+	spec = spec.WithDefaults()
+	pl := population.NewPlanner(cfg.seed, spec, 1, 1)
+
+	reg := cfg.set.M()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	reg.Describe("phish_serve_latency_seconds", "Gateway request latency observed by the worldserve load client.")
+	hist := reg.Histogram("phish_serve_latency_seconds", latencyBuckets())
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.workers,
+		MaxIdleConnsPerHost: cfg.workers,
+	}}
+	var (
+		ok2xx  atomic.Int64
+		failed atomic.Int64
+		wg     sync.WaitGroup
+		jobs   = make(chan int, cfg.workers)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				path := cfg.phishPath
+				if v := pl.At(i); pl.Spots(i, 0, v.Cohort) {
+					path = "/" // inspected the URL, only ever saw the cover site
+				}
+				req, err := http.NewRequest("GET", "http://"+addr+path, nil)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				req.Host = cfg.domain
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				hist.Observe(time.Since(t0).Seconds())
+				if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+					ok2xx.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	seconds := time.Since(start).Seconds()
+
+	res := serveResults{
+		Requests:       cfg.requests,
+		Seconds:        round3(seconds),
+		RequestsPerSec: round1(float64(cfg.requests) / seconds),
+		P50Ms:          round3(hist.Quantile(0.50) * 1000),
+		P99Ms:          round3(hist.Quantile(0.99) * 1000),
+		Status2xx:      ok2xx.Load(),
+		Failed:         failed.Load(),
+	}
+	fmt.Printf("serve-load: %d requests (%d workers), %.1f req/sec, p50 %.3f ms, p99 %.3f ms, %d 2xx, %d failed\n",
+		res.Requests, cfg.workers, res.RequestsPerSec, res.P50Ms, res.P99Ms, res.Status2xx, res.Failed)
+	if cfg.benchOut == "" {
+		return nil
+	}
+	return writeBenchRecord(cfg, res)
+}
+
+// serveResults is the measured half of the BENCH_serve.json record.
+type serveResults struct {
+	Requests       int     `json:"requests"`
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	Status2xx      int64   `json:"status_2xx"`
+	Failed         int64   `json:"failed"`
+}
+
+// benchRecord mirrors the repo's other BENCH_*.json files (benchmark,
+// command, date, host, config, results, note).
+type benchRecord struct {
+	Benchmark string         `json:"benchmark"`
+	Command   string         `json:"command"`
+	Date      string         `json:"date"`
+	Host      benchHost      `json:"host"`
+	Config    map[string]any `json:"config"`
+	Results   serveResults   `json:"results"`
+	Note      string         `json:"note"`
+}
+
+type benchHost struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func writeBenchRecord(cfg loadConfig, res serveResults) error {
+	rec := benchRecord{
+		Benchmark: "worldserve-load",
+		Command: fmt.Sprintf("worldserve -technique %s -brand %s -load %d -load-workers %d",
+			cfg.technique, cfg.brand, cfg.requests, cfg.workers),
+		Date: time.Now().Format("2006-01-02"),
+		Host: benchHost{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Config: map[string]any{
+			"technique":  cfg.technique,
+			"brand":      cfg.brand,
+			"domain":     cfg.domain,
+			"workers":    cfg.workers,
+			"seed":       cfg.seed,
+			"population": "paper",
+		},
+		Results: res,
+		Note: "Live-gateway load replay: population-derived victim requests (paper preset, positional planner) " +
+			"over real TCP against the worldserve gateway, latencies from the phish_serve_latency_seconds " +
+			"telemetry histogram (p50/p99 by PromQL-style interpolation). Client and server share the process, " +
+			"so this measures the full serve path, not network RTT.",
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.benchOut, append(data, '\n'), 0o644)
+}
+
+func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
+
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

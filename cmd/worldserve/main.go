@@ -31,12 +31,27 @@
 // run is watchable; -traffic-scale sizes the crawler fleets. The study world
 // runs single-threaded on its own goroutine, so in this mode the gateway does
 // not route Host-header requests into its virtual internet.
+//
+// Load mode: -load N boots the deployment, serves it on a real TCP listener
+// (-addr may end in :0 for an ephemeral port), and replays N victim requests
+// against it from an in-process worker pool (-load-workers): the request mix
+// derives from the "paper" victim population via the positional planner, so
+// careful victims fetch only the cover page while the rest go for the
+// phishing path. Latencies land in a telemetry histogram; the run prints a
+// one-line summary (requests/sec, p50/p99, 2xx count) and, with -bench-out,
+// writes a BENCH_serve.json record — the repo's live-serving benchmark:
+//
+//	worldserve -addr 127.0.0.1:0 -load 5000 -load-workers 8 -bench-out BENCH_serve.json
+//
+// -load does not compose with -study (study mode does not route virtual
+// hosts).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -62,6 +77,10 @@ func main() {
 		pace      = flag.Duration("study-pace", 5*time.Millisecond, "wall-clock pause per journal event in -study mode (0 = full speed)")
 		scale     = flag.Float64("traffic-scale", 0.02, "crawler fleet scale in -study mode")
 		shardW    = flag.Int("shard-workers", 0, "scheduler workers over host-keyed shards in -study mode (0 = classic serial scheduler); output is identical for every value")
+		load      = flag.Int("load", 0, "replay N population-derived victim requests against the live gateway, print req/sec and p50/p99, then exit (0 = serve forever)")
+		loadW     = flag.Int("load-workers", 8, "concurrent client workers for -load")
+		loadSeed  = flag.Int64("load-seed", 21, "seed for the -load victim planner")
+		benchOut  = flag.String("bench-out", "", "write the -load results as a BENCH_serve.json record to this file")
 	)
 	flag.Parse()
 
@@ -69,7 +88,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "worldserve: -shard-workers must be >= 0, got %d\n", *shardW)
 		os.Exit(2)
 	}
+	if *load < 0 || *loadW < 1 {
+		fmt.Fprintf(os.Stderr, "worldserve: -load must be >= 0 and -load-workers >= 1, got %d and %d\n", *load, *loadW)
+		os.Exit(2)
+	}
 	if *study {
+		if *load > 0 {
+			fmt.Fprintln(os.Stderr, "worldserve: -load does not compose with -study (study mode does not route virtual hosts)")
+			os.Exit(2)
+		}
 		runStudyMode(*addr, *obs, *pace, *scale, *shardW)
 		return
 	}
@@ -103,14 +130,41 @@ func main() {
 	phishURL := deployment.Mounts[0].URL
 
 	gateway := newGateway(world.Net, set)
-	log.Printf("serving virtual internet on %s", *addr)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("worldserve: ", err)
+	}
+	bound := ln.Addr().String()
+	log.Printf("serving virtual internet on %s", bound)
 	log.Printf("deployment: %s kit behind %s", brand, technique)
 	log.Printf("phishing URL (virtual): %s", phishURL)
-	log.Printf("try: curl -H 'Host: %s' 'http://%s%s'", *domain, *addr, pathOf(phishURL))
+	log.Printf("try: curl -H 'Host: %s' 'http://%s%s'", *domain, bound, pathOf(phishURL))
 	if *obs {
-		log.Printf("observability: curl 'http://%s/metrics'  (pprof at /debug/pprof/)", *addr)
+		log.Printf("observability: curl 'http://%s/metrics'  (pprof at /debug/pprof/)", bound)
 	}
-	if err := http.ListenAndServe(*addr, gateway); err != nil {
+	if *load > 0 {
+		go func() {
+			// The listener closes when main returns; the serve error at that
+			// point is shutdown, not a failure.
+			_ = http.Serve(ln, gateway)
+		}()
+		defer ln.Close()
+		if err := runLoad(bound, loadConfig{
+			requests:  *load,
+			workers:   *loadW,
+			seed:      *loadSeed,
+			domain:    *domain,
+			phishPath: pathOf(phishURL),
+			technique: technique.String(),
+			brand:     strings.ToLower(*brandFlag),
+			benchOut:  *benchOut,
+			set:       set,
+		}); err != nil {
+			log.Fatal("worldserve: ", err)
+		}
+		return
+	}
+	if err := http.Serve(ln, gateway); err != nil {
 		log.Fatal("worldserve: ", err)
 	}
 }

@@ -1,0 +1,96 @@
+package areyouhuman
+
+// This file collects the facade's error surface: sentinel values re-exported
+// from the internal packages (errors.Is targets) and the typed validation
+// errors the options and CLIs return (errors.As targets). Callers never need
+// to import an internal package to classify a failure.
+
+import (
+	"fmt"
+	"strings"
+
+	"areyouhuman/internal/campaign"
+	"areyouhuman/internal/chaos"
+	"areyouhuman/internal/experiment"
+	"areyouhuman/internal/population"
+	"areyouhuman/internal/simclock"
+)
+
+// Sentinel errors, re-exported so callers can errors.Is without importing
+// internal packages.
+var (
+	// ErrClosed reports events scheduled on a retired world.
+	ErrClosed = simclock.ErrClosed
+	// ErrUnknownEngine reports a report submitted to a nonexistent engine.
+	ErrUnknownEngine = experiment.ErrUnknownEngine
+	// ErrDeployFailed matches every failed deployment (errors.As against
+	// *DeployError recovers the domain and cause).
+	ErrDeployFailed = experiment.ErrDeployFailed
+	// ErrUnknownPreset reports an unrecognised chaos preset name.
+	ErrUnknownPreset = chaos.ErrUnknownPreset
+	// ErrCampaignProvider reports an unknown campaign provider name.
+	ErrCampaignProvider = campaign.ErrProvider
+	// ErrCampaignSize reports a non-positive campaign URL count
+	// (*CampaignSizeError carries the rejected value).
+	ErrCampaignSize = campaign.ErrSize
+	// ErrPopulationSpec matches every invalid population spec
+	// (*PopulationError carries the reason).
+	ErrPopulationSpec = population.ErrSpec
+	// ErrPopulationPreset reports an unknown population preset name.
+	ErrPopulationPreset = population.ErrPreset
+)
+
+// DeployError is the concrete deployment failure (domain + cause).
+type DeployError = experiment.DeployError
+
+// PopulationError reports an invalid population request: a malformed spec,
+// or a composition the population study does not support (replicas,
+// campaigns, conflicting CLI flags). Err, when set, is the underlying
+// cause — spec validation failures unwrap to ErrPopulationSpec.
+type PopulationError struct {
+	// Reason says what was wrong, in CLI-printable form.
+	Reason string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+func (e *PopulationError) Error() string {
+	if e.Err != nil {
+		// Causes from internal/population already speak the "population:"
+		// vocabulary; don't stutter the prefix and reason around them.
+		if msg := e.Err.Error(); strings.HasPrefix(msg, "population: ") {
+			return msg
+		}
+		return fmt.Sprintf("population: %s: %v", e.Reason, e.Err)
+	}
+	return "population: " + e.Reason
+}
+
+func (e *PopulationError) Unwrap() error { return e.Err }
+
+// ShardWorkersError reports an out-of-range shard worker count. The facade
+// accepts 0 (the classic serial scheduler, Min = 0); phishfarm always runs
+// sharded and requires at least one worker (Min = 1).
+type ShardWorkersError struct {
+	// N is the rejected value.
+	N int
+	// Min is the smallest acceptable value in the rejecting context.
+	Min int
+}
+
+func (e *ShardWorkersError) Error() string {
+	return fmt.Sprintf("shard workers must be >= %d, got %d", e.Min, e.N)
+}
+
+// CampaignSizeError reports a non-positive campaign URL count. It unwraps
+// to ErrCampaignSize.
+type CampaignSizeError struct {
+	// N is the rejected value.
+	N int
+}
+
+func (e *CampaignSizeError) Error() string {
+	return fmt.Sprintf("campaign size must be >= 1, got %d", e.N)
+}
+
+func (e *CampaignSizeError) Unwrap() error { return ErrCampaignSize }

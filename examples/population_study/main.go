@@ -1,0 +1,56 @@
+// population_study runs the heterogeneous-victim exposure study through the
+// public areyouhuman.Run API: the lain2025 preset (a careful minority that
+// inspects URLs, a large average middle, a careless tail — cohort shares per
+// Lain et al., arXiv:2502.20234) visits evasion-protected lures, and the
+// per-cohort × per-technique table shows who the blacklists protect and who
+// is left to their own URL-reading skill. It then demonstrates the two error
+// surfaces a caller should handle: unknown presets and invalid cohort specs.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"areyouhuman"
+)
+
+func main() {
+	spec, err := areyouhuman.Population("lain2025")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Size = 20_000
+
+	res, err := areyouhuman.Run(context.Background(),
+		areyouhuman.WithPopulation(spec),
+		areyouhuman.WithShardWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+
+	// The community-verification rows are the paper's Section 5.1 story:
+	// confirmable arms get published, human-verification arms starve.
+	for _, row := range res.Population.Community {
+		if row.Published == 0 && row.Reports > 0 {
+			fmt.Printf("\n%s: %d community reports and still unverified — the gate starves the voters\n",
+				row.Technique, row.Reports)
+		}
+	}
+
+	// Typed errors: presets and specs fail loudly, not with a zero table.
+	if _, err := areyouhuman.Population("crowd"); errors.Is(err, areyouhuman.ErrPopulationPreset) {
+		fmt.Printf("\nunknown preset is typed: %v\n", err)
+	}
+	bad := areyouhuman.PopulationSpec{
+		Name:    "lopsided",
+		Size:    1000,
+		Cohorts: []areyouhuman.PopulationCohort{{Name: "only", Share: 0.4}},
+	}
+	var perr *areyouhuman.PopulationError
+	if _, err := areyouhuman.Run(context.Background(), areyouhuman.WithPopulation(bad)); errors.As(err, &perr) {
+		fmt.Printf("invalid spec is typed: %v\n", perr)
+	}
+}

@@ -145,3 +145,31 @@ func TestStats(t *testing.T) {
 		t.Fatalf("Stats = %d,%d; want 1,2", issued, checks)
 	}
 }
+
+func TestExpiredTokenSweep(t *testing.T) {
+	t.Parallel()
+	clock := simclock.New(simclock.Epoch)
+	s := NewService(clock)
+	sitekey, secret := s.RegisterSite()
+	// Mint several sweep windows' worth of tokens, advancing the clock so
+	// each window's tokens are expired by the time the next sweep runs.
+	for i := 0; i < 4*sweepEvery; i++ {
+		if _, err := s.Issue(sitekey); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			clock.Advance(TokenTTL + time.Second)
+		}
+	}
+	s.mu.Lock()
+	retained := len(s.tokens)
+	s.mu.Unlock()
+	if retained > 2*sweepEvery {
+		t.Fatalf("token table retains %d entries after sweeps, want <= %d", retained, 2*sweepEvery)
+	}
+	// Sweeping must not disturb live-token semantics.
+	token, _ := s.Issue(sitekey)
+	if !s.Verify(secret, token) {
+		t.Fatal("fresh token should verify after sweeps")
+	}
+}

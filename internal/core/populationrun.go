@@ -1,0 +1,18 @@
+package core
+
+import (
+	"areyouhuman/internal/population"
+)
+
+// RunPopulation runs the heterogeneous-victim exposure study in a fresh
+// world: spec.Size victims partitioned into cohorts (inspection skill,
+// susceptibility, reporting propensity, visit cadence) visit
+// evasion-protected lures on their home hosts, with Safe Browsing guards
+// fed by GSB and community reports feeding PhishTank's unverified section.
+// Victims are derived positionally in batches — see internal/population —
+// so memory stays flat from 10k to 1M victims.
+func (f *Framework) RunPopulation(spec population.Spec) (*population.Results, error) {
+	w := f.newWorld(f.Cfg)
+	defer w.Close()
+	return w.RunPopulation(spec)
+}

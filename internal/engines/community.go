@@ -22,6 +22,13 @@ type PendingReport struct {
 	SubmittedAt time.Time
 	// VoterVisits counts volunteer review visits so far.
 	VoterVisits int
+	// Reports counts community submissions for this URL (the first one
+	// created the entry).
+	Reports int
+	// Confirmations counts submissions whose reporter recognised the page
+	// as phishing first-hand. CommunityVotesNeeded of them publish the URL
+	// without waiting for volunteer voters.
+	Confirmations int
 }
 
 // communitySection tracks the unverified queue for a community-verified
@@ -35,12 +42,32 @@ func newCommunitySection() *communitySection {
 	return &communitySection{pending: make(map[string]*PendingReport)}
 }
 
-func (c *communitySection) add(url string, at time.Time) {
+// add files url into the unverified section, reporting whether the entry is
+// new (duplicates keep the original submission time).
+func (c *communitySection) add(url string, at time.Time) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.pending[url]; !dup {
-		c.pending[url] = &PendingReport{URL: url, SubmittedAt: at}
+	if _, dup := c.pending[url]; dup {
+		return false
 	}
+	c.pending[url] = &PendingReport{URL: url, SubmittedAt: at}
+	return true
+}
+
+// confirm counts one community report against url's pending entry and
+// returns the confirmation total so far (0 if the URL is not pending).
+func (c *communitySection) confirm(url string, confirmed bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pending[url]
+	if !ok {
+		return 0
+	}
+	p.Reports++
+	if confirmed {
+		p.Confirmations++
+	}
+	return p.Confirmations
 }
 
 func (c *communitySection) remove(url string) {
@@ -80,18 +107,81 @@ func (e *Engine) Unverified() []PendingReport {
 // voterReviewTimes are when volunteers look at a pending submission.
 var voterReviewTimes = []time.Duration{time.Hour, 6 * time.Hour, 24 * time.Hour}
 
+// CommunityVotesNeeded is how many confirming community reports publish a
+// pending URL without waiting for a volunteer voter to reproduce the phish
+// themselves (PhishTank's "is a phish" vote threshold).
+const CommunityVotesNeeded = 3
+
 // enqueueCommunity files a submission into the unverified section and
 // schedules volunteer reviews.
 func (e *Engine) enqueueCommunity(rawURL string) {
 	if e.community == nil {
 		return
 	}
-	e.community.add(rawURL, e.sched.Clock().Now())
+	if e.community.add(rawURL, e.sched.Clock().Now()) {
+		e.scheduleVoterReviews(rawURL)
+	}
+}
+
+// scheduleVoterReviews books the volunteer looks at a newly pending URL.
+func (e *Engine) scheduleVoterReviews(rawURL string) {
 	for _, after := range voterReviewTimes {
 		e.sched.After(after, e.Profile.Key+":voter-review", func(time.Time) {
 			e.voterReview(rawURL)
 		})
 	}
+}
+
+// CommunityOutcome is what became of one community report.
+type CommunityOutcome int
+
+const (
+	// CommunityListed: the URL is already on the official list; the report
+	// is redundant and dropped.
+	CommunityListed CommunityOutcome = iota
+	// CommunityPending: the report was filed (or counted against an
+	// existing entry) and the URL remains in the unverified section.
+	CommunityPending
+	// CommunityPublished: this report was the confirming vote that moved
+	// the URL from the unverified section to the official list.
+	CommunityPublished
+)
+
+// CommunityReport files one human report into the engine's unverified
+// section — the channel a victim population feeds. confirmed marks a
+// reporter who recognised the page as phishing first-hand (they saw the
+// payload, or inspected the URL and know the brand); unconfirmed reports
+// count but never vote a URL onto the list, which is exactly how
+// human-verification evasion starves the queue: nobody who only saw the
+// CAPTCHA face can confirm anything. Returns CommunityListed for engines
+// without community verification. Unlike Report, this path works in
+// streaming (CampaignTune) mode: the pending section holds one entry per
+// distinct URL, which population studies keep bounded.
+func (e *Engine) CommunityReport(rawURL string, confirmed bool) CommunityOutcome {
+	if e.community == nil || e.List.Contains(rawURL) {
+		return CommunityListed
+	}
+	e.inst.reports.Inc()
+	if e.community.add(rawURL, e.sched.Clock().Now()) {
+		e.scheduleVoterReviews(rawURL)
+	}
+	if e.community.confirm(rawURL, confirmed) >= CommunityVotesNeeded {
+		e.publishCommunity(rawURL)
+		return CommunityPublished
+	}
+	return CommunityPending
+}
+
+// publishCommunity moves rawURL from the unverified section to the official
+// list: community consensus reached.
+func (e *Engine) publishCommunity(rawURL string) {
+	if !e.List.Add(rawURL, e.Profile.Key) {
+		return
+	}
+	now := e.sched.Clock().Now()
+	e.recordDetection(Detection{URL: rawURL, CrawledAt: now, ListedAt: now})
+	e.community.remove(rawURL)
+	e.share(rawURL)
 }
 
 // voterReview is one volunteer looking at a pending URL. Voters browse with
@@ -123,11 +213,6 @@ func (e *Engine) voterReview(rawURL string) {
 	// test shows PhishTank never listed the scratch Gmail page).
 	if e.judge(page) {
 		// Votes agree: publish to the official list.
-		if e.List.Add(rawURL, e.Profile.Key) {
-			now := e.sched.Clock().Now()
-			e.detections = append(e.detections, Detection{URL: rawURL, CrawledAt: now, ListedAt: now})
-			e.community.remove(rawURL)
-			e.share(rawURL)
-		}
+		e.publishCommunity(rawURL)
 	}
 }

@@ -1,0 +1,174 @@
+package engines
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/report"
+	"areyouhuman/internal/simclock"
+	"areyouhuman/internal/simnet"
+	"areyouhuman/internal/sitegen"
+	"areyouhuman/internal/weblog"
+)
+
+// newEvasionWorld is newWorld with full evasion wiring: reCAPTCHA needs a
+// widget and verifier (here one nobody can pass, like the real service
+// refuses crawlers).
+func newEvasionWorld(t *testing.T, technique evasion.Technique) *world {
+	t.Helper()
+	clock := simclock.New(simclock.Epoch)
+	w := &world{
+		net:   simnet.New(nil),
+		sched: simclock.NewScheduler(clock),
+		mail:  report.NewMailSystem(clock),
+		log:   weblog.New(clock),
+	}
+	kit, err := phishkit.Generate(phishkit.PayPal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := sitegen.Generate("garden-tools.example", sitegen.Config{Seed: 1})
+	wrapped, err := evasion.Wrap(technique, evasion.Options{
+		Payload:     kit.Handler(nil),
+		Benign:      site.Handler(),
+		Log:         w.log.ServeLogger(),
+		WidgetHTML:  `<div class="g-recaptcha" data-sitekey="k" data-callback="capback" data-endpoint="http://nowhere.example/issue"></div>`,
+		VerifyToken: func(string) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", site.Handler())
+	mux.Handle(phishPath, wrapped)
+	w.net.Register("garden-tools.example", w.log.Middleware(mux))
+	w.url = "http://garden-tools.example" + phishPath
+	return w
+}
+
+// TestCommunityQueueHeterogeneousReporters drives the unverified section
+// with reporter cohorts of different propensity and confirmation ability —
+// the population-model contract. Alert-box pages expose their payload to
+// victims who confirm the alert, so a high-propensity cohort accumulates
+// confirming votes and clears the queue; reCAPTCHA pages show every
+// reporter only the challenge face, so no report ever confirms and the URL
+// sits unverified forever — the paper's 0-detection headline for
+// human-verification evasion.
+func TestCommunityQueueHeterogeneousReporters(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name      string
+		technique evasion.Technique
+		reports   int
+		// confirmed: the cohort's reporters saw the payload first-hand
+		// (possible for alert-box victims, impossible behind reCAPTCHA).
+		confirmed   bool
+		wantListed  bool
+		wantPending bool
+	}{
+		{
+			name:      "alertbox high-propensity cohort clears the queue",
+			technique: evasion.AlertBox,
+			reports:   5, confirmed: true,
+			wantListed: true, wantPending: false,
+		},
+		{
+			name:      "alertbox below vote threshold stays pending",
+			technique: evasion.AlertBox,
+			reports:   CommunityVotesNeeded - 1, confirmed: true,
+			wantListed: false, wantPending: true,
+		},
+		{
+			name:      "recaptcha high-propensity cohort cannot confirm",
+			technique: evasion.Recaptcha,
+			reports:   12, confirmed: false,
+			wantListed: false, wantPending: true,
+		},
+		{
+			name:      "recaptcha low-propensity cohort barely reports",
+			technique: evasion.Recaptcha,
+			reports:   1, confirmed: false,
+			wantListed: false, wantPending: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			w := newEvasionWorld(t, tc.technique)
+			eng := w.engine(PhishTank, nil)
+			published := 0
+			for i := 0; i < tc.reports; i++ {
+				// Spread reports over the first day, like a population's
+				// visit cadence would.
+				i := i
+				w.sched.After(time.Duration(i)*time.Hour, "community-report", func(time.Time) {
+					if eng.CommunityReport(w.url, tc.confirmed) == CommunityPublished {
+						published++
+					}
+				})
+			}
+			w.sched.RunFor(72 * time.Hour)
+
+			if got := eng.List.Contains(w.url); got != tc.wantListed {
+				t.Errorf("listed = %v, want %v", got, tc.wantListed)
+			}
+			pending := eng.Unverified()
+			if tc.wantPending {
+				if len(pending) != 1 || pending[0].URL != w.url {
+					t.Fatalf("unverified section = %+v, want the reported URL", pending)
+				}
+				if pending[0].Reports != tc.reports {
+					t.Errorf("pending reports = %d, want %d", pending[0].Reports, tc.reports)
+				}
+				if pending[0].Confirmations != 0 && !tc.confirmed {
+					t.Errorf("unconfirmed cohort produced %d confirmations", pending[0].Confirmations)
+				}
+				if pending[0].VoterVisits == 0 {
+					t.Error("voters never looked at the pending URL")
+				}
+			} else if len(pending) != 0 {
+				t.Errorf("unverified section = %+v, want empty", pending)
+			}
+			if tc.wantListed && published != 1 {
+				t.Errorf("published outcomes = %d, want exactly 1", published)
+			}
+		})
+	}
+}
+
+// TestCommunityReportAfterListingIsDropped: once the URL is on the official
+// list, further community reports are redundant.
+func TestCommunityReportAfterListingIsDropped(t *testing.T) {
+	t.Parallel()
+	w := newEvasionWorld(t, evasion.AlertBox)
+	eng := w.engine(PhishTank, nil)
+	for i := 0; i < CommunityVotesNeeded; i++ {
+		if got := eng.CommunityReport(w.url, true); i < CommunityVotesNeeded-1 && got != CommunityPending {
+			t.Fatalf("report %d outcome = %v, want pending", i, got)
+		}
+	}
+	if !eng.List.Contains(w.url) {
+		t.Fatal("threshold reached, URL should be listed")
+	}
+	if got := eng.CommunityReport(w.url, true); got != CommunityListed {
+		t.Fatalf("post-listing report outcome = %v, want CommunityListed", got)
+	}
+}
+
+// TestCommunityReportNonCommunityEngine: engines without a community
+// section drop the report.
+func TestCommunityReportNonCommunityEngine(t *testing.T) {
+	t.Parallel()
+	w := newEvasionWorld(t, evasion.AlertBox)
+	eng := w.engine(GSB, nil)
+	if got := eng.CommunityReport(w.url, true); got != CommunityListed {
+		t.Fatalf("GSB CommunityReport = %v, want CommunityListed (no-op)", got)
+	}
+	if eng.List.Contains(w.url) {
+		t.Fatal("no-op report must not list anything")
+	}
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"areyouhuman/internal/population"
+)
+
+// BenchmarkPopulation measures population-study throughput (victims/sec) and
+// peak heap at two population sizes. The ratio between the heap figures is
+// the flat-memory story: victims are planned positionally and aggregated per
+// cohort x arm cell, so 10x the victims should cost roughly 1x the memory
+// (TestPopulationHeapFlat enforces <= 3x at the 100k -> 1M step).
+func BenchmarkPopulation(b *testing.B) {
+	for _, victims := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("victims=%d", victims), func(b *testing.B) {
+			spec, err := population.Preset("paper")
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec.Size = victims
+			spec.MeasureHeap = true
+			var peak uint64
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				w := NewWorld(Config{})
+				res, err := w.RunPopulation(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var got int
+				for _, c := range res.Cells {
+					got += c.Victims
+				}
+				if got != victims {
+					b.Fatalf("simulated %d of %d victims", got, victims)
+				}
+				peak = res.PeakHeapBytes
+				rate = res.VictimsPerSec
+				w.Close()
+			}
+			b.ReportMetric(rate, "victims/sec")
+			b.ReportMetric(float64(peak), "peak-heap-bytes")
+		})
+	}
+}

@@ -1,0 +1,57 @@
+//go:build !race
+
+// The heap regression runs a 1M-victim study; under the race detector that
+// costs many minutes for no extra signal (the determinism tests already run
+// race-enabled), so the file is excluded from -race builds.
+
+package experiment
+
+import (
+	"testing"
+
+	"areyouhuman/internal/population"
+)
+
+// TestPopulationHeapFlat is the constant-memory acceptance gate for
+// millions-of-victims studies: the batch-boundary heap high-water mark of a
+// 1M-victim run must stay within 3x a 100k run's. If per-victim state
+// survives its visit events — a retained browser, an unrotated session
+// table, an unpruned CAPTCHA token — the 10x size ratio shows up here and
+// the test fails.
+func TestPopulationHeapFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-victim study is a long test")
+	}
+	peak := func(size int) uint64 {
+		w := NewWorld(Config{ShardWorkers: 4})
+		defer w.Close()
+		spec, err := population.Preset("lain2025")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Size = size
+		spec.MeasureHeap = true
+		res, err := w.RunPopulation(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims := 0
+		for _, c := range res.Cells {
+			victims += c.Victims
+		}
+		if victims != size {
+			t.Fatalf("aggregated %d victims of %d", victims, size)
+		}
+		if res.PeakHeapBytes == 0 {
+			t.Fatal("MeasureHeap produced no samples")
+		}
+		t.Logf("%d victims: peak heap %.1f MiB, %.0f victims/sec",
+			size, float64(res.PeakHeapBytes)/(1<<20), res.VictimsPerSec)
+		return res.PeakHeapBytes
+	}
+	small := peak(100_000)
+	big := peak(1_000_000)
+	if ratio := float64(big) / float64(small); ratio > 3 {
+		t.Errorf("1M-victim peak heap is %.2fx the 100k peak, want <= 3x", ratio)
+	}
+}

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"areyouhuman/internal/journal"
+	"areyouhuman/internal/population"
+)
+
+func runPopulation(t *testing.T, workers int, spec population.Spec) (*population.Results, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWorld(Config{Journal: journal.NewWriter(&buf), ShardWorkers: workers})
+	defer w.Close()
+	res, err := w.RunPopulation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cfg.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.String()
+}
+
+func presetSpec(t *testing.T, name string, size int) population.Spec {
+	t.Helper()
+	spec, err := population.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Size = size
+	return spec
+}
+
+// TestPopulationStudyDynamics drives a lain2025 population end to end and
+// checks the paper's community-verification story arm by arm: confirmable
+// pages (naked, alert box) accumulate votes and get published, so later
+// victims are blocked; session and reCAPTCHA pages collect reports but
+// never a confirmation, sit in the unverified section forever, and keep
+// harvesting credentials.
+func TestPopulationStudyDynamics(t *testing.T) {
+	t.Parallel()
+	res, jb := runPopulation(t, 0, presetSpec(t, "lain2025", 6000))
+
+	sum := population.Cell{}
+	for _, c := range res.Cells {
+		sum.Victims += c.Victims
+		sum.Visits += c.Visits
+		sum.Reports += c.Reports
+		for o, n := range c.Outcomes {
+			sum.Outcomes[o] += n
+		}
+	}
+	if sum.Victims != 6000 {
+		t.Errorf("victims = %d, want 6000", sum.Victims)
+	}
+	var outcomes int
+	for _, n := range sum.Outcomes {
+		outcomes += n
+	}
+	if outcomes != sum.Visits {
+		t.Errorf("outcomes sum to %d, visits %d; every visit must classify exactly once", outcomes, sum.Visits)
+	}
+	if sum.Outcomes[population.OutcomeFell] == 0 || sum.Outcomes[population.OutcomeSpotted] == 0 {
+		t.Errorf("degenerate outcome mix: %+v", sum.Outcomes)
+	}
+
+	rows := make(map[string]population.CommunityRow, len(res.Community))
+	for _, r := range res.Community {
+		rows[r.Technique] = r
+	}
+	for _, tech := range []string{"none", "alertbox"} {
+		r := rows[tech]
+		if r.Published != PopulationHomes {
+			t.Errorf("%s: published = %d, want all %d URLs (confirmable arm)", tech, r.Published, PopulationHomes)
+		}
+		if r.Pending != 0 {
+			t.Errorf("%s: %d URLs still pending, want 0", tech, r.Pending)
+		}
+		if r.Confirmations < PopulationHomes*3 {
+			t.Errorf("%s: confirmations = %d, want >= %d", tech, r.Confirmations, PopulationHomes*3)
+		}
+	}
+	for _, tech := range []string{"session", "recaptcha"} {
+		r := rows[tech]
+		if r.Published != 0 {
+			t.Errorf("%s: published = %d, want 0 (the paper's headline)", tech, r.Published)
+		}
+		if r.Pending != PopulationHomes {
+			t.Errorf("%s: pending = %d, want all %d URLs stuck unverified", tech, r.Pending, PopulationHomes)
+		}
+		if r.Confirmations != 0 {
+			t.Errorf("%s: confirmations = %d, want 0 (nobody can corroborate)", tech, r.Confirmations)
+		}
+		if r.Reports == 0 {
+			t.Errorf("%s: no reports at all; victims should still be filing", tech)
+		}
+	}
+
+	// Blocking only happens on arms that got listed: protected victims
+	// exist on confirmable arms, none on the evading arms.
+	techIdx := make(map[string]int, len(res.Techniques))
+	for i, name := range res.Techniques {
+		techIdx[name] = i
+	}
+	blockedOn := func(tech string) int {
+		total := 0
+		for ci := range res.Spec.Cohorts {
+			total += res.Cell(ci, techIdx[tech]).Outcomes[population.OutcomeBlocked]
+		}
+		return total
+	}
+	if blockedOn("none") == 0 || blockedOn("alertbox") == 0 {
+		t.Error("no victim was ever protected on the confirmable arms")
+	}
+	if n := blockedOn("session") + blockedOn("recaptcha"); n != 0 {
+		t.Errorf("%d victims blocked on evading arms; nothing should have listed those URLs", n)
+	}
+
+	events, err := journal.ReadEvents(strings.NewReader(jb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploys := 0
+	for _, e := range events {
+		if e.Kind == journal.KindDeploy {
+			deploys++
+		}
+	}
+	if want := PopulationHomes * len(res.Techniques); deploys != want {
+		t.Errorf("journal records %d deploys, want %d", deploys, want)
+	}
+}
+
+// TestPopulationByteIdenticalAcrossShardWorkers is the population
+// determinism gate: rendered tables and journal bytes must match between 1
+// and 4 workers on the same seed (the in-tree version of the CI
+// population-identity comparison).
+func TestPopulationByteIdenticalAcrossShardWorkers(t *testing.T) {
+	t.Parallel()
+	spec := presetSpec(t, "paper", 20_000)
+	res1, j1 := runPopulation(t, 1, spec)
+	res4, j4 := runPopulation(t, 4, spec)
+	if t1, t4 := res1.RenderTable(), res4.RenderTable(); t1 != t4 {
+		t.Errorf("tables differ across worker counts:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s", t1, t4)
+	}
+	if j1 != j4 {
+		t.Error("journal bytes differ across worker counts")
+	}
+}
+
+// TestPopulationUniformCompat covers the TrafficScale compatibility shim:
+// a synthesized uniform spec runs the population stage with the legacy
+// homogeneous victim model.
+func TestPopulationUniformCompat(t *testing.T) {
+	t.Parallel()
+	spec := population.Uniform(0.5) // 5000 victims
+	res, _ := runPopulation(t, 0, spec)
+	if res.Spec.Name != "uniform" || len(res.Spec.Cohorts) != 1 {
+		t.Fatalf("compat spec = %+v, want single uniform cohort", res.Spec)
+	}
+	victims := 0
+	for _, c := range res.Cells {
+		victims += c.Victims
+	}
+	if victims != 5000 {
+		t.Errorf("victims = %d, want 5000", victims)
+	}
+}
+
+// TestPopulationSpecValidationSurfaces checks that invalid specs fail fast
+// with the typed population error.
+func TestPopulationSpecValidationSurfaces(t *testing.T) {
+	t.Parallel()
+	w := NewWorld(Config{})
+	defer w.Close()
+	bad := population.Spec{Size: 10, Cohorts: []population.Cohort{{Name: "x", Share: 0.4, VisitsPerDay: 1}}}
+	if _, err := w.RunPopulation(bad); err == nil {
+		t.Fatal("spec with shares summing to 0.4 accepted")
+	}
+}

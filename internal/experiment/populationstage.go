@@ -1,0 +1,471 @@
+package experiment
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"areyouhuman/internal/blacklist"
+	"areyouhuman/internal/browser"
+	"areyouhuman/internal/engines"
+	"areyouhuman/internal/evasion"
+	"areyouhuman/internal/htmlmini"
+	"areyouhuman/internal/journal"
+	"areyouhuman/internal/phishkit"
+	"areyouhuman/internal/population"
+	"areyouhuman/internal/simnet"
+	"areyouhuman/internal/telemetry"
+)
+
+// Population-stage topology. Victims are hashed onto PopulationHomes home
+// hosts — each the deployment they receive lures for — so every event
+// belonging to one victim (visits, community reports, the engine crawls and
+// voter reviews they trigger) runs on that host's scheduler shard, the same
+// affinity discipline RunCampaign uses for URLs.
+const (
+	// PopulationHomes is the number of home-host deployments victims are
+	// partitioned across.
+	PopulationHomes = 16
+	// PopulationCoverDomain names the benign cover site population
+	// deployments share.
+	PopulationCoverDomain = "newsletter-digest.example"
+
+	// popBatch victims are derived and scheduled per pump tick; with one
+	// batch in flight plus its trailing visits, live scheduler state is
+	// bounded by a few batches regardless of population size.
+	popBatch = 8192
+	// popWindow spaces pump batches and one victim's repeat visits.
+	popWindow = time.Hour
+	// popSessionRotateEvery bounds the session-based wrapper's per-visitor
+	// state: after this many victim visits to a home's session arm, the
+	// wrapper is rebuilt fresh (cookie-less visitors each cost one session
+	// entry; rotation keeps that table capped instead of growing with the
+	// population).
+	popSessionRotateEvery = 2048
+)
+
+// popUserAgent is the victim browser fingerprint (same profile the exposure
+// study uses).
+const popUserAgent = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/81.0 Safari/537.36"
+
+// popHomeHost names home deployment h.
+func popHomeHost(h int) string {
+	return fmt.Sprintf("pop-home-%02d.example", h)
+}
+
+// popArmPath is the phishing path for one technique arm on a home host.
+func popArmPath(t evasion.Technique) string {
+	return "/wp-content/secure/login-" + t.String() + ".php"
+}
+
+// popTechniques are the stage's technique arms: the naked control plus the
+// paper's three human-verification techniques.
+func popTechniques() []evasion.Technique {
+	return append([]evasion.Technique{evasion.None}, evasion.Techniques()...)
+}
+
+// popConfirmable reports whether a community report against a page using
+// technique t can be corroborated: the page shows its phish to any fresh
+// viewer (plain pages, and alert boxes any human clicks through), so votes
+// accumulate. Session gates and reCAPTCHA show fresh viewers only the
+// benign or challenge face — a reporter's submission stays an
+// uncorroborated loner, which is how those techniques starve community
+// verification (the paper's Section 5.1 anecdote).
+func popConfirmable(t evasion.Technique) bool {
+	return t == evasion.None || t == evasion.AlertBox
+}
+
+// popSite is one home host's routed handler: four evasion-wrapped arms over
+// the shared kit/payload/cover parts. All mutation (session-arm rotation)
+// happens on the home's shard, so the plain fields need no lock.
+type popSite struct {
+	factory    *siteFactory
+	brand      phishkit.Brand
+	kit        *phishkit.Kit
+	payload    http.Handler
+	benign     http.Handler
+	techniques []evasion.Technique
+	paths      []string
+	arms       []http.Handler
+	sessionArm int
+	// sessionVisits counts victim visits to the session arm since the last
+	// wrapper rotation.
+	sessionVisits int
+}
+
+func newPopSite(f *siteFactory, brand phishkit.Brand, techs []evasion.Technique) *popSite {
+	s := &popSite{
+		factory:    f,
+		brand:      brand,
+		kit:        f.kits[brand],
+		payload:    f.payloads[brand],
+		benign:     f.benign,
+		techniques: techs,
+		paths:      make([]string, len(techs)),
+		arms:       make([]http.Handler, len(techs)),
+		sessionArm: -1,
+	}
+	for i, t := range techs {
+		s.paths[i] = popArmPath(t)
+		s.rebuildArm(i)
+		if t == evasion.SessionBased {
+			s.sessionArm = i
+		}
+	}
+	return s
+}
+
+// rebuildArm (re)wraps one arm. Rotating the session arm drops its
+// accumulated per-visitor session table.
+func (s *popSite) rebuildArm(arm int) {
+	opts := evasion.Options{
+		Payload:     s.payload,
+		Benign:      s.benign,
+		RenderCache: s.factory.render,
+	}
+	if s.techniques[arm] == evasion.Recaptcha {
+		opts.WidgetHTML = s.factory.widget
+		opts.VerifyToken = s.factory.verify
+	}
+	wrapped, err := evasion.Wrap(s.techniques[arm], opts)
+	if err != nil {
+		// popTechniques only yields wrappable techniques; a failure here is
+		// a programming bug and the 404 placeholder is the safe fallback.
+		wrapped = http.NotFoundHandler()
+	}
+	s.arms[arm] = wrapped
+}
+
+// visitedSession is called from the home shard's victim events; it rotates
+// the session wrapper once enough visitors have accumulated state in it.
+func (s *popSite) visitedSession() {
+	s.sessionVisits++
+	if s.sessionVisits >= popSessionRotateEvery {
+		s.sessionVisits = 0
+		s.rebuildArm(s.sessionArm)
+	}
+}
+
+func (s *popSite) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	for i, p := range s.paths {
+		if path == p {
+			s.arms[i].ServeHTTP(w, r)
+			return
+		}
+	}
+	if path == s.kit.CollectPath {
+		s.payload.ServeHTTP(w, r)
+		return
+	}
+	if _, ok := s.kit.Resources[path]; ok {
+		s.payload.ServeHTTP(w, r)
+		return
+	}
+	s.benign.ServeHTTP(w, r)
+}
+
+// popCommCell accumulates one technique arm's community-channel counts on
+// one shard; planes merge in shard order like the population aggregator.
+type popCommCell struct {
+	reports   int
+	confirms  int
+	published int
+}
+
+// RunPopulation runs the heterogeneous-victim exposure study: spec.Size
+// victims, derived positionally in batches, visit evasion-protected lures
+// on their home hosts; their blacklist guards consult GSB (which received a
+// spam-feed report for every URL at deploy time), and their community
+// reports feed PhishTank's unverified section, where confirmable arms
+// accumulate votes and human-verification arms starve. Nothing per-victim
+// outlives its visit events — the same purge discipline as RunCampaign — so
+// heap stays flat from 10k to 1M victims.
+func (w *World) RunPopulation(spec population.Spec) (*population.Results, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	span := w.Tel.T().Start("stage.population")
+	defer func() { span.End(telemetry.Int("events_executed", w.Sched.Executed())) }()
+	w.Journal.Emit(journal.KindStageStart, journal.Fields{Stage: "population"})
+	defer w.Journal.Emit(journal.KindStageEnd, journal.Fields{Stage: "population"})
+
+	techs := popTechniques()
+	arms := len(techs)
+	brand := phishkit.PayPal
+
+	// Streaming engine mode: no crawler fleets, no rechecks, no mail, no
+	// retained detections — per-victim cost must be the visit itself.
+	for _, key := range engines.Keys() {
+		w.Engines[key].CampaignTune(nil, nil)
+	}
+	gsb := w.Engines[engines.GSB]
+	tank := w.Engines[engines.PhishTank]
+
+	factory, err := w.newSiteFactory(PopulationCoverDomain)
+	if err != nil {
+		return nil, err
+	}
+	spec4, _ := phishkit.SpecFor(brand)
+	pwField := spec4.PasswordField
+
+	pl := population.NewPlanner(w.Cfg.Seed, spec, PopulationHomes, arms)
+	agg := population.NewAggregator(w.Sched.Shards(), len(spec.Cohorts), arms)
+	comm := make([][]popCommCell, w.Sched.Shards())
+	for i := range comm {
+		comm[i] = make([]popCommCell, arms)
+	}
+	execShard := func() int {
+		if st, ok := w.Sched.ExecStamp(); ok {
+			return st.Shard
+		}
+		return 0
+	}
+
+	// Per-home state, all touched only from the home's shard after deploy.
+	sites := make([]*popSite, PopulationHomes)
+	guards := make([][]*blacklist.CachingClient, PopulationHomes)
+	urls := make([][]string, PopulationHomes)
+	for h := 0; h < PopulationHomes; h++ {
+		host := popHomeHost(h)
+		guards[h] = make([]*blacklist.CachingClient, arms)
+		urls[h] = make([]string, arms)
+		for a, t := range techs {
+			urls[h][a] = "http://" + host + popArmPath(t)
+			guards[h][a] = &blacklist.CachingClient{List: gsb.List, Clock: w.Clock}
+		}
+	}
+
+	// Deploy events: one per home, on the home's shard, before any victims
+	// arrive. Registering there (not on the main goroutine) keeps every
+	// engine chain the deploy spawns — GSB's crawl, its listing, the
+	// journal emissions — rooted on the URL's shard.
+	for h := 0; h < PopulationHomes; h++ {
+		h := h
+		host := popHomeHost(h)
+		w.Sched.OnKey(simnet.ShardKey(host)).After(0, "population:deploy", func(time.Time) {
+			site := newPopSite(factory, brand, techs)
+			sites[h] = site
+			hs := w.Net.Register(host, site)
+			w.DNS.AddZone(host, hs.IP)
+			for a, t := range techs {
+				w.Journal.Emit(journal.KindDeploy, journal.Fields{
+					URL: urls[h][a], Domain: host,
+					Brand: string(brand), Technique: t.String(),
+				})
+				// The spam feed hands every lure URL to GSB — the paper's
+				// discovery channel. Community engines hear only from
+				// victims.
+				gsb.Report(urls[h][a], ReporterAddress)
+			}
+		})
+	}
+
+	// One victim's visit: the inspection draw, the Safe Browsing guard,
+	// then a real browser ride through the evasion gate. Everything the
+	// closure captures is either shared per-home state or a handful of
+	// ints; nothing allocated here survives the event.
+	visitOne := func(i, cohort, home, arm, visit int, now time.Time) {
+		shard := execShard()
+		site := sites[home]
+		if site == nil {
+			// Deploys run at +0 on every home shard; a visit can only beat
+			// one if the horizon is shorter than a window.
+			return
+		}
+		url := urls[home][arm]
+		confirmable := popConfirmable(techs[arm])
+		// report rolls the victim's reporting draw and, on success, files the
+		// community report; it returns whether a report was filed so the
+		// aggregator's per-cohort report column counts real submissions.
+		report := func() bool {
+			if !pl.Reports(i, visit, cohort) {
+				return false
+			}
+			if out := tank.CommunityReport(url, confirmable); out != engines.CommunityListed {
+				c := &comm[shard][arm]
+				c.reports++
+				if confirmable {
+					c.confirms++
+				}
+				if out == engines.CommunityPublished {
+					c.published++
+				}
+			}
+			return true
+		}
+		if pl.Spots(i, visit, cohort) {
+			// Inspected the URL and walked away before any content loaded.
+			agg.Visit(shard, cohort, arm, population.OutcomeSpotted, report())
+			return
+		}
+		if guards[home][arm].Check(url) {
+			agg.Visit(shard, cohort, arm, population.OutcomeBlocked, false)
+			return
+		}
+		if arm == site.sessionArm {
+			site.visitedSession()
+		}
+		human := browser.New(w.Net, browser.Config{
+			UserAgent:       popUserAgent,
+			SourceIP:        pl.SourceIP(i),
+			ExecuteScripts:  true,
+			AlertPolicy:     browser.AlertConfirm,
+			TimerBudget:     time.Hour,
+			CanSolveCAPTCHA: true,
+			DOMCache:        w.DOMCache,
+			ScriptCache:     w.Scripts,
+		})
+		page, err := human.Open(url)
+		if err != nil {
+			agg.Visit(shard, cohort, arm, population.OutcomeBounced, false)
+			return
+		}
+		loginForm, ok := popLoginForm(page, pwField)
+		if !ok {
+			// Follow the lure once more: press the persuader form (the
+			// session cover's Join Chat button) and look again.
+			for _, form := range page.Forms() {
+				next, err := page.Submit(form, nil)
+				if err != nil {
+					continue
+				}
+				if lf, found := popLoginForm(next, pwField); found {
+					page, loginForm, ok = next, lf, true
+				}
+				break
+			}
+		}
+		if !ok {
+			// Never reached a credential form — the gate held, or the page
+			// face smelled wrong; either way this victim may report it.
+			agg.Visit(shard, cohort, arm, population.OutcomeBounced, report())
+			return
+		}
+		if pl.Falls(i, visit, cohort) {
+			if _, err := page.Submit(loginForm, map[string]string{pwField: "hunter2"}); err == nil {
+				agg.Visit(shard, cohort, arm, population.OutcomeFell, false)
+				return
+			}
+			agg.Visit(shard, cohort, arm, population.OutcomeBounced, false)
+			return
+		}
+		// Reached the payload, recognised it, left — the reporter pool.
+		agg.Visit(shard, cohort, arm, population.OutcomeBounced, report())
+	}
+
+	var heap heapWatermark
+	batches := (spec.Size + popBatch - 1) / popBatch
+	pumpKey := w.Sched.OnKey("population:pump")
+	var pump func(now time.Time, batch int)
+	pump = func(now time.Time, batch int) {
+		if spec.MeasureHeap {
+			heap.sample()
+		}
+		shard := execShard()
+		lo := batch * popBatch
+		hi := min(spec.Size, lo+popBatch)
+		for i := lo; i < hi; i++ {
+			v := pl.At(i)
+			agg.AddVictim(shard, v.Cohort, v.Technique)
+			home := w.Sched.OnKey(simnet.ShardKey(popHomeHost(v.Home)))
+			for k := 0; k < v.Visits; k++ {
+				i, cohort, hm, arm, k := i, v.Cohort, v.Home, v.Technique, k
+				at := now.Add(time.Duration(k)*popWindow + pl.VisitOffset(i, k, popWindow))
+				home.At(at, "population:visit", func(at time.Time) {
+					visitOne(i, cohort, hm, arm, k, at)
+				})
+			}
+		}
+		if hi < spec.Size {
+			pumpKey.After(popWindow, "population:batch", func(at time.Time) {
+				pump(at, batch+1)
+			})
+		}
+	}
+	wallStart := time.Now() //phishlint:wallclock throughput metric; excluded from RenderTable so results stay deterministic
+	pumpKey.After(popWindow, "population:batch", func(at time.Time) { pump(at, 0) })
+
+	start := w.Clock.Now()
+	// Horizon: the last batch starts at batches*window, its victims revisit
+	// for up to MaxVisitsPerVictim more windows, and the slack day lets the
+	// trailing voter reviews (1h/6h/24h) and feed shares drain.
+	horizon := time.Duration(batches)*popWindow +
+		time.Duration(population.MaxVisitsPerVictim+1)*popWindow + 26*time.Hour
+	w.Sched.RunFor(horizon)
+	if err := w.Sched.InterruptErr(); err != nil {
+		return nil, err
+	}
+	if spec.MeasureHeap {
+		heap.sample()
+	}
+
+	// Community outcome per arm: stage-side counters merged in shard
+	// order, plus the engine's end-of-study queue state per URL.
+	rows := make([]population.CommunityRow, arms)
+	for a, t := range techs {
+		rows[a].Technique = t.String()
+	}
+	for _, plane := range comm {
+		for a, c := range plane {
+			rows[a].Reports += c.reports
+			rows[a].Confirmations += c.confirms
+			rows[a].Published += c.published
+		}
+	}
+	pathArm := make(map[string]int, arms)
+	for a, t := range techs {
+		pathArm[popArmPath(t)] = a
+	}
+	for _, p := range tank.Unverified() {
+		if u, err := parsePath(p.URL); err == nil {
+			if a, ok := pathArm[u]; ok {
+				rows[a].Pending++
+			}
+		}
+	}
+
+	res := &population.Results{
+		Spec:            spec,
+		Seed:            w.Cfg.Seed,
+		Techniques:      techniqueNames(techs),
+		Cells:           agg.Merged(),
+		Community:       rows,
+		PeakHeapBytes:   heap.peak,
+		VirtualDuration: w.Clock.Now().Sub(start),
+	}
+	res.WallSeconds = time.Since(wallStart).Seconds() //phishlint:wallclock throughput metric; never feeds deterministic output
+	if res.WallSeconds > 0 {
+		res.VictimsPerSec = float64(spec.Size) / res.WallSeconds
+	}
+	return res, nil
+}
+
+// parsePath extracts the path of a population URL ("http://host/path").
+func parsePath(rawURL string) (string, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return "", err
+	}
+	return u.Path, nil
+}
+
+// popLoginForm returns the page's credential form, if shown.
+func popLoginForm(page *browser.Page, pwField string) (htmlmini.Form, bool) {
+	for _, f := range page.Forms() {
+		if _, has := f.Fields[pwField]; has {
+			return f, true
+		}
+	}
+	return htmlmini.Form{}, false
+}
+
+func techniqueNames(ts []evasion.Technique) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
+}

@@ -8,13 +8,15 @@ import (
 )
 
 // Seedpure polices the seed-derivation packages: internal/chaos,
-// internal/core, and internal/campaign (whose positional URL planner derives
-// a million assignments from (seed, index) alone). Fault decisions, replica
-// seeds, and campaign plans must be pure functions of (master seed, stream
-// index, label, virtual time) folded through the repo's splitmix64/FNV
-// helpers (chaos.SplitSeed, mix64, u01) — the cross-parallelism bit-identity
-// tests rely on draws being order-independent and machine-independent.
-// Seedpure therefore forbids, in those packages:
+// internal/core, internal/campaign (whose positional URL planner derives a
+// million assignments from (seed, index) alone), and internal/population
+// (whose positional victim planner does the same for a million victims).
+// Fault decisions, replica seeds, campaign plans, and victim behaviour must
+// be pure functions of (master seed, stream index, label, virtual time)
+// folded through the repo's splitmix64/FNV helpers (chaos.SplitSeed, mix64,
+// u01) — the cross-parallelism bit-identity tests rely on draws being
+// order-independent and machine-independent. Seedpure therefore forbids, in
+// those packages:
 //
 //   - math/rand (v1 or v2): stream-advancing RNGs make draws depend on call
 //     order, which differs between sequential and parallel runs;
@@ -26,16 +28,17 @@ import (
 //     correlate (stream K and K+1 differ by one bit pre-mix).
 var Seedpure = &Analyzer{
 	Name: "seedpure",
-	Doc:  "seed/fault draws in chaos+core+campaign must derive from the splitmix64/FNV helpers",
+	Doc:  "seed/fault draws in chaos+core+campaign+population must derive from the splitmix64/FNV helpers",
 	Run:  runSeedpure,
 }
 
 // seedpureScope lists the packages whose draws are policed. Fixture packages
 // fabricate one of these paths to exercise the analyzer.
 var seedpureScope = map[string]bool{
-	"areyouhuman/internal/chaos":    true,
-	"areyouhuman/internal/core":     true,
-	"areyouhuman/internal/campaign": true,
+	"areyouhuman/internal/chaos":      true,
+	"areyouhuman/internal/core":       true,
+	"areyouhuman/internal/campaign":   true,
+	"areyouhuman/internal/population": true,
 }
 
 func runSeedpure(pass *Pass) {

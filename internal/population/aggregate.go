@@ -1,0 +1,174 @@
+package population
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// VisitOutcome classifies one realised visit. Outcomes are exclusive and
+// ordered by how far the victim got.
+type VisitOutcome int
+
+const (
+	// OutcomeSpotted: the victim inspected the URL and aborted before any
+	// content loaded (Lain et al.'s URL-inspection skill).
+	OutcomeSpotted VisitOutcome = iota
+	// OutcomeBlocked: the victim's blacklist guard blocked the page.
+	OutcomeBlocked
+	// OutcomeBounced: the victim loaded the page but the evasion gate kept
+	// the payload hidden or the victim left without credentials.
+	OutcomeBounced
+	// OutcomeFell: the victim reached the payload and submitted
+	// credentials.
+	OutcomeFell
+
+	numOutcomes
+)
+
+// String names the outcome for tables.
+func (o VisitOutcome) String() string {
+	switch o {
+	case OutcomeSpotted:
+		return "spotted"
+	case OutcomeBlocked:
+		return "blocked"
+	case OutcomeBounced:
+		return "bounced"
+	case OutcomeFell:
+		return "fell"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Cell is the aggregate for one (cohort, technique) pair. All fields are
+// additive counts, so cells merge commutatively and the shard-ordered fold
+// is deterministic for any worker count.
+type Cell struct {
+	Victims  int // victims assigned to this cell
+	Visits   int // realised visits
+	Outcomes [numOutcomes]int
+	Reports  int // community reports filed from this cell
+}
+
+// Aggregator accumulates a population study into fixed cells: one Cell per
+// (cohort, technique) pair per shard. Memory is O(shards × cohorts ×
+// techniques) — independent of population size — and each shard writes only
+// its own plane, so no locking is needed under the sharded scheduler.
+type Aggregator struct {
+	cohorts, arms int
+	planes        [][]Cell // [shard][cohort*arms + arm]
+}
+
+// NewAggregator sizes the fixed cells.
+func NewAggregator(shards, cohorts, arms int) *Aggregator {
+	if shards < 1 {
+		shards = 1
+	}
+	planes := make([][]Cell, shards)
+	for s := range planes {
+		planes[s] = make([]Cell, cohorts*arms)
+	}
+	return &Aggregator{cohorts: cohorts, arms: arms, planes: planes}
+}
+
+func (a *Aggregator) cell(shard, cohort, arm int) *Cell {
+	return &a.planes[shard][cohort*a.arms+arm]
+}
+
+// AddVictim counts a victim into their cell. Call from the victim's home
+// shard only.
+func (a *Aggregator) AddVictim(shard, cohort, arm int) {
+	a.cell(shard, cohort, arm).Victims++
+}
+
+// Visit folds one realised visit. Call from the victim's home shard only.
+func (a *Aggregator) Visit(shard, cohort, arm int, outcome VisitOutcome, reported bool) {
+	c := a.cell(shard, cohort, arm)
+	c.Visits++
+	c.Outcomes[outcome]++
+	if reported {
+		c.Reports++
+	}
+}
+
+// Merged folds the per-shard planes in shard order into one table of
+// cohorts × arms cells.
+func (a *Aggregator) Merged() []Cell {
+	out := make([]Cell, a.cohorts*a.arms)
+	for _, plane := range a.planes {
+		for i, c := range plane {
+			out[i].Victims += c.Victims
+			out[i].Visits += c.Visits
+			for o, n := range c.Outcomes {
+				out[i].Outcomes[o] += n
+			}
+			out[i].Reports += c.Reports
+		}
+	}
+	return out
+}
+
+// CommunityRow is the community-verification outcome for one technique arm:
+// how many reports the engines' community queue received, how many voter
+// confirmations accumulated, and whether the arm's URLs were published to
+// the blacklist or remain pending — the paper's headline rendered per arm.
+type CommunityRow struct {
+	Technique     string
+	Reports       int
+	Confirmations int
+	Published     int // URLs published to the community blacklist
+	Pending       int // URLs still unverified at study end
+}
+
+// Results is a completed population study.
+type Results struct {
+	Spec       Spec
+	Seed       int64
+	Techniques []string // arm index -> technique name
+	Cells      []Cell   // merged, [cohort*len(Techniques) + arm]
+	Community  []CommunityRow
+	// PeakHeapBytes is the sampled heap high-water mark when
+	// Spec.MeasureHeap was set (0 otherwise). Wall-side measurement, not
+	// part of the deterministic table.
+	PeakHeapBytes uint64
+	// VirtualDuration is the simulated span of the study.
+	VirtualDuration time.Duration
+	// WallSeconds and VictimsPerSec are wall-clock throughput measurements;
+	// RenderTable excludes them so deterministic output stays comparable.
+	WallSeconds   float64
+	VictimsPerSec float64
+}
+
+// Cell returns the merged cell for (cohort, arm).
+func (r *Results) Cell(cohort, arm int) Cell {
+	return r.Cells[cohort*len(r.Techniques)+arm]
+}
+
+// RenderTable formats the per-cohort outcome table and the community
+// verification summary. Output is deterministic: fixed iteration order, no
+// wall-clock values.
+func (r *Results) RenderTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Population %q: %d victims, %d cohorts, seed %d\n\n",
+		r.Spec.Name, r.Spec.Size, len(r.Spec.Cohorts), r.Seed)
+	fmt.Fprintf(&b, "%-18s %-10s %9s %9s %9s %9s %9s %9s %9s\n",
+		"cohort", "technique", "victims", "visits", "spotted", "blocked", "bounced", "fell", "reports")
+	for ci, c := range r.Spec.Cohorts {
+		for ai, tech := range r.Techniques {
+			cell := r.Cell(ci, ai)
+			fmt.Fprintf(&b, "%-18s %-10s %9d %9d %9d %9d %9d %9d %9d\n",
+				c.Name, tech, cell.Victims, cell.Visits,
+				cell.Outcomes[OutcomeSpotted], cell.Outcomes[OutcomeBlocked],
+				cell.Outcomes[OutcomeBounced], cell.Outcomes[OutcomeFell],
+				cell.Reports)
+		}
+	}
+	b.WriteString("\nCommunity verification:\n")
+	fmt.Fprintf(&b, "%-10s %9s %14s %10s %9s\n", "technique", "reports", "confirmations", "published", "pending")
+	for _, row := range r.Community {
+		fmt.Fprintf(&b, "%-10s %9d %14d %10d %9d\n",
+			row.Technique, row.Reports, row.Confirmations, row.Published, row.Pending)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package population
+
+import (
+	"fmt"
+	"time"
+
+	"areyouhuman/internal/chaos"
+)
+
+// MaxVisitsPerVictim caps one victim's realised visit count: visit events
+// per pump batch must stay bounded for the constant-memory contract.
+const MaxVisitsPerVictim = 8
+
+// Victim is one positional derivation — everything the stage needs to
+// schedule victim i, recomputable at any time from (seed, i) alone. No
+// Victim is ever retained: the pump derives one, schedules its visits, and
+// drops it.
+type Victim struct {
+	// Index is the victim's position in the population.
+	Index int
+	// Cohort indexes the spec's cohorts.
+	Cohort int
+	// Home indexes the stage's home hosts: every event belonging to this
+	// victim runs on the home host's scheduler shard, next to the lure
+	// deployment the victim visits.
+	Home int
+	// Technique indexes the stage's technique arms.
+	Technique int
+	// Visits is the realised visit count (mean = the cohort's
+	// VisitsPerDay, capped at MaxVisitsPerVictim).
+	Visits int
+}
+
+// Planner derives victims positionally, the campaign planner's discipline
+// applied to people instead of URLs: victim i's stream is
+// SplitSeed(seed, i+1), and every draw about that victim — cohort, home,
+// technique arm, visit count, per-visit behaviour — hashes a labelled
+// substream of it. Draws are order-independent, so the sharded scheduler
+// can realise visits in any worker interleaving and the outcome is
+// identical.
+type Planner struct {
+	seed  int64
+	spec  Spec
+	homes int
+	arms  int
+	cum   []float64 // cumulative cohort shares
+}
+
+// NewPlanner builds a planner over a validated spec. homes is the number of
+// home hosts victims hash onto; arms the number of technique arms.
+func NewPlanner(seed int64, spec Spec, homes, arms int) *Planner {
+	cum := make([]float64, len(spec.Cohorts))
+	sum := 0.0
+	for i, c := range spec.Cohorts {
+		sum += c.Share
+		cum[i] = sum
+	}
+	// Guard the last bucket against float drift so a draw of 0.999... can
+	// never fall past the final cohort.
+	cum[len(cum)-1] = 1
+	return &Planner{seed: seed, spec: spec, homes: homes, arms: arms, cum: cum}
+}
+
+// Victim-stream substream indices. Victim-level draws use 1..7; visit-level
+// draws start at visitStreamBase and stride by visitStreams per visit.
+const (
+	streamCohort = 1 + iota
+	streamHome
+	streamTechnique
+	streamVisits
+
+	visitStreamBase = 8
+	visitStreams    = 4
+
+	visitStreamSpot   = iota - 4 // 0
+	visitStreamFall              // 1
+	visitStreamReport            // 2
+	visitStreamJitter            // 3
+)
+
+// u returns victim i's uniform draw for substream k: the victim stream
+// folded through SplitSeed again, so adjacent victims and adjacent
+// substreams are decorrelated by two avalanche rounds.
+func (p *Planner) u(i, k int) float64 {
+	vs := chaos.SplitSeed(p.seed, i+1)
+	d := uint64(chaos.SplitSeed(vs, k))
+	return float64(d>>11) / (1 << 53)
+}
+
+// visitStream maps (visit, purpose) to a victim substream index.
+func visitStream(visit, purpose int) int {
+	return visitStreamBase + visit*visitStreams + purpose
+}
+
+// At derives victim i.
+func (p *Planner) At(i int) Victim {
+	v := Victim{Index: i}
+	u := p.u(i, streamCohort)
+	for ci, c := range p.cum {
+		if u < c {
+			v.Cohort = ci
+			break
+		}
+	}
+	v.Home = int(p.u(i, streamHome) * float64(p.homes))
+	if v.Home >= p.homes {
+		v.Home = p.homes - 1
+	}
+	v.Technique = int(p.u(i, streamTechnique) * float64(p.arms))
+	if v.Technique >= p.arms {
+		v.Technique = p.arms - 1
+	}
+	mean := p.spec.Cohorts[v.Cohort].VisitsPerDay
+	v.Visits = int(mean)
+	if frac := mean - float64(v.Visits); frac > 0 && p.u(i, streamVisits) < frac {
+		v.Visits++
+	}
+	if v.Visits > MaxVisitsPerVictim {
+		v.Visits = MaxVisitsPerVictim
+	}
+	return v
+}
+
+// VisitOffset places victim i's visit k within the victim's active window.
+func (p *Planner) VisitOffset(i, visit int, span time.Duration) time.Duration {
+	return time.Duration(p.u(i, visitStream(visit, visitStreamJitter)) * float64(span))
+}
+
+// Spots reports whether victim i inspects the URL on visit k and aborts
+// before any content loads.
+func (p *Planner) Spots(i, visit, cohort int) bool {
+	return p.u(i, visitStream(visit, visitStreamSpot)) < p.spec.Cohorts[cohort].Skill
+}
+
+// Falls reports whether victim i, having reached the payload on visit k,
+// submits credentials.
+func (p *Planner) Falls(i, visit, cohort int) bool {
+	return p.u(i, visitStream(visit, visitStreamFall)) < p.spec.Cohorts[cohort].Susceptibility
+}
+
+// Reports reports whether victim i, having recognised the phish on visit k,
+// files a community report.
+func (p *Planner) Reports(i, visit, cohort int) bool {
+	return p.u(i, visitStream(visit, visitStreamReport)) < p.spec.Cohorts[cohort].ReportRate
+}
+
+// SourceIP derives victim i's stable client address (documentation range,
+// spread over /16s so engine-side per-IP state never concentrates).
+func (p *Planner) SourceIP(i int) string {
+	d := uint64(chaos.SplitSeed(p.seed, i+1))
+	return fmt.Sprintf("100.%d.%d.%d", 64+(d>>16)%64, (d>>8)%256, 1+d%254)
+}

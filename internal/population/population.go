@@ -1,0 +1,215 @@
+// Package population models a deterministic heterogeneous victim
+// population for the exposure side of the study. The paper's headline —
+// human-verification evasion starves exactly the channels that depend on
+// humans — only plays out the way Section 5 assumes if the humans differ:
+// Lain et al. (arXiv:2502.20234) measured that real users vary sharply in
+// how carefully they inspect URLs, how readily they type credentials, and
+// whether they ever report what they saw. A population is a small set of
+// cohorts carrying those rates; everything per-victim (cohort membership,
+// home host, technique arm, visit count, per-visit behaviour draws) derives
+// positionally from (seed, victim index) alone, so a million-victim study
+// needs no per-victim state and is byte-identical for any scheduler worker
+// count.
+//
+// The package mirrors internal/campaign's streaming design: a positional
+// Planner replaces retained victim records, and a fixed-cell Aggregator
+// replaces per-victim results, so the experiment stage's memory is bounded
+// by one pump batch regardless of population size.
+package population
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultSize is the victim count a spec gets when Size is zero, and the
+// base the TrafficScale compat shim multiplies (see Uniform).
+const DefaultSize = 10_000
+
+// MaxCohorts bounds a spec: the aggregator allocates fixed cells per
+// (cohort, technique) pair, and a handful of cohorts is all the source
+// studies distinguish.
+const MaxCohorts = 16
+
+// shareTolerance is how far cohort shares may sum from 1 before the spec is
+// rejected (floating-point slack, not a semantic allowance).
+const shareTolerance = 1e-6
+
+// ErrSpec matches every invalid population spec.
+var ErrSpec = errors.New("population: invalid spec")
+
+// ErrPreset reports an unknown preset name.
+var ErrPreset = errors.New("population: unknown preset")
+
+// Cohort is one victim segment. All rates are probabilities in [0, 1];
+// Share is the cohort's fraction of the population.
+type Cohort struct {
+	// Name labels the cohort in tables.
+	Name string
+	// Share is the cohort's fraction of the population. Shares across a
+	// spec must sum to 1.
+	Share float64
+	// Skill is the probability that a victim inspects the URL before the
+	// page loads and aborts (the URL-inspection behaviour Lain et al.
+	// measured). A skilled abort happens before any content is fetched.
+	Skill float64
+	// Susceptibility is the probability that a victim who reached the
+	// phishing payload goes on to submit credentials.
+	Susceptibility float64
+	// ReportRate is the probability that a victim who recognised the phish
+	// (either by spotting the URL or by reaching the payload without
+	// falling for it) files a community report — the channel feeding
+	// PhishTank-style community verification.
+	ReportRate float64
+	// VisitsPerDay is the expected number of lure-follow visits the victim
+	// makes during their active window (fractional means are realised
+	// deterministically per victim).
+	VisitsPerDay float64
+}
+
+// Spec describes a victim population.
+type Spec struct {
+	// Name labels the spec ("uniform", "paper", "lain2025", or free-form).
+	Name string
+	// Size is the victim count (0 selects DefaultSize).
+	Size int
+	// Cohorts partition the population. Empty selects the uniform preset's
+	// single cohort.
+	Cohorts []Cohort
+	// MeasureHeap samples the heap high-water mark at pump-batch
+	// boundaries (one forced GC per batch). It is a measurement knob, not
+	// part of the population model: results are identical either way, and
+	// the sampled peak is reported outside the deterministic table.
+	MeasureHeap bool
+}
+
+// WithDefaults fills the zero fields: DefaultSize victims, the uniform
+// preset's cohorts.
+func (s Spec) WithDefaults() Spec {
+	if s.Size == 0 {
+		s.Size = DefaultSize
+	}
+	if len(s.Cohorts) == 0 {
+		u, _ := Preset("uniform")
+		s.Cohorts = u.Cohorts
+		if s.Name == "" {
+			s.Name = u.Name
+		}
+	}
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	return s
+}
+
+// Validate rejects malformed specs. Call after WithDefaults; a spec with no
+// cohorts is invalid.
+func (s Spec) Validate() error {
+	if s.Size < 1 {
+		return fmt.Errorf("%w: size must be >= 1, got %d", ErrSpec, s.Size)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("%w: at least one cohort required", ErrSpec)
+	}
+	if len(s.Cohorts) > MaxCohorts {
+		return fmt.Errorf("%w: %d cohorts exceeds the maximum %d", ErrSpec, len(s.Cohorts), MaxCohorts)
+	}
+	sum := 0.0
+	for i, c := range s.Cohorts {
+		if c.Name == "" {
+			return fmt.Errorf("%w: cohort %d has no name", ErrSpec, i)
+		}
+		if c.Share <= 0 || c.Share > 1 {
+			return fmt.Errorf("%w: cohort %q share %v outside (0, 1]", ErrSpec, c.Name, c.Share)
+		}
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"skill", c.Skill},
+			{"susceptibility", c.Susceptibility},
+			{"report rate", c.ReportRate},
+		} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("%w: cohort %q %s %v outside [0, 1]", ErrSpec, c.Name, p.name, p.v)
+			}
+		}
+		if c.VisitsPerDay < 0 || c.VisitsPerDay > float64(MaxVisitsPerVictim) {
+			return fmt.Errorf("%w: cohort %q visits/day %v outside [0, %d]", ErrSpec, c.Name, c.VisitsPerDay, MaxVisitsPerVictim)
+		}
+		sum += c.Share
+	}
+	if sum < 1-shareTolerance || sum > 1+shareTolerance {
+		return fmt.Errorf("%w: cohort shares sum to %v, want 1", ErrSpec, sum)
+	}
+	return nil
+}
+
+// presets are the built-in populations. "uniform" reproduces the classic
+// exposure stage's homogeneous victim stream (everyone visits once, half of
+// those exposed type credentials, a few report). "paper" sketches the IMC
+// 2020 study's implicit spam-campaign audience. "lain2025" follows the
+// enterprise phishing study of Lain et al.: a careful minority that inspects
+// URLs and reports, a small habitual-clicker segment that falls for nearly
+// everything and reports nothing, and a broad middle.
+func presets() map[string]Spec {
+	return map[string]Spec{
+		"uniform": {
+			Name: "uniform",
+			Cohorts: []Cohort{
+				{Name: "everyone", Share: 1, Skill: 0.05, Susceptibility: 0.50, ReportRate: 0.10, VisitsPerDay: 1},
+			},
+		},
+		"paper": {
+			Name: "paper",
+			Cohorts: []Cohort{
+				{Name: "office", Share: 0.50, Skill: 0.10, Susceptibility: 0.45, ReportRate: 0.08, VisitsPerDay: 1},
+				{Name: "mobile", Share: 0.35, Skill: 0.04, Susceptibility: 0.60, ReportRate: 0.02, VisitsPerDay: 1.4},
+				{Name: "security-aware", Share: 0.15, Skill: 0.60, Susceptibility: 0.08, ReportRate: 0.50, VisitsPerDay: 0.8},
+			},
+		},
+		"lain2025": {
+			Name: "lain2025",
+			Cohorts: []Cohort{
+				{Name: "careful", Share: 0.22, Skill: 0.78, Susceptibility: 0.05, ReportRate: 0.32, VisitsPerDay: 0.7},
+				{Name: "average", Share: 0.45, Skill: 0.30, Susceptibility: 0.30, ReportRate: 0.08, VisitsPerDay: 1},
+				{Name: "reporter", Share: 0.15, Skill: 0.55, Susceptibility: 0.12, ReportRate: 0.60, VisitsPerDay: 0.9},
+				{Name: "habitual-clicker", Share: 0.18, Skill: 0.05, Susceptibility: 0.65, ReportRate: 0.02, VisitsPerDay: 1.6},
+			},
+		},
+	}
+}
+
+// Preset returns a built-in population spec by name. The spec's Size is
+// zero; callers size it (or let WithDefaults pick DefaultSize).
+func Preset(name string) (Spec, error) {
+	if s, ok := presets()[name]; ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("%w %q (have %v)", ErrPreset, name, Presets())
+}
+
+// Presets lists the built-in spec names, sorted.
+func Presets() []string {
+	m := presets()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Uniform is the TrafficScale compatibility shim: it synthesizes the
+// uniform preset sized by scale × DefaultSize (minimum 1). The legacy knob
+// scaled a homogeneous victim stream; this is that stream expressed as a
+// population.
+func Uniform(scale float64) Spec {
+	s, _ := Preset("uniform")
+	s.Size = int(scale*float64(DefaultSize) + 0.5)
+	if s.Size < 1 {
+		s.Size = 1
+	}
+	return s
+}

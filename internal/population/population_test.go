@@ -1,0 +1,336 @@
+package population
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	t.Parallel()
+	valid := func() Spec {
+		s, err := Preset("paper")
+		if err != nil {
+			t.Fatalf("Preset: %v", err)
+		}
+		s.Size = 100
+		return s
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"valid", func(*Spec) {}, ""},
+		{"zero size", func(s *Spec) { s.Size = 0 }, "size"},
+		{"negative size", func(s *Spec) { s.Size = -5 }, "size"},
+		{"no cohorts", func(s *Spec) { s.Cohorts = nil }, "cohort"},
+		{"too many cohorts", func(s *Spec) {
+			s.Cohorts = make([]Cohort, MaxCohorts+1)
+			for i := range s.Cohorts {
+				s.Cohorts[i] = Cohort{Name: "c", Share: 1 / float64(MaxCohorts+1), VisitsPerDay: 1}
+			}
+		}, "cohorts exceeds"},
+		{"unnamed cohort", func(s *Spec) { s.Cohorts[0].Name = "" }, "no name"},
+		{"zero share", func(s *Spec) { s.Cohorts[0].Share = 0 }, "share"},
+		{"share above one", func(s *Spec) { s.Cohorts[0].Share = 1.5 }, "share"},
+		{"skill above one", func(s *Spec) { s.Cohorts[0].Skill = 1.2 }, "skill"},
+		{"negative susceptibility", func(s *Spec) { s.Cohorts[0].Susceptibility = -0.1 }, "susceptibility"},
+		{"report rate above one", func(s *Spec) { s.Cohorts[0].ReportRate = 2 }, "report rate"},
+		{"visits above cap", func(s *Spec) { s.Cohorts[0].VisitsPerDay = MaxVisitsPerVictim + 1 }, "visits/day"},
+		{"shares do not sum", func(s *Spec) { s.Cohorts[0].Share = 0.9 }, "sum"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := valid()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !errors.Is(err, ErrSpec) {
+				t.Errorf("error %v does not wrap ErrSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	t.Parallel()
+	s := Spec{}.WithDefaults()
+	if s.Size != DefaultSize {
+		t.Errorf("Size = %d, want %d", s.Size, DefaultSize)
+	}
+	if s.Name != "uniform" {
+		t.Errorf("Name = %q, want uniform", s.Name)
+	}
+	if len(s.Cohorts) != 1 {
+		t.Fatalf("Cohorts = %d, want 1", len(s.Cohorts))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaulted spec invalid: %v", err)
+	}
+
+	named := Spec{Cohorts: []Cohort{{Name: "x", Share: 1, VisitsPerDay: 1}}}.WithDefaults()
+	if named.Name != "custom" {
+		t.Errorf("custom cohorts Name = %q, want custom", named.Name)
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	t.Parallel()
+	names := Presets()
+	want := []string{"lain2025", "paper", "uniform"}
+	if len(names) != len(want) {
+		t.Fatalf("Presets() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Presets() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := s.WithDefaults().Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); !errors.Is(err, ErrPreset) {
+		t.Errorf("Preset(nope) = %v, want ErrPreset", err)
+	}
+}
+
+func TestUniformCompatShim(t *testing.T) {
+	t.Parallel()
+	s := Uniform(0.01)
+	if s.Size != 100 {
+		t.Errorf("Uniform(0.01).Size = %d, want 100", s.Size)
+	}
+	if s.Name != "uniform" || len(s.Cohorts) != 1 {
+		t.Errorf("Uniform shim spec = %+v, want uniform single-cohort", s)
+	}
+	if got := Uniform(0).Size; got != 1 {
+		t.Errorf("Uniform(0).Size = %d, want 1 (floor)", got)
+	}
+	if err := Uniform(0.002).Validate(); err != nil {
+		t.Errorf("Uniform(0.002) invalid: %v", err)
+	}
+}
+
+func TestPlannerDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := mustPreset(t, "lain2025").WithDefaults()
+	a := NewPlanner(21, spec, 16, 4)
+	b := NewPlanner(21, spec, 16, 4)
+	for i := 0; i < 500; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("victim %d differs across planner instances", i)
+		}
+		for v := 0; v < a.At(i).Visits; v++ {
+			c := a.At(i).Cohort
+			if a.Spots(i, v, c) != b.Spots(i, v, c) ||
+				a.Falls(i, v, c) != b.Falls(i, v, c) ||
+				a.Reports(i, v, c) != b.Reports(i, v, c) {
+				t.Fatalf("victim %d visit %d draws differ", i, v)
+			}
+		}
+	}
+	other := NewPlanner(22, spec, 16, 4)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.At(i) == other.At(i) {
+			same++
+		}
+	}
+	if same > 450 {
+		t.Errorf("seeds 21 and 22 agree on %d/500 victims; draws look seed-insensitive", same)
+	}
+}
+
+func TestPlannerDistributions(t *testing.T) {
+	t.Parallel()
+	spec := mustPreset(t, "lain2025")
+	spec.Size = 40_000
+	spec = spec.WithDefaults()
+	const homes, arms = 16, 4
+	p := NewPlanner(7, spec, homes, arms)
+
+	cohortN := make([]int, len(spec.Cohorts))
+	homeN := make([]int, homes)
+	armN := make([]int, arms)
+	visits := 0
+	for i := 0; i < spec.Size; i++ {
+		v := p.At(i)
+		cohortN[v.Cohort]++
+		homeN[v.Home]++
+		armN[v.Technique]++
+		visits += v.Visits
+		if v.Visits < 0 || v.Visits > MaxVisitsPerVictim {
+			t.Fatalf("victim %d visits %d out of range", i, v.Visits)
+		}
+	}
+	for ci, c := range spec.Cohorts {
+		got := float64(cohortN[ci]) / float64(spec.Size)
+		if math.Abs(got-c.Share) > 0.02 {
+			t.Errorf("cohort %q share = %.3f, want %.3f ± 0.02", c.Name, got, c.Share)
+		}
+	}
+	for h, n := range homeN {
+		got := float64(n) / float64(spec.Size)
+		if math.Abs(got-1.0/homes) > 0.01 {
+			t.Errorf("home %d share = %.3f, want %.3f ± 0.01", h, got, 1.0/homes)
+		}
+	}
+	for a, n := range armN {
+		got := float64(n) / float64(spec.Size)
+		if math.Abs(got-1.0/arms) > 0.01 {
+			t.Errorf("arm %d share = %.3f, want %.3f ± 0.01", a, got, 1.0/arms)
+		}
+	}
+	// Expected visits/victim is the share-weighted mean of VisitsPerDay.
+	wantMean := 0.0
+	for _, c := range spec.Cohorts {
+		wantMean += c.Share * c.VisitsPerDay
+	}
+	gotMean := float64(visits) / float64(spec.Size)
+	if math.Abs(gotMean-wantMean) > 0.03 {
+		t.Errorf("mean visits = %.3f, want %.3f ± 0.03", gotMean, wantMean)
+	}
+}
+
+func TestPlannerBehaviourRates(t *testing.T) {
+	t.Parallel()
+	spec := mustPreset(t, "paper")
+	spec.Size = 30_000
+	spec = spec.WithDefaults()
+	p := NewPlanner(11, spec, 16, 4)
+	spot := make([]int, len(spec.Cohorts))
+	fall := make([]int, len(spec.Cohorts))
+	report := make([]int, len(spec.Cohorts))
+	n := make([]int, len(spec.Cohorts))
+	for i := 0; i < spec.Size; i++ {
+		v := p.At(i)
+		n[v.Cohort]++
+		if p.Spots(i, 0, v.Cohort) {
+			spot[v.Cohort]++
+		}
+		if p.Falls(i, 0, v.Cohort) {
+			fall[v.Cohort]++
+		}
+		if p.Reports(i, 0, v.Cohort) {
+			report[v.Cohort]++
+		}
+	}
+	for ci, c := range spec.Cohorts {
+		if n[ci] == 0 {
+			t.Fatalf("cohort %q drew no victims", c.Name)
+		}
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"skill", float64(spot[ci]) / float64(n[ci]), c.Skill},
+			{"susceptibility", float64(fall[ci]) / float64(n[ci]), c.Susceptibility},
+			{"report rate", float64(report[ci]) / float64(n[ci]), c.ReportRate},
+		}
+		for _, ch := range checks {
+			if math.Abs(ch.got-ch.want) > 0.03 {
+				t.Errorf("cohort %q %s = %.3f, want %.3f ± 0.03", c.Name, ch.name, ch.got, ch.want)
+			}
+		}
+	}
+}
+
+func TestAggregatorMergeShardOrderIndependent(t *testing.T) {
+	t.Parallel()
+	build := func(order []int) []Cell {
+		a := NewAggregator(4, 2, 3)
+		for _, s := range order {
+			a.AddVictim(s, s%2, s%3)
+			a.Visit(s, s%2, s%3, OutcomeFell, s%2 == 0)
+			a.Visit(s, (s+1)%2, s%3, OutcomeSpotted, false)
+		}
+		return a.Merged()
+	}
+	x := build([]int{0, 1, 2, 3, 0, 1})
+	y := build([]int{1, 0, 3, 2, 1, 0})
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("cell %d differs across fold orders: %+v vs %+v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestRenderTableDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := mustPreset(t, "paper")
+	spec.Size = 10
+	spec = spec.WithDefaults()
+	agg := NewAggregator(2, len(spec.Cohorts), 2)
+	agg.AddVictim(0, 0, 0)
+	agg.Visit(0, 0, 0, OutcomeFell, true)
+	agg.AddVictim(1, 2, 1)
+	agg.Visit(1, 2, 1, OutcomeSpotted, false)
+	r := Results{
+		Spec:       spec,
+		Seed:       21,
+		Techniques: []string{"none", "recaptcha"},
+		Cells:      agg.Merged(),
+		Community: []CommunityRow{
+			{Technique: "none", Reports: 1, Confirmations: 3, Published: 1},
+			{Technique: "recaptcha", Reports: 1, Pending: 1},
+		},
+	}
+	a, b := r.RenderTable(), r.RenderTable()
+	if a != b {
+		t.Fatal("RenderTable not deterministic")
+	}
+	for _, want := range []string{"office", "security-aware", "recaptcha", "Community verification", "pending"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("table missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	t.Parallel()
+	want := map[VisitOutcome]string{
+		OutcomeSpotted: "spotted",
+		OutcomeBlocked: "blocked",
+		OutcomeBounced: "bounced",
+		OutcomeFell:    "fell",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+	if got := VisitOutcome(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown outcome String() = %q", got)
+	}
+}
+
+func mustPreset(t *testing.T, name string) Spec {
+	t.Helper()
+	s, err := Preset(name)
+	if err != nil {
+		t.Fatalf("Preset(%q): %v", name, err)
+	}
+	return s
+}

@@ -7,13 +7,14 @@ import (
 	"testing"
 )
 
-// TestRunMatchesRunStudy pins the facade redesign's compatibility promise:
-// Run(ctx, WithConfig(cfg)) produces byte-for-byte the report the deprecated
-// RunStudy(cfg) produces.
-func TestRunMatchesRunStudy(t *testing.T) {
+// TestRunMatchesFramework pins the facade conversion: Run(ctx,
+// WithConfig(cfg)) produces byte-for-byte the report a framework built from
+// the same facade Config produces, so the Config-to-internal mapping loses
+// nothing.
+func TestRunMatchesFramework(t *testing.T) {
 	t.Parallel()
 	cfg := Config{TrafficScale: 0.002}
-	old, err := RunStudy(cfg)
+	old, err := NewFramework(cfg).RunAll()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestRunMatchesRunStudy(t *testing.T) {
 		t.Fatalf("single run filled the wrong StudyResult arm: %+v", res)
 	}
 	if got, want := res.Report(), old.Report(); got != want {
-		t.Errorf("Run and RunStudy reports diverge:\n--- Run ---\n%s\n--- RunStudy ---\n%s", got, want)
+		t.Errorf("Run and Framework reports diverge:\n--- Run ---\n%s\n--- Framework ---\n%s", got, want)
 	}
 }
 
@@ -47,6 +48,18 @@ func TestRunOptionsCompose(t *testing.T) {
 	}
 	if o.cfg.Seed != 42 || o.cfg.TrafficScale != 0.002 || o.replicas != 3 || o.parallel != 2 {
 		t.Fatalf("options composed wrong: %+v", o)
+	}
+}
+
+// TestInternalConfigCarriesEveryKnob guards the facade-to-internal
+// conversion: every public Config field must land on the experiment config.
+func TestInternalConfigCarriesEveryKnob(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 7, TrafficScale: 0.25, MainTrafficPerReport: 50, NoCache: true, ShardWorkers: 3}
+	got := cfg.internal()
+	if got.Seed != 7 || got.TrafficScale != 0.25 || got.MainTrafficPerReport != 50 ||
+		!got.NoCache || got.ShardWorkers != 3 {
+		t.Fatalf("internal() dropped a field: %+v", got)
 	}
 }
 
@@ -95,12 +108,100 @@ func TestRunChaosOptions(t *testing.T) {
 	if err := WithChaosPreset("flaky")(&o); err != nil {
 		t.Fatal(err)
 	}
-	if o.cfg.Chaos == nil || o.cfg.Chaos.Name != "flaky" {
-		t.Fatalf("preset plan = %+v", o.cfg.Chaos)
+	if o.chaos == nil || o.chaos.Name != "flaky" {
+		t.Fatalf("preset plan = %+v", o.chaos)
 	}
 	bad := &ChaosPlan{Faults: nil}
-	bad.Faults = append(bad.Faults, o.cfg.Chaos.Faults[0], o.cfg.Chaos.Faults[0]) // duplicate names
+	bad.Faults = append(bad.Faults, o.chaos.Faults[0], o.chaos.Faults[0]) // duplicate names
 	if err := WithChaosPlan(bad)(&o); err == nil {
 		t.Error("invalid plan passed validation at option time")
+	}
+}
+
+// TestRunWithPopulation drives the population study through the facade and
+// checks the dedicated StudyResult arm plus the deterministic report.
+func TestRunWithPopulation(t *testing.T) {
+	t.Parallel()
+	spec, err := Population("lain2025")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Size = 2000
+	res, err := Run(context.Background(), WithPopulation(spec), WithShardWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Population == nil || res.Results != nil || res.Campaign != nil || res.Replicas != nil {
+		t.Fatalf("population run filled the wrong StudyResult arm: %+v", res)
+	}
+	report := res.Report()
+	if !strings.Contains(report, `Population "lain2025": 2000 victims`) {
+		t.Errorf("report missing population header:\n%s", report)
+	}
+	if !strings.Contains(report, "Community verification:") {
+		t.Errorf("report missing community section:\n%s", report)
+	}
+}
+
+// TestRunPopulationTrafficScaleCompat covers the compat shim: a zero spec
+// synthesizes the uniform population sized by TrafficScale, reproducing the
+// legacy homogeneous stream.
+func TestRunPopulationTrafficScaleCompat(t *testing.T) {
+	t.Parallel()
+	res, err := Run(context.Background(),
+		WithTrafficScale(0.05), WithPopulation(PopulationSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Population == nil {
+		t.Fatal("compat run produced no population results")
+	}
+	if got := res.Population.Spec; got.Name != "uniform" || got.Size != 500 || len(got.Cohorts) != 1 {
+		t.Fatalf("compat spec = %+v, want uniform preset sized 0.05*10000", got)
+	}
+}
+
+// TestRunPopulationErrors covers the typed population failures: bad
+// composition, unknown preset, invalid spec.
+func TestRunPopulationErrors(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+
+	var perr *PopulationError
+	if _, err := Run(ctx, WithPopulationPreset("paper"), WithReplicas(2)); !errors.As(err, &perr) {
+		t.Errorf("population+replicas err = %v, want *PopulationError", err)
+	}
+	if _, err := Run(ctx, WithPopulationPreset("paper"), WithCampaign(100)); !errors.As(err, &perr) {
+		t.Errorf("population+campaign err = %v, want *PopulationError", err)
+	}
+	if _, err := Run(ctx, WithPopulationPreset("crowd")); !errors.Is(err, ErrPopulationPreset) {
+		t.Errorf("unknown preset err = %v, want ErrPopulationPreset", err)
+	}
+
+	bad := PopulationSpec{Size: 10, Cohorts: []PopulationCohort{{Name: "x", Share: 0.4, VisitsPerDay: 1}}}
+	_, err := Run(ctx, WithPopulation(bad))
+	if !errors.As(err, &perr) || !errors.Is(err, ErrPopulationSpec) {
+		t.Errorf("invalid spec err = %v, want *PopulationError wrapping ErrPopulationSpec", err)
+	}
+}
+
+// TestTypedOptionErrors pins the errors.As surface of the validating
+// options.
+func TestTypedOptionErrors(t *testing.T) {
+	t.Parallel()
+	var o runOptions
+
+	var swe *ShardWorkersError
+	if err := WithShardWorkers(-1)(&o); !errors.As(err, &swe) || swe.N != -1 {
+		t.Errorf("WithShardWorkers(-1) err = %v, want *ShardWorkersError{N: -1}", err)
+	}
+	if err := WithShardWorkers(0)(&o); err != nil {
+		t.Errorf("WithShardWorkers(0) err = %v, want nil (classic scheduler)", err)
+	}
+
+	var cse *CampaignSizeError
+	err := WithCampaign(0)(&o)
+	if !errors.As(err, &cse) || cse.N != 0 || !errors.Is(err, ErrCampaignSize) {
+		t.Errorf("WithCampaign(0) err = %v, want *CampaignSizeError wrapping ErrCampaignSize", err)
 	}
 }

@@ -161,7 +161,11 @@ type ReplicaSet = core.ReplicaSet
 // al.). The returned spec's Size is zero; set it or let the default apply.
 // Unknown names report ErrPopulationPreset.
 func Population(name string) (PopulationSpec, error) {
-	return population.Preset(name)
+	spec, err := population.Preset(name)
+	if err != nil {
+		return PopulationSpec{}, fmt.Errorf("areyouhuman: %w", err)
+	}
+	return spec, nil
 }
 
 // PopulationPresets lists the built-in population names, sorted.
@@ -237,7 +241,7 @@ func WithPopulationPreset(name string) Option {
 	return func(o *runOptions) error {
 		spec, err := population.Preset(name)
 		if err != nil {
-			return err
+			return fmt.Errorf("areyouhuman: %w", err)
 		}
 		o.population = &spec
 		return nil
@@ -267,7 +271,7 @@ func WithChaosPlan(plan *ChaosPlan) Option {
 	return func(o *runOptions) error {
 		if plan != nil {
 			if err := plan.Validate(); err != nil {
-				return err
+				return fmt.Errorf("areyouhuman: %w", err)
 			}
 		}
 		o.chaos = plan
@@ -281,7 +285,7 @@ func WithChaosPreset(name string) Option {
 	return func(o *runOptions) error {
 		plan, err := chaos.Preset(name)
 		if err != nil {
-			return err
+			return fmt.Errorf("areyouhuman: %w", err)
 		}
 		o.chaos = plan
 		return nil
@@ -393,11 +397,11 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 			continue
 		}
 		if err := opt(&o); err != nil {
-			return nil, fmt.Errorf("areyouhuman: %w", err)
+			return nil, wrapFacade(err)
 		}
 	}
 	if o.campaign.Provider != "" && o.campaign.URLs == 0 {
-		return nil, fmt.Errorf("areyouhuman: WithCampaignProvider requires WithCampaign")
+		return nil, fmt.Errorf("areyouhuman: WithCampaignProvider requires WithCampaign: %w", ErrOptionConflict)
 	}
 	if o.population != nil {
 		res, err := runPopulation(ctx, &o)
@@ -408,7 +412,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	}
 	if o.campaign.URLs > 0 {
 		if o.replicas > 1 {
-			return nil, fmt.Errorf("areyouhuman: campaign studies do not compose with replicas")
+			return nil, fmt.Errorf("areyouhuman: campaign studies do not compose with replicas: %w", ErrOptionConflict)
 		}
 		f := core.New(o.internalConfig())
 		if ctx != nil {
@@ -416,7 +420,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 		}
 		res, err := f.RunCampaign(o.campaign)
 		if err != nil {
-			return nil, err
+			return nil, wrapFacade(err)
 		}
 		if err := o.journalW.Flush(); err != nil {
 			return nil, fmt.Errorf("areyouhuman: %w", err)
@@ -432,7 +436,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 			Ctx:        ctx,
 		})
 		if err != nil {
-			return nil, err
+			return nil, wrapFacade(err)
 		}
 		return &StudyResult{Replicas: rs}, nil
 	}
@@ -442,7 +446,7 @@ func Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	}
 	res, err := f.RunAll()
 	if err != nil {
-		return nil, err
+		return nil, wrapFacade(err)
 	}
 	if err := o.journalW.Flush(); err != nil {
 		return nil, fmt.Errorf("areyouhuman: %w", err)
@@ -479,7 +483,7 @@ func runPopulation(ctx context.Context, o *runOptions) (*PopulationResults, erro
 	}
 	res, err := f.RunPopulation(spec)
 	if err != nil {
-		return nil, err
+		return nil, wrapFacade(err)
 	}
 	if err := o.journalW.Flush(); err != nil {
 		return nil, fmt.Errorf("areyouhuman: %w", err)
@@ -494,5 +498,9 @@ func NewFramework(cfg Config) *Framework { return core.New(cfg.internal()) }
 // 1M-name popularity list, reproducing the paper's exact funnel
 // 1,000,000 -> 770 -> 251 -> 244 -> 244 -> 50.
 func PaperScaleFunnel() (Funnel, error) {
-	return core.FunnelAtPaperScale()
+	funnel, err := core.FunnelAtPaperScale()
+	if err != nil {
+		return Funnel{}, wrapFacade(err)
+	}
+	return funnel, nil
 }

@@ -1,18 +1,28 @@
 // Command phishlint runs the determinism lint suite of internal/lint over
 // this module — the compile-time half of the bit-identity guarantees the
-// replica, cache, and chaos tests check at run time (DESIGN.md §11).
+// replica, cache, and chaos tests check at run time (DESIGN.md §11, §16).
 //
 // Usage:
 //
 //	go run ./cmd/phishlint ./...
-//	go run ./cmd/phishlint -json findings.json ./internal/... ./cmd/...
+//	go run ./cmd/phishlint -json findings.json -sarif findings.sarif ./internal/... ./cmd/...
+//	go run ./cmd/phishlint -parallel 8 -time ./...
 //
 // Patterns are package directories, with the usual `dir/...` recursion; the
-// default is `./...` from the current directory. Exit status is 0 when the
-// tree is clean, 1 when any finding is reported, 2 when a package fails to
-// load. Findings print one per line as file:line:col: analyzer: message;
-// -json additionally writes the machine-readable findings array to the given
-// path ("-" for stdout), which CI uploads as a build artifact.
+// default is `./...` from the current directory. The whole module is always
+// loaded and analyzed — the interprocedural analyzers need every call chain
+// — but findings are reported only for the requested packages. Exit status
+// is 0 when the tree is clean, 1 when any finding is reported, 2 when a
+// package fails to load.
+//
+// Findings print one per line as file:line:col: analyzer: message; -json
+// writes the machine-readable findings array to the given path ("-" for
+// stdout) and -sarif writes the same findings as a SARIF 2.1.0 log, both
+// uploaded by CI as build artifacts. -parallel bounds analysis worker
+// goroutines (0 = GOMAXPROCS); it changes wall-clock only — findings are
+// globally sorted, so every output is byte-identical for any value. -time
+// prints per-analyzer wall-clock durations to stderr, keeping the artifact
+// outputs stable.
 package main
 
 import (
@@ -22,14 +32,27 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"areyouhuman/internal/lint"
 )
 
+// options carries the driver flags.
+type options struct {
+	jsonPath  string
+	sarifPath string
+	parallel  int
+	timing    bool
+}
+
 func main() {
-	jsonPath := flag.String("json", "", "write findings as a JSON array to this `path` (\"-\" for stdout)")
+	var opts options
+	flag.StringVar(&opts.jsonPath, "json", "", "write findings as a JSON array to this `path` (\"-\" for stdout)")
+	flag.StringVar(&opts.sarifPath, "sarif", "", "write findings as a SARIF 2.1.0 log to this `path` (\"-\" for stdout)")
+	flag.IntVar(&opts.parallel, "parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS); output is identical for any value")
+	flag.BoolVar(&opts.timing, "time", false, "print per-analyzer wall-clock durations to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: phishlint [-json path] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: phishlint [-json path] [-sarif path] [-parallel n] [-time] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)\n\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
 		for _, a := range lint.Analyzers {
@@ -37,16 +60,19 @@ func main() {
 		}
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), *jsonPath))
+	os.Exit(run(flag.Args(), opts))
 }
 
-func run(patterns []string, jsonPath string) int {
+func run(patterns []string, opts options) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phishlint:", err)
 		return 2
 	}
-	loader, err := lint.NewLoader(cwd)
+	// The interprocedural analyzers need the whole module loaded regardless
+	// of which packages were requested: a summary for a helper outside the
+	// targets still decides findings inside them.
+	module, err := lint.LoadModule(cwd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phishlint:", err)
 		return 2
@@ -54,20 +80,28 @@ func run(patterns []string, jsonPath string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	targets, err := resolve(loader, cwd, patterns)
+	targets, err := resolve(module.Loader, cwd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phishlint:", err)
 		return 2
 	}
-	var findings []lint.Finding
+	roots := make([]*lint.Package, 0, len(targets))
 	for _, tgt := range targets {
-		pkg, err := loader.Load(tgt.Dir, tgt.Path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "phishlint:", err)
-			return 2
+		pkg := module.Package(tgt.Path)
+		if pkg == nil {
+			// The module walk skips testdata/ trees, but an explicitly
+			// named fixture directory is still a valid target — load it
+			// standalone so the sanity drives over
+			// internal/lint/testdata/src keep working.
+			pkg, err = module.AddPackage(tgt.Dir, tgt.Path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "phishlint: no loadable package at %s: %v\n", tgt.Path, err)
+				return 2
+			}
 		}
-		findings = append(findings, lint.RunAnalyzers(pkg, lint.Analyzers)...)
+		roots = append(roots, pkg)
 	}
+	findings, timings := module.Run(lint.Analyzers, opts.parallel, roots)
 	for i := range findings {
 		findings[i].File = relPath(cwd, findings[i].File)
 		findings[i].Pos.Filename = findings[i].File
@@ -75,14 +109,29 @@ func run(patterns []string, jsonPath string) int {
 	for _, f := range findings {
 		fmt.Println(f)
 	}
-	if jsonPath != "" {
-		if err := writeJSON(jsonPath, findings); err != nil {
+	if opts.timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "phishlint: %-12s %s\n", t.Name, t.Duration.Round(time.Millisecond))
+		}
+	}
+	if opts.jsonPath != "" {
+		if err := writeJSON(opts.jsonPath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "phishlint:", err)
+			return 2
+		}
+	}
+	if opts.sarifPath != "" {
+		data, err := lint.SARIF(lint.Analyzers, findings)
+		if err == nil {
+			err = writeFile(opts.sarifPath, data)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "phishlint:", err)
 			return 2
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "phishlint: %d finding(s) in %d package(s)\n", len(findings), len(targets))
+		fmt.Fprintf(os.Stderr, "phishlint: %d finding(s) in %d package(s)\n", len(findings), len(roots))
 		return 1
 	}
 	return 0
@@ -145,9 +194,12 @@ func writeJSON(path string, findings []lint.Finding) error {
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
+	return writeFile(path, append(data, '\n'))
+}
+
+func writeFile(path string, data []byte) error {
 	if path == "-" {
-		_, err = os.Stdout.Write(data)
+		_, err := os.Stdout.Write(data)
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"areyouhuman/internal/lint"
+)
+
+// TestRunParallelOutputByteIdentical drives the real binary entry point over
+// the whole module at different -parallel values: the clean-tree exit status
+// and the -json artifact must be byte-identical — CI diffs exactly this.
+func TestRunParallelOutputByteIdentical(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(cwd)) // cmd/phishlint -> module root
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Errorf("restore cwd: %v", err)
+		}
+	}()
+
+	dir := t.TempDir()
+	outputs := make(map[int][]byte)
+	for _, parallel := range []int{1, 4} {
+		path := filepath.Join(dir, "findings.json")
+		code := run([]string{"./..."}, options{jsonPath: path, parallel: parallel})
+		if code != 0 {
+			t.Fatalf("phishlint -parallel %d exited %d; the tree must be lint-clean", parallel, code)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read -json output: %v", err)
+		}
+		outputs[parallel] = data
+	}
+	if !bytes.Equal(outputs[1], outputs[4]) {
+		t.Errorf("-json output differs between -parallel 1 and -parallel 4:\n%s\nvs\n%s", outputs[1], outputs[4])
+	}
+}
+
+// TestRunFixtureDirectory pins the documented sanity drive: pointing the
+// driver at a testdata fixture directory — which the module walk skips —
+// must still load that package standalone and report its findings.
+func TestRunFixtureDirectory(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(cwd)) // cmd/phishlint -> module root
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Errorf("restore cwd: %v", err)
+		}
+	}()
+
+	path := filepath.Join(t.TempDir(), "findings.json")
+	code := run([]string{"./internal/lint/testdata/src/detrand"}, options{jsonPath: path})
+	if code != 1 {
+		t.Fatalf("phishlint on the detrand fixture exited %d, want 1 (findings present)", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read -json output: %v", err)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatalf("parse -json output: %v", err)
+	}
+	if len(findings) != 6 {
+		t.Errorf("detrand fixture produced %d findings, want 6:\n%s", len(findings), data)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "detrand" {
+			t.Errorf("unexpected %s finding in the detrand fixture: %s", f.Analyzer, f.Message)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package areyouhuman
 // to import an internal package to classify a failure.
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,23 @@ var (
 	ErrPopulationSpec = population.ErrSpec
 	// ErrPopulationPreset reports an unknown population preset name.
 	ErrPopulationPreset = population.ErrPreset
+	// ErrOptionConflict matches every rejected option combination — a
+	// campaign provider without a campaign, campaigns with replicas, and
+	// whatever composition rule comes next. (Population compositions keep
+	// reporting *PopulationError for compatibility.)
+	ErrOptionConflict = errors.New("conflicting options")
 )
+
+// wrapFacade prefixes err with the facade vocabulary exactly once: causes
+// that already speak "areyouhuman:" (options, facade helpers) pass through
+// unstuttered, everything else is wrapped so errors.Is/As keep working on
+// the chain.
+func wrapFacade(err error) error {
+	if strings.HasPrefix(err.Error(), "areyouhuman: ") {
+		return err
+	}
+	return fmt.Errorf("areyouhuman: %w", err)
+}
 
 // DeployError is the concrete deployment failure (domain + cause).
 type DeployError = experiment.DeployError

@@ -146,6 +146,8 @@ func New(net *simnet.Internet, cfg Config) *Browser {
 // Referer carried across hops, at most 10 hops). Driving the transport
 // directly avoids http.Client's defensive per-request header clone, which was
 // a measurable slice of visit allocations.
+//
+//phishlint:hotpath
 func (b *Browser) do(req *http.Request) (*http.Response, error) {
 	for hop := 0; ; hop++ {
 		if cookies := b.jar.Cookies(req.URL); len(cookies) > 0 {
@@ -217,9 +219,11 @@ func (b *Browser) tracef(kind EventKind, format string, args ...any) {
 // readBody drains a response body. When the transport declares the length
 // (the simulated network always does), the buffer is sized exactly once
 // instead of grown through io.ReadAll's doubling.
+//
+//phishlint:hotpath
 func readBody(resp *http.Response) ([]byte, error) {
 	if n := resp.ContentLength; n >= 0 {
-		body := make([]byte, n)
+		body := make([]byte, n) //phishlint:allow allocfree exact-size buffer sized once from ContentLength; the body must be materialised
 		if _, err := io.ReadFull(resp.Body, body); err != nil {
 			return nil, err
 		}

@@ -23,6 +23,8 @@ const (
 // a single-replica run stays bit-identical to historical single-run output —
 // and the result is never 0, because experiment.Config treats a zero seed as
 // "use the paper-calibrated default".
+//
+//phishlint:hotpath
 func SplitSeed(master int64, k int) int64 {
 	if k == 0 {
 		return master
@@ -35,6 +37,8 @@ func SplitSeed(master int64, k int) int64 {
 }
 
 // mix64 is the splitmix64 avalanche finalizer.
+//
+//phishlint:hotpath
 func mix64(z uint64) uint64 {
 	z ^= z >> 30
 	z *= splitmixMul1
@@ -49,6 +53,8 @@ func mix64(z uint64) uint64 {
 // tick mixed in, and the splitmix finalizer for avalanche. Two calls with
 // the same arguments always agree, regardless of what any other decision
 // drew — the property the cross-parallelism bit-identity test relies on.
+//
+//phishlint:hotpath
 func u01(stream uint64, label string, tick int64) float64 {
 	h := uint64(fnvOffset) ^ stream
 	for i := 0; i < len(label); i++ {

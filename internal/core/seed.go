@@ -27,6 +27,8 @@ import "areyouhuman/internal/chaos"
 // The implementation lives in the chaos package (which also derives per-spec
 // fault streams from it and cannot import core); this wrapper preserves the
 // historical call site and its tests.
+//
+//phishlint:hotpath
 func SplitSeed(master int64, replica int) int64 {
 	return chaos.SplitSeed(master, replica)
 }

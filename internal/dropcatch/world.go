@@ -161,6 +161,8 @@ func synthDomainAt(buf []byte, rng *rand.Rand, i int) (string, []byte) {
 // to distinct words, which is what lets a million-name campaign synthesise
 // collision-free labels with no dedup map — the idiom NewWorld uses for its
 // top-list names, exported for the campaign URL generator.
+//
+//phishlint:hotpath
 func AppendPositionWord(buf []byte, i int) []byte {
 	for d, n := 0, i; d < 2 || n > 0; d++ {
 		digit := n % 95

@@ -20,26 +20,36 @@ import (
 // leave Options.RenderCache nil.
 type RenderCache struct {
 	mu sync.Mutex
-	m  map[string]string
+	m  map[renderKey]string
+}
+
+// renderKey is the cache key. A comparable struct instead of a
+// concatenated string: the hit path builds it on the stack and hashes the
+// fields in place, where the old "path?query\x00fragment" key allocated a
+// fresh string per gated request just to throw it away on a hit.
+type renderKey struct {
+	path, query, fragment string
 }
 
 // NewRenderCache returns an empty cache, typically shared by all mounts of
 // one deployment.
 func NewRenderCache() *RenderCache {
-	return &RenderCache{m: make(map[string]string)}
+	return &RenderCache{m: make(map[renderKey]string)}
 }
 
 // rendered returns the benign page for r with fragment injected before
 // </body>, caching per (request URI, fragment).
+//
+//phishlint:hotpath
 func (c *RenderCache) rendered(o Options, r *http.Request, fragment string) string {
-	key := r.URL.Path + "?" + r.URL.RawQuery + "\x00" + fragment
+	key := renderKey{path: r.URL.Path, query: r.URL.RawQuery, fragment: fragment}
 	c.mu.Lock()
 	if page, ok := c.m[key]; ok {
 		c.mu.Unlock()
 		return page
 	}
 	c.mu.Unlock()
-	page := injectBeforeBodyEnd(captureHTML(o.Benign, r), fragment)
+	page := injectBeforeBodyEnd(captureHTML(o.Benign, r), fragment) //phishlint:allow allocfree miss path renders once per (page, fragment), then every hit is allocation-free
 	c.mu.Lock()
 	c.m[key] = page
 	c.mu.Unlock()

@@ -37,9 +37,11 @@ func NewParseCache() *ParseCache {
 
 // Get returns a freshly cloned DOM for src, parsing it only on first sight.
 // A nil cache degrades to a plain Parse.
+//
+//phishlint:hotpath
 func (c *ParseCache) Get(src string) *Node {
 	if c == nil {
-		return Parse(src)
+		return Parse(src) //phishlint:allow allocfree nil-cache degrade path; callers opt out of caching explicitly
 	}
 	h := fnv64a(src)
 	c.mu.Lock()
@@ -48,25 +50,27 @@ func (c *ParseCache) Get(src string) *Node {
 			c.hits++
 			tpl := e.template
 			c.mu.Unlock()
-			return tpl.Clone()
+			return tpl.Clone() //phishlint:allow allocfree clones are the product: callers mutate what they receive, so each hit pays Clone's three arena allocations by design
 		}
 	}
 	c.misses++
 	c.mu.Unlock()
-	tpl := Parse(src)
+	tpl := Parse(src) //phishlint:allow allocfree miss path parses once per distinct page source
 	c.mu.Lock()
 	if c.total() >= maxParseCacheEntries {
-		c.entries = make(map[uint64][]parseEntry)
+		c.entries = make(map[uint64][]parseEntry) //phishlint:allow allocfree cache reset on pathological overflow, not the steady-state path
 	}
 	c.entries[h] = append(c.entries[h], parseEntry{src: src, template: tpl, scripts: tpl.Scripts()})
 	c.mu.Unlock()
-	return tpl.Clone()
+	return tpl.Clone() //phishlint:allow allocfree clones are the product: callers mutate what they receive, so each hit pays Clone's three arena allocations by design
 }
 
 // Scripts returns the inline script sources of the page with the given
 // source text, extracting them once per distinct page. The returned slice is
 // shared — callers must treat it as read-only. A nil cache (or a page not yet
 // cached) degrades to extracting from dom, the caller's parsed copy.
+//
+//phishlint:hotpath
 func (c *ParseCache) Scripts(src string, dom *Node) []string {
 	if c == nil {
 		return dom.Scripts()
@@ -102,6 +106,7 @@ func (c *ParseCache) total() int {
 	return n
 }
 
+//phishlint:hotpath
 func fnv64a(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037

@@ -264,6 +264,7 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+//phishlint:hotpath
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -275,6 +276,8 @@ func mix64(x uint64) uint64 {
 
 // fnvParts hashes the parts with a NUL separator between them, so ("a","bc")
 // and ("ab","c") hash differently.
+//
+//phishlint:hotpath
 func fnvParts(parts ...string) uint64 {
 	h := uint64(fnvOffset)
 	for i, p := range parts {
@@ -332,11 +335,13 @@ func spanLabelFor(kind string, f Fields) string {
 // compile-time constant snake_case string — phishlint enforces this at every
 // call site). Emit on a nil recorder is a no-op, so emit sites guard only
 // when building Fields is itself costly.
+//
+//phishlint:hotpath
 func (r *Recorder) Emit(kind string, f Fields) {
 	if r == nil {
 		return
 	}
-	span := spanID(r.seed, spanLabelFor(kind, f))
+	span := spanID(r.seed, spanLabelFor(kind, f)) //phishlint:allow allocfree span labels for non-URL kinds concatenate once per event; URL spans reuse f.URL
 
 	// Causal derivation: qual scopes the slot within the span (the engine for
 	// crawl/listing events, the technique for payload serves, the decision

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Allocfree enforces the zero-allocation discipline of the visit hot path
+// (DESIGN.md §10: the browser/simnet/htmlmini/weblog chain that PR 3 drove
+// from 588 to 187 allocations per visit). A function opts in with a
+// //phishlint:hotpath line in its doc comment; inside an annotated
+// function, allocfree flags the heap-escape patterns that benchmarks keep
+// rediscovering:
+//
+//   - fmt.Sprintf / Sprint / Sprintln (fmt.Errorf is exempt — error
+//     construction is the cold path by definition);
+//   - strings.Join and string concatenation producing a non-constant
+//     string;
+//   - make of a map or channel, or of a slice with a non-constant length
+//     (an unpooled per-call buffer);
+//   - a function literal that captures enclosing locals (the closure
+//     environment is heap-allocated per call).
+//
+// And interprocedurally: a hotpath function calling a module-local callee
+// that is NOT itself annotated hotpath but contains one of those patterns
+// is flagged at the call site — either the callee belongs on the hot path
+// (annotate it and fix it) or the call does not (hoist it). Interface-
+// dispatch sites are exempt; the hot path is direct calls by design.
+//
+// A deliberate cold-path allocation inside a hotpath function (a fallback
+// branch, a once-per-study slow path) is suppressed with
+// `//phishlint:allow allocfree <why>`.
+var Allocfree = &Analyzer{
+	Name:      "allocfree",
+	Doc:       "functions annotated //phishlint:hotpath must not contain heap-escaping patterns, nor call unannotated module functions that do",
+	RunModule: runAllocfree,
+}
+
+// hotpathToken is the annotation token marking a function as part of the
+// allocation-free hot path. Unlike suppression tokens it tightens checking,
+// so it needs no justification (see collectAnnotations).
+const hotpathToken = "hotpath"
+
+// allocSite is one direct heap-escape pattern found in a function body.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+func runAllocfree(pass *ModulePass) {
+	hot := map[*CallNode]bool{}
+	marked := map[token.Pos]bool{} // positions of hotpath comments claimed by a declaration
+	for _, node := range pass.Graph.SortedNodes() {
+		if c := hotpathComment(node.Decl); c != nil {
+			hot[node] = true
+			marked[c.Pos()] = true
+		}
+	}
+	// Stray markers: a //phishlint:hotpath that is not the doc comment of a
+	// function declaration silently checks nothing — that is a finding, not
+	// a no-op.
+	for _, pkg := range pass.Module.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(c.Text, annotationPrefix+hotpathToken) && !marked[c.Pos()] {
+						pass.Reportf(c.Pos(), "//phishlint:hotpath must be in the doc comment of a function declaration")
+					}
+				}
+			}
+		}
+	}
+	// Direct-pattern summaries for every module function, so call sites in
+	// hot functions can name what their callee allocates.
+	allocs := map[*CallNode][]allocSite{}
+	for _, node := range pass.Graph.SortedNodes() {
+		allocs[node] = directAllocs(node)
+	}
+	for _, node := range pass.Graph.SortedNodes() {
+		if !hot[node] {
+			continue
+		}
+		for _, site := range allocs[node] {
+			pass.Reportf(site.pos, "%s in hotpath function %s; hoist it, pool it, or append into a caller-owned buffer", site.desc, node.Decl.Name.Name)
+		}
+		for _, cs := range node.Sites {
+			if cs.Dynamic {
+				continue
+			}
+			for _, callee := range cs.Callees {
+				if hot[callee] || len(allocs[callee]) == 0 {
+					continue
+				}
+				first := allocs[callee][0]
+				pass.Reportf(cs.Call.Pos(), "hotpath function %s calls %s, which %s (%s); annotate the callee //phishlint:hotpath and fix it, or hoist the call off the hot path",
+					node.Decl.Name.Name, callee.Name(), first.desc, pass.Fset().Position(first.pos))
+			}
+		}
+	}
+}
+
+// hotpathComment returns the //phishlint:hotpath comment in decl's doc
+// comment, or nil.
+func hotpathComment(decl *ast.FuncDecl) *ast.Comment {
+	if decl.Doc == nil {
+		return nil
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, annotationPrefix+hotpathToken) {
+			return c
+		}
+	}
+	return nil
+}
+
+// directAllocs scans one declaration for the heap-escape patterns.
+func directAllocs(node *CallNode) []allocSite {
+	if node.Decl.Body == nil {
+		return nil
+	}
+	info := node.Pkg.Info
+	var sites []allocSite
+	add := func(pos token.Pos, desc string) {
+		sites = append(sites, allocSite{pos: pos, desc: desc})
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					switch fn.Pkg().Path() + "." + fn.Name() {
+					case "fmt.Sprintf", "fmt.Sprint", "fmt.Sprintln":
+						add(n.Pos(), fn.Pkg().Name()+"."+fn.Name()+" allocates its result and boxes every operand")
+					case "strings.Join":
+						add(n.Pos(), "strings.Join allocates the joined string")
+					}
+				}
+			case *ast.Ident:
+				if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "make" {
+					if allocMake(info, n) {
+						add(n.Pos(), "make allocates a per-call buffer")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				add(n.Pos(), "string concatenation allocates the result")
+				return false // one report per concat chain, not per +
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				add(n.Pos(), "string += allocates the result")
+			}
+		case *ast.FuncLit:
+			if capt := capturedLocal(info, node.Decl, n); capt != "" {
+				add(n.Pos(), "closure captures "+capt+", heap-allocating its environment per call")
+			}
+			return false // patterns inside the closure bill to the closure's own runs
+		}
+		return true
+	})
+	return sites
+}
+
+// allocMake reports whether a make call allocates per-call: maps and
+// channels always, slices unless the length is a compile-time constant
+// (constant-size locals usually stay on the stack).
+func allocMake(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	switch info.TypeOf(call.Args[0]).Underlying().(type) {
+	case *types.Map, *types.Chan:
+		return true
+	case *types.Slice:
+		if len(call.Args) < 2 {
+			return false
+		}
+		return info.Types[call.Args[1]].Value == nil
+	}
+	return false
+}
+
+// isNonConstString reports whether e is a string-typed expression not
+// folded to a constant by the compiler.
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv := info.Types[e]
+	return tv.Value == nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedLocal names the first enclosing-function local a closure
+// captures, or "" — package-level variables are reached directly and do not
+// force an environment allocation.
+func capturedLocal(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// A captured local is declared inside the enclosing declaration but
+		// outside the literal.
+		if v.Pos() >= decl.Pos() && v.Pos() < lit.Pos() {
+			name = "local " + v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// This file is the whole-module half of the framework: a types-resolved call
+// graph over every package the Loader has seen. Package-local analyzers
+// (detrand, maporder, ...) answer "does this line do X"; the module analyzers
+// (seedflow, shardflow, allocfree, errwrap) answer "can a value produced
+// here *reach* Y through any chain of calls" — and that question needs one
+// graph spanning function boundaries, interface dispatch included.
+//
+// The graph is deliberately an over-approximation in the places that keep it
+// cheap and deterministic:
+//
+//   - interface method calls resolve by class-hierarchy analysis: every named
+//     type in the module that implements the interface contributes its
+//     method as a possible callee (this is how EventScheduler.At resolves to
+//     both the serial Scheduler and the ShardedScheduler);
+//   - calls through plain function values (a closure stored in a variable or
+//     field) stay unresolved — the analyzers that care treat unresolved
+//     callees conservatively;
+//   - function literals belong to their enclosing declaration: a call made
+//     inside a closure is an edge out of the declared function that contains
+//     the closure.
+
+// A CallNode is one declared function or method of the module, with its
+// resolved outgoing call sites.
+type CallNode struct {
+	// Func is the type-checker's object for the declaration.
+	Func *types.Func
+	// Decl is the source declaration (Body may be nil for assembly stubs).
+	Decl *ast.FuncDecl
+	// Pkg is the package the declaration lives in.
+	Pkg *Package
+	// Sites lists every call expression in the declaration (including calls
+	// made inside nested function literals), in source order.
+	Sites []*CallSite
+
+	siteByCall map[*ast.CallExpr]*CallSite
+}
+
+// Name returns a human-readable name: "pkgname.Func" or
+// "pkgname.(*Recv).Method".
+func (n *CallNode) Name() string {
+	name := n.Func.Name()
+	if recv := n.Func.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if n.Func.Pkg() != nil {
+		return n.Func.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// A CallSite is one call expression with its resolved module-local callees.
+// Callees is empty for calls that leave the module (stdlib) and for calls
+// through plain function values; Dynamic marks interface dispatch, where
+// Callees lists every module implementation.
+type CallSite struct {
+	Call    *ast.CallExpr
+	Callees []*CallNode
+	Dynamic bool
+}
+
+// A CallGraph is the module-wide call graph. Build it once per Module (see
+// Module.Graph); construction is deterministic — nodes and edges come out in
+// source order — so every analysis over it is too.
+type CallGraph struct {
+	// Nodes indexes every declared function of the analyzed packages.
+	Nodes map[*types.Func]*CallNode
+
+	nodes []*CallNode // deterministic iteration order
+	pkgs  []*Package
+
+	mu          sync.Mutex // guards the lazy caches below
+	taintCache  map[*TaintSpec]map[*CallNode]*Taint
+	accessCache map[*CallNode]*globalAccess
+}
+
+// buildCallGraph constructs the graph over pkgs (sorted by import path).
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}, pkgs: pkgs}
+	// Pass 1: a node per function declaration.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CallNode{Func: fn, Decl: fd, Pkg: pkg, siteByCall: map[*ast.CallExpr]*CallSite{}}
+				g.Nodes[fn] = node
+				g.nodes = append(g.nodes, node)
+			}
+		}
+	}
+	// Pass 2: resolve call sites. CHA results are memoized per
+	// (interface, method) pair.
+	type ifaceKey struct {
+		iface  *types.Interface
+		method string
+	}
+	chaCache := map[ifaceKey][]*CallNode{}
+	cha := func(iface *types.Interface, method string) []*CallNode {
+		key := ifaceKey{iface, method}
+		if impls, ok := chaCache[key]; ok {
+			return impls
+		}
+		var impls []*CallNode
+		for _, pkg := range pkgs {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok || types.IsInterface(named) {
+					continue
+				}
+				ptr := types.NewPointer(named)
+				if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				ms := types.NewMethodSet(ptr)
+				for i := 0; i < ms.Len(); i++ {
+					m := ms.At(i).Obj().(*types.Func)
+					if m.Name() != method {
+						continue
+					}
+					if node, ok := g.Nodes[m]; ok {
+						impls = append(impls, node)
+					}
+				}
+			}
+		}
+		chaCache[key] = impls
+		return impls
+	}
+	for _, node := range g.nodes {
+		if node.Decl.Body == nil {
+			continue
+		}
+		pkg := node.Pkg
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			site := &CallSite{Call: call}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+					if callee, ok := g.Nodes[fn]; ok {
+						site.Callees = []*CallNode{callee}
+					}
+				}
+			case *ast.SelectorExpr:
+				sel := pkg.Info.Selections[fun]
+				if sel != nil && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+					if m, ok := sel.Obj().(*types.Func); ok {
+						if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+							site.Dynamic = true
+							site.Callees = cha(iface, m.Name())
+						}
+					}
+				} else if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+					if callee, ok := g.Nodes[fn]; ok {
+						site.Callees = []*CallNode{callee}
+					}
+				}
+			}
+			node.Sites = append(node.Sites, site)
+			node.siteByCall[call] = site
+			return true
+		})
+	}
+	return g
+}
+
+// SortedNodes returns every node in deterministic (package path, source
+// position) order.
+func (g *CallGraph) SortedNodes() []*CallNode { return g.nodes }
+
+// CalleesOf resolves a call expression made inside node to its module-local
+// callees (nil for unresolved or extra-module calls).
+func (g *CallGraph) CalleesOf(node *CallNode, call *ast.CallExpr) []*CallNode {
+	if node == nil {
+		return nil
+	}
+	if site, ok := node.siteByCall[call]; ok {
+		return site.Callees
+	}
+	return nil
+}
+
+// NodeAt returns the node whose declaration encloses pos, or nil. Used by
+// tests and message rendering.
+func (g *CallGraph) NodeAt(pos token.Pos) *CallNode {
+	for _, n := range g.nodes {
+		if n.Decl.Pos() <= pos && pos <= n.Decl.End() {
+			return n
+		}
+	}
+	return nil
+}
+
+// globalAccess summarizes which package-level variables a function reads and
+// writes, directly or through any chain of module-local calls. Functions
+// that take a lock (a Lock/RLock call anywhere in the body) are "guarded":
+// their accesses are serialized by that lock and deliberately dropped from
+// the summary — ordering of guarded state is shardsafe/ExecStamp territory,
+// not aliasing territory.
+type globalAccess struct {
+	reads   map[*types.Var]token.Pos
+	writes  map[*types.Var]token.Pos
+	guarded bool
+}
+
+// GlobalAccessSummaries computes (and caches) the transitive package-level
+// variable access summary for every node, iterating to a fixpoint so
+// recursion and mutual recursion converge.
+func (g *CallGraph) GlobalAccessSummaries() map[*CallNode]*globalAccess {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.accessCache != nil {
+		return g.accessCache
+	}
+	sums := map[*CallNode]*globalAccess{}
+	// Direct pass.
+	for _, node := range g.nodes {
+		sums[node] = directGlobalAccess(node)
+	}
+	// Transitive closure: fold callee summaries into callers until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.nodes {
+			sum := sums[node]
+			if sum.guarded {
+				continue
+			}
+			for _, site := range node.Sites {
+				for _, callee := range site.Callees {
+					cs := sums[callee]
+					if cs == nil || cs.guarded {
+						continue
+					}
+					for v, pos := range cs.reads {
+						if _, ok := sum.reads[v]; !ok {
+							sum.reads[v] = pos
+							changed = true
+						}
+					}
+					for v, pos := range cs.writes {
+						if _, ok := sum.writes[v]; !ok {
+							sum.writes[v] = pos
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	g.accessCache = sums
+	return sums
+}
+
+// directGlobalAccess scans one declaration for package-level variable reads
+// and writes.
+func directGlobalAccess(node *CallNode) *globalAccess {
+	sum := &globalAccess{reads: map[*types.Var]token.Pos{}, writes: map[*types.Var]token.Pos{}}
+	if node.Decl.Body == nil {
+		return sum
+	}
+	info := node.Pkg.Info
+	pkgScope := node.Pkg.Types.Scope()
+	classify := func(id *ast.Ident, write bool) {
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() != pkgScope {
+			return
+		}
+		if write {
+			if _, ok := sum.writes[v]; !ok {
+				sum.writes[v] = id.Pos()
+			}
+		} else if _, ok := sum.reads[v]; !ok {
+			sum.reads[v] = id.Pos()
+		}
+	}
+	writeTargets := map[*ast.Ident]bool{}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writeTargets[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				writeTargets[id] = true
+			}
+		case *ast.CallExpr:
+			if isLockCall(info, n) {
+				sum.guarded = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			classify(id, writeTargets[id])
+		}
+		return true
+	})
+	return sum
+}
+
+// isLockCall reports whether call is a Lock or RLock method call (the
+// sync.Mutex/RWMutex serialization idiom).
+func isLockCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// sortedVars returns vars in deterministic (name, position) order.
+func sortedVars(set map[*types.Var]token.Pos) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name() != out[j].Name() {
+			return out[i].Name() < out[j].Name()
+		}
+		return out[i].Pos() < out[j].Pos()
+	})
+	return out
+}

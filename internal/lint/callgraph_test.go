@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixtureModule assembles a single-package fixture as a Module.
+func loadFixtureModule(t *testing.T, fixture, importPath string) *Module {
+	t.Helper()
+	loader, err := NewLoader("testdata/src/" + fixture)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Load("testdata/src/"+fixture, importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	return NewModule(loader, pkg)
+}
+
+func nodeByName(t *testing.T, g *CallGraph, name string) *CallNode {
+	t.Helper()
+	for _, n := range g.SortedNodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %q", name)
+	return nil
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	t.Parallel()
+	m := loadFixtureModule(t, "callgraph", "areyouhuman/internal/fixture/callgraph")
+	g := m.Graph()
+	dispatch := nodeByName(t, g, "callgraph.Dispatch")
+	var dyn *CallSite
+	for _, site := range dispatch.Sites {
+		if site.Dynamic {
+			dyn = site
+		}
+	}
+	if dyn == nil {
+		t.Fatal("Dispatch has no dynamic call site")
+	}
+	var impls []string
+	for _, callee := range dyn.Callees {
+		impls = append(impls, callee.Name())
+	}
+	sort.Strings(impls)
+	want := []string{"callgraph.Cat.Speak", "callgraph.Dog.Speak"}
+	if !reflect.DeepEqual(impls, want) {
+		t.Errorf("CHA resolved %v, want %v", impls, want)
+	}
+}
+
+func TestCallGraphDirectCall(t *testing.T) {
+	t.Parallel()
+	m := loadFixtureModule(t, "callgraph", "areyouhuman/internal/fixture/callgraph")
+	g := m.Graph()
+	direct := nodeByName(t, g, "callgraph.Direct")
+	var static *CallSite
+	for _, site := range direct.Sites {
+		if len(site.Callees) > 0 {
+			static = site
+		}
+	}
+	if static == nil {
+		t.Fatal("Direct has no resolved call site")
+	}
+	if static.Dynamic {
+		t.Error("static call marked dynamic")
+	}
+	if len(static.Callees) != 1 || static.Callees[0].Name() != "callgraph.helper" {
+		t.Errorf("Direct resolves to %v, want [callgraph.helper]", static.Callees)
+	}
+}
+
+func TestGlobalAccessSummariesThroughRecursion(t *testing.T) {
+	t.Parallel()
+	m := loadFixtureModule(t, "callgraph", "areyouhuman/internal/fixture/callgraph")
+	g := m.Graph()
+	sums := g.GlobalAccessSummaries()
+	writesHits := func(name string) bool {
+		for v := range sums[nodeByName(t, g, name)].writes {
+			if v.Name() == "hits" {
+				return true
+			}
+		}
+		return false
+	}
+	// The write sits in recA; recB reaches it only through the cycle, and
+	// UseRec only through recA — both must inherit it at the fixpoint.
+	for _, name := range []string{"callgraph.recA", "callgraph.recB", "callgraph.UseRec"} {
+		if !writesHits(name) {
+			t.Errorf("summary of %s is missing the transitive write of hits", name)
+		}
+	}
+	if writesHits("callgraph.Direct") {
+		t.Error("Direct never reaches hits but its summary says it writes it")
+	}
+}
+
+// wallclockSpec is a minimal taint spec for the engine tests: time.Now is
+// the only source.
+func wallclockSpec() *TaintSpec {
+	return &TaintSpec{
+		Name: "test-wallclock",
+		CallSource: func(pkg *Package, call *ast.CallExpr) (TaintKind, string, bool) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return "", "", false
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Now" {
+				return "", "", false
+			}
+			return "wallclock", "time.Now", true
+		},
+	}
+}
+
+func TestTaintSummariesCrossPackage(t *testing.T) {
+	t.Parallel()
+	// The seedflow fixture spans two packages: the source lives in the
+	// timeutil sub-package and only the summary carries it into the root.
+	loader, err := NewLoader("testdata/src/seedflow")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	sub, err := loader.Load("testdata/src/seedflow/timeutil", "areyouhuman/internal/chaos/timeutil")
+	if err != nil {
+		t.Fatalf("load timeutil: %v", err)
+	}
+	root, err := loader.Load("testdata/src/seedflow", "areyouhuman/internal/chaos")
+	if err != nil {
+		t.Fatalf("load seedflow: %v", err)
+	}
+	m := NewModule(loader, sub, root)
+	g := m.Graph()
+	spec := wallclockSpec()
+	sums := g.TaintSummaries(spec)
+
+	taintOf := func(name string) *Taint { return sums[nodeByName(t, g, name)] }
+	if taintOf("timeutil.Jitter") == nil {
+		t.Fatal("timeutil.Jitter returns time.Now-derived data but its summary is clean")
+	}
+	jittered := taintOf("chaos.JitteredSeed")
+	if jittered == nil {
+		t.Fatal("chaos.JitteredSeed inherits taint across the package boundary but its summary is clean")
+	}
+	path := strings.Join(jittered.Path, " -> ")
+	if !strings.Contains(path, "timeutil.Jitter") {
+		t.Errorf("cross-package taint path %q does not name timeutil.Jitter", path)
+	}
+	if taintOf("chaos.FixedSeed") != nil {
+		t.Error("chaos.FixedSeed is pure but its summary carries taint")
+	}
+
+	// The summary map is cached per spec instance: a second request must be
+	// the same map, not a recomputation.
+	again := g.TaintSummaries(spec)
+	if reflect.ValueOf(sums).Pointer() != reflect.ValueOf(again).Pointer() {
+		t.Error("TaintSummaries recomputed instead of returning the cached map")
+	}
+}
+
+func TestModuleRunParallelDeterminism(t *testing.T) {
+	t.Parallel()
+	// Same module, same suite, different worker counts: the JSON encoding of
+	// the findings must be byte-identical — parallelism is a wall-clock knob
+	// only.
+	m := loadFixtureModule(t, "allocfree", "areyouhuman/internal/fixture/allocfree")
+	roots := m.Packages
+	encode := func(parallel int) string {
+		findings, _ := m.Run(Analyzers, parallel, roots)
+		data, err := json.Marshal(findings)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(data)
+	}
+	base := encode(1)
+	if len(base) == len("[]") {
+		t.Fatal("determinism test has no findings to compare")
+	}
+	for _, parallel := range []int{2, 8, 0} {
+		if got := encode(parallel); got != base {
+			t.Errorf("findings differ between -parallel 1 and -parallel %d:\n%s\nvs\n%s", parallel, base, got)
+		}
+	}
+}

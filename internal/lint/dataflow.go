@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Forward taint propagation over the call graph. A TaintSpec names the
+// sources; the engine computes, per function, whether any return value can
+// carry a source-derived value, iterating summaries to a fixpoint so
+// recursion and mutual recursion converge. Analyzers then run the
+// intraprocedural engine (FuncTaints) over the bodies they care about and
+// ask ExprTaint whether a given expression is derived from a source —
+// either directly, or through a call whose summary says "returns taint".
+//
+// The engine is flow-insensitive within a function (a variable tainted
+// anywhere is tainted everywhere) and over-approximates aggregates (any
+// tainted operand taints the whole expression). Both choices trade
+// precision for predictability: a finding's witness chain is always a real
+// syntactic path, and analysis cost stays linear in module size.
+
+// A TaintKind labels the origin class of a tainted value ("wallclock",
+// "mathrand", "maporder").
+type TaintKind string
+
+// A Taint records where a tainted value entered the program and through
+// which calls it traveled. Path holds function names, outermost first.
+type Taint struct {
+	Kind TaintKind
+	// Root is the position of the originating expression.
+	Root token.Pos
+	// Desc is a human-readable description of the source ("time.Now()").
+	Desc string
+	// Path lists the functions the value crossed to get here, source first.
+	Path []string
+}
+
+// A TaintSpec defines the sources for one propagation problem.
+type TaintSpec struct {
+	// Name keys the summary cache; must be unique per spec instance use.
+	Name string
+	// CallSource classifies a call expression as a source. Returns the
+	// kind, a description, and true when the call originates taint.
+	CallSource func(pkg *Package, call *ast.CallExpr) (TaintKind, string, bool)
+	// MapSelection, when set, treats a key or value drawn out of a map
+	// range that exits early (break/return in the body) as a source: the
+	// chosen element depends on Go's randomized map iteration order.
+	MapSelection bool
+	// SkipSource, when non-nil, suppresses sources at positions the
+	// analyzer has already sanctioned (annotated lines).
+	SkipSource func(pkg *Package, pos token.Pos) bool
+}
+
+// TaintSummaries computes, for every function in the graph, whether its
+// return values can carry spec-taint, propagating through call chains to a
+// fixpoint. The result maps each node to the taint its returns carry (nil
+// when clean). Cached per spec; safe for concurrent use.
+func (g *CallGraph) TaintSummaries(spec *TaintSpec) map[*CallNode]*Taint {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.taintCache == nil {
+		g.taintCache = map[*TaintSpec]map[*CallNode]*Taint{}
+	}
+	if sums, ok := g.taintCache[spec]; ok {
+		return sums
+	}
+	sums := map[*CallNode]*Taint{}
+	// Iterate to fixpoint: each round re-derives per-function taint with
+	// the previous round's summaries visible at call sites. The lattice is
+	// two-point (clean → tainted) per function, so rounds are bounded by
+	// the longest acyclic call chain; the cap is a safety valve.
+	for round := 0; round < 32; round++ {
+		changed := false
+		for _, node := range g.nodes {
+			if sums[node] != nil || node.Decl.Body == nil {
+				continue
+			}
+			ft := g.FuncTaints(spec, node, sums)
+			if t := ft.returnTaint(node.Decl); t != nil {
+				tt := *t
+				tt.Path = append(append([]string(nil), t.Path...), node.Name())
+				sums[node] = &tt
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	g.taintCache[spec] = sums
+	return sums
+}
+
+// FuncTaints is the intraprocedural engine: the set of tainted variables in
+// one declaration, given callee summaries.
+type FuncTaints struct {
+	spec *TaintSpec
+	node *CallNode
+	sums map[*CallNode]*Taint
+	vars map[types.Object]*Taint
+}
+
+// FuncTaints analyzes node's body and returns its tainted-variable map.
+// sums may be nil (no interprocedural summaries) or the result of
+// TaintSummaries.
+func (g *CallGraph) FuncTaints(spec *TaintSpec, node *CallNode, sums map[*CallNode]*Taint) *FuncTaints {
+	ft := &FuncTaints{spec: spec, node: node, sums: sums, vars: map[types.Object]*Taint{}}
+	if node.Decl.Body == nil {
+		return ft
+	}
+	info := node.Pkg.Info
+	// Repeat until the tainted-variable set stabilizes: an assignment seen
+	// before its source was discovered picks it up on a later sweep.
+	for round := 0; round < 10; round++ {
+		before := len(ft.vars)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				ft.assign(n)
+			case *ast.RangeStmt:
+				ft.rangeStmt(n)
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						if t := ft.ExprTaint(n.Values[i]); t != nil {
+							ft.mark(info.Defs[name], t)
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(ft.vars) == before {
+			break
+		}
+	}
+	return ft
+}
+
+func (ft *FuncTaints) mark(obj types.Object, t *Taint) {
+	if obj == nil || t == nil {
+		return
+	}
+	if _, ok := ft.vars[obj]; !ok {
+		ft.vars[obj] = t
+	}
+}
+
+func (ft *FuncTaints) assign(stmt *ast.AssignStmt) {
+	info := ft.node.Pkg.Info
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		for i, lhs := range stmt.Lhs {
+			rhs := stmt.Rhs[i]
+			var t *Taint
+			if stmt.Tok == token.ASSIGN || stmt.Tok == token.DEFINE {
+				t = ft.ExprTaint(rhs)
+			} else {
+				// Compound assignment (x += y): both sides contribute.
+				t = ft.ExprTaint(rhs)
+				if t == nil {
+					t = ft.ExprTaint(lhs)
+				}
+			}
+			ft.mark(objOf(lhs), t)
+		}
+		return
+	}
+	// Tuple form: v1, v2 := f(). One tainted source taints every target —
+	// the engine does not track which result carries it.
+	if len(stmt.Rhs) == 1 {
+		if t := ft.ExprTaint(stmt.Rhs[0]); t != nil {
+			for _, lhs := range stmt.Lhs {
+				ft.mark(objOf(lhs), t)
+			}
+		}
+	}
+}
+
+func (ft *FuncTaints) rangeStmt(stmt *ast.RangeStmt) {
+	info := ft.node.Pkg.Info
+	defOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	// Ranging over a tainted collection taints the drawn key and value.
+	if t := ft.ExprTaint(stmt.X); t != nil {
+		if stmt.Key != nil {
+			ft.mark(defOf(stmt.Key), t)
+		}
+		if stmt.Value != nil {
+			ft.mark(defOf(stmt.Value), t)
+		}
+		return
+	}
+	// Map-order selection: a map range that exits early picks an element
+	// determined by iteration order.
+	if !ft.spec.MapSelection {
+		return
+	}
+	if _, ok := info.TypeOf(stmt.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	if ft.skip(stmt.Pos()) || !rangeExitsEarly(stmt) {
+		return
+	}
+	t := &Taint{Kind: "maporder", Root: stmt.Pos(), Desc: "element selected by map iteration order"}
+	if stmt.Key != nil {
+		ft.mark(defOf(stmt.Key), t)
+	}
+	if stmt.Value != nil {
+		ft.mark(defOf(stmt.Value), t)
+	}
+}
+
+// rangeExitsEarly reports whether the range body can stop mid-iteration
+// (break or return), making the drawn element order-dependent. Exhaustive
+// iteration is the collect-then-sort idiom's first half and is maporder's
+// business, not taint's.
+func rangeExitsEarly(stmt *ast.RangeStmt) bool {
+	early := false
+	ast.Inspect(stmt.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				early = true
+			}
+		case *ast.ReturnStmt:
+			early = true
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // inner break/return doesn't exit our loop
+		}
+		return !early
+	})
+	return early
+}
+
+func (ft *FuncTaints) skip(pos token.Pos) bool {
+	return ft.spec.SkipSource != nil && ft.spec.SkipSource(ft.node.Pkg, pos)
+}
+
+// ExprTaint reports the taint carried by e, or nil.
+func (ft *FuncTaints) ExprTaint(e ast.Expr) *Taint {
+	var found *Taint
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := ft.node.Pkg.Info.Uses[n]; obj != nil {
+				if t, ok := ft.vars[obj]; ok {
+					found = t
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if t := ft.callTaint(n); t != nil {
+				found = t
+				return false
+			}
+		case *ast.FuncLit:
+			return false // a closure value is not itself tainted
+		}
+		return true
+	})
+	return found
+}
+
+// callTaint classifies one call: a spec source, or a module-local callee
+// whose summary says its returns are tainted.
+func (ft *FuncTaints) callTaint(call *ast.CallExpr) *Taint {
+	if ft.spec.CallSource != nil && !ft.skip(call.Pos()) {
+		if kind, desc, ok := ft.spec.CallSource(ft.node.Pkg, call); ok {
+			return &Taint{Kind: kind, Root: call.Pos(), Desc: desc}
+		}
+	}
+	if ft.sums == nil {
+		return nil
+	}
+	for _, callee := range ftCallees(ft, call) {
+		if t := ft.sums[callee]; t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+func ftCallees(ft *FuncTaints, call *ast.CallExpr) []*CallNode {
+	if site, ok := ft.node.siteByCall[call]; ok {
+		return site.Callees
+	}
+	return nil
+}
+
+// returnTaint reports whether any return statement of decl (excluding
+// nested function literals) returns a tainted value. Bare returns check the
+// named results.
+func (ft *FuncTaints) returnTaint(decl *ast.FuncDecl) *Taint {
+	if decl.Body == nil || decl.Type.Results == nil {
+		return nil
+	}
+	var found *Taint
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				// Bare return: named results carry whatever they hold.
+				for _, field := range decl.Type.Results.List {
+					for _, name := range field.Names {
+						if obj := ft.node.Pkg.Info.Defs[name]; obj != nil {
+							if t, ok := ft.vars[obj]; ok {
+								found = t
+								return false
+							}
+						}
+					}
+				}
+				return true
+			}
+			for _, res := range n.Results {
+				if t := ft.ExprTaint(res); t != nil {
+					found = t
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+	return found
+}
+
+// TaintedVars exposes the tainted-variable set for tests.
+func (ft *FuncTaints) TaintedVars() map[types.Object]*Taint { return ft.vars }

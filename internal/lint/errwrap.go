@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errwrap polices the facade's error contract: every error that leaves the
+// root areyouhuman package must be classifiable by a caller holding only
+// the public API — one of the errors.go sentinels, one of its typed errors,
+// or a fmt.Errorf("...%w...") wrap of something else. The sanctioned
+// vocabulary is read off errors.go itself: package-level error variables
+// (and the internal sentinels they re-export), error types declared or
+// aliased at the root. What errwrap rejects is the error that answers to
+// neither — a raw return of an internal package's error (errors.Is works
+// today by luck of re-exported sentinels, but the message leaks internal
+// vocabulary and the next internal refactor breaks the caller), an inline
+// errors.New, or a fmt.Errorf without %w (it *erases* the cause chain at
+// the exact boundary where callers start relying on it).
+//
+// The analysis is interprocedural within the root package: a function
+// returning the result of another root function inherits that callee's
+// discipline (fixpoint, so helper chains and recursion converge). Calls
+// into internal packages are the boundary: their result must be wrapped at
+// the return, not trusted. Calls that leave the module (stdlib, function
+// values) are trusted — flagging ctx.Err() would be noise.
+var Errwrap = &Analyzer{
+	Name:      "errwrap",
+	Doc:       "errors returned by the facade must be errors.go sentinels/typed errors or wrapped via %w",
+	RunModule: runErrwrap,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// errwrapVocab is the sanctioned error vocabulary of the root package.
+type errwrapVocab struct {
+	root *Package
+	// vars holds sanctioned sentinel objects: root package-level error
+	// variables plus the internal variables they alias.
+	vars map[types.Object]bool
+	// named holds sanctioned error types: root-declared error types plus
+	// alias targets.
+	named map[*types.TypeName]bool
+}
+
+func runErrwrap(pass *ModulePass) {
+	m := pass.Module
+	root := m.Package(m.Loader.ModulePath)
+	if root == nil {
+		return
+	}
+	vocab := collectVocab(root)
+	e := &errwrapPass{pass: pass, vocab: vocab, disciplined: map[*CallNode]bool{}}
+
+	// Fixpoint over root functions: start optimistic (everything
+	// disciplined), re-classify until stable. Optimistic initialization is
+	// what makes recursion converge to the right answer: a cycle of
+	// functions that only ever return each other's results stays
+	// disciplined unless some member introduces a bad error.
+	var rootNodes []*CallNode
+	for _, node := range pass.Graph.SortedNodes() {
+		if node.Pkg == root {
+			rootNodes = append(rootNodes, node)
+			e.disciplined[node] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range rootNodes {
+			if !e.disciplined[node] {
+				continue
+			}
+			if e.checkNode(node, false) {
+				e.disciplined[node] = false
+				changed = true
+			}
+		}
+	}
+	for _, node := range rootNodes {
+		e.checkNode(node, true)
+	}
+}
+
+// collectVocab reads the sanctioned sentinels and types off the root
+// package's declarations.
+func collectVocab(root *Package) *errwrapVocab {
+	v := &errwrapVocab{root: root, vars: map[types.Object]bool{}, named: map[*types.TypeName]bool{}}
+	scope := root.Types.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Var:
+			if types.Implements(obj.Type(), errorIface) {
+				v.vars[obj] = true
+			}
+		case *types.TypeName:
+			t := obj.Type()
+			if types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface) {
+				v.named[obj] = true
+				// An alias (type DeployError = experiment.DeployError)
+				// sanctions the target type too.
+				if named, ok := t.(*types.Named); ok {
+					v.named[named.Obj()] = true
+				}
+			}
+		}
+	}
+	// The initializer of a sanctioned root sentinel re-exports an internal
+	// one (var ErrClosed = simclock.ErrClosed): sanction the internal
+	// object as well, so returning it raw classifies as the sentinel it is.
+	for _, file := range root.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) || !v.vars[root.Info.Defs[name]] {
+						continue
+					}
+					if sel, ok := ast.Unparen(vs.Values[i]).(*ast.SelectorExpr); ok {
+						if obj, ok := root.Info.Uses[sel.Sel].(*types.Var); ok {
+							v.vars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+type errwrapPass struct {
+	pass        *ModulePass
+	vocab       *errwrapVocab
+	disciplined map[*CallNode]bool
+}
+
+// checkNode classifies every error-position return expression in node's
+// declaration and its nested function literals. With report set, findings
+// are emitted; it returns whether anything classified bad.
+func (e *errwrapPass) checkNode(node *CallNode, report bool) bool {
+	if node.Decl.Body == nil {
+		return false
+	}
+	sig, ok := node.Func.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return e.checkFuncBody(node, node.Decl.Body, sig, report)
+}
+
+// checkFuncBody walks body's own returns (pruning nested literals, which
+// are checked against their own signatures) and recurses into literals.
+func (e *errwrapPass) checkFuncBody(node *CallNode, body *ast.BlockStmt, sig *types.Signature, report bool) bool {
+	info := node.Pkg.Info
+	bad := false
+	errIdx := map[int]bool{}
+	if res := sig.Results(); res != nil {
+		for i := 0; i < res.Len(); i++ {
+			if types.Identical(res.At(i).Type(), errorIface) || res.At(i).Type().String() == "error" {
+				errIdx[i] = true
+			}
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litSig, ok := info.TypeOf(n).(*types.Signature)
+			if ok {
+				if e.checkFuncBody(node, n.Body, litSig, report) {
+					bad = true
+				}
+			}
+			return false
+		case *ast.ReturnStmt:
+			if len(errIdx) == 0 {
+				return true
+			}
+			// `return f()` forwarding a multi-result call: the error among
+			// the tuple is whatever the call produces.
+			if len(n.Results) == 1 && sig.Results().Len() > 1 {
+				if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+					if ok, why := e.classifyCall(node, call); !ok {
+						bad = true
+						if report {
+							e.pass.Reportf(call.Pos(), "%s; return an errors.go sentinel/typed error or wrap the cause: fmt.Errorf(\"areyouhuman: %%w\", err)", why)
+						}
+					}
+				}
+				return true
+			}
+			if len(n.Results) != sig.Results().Len() {
+				return true // bare returns pass
+			}
+			for i, res := range n.Results {
+				if !errIdx[i] {
+					continue
+				}
+				if ok, why := e.classify(node, body, res, 0); !ok {
+					bad = true
+					if report {
+						e.pass.Reportf(res.Pos(), "%s; return an errors.go sentinel/typed error or wrap the cause: fmt.Errorf(\"areyouhuman: %%w\", err)", why)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return bad
+}
+
+// classify decides whether expr is a sanctioned facade error. The second
+// result explains a rejection.
+func (e *errwrapPass) classify(node *CallNode, body *ast.BlockStmt, expr ast.Expr, depth int) (bool, string) {
+	if depth > 4 {
+		return true, "" // deep provenance chains pass; the assignments en route were checked
+	}
+	info := node.Pkg.Info
+	expr = ast.Unparen(expr)
+	if tv, ok := info.Types[expr]; ok {
+		if tv.IsNil() {
+			return true, ""
+		}
+		// A value statically typed as a sanctioned error type (or pointer
+		// to one) is classifiable by errors.As.
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && e.vocab.named[named.Obj()] {
+			return true, ""
+		}
+	}
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			if e.vocab.vars[obj] {
+				return true, ""
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() == node.Pkg.Types {
+				return e.classifyVar(node, body, v, depth)
+			}
+		}
+		return true, ""
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil && e.vocab.vars[obj] {
+			return true, ""
+		}
+		// A field read or a foreign package's variable: trusted — the
+		// discipline applies to what this package constructs and forwards.
+		return true, ""
+	case *ast.CallExpr:
+		return e.classifyCall(node, x)
+	}
+	return true, ""
+}
+
+// classifyVar traces a local error variable to its assignments within the
+// enclosing body.
+func (e *errwrapPass) classifyVar(node *CallNode, body *ast.BlockStmt, v *types.Var, depth int) (bool, string) {
+	info := node.Pkg.Info
+	ok, why := true, ""
+	check := func(rhs ast.Expr) {
+		if !ok {
+			return
+		}
+		if good, w := e.classify(node, body, rhs, depth+1); !good {
+			ok, why = false, w
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != v {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					check(n.Rhs[i])
+				} else if len(n.Rhs) == 1 {
+					check(n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if info.Defs[name] == v && i < len(n.Values) {
+					check(n.Values[i])
+				}
+			}
+		}
+		return ok
+	})
+	return ok, why
+}
+
+// classifyCall decides whether a call produces a sanctioned error.
+func (e *errwrapPass) classifyCall(node *CallNode, call *ast.CallExpr) (bool, string) {
+	info := node.Pkg.Info
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() + "." + fn.Name() {
+			case "fmt.Errorf":
+				if len(call.Args) > 0 {
+					if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+						return false, "fmt.Errorf without %w erases the cause chain at the facade boundary"
+					}
+				}
+				return true, ""
+			case "errors.New":
+				return false, "inline errors.New escapes the facade unclassifiable; declare a sentinel in errors.go"
+			}
+		}
+	}
+	for _, callee := range e.calleesOf(node, call) {
+		if callee.Pkg == e.vocab.root {
+			if !e.disciplined[callee] {
+				return false, "call to " + callee.Name() + ", which returns undisciplined errors"
+			}
+			return true, ""
+		}
+		return false, "error from " + callee.Pkg.Types.Name() + "." + callee.Func.Name() + " crosses the facade unwrapped"
+	}
+	// Stdlib, interface, and function-value calls are trusted.
+	return true, ""
+}
+
+func (e *errwrapPass) calleesOf(node *CallNode, call *ast.CallExpr) []*CallNode {
+	if site, ok := node.siteByCall[call]; ok && !site.Dynamic {
+		return site.Callees
+	}
+	return nil
+}

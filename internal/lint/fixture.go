@@ -2,8 +2,10 @@ package lint
 
 import (
 	"fmt"
+	"io/fs"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,6 +46,93 @@ func RunFixture(t TB, analyzers []*Analyzer, dir, fixture, importPath string) {
 	if err != nil {
 		t.Fatalf("lint fixture %s: %v", fixture, err)
 	}
+	matchWants(t, fixture, findings, wants)
+}
+
+// RunModuleFixture loads testdata/src/<fixture> as a fabricated module: the
+// fixture root becomes importPath, and every nested directory holding Go
+// files becomes importPath + "/" + its slash-relative path. Sub-packages
+// load before the root, so the root's imports of those fabricated paths
+// resolve through the loader's memo table to the fixture tree rather than
+// to whatever real package lives at the same import path. The suite —
+// module analyzers included — then runs over the assembled module with
+// every fixture package as a reporting root, and findings must match the
+// fixture's want comments exactly.
+//
+// Sub-packages may import each other only in sorted path order; an earlier
+// path importing a later one falls through the memo to the real module tree
+// and fails loudly.
+func RunModuleFixture(t TB, suite []*Analyzer, dir, fixture, importPath string) {
+	t.Helper()
+	fixDir := filepath.Join(dir, "testdata", "src", fixture)
+	loader, err := NewLoader(fixDir)
+	if err != nil {
+		t.Fatalf("lint module fixture %s: %v", fixture, err)
+	}
+	subs, err := fixtureSubdirs(fixDir)
+	if err != nil {
+		t.Fatalf("lint module fixture %s: %v", fixture, err)
+	}
+	var pkgs []*Package
+	for _, rel := range subs {
+		p, err := loader.Load(filepath.Join(fixDir, filepath.FromSlash(rel)), importPath+"/"+rel)
+		if err != nil {
+			t.Fatalf("lint module fixture %s/%s: %v", fixture, rel, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	root, err := loader.Load(fixDir, importPath)
+	if err != nil {
+		t.Fatalf("lint module fixture %s: %v", fixture, err)
+	}
+	pkgs = append(pkgs, root)
+	module := NewModule(loader, pkgs...)
+	findings, _ := module.Run(suite, 1, pkgs)
+	var wants []want
+	for _, p := range pkgs {
+		ws, err := collectWants(p)
+		if err != nil {
+			t.Fatalf("lint module fixture %s: %v", fixture, err)
+		}
+		wants = append(wants, ws...)
+	}
+	matchWants(t, fixture, findings, wants)
+}
+
+// fixtureSubdirs returns the slash-relative path of every directory nested
+// under root that contains non-test Go files, sorted.
+func fixtureSubdirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil || rel == "." {
+			return err
+		}
+		seen[filepath.ToSlash(rel)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]string, 0, len(seen))
+	for rel := range seen {
+		subs = append(subs, rel)
+	}
+	sort.Strings(subs)
+	return subs, nil
+}
+
+// matchWants pairs findings against want expectations, failing on both
+// unexpected findings and unmatched wants.
+func matchWants(t TB, fixture string, findings []Finding, wants []want) {
+	t.Helper()
 	matched := make([]bool, len(wants))
 	for _, f := range findings {
 		ok := false
@@ -58,7 +147,7 @@ func RunFixture(t TB, analyzers []*Analyzer, dir, fixture, importPath string) {
 			}
 		}
 		if !ok {
-			t.Errorf("%s: unexpected finding: %s: %s", fixture, f.Analyzer, f.Message)
+			t.Errorf("%s: unexpected finding: %s:%d: %s: %s", fixture, filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
 		}
 	}
 	for i, w := range wants {

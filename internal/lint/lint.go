@@ -39,12 +39,28 @@ type Analyzer struct {
 	// Tokens lists the annotation tokens (beyond the generic "allow") that
 	// suppress this analyzer's findings, e.g. "sorted" for maporder.
 	Tokens []string
-	// Run performs the analysis.
+	// Run performs a per-package analysis. Exactly one of Run and RunModule
+	// is set.
 	Run func(*Pass)
+	// RunModule performs a whole-module analysis over the call graph
+	// (seedflow, shardflow, allocfree, errwrap). Module analyzers only
+	// execute under Module.Run; the per-package RunAnalyzers entry point
+	// skips them.
+	RunModule func(*ModulePass)
 }
 
-// Analyzers is the full suite, in reporting order.
-var Analyzers = []*Analyzer{Detrand, Maporder, Clockwait, Seedpure, Metriclabel, Shardsafe}
+// Analyzers is the full suite, in reporting order: the per-package
+// analyzers first, then the interprocedural ones. Populated in init — the
+// module analyzers consult the suite at run time (to resolve annotation
+// tokens), and a literal initializer would be an initialization cycle.
+var Analyzers []*Analyzer
+
+func init() {
+	Analyzers = []*Analyzer{
+		Detrand, Maporder, Clockwait, Seedpure, Metriclabel, Shardsafe,
+		Seedflow, Shardflow, Allocfree, Errwrap,
+	}
+}
 
 // A Pass carries one analyzer's view of one package.
 type Pass struct {
@@ -117,6 +133,9 @@ func IsSimPackage(importPath string) bool {
 func RunAnalyzers(pkg *Package, suite []*Analyzer) []Finding {
 	var raw []Finding
 	for _, a := range suite {
+		if a.Run == nil {
+			continue // module analyzers need Module.Run
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -221,6 +240,12 @@ func collectAnnotations(pkg *Package, suite []*Analyzer) (annotationSet, []Findi
 				just = strings.TrimSpace(just)
 				var silenced []string
 				switch {
+				case tok == hotpathToken:
+					// Not a suppression: //phishlint:hotpath marks a function
+					// for the allocfree analyzer (which reads it off the
+					// declaration itself). It tightens checking rather than
+					// relaxing it, so no justification is required.
+					continue
 				case tok == "allow":
 					name, j, _ := strings.Cut(just, " ")
 					just = strings.TrimSpace(j)

@@ -5,44 +5,49 @@ import (
 	"testing"
 )
 
-// TestRepoIsLintClean is the in-tree half of the phishlint gate: it runs the
-// full analyzer suite over every package of the live module, so `go test
-// ./...` fails on a new determinism violation even when CI (which also runs
-// `go run ./cmd/phishlint ./...`) is out of the loop. Fixing a failure means
-// either making the code deterministic or adding a justified
-// //phishlint:<token> annotation — see DESIGN.md §11.
+// TestRepoIsLintClean is the in-tree half of the phishlint gate: it loads
+// the live module once and runs the full analyzer suite — per-package and
+// interprocedural — over every package, so `go test ./...` fails on a new
+// determinism, aliasing, allocation, or error-discipline violation even when
+// CI (which also runs `go run ./cmd/phishlint ./...`) is out of the loop.
+// Fixing a failure means either making the code conform or adding a
+// justified //phishlint:<token> annotation — see DESIGN.md §11 and §16.
 func TestRepoIsLintClean(t *testing.T) {
 	t.Parallel()
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatalf("loader: %v", err)
-	}
-	targets, err := WalkPackages(loader, loader.ModuleRoot)
-	if err != nil {
-		t.Fatalf("walking module: %v", err)
-	}
-	// A walker regression that silently skipped most of the tree would make
-	// this test pass vacuously; the module has 40+ packages.
-	if len(targets) < 30 {
-		t.Fatalf("walker found only %d packages, expected the whole module (40+)", len(targets))
-	}
-	var total int
-	for _, tgt := range targets {
-		pkg, err := loader.Load(tgt.Dir, tgt.Path)
-		if err != nil {
-			t.Errorf("loading %s: %v", tgt.Path, err)
-			continue
-		}
-		for _, f := range RunAnalyzers(pkg, Analyzers) {
-			rel, err := filepath.Rel(loader.ModuleRoot, f.Pos.Filename)
-			if err != nil {
-				rel = f.Pos.Filename
+	// The gate is only worth its name if the interprocedural analyzers are
+	// actually in the suite being run.
+	for _, required := range []string{"seedflow", "shardflow", "allocfree", "errwrap"} {
+		found := false
+		for _, a := range Analyzers {
+			if a.Name == required {
+				found = true
 			}
-			t.Errorf("%s:%d:%d: %s: %s", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
-			total++
+		}
+		if !found {
+			t.Fatalf("module analyzer %q missing from the default suite", required)
 		}
 	}
-	if total > 0 {
-		t.Logf("%d determinism finding(s); fix them or annotate with //phishlint:<token> <why> (DESIGN.md §11)", total)
+	module, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	// A loader regression that silently skipped most of the tree would make
+	// this test pass vacuously; the module has 40+ packages.
+	if len(module.Packages) < 30 {
+		t.Fatalf("loader found only %d packages, expected the whole module (40+)", len(module.Packages))
+	}
+	findings, timings := module.Run(Analyzers, 0, module.Packages)
+	for _, f := range findings {
+		rel, err := filepath.Rel(module.Loader.ModuleRoot, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		t.Errorf("%s:%d:%d: %s: %s", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d finding(s); fix them or annotate with //phishlint:<token> <why> (DESIGN.md §11, §16)", len(findings))
+	}
+	for _, tm := range timings {
+		t.Logf("%-12s %s", tm.Name, tm.Duration)
 	}
 }

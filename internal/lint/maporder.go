@@ -18,9 +18,11 @@ import (
 //   - order-insensitive bodies (summing, counting, building another map,
 //     deleting keys);
 //   - the collect-then-sort idiom: the loop appends to a slice and a later
-//     statement in the same block sorts it (sort.* / slices.*) before
-//     anything else observes it — intervening statements may touch other
-//     state (RUnlock, say) or be further collect loops into the same slice.
+//     statement in the same block sorts it before anything else observes it
+//     — either directly (sort.* / slices.*) or through a same-package
+//     helper whose body sorts the corresponding parameter (`sortKeys(xs)`
+//     or `xs = sortKeys(xs)`); intervening statements may touch other state
+//     (RUnlock, say) or be further collect loops into the same slice.
 //
 // Anything else that is provably harmless — an order-insensitive sum, a
 // slice the caller sorts — gets a //phishlint:sorted <why> annotation on the
@@ -95,7 +97,7 @@ func collectSortedLater(pass *Pass, file *ast.File) map[*ast.RangeStmt]bool {
 			obj := sink.appendTo
 			for j := i + 1; j < len(stmts); j++ {
 				next := stmts[j]
-				if sortsObject(pass, next, obj) {
+				if sortsObject(pass, next, obj) || helperSorts(pass, next, obj) {
 					safe[rs] = true
 					break
 				}
@@ -150,6 +152,103 @@ func sortsObject(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
 		}
 	}
 	return false
+}
+
+// helperSorts reports whether stmt delegates the sort to a same-package
+// helper: a call (statement or `xs = helper(xs)` assignment) passing obj,
+// where the helper's body sorts the corresponding parameter. This keeps the
+// collect-then-sort idiom recognized after the sort is factored out.
+func helperSorts(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			call, _ = s.Rhs[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return false
+	}
+	argIdx := -1
+	for i, arg := range call.Args {
+		if exprObject(pass, arg) == obj {
+			argIdx = i
+			break
+		}
+	}
+	if argIdx < 0 {
+		return false
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || pass.Info.Defs[fd.Name] != fn || fd.Body == nil {
+				continue
+			}
+			params := paramObjects(pass, fd)
+			if argIdx >= len(params) {
+				return false
+			}
+			return bodySorts(pass, fd.Body, params[argIdx])
+		}
+	}
+	return false
+}
+
+// paramObjects lists a declaration's parameter objects in signature order.
+func paramObjects(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			objs = append(objs, pass.Info.Defs[name])
+		}
+	}
+	return objs
+}
+
+// bodySorts reports whether body contains a sort.*/slices.* call with param
+// among its arguments.
+func bodySorts(pass *Pass, body *ast.BlockStmt, param types.Object) bool {
+	if param == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprObject(pass, arg) == param {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // mentionsObject reports whether obj is referenced anywhere in stmt.

@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Module is every package of the repository loaded through one Loader:
+// the unit the interprocedural analyzers (seedflow, shardflow, allocfree,
+// errwrap) operate on. Per-package analyzers see one package at a time; a
+// Module additionally owns the shared call graph and the merged annotation
+// set, so a helper in package A can sanction or incriminate a caller in
+// package B.
+type Module struct {
+	Loader *Loader
+	// Packages is every loaded module package, sorted by import path.
+	Packages []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	annsOnce sync.Once
+	anns     annotationSet
+	annsBad  []Finding
+}
+
+// LoadModule loads every package of the module containing dir — the
+// whole-module equivalent of Loader.Load. Each package (and each stdlib
+// dependency) is parsed and type-checked exactly once; the Loader's memo
+// table is the cross-package cache.
+func LoadModule(dir string) (*Module, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := WalkPackages(loader, loader.ModuleRoot)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		p, err := loader.Load(t.Dir, t.Path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return NewModule(loader, pkgs...), nil
+}
+
+// NewModule wraps already-loaded packages as a Module. Fixture tests use
+// this to assemble small multi-package modules under fabricated import
+// paths.
+func NewModule(loader *Loader, pkgs ...*Package) *Module {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	return &Module{Loader: loader, Packages: sorted}
+}
+
+// AddPackage loads the single package at dir under the given import path
+// and adds it to the module's analysis set. The driver uses it for
+// explicitly-requested directories the module walk skips (fixture trees
+// under testdata/), so sanity drives like
+// `phishlint ./internal/lint/testdata/src/detrand` stay runnable. Must be
+// called before the first Run or Graph.
+func (m *Module) AddPackage(dir, path string) (*Package, error) {
+	p, err := m.Loader.Load(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	m.Packages = append(m.Packages, p)
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
+	return p, nil
+}
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = buildCallGraph(m.Packages) })
+	return m.graph
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (m *Module) Package(path string) *Package {
+	for _, p := range m.Packages {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// annotations collects //phishlint annotations across every module package
+// once, resolved against the full analyzer suite (module analyzers
+// included, so "allow seedflow" parses). Malformed annotations become
+// findings.
+func (m *Module) annotations() (annotationSet, []Finding) {
+	m.annsOnce.Do(func() {
+		for _, pkg := range m.Packages {
+			anns, bad := collectAnnotations(pkg, Analyzers)
+			m.anns = append(m.anns, anns...)
+			m.annsBad = append(m.annsBad, bad...)
+		}
+	})
+	return m.anns, m.annsBad
+}
+
+// Annotated reports whether pos sits on a line whose annotation silences
+// the named analyzer. Module analyzers use this to skip sanctioned taint
+// sources (an annotated //phishlint:wallclock read must not seed the
+// interprocedural engine, or every transitive caller would light up).
+func (m *Module) Annotated(analyzer string, pos token.Pos) bool {
+	anns, _ := m.annotations()
+	p := m.Loader.Fset.Position(pos)
+	return anns.suppresses(Finding{Analyzer: analyzer, Pos: p})
+}
+
+// A ModulePass carries one module analyzer's view of the whole module.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Graph    *CallGraph
+
+	findings *[]Finding
+}
+
+// Fset returns the module's shared FileSet.
+func (p *ModulePass) Fset() *token.FileSet { return p.Module.Loader.Fset }
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset().Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// An AnalyzerTiming records one analyzer's total wall-clock cost in a
+// Module.Run (summed across packages for per-package analyzers).
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Run executes the suite over the module and returns the surviving
+// findings, restricted to the given root packages (the targets the user
+// asked about — summaries still span the whole module, so a helper outside
+// the roots participates in the analysis even when findings in it are not
+// reported).
+//
+// parallel bounds worker goroutines (<=0 means GOMAXPROCS). Parallelism is
+// a wall-clock knob only: findings are globally sorted by position, then
+// analyzer, then message, so output is byte-identical for any value.
+func (m *Module) Run(suite []*Analyzer, parallel int, roots []*Package) ([]Finding, []AnalyzerTiming) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	rootDirs := map[string]bool{}
+	for _, p := range roots {
+		rootDirs[p.Dir] = true
+	}
+	inRoots := func(f Finding) bool { return rootDirs[filepath.Dir(f.Pos.Filename)] }
+
+	var timingMu sync.Mutex
+	timings := map[string]time.Duration{}
+	record := func(name string, d time.Duration) {
+		timingMu.Lock()
+		timings[name] += d
+		timingMu.Unlock()
+	}
+
+	// Annotations span the whole module; malformed ones are findings only
+	// inside the roots.
+	anns, badAll := m.annotations()
+	var raw []Finding
+	for _, f := range badAll {
+		if inRoots(f) {
+			raw = append(raw, f)
+		}
+	}
+
+	// Per-package analyzers fan out across root packages. The call graph is
+	// built up front (serially, under its own timing entry) so module
+	// analyzers started afterwards never race on construction.
+	var hasModule bool
+	for _, a := range suite {
+		if a.RunModule != nil {
+			hasModule = true
+		}
+	}
+	var graph *CallGraph
+	if hasModule {
+		start := time.Now()
+		graph = m.Graph()
+		record("callgraph", time.Since(start))
+	}
+
+	type job func() []Finding
+	var jobs []job
+	for _, pkg := range roots {
+		pkg := pkg
+		jobs = append(jobs, func() []Finding {
+			var out []Finding
+			for _, a := range suite {
+				if a.Run == nil {
+					continue
+				}
+				start := time.Now()
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Path:     pkg.Path,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					findings: &out,
+				}
+				a.Run(pass)
+				record(a.Name, time.Since(start))
+			}
+			return out
+		})
+	}
+	for _, a := range suite {
+		a := a
+		if a.RunModule == nil {
+			continue
+		}
+		jobs = append(jobs, func() []Finding {
+			start := time.Now()
+			var out []Finding
+			pass := &ModulePass{Analyzer: a, Module: m, Graph: graph, findings: &out}
+			a.RunModule(pass)
+			record(a.Name, time.Since(start))
+			// Module analyzers see the whole module; report only inside the
+			// requested roots.
+			kept := out[:0]
+			for _, f := range out {
+				if inRoots(f) {
+					kept = append(kept, f)
+				}
+			}
+			return kept
+		})
+	}
+
+	results := make([][]Finding, len(jobs))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = j()
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		raw = append(raw, r...)
+	}
+
+	var findings []Finding
+	for _, f := range raw {
+		if f.Analyzer != "annotation" && anns.suppresses(f) {
+			continue
+		}
+		f.File = f.Pos.Filename
+		f.Line = f.Pos.Line
+		f.Col = f.Pos.Column
+		findings = append(findings, f)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	out := make([]AnalyzerTiming, 0, len(timings))
+	for name, d := range timings {
+		out = append(out, AnalyzerTiming{Name: name, Duration: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return findings, out
+}

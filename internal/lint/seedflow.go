@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Seedflow is the interprocedural upgrade of seedpure: where seedpure flags
+// the forbidden constructs syntactically, one package at a time, seedflow
+// tracks the *values* — a wall-clock read, a math/rand draw, or a
+// map-iteration-order selection — through any chain of module-local calls,
+// and reports when such a value reaches sim-visible state in the
+// seed-derivation packages (chaos, core, campaign, population). A helper in
+// a neutral package that returns time.Now-derived data is invisible to
+// seedpure; the moment a scoped package folds that return into SplitSeed,
+// stores it into a struct, or returns it from an exported function,
+// seedflow names the whole chain.
+//
+// Sinks, inside the scoped packages:
+//
+//   - a tainted argument to the seed-derivation helpers (SplitSeed, mix64,
+//     u01, splitmix64);
+//   - a tainted value stored through a field or index (sim-visible state);
+//   - a tainted value returned from an exported function (it escapes to
+//     callers that trust the package's purity contract).
+//
+// And in any module package: a tainted argument passed into a scoped
+// package's function — laundering a clock read through cmd/ or the facade
+// before handing it to the planner is the same bug one call later.
+//
+// Sources on lines annotated //phishlint:wallclock are sanctioned
+// (telemetry's throughput metrics) and do not seed the engine.
+var Seedflow = &Analyzer{
+	Name:      "seedflow",
+	Doc:       "no wall-clock, math/rand, or map-order derived value may reach seed-derivation state through any call chain",
+	Tokens:    []string{"wallclock"},
+	RunModule: runSeedflow,
+}
+
+// seedDerivers are the helpers whose inputs must be pure in (seed, index).
+var seedDerivers = map[string]bool{"SplitSeed": true, "mix64": true, "u01": true, "splitmix64": true}
+
+func runSeedflow(pass *ModulePass) {
+	m := pass.Module
+	spec := &TaintSpec{
+		Name:         "seedflow",
+		MapSelection: true,
+		CallSource: func(pkg *Package, call *ast.CallExpr) (TaintKind, string, bool) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return "", "", false
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return "", "", false
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					return "wallclock", "time." + fn.Name(), true
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level draws advance the shared global stream, so
+				// their values depend on call order across the whole
+				// process. Methods on a locally-seeded generator
+				// (rand.New(rand.NewSource(seed))) are order-independent
+				// per construction site — detrand already polices which
+				// constructors are acceptable where.
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() == nil && !detrandRandOK[fn.Name()] {
+					return "mathrand", fn.Pkg().Path() + "." + fn.Name(), true
+				}
+			}
+			return "", "", false
+		},
+		SkipSource: func(pkg *Package, pos token.Pos) bool {
+			// Sanctioned sources: annotated lines, and anything inside the
+			// exempt substrates (simclock IS the wall-clock boundary — a
+			// value it returns is already quarantined behind its API).
+			return simExempt[pkg.Path] || m.Annotated("seedflow", pos)
+		},
+	}
+	sums := pass.Graph.TaintSummaries(spec)
+	for _, node := range pass.Graph.SortedNodes() {
+		if node.Decl.Body == nil || simExempt[node.Pkg.Path] {
+			continue
+		}
+		ft := pass.Graph.FuncTaints(spec, node, sums)
+		if len(ft.TaintedVars()) == 0 && !anyCallTaint(ft, node) {
+			// Fast path: nothing tainted flows through this function at all.
+			continue
+		}
+		if seedpureScope[node.Pkg.Path] {
+			checkScopedSinks(pass, ft, node)
+		}
+		checkScopeEntry(pass, ft, node)
+	}
+}
+
+// anyCallTaint reports whether any call in node returns taint per the
+// summaries or originates it — the cheap screen before sink checking.
+func anyCallTaint(ft *FuncTaints, node *CallNode) bool {
+	found := false
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && ft.callTaint(call) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkScopedSinks reports tainted values reaching sim-visible state inside
+// a seed-derivation package.
+func checkScopedSinks(pass *ModulePass, ft *FuncTaints, node *CallNode) {
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeSimpleName(info, n)
+			if !seedDerivers[name] {
+				return true
+			}
+			for _, arg := range n.Args {
+				if t := ft.ExprTaint(arg); t != nil {
+					pass.Reportf(arg.Pos(), "%s reaches %s; seed draws must be pure functions of (seed, index, label)", describeTaint(t), name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if t := ft.ExprTaint(n.Rhs[i]); t != nil {
+						pass.Reportf(n.Rhs[i].Pos(), "%s stored into sim-visible state; derive it from the world seed instead", describeTaint(t))
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !node.Decl.Name.IsExported() {
+		return
+	}
+	// Exported-return sink: walk returns of the declaration itself, pruning
+	// nested closures (their returns answer to their own signatures).
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t := ft.ExprTaint(res); t != nil {
+					pass.Reportf(res.Pos(), "%s returned from exported %s; callers rely on this package's purity contract", describeTaint(t), node.Decl.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkScopeEntry reports tainted arguments handed into a seed-derivation
+// package from outside it — laundering at the boundary.
+func checkScopeEntry(pass *ModulePass, ft *FuncTaints, node *CallNode) {
+	for _, site := range node.Sites {
+		for _, callee := range site.Callees {
+			if !seedpureScope[callee.Pkg.Path] || callee.Pkg == node.Pkg {
+				continue
+			}
+			if seedpureScope[node.Pkg.Path] && seedDerivers[callee.Func.Name()] {
+				continue // already reported by the deriver-argument sink
+			}
+			for _, arg := range site.Call.Args {
+				if t := ft.ExprTaint(arg); t != nil {
+					pass.Reportf(arg.Pos(), "%s passed into %s; the seed-derivation packages must only see seed-pure inputs", describeTaint(t), callee.Name())
+				}
+			}
+			break // one callee resolution is enough to classify the site
+		}
+	}
+}
+
+// calleeSimpleName resolves the simple name of a called function, "" if
+// unknown (ModulePass variant of calleeName, which needs a *Pass).
+func calleeSimpleName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f.Name()
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+// describeTaint renders a taint for a finding message: the source, plus the
+// call chain it rode in on.
+func describeTaint(t *Taint) string {
+	kind := map[TaintKind]string{
+		"wallclock": "wall-clock",
+		"mathrand":  "math/rand",
+		"maporder":  "map-iteration-order",
+	}[t.Kind]
+	if kind == "" {
+		kind = string(t.Kind)
+	}
+	desc := kind + "-derived value (" + t.Desc
+	if len(t.Path) > 0 {
+		desc += " via " + strings.Join(t.Path, " -> ")
+	}
+	return desc + ")"
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Shardflow is the interprocedural upgrade of shardsafe. Shardsafe flags a
+// write to a captured variable inside a single event closure; shardflow
+// looks at *pairs* of event closures and at the helpers they call: a value
+// written inside one shard's closure (directly, or by any module-local
+// function it calls) and read from a different closure is cross-shard
+// aliasing — under sharded execution the two closures may run on different
+// worker goroutines in the same virtual-time window, so the read races and
+// its result depends on shard interleaving.
+//
+// The sanctioned ways to move a value between shards are the mailbox/stamp
+// machinery: route it through the scheduler (an event on the owning shard),
+// publish it at a window barrier, or order it by ExecStamp. State of
+// simclock/journal types is exempt (those types ARE the machinery), and a
+// closure (or callee) that serialises with a sync lock is skipped — lock
+// ordering under determinism is shardsafe/ExecStamp territory.
+//
+// Scope matches shardsafe: the packages whose event chains may run on the
+// ShardedScheduler.
+var Shardflow = &Analyzer{
+	Name:      "shardflow",
+	Doc:       "state written in one shard's event closure must not be read from another's without mailbox/stamp machinery",
+	RunModule: runShardflow,
+}
+
+// closureAccess is one scheduled event closure with the variables it
+// touches, directly or through module-local callees.
+type closureAccess struct {
+	node   *CallNode
+	lit    *ast.FuncLit
+	reads  map[*types.Var]token.Pos
+	writes map[*types.Var]token.Pos
+}
+
+func runShardflow(pass *ModulePass) {
+	sums := pass.Graph.GlobalAccessSummaries()
+	var closures []*closureAccess
+	for _, node := range pass.Graph.SortedNodes() {
+		if !shardsafeScope[node.Pkg.Path] || node.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !schedulerMethods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					if ca := collectClosureAccess(pass, node, lit, sums); ca != nil {
+						closures = append(closures, ca)
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Pair up: a write in closure A vs any access in a different closure B.
+	// Report once per (A, var), at A's write, naming the first aliasing B in
+	// source order.
+	for _, a := range closures {
+		for _, v := range sortedVars(a.writes) {
+			for _, b := range closures {
+				if b == a {
+					continue
+				}
+				pos, read := b.reads[v]
+				if !read {
+					if wpos, written := b.writes[v]; written {
+						pos = wpos
+					} else {
+						continue
+					}
+				}
+				how := "read"
+				if !read {
+					how = "also written"
+				}
+				pass.Reportf(a.writes[v],
+					"%q is written in this event closure and %s by the event closure at %s; under sharded execution the closures may run on different shards — route the value through a shard mailbox, publish at a window barrier, or order it by ExecStamp",
+					v.Name(), how, pass.Fset().Position(pos))
+				break
+			}
+		}
+	}
+}
+
+// collectClosureAccess gathers the variables an event closure reads and
+// writes: captured locals and package-level variables touched directly,
+// plus package-level variables touched by any module-local callee
+// (transitively, via the call-graph summaries). Returns nil for closures
+// that serialise with a lock.
+func collectClosureAccess(pass *ModulePass, node *CallNode, lit *ast.FuncLit, sums map[*CallNode]*globalAccess) *closureAccess {
+	info := node.Pkg.Info
+	ca := &closureAccess{
+		node:   node,
+		lit:    lit,
+		reads:  map[*types.Var]token.Pos{},
+		writes: map[*types.Var]token.Pos{},
+	}
+	shared := func(id *ast.Ident) *types.Var {
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || exemptShardType(v.Type()) {
+			return nil
+		}
+		// Declared inside the closure (including parameters) is private
+		// per-event state; anything outside is shared with other closures.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil
+		}
+		return v
+	}
+	writeTargets := map[*ast.Ident]bool{}
+	guarded := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writeTargets[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				writeTargets[id] = true
+			}
+		case *ast.CallExpr:
+			if isLockCall(info, n) {
+				guarded = true
+			}
+		}
+		return true
+	})
+	if guarded {
+		return nil
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v := shared(n); v != nil {
+				set := ca.reads
+				if writeTargets[n] {
+					set = ca.writes
+				}
+				if _, ok := set[v]; !ok {
+					set[v] = n.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			for _, callee := range pass.Graph.CalleesOf(node, n) {
+				sum := sums[callee]
+				if sum == nil || sum.guarded {
+					continue
+				}
+				for _, v := range sortedVars(sum.reads) {
+					if exemptShardType(v.Type()) {
+						continue
+					}
+					if _, ok := ca.reads[v]; !ok {
+						ca.reads[v] = n.Pos()
+					}
+				}
+				for _, v := range sortedVars(sum.writes) {
+					if exemptShardType(v.Type()) {
+						continue
+					}
+					if _, ok := ca.writes[v]; !ok {
+						ca.writes[v] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(ca.reads) == 0 && len(ca.writes) == 0 {
+		return nil
+	}
+	return ca
+}
+
+// exemptShardType reports whether a variable's type belongs to the
+// scheduling/journalling machinery itself — simclock handles, schedulers,
+// and journal recorders are the sanctioned cross-shard channels.
+func exemptShardType(t types.Type) bool {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Slice:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			if pkg := tt.Obj().Pkg(); pkg != nil {
+				if strings.HasSuffix(pkg.Path(), "/internal/simclock") || strings.HasSuffix(pkg.Path(), "/internal/journal") {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package allocfree exercises the hot-path allocation analyzer: every
+// heap-escape pattern inside a //phishlint:hotpath function is a finding,
+// an unannotated allocating callee is flagged at the hot call site, and the
+// clean shapes (fmt.Errorf, constant-size make, stack buffers, annotated
+// cold branches) are not.
+package allocfree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format collects the direct patterns in one body.
+//
+//phishlint:hotpath
+func Format(parts []string, n int) string {
+	s := fmt.Sprintf("n=%d", n)   // want `fmt.Sprintf allocates its result and boxes every operand in hotpath function Format`
+	j := strings.Join(parts, ",") // want `strings.Join allocates the joined string in hotpath function Format`
+	buf := make([]byte, n)        // want `make allocates a per-call buffer in hotpath function Format`
+	_ = buf
+	return s + j // want `string concatenation allocates the result in hotpath function Format`
+}
+
+// Grow accumulates with += in a loop.
+//
+//phishlint:hotpath
+func Grow(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string \+= allocates the result in hotpath function Grow`
+	}
+	return out
+}
+
+// Capture returns a closure over its parameter.
+//
+//phishlint:hotpath
+func Capture(n int) func() int {
+	return func() int { return n } // want `closure captures local n, heap-allocating its environment per call in hotpath function Capture`
+}
+
+// Caller stays clean itself but calls an unannotated allocating helper.
+//
+//phishlint:hotpath
+func Caller(n int) string {
+	return describe(n) // want `hotpath function Caller calls allocfree.describe, which fmt.Sprintf allocates`
+}
+
+func describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Chain calls an annotated helper whose only construction is fmt.Errorf —
+// error paths are cold by definition, so both functions are clean.
+//
+//phishlint:hotpath
+func Chain(err error) error {
+	if err != nil {
+		return describeErr(err)
+	}
+	return nil
+}
+
+//phishlint:hotpath
+func describeErr(err error) error {
+	return fmt.Errorf("allocfree: %w", err)
+}
+
+// AppendWord works entirely in stack buffers and caller-owned slices.
+//
+//phishlint:hotpath
+func AppendWord(dst []byte, word string) []byte {
+	var buf [16]byte
+	tmp := buf[:0]
+	tmp = append(tmp, word...)
+	return append(dst, tmp...)
+}
+
+// Stage makes a constant-size slice, which stays on the stack.
+//
+//phishlint:hotpath
+func Stage() []byte {
+	s := make([]byte, 64)
+	return s
+}
+
+// Fallback allocates only on an annotated cold branch.
+//
+//phishlint:hotpath
+func Fallback(host string) string {
+	if host == "" {
+		return "fallback-" + defaultHost() //phishlint:allow allocfree cold fallback, exercised once per study
+	}
+	return host
+}
+
+func defaultHost() string { return "example.test" }
+
+// Unhot is not annotated; its allocations are nobody's business.
+func Unhot(parts []string) string {
+	return strings.Join(parts, "+")
+}
+
+//phishlint:hotpath // want `//phishlint:hotpath must be in the doc comment of a function declaration`
+var strayTarget int
+
+var _ = strayTarget

@@ -1,0 +1,42 @@
+// Package callgraph exercises graph construction itself: static calls,
+// interface dispatch resolved by CHA over value and pointer receivers, and
+// recursion cycles that the transitive summaries must converge through.
+package callgraph
+
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Speak() string { return "meow" }
+
+// Mute implements nothing; CHA must not drag it in.
+type Mute struct{}
+
+func (Mute) Silence() string { return "" }
+
+// Dispatch calls through the interface: a dynamic site with two
+// implementations.
+func Dispatch(s Speaker) string { return s.Speak() }
+
+// Direct calls a package function: a static, single-callee site.
+func Direct() string { return helper() }
+
+func helper() string { return "h" }
+
+var hits int
+
+// UseRec reaches the hits write only through a mutual-recursion cycle.
+func UseRec() { recA(3) }
+
+func recA(n int) {
+	if n > 0 {
+		hits++
+		recB(n - 1)
+	}
+}
+
+func recB(n int) { recA(n) }

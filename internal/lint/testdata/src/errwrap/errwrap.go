@@ -1,0 +1,103 @@
+// The fixture impersonates the facade package: its declarations ARE the
+// sanctioned vocabulary (errwrap reads sentinels and typed errors off the
+// root package itself), and every return path below is one classification
+// case — raw internal error, erased cause chain, inline errors.New,
+// undisciplined helper, and the clean twins of each.
+package areyouhuman
+
+import (
+	"errors"
+	"fmt"
+
+	"areyouhuman/internal/storage"
+)
+
+// ErrGone is a root sentinel.
+var ErrGone = errors.New("areyouhuman: gone")
+
+// ErrMissing re-exports the internal sentinel, sanctioning both objects.
+var ErrMissing = storage.ErrMissing
+
+// NotFoundError is a root typed error.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string { return "areyouhuman: not found: " + e.Name }
+
+// Raw forwards an internal error without wrapping it.
+func Raw() error {
+	return storage.Fetch() // want `error from storage.Fetch crosses the facade unwrapped`
+}
+
+// Erased wraps with %v, severing the cause chain.
+func Erased() error {
+	if err := storage.Fetch(); err != nil {
+		return fmt.Errorf("areyouhuman: fetch failed: %v", err) // want `fmt.Errorf without %w erases the cause chain at the facade boundary`
+	}
+	return nil
+}
+
+// Inline mints an unclassifiable error at the boundary.
+func Inline() error {
+	return errors.New("areyouhuman: busted") // want `inline errors.New escapes the facade unclassifiable`
+}
+
+// Indirect inherits Raw's lack of discipline through the fixpoint.
+func Indirect() error {
+	return Raw() // want `call to areyouhuman.Raw, which returns undisciplined errors`
+}
+
+// ForwardBad forwards a multi-result internal call; the tuple's error is
+// storage's ad-hoc one.
+func ForwardBad() (int, error) {
+	return storage.Count() // want `error from storage.Count crosses the facade unwrapped`
+}
+
+// Wrapped is Erased's clean twin: %w keeps the chain.
+func Wrapped() error {
+	if err := storage.Fetch(); err != nil {
+		return fmt.Errorf("areyouhuman: fetch: %w", err)
+	}
+	return nil
+}
+
+// Sentinel returns sanctioned vocabulary, both spellings.
+func Sentinel(kind int) error {
+	if kind == 0 {
+		return ErrGone
+	}
+	return ErrMissing
+}
+
+// Typed returns a root typed error, classifiable by errors.As.
+func Typed(name string) error {
+	return &NotFoundError{Name: name}
+}
+
+// Forward forwards a disciplined root helper's tuple.
+func Forward() (int, error) {
+	return helper()
+}
+
+func helper() (int, error) {
+	n, err := storage.Count()
+	if err != nil {
+		return 0, fmt.Errorf("areyouhuman: count: %w", err)
+	}
+	return n, nil
+}
+
+// pingA and pingB only ever return each other's results; the optimistic
+// fixpoint must keep the cycle disciplined.
+func pingA(n int) error {
+	if n == 0 {
+		return nil
+	}
+	return pingB(n - 1)
+}
+
+func pingB(n int) error {
+	if n == 0 {
+		return ErrGone
+	}
+	return pingA(n - 1)
+}

@@ -1,0 +1,14 @@
+// Package storage plays an internal package whose errors must not cross
+// the facade unwrapped.
+package storage
+
+import "errors"
+
+// ErrMissing is the internal sentinel the facade re-exports.
+var ErrMissing = errors.New("storage: missing")
+
+// Fetch fails with the sentinel.
+func Fetch() error { return ErrMissing }
+
+// Count fails with an ad-hoc error the facade cannot classify.
+func Count() (int, error) { return 0, errors.New("storage: uncounted") }

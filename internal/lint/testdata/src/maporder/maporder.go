@@ -111,3 +111,49 @@ func annotated(m map[string]int) []string {
 	}
 	return keys
 }
+
+func collectThenHelperSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // the sort is factored into a same-package helper
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func collectHelperAssign(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // `xs = helper(xs)` shape of the same idiom
+		keys = append(keys, k)
+	}
+	keys = dedupSorted(keys)
+	return keys
+}
+
+func collectHelperNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `this range appends to a slice`
+		keys = append(keys, k)
+	}
+	reverse(keys) // a helper that does NOT sort is no redemption
+	return keys
+}
+
+func sortKeys(xs []string) { sort.Strings(xs) }
+
+func dedupSorted(xs []string) []string {
+	sort.Strings(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func reverse(xs []string) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,51 @@
+// The fixture impersonates internal/chaos. Every wall-clock read lives in
+// the timeutil sub-package, so seedpure — scanning one package at a time —
+// sees nothing wrong in either half; seedflow follows the value through the
+// call chain and names it at the sink.
+package chaos
+
+import "areyouhuman/internal/chaos/timeutil"
+
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	return z * 0x9E3779B97F4A7C15
+}
+
+// SplitSeed is the deriver whose inputs must stay pure.
+func SplitSeed(master int64, k int) int64 {
+	return int64(mix64(uint64(master) + uint64(k)))
+}
+
+// JitteredSeed launders a wall-clock read through the helper call before
+// folding it into the deriver. The flow-insensitive engine also taints the
+// derived result, so the exported return is flagged as well.
+func JitteredSeed(master int64) int64 {
+	j := timeutil.Jitter()
+	s := SplitSeed(master, int(j)) // want `wall-clock-derived value \(time.Now via timeutil.Jitter\) reaches SplitSeed`
+	return s                       // want `returned from exported JitteredSeed`
+}
+
+// FixedSeed is the non-triggering twin: identical shape, pure helper.
+func FixedSeed(master int64) int64 {
+	f := timeutil.Fixed()
+	return SplitSeed(master, int(f))
+}
+
+// World stands in for sim-visible state.
+type World struct{ Seed int64 }
+
+// Stamp stores a laundered clock read into sim-visible state.
+func Stamp(w *World) {
+	w.Seed = timeutil.Jitter() // want `wall-clock-derived value \(time.Now via timeutil.Jitter\) stored into sim-visible state`
+}
+
+// Sanctioned acknowledges the read with the wallclock escape hatch; the
+// annotation keeps the finding from firing.
+func Sanctioned(w *World) {
+	w.Seed = timeutil.Jitter() //phishlint:wallclock fixture-sanctioned diagnostic stamp
+}
+
+// SeededStamp is Stamp's clean twin.
+func SeededStamp(w *World, seed int64) {
+	w.Seed = SplitSeed(seed, 1)
+}

@@ -1,0 +1,14 @@
+// Package timeutil plays a neutral helper package: seedpure does not
+// police it, so its wall-clock read is invisible to the per-package
+// analyzer. The taint only becomes reportable when a seed-derivation
+// package consumes the returned value.
+package timeutil
+
+import "time"
+
+// Jitter returns wall-clock-derived nanoseconds — legal here, poison once
+// it flows into a seed-derivation package.
+func Jitter() int64 { return time.Now().UnixNano() }
+
+// Fixed is Jitter's seed-pure twin.
+func Fixed() int64 { return 42 }

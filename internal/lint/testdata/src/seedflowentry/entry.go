@@ -1,0 +1,22 @@
+// The fixture impersonates the facade: an unscoped package may read the
+// clock for its own purposes, but handing the value across the
+// seed-derivation boundary launders nondeterminism into the planner —
+// seedflow flags the argument at the boundary call.
+package areyouhuman
+
+import (
+	"time"
+
+	"areyouhuman/internal/chaos"
+)
+
+// LaunderedPlan hands a wall-clock read into the seed-derivation package.
+func LaunderedPlan() int64 {
+	now := time.Now().UnixNano()
+	return chaos.Plan(now) // want `wall-clock-derived value \(time.Now\) passed into chaos.Plan`
+}
+
+// SeededPlan is the clean twin: the input is caller-provided.
+func SeededPlan(seed int64) int64 {
+	return chaos.Plan(seed)
+}

@@ -1,0 +1,6 @@
+// Package chaos plays the seed-derivation package whose inputs the
+// boundary check protects.
+package chaos
+
+// Plan derives a plan stream from a caller-provided seed.
+func Plan(seed int64) int64 { return int64(uint64(seed) * 0x9E3779B97F4A7C15) }

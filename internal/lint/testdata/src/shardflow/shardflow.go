@@ -1,0 +1,99 @@
+// The fixture impersonates internal/engines. Shardsafe sees each event
+// closure in isolation; shardflow pairs them up — a variable written in one
+// closure and touched by another is cross-shard aliasing even when every
+// closure looks innocent on its own, and the write may hide behind a
+// module-local helper call.
+package engines
+
+import "sync"
+
+// Scheduler mimics the simclock scheduling contract by method name; the
+// analyzer matches At/After/Every selectors.
+type Scheduler struct{}
+
+func (Scheduler) At(t int64, fn func())    { fn() }
+func (Scheduler) After(d int64, fn func()) { fn() }
+func (Scheduler) Every(d int64, fn func()) { fn() }
+
+var (
+	crossings int
+	observed  int
+	total     int
+	tally     int
+
+	mu           sync.Mutex
+	guardedCount int
+)
+
+// Register pairs a writer closure with a reader closure over package state.
+func Register(s Scheduler) {
+	s.At(1, func() {
+		crossings++ // want `"crossings" is written in this event closure and read by the event closure at`
+	})
+	s.At(2, func() {
+		if crossings > 0 {
+			observed = crossings
+		}
+	})
+}
+
+// Accumulate has two closures both writing the same counter: each is the
+// aliasing write from the other's perspective, so both lines report.
+func Accumulate(s Scheduler) {
+	s.Every(10, func() {
+		total++ // want `"total" is written in this event closure and also written by the event closure at`
+	})
+	s.Every(20, func() {
+		total++ // want `"total" is written in this event closure and also written by the event closure at`
+	})
+}
+
+func bump()        { tally++ }
+func tallyOf() int { return tally }
+
+// Transit hides the accesses behind helper calls; the call-graph summaries
+// surface them.
+func Transit(s Scheduler) {
+	s.After(5, func() {
+		bump() // want `"tally" is written in this event closure and read by the event closure at`
+	})
+	s.After(6, func() {
+		_ = tallyOf()
+	})
+}
+
+// Guarded serialises with a sync lock in both closures, so neither is
+// considered — lock ordering is shardsafe/ExecStamp territory.
+func Guarded(s Scheduler) {
+	s.At(3, func() {
+		mu.Lock()
+		guardedCount++
+		mu.Unlock()
+	})
+	s.At(4, func() {
+		mu.Lock()
+		_ = guardedCount
+		mu.Unlock()
+	})
+}
+
+// Isolated touches only closure-local state: private per-event, clean.
+func Isolated(s Scheduler) {
+	s.At(7, func() {
+		local := 0
+		local++
+		_ = local
+	})
+}
+
+// Shared captures an enclosing local in two closures; same aliasing, no
+// package variable required.
+func Shared(s Scheduler) {
+	hits := 0
+	s.At(8, func() {
+		hits++ // want `"hits" is written in this event closure and read by the event closure at`
+	})
+	s.At(9, func() {
+		_ = hits
+	})
+}

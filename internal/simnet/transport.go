@@ -26,6 +26,15 @@ type Transport struct {
 	// matters under fault injection: an injected latency above it fails the
 	// round trip with ErrTimeout. Zero means wait forever.
 	Timeout time.Duration
+
+	// addr memoises the "ip:port" RemoteAddr string stamped on server-side
+	// requests, keyed on the values it was built from. Browser transports
+	// never change SourceIP, so their million victim visits share one
+	// string; engine transports mutate SourceIP between visits (already a
+	// single-goroutine contract) and rebuild only on change.
+	addrIP   string
+	addrPort int
+	addr     string
 }
 
 // NewClient returns an *http.Client whose traffic originates from sourceIP on
@@ -41,6 +50,8 @@ func NewClient(n *Internet, sourceIP string) *http.Client {
 }
 
 // RoundTrip implements http.RoundTripper.
+//
+//phishlint:hotpath
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if t.Net == nil {
 		return nil, fmt.Errorf("simnet: Transport has no Internet")
@@ -95,6 +106,8 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 // serverRequest converts the client-side request into the request the virtual
 // server observes.
+//
+//phishlint:hotpath
 func (t *Transport) serverRequest(req *http.Request) (*http.Request, error) {
 	var body io.ReadCloser = http.NoBody
 	if req.Body != nil {
@@ -114,6 +127,20 @@ func (t *Transport) serverRequest(req *http.Request) (*http.Request, error) {
 	*out = *req
 	out.Body = body
 	out.RequestURI = req.URL.RequestURI()
+	out.RemoteAddr = t.remoteAddr()
+	out.Host = req.URL.Host
+	if out.Header.Get("Host") != "" {
+		out.Header = out.Header.Clone() // don't mutate the shared map
+		out.Header.Del("Host")
+	}
+	return out, nil
+}
+
+// remoteAddr returns the cached client address, rebuilding it only when
+// SourceIP or SourcePort changed since the last request.
+//
+//phishlint:hotpath
+func (t *Transport) remoteAddr() string {
 	ip := t.SourceIP
 	if ip == "" {
 		ip = "192.0.2.1"
@@ -122,13 +149,11 @@ func (t *Transport) serverRequest(req *http.Request) (*http.Request, error) {
 	if port == 0 {
 		port = 40000
 	}
-	out.RemoteAddr = ip + ":" + strconv.Itoa(port)
-	out.Host = req.URL.Host
-	if out.Header.Get("Host") != "" {
-		out.Header = out.Header.Clone() // don't mutate the shared map
-		out.Header.Del("Host")
+	if t.addr == "" || t.addrIP != ip || t.addrPort != port {
+		t.addr = ip + ":" + strconv.Itoa(port) //phishlint:allow allocfree rebuilt only when the caller changes SourceIP/SourcePort, amortised across visits
+		t.addrIP, t.addrPort = ip, port
 	}
-	return out, nil
+	return t.addr
 }
 
 // recorder is a minimal http.ResponseWriter capturing the handler's output.
@@ -143,6 +168,11 @@ type recorder struct {
 	wrote  bool
 	reader bytes.Reader
 	closed bool
+	// handed records whether response() gave the header map away. Close
+	// must not clear a map a response holder may still read, but a recorder
+	// closed before response() — the client-timeout path — can recycle its
+	// map in place instead of allocating a fresh one.
+	handed bool
 }
 
 var recorderPool = sync.Pool{
@@ -154,6 +184,7 @@ func newRecorder() *recorder {
 	r.code = http.StatusOK
 	r.wrote = false
 	r.closed = false
+	r.handed = false
 	r.body.Reset()
 	return r
 }
@@ -186,14 +217,21 @@ func (r *recorder) Read(p []byte) (int, error) {
 // Close returns the recorder to the pool. The closed flag makes double-Close
 // safe (only the first Close recycles) and turns use-after-close into an
 // explicit error rather than silent data corruption.
+//
+//phishlint:hotpath
 func (r *recorder) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	// The header map was handed to the response and may be read after Close;
-	// give the recycled recorder a fresh one instead of clearing it.
-	r.header = make(http.Header)
+	if r.handed {
+		// The header map was handed to the response and may be read after
+		// Close; give the recycled recorder a fresh one instead of clearing
+		// the one the holder still sees.
+		r.header = make(http.Header) //phishlint:allow allocfree fresh map only when the old one escaped with a response; the timeout path recycles in place
+	} else {
+		clear(r.header)
+	}
 	r.reader.Reset(nil)
 	recorderPool.Put(r)
 	return nil
@@ -202,6 +240,7 @@ func (r *recorder) Close() error {
 func (r *recorder) response(req *http.Request) *http.Response {
 	body := r.body.Bytes()
 	r.reader.Reset(body)
+	r.handed = true
 	resp := &http.Response{
 		Status:        statusLine(r.code),
 		StatusCode:    r.code,

@@ -34,6 +34,8 @@ func FormatCLF(e Entry) string {
 // extended slice. It produces byte-for-byte the same line as FormatCLF while
 // letting callers amortise the buffer — the zero-allocation path the access
 // log's export uses for every request of every visitor.
+//
+//phishlint:hotpath
 func AppendCLF(dst []byte, e Entry) []byte {
 	dst = append(dst, e.IP...)
 	dst = append(dst, " - - ["...)
@@ -57,9 +59,9 @@ func AppendCLF(dst []byte, e Entry) []byte {
 	} else {
 		proto := "HTTP/1.1"
 		if e.Serve != "" {
-			proto = "SERVE/" + string(e.Serve)
+			proto = "SERVE/" + string(e.Serve) //phishlint:allow allocfree strconv.Quote fallback for non-printable input; generated traffic always takes the ASCII fast path
 		}
-		dst = strconv.AppendQuote(dst, method+" "+path+" "+proto)
+		dst = strconv.AppendQuote(dst, method+" "+path+" "+proto) //phishlint:allow allocfree strconv.Quote fallback for non-printable input; generated traffic always takes the ASCII fast path
 	}
 	dst = append(dst, ' ')
 	dst = strconv.AppendInt(dst, int64(e.Status), 10)
@@ -75,7 +77,7 @@ func AppendCLF(dst []byte, e Entry) []byte {
 		dst = append(dst, e.Host...)
 		dst = append(dst, `/"`...)
 	} else {
-		dst = strconv.AppendQuote(dst, "http://"+e.Host+"/")
+		dst = strconv.AppendQuote(dst, "http://"+e.Host+"/") //phishlint:allow allocfree strconv.Quote fallback for non-printable hosts; synthesized domains are ASCII
 	}
 	dst = append(dst, ' ')
 	dst = appendQuoted(dst, e.UserAgent)
@@ -85,6 +87,8 @@ func AppendCLF(dst []byte, e Entry) []byte {
 // plainASCII reports whether s quotes under %q as just `"` + s + `"` —
 // printable ASCII with no escapes. The fast paths above rely on it to stay
 // byte-identical with strconv.Quote.
+//
+//phishlint:hotpath
 func plainASCII(s string) bool {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -95,6 +99,7 @@ func plainASCII(s string) bool {
 	return true
 }
 
+//phishlint:hotpath
 func appendQuoted(dst []byte, s string) []byte {
 	if plainASCII(s) {
 		dst = append(dst, '"')
